@@ -1,0 +1,221 @@
+(* Benchmark harness.
+
+   Two sections:
+
+   1. Bechamel micro-benchmarks - one Test.make per experiment table,
+      benchmarking the computational kernel that dominates that table
+      (E-process stepping for the cover-time tables, mat-vec for the
+      spectral table, and so on).
+
+   2. The experiment tables themselves - running every experiment of
+      DESIGN.md section 4 at the scale selected by EWALK_BENCH_SCALE
+      (tiny / default / full) and printing the same rows/series the paper
+      reports.  `full` matches the paper's n (Figure 1 up to 5*10^5,
+      5 trials per point). *)
+
+open Bechamel
+open Toolkit
+module Rng = Ewalk_prng.Rng
+module Graph = Ewalk_graph.Graph
+
+(* -- shared fixtures (built once; kernels must not mutate them) ----------- *)
+
+let fixture_regular =
+  lazy
+    (let rng = Rng.create ~seed:1234 () in
+     Ewalk_graph.Gen_regular.random_regular_connected rng 10_000 4)
+
+let fixture_hypercube = lazy (Ewalk_graph.Gen_classic.hypercube 8)
+
+let fixture_csr =
+  lazy (Ewalk_spectral.Spectral.normalized_adjacency (Lazy.force fixture_regular))
+
+(* -- one kernel per experiment table -------------------------------------- *)
+
+let bench_eprocess_steps () =
+  (* fig1, thm1-scaling, rule-independence, odd-even-frontier *)
+  let g = Lazy.force fixture_regular in
+  let rng = Rng.create ~seed:99 () in
+  Staged.stage (fun () ->
+      let t = Ewalk.Eprocess.create g rng ~start:0 in
+      Ewalk.Cover.run_steps (Ewalk.Eprocess.process t) 10_000)
+
+let bench_srw_steps () =
+  (* srw-lower, blanket-r-visits *)
+  let g = Lazy.force fixture_regular in
+  let rng = Rng.create ~seed:98 () in
+  Staged.stage (fun () ->
+      let t = Ewalk.Srw.create g rng ~start:0 in
+      Ewalk.Cover.run_steps (Ewalk.Srw.process t) 10_000)
+
+let bench_edge_cover () =
+  (* edge-cover-sandwich, hypercube-edge, grw-bound, cor4-edge *)
+  let g = Lazy.force fixture_hypercube in
+  let rng = Rng.create ~seed:97 () in
+  Staged.stage (fun () ->
+      let t = Ewalk.Eprocess.create g rng ~start:0 in
+      ignore (Ewalk.Cover.run_until_edge_cover (Ewalk.Eprocess.process t)))
+
+let bench_matvec () =
+  (* spectral-p1 *)
+  let csr = Lazy.force fixture_csr in
+  let x = Array.make (Ewalk_linalg.Csr.dim csr) 1.0 in
+  let y = Array.make (Ewalk_linalg.Csr.dim csr) 0.0 in
+  Staged.stage (fun () -> Ewalk_linalg.Csr.mul_vec_into csr x y)
+
+let bench_connected_set () =
+  (* density-p2 *)
+  let g = Lazy.force fixture_regular in
+  let rng = Rng.create ~seed:96 () in
+  Staged.stage (fun () ->
+      ignore (Ewalk_analysis.Subgraph_density.random_connected_set rng g ~s:9))
+
+let bench_ell () =
+  (* ell-good *)
+  let g = Lazy.force fixture_regular in
+  Staged.stage (fun () ->
+      ignore (Ewalk_analysis.Goodness.ell_of_vertex g 0 ~max_len:8))
+
+let bench_blue_components () =
+  (* blue-invariants, stars-r3 *)
+  let g = Lazy.force fixture_regular in
+  let rng = Rng.create ~seed:95 () in
+  let t = Ewalk.Eprocess.create g rng ~start:0 in
+  Ewalk.Cover.run_steps (Ewalk.Eprocess.process t) (Graph.n g);
+  let flags = Ewalk.Coverage.visited_edge_flags (Ewalk.Eprocess.coverage t) in
+  Staged.stage (fun () ->
+      ignore (Ewalk_analysis.Blue.components g ~visited:flags))
+
+let bench_count_cycles () =
+  (* cycle-census *)
+  let rng = Rng.create ~seed:94 () in
+  let g = Ewalk_graph.Gen_regular.random_regular_connected rng 500 4 in
+  Staged.stage (fun () ->
+      ignore (Ewalk_graph.Girth.count_cycles g ~max_len:6))
+
+let bench_rotor_steps () =
+  (* process-compare *)
+  let g = Lazy.force fixture_regular in
+  let rng = Rng.create ~seed:93 () in
+  Staged.stage (fun () ->
+      let t = Ewalk.Rotor.create g rng ~start:0 in
+      Ewalk.Cover.run_steps (Ewalk.Rotor.process t) 10_000)
+
+let bench_generator () =
+  (* all tables consume this generator *)
+  let rng = Rng.create ~seed:92 () in
+  Staged.stage (fun () ->
+      ignore (Ewalk_graph.Gen_regular.random_regular rng 2_000 4))
+
+(* Ablation (DESIGN.md section 5): the E-process with naive O(deg) rescan of
+   the adjacency instead of the swap-partition bookkeeping.  Same trajectory
+   distribution; only the unvisited-edge lookup differs. *)
+let bench_naive_eprocess () =
+  let g = Lazy.force fixture_regular in
+  let rng = Rng.create ~seed:91 () in
+  Staged.stage (fun () ->
+      let visited = Array.make (Graph.m g) false in
+      let pos = ref 0 in
+      for _ = 1 to 10_000 do
+        let v = !pos in
+        let deg = Graph.degree g v in
+        (* Rescan: count unvisited slots, then pick one uniformly. *)
+        let unvisited = ref 0 in
+        for i = 0 to deg - 1 do
+          if not visited.(Graph.neighbor_edge g v i) then incr unvisited
+        done;
+        let slot =
+          if !unvisited > 0 then begin
+            let target = Rng.int rng !unvisited in
+            let seen = ref 0 and found = ref 0 in
+            for i = 0 to deg - 1 do
+              if not visited.(Graph.neighbor_edge g v i) then begin
+                if !seen = target then found := i;
+                incr seen
+              end
+            done;
+            !found
+          end
+          else Rng.int rng deg
+        in
+        let e = Graph.neighbor_edge g v slot in
+        visited.(e) <- true;
+        pos := Graph.neighbor g v slot
+      done)
+
+let bench_rejection_generator () =
+  (* Ablation: exact-uniform pairing rejection vs Steger-Wormald (r = 3,
+     where rejection is still viable). *)
+  let rng = Rng.create ~seed:90 () in
+  Staged.stage (fun () ->
+      ignore (Ewalk_graph.Gen_regular.random_regular_rejection rng 2_000 3))
+
+let tests =
+  Test.make_grouped ~name:"ewalk" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"fig1:eprocess-10k-steps" (bench_eprocess_steps ());
+      Test.make ~name:"srw-lower:srw-10k-steps" (bench_srw_steps ());
+      Test.make ~name:"edge-cover:H8-edge-cover" (bench_edge_cover ());
+      Test.make ~name:"spectral-p1:matvec-10k" (bench_matvec ());
+      Test.make ~name:"density-p2:connected-set" (bench_connected_set ());
+      Test.make ~name:"ell-good:ell-of-vertex" (bench_ell ());
+      Test.make ~name:"blue:components-10k" (bench_blue_components ());
+      Test.make ~name:"cycle-census:count-cycles" (bench_count_cycles ());
+      Test.make ~name:"process-compare:rotor-10k-steps" (bench_rotor_steps ());
+      Test.make ~name:"generator:steger-wormald-2k" (bench_generator ());
+      Test.make ~name:"ablation:eprocess-naive-rescan" (bench_naive_eprocess ());
+      Test.make ~name:"ablation:generator-rejection-2k" (bench_rejection_generator ());
+    ]
+
+let run_micro_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2_000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "== micro-benchmarks (one kernel per experiment table) ==";
+  Printf.printf "%-40s %15s\n" "kernel" "time/run";
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      let ns =
+        match Analyze.OLS.estimates v with
+        | Some [ x ] -> x
+        | _ -> Float.nan
+      in
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Printf.printf "%-40s %15s\n" name pretty)
+    (List.sort compare rows);
+  print_newline ()
+
+(* -- experiment tables ----------------------------------------------------- *)
+
+let run_experiments () =
+  let scale = Ewalk_expt.Sweep.scale_of_env () in
+  Printf.printf
+    "== experiment tables (scale: %s; set EWALK_BENCH_SCALE=tiny/default/full) ==\n\n"
+    (Ewalk_expt.Sweep.scale_name scale);
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      let table = e.Ewalk_expt.Experiments.run ~scale ~seed:1 in
+      Ewalk_expt.Table.print table;
+      Printf.printf "  [%s reproduces: %s; %.1fs]\n\n%!"
+        e.Ewalk_expt.Experiments.id e.Ewalk_expt.Experiments.paper_item
+        (Unix.gettimeofday () -. t0))
+    Ewalk_expt.Experiments.all
+
+let () =
+  let skip_micro = Sys.getenv_opt "EWALK_BENCH_SKIP_MICRO" = Some "1" in
+  if not skip_micro then run_micro_benchmarks ();
+  run_experiments ()

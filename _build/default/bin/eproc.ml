@@ -1,0 +1,380 @@
+(* eproc: command-line driver for the E-process reproduction.
+
+   Subcommands:
+     list                      - list experiments
+     experiment ID             - run one experiment (or "all")
+     graph-info                - structural report of a generated graph
+     cover                     - cover-time trials for one process
+     spectra                   - spectral report of a generated graph *)
+
+open Cmdliner
+module Graph = Ewalk_graph.Graph
+module Rng = Ewalk_prng.Rng
+module Expt = Ewalk_expt
+
+let seed_arg =
+  let doc = "Random seed (all runs are deterministic given the seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let scale_arg =
+  let parse = function
+    | "tiny" -> Ok Expt.Sweep.Tiny
+    | "default" -> Ok Expt.Sweep.Default
+    | "full" -> Ok Expt.Sweep.Full
+    | s -> Error (`Msg (Printf.sprintf "unknown scale %S" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Expt.Sweep.scale_name s) in
+  let scale_conv = Arg.conv (parse, print) in
+  let doc = "Experiment scale: tiny, default, or full (paper-size sweeps)." in
+  Arg.(
+    value & opt scale_conv Expt.Sweep.Default
+    & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let family_arg =
+  let doc =
+    "Graph family spec, e.g. regular:4, torus, hypercube, margulis, \
+     cycle-union:2, gnp:0.001, geometric:0.05."
+  in
+  Arg.(value & opt string "regular:4" & info [ "family" ] ~docv:"SPEC" ~doc)
+
+let n_arg =
+  let doc = "Nominal number of vertices." in
+  Arg.(value & opt int 10_000 & info [ "n"; "size" ] ~docv:"N" ~doc)
+
+let trials_arg =
+  let doc = "Trials to average over." in
+  Arg.(value & opt int 5 & info [ "trials" ] ~docv:"T" ~doc)
+
+let csv_arg =
+  let doc = "Also write the result table as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+(* -- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-20s %s\n" e.Expt.Experiments.id
+          e.Expt.Experiments.paper_item)
+      Expt.Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the paper experiments.")
+    Term.(const run $ const ())
+
+(* -- experiment ----------------------------------------------------------- *)
+
+let write_csv path table =
+  let oc = open_out path in
+  output_string oc (Expt.Table.to_csv table);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let experiment_cmd =
+  let id_arg =
+    let doc = "Experiment id (see $(b,list)), or $(b,all)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run id scale seed csv =
+    let run_one e =
+      let table = e.Expt.Experiments.run ~scale ~seed in
+      Expt.Table.print table;
+      match csv with
+      | Some path ->
+          let file =
+            if id = "all" then
+              Filename.remove_extension path ^ "-" ^ table.Expt.Table.id ^ ".csv"
+            else path
+          in
+          write_csv file table
+      | None -> ()
+    in
+    if id = "all" then begin
+      List.iter run_one Expt.Experiments.all;
+      `Ok ()
+    end
+    else begin
+      match Expt.Experiments.find id with
+      | Some e ->
+          run_one e;
+          `Ok ()
+      | None ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown experiment %S; try `eproc list'" id )
+    end
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run a paper experiment and print its table.")
+    Term.(ret (const run $ id_arg $ scale_arg $ seed_arg $ csv_arg))
+
+(* -- graph-info ----------------------------------------------------------- *)
+
+let graph_info_cmd =
+  let run family n seed =
+    let rng = Rng.create ~seed () in
+    let g = Expt.Families.build family rng ~n in
+    Format.printf "%a@." Graph.pp g;
+    Printf.printf "connected:       %b\n" (Ewalk_graph.Traversal.is_connected g);
+    Printf.printf "simple:          %b\n" (Graph.is_simple g);
+    Printf.printf "all-degrees-even:%b\n" (Graph.all_degrees_even g);
+    Printf.printf "self-loops:      %d\n" (Graph.count_self_loops g);
+    (match Ewalk_graph.Girth.girth_at_most g 24 with
+    | Some girth -> Printf.printf "girth:           %d\n" girth
+    | None -> Printf.printf "girth:           > 24\n");
+    Printf.printf "diameter (>=):   %d\n"
+      (Ewalk_graph.Traversal.diameter_lower_bound g);
+    if Graph.n g <= 20_000 && Graph.m g > 0 then begin
+      let lmax =
+        if Graph.n g <= 256 then
+          (Ewalk_spectral.Spectral.gap_exact g).Ewalk_spectral.Spectral.lambda_max
+        else
+          Ewalk_spectral.Spectral.lambda_max_power ~tol:1e-8 ~max_iter:4_000 g
+      in
+      Printf.printf "lambda_max:      %.5f (gap %.5f)\n" lmax (1.0 -. lmax)
+    end
+  in
+  Cmd.v
+    (Cmd.info "graph-info" ~doc:"Generate a graph and print a structural report.")
+    Term.(const run $ family_arg $ n_arg $ seed_arg)
+
+(* -- cover ---------------------------------------------------------------- *)
+
+let process_arg =
+  let doc =
+    "Walk process: e-process, e-process:lowest, e-process:highest, srw, \
+     lazy-srw, v-process, rotor, rwc:D, luf, oldest, metropolis."
+  in
+  Arg.(value & opt string "e-process" & info [ "process" ] ~docv:"P" ~doc)
+
+let make_process spec g rng =
+  match String.split_on_char ':' spec with
+  | [ "e-process" ] ->
+      Ewalk.Eprocess.process (Ewalk.Eprocess.create g rng ~start:0)
+  | [ "e-process"; "lowest" ] ->
+      Ewalk.Eprocess.process
+        (Ewalk.Eprocess.create ~rule:Ewalk.Eprocess.Lowest_slot g rng ~start:0)
+  | [ "e-process"; "highest" ] ->
+      Ewalk.Eprocess.process
+        (Ewalk.Eprocess.create ~rule:Ewalk.Eprocess.Highest_slot g rng ~start:0)
+  | [ "srw" ] -> Ewalk.Srw.process (Ewalk.Srw.create g rng ~start:0)
+  | [ "lazy-srw" ] -> Ewalk.Srw.process (Ewalk.Srw.create_lazy g rng ~start:0)
+  | [ "v-process" ] ->
+      Ewalk.Vprocess.process (Ewalk.Vprocess.create g rng ~start:0)
+  | [ "rotor" ] ->
+      Ewalk.Rotor.process
+        (Ewalk.Rotor.create ~randomize_rotors:true g rng ~start:0)
+  | [ "rwc"; d ] ->
+      Ewalk.Rwc.process
+        (Ewalk.Rwc.create ~d:(int_of_string d) g rng ~start:0)
+  | [ "luf" ] ->
+      Ewalk.Fair.process
+        (Ewalk.Fair.create ~random_ties:true
+           ~strategy:Ewalk.Fair.Least_used_first g rng ~start:0)
+  | [ "oldest" ] ->
+      Ewalk.Fair.process
+        (Ewalk.Fair.create ~random_ties:true ~strategy:Ewalk.Fair.Oldest_first
+           g rng ~start:0)
+  | [ "metropolis" ] ->
+      Ewalk.Metropolis.process (Ewalk.Metropolis.create g rng ~start:0)
+  | _ -> invalid_arg (Printf.sprintf "unknown process %S" spec)
+
+let cover_cmd =
+  let edges_arg =
+    let doc = "Measure edge cover time instead of vertex cover time." in
+    Arg.(value & flag & info [ "edges" ] ~doc)
+  in
+  let run family process n trials seed edges =
+    let root = Rng.create ~seed () in
+    let rngs = Rng.split_n root trials in
+    let results =
+      Array.map
+        (fun rng ->
+          let g = Expt.Families.build family rng ~n in
+          let p = make_process process g rng in
+          let cap = Ewalk.Cover.default_cap g in
+          let t =
+            if edges then Ewalk.Cover.run_until_edge_cover ~cap p
+            else Ewalk.Cover.run_until_vertex_cover ~cap p
+          in
+          (t, Graph.n g, Graph.m g))
+        rngs
+    in
+    let times =
+      Array.to_list results
+      |> List.filter_map (fun (t, _, _) -> Option.map float_of_int t)
+    in
+    let _, gn, gm = results.(0) in
+    Printf.printf "%s on %s (n=%d, m=%d), %d trials, %s cover:\n" process
+      family gn gm trials
+      (if edges then "edge" else "vertex");
+    match times with
+    | [] -> Printf.printf "  every trial hit its step cap\n"
+    | _ ->
+        let s = Ewalk_analysis.Stats.summarize (Array.of_list times) in
+        let denom = float_of_int (if edges then gm else gn) in
+        Printf.printf
+          "  mean %.0f  (%.3f per %s; std %.0f; min %.0f; max %.0f)\n"
+          s.Ewalk_analysis.Stats.mean
+          (s.Ewalk_analysis.Stats.mean /. denom)
+          (if edges then "edge" else "vertex")
+          s.Ewalk_analysis.Stats.std s.Ewalk_analysis.Stats.min
+          s.Ewalk_analysis.Stats.max;
+        if List.length times < trials then
+          Printf.printf "  (%d/%d trials hit the cap and were dropped)\n"
+            (trials - List.length times)
+            trials
+  in
+  Cmd.v
+    (Cmd.info "cover" ~doc:"Measure cover times of a walk process.")
+    Term.(
+      const run $ family_arg $ process_arg $ n_arg $ trials_arg $ seed_arg
+      $ edges_arg)
+
+(* -- spectra -------------------------------------------------------------- *)
+
+let spectra_cmd =
+  let run family n seed =
+    let rng = Rng.create ~seed () in
+    let g = Expt.Families.build family rng ~n in
+    Format.printf "%a@." Graph.pp g;
+    if Graph.n g <= 256 then begin
+      let r = Ewalk_spectral.Spectral.gap_exact g in
+      Printf.printf "lambda_2  = %.6f\nlambda_n  = %.6f\nlambda_max= %.6f\n"
+        r.Ewalk_spectral.Spectral.lambda_2 r.Ewalk_spectral.Spectral.lambda_n
+        r.Ewalk_spectral.Spectral.lambda_max;
+      Printf.printf "gap       = %.6f\n" r.Ewalk_spectral.Spectral.gap
+    end
+    else begin
+      let lmax =
+        Ewalk_spectral.Spectral.lambda_max_power ~tol:1e-8 ~max_iter:6_000 g
+      in
+      Printf.printf "lambda_max~ %.6f (power iteration)\ngap       ~ %.6f\n"
+        lmax (1.0 -. lmax)
+    end;
+    Printf.printf "mixing bound (K=6): %.0f steps\n"
+      (Ewalk_spectral.Spectral.mixing_time_bound g);
+    if Graph.n g <= 18 then begin
+      let phi = Ewalk_spectral.Spectral.conductance_exact g in
+      let lo, hi = Ewalk_spectral.Spectral.cheeger_bounds g in
+      Printf.printf "conductance = %.4f; Cheeger: %.4f <= lambda_2 <= %.4f\n"
+        phi lo hi
+    end
+  in
+  Cmd.v
+    (Cmd.info "spectra" ~doc:"Spectral report of a generated graph.")
+    Term.(const run $ family_arg $ n_arg $ seed_arg)
+
+(* -- euler ---------------------------------------------------------------- *)
+
+let euler_cmd =
+  let run family n seed =
+    let rng = Rng.create ~seed () in
+    let g = Expt.Families.build family rng ~n in
+    Format.printf "%a@." Graph.pp g;
+    if Ewalk_graph.Euler.is_eulerian g then begin
+      match Ewalk_graph.Euler.euler_circuit g ~start:0 with
+      | Some trail ->
+          Printf.printf "eulerian: yes - circuit of %d edges from vertex 0\n"
+            (List.length trail)
+      | None -> Printf.printf "eulerian: yes, but vertex 0 is isolated\n"
+    end
+    else begin
+      Printf.printf "eulerian: no (odd degrees or edges in several components)\n";
+      if Graph.all_degrees_even g then begin
+        let trails = Ewalk_graph.Euler.closed_trail_decomposition g in
+        Printf.printf "closed-trail decomposition: %d trails\n"
+          (List.length trails)
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "euler"
+       ~doc:"Euler-circuit report: the offline m-step edge-cover optimum.")
+    Term.(const run $ family_arg $ n_arg $ seed_arg)
+
+(* -- audit ----------------------------------------------------------------- *)
+
+let audit_cmd =
+  let run family n seed =
+    let rng = Rng.create ~seed () in
+    let g = Expt.Families.build family rng ~n in
+    Format.printf "%a@." Graph.pp g;
+    let even = Graph.all_degrees_even g in
+    let connected = Ewalk_graph.Traversal.is_connected g in
+    Printf.printf "even degrees: %b\nconnected:    %b\n" even connected;
+    let gap =
+      if Graph.n g <= 256 then
+        (Ewalk_spectral.Spectral.gap_exact g).Ewalk_spectral.Spectral.gap
+      else
+        1.0
+        -. Ewalk_spectral.Spectral.lambda_max_power ~tol:1e-7 ~max_iter:3_000 g
+    in
+    Printf.printf "spectral gap: %.4f\n" gap;
+    if even then begin
+      let lower = ref max_int in
+      for v = 0 to min (Graph.n g) 50 - 1 do
+        let b = Ewalk_analysis.Goodness.ell_of_vertex g v ~max_len:8 in
+        if b.Ewalk_analysis.Goodness.lower < !lower then
+          lower := b.Ewalk_analysis.Goodness.lower
+      done;
+      Printf.printf "ell (certified, sampled): >= %d\n" !lower;
+      Printf.printf "Theorem 1 envelope (c=1): %.0f steps\n"
+        (Ewalk_theory.Bounds.theorem1_vertex_cover ~ell:!lower
+           ~gap:(Float.max gap 1e-6) (Graph.n g))
+    end;
+    let verdict = even && connected && gap > 0.05 in
+    Printf.printf "verdict: %s\n"
+      (if verdict then "Theta(n) E-process cover expected"
+       else "Theorem 1 hypotheses not all satisfied")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Audit a graph against Theorem 1's hypotheses.")
+    Term.(const run $ family_arg $ n_arg $ seed_arg)
+
+(* -- report ---------------------------------------------------------------- *)
+
+let report_cmd =
+  let out_arg =
+    let doc = "Write the markdown report to $(docv) (default: stdout)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run scale seed out =
+    let buf = Buffer.create 65536 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "# ewalk experiment report\n\nScale: %s.  Seed: %d.  One section per \
+          experiment of DESIGN.md section 4.\n\n"
+         (Expt.Sweep.scale_name scale) seed);
+    List.iter
+      (fun e ->
+        let table = e.Expt.Experiments.run ~scale ~seed in
+        Buffer.add_string buf (Expt.Table.to_markdown table);
+        Buffer.add_string buf
+          (Printf.sprintf "\n*(reproduces: %s)*\n\n" e.Expt.Experiments.paper_item);
+        Printf.eprintf "done: %s\n%!" e.Expt.Experiments.id)
+      Expt.Experiments.all;
+    match out with
+    | None -> print_string (Buffer.contents buf)
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Buffer.contents buf);
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run every experiment and emit one markdown results report.")
+    Term.(const run $ scale_arg $ seed_arg $ out_arg)
+
+let main =
+  let doc = "Random walks which prefer unvisited edges (E-process) - reproduction CLI." in
+  Cmd.group
+    (Cmd.info "eproc" ~version:"1.0.0" ~doc)
+    [
+      list_cmd; experiment_cmd; graph_info_cmd; cover_cmd; spectra_cmd;
+      euler_cmd; audit_cmd; report_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/adversary.ml: Array Ewalk Ewalk_expt Ewalk_graph Ewalk_prng Ewalk_theory Printf

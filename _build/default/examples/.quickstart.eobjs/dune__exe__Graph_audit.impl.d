@@ -1,0 +1,1 @@
+examples/graph_audit.ml: Ewalk Ewalk_analysis Ewalk_graph Ewalk_prng Ewalk_spectral Filename Format Fun Printf Sys

@@ -1,0 +1,1 @@
+examples/patrol.ml: Array Ewalk Ewalk_graph Ewalk_prng Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ewalk Ewalk_graph Ewalk_prng Ewalk_theory Printf

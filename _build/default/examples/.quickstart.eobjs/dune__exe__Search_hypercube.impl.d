@@ -1,0 +1,1 @@
+examples/search_hypercube.ml: Ewalk Ewalk_graph Ewalk_prng List Printf

@@ -1,0 +1,1 @@
+examples/team_sweep.ml: Ewalk Ewalk_graph Ewalk_prng List Printf

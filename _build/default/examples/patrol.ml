@@ -1,0 +1,105 @@
+(* Network patrolling: which walk revisits every node most evenly?
+
+   The rotor-router literature the paper cites (Yanovski et al.) is motivated
+   by patrolling: a mobile agent should keep the maximum time-between-visits
+   ("idle time") of every node low.  We patrol a 4-regular torus - think of a
+   sensor grid - and compare:
+
+     - the E-process (edge marks reset at the start of each sweep),
+     - the rotor-router (the classical patrolling ant; state persists),
+     - the simple random walk,
+     - least-used-first (state persists).
+
+   A "sweep" ends when every node has been seen since the sweep began; the
+   figure of merit is steps per sweep and the worst idle gap of any node.
+
+   Run with:  dune exec examples/patrol.exe *)
+
+module Graph = Ewalk_graph.Graph
+module Rng = Ewalk_prng.Rng
+
+let rounds = 5
+
+(* Drive stepper/position callbacks through [rounds] sweeps, with sweep
+   completion tracked outside the process so persistent processes (rotor,
+   least-used-first) keep their internal state between sweeps.
+   [reset] is called at each sweep start and may swap the stepper. *)
+let patrol name g ~reset =
+  let n = Graph.n g in
+  let last_visit = Array.make n 0 in
+  let seen = Array.make n (-1) in
+  let clock = ref 0 in
+  let worst_gap = ref 0 in
+  for round = 0 to rounds - 1 do
+    let step, position = reset round in
+    let covered = ref 1 in
+    seen.(position ()) <- round;
+    let visit v =
+      let gap = !clock - last_visit.(v) in
+      if gap > !worst_gap then worst_gap := gap;
+      last_visit.(v) <- !clock;
+      if seen.(v) < round then begin
+        seen.(v) <- round;
+        incr covered
+      end
+    in
+    while !covered < n && !clock < 10_000 * n do
+      step ();
+      incr clock;
+      visit (position ())
+    done
+  done;
+  Printf.printf
+    "%-18s %9d steps for %d sweeps  (%.2f n/sweep; worst idle gap %.2f n)\n"
+    name !clock rounds
+    (float_of_int !clock /. float_of_int (rounds * n))
+    (float_of_int !worst_gap /. float_of_int n)
+
+let () =
+  let side = 100 in
+  let g = Ewalk_graph.Gen_classic.torus2d side side in
+  let n = Graph.n g in
+  Printf.printf "patrolling a %dx%d torus (%d nodes), %d sweeps each:\n\n" side
+    side n rounds;
+
+  (* E-process: fresh edge marks each sweep, position carried over. *)
+  let ep_pos = ref 0 in
+  patrol "e-process" g ~reset:(fun round ->
+      let rng = Rng.create ~seed:(100 + round) () in
+      let t = Ewalk.Eprocess.create g rng ~start:!ep_pos in
+      ( (fun () ->
+          Ewalk.Eprocess.step t;
+          ep_pos := Ewalk.Eprocess.position t),
+        fun () -> Ewalk.Eprocess.position t ));
+
+  (* Rotor-router: one persistent machine across all sweeps. *)
+  let rotor =
+    Ewalk.Rotor.create ~randomize_rotors:true g (Rng.create ~seed:7 ())
+      ~start:0
+  in
+  patrol "rotor-router" g ~reset:(fun _round ->
+      ( (fun () -> Ewalk.Rotor.step rotor),
+        fun () -> Ewalk.Rotor.position rotor ));
+
+  (* Simple random walk: memoryless anyway. *)
+  let srw = Ewalk.Srw.create g (Rng.create ~seed:9 ()) ~start:0 in
+  patrol "srw" g ~reset:(fun _round ->
+      ((fun () -> Ewalk.Srw.step srw), fun () -> Ewalk.Srw.position srw));
+
+  (* Least-used-first: persistent edge counters equalise long-run load. *)
+  let luf =
+    Ewalk.Fair.create ~random_ties:true ~strategy:Ewalk.Fair.Least_used_first
+      g (Rng.create ~seed:11 ()) ~start:0
+  in
+  patrol "least-used-first" g ~reset:(fun _round ->
+      ((fun () -> Ewalk.Fair.step luf), fun () -> Ewalk.Fair.position luf));
+
+  print_newline ();
+  print_endline
+    "edge-aware walks (e-process, least-used-first, rotor) sweep the torus in";
+  print_endline
+    "a small multiple of n and keep idle gaps tight; the memoryless SRW pays";
+  print_endline
+    "the coupon-collector tax on every sweep.  (the torus is no expander -";
+  print_endline
+    "on a random 4-regular graph the e-process sweep drops to ~2n steps.)"

@@ -1,0 +1,51 @@
+(* Exhaustive search on the hypercube: the paper's edge-cover example.
+
+   Section 1 works out the E-process on the hypercube H_r: its edge cover
+   time is Theta(n log n), beating both the Theta(n log^2 n) edge cover of a
+   simple random walk and the eq. (2) bound.  Concretely: an agent that must
+   test every LINK of a hypercube interconnect (not just touch every node)
+   finishes a log-factor sooner if it prefers untested links.
+
+   This example measures both processes on H_10..H_13 and prints the
+   normalised columns that should stay flat.
+
+   Run with:  dune exec examples/search_hypercube.exe *)
+
+module Graph = Ewalk_graph.Graph
+module Rng = Ewalk_prng.Rng
+
+let () =
+  Printf.printf
+    "testing every link of H_r: E-process vs simple random walk\n\n";
+  Printf.printf "%3s %8s %9s | %12s %14s | %12s %16s\n" "r" "n" "m" "C_E(E)"
+    "/(n ln n)" "C_E(SRW)" "/(n ln^2 n)";
+  List.iter
+    (fun r ->
+      let g = Ewalk_graph.Gen_classic.hypercube r in
+      let n = Graph.n g and m = Graph.m g in
+      let rng = Rng.create ~seed:(50 + r) () in
+      let ep = Ewalk.Eprocess.create g rng ~start:0 in
+      let ep_cover =
+        Ewalk.Cover.run_until_edge_cover (Ewalk.Eprocess.process ep)
+      in
+      let srw = Ewalk.Srw.create g rng ~start:0 in
+      let srw_cover =
+        Ewalk.Cover.run_until_edge_cover (Ewalk.Srw.process srw)
+      in
+      match (ep_cover, srw_cover) with
+      | Some ep_t, Some srw_t ->
+          let fn = float_of_int n in
+          let nl = fn *. log fn in
+          Printf.printf "%3d %8d %9d | %12d %14.3f | %12d %16.3f\n" r n m ep_t
+            (float_of_int ep_t /. nl)
+            srw_t
+            (float_of_int srw_t /. (nl *. log fn))
+      | _ -> Printf.printf "%3d: step cap hit\n" r)
+    [ 10; 11; 12; 13 ];
+  print_newline ();
+  print_endline
+    "both normalised columns are ~constant: the E-process saves a full";
+  print_endline
+    "Theta(log n) factor on edge cover, exactly as the paper's example says.";
+  print_endline
+    "(H_r has odd degree for odd r - the edge-cover result needs no parity.)"

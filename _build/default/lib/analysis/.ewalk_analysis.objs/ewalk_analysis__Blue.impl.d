@@ -1,0 +1,1 @@
+lib/analysis/blue.ml: Array Ewalk_graph Graph Hashtbl List Queue

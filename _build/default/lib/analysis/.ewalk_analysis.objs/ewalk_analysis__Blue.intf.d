@@ -1,0 +1,1 @@
+lib/analysis/blue.mli: Ewalk_graph Graph

@@ -1,0 +1,1 @@
+lib/analysis/goodness.ml: Array Ewalk_graph Float Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/analysis/goodness.mli: Ewalk_graph Graph

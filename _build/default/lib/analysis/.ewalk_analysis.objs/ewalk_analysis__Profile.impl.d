@@ -1,0 +1,1 @@
+lib/analysis/profile.ml: Array Ewalk Ewalk_graph Fit List

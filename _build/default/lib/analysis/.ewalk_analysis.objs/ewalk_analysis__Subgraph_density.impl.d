@@ -1,0 +1,1 @@
+lib/analysis/subgraph_density.ml: Array Ewalk_graph Ewalk_prng Float Graph Hashtbl List

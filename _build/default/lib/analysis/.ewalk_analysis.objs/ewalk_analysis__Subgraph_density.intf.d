@@ -1,0 +1,1 @@
+lib/analysis/subgraph_density.mli: Ewalk_graph Ewalk_prng Graph

@@ -1,0 +1,127 @@
+open Ewalk_graph
+
+type component = {
+  vertices : Graph.vertex array;
+  edges : Graph.edge array;
+}
+
+let check_flags g visited =
+  if Array.length visited <> Graph.m g then
+    invalid_arg "Blue: visited array length <> m"
+
+let blue_degree g ~visited v =
+  check_flags g visited;
+  Graph.fold_neighbors g v
+    (fun acc _ e -> if visited.(e) then acc else acc + 1)
+    0
+
+let components g ~visited =
+  check_flags g visited;
+  let n = Graph.n g in
+  let seen_vertex = Array.make n false in
+  let out = ref [] in
+  let queue = Queue.create () in
+  for s = 0 to n - 1 do
+    if not seen_vertex.(s) then begin
+      (* Only vertices carrying a blue edge seed a component. *)
+      let has_blue =
+        Graph.fold_neighbors g s
+          (fun acc _ e -> acc || not visited.(e))
+          false
+      in
+      if has_blue then begin
+        let vs = ref [] and es = ref [] in
+        let edge_in = Hashtbl.create 16 in
+        seen_vertex.(s) <- true;
+        Queue.add s queue;
+        while not (Queue.is_empty queue) do
+          let v = Queue.take queue in
+          vs := v :: !vs;
+          Graph.iter_neighbors g v (fun w e ->
+              if not visited.(e) then begin
+                if not (Hashtbl.mem edge_in e) then begin
+                  Hashtbl.add edge_in e ();
+                  es := e :: !es
+                end;
+                if not seen_vertex.(w) then begin
+                  seen_vertex.(w) <- true;
+                  Queue.add w queue
+                end
+              end)
+        done;
+        let vertices = Array.of_list !vs in
+        Array.sort compare vertices;
+        let edges = Array.of_list !es in
+        Array.sort compare edges;
+        out := { vertices; edges } :: !out
+      end
+    end
+  done;
+  List.rev !out
+
+let component_of_vertex g ~visited v =
+  check_flags g visited;
+  if blue_degree g ~visited v = 0 then None
+  else begin
+    let n = Graph.n g in
+    let seen_vertex = Array.make n false in
+    let queue = Queue.create () in
+    let vs = ref [] and es = ref [] in
+    let edge_in = Hashtbl.create 16 in
+    seen_vertex.(v) <- true;
+    Queue.add v queue;
+    while not (Queue.is_empty queue) do
+      let x = Queue.take queue in
+      vs := x :: !vs;
+      Graph.iter_neighbors g x (fun w e ->
+          if not visited.(e) then begin
+            if not (Hashtbl.mem edge_in e) then begin
+              Hashtbl.add edge_in e ();
+              es := e :: !es
+            end;
+            if not seen_vertex.(w) then begin
+              seen_vertex.(w) <- true;
+              Queue.add w queue
+            end
+          end)
+    done;
+    let vertices = Array.of_list !vs in
+    Array.sort compare vertices;
+    let edges = Array.of_list !es in
+    Array.sort compare edges;
+    Some { vertices; edges }
+  end
+
+let all_blue_degrees_even g ~visited =
+  check_flags g visited;
+  let ok = ref true in
+  for v = 0 to Graph.n g - 1 do
+    if blue_degree g ~visited v land 1 = 1 then ok := false
+  done;
+  !ok
+
+let star_center g comp =
+  if Array.length comp.edges < 2 then None
+  else begin
+    let u0, v0 = Graph.endpoints g comp.edges.(0) in
+    if u0 = v0 then None
+    else begin
+      let still_ok c =
+        Array.for_all
+          (fun e ->
+            let u, v = Graph.endpoints g e in
+            u <> v && (u = c || v = c))
+          comp.edges
+      in
+      if still_ok u0 then Some u0 else if still_ok v0 then Some v0 else None
+    end
+  end
+
+let star_census g ~visited =
+  let comps = components g ~visited in
+  let stars =
+    List.fold_left
+      (fun acc c -> if star_center g c <> None then acc + 1 else acc)
+      0 comps
+  in
+  (stars, List.length comps)

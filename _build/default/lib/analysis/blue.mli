@@ -1,0 +1,45 @@
+(** Blue-subgraph analysis: the unvisited-edge structure of a paused
+    E-process.
+
+    The paper's proofs revolve around the subgraph of {e blue} (unvisited)
+    edges: on even-degree graphs every vertex always has even blue degree
+    while the process is in a red phase (Observation 11), unvisited vertices
+    sit inside blue components, and on 3-regular graphs the first blue walk
+    strands ~n/8 of the vertices at the centre of isolated blue stars
+    (Section 5).  This module extracts those structures from a process'
+    {!Ewalk.Coverage} snapshot. *)
+
+open Ewalk_graph
+
+type component = {
+  vertices : Graph.vertex array; (** vertices with >= 1 blue edge, sorted *)
+  edges : Graph.edge array; (** the component's blue edges *)
+}
+
+val blue_degree : Graph.t -> visited:bool array -> Graph.vertex -> int
+(** Unvisited edges incident with the vertex ([visited.(e) = true] means
+    red; a blue self-loop counts 2). *)
+
+val components : Graph.t -> visited:bool array -> component list
+(** Connected components of the blue edge-induced subgraph.  Vertices with
+    no blue edges belong to no component. *)
+
+val component_of_vertex :
+  Graph.t -> visited:bool array -> Graph.vertex -> component option
+(** The blue component containing the vertex (the [S*_v] of Observation 11
+    when the vertex is unvisited), or [None] if all its edges are red. *)
+
+val all_blue_degrees_even : Graph.t -> visited:bool array -> bool
+(** Observation 11.2 — holds on even-degree graphs whenever the E-process
+    is in a red phase. *)
+
+val star_center : Graph.t -> component -> Graph.vertex option
+(** [Some c] if every edge of the component is incident with [c] and the
+    component has at least 2 edges and no self-loop — i.e. the component is
+    a star with centre [c]. *)
+
+val star_census : Graph.t -> visited:bool array -> int * int
+(** [(stars, components)]: the number of blue components that are stars,
+    and the total number of blue components.  On 3-regular graphs, stars
+    here are exactly the isolated [K_{1,3}]s of the paper's Section 5
+    argument. *)

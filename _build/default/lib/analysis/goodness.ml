@@ -1,0 +1,134 @@
+open Ewalk_graph
+
+type bound = { lower : int; witness : int option }
+
+type cycle_info = {
+  c_edges : int array;
+  c_vertices : int array;
+  incident_mask : int; (* bitmask over the incident-edge indices of v *)
+}
+
+let vertices_of_edge_list g edges =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let u, v = Graph.endpoints g e in
+      Hashtbl.replace seen u ();
+      Hashtbl.replace seen v ())
+    edges;
+  let out = Hashtbl.fold (fun v () acc -> v :: acc) seen [] in
+  Array.of_list out
+
+let ell_of_vertex g v ~max_len =
+  if max_len < 1 then invalid_arg "Goodness.ell_of_vertex: max_len < 1";
+  let d = Graph.degree g v in
+  if d = 0 then invalid_arg "Goodness.ell_of_vertex: isolated vertex";
+  if d land 1 = 1 then
+    invalid_arg "Goodness.ell_of_vertex: vertex of odd degree";
+  if d > 62 then invalid_arg "Goodness.ell_of_vertex: degree > 62";
+  (* Index the incident edges of v; a self-loop occupies one index. *)
+  let incident = ref [] in
+  Graph.iter_neighbors g v (fun _ e ->
+      if not (List.mem e !incident) then incident := e :: !incident);
+  let incident = Array.of_list (List.rev !incident) in
+  let index_of_edge e =
+    let idx = ref (-1) in
+    Array.iteri (fun i e' -> if e' = e then idx := i) incident;
+    !idx
+  in
+  let full_mask = (1 lsl Array.length incident) - 1 in
+  let cycles =
+    List.map
+      (fun edges ->
+        let mask =
+          List.fold_left
+            (fun acc e ->
+              let i = index_of_edge e in
+              if i >= 0 then acc lor (1 lsl i) else acc)
+            0 edges
+        in
+        {
+          c_edges = Array.of_list edges;
+          c_vertices = vertices_of_edge_list g edges;
+          incident_mask = mask;
+        })
+      (Ewalk_graph.Girth.cycles_through g v ~max_len)
+  in
+  let cycles = Array.of_list cycles in
+  (* Group cycles by their lowest uncovered incident index for the exact
+     cover search. *)
+  let edge_used = Array.make (Graph.m g) false in
+  let vertex_mult = Array.make (Graph.n g) 0 in
+  let union_size = ref 0 in
+  let best = ref max_int in
+  let add_cycle c =
+    Array.iter (fun e -> edge_used.(e) <- true) c.c_edges;
+    Array.iter
+      (fun u ->
+        if vertex_mult.(u) = 0 then incr union_size;
+        vertex_mult.(u) <- vertex_mult.(u) + 1)
+      c.c_vertices
+  in
+  let remove_cycle c =
+    Array.iter (fun e -> edge_used.(e) <- false) c.c_edges;
+    Array.iter
+      (fun u ->
+        vertex_mult.(u) <- vertex_mult.(u) - 1;
+        if vertex_mult.(u) = 0 then decr union_size)
+      c.c_vertices
+  in
+  let cycle_ok covered c =
+    (* Must cover at least one new incident edge, never reuse an edge, and
+       never re-cover an incident edge already covered. *)
+    c.incident_mask land covered = 0
+    && Array.for_all (fun e -> not edge_used.(e)) c.c_edges
+  in
+  let rec search covered =
+    if covered = full_mask then begin
+      if !union_size < !best then best := !union_size
+    end
+    else if !union_size < !best then begin
+      (* Branch on the lowest uncovered incident edge. *)
+      let target = ref 0 in
+      while covered land (1 lsl !target) <> 0 do
+        incr target
+      done;
+      let bit = 1 lsl !target in
+      Array.iter
+        (fun c ->
+          if c.incident_mask land bit <> 0 && cycle_ok covered c then begin
+            add_cycle c;
+            search (covered lor c.incident_mask);
+            remove_cycle c
+          end)
+        cycles
+    end
+  in
+  search 0;
+  if !best < max_int then begin
+    let w = !best in
+    if w <= max_len + 1 then { lower = w; witness = Some w }
+    else { lower = max_len + 1; witness = Some w }
+  end
+  else { lower = max_len + 1; witness = None }
+
+let ell_good g ~ell =
+  if ell < 1 then invalid_arg "Goodness.ell_good: ell < 1";
+  if not (Graph.all_degrees_even g) then
+    invalid_arg "Goodness.ell_good: graph has a vertex of odd degree";
+  let ok = ref true in
+  let v = ref 0 in
+  while !ok && !v < Graph.n g do
+    if Graph.degree g !v > 0 then begin
+      let b = ell_of_vertex g !v ~max_len:ell in
+      if b.lower < ell then ok := false
+    end;
+    incr v
+  done;
+  !ok
+
+let ell_lower_bound_p2 g =
+  let n = float_of_int (Graph.n g) in
+  let r = float_of_int (max 1 (Graph.max_degree g)) in
+  let value = log n /. (4.0 *. log (r *. Float.exp 1.0)) in
+  max 1 (int_of_float (Float.floor value))

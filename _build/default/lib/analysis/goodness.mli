@@ -1,0 +1,41 @@
+(** [ell]-goodness: the local expansion property of Theorem 1.
+
+    A vertex [v] is [ell]-good if every even-degree subgraph containing all
+    edges incident with [v] spans at least [ell] vertices; a graph is
+    [ell]-good if every vertex is.  Such a subgraph decomposes into
+    edge-disjoint cycles, and the cycles meeting [v]'s incident edges all
+    pass through [v], so the minimal witness is a union of [d(v)/2]
+    edge-disjoint cycles through [v] covering all its incident edges.  We
+    search that space exactly over cycles of bounded length; when no witness
+    made of short cycles exists, any witness contains a long cycle, whose
+    vertex count alone certifies the lower bound. *)
+
+open Ewalk_graph
+
+type bound = {
+  lower : int; (** certified: every witness spans >= [lower] vertices *)
+  witness : int option;
+      (** vertex count of the smallest witness found, if any — an upper
+          bound on [ell(v)]; [lower = w] when [Some w] is exact *)
+}
+
+val ell_of_vertex : Graph.t -> Graph.vertex -> max_len:int -> bound
+(** Bounds on [ell(v)] from an exhaustive search over witnesses whose
+    cycles all have length [<= max_len].  If the best such witness spans
+    [<= max_len + 1] vertices it is globally minimal ([lower = witness]);
+    otherwise witnesses using longer cycles might be smaller, and only
+    [lower = max_len + 1] is certified.  Exponential in [max_len]; intended
+    for [max_len = O(log n)] on bounded-degree graphs.
+    @raise Invalid_argument if [v] has odd degree (no finite witness need
+    exist) or [max_len < 1]. *)
+
+val ell_good : Graph.t -> ell:int -> bool
+(** [ell_good g ~ell]: certified check that every vertex is [ell]-good
+    (runs {!ell_of_vertex} with [max_len = ell] at every vertex).
+    @raise Invalid_argument if the graph has a vertex of odd degree. *)
+
+val ell_lower_bound_p2 : Graph.t -> int
+(** The paper's property-P2 bound for random regular graphs (proof of
+    Corollary 2): [ell >= log n / (4 log (r e))] where [r] is the maximum
+    degree — meaningful only on families where P2 actually holds, but
+    printable next to measured values for comparison. *)

@@ -1,0 +1,71 @@
+type point = {
+  steps : int;
+  unvisited_vertices : int;
+  unvisited_edges : int;
+}
+
+type t = {
+  points : point list;
+  cover_step : int option;
+}
+
+let snapshot (p : Ewalk.Cover.process) =
+  let cov = p.Ewalk.Cover.coverage in
+  {
+    steps = p.Ewalk.Cover.steps_done ();
+    unvisited_vertices =
+      Ewalk_graph.Graph.n p.Ewalk.Cover.graph - Ewalk.Coverage.vertices_visited cov;
+    unvisited_edges =
+      Ewalk_graph.Graph.m p.Ewalk.Cover.graph - Ewalk.Coverage.edges_visited cov;
+  }
+
+let run ?cap ~checkpoint_every (p : Ewalk.Cover.process) =
+  if checkpoint_every < 1 then invalid_arg "Profile.run: checkpoint_every < 1";
+  let cap =
+    match cap with Some c -> c | None -> Ewalk.Cover.default_cap p.Ewalk.Cover.graph
+  in
+  let points = ref [ snapshot p ] in
+  let finished () =
+    Ewalk.Coverage.all_vertices_visited p.Ewalk.Cover.coverage
+  in
+  while (not (finished ())) && p.Ewalk.Cover.steps_done () < cap do
+    let burst = min checkpoint_every (cap - p.Ewalk.Cover.steps_done ()) in
+    let i = ref 0 in
+    while !i < burst && not (finished ()) do
+      p.Ewalk.Cover.step ();
+      incr i
+    done;
+    points := snapshot p :: !points
+  done;
+  {
+    points = List.rev !points;
+    cover_step = Ewalk.Coverage.vertex_cover_step p.Ewalk.Cover.coverage;
+  }
+
+let stragglers_at t ~steps =
+  let rec find = function
+    | [] -> None
+    | pt :: rest ->
+        if pt.steps >= steps then Some pt.unvisited_vertices else find rest
+  in
+  find t.points
+
+let decay_rate t ~n =
+  let usable =
+    List.filter_map
+      (fun pt ->
+        if pt.unvisited_vertices > 0 && pt.steps > 0 then
+          Some
+            ( float_of_int pt.steps /. float_of_int n,
+              log (float_of_int pt.unvisited_vertices /. float_of_int n) )
+        else None)
+      t.points
+  in
+  match usable with
+  | [] | [ _ ] -> None
+  | pts ->
+      let xs = Array.of_list (List.map fst pts) in
+      let ys = Array.of_list (List.map snd pts) in
+      (match Fit.affine xs ys with
+      | f -> Some f.Fit.slope
+      | exception Invalid_argument _ -> None)

@@ -1,0 +1,36 @@
+(** Coverage profiles: how coverage evolves over a walk's lifetime.
+
+    The cover time is one number; the profile [u(t)] — unvisited vertices
+    (or edges) after [t] transitions — is the whole curve, and it is where
+    the even/odd contrast of the paper becomes visible: on even-degree
+    expanders the E-process drives [u(t)] to zero linearly, while odd
+    degrees leave a straggler population that only coupon-collecting
+    removes.  This module samples profiles at fixed checkpoints of any
+    {!Ewalk.Cover.process} and fits their decay. *)
+
+type point = {
+  steps : int;
+  unvisited_vertices : int;
+  unvisited_edges : int;
+}
+
+type t = {
+  points : point list; (** chronological; last point is at stop time *)
+  cover_step : int option; (** vertex cover time if reached *)
+}
+
+val run :
+  ?cap:int -> checkpoint_every:int -> Ewalk.Cover.process -> t
+(** Drive the process to vertex coverage (or [cap], default
+    {!Ewalk.Cover.default_cap}), recording a point every
+    [checkpoint_every] transitions.
+    @raise Invalid_argument if [checkpoint_every < 1]. *)
+
+val stragglers_at : t -> steps:int -> int option
+(** Unvisited vertices at the first checkpoint at or after [steps]. *)
+
+val decay_rate : t -> n:int -> float option
+(** Least-squares slope of [ln (u(t)/n)] against [t/n] over the checkpoints
+    with [u(t) > 0]: the exponential decay rate of the straggler
+    population, in units of [1/n] steps.  [None] with fewer than two usable
+    checkpoints. *)

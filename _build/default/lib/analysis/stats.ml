@@ -1,0 +1,83 @@
+type summary = {
+  count : int;
+  mean : float;
+  std : float;
+  stderr : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty sample";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.variance: empty sample";
+  if n = 1 then 0.0
+  else begin
+    let mu = mean xs in
+    let ss =
+      Array.fold_left (fun acc x -> acc +. ((x -. mu) *. (x -. mu))) 0.0 xs
+    in
+    ss /. float_of_int (n - 1)
+  end
+
+let std xs = sqrt (variance xs)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty sample";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = quantile xs 0.5
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  let mu = mean xs in
+  let sd = std xs in
+  {
+    count = n;
+    mean = mu;
+    std = sd;
+    stderr = sd /. sqrt (float_of_int n);
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+    median = median xs;
+  }
+
+let summarize_ints xs = summarize (Array.map float_of_int xs)
+
+let confidence_95 xs =
+  let s = summarize xs in
+  (s.mean -. (1.96 *. s.stderr), s.mean +. (1.96 *. s.stderr))
+
+module Online = struct
+  type t = { mutable n : int; mutable mu : float; mutable m2 : float }
+
+  let create () = { n = 0; mu = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mu in
+    t.mu <- t.mu +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mu))
+
+  let count t = t.n
+  let mean t = t.mu
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let std t = sqrt (variance t)
+end

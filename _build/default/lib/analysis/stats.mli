@@ -1,0 +1,52 @@
+(** Descriptive statistics for trial aggregation.
+
+    Cover times are averaged over repeated trials (Figure 1 uses 5 per
+    point); this module provides the summary numbers the experiment tables
+    print, plus a Welford online accumulator so long sweeps never hold all
+    samples in memory. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  std : float; (** sample standard deviation (n - 1 denominator) *)
+  stderr : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+(** @raise Invalid_argument on an empty array. *)
+
+val summarize_ints : int array -> summary
+
+val mean : float array -> float
+val variance : float array -> float
+(** Sample variance ([n - 1] denominator); 0 for singleton input. *)
+
+val std : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q], [0 <= q <= 1], by linear interpolation on the sorted
+    sample.  @raise Invalid_argument on empty input or [q] outside
+    [\[0,1\]]. *)
+
+val median : float array -> float
+
+val confidence_95 : float array -> float * float
+(** Normal-approximation 95% confidence interval for the mean:
+    [(mean - 1.96 se, mean + 1.96 se)]. *)
+
+(** Online mean/variance accumulator (Welford). *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  (** Sample variance; 0 with fewer than 2 samples. *)
+
+  val std : t -> float
+end

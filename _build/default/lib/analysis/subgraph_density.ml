@@ -1,0 +1,63 @@
+open Ewalk_graph
+module Rng = Ewalk_prng.Rng
+
+let induced_edge_count g vs =
+  let in_set = Hashtbl.create (2 * Array.length vs) in
+  Array.iter (fun v -> Hashtbl.replace in_set v ()) vs;
+  Graph.fold_edges g
+    (fun acc _ u v ->
+      if Hashtbl.mem in_set u && Hashtbl.mem in_set v then acc + 1 else acc)
+    0
+
+let random_connected_set rng g ~s =
+  if s < 1 || s > Graph.n g then
+    invalid_arg "Subgraph_density.random_connected_set: bad size";
+  let seed = Rng.int rng (Graph.n g) in
+  let in_set = Hashtbl.create (2 * s) in
+  let frontier = ref [] in
+  let push_neighbors v =
+    Graph.iter_neighbors g v (fun w _ ->
+        if not (Hashtbl.mem in_set w) then frontier := w :: !frontier)
+  in
+  Hashtbl.replace in_set seed ();
+  push_neighbors seed;
+  let size = ref 1 in
+  let stuck = ref false in
+  while !size < s && not !stuck do
+    (* Pick a uniform frontier entry; drop stale ones lazily. *)
+    let fresh = List.filter (fun w -> not (Hashtbl.mem in_set w)) !frontier in
+    match fresh with
+    | [] -> stuck := true
+    | _ ->
+        let arr = Array.of_list fresh in
+        let w = arr.(Rng.int rng (Array.length arr)) in
+        Hashtbl.replace in_set w ();
+        incr size;
+        frontier := fresh;
+        push_neighbors w
+  done;
+  if !size = s then begin
+    let out = Hashtbl.fold (fun v () acc -> v :: acc) in_set [] in
+    Some (Array.of_list out)
+  end
+  else None
+
+let max_density_sampled rng g ~s ~samples =
+  let best = ref 0 in
+  for _ = 1 to samples do
+    match random_connected_set rng g ~s with
+    | None -> ()
+    | Some vs ->
+        let c = induced_edge_count g vs in
+        if c > !best then best := c
+  done;
+  !best
+
+let p2_excess_allowance g ~s =
+  let n = float_of_int (max 2 (Graph.n g)) in
+  let r = float_of_int (max 1 (Graph.max_degree g)) in
+  int_of_float
+    (Float.floor (2.0 *. float_of_int s *. log (r *. Float.exp 1.0) /. log n))
+
+let p2_holds_sampled rng g ~s ~samples =
+  max_density_sampled rng g ~s ~samples <= s + p2_excess_allowance g ~s

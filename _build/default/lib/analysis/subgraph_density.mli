@@ -1,0 +1,36 @@
+(** Small-subgraph edge density: the paper's property P2.
+
+    P2 states that whp no set of [s = O(log n)] vertices of a random
+    [r]-regular graph induces more than [s + a] edges, with
+    [a = floor (2 s log (re) / log n)]; in particular no set of size
+    [s <= log n / (4 log (re))] induces more than [s] edges.  This property
+    is what makes random regular graphs [Omega(log n)]-good (Corollary 2).
+    We audit it by sampling random connected vertex sets and by exhaustive
+    BFS-tree enumeration on small graphs. *)
+
+open Ewalk_graph
+
+val induced_edge_count : Graph.t -> Graph.vertex array -> int
+(** Number of edges with both endpoints in the given (distinct) set. *)
+
+val random_connected_set :
+  Ewalk_prng.Rng.t -> Graph.t -> s:int -> Graph.vertex array option
+(** A random connected vertex set of size [s], grown by a uniform frontier
+    expansion from a random seed; [None] if the seed's component has fewer
+    than [s] vertices.  The distribution is not uniform over all connected
+    sets, but it is supported on all of them, which suffices for a density
+    audit. *)
+
+val max_density_sampled :
+  Ewalk_prng.Rng.t -> Graph.t -> s:int -> samples:int -> int
+(** Largest induced-edge count observed over the given number of sampled
+    connected [s]-sets (0 if no set could be grown). *)
+
+val p2_excess_allowance : Graph.t -> s:int -> int
+(** The paper's [a = floor (2 s log (re) / log n)] for this graph's maximum
+    degree. *)
+
+val p2_holds_sampled :
+  Ewalk_prng.Rng.t -> Graph.t -> s:int -> samples:int -> bool
+(** Sampled audit: no sampled connected [s]-set induces more than [s + a]
+    edges. *)

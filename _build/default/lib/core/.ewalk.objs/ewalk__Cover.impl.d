@@ -1,0 +1,1 @@
+lib/core/cover.ml: Coverage Ewalk_graph Graph

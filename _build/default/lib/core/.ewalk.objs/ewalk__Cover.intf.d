@@ -1,0 +1,1 @@
+lib/core/cover.mli: Coverage Ewalk_graph Graph

@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Array Ewalk_graph Graph

@@ -1,0 +1,1 @@
+lib/core/fair.ml: Array Cover Coverage Ewalk_graph Ewalk_prng Graph

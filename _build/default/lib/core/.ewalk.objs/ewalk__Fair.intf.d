@@ -1,0 +1,1 @@
+lib/core/fair.mli: Cover Coverage Ewalk_graph Ewalk_prng Graph

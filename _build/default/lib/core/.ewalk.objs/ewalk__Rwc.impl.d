@@ -1,0 +1,1 @@
+lib/core/rwc.ml: Cover Coverage Ewalk_graph Ewalk_prng Graph Printf

@@ -1,0 +1,1 @@
+lib/core/rwc.mli: Cover Coverage Ewalk_graph Ewalk_prng Graph

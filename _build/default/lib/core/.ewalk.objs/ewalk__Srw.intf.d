@@ -1,0 +1,1 @@
+lib/core/srw.mli: Cover Coverage Ewalk_graph Ewalk_prng Graph

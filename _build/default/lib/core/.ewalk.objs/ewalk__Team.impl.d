@@ -1,0 +1,1 @@
+lib/core/team.ml: Array Cover Coverage Ewalk_graph Ewalk_prng Graph List Printf Unvisited

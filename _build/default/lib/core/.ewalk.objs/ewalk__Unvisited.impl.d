@@ -1,0 +1,1 @@
+lib/core/unvisited.ml: Array Ewalk_graph Graph Hashtbl

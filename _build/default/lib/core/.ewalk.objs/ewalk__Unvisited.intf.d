@@ -1,0 +1,1 @@
+lib/core/unvisited.mli: Ewalk_graph Graph

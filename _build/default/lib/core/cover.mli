@@ -1,0 +1,44 @@
+(** Process-agnostic cover-time runners.
+
+    Every walk process in this library exposes an adapter to {!process};
+    experiments then measure vertex cover time, edge cover time, or
+    [k]-cover time through one code path, so that all processes are compared
+    under identical accounting: step 0 is the start vertex, and the cover
+    time is the index of the transition that completed coverage — matching
+    the paper's definition of [C_V] as expected visit time of the last
+    vertex. *)
+
+open Ewalk_graph
+
+type process = {
+  name : string;  (** display name, e.g. ["e-process(uar)"] *)
+  graph : Graph.t;
+  position : unit -> Graph.vertex;
+  step : unit -> unit;  (** perform one transition *)
+  steps_done : unit -> int;
+  coverage : Coverage.t;
+}
+
+val run_until_vertex_cover : ?cap:int -> process -> int option
+(** Step until every vertex has been visited; [Some t] is the step index of
+    the covering transition.  [None] if [cap] transitions (default
+    [max_int]) elapsed first.  Resumable: already-performed steps count. *)
+
+val run_until_edge_cover : ?cap:int -> process -> int option
+(** Same for edge coverage. *)
+
+val run_until_min_visits : ?cap:int -> k:int -> process -> int option
+(** Step until every vertex has been visited at least [k] times (the
+    quantity behind the blanket-time discussion around eq. (4)).  The
+    condition is only re-checked every [n/4] transitions (a full check costs
+    O(n)), so the returned step count may overshoot the exact threshold by
+    up to [n/4] — negligible against the [Omega(n log n)] scale of the
+    quantity itself. *)
+
+val run_steps : process -> int -> unit
+(** Perform exactly the given number of transitions. *)
+
+val default_cap : Graph.t -> int
+(** A generous default budget, [~ 2000 n (ln n + 1) + 10^5]: several hundred
+    times the expected cover time on the expander families studied here,
+    while still bounding runaway walks on pathological inputs. *)

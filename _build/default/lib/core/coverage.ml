@@ -1,0 +1,84 @@
+open Ewalk_graph
+
+type t = {
+  n : int;
+  m : int;
+  vertex_first : int array; (* -1 = unvisited *)
+  edge_first : int array;
+  visits : int array;
+  edge_count : int array;
+  mutable vertices_seen : int;
+  mutable edges_seen : int;
+  mutable vertex_cover_step : int; (* -1 until covered *)
+  mutable edge_cover_step : int;
+}
+
+let create g =
+  let n = Graph.n g and m = Graph.m g in
+  {
+    n;
+    m;
+    vertex_first = Array.make n (-1);
+    edge_first = Array.make m (-1);
+    visits = Array.make n 0;
+    edge_count = Array.make m 0;
+    vertices_seen = 0;
+    edges_seen = 0;
+    vertex_cover_step = (if n = 0 then 0 else -1);
+    edge_cover_step = (if m = 0 then 0 else -1);
+  }
+
+let record_move t ~step v =
+  t.visits.(v) <- t.visits.(v) + 1;
+  if t.vertex_first.(v) < 0 then begin
+    t.vertex_first.(v) <- step;
+    t.vertices_seen <- t.vertices_seen + 1;
+    if t.vertices_seen = t.n then t.vertex_cover_step <- step
+  end
+
+let record_start t v = record_move t ~step:0 v
+
+let record_edge t ~step e =
+  t.edge_count.(e) <- t.edge_count.(e) + 1;
+  if t.edge_first.(e) < 0 then begin
+    t.edge_first.(e) <- step;
+    t.edges_seen <- t.edges_seen + 1;
+    if t.edges_seen = t.m then t.edge_cover_step <- step
+  end
+
+let vertex_visited t v = t.vertex_first.(v) >= 0
+let edge_visited t e = t.edge_first.(e) >= 0
+let vertices_visited t = t.vertices_seen
+let edges_visited t = t.edges_seen
+let all_vertices_visited t = t.vertices_seen = t.n
+let all_edges_visited t = t.edges_seen = t.m
+
+let vertex_cover_step t =
+  if t.vertex_cover_step < 0 then None else Some t.vertex_cover_step
+
+let edge_cover_step t =
+  if t.edge_cover_step < 0 then None else Some t.edge_cover_step
+
+let first_visit t v = t.vertex_first.(v)
+let first_edge_visit t e = t.edge_first.(e)
+let visit_count t v = t.visits.(v)
+let edge_traversals t e = t.edge_count.(e)
+
+let min_visit_count t =
+  Array.fold_left (fun acc c -> if c < acc then c else acc) max_int t.visits
+
+let unvisited_vertices t =
+  let acc = ref [] in
+  for v = t.n - 1 downto 0 do
+    if t.vertex_first.(v) < 0 then acc := v :: !acc
+  done;
+  !acc
+
+let unvisited_edges t =
+  let acc = ref [] in
+  for e = t.m - 1 downto 0 do
+    if t.edge_first.(e) < 0 then acc := e :: !acc
+  done;
+  !acc
+
+let visited_edge_flags t = Array.map (fun s -> s >= 0) t.edge_first

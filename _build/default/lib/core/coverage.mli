@@ -1,0 +1,59 @@
+(** Shared coverage instrumentation for all walk processes.
+
+    Tracks which vertices and edges have been visited, when they were first
+    visited, and how often each vertex has been occupied.  Every process in
+    this library owns one [Coverage.t] and reports each transition to it;
+    the generic runners in {!Cover} read cover times out of it. *)
+
+open Ewalk_graph
+
+type t
+
+val create : Graph.t -> t
+(** Fresh instrumentation with nothing visited. *)
+
+val record_start : t -> Graph.vertex -> unit
+(** Mark the walk's start vertex as visited at step 0. *)
+
+val record_move : t -> step:int -> Graph.vertex -> unit
+(** [record_move t ~step v]: the walk occupies [v] after its [step]-th
+    transition. *)
+
+val record_edge : t -> step:int -> Graph.edge -> unit
+(** [record_edge t ~step e]: transition number [step] traversed [e].
+    Idempotent (repeat traversals only bump {!edge_traversals}). *)
+
+val vertex_visited : t -> Graph.vertex -> bool
+val edge_visited : t -> Graph.edge -> bool
+
+val vertices_visited : t -> int
+(** Number of distinct vertices visited so far. *)
+
+val edges_visited : t -> int
+
+val all_vertices_visited : t -> bool
+val all_edges_visited : t -> bool
+
+val vertex_cover_step : t -> int option
+(** The step at which the last vertex was first visited, once all are. *)
+
+val edge_cover_step : t -> int option
+
+val first_visit : t -> Graph.vertex -> int
+(** Step of first visit, [-1] if unvisited. *)
+
+val first_edge_visit : t -> Graph.edge -> int
+
+val visit_count : t -> Graph.vertex -> int
+(** How many times the walk has occupied the vertex (start counts once). *)
+
+val edge_traversals : t -> Graph.edge -> int
+
+val min_visit_count : t -> int
+(** Minimum vertex visit count (0 while some vertex is unvisited). *)
+
+val unvisited_vertices : t -> Graph.vertex list
+val unvisited_edges : t -> Graph.edge list
+
+val visited_edge_flags : t -> bool array
+(** A copy of the per-edge visited flags (for blue-subgraph analysis). *)

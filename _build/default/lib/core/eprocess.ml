@@ -1,0 +1,147 @@
+open Ewalk_graph
+module Rng = Ewalk_prng.Rng
+
+type t = {
+  g : Graph.t;
+  rng : Rng.t;
+  rule : rule;
+  mutable pos : Graph.vertex;
+  mutable steps : int;
+  mutable blue_steps : int;
+  mutable red_steps : int;
+  coverage : Coverage.t;
+  unvisited : Unvisited.t;
+  record_phases : bool;
+  mutable current_phase : (phase_kind * int * Graph.vertex) option;
+  mutable phases : phase list; (* reversed *)
+}
+
+and rule =
+  | Uar
+  | Lowest_slot
+  | Highest_slot
+  | Adversarial of (t -> Graph.edge array -> int)
+
+and phase_kind = Blue | Red
+
+and phase = {
+  kind : phase_kind;
+  start_step : int;
+  start_vertex : Graph.vertex;
+  end_step : int;
+  end_vertex : Graph.vertex;
+}
+
+let create ?(rule = Uar) ?(record_phases = false) g rng ~start =
+  if Graph.n g = 0 then invalid_arg "Eprocess.create: empty graph";
+  if start < 0 || start >= Graph.n g then
+    invalid_arg "Eprocess.create: start out of range";
+  let coverage = Coverage.create g in
+  Coverage.record_start coverage start;
+  {
+    g;
+    rng;
+    rule;
+    pos = start;
+    steps = 0;
+    blue_steps = 0;
+    red_steps = 0;
+    coverage;
+    unvisited = Unvisited.create g;
+    record_phases;
+    current_phase = None;
+    phases = [];
+  }
+
+let graph t = t.g
+let position t = t.pos
+let steps t = t.steps
+let blue_steps t = t.blue_steps
+let red_steps t = t.red_steps
+let coverage t = t.coverage
+let blue_degree t v = Unvisited.count t.unvisited v
+let unvisited_incident t v = Unvisited.incident_edges t.unvisited v
+let in_blue_phase t = Unvisited.count t.unvisited t.pos > 0
+
+let record_phase_transition t next_is_blue =
+  let now_kind = if next_is_blue then Blue else Red in
+  match t.current_phase with
+  | None -> t.current_phase <- Some (now_kind, t.steps, t.pos)
+  | Some (kind, start_step, start_vertex) ->
+      if kind <> now_kind then begin
+        if t.record_phases then
+          t.phases <-
+            {
+              kind;
+              start_step;
+              start_vertex;
+              end_step = t.steps;
+              end_vertex = t.pos;
+            }
+            :: t.phases;
+        t.current_phase <- Some (now_kind, t.steps, t.pos)
+      end
+
+let choose_blue_slot t =
+  let v = t.pos in
+  let k = Unvisited.count t.unvisited v in
+  match t.rule with
+  | Uar -> Unvisited.live_slot t.unvisited v (Rng.int t.rng k)
+  | Lowest_slot ->
+      let best = ref (Unvisited.live_slot t.unvisited v 0) in
+      for i = 1 to k - 1 do
+        let p = Unvisited.live_slot t.unvisited v i in
+        if p < !best then best := p
+      done;
+      !best
+  | Highest_slot ->
+      let best = ref (Unvisited.live_slot t.unvisited v 0) in
+      for i = 1 to k - 1 do
+        let p = Unvisited.live_slot t.unvisited v i in
+        if p > !best then best := p
+      done;
+      !best
+  | Adversarial f ->
+      let candidates = unvisited_incident t v in
+      let idx = f t candidates in
+      let idx = max 0 (min idx (Array.length candidates - 1)) in
+      Unvisited.slot_with_edge t.unvisited v candidates.(idx)
+
+let step t =
+  let v = t.pos in
+  let deg = Graph.degree t.g v in
+  if deg = 0 then invalid_arg "Eprocess.step: isolated vertex";
+  let blue = Unvisited.count t.unvisited v > 0 in
+  record_phase_transition t blue;
+  let slot =
+    if blue then choose_blue_slot t
+    else Graph.adj_start t.g v + Rng.int t.rng deg
+  in
+  let w = Graph.slot_vertex t.g slot in
+  let e = Graph.slot_edge t.g slot in
+  t.steps <- t.steps + 1;
+  if blue then begin
+    t.blue_steps <- t.blue_steps + 1;
+    Unvisited.retire_edge t.unvisited e
+  end
+  else t.red_steps <- t.red_steps + 1;
+  Coverage.record_edge t.coverage ~step:t.steps e;
+  t.pos <- w;
+  Coverage.record_move t.coverage ~step:t.steps w
+
+let phase_log t = List.rev t.phases
+
+let process t =
+  {
+    Cover.name =
+      (match t.rule with
+      | Uar -> "e-process(uar)"
+      | Lowest_slot -> "e-process(lowest-slot)"
+      | Highest_slot -> "e-process(highest-slot)"
+      | Adversarial _ -> "e-process(adversarial)");
+    graph = t.g;
+    position = (fun () -> t.pos);
+    step = (fun () -> step t);
+    steps_done = (fun () -> t.steps);
+    coverage = t.coverage;
+  }

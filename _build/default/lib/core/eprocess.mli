@@ -1,0 +1,89 @@
+(** The E-process: a random walk that prefers unvisited edges.
+
+    This is the paper's object of study.  At each step, if the current
+    vertex has unvisited ("blue") incident edges, the process moves along
+    one of them — chosen by an arbitrary {!rule} [A] — and marks it visited
+    ("red"); otherwise it performs a plain simple-random-walk step along a
+    uniformly random incident (necessarily red) edge.
+
+    Theorem 1's cover-time bound is independent of the rule, including
+    adversarial online rules, which is why the rule is a first-class
+    parameter here.
+
+    The unvisited-edge bookkeeping is O(1) per step for the uniform rule
+    (swap-partition over adjacency slots) and O(degree) for the scanning
+    rules — constant for the bounded-degree graphs the theorems cover.
+
+    The process also tracks the red/blue {e phase} structure used throughout
+    the paper's proofs: a blue phase is a maximal run of unvisited-edge
+    transitions, a red phase a maximal run of random-walk transitions.
+    Observation 10 (blue phases on even-degree graphs end where they began)
+    is checked by the test suite through {!phase_log}. *)
+
+open Ewalk_graph
+
+type t
+
+type rule =
+  | Uar  (** uniform among unvisited incident edges — the "greedy random
+             walk" of Orenshtein–Shinkar *)
+  | Lowest_slot
+      (** deterministic: first unvisited edge in adjacency order *)
+  | Highest_slot
+      (** deterministic: last unvisited edge in adjacency order *)
+  | Adversarial of (t -> Graph.edge array -> int)
+      (** online adversary: sees the full process state and the candidate
+          unvisited incident edges, returns the index of its choice.  An
+          out-of-range answer is clamped. *)
+
+type phase_kind = Blue | Red
+
+type phase = {
+  kind : phase_kind;
+  start_step : int; (** step count when the phase began *)
+  start_vertex : Graph.vertex;
+  end_step : int; (** step count when the phase ended *)
+  end_vertex : Graph.vertex;
+}
+
+val create :
+  ?rule:rule -> ?record_phases:bool -> Graph.t -> Ewalk_prng.Rng.t ->
+  start:Graph.vertex -> t
+(** [create g rng ~start] initialises the process at [start] with every edge
+    unvisited.  Default rule: {!Uar}.  [record_phases] (default [false])
+    retains the full phase log for invariant checking.
+    @raise Invalid_argument if [start] is out of range or [g] has no
+    vertices. *)
+
+val graph : t -> Graph.t
+val position : t -> Graph.vertex
+val steps : t -> int
+(** Total transitions so far ([blue_steps + red_steps]). *)
+
+val blue_steps : t -> int
+(** Transitions along previously unvisited edges. *)
+
+val red_steps : t -> int
+(** Simple-random-walk transitions (the embedded walk [W] of Obs. 12). *)
+
+val coverage : t -> Coverage.t
+
+val blue_degree : t -> Graph.vertex -> int
+(** Number of unvisited edges incident with the vertex right now. *)
+
+val unvisited_incident : t -> Graph.vertex -> Graph.edge array
+(** The unvisited incident edges (fresh array, unspecified order). *)
+
+val in_blue_phase : t -> bool
+(** [true] iff the {e next} transition would follow an unvisited edge. *)
+
+val step : t -> unit
+(** Perform one transition.  @raise Invalid_argument if the current vertex
+    is isolated. *)
+
+val phase_log : t -> phase list
+(** Completed phases in chronological order ([] unless [record_phases]).
+    The phase currently in progress is not included. *)
+
+val process : t -> Cover.process
+(** Adapter for the generic runners in {!Cover}. *)

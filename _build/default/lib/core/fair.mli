@@ -1,0 +1,37 @@
+(** Locally fair exploration strategies (Cooper, Ilcinkas, Klasing,
+    Kosowski).
+
+    Deterministic edge-choice walks from the paper's related work:
+
+    - {b Least-Used-First} leaves the current vertex along an incident edge
+      with the fewest traversals so far; covers all vertices in O(m D) and
+      equalises edge frequencies in the long run.
+    - {b Oldest-First} leaves along the incident edge whose last traversal
+      is oldest (never-traversed edges first); can be exponentially slow on
+      some graphs — the cited cautionary tale.
+
+    Tie-breaking is by lowest adjacency slot unless [~random_ties:true]. *)
+
+open Ewalk_graph
+
+type t
+
+type strategy = Least_used_first | Oldest_first
+
+val create :
+  ?random_ties:bool -> strategy:strategy -> Graph.t -> Ewalk_prng.Rng.t ->
+  start:Graph.vertex -> t
+(** @raise Invalid_argument if [start] is out of range. *)
+
+val graph : t -> Graph.t
+val position : t -> Graph.vertex
+val steps : t -> int
+val coverage : t -> Coverage.t
+
+val traversals : t -> Graph.edge -> int
+(** Times the given edge has been traversed (either direction). *)
+
+val step : t -> unit
+(** @raise Invalid_argument on an isolated vertex. *)
+
+val process : t -> Cover.process

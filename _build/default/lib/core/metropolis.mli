@@ -1,0 +1,28 @@
+(** Metropolis–Hastings walk with uniform stationary distribution.
+
+    The weighted-walk generality of Theorem 5 includes the Metropolis chain:
+    propose a uniform incident edge, accept a move from [u] to [w] with
+    probability [min(1, d(u)/d(w))], otherwise stay.  Its stationary
+    distribution is uniform over vertices regardless of the degree sequence,
+    making it the natural baseline on {e irregular} graphs, where the plain
+    SRW's cover time is distorted by stationary mass imbalance.  On regular
+    graphs it coincides with the SRW.  Still subject to the
+    [Omega(n log n)] lower bound of Theorem 5, being reversible. *)
+
+open Ewalk_graph
+
+type t
+
+val create : Graph.t -> Ewalk_prng.Rng.t -> start:Graph.vertex -> t
+(** @raise Invalid_argument if [start] is out of range. *)
+
+val graph : t -> Graph.t
+val position : t -> Graph.vertex
+val steps : t -> int
+val coverage : t -> Coverage.t
+
+val step : t -> unit
+(** One proposal (a rejected proposal is one transition that stays put).
+    @raise Invalid_argument on an isolated vertex. *)
+
+val process : t -> Cover.process

@@ -1,0 +1,25 @@
+(** Random walk with choice, RWC(d) (Avin–Krishnamachari).
+
+    The "power of choice" process from the paper's related work: at each
+    step sample [d] incident edges uniformly at random (with replacement)
+    and move to the endpoint that has been visited the fewest times so far,
+    breaking ties uniformly among the sampled minima.  [d = 1] degenerates
+    to the simple random walk. *)
+
+open Ewalk_graph
+
+type t
+
+val create : ?d:int -> Graph.t -> Ewalk_prng.Rng.t -> start:Graph.vertex -> t
+(** Default [d = 2].  @raise Invalid_argument if [d < 1] or [start] is out
+    of range. *)
+
+val graph : t -> Graph.t
+val position : t -> Graph.vertex
+val steps : t -> int
+val coverage : t -> Coverage.t
+
+val step : t -> unit
+(** @raise Invalid_argument on an isolated vertex. *)
+
+val process : t -> Cover.process

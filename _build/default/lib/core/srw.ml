@@ -1,0 +1,110 @@
+open Ewalk_graph
+module Rng = Ewalk_prng.Rng
+
+type kind =
+  | Simple
+  | Lazy
+  | Weighted of { cumulative : float array array }
+      (* cumulative.(v) : prefix sums of incident-slot weights at v *)
+
+type t = {
+  g : Graph.t;
+  rng : Rng.t;
+  kind : kind;
+  name : string;
+  mutable pos : Graph.vertex;
+  mutable steps : int;
+  coverage : Coverage.t;
+}
+
+let make g rng kind name start =
+  if start < 0 || start >= Graph.n g then
+    invalid_arg "Srw.create: start out of range";
+  let coverage = Coverage.create g in
+  Coverage.record_start coverage start;
+  { g; rng; kind; name; pos = start; steps = 0; coverage }
+
+let create g rng ~start = make g rng Simple "srw" start
+let create_lazy g rng ~start = make g rng Lazy "lazy-srw" start
+
+let create_weighted g rng ~weights ~start =
+  if Array.length weights <> Graph.m g then
+    invalid_arg "Srw.create_weighted: weight array length <> m";
+  Array.iter
+    (fun w ->
+      if not (w > 0.0) then
+        invalid_arg "Srw.create_weighted: non-positive weight")
+    weights;
+  let cumulative =
+    Array.init (Graph.n g) (fun v ->
+        let deg = Graph.degree g v in
+        let acc = Array.make deg 0.0 in
+        let total = ref 0.0 in
+        for i = 0 to deg - 1 do
+          total := !total +. weights.(Graph.neighbor_edge g v i);
+          acc.(i) <- !total
+        done;
+        acc)
+  in
+  make g rng (Weighted { cumulative }) "weighted-rw" start
+
+let graph t = t.g
+let position t = t.pos
+let steps t = t.steps
+let coverage t = t.coverage
+
+let pick_weighted_slot t v cumulative =
+  let acc = cumulative.(v) in
+  let deg = Array.length acc in
+  let total = acc.(deg - 1) in
+  let x = Rng.float t.rng total in
+  (* First index with prefix sum > x (binary search). *)
+  let lo = ref 0 and hi = ref (deg - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if acc.(mid) > x then hi := mid else lo := mid + 1
+  done;
+  Graph.adj_start t.g v + !lo
+
+let step t =
+  let v = t.pos in
+  let deg = Graph.degree t.g v in
+  if deg = 0 then invalid_arg "Srw.step: isolated vertex";
+  t.steps <- t.steps + 1;
+  let stay = match t.kind with Lazy -> Rng.bool t.rng | _ -> false in
+  if stay then Coverage.record_move t.coverage ~step:t.steps v
+  else begin
+    let slot =
+      match t.kind with
+      | Weighted { cumulative } -> pick_weighted_slot t v cumulative
+      | Simple | Lazy -> Graph.adj_start t.g v + Rng.int t.rng deg
+    in
+    let w = Graph.slot_vertex t.g slot in
+    let e = Graph.slot_edge t.g slot in
+    Coverage.record_edge t.coverage ~step:t.steps e;
+    t.pos <- w;
+    Coverage.record_move t.coverage ~step:t.steps w
+  end
+
+let process t =
+  {
+    Cover.name = t.name;
+    graph = t.g;
+    position = (fun () -> t.pos);
+    step = (fun () -> step t);
+    steps_done = (fun () -> t.steps);
+    coverage = t.coverage;
+  }
+
+let hitting_time ?cap g rng ~from ~target =
+  let t = create g rng ~start:from in
+  let cap = match cap with Some c -> c | None -> Cover.default_cap g in
+  if from = target then Some 0
+  else begin
+    let found = ref false in
+    while (not !found) && t.steps < cap do
+      step t;
+      if t.pos = target then found := true
+    done;
+    if !found then Some t.steps else None
+  end

@@ -1,0 +1,44 @@
+(** Simple, lazy, and weighted random walks — the paper's baselines.
+
+    The simple random walk is the process whose [Omega(n log n)] cover time
+    (Feige; Theorem 5) the E-process beats.  The lazy walk (stay put with
+    probability 1/2) is the standard fix for bipartite periodicity
+    (Section 2.1).  The weighted walk covers the full generality of
+    Theorem 5: transition probabilities proportional to positive edge
+    weights. *)
+
+open Ewalk_graph
+
+type t
+
+val create : Graph.t -> Ewalk_prng.Rng.t -> start:Graph.vertex -> t
+(** A simple random walk at [start].
+    @raise Invalid_argument if [start] is out of range. *)
+
+val create_lazy : Graph.t -> Ewalk_prng.Rng.t -> start:Graph.vertex -> t
+(** Lazy variant: each step stays with probability 1/2. A lazy "stay" counts
+    as one transition (visiting the current vertex again). *)
+
+val create_weighted :
+  Graph.t -> Ewalk_prng.Rng.t -> weights:float array -> start:Graph.vertex -> t
+(** Reversible weighted walk: from [x], traverse edge [e] with probability
+    [w(e) / sum of incident weights] (a self-loop counts its weight twice,
+    mirroring the slot convention).
+    @raise Invalid_argument if any weight is non-positive or the array
+    length differs from [m]. *)
+
+val graph : t -> Graph.t
+val position : t -> Graph.vertex
+val steps : t -> int
+val coverage : t -> Coverage.t
+
+val step : t -> unit
+(** One transition.  @raise Invalid_argument on an isolated vertex. *)
+
+val process : t -> Cover.process
+
+val hitting_time :
+  ?cap:int -> Graph.t -> Ewalk_prng.Rng.t -> from:Graph.vertex ->
+  target:Graph.vertex -> int option
+(** Empirical first-visit time of [target] by a fresh simple walk from
+    [from]; [None] if [cap] (default {!Cover.default_cap}) elapses. *)

@@ -1,0 +1,78 @@
+open Ewalk_graph
+module Rng = Ewalk_prng.Rng
+
+type t = {
+  g : Graph.t;
+  rng : Rng.t;
+  pos : Graph.vertex array;
+  mutable next_walker : int;
+  mutable steps : int;
+  coverage : Coverage.t;
+  unvisited : Unvisited.t;
+}
+
+let create ?rule:_ g rng ~starts =
+  if starts = [] then invalid_arg "Team.create: no walkers";
+  List.iter
+    (fun v ->
+      if v < 0 || v >= Graph.n g then
+        invalid_arg "Team.create: start out of range")
+    starts;
+  let coverage = Coverage.create g in
+  List.iter (fun v -> Coverage.record_start coverage v) starts;
+  {
+    g;
+    rng;
+    pos = Array.of_list starts;
+    next_walker = 0;
+    steps = 0;
+    coverage;
+    unvisited = Unvisited.create g;
+  }
+
+let create_spread g rng ~walkers =
+  if walkers < 1 then invalid_arg "Team.create_spread: walkers < 1";
+  if Graph.n g = 0 then invalid_arg "Team.create_spread: empty graph";
+  let starts = List.init walkers (fun _ -> Rng.int rng (Graph.n g)) in
+  create g rng ~starts
+
+let graph t = t.g
+let walkers t = Array.length t.pos
+let positions t = Array.copy t.pos
+let steps t = t.steps
+let rounds t = t.steps / Array.length t.pos
+let coverage t = t.coverage
+
+let step t =
+  let w = t.next_walker in
+  t.next_walker <- (w + 1) mod Array.length t.pos;
+  let v = t.pos.(w) in
+  let deg = Graph.degree t.g v in
+  if deg = 0 then invalid_arg "Team.step: isolated vertex";
+  let k = Unvisited.count t.unvisited v in
+  let slot =
+    if k > 0 then Unvisited.live_slot t.unvisited v (Rng.int t.rng k)
+    else Graph.adj_start t.g v + Rng.int t.rng deg
+  in
+  let target = Graph.slot_vertex t.g slot in
+  let e = Graph.slot_edge t.g slot in
+  t.steps <- t.steps + 1;
+  if k > 0 then Unvisited.retire_edge t.unvisited e;
+  Coverage.record_edge t.coverage ~step:t.steps e;
+  t.pos.(w) <- target;
+  Coverage.record_move t.coverage ~step:t.steps target
+
+let step_round t =
+  for _ = 1 to Array.length t.pos do
+    step t
+  done
+
+let process t =
+  {
+    Cover.name = Printf.sprintf "team-e-process(%d)" (Array.length t.pos);
+    graph = t.g;
+    position = (fun () -> t.pos.(t.next_walker));
+    step = (fun () -> step t);
+    steps_done = (fun () -> t.steps);
+    coverage = t.coverage;
+  }

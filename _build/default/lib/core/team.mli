@@ -1,0 +1,50 @@
+(** Multi-walker E-process: [k] agents sharing one set of edge marks.
+
+    A natural extension of the paper's process (beyond its scope, flagged
+    as such in DESIGN.md): [k] walkers move in round-robin order; each
+    follows an unvisited edge incident with its own position if one exists
+    — edges marked by {e any} walker count as visited for all — and walks
+    randomly otherwise.  With shared marks the team behaves like one
+    E-process splashed across [k] start vertices; the interesting question
+    is the wall-clock speed-up: the number of {e rounds} to cover.
+
+    Vertex coverage counts a vertex as visited when any walker occupies it;
+    transitions are counted globally (one per walker move), so cover times
+    are comparable with single-walker processes at equal total work. *)
+
+open Ewalk_graph
+
+type t
+
+val create :
+  ?rule:[ `Uar ] -> Graph.t -> Ewalk_prng.Rng.t ->
+  starts:Graph.vertex list -> t
+(** One walker per entry of [starts] (duplicates allowed).
+    @raise Invalid_argument if [starts] is empty or out of range. *)
+
+val create_spread :
+  Graph.t -> Ewalk_prng.Rng.t -> walkers:int -> t
+(** [walkers] agents at uniformly random (not necessarily distinct) start
+    vertices.  @raise Invalid_argument if [walkers < 1]. *)
+
+val graph : t -> Graph.t
+val walkers : t -> int
+val positions : t -> Graph.vertex array
+val steps : t -> int
+(** Total walker moves so far. *)
+
+val rounds : t -> int
+(** Completed rounds (each walker moved once per round). *)
+
+val coverage : t -> Coverage.t
+
+val step : t -> unit
+(** Move the next walker in round-robin order.
+    @raise Invalid_argument if its current vertex is isolated. *)
+
+val step_round : t -> unit
+(** Move every walker once. *)
+
+val process : t -> Cover.process
+(** Steps are single walker moves, so capped runs and cover times measure
+    total work, directly comparable with one-walker processes. *)

@@ -1,0 +1,69 @@
+open Ewalk_graph
+
+type t = {
+  g : Graph.t;
+  slot_list : int array; (* per-vertex regions; live prefix *)
+  slot_index : int array; (* inverse of slot_list *)
+  slot_owner : int array; (* vertex owning each slot position *)
+  counts : int array;
+}
+
+let create g =
+  let two_m = 2 * Graph.m g in
+  let slot_owner = Array.make two_m 0 in
+  for v = 0 to Graph.n g - 1 do
+    for p = Graph.adj_start g v to Graph.adj_stop g v - 1 do
+      slot_owner.(p) <- v
+    done
+  done;
+  {
+    g;
+    slot_list = Array.init two_m (fun p -> p);
+    slot_index = Array.init two_m (fun p -> p);
+    slot_owner;
+    counts = Array.init (Graph.n g) (Graph.degree g);
+  }
+
+let count t v = t.counts.(v)
+
+let live_slot t v i = t.slot_list.(Graph.adj_start t.g v + i)
+
+let incident_edges t v =
+  let k = t.counts.(v) in
+  let seen = Hashtbl.create (2 * k) in
+  let out = ref [] in
+  for i = k - 1 downto 0 do
+    let e = Graph.slot_edge t.g (live_slot t v i) in
+    if not (Hashtbl.mem seen e) then begin
+      Hashtbl.add seen e ();
+      out := e :: !out
+    end
+  done;
+  Array.of_list !out
+
+let slot_with_edge t v e =
+  let k = t.counts.(v) in
+  let found = ref (-1) in
+  for i = 0 to k - 1 do
+    let p = live_slot t v i in
+    if !found < 0 && Graph.slot_edge t.g p = e then found := p
+  done;
+  if !found < 0 then raise Not_found else !found
+
+let retire_slot t p =
+  let v = t.slot_owner.(p) in
+  let i = t.slot_index.(p) in
+  let base = Graph.adj_start t.g v in
+  let last = base + t.counts.(v) - 1 in
+  assert (i >= base && i <= last);
+  let q = t.slot_list.(last) in
+  t.slot_list.(i) <- q;
+  t.slot_index.(q) <- i;
+  t.slot_list.(last) <- p;
+  t.slot_index.(p) <- last;
+  t.counts.(v) <- t.counts.(v) - 1
+
+let retire_edge t e =
+  let p1, p2 = Graph.edge_positions t.g e in
+  retire_slot t p1;
+  retire_slot t p2

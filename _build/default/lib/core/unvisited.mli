@@ -1,0 +1,32 @@
+(** Shared unvisited-edge bookkeeping for edge-preferring processes.
+
+    Maintains, for every vertex, the set of its incident unvisited edges as
+    a swap-partition over the graph's adjacency slots: the first
+    [count t v] entries of [v]'s region are the live slots.  Retiring an
+    edge updates both endpoints in O(1).  Used by the single-walker
+    {!Eprocess} and the multi-walker {!Team}. *)
+
+open Ewalk_graph
+
+type t
+
+val create : Graph.t -> t
+(** All edges unvisited. *)
+
+val count : t -> Graph.vertex -> int
+(** Unvisited incident edge slots (a blue self-loop counts 2). *)
+
+val live_slot : t -> Graph.vertex -> int -> int
+(** [live_slot t v i], [0 <= i < count t v]: the [i]-th live adjacency slot
+    position of [v]. *)
+
+val incident_edges : t -> Graph.vertex -> Graph.edge array
+(** Deduplicated unvisited incident edges (a self-loop appears once). *)
+
+val slot_with_edge : t -> Graph.vertex -> Graph.edge -> int
+(** A live slot at [v] carrying the given edge.
+    @raise Not_found if the edge is not live at [v]. *)
+
+val retire_edge : t -> Graph.edge -> unit
+(** Mark the edge visited (removes it at both endpoints).  Must be called
+    at most once per edge. *)

@@ -1,0 +1,24 @@
+(** The V-process: a walk preferring unvisited {e vertices}.
+
+    The companion process from Berenbrink–Cooper–Friedetzky's follow-up
+    experimental study (reference [4] of the paper): if the current vertex
+    has unvisited neighbours, move to one chosen uniformly at random;
+    otherwise take a simple-random-walk step.  Included as the natural
+    comparison point for the E-process' edge-based preference. *)
+
+open Ewalk_graph
+
+type t
+
+val create : Graph.t -> Ewalk_prng.Rng.t -> start:Graph.vertex -> t
+(** @raise Invalid_argument if [start] is out of range. *)
+
+val graph : t -> Graph.t
+val position : t -> Graph.vertex
+val steps : t -> int
+val coverage : t -> Coverage.t
+
+val step : t -> unit
+(** @raise Invalid_argument on an isolated vertex. *)
+
+val process : t -> Cover.process

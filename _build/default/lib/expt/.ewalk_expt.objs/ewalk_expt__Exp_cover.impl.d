@@ -1,0 +1,1 @@
+lib/expt/exp_cover.ml: Array Ewalk Ewalk_analysis Ewalk_graph Ewalk_theory Exp_util Float Gen_classic Gen_expander Gen_regular Hashtbl List Printf Sweep Table

@@ -1,0 +1,1 @@
+lib/expt/exp_edge.ml: Array Ewalk_analysis Ewalk_graph Ewalk_spectral Ewalk_theory Exp_util Float Gen_classic Graph List Printf Sweep Table

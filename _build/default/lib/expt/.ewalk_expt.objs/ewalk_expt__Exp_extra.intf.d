@@ -1,0 +1,1 @@
+lib/expt/exp_extra.mli: Sweep Table

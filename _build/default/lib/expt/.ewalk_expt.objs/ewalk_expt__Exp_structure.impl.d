@@ -1,0 +1,1 @@
+lib/expt/exp_structure.ml: Array Ewalk Ewalk_analysis Ewalk_graph Ewalk_prng Ewalk_spectral Ewalk_theory Exp_util Gen_classic Girth Graph Hashtbl List Printf Sweep Table

@@ -1,0 +1,1 @@
+lib/expt/exp_util.mli: Ewalk Ewalk_graph Ewalk_prng Graph

@@ -1,0 +1,1 @@
+lib/expt/experiments.ml: Exp_cover Exp_edge Exp_extra Exp_structure List Sweep Table

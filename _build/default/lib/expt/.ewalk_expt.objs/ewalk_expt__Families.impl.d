@@ -1,0 +1,1 @@
+lib/expt/families.ml: Ewalk_graph Float Gen_classic Gen_expander Gen_random Gen_regular Printf String

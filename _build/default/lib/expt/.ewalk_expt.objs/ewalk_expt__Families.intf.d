@@ -1,0 +1,1 @@
+lib/expt/families.mli: Ewalk_graph Ewalk_prng

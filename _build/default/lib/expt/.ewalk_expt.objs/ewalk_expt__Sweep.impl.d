@@ -1,0 +1,1 @@
+lib/expt/sweep.ml: Array Ewalk_analysis Ewalk_prng Printf Sys

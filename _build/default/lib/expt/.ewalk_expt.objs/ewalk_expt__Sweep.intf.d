@@ -1,0 +1,1 @@
+lib/expt/sweep.mli: Ewalk_analysis Ewalk_prng

@@ -1,0 +1,1 @@
+lib/expt/table.ml: Array Buffer Float List Printf String

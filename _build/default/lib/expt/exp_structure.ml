@@ -1,0 +1,392 @@
+open Ewalk_graph
+module Stats = Ewalk_analysis.Stats
+module Blue = Ewalk_analysis.Blue
+module Goodness = Ewalk_analysis.Goodness
+module Density = Ewalk_analysis.Subgraph_density
+module Bounds = Ewalk_theory.Bounds
+module Eprocess = Ewalk.Eprocess
+module Coverage = Ewalk.Coverage
+
+let fl = float_of_int
+
+let point_seed seed tag n = seed + (15_485_863 * tag) + n
+
+let spectral_p1 ~scale ~seed =
+  let degrees = [ 3; 4; 6; 8 ] in
+  let sizes = Sweep.spectral_sizes scale in
+  let rows =
+    List.concat_map
+      (fun r ->
+        List.filter_map
+          (fun n ->
+            if n * r mod 2 = 1 then None
+            else begin
+              let s =
+                Sweep.mean_of_trials ~seed:(point_seed seed r n)
+                  ~trials:(Sweep.trials scale) (fun rng ->
+                    let g = Exp_util.regular_graph rng ~n ~d:r in
+                    Ewalk_spectral.Spectral.adjacency_lambda_2 ~tol:1e-8
+                      ~max_iter:4_000 g)
+              in
+              let bound = Bounds.friedman_lambda2 r in
+              Some
+                [
+                  Table.cell_i r;
+                  Table.cell_i n;
+                  Table.cell_f s.Stats.mean;
+                  Table.cell_f s.Stats.max;
+                  Table.cell_f bound;
+                  (if s.Stats.max <= bound then "yes" else "NO");
+                ]
+            end)
+          sizes)
+      degrees
+  in
+  {
+    Table.id = "spectral-p1";
+    title =
+      "Property P1 (Friedman): lambda_2(adjacency) of random r-regular vs 2 sqrt(r-1) + eps";
+    header = [ "r"; "n"; "mean l2(A)"; "max l2(A)"; "bound"; "within" ];
+    rows;
+    notes =
+      [
+        "P1 is the expander certificate behind Theorem 1's gap term";
+        "eps = 0.1 in the bound column";
+      ];
+  }
+
+let density_p2 ~scale ~seed =
+  let sizes = Sweep.spectral_sizes scale in
+  let samples =
+    match scale with Sweep.Tiny -> 100 | Sweep.Default -> 500 | Sweep.Full -> 2_000
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let s_size = max 4 (int_of_float (log (fl n))) in
+        let worst = ref 0 in
+        let allowance = ref 0 in
+        Array.iter
+          (fun rng ->
+            let g = Exp_util.regular_graph rng ~n ~d:4 in
+            allowance := Density.p2_excess_allowance g ~s:s_size;
+            let d = Density.max_density_sampled rng g ~s:s_size ~samples in
+            if d > !worst then worst := d)
+          (Sweep.trial_rngs ~seed:(point_seed seed 2 n)
+             ~trials:(Sweep.trials scale));
+        [
+          Table.cell_i n;
+          Table.cell_i s_size;
+          Table.cell_i !worst;
+          Table.cell_i (s_size + !allowance);
+          (if !worst <= s_size + !allowance then "yes" else "NO");
+        ])
+      sizes
+  in
+  {
+    Table.id = "density-p2";
+    title =
+      "Property P2: max induced edges over sampled connected s-sets vs s + a (random 4-regular)";
+    header = [ "n"; "s"; "max edges"; "s + a"; "within" ];
+    rows;
+    notes =
+      [
+        Printf.sprintf "%d sampled connected sets per graph" samples;
+        "P2 implies the graph is Omega(log n)-good (Corollary 2's proof)";
+      ];
+  }
+
+let ell_good ~scale ~seed =
+  let sizes =
+    match scale with
+    | Sweep.Tiny -> [ 30; 60 ]
+    | Sweep.Default -> [ 50; 100; 200 ]
+    | Sweep.Full -> [ 50; 100; 200; 400 ]
+  in
+  let max_len = match scale with Sweep.Tiny -> 8 | _ -> 10 in
+  let rows = ref [] in
+  (* Random 4-regular instances: certified min-over-vertices bound. *)
+  List.iter
+    (fun n ->
+      let rng = Ewalk_prng.Rng.create ~seed:(point_seed seed 3 n) () in
+      let g = Exp_util.regular_graph rng ~n ~d:4 in
+      let min_lower = ref max_int and min_witness = ref max_int in
+      for v = 0 to Graph.n g - 1 do
+        let b = Goodness.ell_of_vertex g v ~max_len in
+        if b.Goodness.lower < !min_lower then min_lower := b.Goodness.lower;
+        match b.Goodness.witness with
+        | Some w when w < !min_witness -> min_witness := w
+        | _ -> ()
+      done;
+      rows :=
+        [
+          Printf.sprintf "random-4-regular(n=%d)" n;
+          Table.cell_i !min_lower;
+          (if !min_witness = max_int then "-" else Table.cell_i !min_witness);
+          Table.cell_f (Bounds.p2_ell ~n ~r:4);
+        ]
+        :: !rows)
+    sizes;
+  (* Known families with hand-checkable ell. *)
+  let known =
+    [
+      ("cycle(20), ell = 20", Gen_classic.cycle 20, 12);
+      ("double-cycle(12), ell = 3", Gen_classic.double_cycle 12, 6);
+      ("torus(6x6), ell = 7", Gen_classic.torus2d 6 6, 8);
+    ]
+  in
+  List.iter
+    (fun (name, g, ml) ->
+      let min_lower = ref max_int and min_witness = ref max_int in
+      for v = 0 to Graph.n g - 1 do
+        let b = Goodness.ell_of_vertex g v ~max_len:ml in
+        if b.Goodness.lower < !min_lower then min_lower := b.Goodness.lower;
+        match b.Goodness.witness with
+        | Some w when w < !min_witness -> min_witness := w
+        | _ -> ()
+      done;
+      rows :=
+        [
+          name;
+          Table.cell_i !min_lower;
+          (if !min_witness = max_int then "-" else Table.cell_i !min_witness);
+          "-";
+        ]
+        :: !rows)
+    known;
+  {
+    Table.id = "ell-good";
+    title = "ell-goodness: certified lower bound / smallest witness per graph";
+    header = [ "graph"; "certified ell >="; "smallest witness"; "P2 prediction" ];
+    rows = List.rev !rows;
+    notes =
+      [
+        "witness '-' means no small even subgraph exists within the search radius (the good case)";
+      ];
+  }
+
+(* Run an E-process and report on Observation 10/11 invariants. *)
+let invariant_row name g rng even_expected =
+  let t = Eprocess.create ~record_phases:true g rng ~start:0 in
+  let p = Eprocess.process t in
+  let even_checks = ref 0 and even_failures = ref 0 in
+  let cap = Ewalk.Cover.default_cap g in
+  (* Interleave stepping with mid-run blue-degree parity checks taken only
+     in red phases, as Observation 11 requires. *)
+  let continue_ = ref true in
+  while !continue_ do
+    if Coverage.all_edges_visited (Eprocess.coverage t) then continue_ := false
+    else if Eprocess.steps t >= cap then continue_ := false
+    else begin
+      Ewalk.Cover.run_steps p (max 1 (Graph.n g / 7));
+      if not (Eprocess.in_blue_phase t) then begin
+        incr even_checks;
+        let flags = Coverage.visited_edge_flags (Eprocess.coverage t) in
+        if not (Blue.all_blue_degrees_even g ~visited:flags) then
+          incr even_failures
+      end
+    end
+  done;
+  let phases = Eprocess.phase_log t in
+  let blue_phases =
+    List.filter (fun ph -> ph.Eprocess.kind = Eprocess.Blue) phases
+  in
+  let returning =
+    List.length
+      (List.filter
+         (fun ph -> ph.Eprocess.start_vertex = ph.Eprocess.end_vertex)
+         blue_phases)
+  in
+  let total = List.length blue_phases in
+  [
+    name;
+    Table.cell_i total;
+    Printf.sprintf "%d/%d" returning total;
+    Printf.sprintf "%d/%d" (!even_checks - !even_failures) !even_checks;
+    (if even_expected then "all must hold" else "expected to fail");
+  ]
+
+let blue_invariants ~scale ~seed =
+  let n = match scale with Sweep.Tiny -> 300 | _ -> 3_000 in
+  let rng = Ewalk_prng.Rng.create ~seed:(point_seed seed 4 n) () in
+  let rows =
+    [
+      invariant_row "random-4-regular"
+        (Exp_util.regular_graph rng ~n ~d:4)
+        rng true;
+      invariant_row "random-6-regular"
+        (Exp_util.regular_graph rng ~n ~d:6)
+        rng true;
+      invariant_row "torus"
+        (Gen_classic.torus2d 40 40)
+        rng true;
+      invariant_row "random-3-regular (odd!)"
+        (Exp_util.regular_graph rng ~n ~d:3)
+        rng false;
+    ]
+  in
+  {
+    Table.id = "blue-invariants";
+    title =
+      "Observations 10/11: blue phases return to their start; blue degrees even in red phases";
+    header =
+      [ "graph"; "blue phases"; "returning"; "even-degree checks ok"; "expectation" ];
+    rows;
+    notes =
+      [
+        "even-degree graphs: every blue phase must end at its start vertex";
+        "odd-degree graphs break the parity argument - returning < total expected";
+      ];
+  }
+
+(* One trial of the star-dynamics measurement: run the E-process to vertex
+   cover, snapshotting the blue subgraph every n/4 steps.  Returns
+   (max simultaneous isolated stars, distinct star centres ever seen,
+    surrounded-before-visited count, cover time). *)
+let star_trial rng ~n ~d =
+  let g = Exp_util.regular_graph rng ~n ~d in
+  let t = Eprocess.create g rng ~start:0 in
+  let p = Eprocess.process t in
+  let cov = Eprocess.coverage t in
+  let ever = Hashtbl.create 256 in
+  let max_simul = ref 0 in
+  let census () =
+    let flags = Coverage.visited_edge_flags cov in
+    let simul = ref 0 in
+    List.iter
+      (fun comp ->
+        if Array.length comp.Blue.edges = d then begin
+          match Blue.star_center g comp with
+          | Some c when not (Coverage.vertex_visited cov c) ->
+              incr simul;
+              Hashtbl.replace ever c ()
+          | _ -> ()
+        end)
+      (Blue.components g ~visited:flags);
+    if !simul > !max_simul then max_simul := !simul
+  in
+  let cap = Ewalk.Cover.default_cap g in
+  let continue_ = ref true in
+  while !continue_ do
+    Ewalk.Cover.run_steps p (max 1 (n / 4));
+    census ();
+    if Coverage.all_vertices_visited cov || Eprocess.steps t >= cap then
+      continue_ := false
+  done;
+  let surrounded = ref 0 in
+  for v = 0 to n - 1 do
+    let fv = Coverage.first_visit cov v in
+    let all_before =
+      Graph.fold_neighbors g v
+        (fun acc w _ ->
+          acc
+          && Coverage.first_visit cov w >= 0
+          && Coverage.first_visit cov w < fv)
+        true
+    in
+    if fv > 0 && all_before then incr surrounded
+  done;
+  (!max_simul, Hashtbl.length ever, !surrounded, Eprocess.steps t)
+
+let stars_r3 ~scale ~seed =
+  let sizes =
+    match scale with
+    | Sweep.Tiny -> [ 2_000 ]
+    | Sweep.Default -> [ 10_000; 30_000; 100_000 ]
+    | Sweep.Full -> [ 50_000; 100_000; 200_000; 400_000 ]
+  in
+  let degrees = [ 3; 4 ] in
+  let rows =
+    List.concat_map
+      (fun d ->
+        List.map
+          (fun n ->
+            let trials = Sweep.trials scale in
+            let rngs = Sweep.trial_rngs ~seed:(point_seed seed (5 + d) n) ~trials in
+            let max_s = Stats.Online.create ()
+            and ever_s = Stats.Online.create ()
+            and surr_s = Stats.Online.create ()
+            and cover_s = Stats.Online.create () in
+            Array.iter
+              (fun rng ->
+                let max_simul, ever, surrounded, cover = star_trial rng ~n ~d in
+                Stats.Online.add max_s (fl max_simul /. fl n);
+                Stats.Online.add ever_s (fl ever /. fl n);
+                Stats.Online.add surr_s (fl surrounded /. fl n);
+                Stats.Online.add cover_s (fl cover /. (fl n *. log (fl n))))
+              rngs;
+            [
+              Table.cell_i d;
+              Table.cell_i n;
+              Table.cell_f (Stats.Online.mean max_s);
+              Table.cell_f (Stats.Online.mean ever_s);
+              Table.cell_f (Stats.Online.mean surr_s);
+              Table.cell_f (Stats.Online.mean cover_s);
+            ])
+          sizes)
+      degrees
+  in
+  {
+    Table.id = "stars-r3";
+    title =
+      "Section 5: isolated blue star dynamics on random d-regular graphs (d=3 vs even control d=4)";
+    header =
+      [
+        "d";
+        "n";
+        "max stars/n";
+        "ever stars/n";
+        "surrounded/n";
+        "cover/(n ln n)";
+      ];
+    rows;
+    notes =
+      [
+        Printf.sprintf
+          "paper heuristic: turn-away probability (1/2)^3 strands ~%.3f n star centres (idealised single blue sweep)"
+          (Bounds.isolated_star_fraction ());
+        "d=4 control: Observation 11 forbids odd-degree blue components, so star counts must be 0";
+        "d=3: stars form and are consumed concurrently; collecting them costs the red walk Omega(n log n) (see cover/(n ln n) column vs d=4)";
+      ];
+  }
+
+let cycle_census ~scale ~seed =
+  let n, max_len =
+    match scale with
+    | Sweep.Tiny -> (500, 6)
+    | Sweep.Default -> (10_000, 8)
+    | Sweep.Full -> (20_000, 9)
+  in
+  let r = 4 in
+  let trials = Sweep.trials scale in
+  let rngs = Sweep.trial_rngs ~seed:(point_seed seed 6 n) ~trials in
+  let sums = Array.make (max_len + 1) 0.0 in
+  Array.iter
+    (fun rng ->
+      let g = Exp_util.regular_graph rng ~n ~d:r in
+      let counts = Girth.count_cycles g ~max_len in
+      Array.iteri (fun k c -> sums.(k) <- sums.(k) +. fl c) counts)
+    rngs;
+  let rows = ref [] in
+  for k = 3 to max_len do
+    let mean = sums.(k) /. fl trials in
+    let expected = Bounds.expected_cycles ~r ~k in
+    rows :=
+      [
+        Table.cell_i k;
+        Table.cell_f mean;
+        Table.cell_f expected;
+        Table.cell_f (mean /. expected);
+      ]
+      :: !rows
+  done;
+  {
+    Table.id = "cycle-census";
+    title =
+      Printf.sprintf
+        "Corollary 4's proof: N_k on random %d-regular (n=%d) vs E N_k = (r-1)^k / 2k"
+        r n;
+    header = [ "k"; "mean N_k"; "E N_k"; "ratio" ];
+    rows = List.rev !rows;
+    notes = [ "ratios near 1 validate the Poisson cycle-count heuristic" ];
+  }

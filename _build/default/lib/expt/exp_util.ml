@@ -1,0 +1,56 @@
+open Ewalk_graph
+module Eprocess = Ewalk.Eprocess
+module Srw = Ewalk.Srw
+module Cover = Ewalk.Cover
+module Coverage = Ewalk.Coverage
+
+let regular_graph rng ~n ~d = Gen_regular.random_regular_connected rng n d
+
+let with_cap cap g = match cap with Some c -> c | None -> Cover.default_cap g
+
+let vertex_cover_eprocess ?rule ?cap rng g =
+  let t = Eprocess.create ?rule g rng ~start:0 in
+  Cover.run_until_vertex_cover ~cap:(with_cap cap g) (Eprocess.process t)
+
+let edge_cover_eprocess ?rule ?cap rng g =
+  let t = Eprocess.create ?rule g rng ~start:0 in
+  Cover.run_until_edge_cover ~cap:(with_cap cap g) (Eprocess.process t)
+
+let vertex_cover_srw ?cap rng g =
+  let t = Srw.create g rng ~start:0 in
+  Cover.run_until_vertex_cover ~cap:(with_cap cap g) (Srw.process t)
+
+let edge_cover_srw ?cap rng g =
+  let t = Srw.create g rng ~start:0 in
+  Cover.run_until_edge_cover ~cap:(with_cap cap g) (Srw.process t)
+
+let adversary_stay_explored t candidates =
+  let g = Eprocess.graph t in
+  let cov = Eprocess.coverage t in
+  let here = Eprocess.position t in
+  let best = ref 0 and best_visits = ref min_int in
+  Array.iteri
+    (fun i e ->
+      let w = Graph.opposite g e here in
+      let visits = Coverage.visit_count cov w in
+      if visits > !best_visits then begin
+        best := i;
+        best_visits := visits
+      end)
+    candidates;
+  !best
+
+let adversary_min_blue t candidates =
+  let g = Eprocess.graph t in
+  let here = Eprocess.position t in
+  let best = ref 0 and best_blue = ref max_int in
+  Array.iteri
+    (fun i e ->
+      let w = Graph.opposite g e here in
+      let blue = Eprocess.blue_degree t w in
+      if blue < !best_blue then begin
+        best := i;
+        best_blue := blue
+      end)
+    candidates;
+  !best

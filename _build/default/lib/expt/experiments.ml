@@ -1,0 +1,135 @@
+type entry = {
+  id : string;
+  paper_item : string;
+  run : scale:Sweep.scale -> seed:int -> Table.t;
+}
+
+let all =
+  [
+    { id = "fig1"; paper_item = "Figure 1"; run = Exp_cover.fig1 };
+    {
+      id = "thm1-scaling";
+      paper_item = "Theorem 1 / eq. (1) / Corollary 2";
+      run = Exp_cover.thm1_scaling;
+    };
+    {
+      id = "rule-independence";
+      paper_item = "Theorem 1 (rule A arbitrary)";
+      run = Exp_cover.rule_independence;
+    };
+    {
+      id = "srw-lower";
+      paper_item = "Theorem 5 (Radzik) / Feige";
+      run = Exp_cover.srw_lower;
+    };
+    {
+      id = "edge-cover-sandwich";
+      paper_item = "eq. (3) / Observation 12";
+      run = Exp_edge.edge_cover_sandwich;
+    };
+    {
+      id = "hypercube-edge";
+      paper_item = "Section 1 hypercube example";
+      run = Exp_edge.hypercube_edge;
+    };
+    {
+      id = "grw-bound";
+      paper_item = "eq. (2) (Orenshtein-Shinkar)";
+      run = Exp_edge.grw_bound;
+    };
+    { id = "cor4-edge"; paper_item = "Corollary 4"; run = Exp_edge.cor4_edge };
+    {
+      id = "spectral-p1";
+      paper_item = "Property P1 (Friedman)";
+      run = Exp_structure.spectral_p1;
+    };
+    {
+      id = "density-p2";
+      paper_item = "Property P2";
+      run = Exp_structure.density_p2;
+    };
+    {
+      id = "ell-good";
+      paper_item = "ell-goodness (Corollary 2's proof)";
+      run = Exp_structure.ell_good;
+    };
+    {
+      id = "blue-invariants";
+      paper_item = "Observations 10/11";
+      run = Exp_structure.blue_invariants;
+    };
+    {
+      id = "stars-r3";
+      paper_item = "Section 5 (odd degree intuition)";
+      run = Exp_structure.stars_r3;
+    };
+    {
+      id = "cycle-census";
+      paper_item = "Corollary 4's proof (E N_k)";
+      run = Exp_structure.cycle_census;
+    };
+    {
+      id = "process-compare";
+      paper_item = "Section 1 related work";
+      run = Exp_cover.process_compare;
+    };
+    {
+      id = "blanket-r-visits";
+      paper_item = "eq. (4) (blanket time)";
+      run = Exp_cover.blanket_r_visits;
+    };
+    {
+      id = "odd-even-frontier";
+      paper_item = "Section 5 (even degree constraint)";
+      run = Exp_cover.odd_even_frontier;
+    };
+    {
+      id = "hitting-bounds";
+      paper_item = "Lemma 6 / Corollary 9 / return-time identity";
+      run = Exp_extra.hitting_bounds;
+    };
+    {
+      id = "mixing-decay";
+      paper_item = "eq. (5) (convergence to stationarity)";
+      run = Exp_extra.mixing_decay;
+    };
+    {
+      id = "matthews-bound";
+      paper_item = "Section 2.2 toolkit (Matthews/Kahn et al.)";
+      run = Exp_extra.matthews_cover;
+    };
+    {
+      id = "euler-overhead";
+      paper_item = "eq. (3) floor (Euler tour optimum)";
+      run = Exp_extra.euler_overhead;
+    };
+    {
+      id = "team-speedup";
+      paper_item = "extension: k walkers, shared marks";
+      run = Exp_extra.team_speedup;
+    };
+    {
+      id = "coverage-profile";
+      paper_item = "Section 5 mechanism (straggler decay)";
+      run = Exp_extra.coverage_profile;
+    };
+    {
+      id = "concentration";
+      paper_item = "related work (Avin-Krishnamachari concentration)";
+      run = Exp_extra.concentration;
+    };
+    {
+      id = "doubled-odd";
+      paper_item = "Theorem 1 hypothesis isolation (negative control)";
+      run = Exp_extra.doubled_odd;
+    };
+    {
+      id = "high-girth";
+      paper_item = "Theorem 3 (high girth even degree expanders)";
+      run = Exp_extra.high_girth;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,16 @@
+(** Registry of every named experiment (the per-experiment index of
+    DESIGN.md §4). *)
+
+type entry = {
+  id : string;
+  paper_item : string; (** which figure / theorem / equation it reproduces *)
+  run : scale:Sweep.scale -> seed:int -> Table.t;
+}
+
+val all : entry list
+(** Every experiment, in DESIGN.md order. *)
+
+val find : string -> entry option
+(** Look up by id. *)
+
+val ids : unit -> string list

@@ -1,0 +1,52 @@
+open Ewalk_graph
+
+let known =
+  [
+    "regular:D";
+    "torus";
+    "grid";
+    "hypercube";
+    "cycle";
+    "double-cycle";
+    "complete";
+    "margulis";
+    "cycle-union:R";
+    "chordal";
+    "gnp:P";
+    "geometric:R";
+    "lollipop";
+  ]
+
+let int_param spec s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Families: bad parameter in %S" spec)
+
+let float_param spec s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Families: bad parameter in %S" spec)
+
+let build spec rng ~n =
+  let side = max 3 (int_of_float (Float.round (sqrt (float_of_int n)))) in
+  match String.split_on_char ':' spec with
+  | [ "regular"; d ] ->
+      Gen_regular.random_regular_connected rng n (int_param spec d)
+  | [ "torus" ] -> Gen_classic.torus2d side side
+  | [ "grid" ] -> Gen_classic.grid2d side side
+  | [ "hypercube" ] ->
+      let r = max 1 (int_of_float (Float.ceil (log (float_of_int n) /. log 2.0))) in
+      Gen_classic.hypercube r
+  | [ "cycle" ] -> Gen_classic.cycle (max 3 n)
+  | [ "double-cycle" ] -> Gen_classic.double_cycle (max 3 n)
+  | [ "complete" ] -> Gen_classic.complete (max 2 n)
+  | [ "margulis" ] ->
+      let k = max 2 (int_of_float (Float.round (sqrt (float_of_int n)))) in
+      Gen_expander.margulis k
+  | [ "cycle-union"; r ] -> Gen_regular.cycle_union rng n (int_param spec r)
+  | [ "chordal" ] -> Gen_expander.chordal_cycle (max 5 n)
+  | [ "gnp"; p ] -> Gen_random.gnp rng n (float_param spec p)
+  | [ "geometric"; r ] ->
+      Gen_random.random_geometric rng n (float_param spec r)
+  | [ "lollipop" ] -> Gen_classic.lollipop (max 3 (2 * n / 3)) (max 1 (n / 3))
+  | _ -> invalid_arg (Printf.sprintf "Families: unknown spec %S" spec)

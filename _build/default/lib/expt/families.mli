@@ -1,0 +1,22 @@
+(** Parse graph-family specifications shared by the CLI and examples.
+
+    Grammar (sizes supplied separately as [~n]):
+    - ["regular:D"] — connected random D-regular (Steger–Wormald)
+    - ["torus"] — square wrap-around grid with about [n] vertices
+    - ["grid"] — square open grid
+    - ["hypercube"] — H_r with [2^r >= n] (smallest such r)
+    - ["cycle"], ["double-cycle"], ["complete"]
+    - ["margulis"] — degree-8 expander on about [n] vertices
+    - ["cycle-union:R"] — union of R Hamiltonian cycles (degree 2R)
+    - ["chordal"] — degree-4 chordal cycle
+    - ["gnp:P"] — Erdős–Rényi with edge probability P
+    - ["geometric:R"] — random geometric graph of radius R
+    - ["lollipop"] — clique of [2n/3] with a tail *)
+
+val build :
+  string -> Ewalk_prng.Rng.t -> n:int -> Ewalk_graph.Graph.t
+(** [build spec rng ~n] constructs the graph.
+    @raise Invalid_argument on an unknown spec or malformed parameter. *)
+
+val known : string list
+(** Specs accepted by {!build} (with placeholder parameters). *)

@@ -1,0 +1,61 @@
+module Rng = Ewalk_prng.Rng
+module Stats = Ewalk_analysis.Stats
+
+type scale = Tiny | Default | Full
+
+let scale_of_env () =
+  match Sys.getenv_opt "EWALK_BENCH_SCALE" with
+  | Some "tiny" -> Tiny
+  | Some "full" -> Full
+  | Some "default" | None -> Default
+  | Some other ->
+      Printf.eprintf
+        "ewalk: unknown EWALK_BENCH_SCALE %S (want tiny/default/full); using default\n"
+        other;
+      Default
+
+let scale_name = function
+  | Tiny -> "tiny"
+  | Default -> "default"
+  | Full -> "full"
+
+let cover_sizes = function
+  | Tiny -> [ 200; 400 ]
+  | Default -> [ 2_000; 5_000; 10_000; 20_000; 50_000; 100_000 ]
+  | Full -> [ 25_000; 50_000; 100_000; 200_000; 300_000; 400_000; 500_000 ]
+
+let edge_sizes = function
+  | Tiny -> [ 200; 400 ]
+  | Default -> [ 2_000; 5_000; 10_000; 20_000; 50_000 ]
+  | Full -> [ 10_000; 25_000; 50_000; 100_000; 200_000 ]
+
+let spectral_sizes = function
+  | Tiny -> [ 100; 200 ]
+  | Default -> [ 1_000; 4_000; 16_000 ]
+  | Full -> [ 1_000; 4_000; 16_000; 64_000 ]
+
+let hypercube_dims = function
+  | Tiny -> [ 6; 7 ]
+  | Default -> [ 9; 11; 13; 15 ]
+  | Full -> [ 11; 13; 15; 17 ]
+
+let trials = function Tiny -> 2 | Default -> 3 | Full -> 5
+
+let trial_rngs ~seed ~trials =
+  let root = Rng.create ~seed () in
+  Rng.split_n root trials
+
+let mean_of_trials ~seed ~trials f =
+  let rngs = trial_rngs ~seed ~trials in
+  Stats.summarize (Array.map f rngs)
+
+let mean_cover_of_trials ~seed ~trials f =
+  let rngs = trial_rngs ~seed ~trials in
+  let results = Array.map f rngs in
+  if Array.exists (fun r -> r = None) results then None
+  else
+    Some
+      (Stats.summarize
+         (Array.map
+            (function Some t -> float_of_int t | None -> assert false)
+            results))

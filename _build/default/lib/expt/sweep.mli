@@ -1,0 +1,46 @@
+(** Seeded trial sweeps: the scaffolding every experiment shares.
+
+    Trials are reproducible: trial [i] under seed [s] always receives the
+    same child generator, independent of how many other trials run.  The
+    {!scale} knob trades run time for paper fidelity: [Tiny] is for the test
+    suite, [Default] finishes the whole bench suite in minutes, [Full]
+    matches the paper's [n] up to 5*10^5 with 5 trials per point
+    (Figure 1). *)
+
+type scale = Tiny | Default | Full
+
+val scale_of_env : unit -> scale
+(** Reads [EWALK_BENCH_SCALE] ("tiny" / "default" / "full"; default
+    [Default]). *)
+
+val scale_name : scale -> string
+
+val cover_sizes : scale -> int list
+(** The [n] sweep for vertex-cover experiments
+    (Full reaches the paper's 5*10^5). *)
+
+val edge_sizes : scale -> int list
+(** Smaller sweep for edge-cover experiments (their step counts carry an
+    extra log factor). *)
+
+val spectral_sizes : scale -> int list
+(** Sweep for experiments that need an eigenvalue estimate per point. *)
+
+val hypercube_dims : scale -> int list
+
+val trials : scale -> int
+(** Trials per data point (5 at [Full], as in the paper). *)
+
+val trial_rngs : seed:int -> trials:int -> Ewalk_prng.Rng.t array
+(** Independent per-trial generators derived from [seed]. *)
+
+val mean_of_trials :
+  seed:int -> trials:int -> (Ewalk_prng.Rng.t -> float) ->
+  Ewalk_analysis.Stats.summary
+(** Run the measurement once per trial generator and summarise. *)
+
+val mean_cover_of_trials :
+  seed:int -> trials:int -> (Ewalk_prng.Rng.t -> int option) ->
+  Ewalk_analysis.Stats.summary option
+(** Like {!mean_of_trials} for capped runs: [None] if {e any} trial hit its
+    cap (a partial mean would understate the truth). *)

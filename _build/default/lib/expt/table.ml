@@ -1,0 +1,96 @@
+type t = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let widths t =
+  let all = t.header :: t.rows in
+  let cols =
+    List.fold_left (fun acc row -> max acc (List.length row)) 0 all
+  in
+  let w = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if String.length cell > w.(i) then w.(i) <- String.length cell)
+        row)
+    all;
+  w
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let render_row w row =
+  let cells = List.mapi (fun i cell -> pad w.(i) cell) row in
+  "| " ^ String.concat " | " cells ^ " |"
+
+let rule w =
+  let dashes = Array.to_list (Array.map (fun n -> String.make (n + 2) '-') w) in
+  "+" ^ String.concat "+" dashes ^ "+"
+
+let render t =
+  let w = widths t in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "== %s: %s ==\n" t.id t.title);
+  Buffer.add_string buf (rule w);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row w t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (rule w);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row w row);
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.add_string buf (rule w);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun note ->
+      Buffer.add_string buf ("  " ^ note);
+      Buffer.add_char buf '\n')
+    t.notes;
+  Buffer.contents buf
+
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_field row) in
+  String.concat "\n" (line t.header :: List.map line t.rows) ^ "\n"
+
+let to_markdown t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "### `%s` — %s\n\n" t.id t.title);
+  let escape s = String.concat "\\|" (String.split_on_char '|' s) in
+  let line cells = "| " ^ String.concat " | " (List.map escape cells) ^ " |\n" in
+  Buffer.add_string buf (line t.header);
+  Buffer.add_string buf
+    ("|" ^ String.concat "|" (List.map (fun _ -> "---") t.header) ^ "|\n");
+  List.iter (fun row -> Buffer.add_string buf (line row)) t.rows;
+  if t.notes <> [] then begin
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun note -> Buffer.add_string buf (Printf.sprintf "- %s\n" note))
+      t.notes
+  end;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_f x =
+  let a = Float.abs x in
+  if a >= 1e9 then Printf.sprintf "%.3e" x
+  else if a >= 1000.0 || (Float.is_integer x && a >= 1.0) then
+    Printf.sprintf "%.0f" x
+  else if a >= 0.01 then Printf.sprintf "%.4g" x
+  else if a = 0.0 then "0"
+  else Printf.sprintf "%.3e" x
+
+let cell_i = string_of_int
+
+let cell_opt f = function None -> "-" | Some x -> f x

@@ -1,0 +1,36 @@
+(** Result tables: the uniform output format of every experiment.
+
+    An experiment produces one {!t}; the CLI and the bench harness render it
+    as an aligned text table (for reading) or CSV (for plotting). *)
+
+type t = {
+  id : string; (** experiment id, e.g. ["fig1"] *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list; (** free-form lines printed under the table *)
+}
+
+val render : t -> string
+(** Aligned, boxed ASCII rendering, notes appended. *)
+
+val to_csv : t -> string
+(** Header + rows as RFC-4180-ish CSV (quotes around fields containing
+    commas or quotes). *)
+
+val to_markdown : t -> string
+(** GitHub-flavoured markdown: a [###] heading, a pipe table, and the notes
+    as a bullet list — the building block of the generated results
+    report. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_f : float -> string
+(** Compact numeric formatting: 4 significant digits, scientific only when
+    needed. *)
+
+val cell_i : int -> string
+
+val cell_opt : ('a -> string) -> 'a option -> string
+(** [None] renders as ["-"] (used for capped runs). *)

@@ -1,0 +1,1 @@
+lib/graph/builder.ml: Array Graph List

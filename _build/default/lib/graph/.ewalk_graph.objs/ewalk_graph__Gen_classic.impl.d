@@ -1,0 +1,1 @@
+lib/graph/gen_classic.ml: Graph List

@@ -1,0 +1,1 @@
+lib/graph/gen_expander.ml: Builder Hashtbl List

@@ -1,0 +1,1 @@
+lib/graph/gen_random.ml: Array Builder Ewalk_prng Float Hashtbl List

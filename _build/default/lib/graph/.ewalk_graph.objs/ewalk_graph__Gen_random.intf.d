@@ -1,0 +1,1 @@
+lib/graph/gen_random.mli: Ewalk_prng Graph

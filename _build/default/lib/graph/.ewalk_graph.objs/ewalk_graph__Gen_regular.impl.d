@@ -1,0 +1,1 @@
+lib/graph/gen_regular.ml: Array Builder Ewalk_prng Graph Hashtbl Printf Traversal

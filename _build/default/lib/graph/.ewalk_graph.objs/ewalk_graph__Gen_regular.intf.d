@@ -1,0 +1,1 @@
+lib/graph/gen_regular.mli: Ewalk_prng Graph

@@ -1,0 +1,1 @@
+lib/graph/switch.ml: Array Ewalk_prng Girth Graph Hashtbl Option Queue

@@ -1,0 +1,1 @@
+lib/graph/switch.mli: Ewalk_prng Graph

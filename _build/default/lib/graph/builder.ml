@@ -1,0 +1,27 @@
+type t = {
+  n : int;
+  mutable edges : (int * int) list; (* reversed insertion order *)
+  mutable count : int;
+}
+
+let create ~n =
+  if n < 0 then invalid_arg "Builder.create: n < 0";
+  { n; edges = []; count = 0 }
+
+let add_edge t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg "Builder.add_edge: vertex out of range";
+  t.edges <- (u, v) :: t.edges;
+  t.count <- t.count + 1
+
+let edge_count t = t.count
+
+let to_graph t =
+  let arr = Array.make t.count (0, 0) in
+  let i = ref (t.count - 1) in
+  List.iter
+    (fun e ->
+      arr.(!i) <- e;
+      decr i)
+    t.edges;
+  Graph.of_edge_array ~n:t.n arr

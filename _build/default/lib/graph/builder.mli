@@ -1,0 +1,16 @@
+(** Mutable accumulator for constructing graphs edge by edge. *)
+
+type t
+
+val create : n:int -> t
+(** [create ~n] starts an empty graph on vertices [0 .. n-1]. *)
+
+val add_edge : t -> Graph.vertex -> Graph.vertex -> unit
+(** Appends one undirected edge.  Parallel edges and self-loops allowed.
+    @raise Invalid_argument on an out-of-range vertex. *)
+
+val edge_count : t -> int
+
+val to_graph : t -> Graph.t
+(** Freeze into an immutable {!Graph.t}; edge ids follow insertion order.
+    The builder remains usable afterwards. *)

@@ -1,0 +1,58 @@
+let sorted_descending degrees =
+  let d = Array.copy degrees in
+  Array.sort (fun a b -> compare b a) d;
+  d
+
+let is_graphical degrees =
+  let n = Array.length degrees in
+  if Array.exists (fun d -> d < 0 || d >= max n 1) degrees then false
+  else begin
+    let d = sorted_descending degrees in
+    let total = Array.fold_left ( + ) 0 d in
+    if total land 1 = 1 then false
+    else begin
+      (* Erdős–Gallai: for each k,
+         sum_{i<=k} d_i <= k(k-1) + sum_{i>k} min(d_i, k). *)
+      let ok = ref true in
+      let prefix = ref 0 in
+      for k = 1 to n do
+        prefix := !prefix + d.(k - 1);
+        let tail = ref 0 in
+        for i = k to n - 1 do
+          tail := !tail + min d.(i) k
+        done;
+        if !prefix > (k * (k - 1)) + !tail then ok := false
+      done;
+      !ok
+    end
+  end
+
+let havel_hakimi degrees =
+  let n = Array.length degrees in
+  if not (is_graphical degrees) then None
+  else begin
+    (* Repeatedly connect the highest-residual vertex to the next-highest
+       ones. *)
+    let residual = Array.mapi (fun v d -> (v, d)) degrees in
+    let edges = ref [] in
+    let ok = ref true in
+    let remaining = ref (Array.fold_left (fun acc d -> acc + d) 0 degrees / 2) in
+    while !ok && !remaining > 0 do
+      Array.sort (fun (_, a) (_, b) -> compare b a) residual;
+      let v, d = residual.(0) in
+      if d <= 0 || d > n - 1 then ok := false
+      else begin
+        for i = 1 to d do
+          let w, dw = residual.(i) in
+          if dw <= 0 then ok := false
+          else begin
+            edges := (v, w) :: !edges;
+            residual.(i) <- (w, dw - 1);
+            decr remaining
+          end
+        done;
+        residual.(0) <- (v, 0)
+      end
+    done;
+    if !ok then Some (Graph.of_edges ~n (List.rev !edges)) else None
+  end

@@ -1,0 +1,18 @@
+(** Degree-sequence utilities.
+
+    The configuration model takes an arbitrary degree sequence; these
+    helpers decide whether a sequence is realisable as a {e simple} graph
+    (Erdős–Gallai) and construct a canonical realisation (Havel–Hakimi),
+    used to validate the random generators and to build deterministic
+    fixtures. *)
+
+val is_graphical : int array -> bool
+(** Erdős–Gallai test: does a simple graph with this degree sequence
+    exist?  Negative degrees or degrees [>= n] fail immediately. *)
+
+val havel_hakimi : int array -> Graph.t option
+(** A canonical simple realisation of the sequence ([degrees.(v)] is the
+    degree of vertex [v]), or [None] if the sequence is not graphical. *)
+
+val sorted_descending : int array -> int array
+(** Convenience: a sorted copy, largest first. *)

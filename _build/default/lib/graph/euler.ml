@@ -1,0 +1,94 @@
+let is_eulerian g =
+  Graph.all_degrees_even g
+  &&
+  (* All edges in one component: the component of any endpoint must contain
+     every non-isolated vertex. *)
+  (Graph.m g = 0
+  ||
+  let label, _ = Traversal.connected_components g in
+  let u0, _ = Graph.endpoints g 0 in
+  let home = label.(u0) in
+  let ok = ref true in
+  for v = 0 to Graph.n g - 1 do
+    if Graph.degree g v > 0 && label.(v) <> home then ok := false
+  done;
+  !ok)
+
+(* Hierholzer from [start] over the not-yet-used edges; shares the [used]
+   flags and per-vertex slot cursors so the decomposition can call it
+   repeatedly.  Returns the closed trail as a forward edge list. *)
+let trail_from g ~used ~cursor start =
+  let stack = Stack.create () in
+  Stack.push (start, -1) stack;
+  let out = ref [] in
+  while not (Stack.is_empty stack) do
+    let v, incoming = Stack.top stack in
+    (* Advance this vertex's cursor past used slots. *)
+    let stop = Graph.adj_stop g v in
+    while cursor.(v) < stop && used.(Graph.slot_edge g cursor.(v)) do
+      cursor.(v) <- cursor.(v) + 1
+    done;
+    if cursor.(v) < stop then begin
+      let slot = cursor.(v) in
+      let e = Graph.slot_edge g slot in
+      used.(e) <- true;
+      Stack.push (Graph.slot_vertex g slot, e) stack
+    end
+    else begin
+      ignore (Stack.pop stack);
+      if incoming >= 0 then out := incoming :: !out
+    end
+  done;
+  !out
+
+let fresh_state g =
+  ( Array.make (Graph.m g) false,
+    Array.init (Graph.n g) (fun v -> Graph.adj_start g v) )
+
+let euler_circuit g ~start =
+  if start < 0 || start >= Graph.n g then
+    invalid_arg "Euler.euler_circuit: start out of range";
+  if not (is_eulerian g) then None
+  else if Graph.m g = 0 then Some []
+  else if Graph.degree g start = 0 then None
+  else begin
+    let used, cursor = fresh_state g in
+    let trail = trail_from g ~used ~cursor start in
+    if List.length trail = Graph.m g then Some trail else None
+  end
+
+let circuit_vertices g ~start edges =
+  let rec walk v = function
+    | [] -> [ v ]
+    | e :: rest ->
+        let u, w = Graph.endpoints g e in
+        let next =
+          if u = v then w
+          else if w = v then u
+          else invalid_arg "Euler.circuit_vertices: edges do not chain"
+        in
+        v :: walk next rest
+  in
+  walk start edges
+
+let closed_trail_decomposition g =
+  if not (Graph.all_degrees_even g) then
+    invalid_arg "Euler.closed_trail_decomposition: odd-degree vertex";
+  let used, cursor = fresh_state g in
+  let trails = ref [] in
+  for v = 0 to Graph.n g - 1 do
+    (* Any vertex that still has an unused edge starts a new closed trail;
+       even degrees guarantee the trail returns to it. *)
+    let stop = Graph.adj_stop g v in
+    while cursor.(v) < stop && used.(Graph.slot_edge g cursor.(v)) do
+      cursor.(v) <- cursor.(v) + 1
+    done;
+    while cursor.(v) < stop do
+      let trail = trail_from g ~used ~cursor v in
+      if trail <> [] then trails := trail :: !trails;
+      while cursor.(v) < stop && used.(Graph.slot_edge g cursor.(v)) do
+        cursor.(v) <- cursor.(v) + 1
+      done
+    done
+  done;
+  List.rev !trails

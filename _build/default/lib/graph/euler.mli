@@ -1,0 +1,30 @@
+(** Euler circuits and closed-trail decompositions of even-degree graphs.
+
+    The even-degree assumption at the heart of the paper is exactly the
+    Eulerian condition: every connected even-degree graph has a closed trail
+    using each edge once, and every even-degree graph decomposes into
+    edge-disjoint closed trails.  The E-process' blue phases trace such
+    closed trails online (Observation 10); this module computes them
+    offline (Hierholzer's algorithm), giving both a correctness oracle for
+    the blue-subgraph tests and the optimal [m]-step edge cover that the
+    E-process' [C_E] is measured against. *)
+
+val is_eulerian : Graph.t -> bool
+(** All degrees even, and all edges in one connected component. *)
+
+val euler_circuit : Graph.t -> start:Graph.vertex -> Graph.edge list option
+(** [euler_circuit g ~start]: an Euler circuit beginning and ending at
+    [start], as the sequence of its [m] edge ids, or [None] if [g] is not
+    Eulerian or [start] is isolated (with [m > 0]).  O(m) (Hierholzer).
+    For [m = 0], [Some \[\]]. *)
+
+val circuit_vertices :
+  Graph.t -> start:Graph.vertex -> Graph.edge list -> Graph.vertex list
+(** [circuit_vertices g ~start edges] expands an edge sequence starting at
+    [start] into the visited vertex sequence (length [m + 1]).
+    @raise Invalid_argument if consecutive edges do not chain. *)
+
+val closed_trail_decomposition : Graph.t -> Graph.edge list list
+(** Partition the edges of an even-degree graph into edge-disjoint closed
+    trails (one per pass of Hierholzer on each component).
+    @raise Invalid_argument if some vertex has odd degree. *)

@@ -1,0 +1,125 @@
+let cycle n =
+  if n < 3 then invalid_arg "Gen_classic.cycle: n < 3";
+  Graph.of_edges ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let path n =
+  if n < 1 then invalid_arg "Gen_classic.path: n < 1";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete n =
+  if n < 1 then invalid_arg "Gen_classic.complete: n < 1";
+  let edges = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let complete_bipartite a b =
+  if a < 1 || b < 1 then invalid_arg "Gen_classic.complete_bipartite";
+  let edges = ref [] in
+  for i = a - 1 downto 0 do
+    for j = b - 1 downto 0 do
+      edges := (i, a + j) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(a + b) !edges
+
+let star n =
+  if n < 2 then invalid_arg "Gen_classic.star: n < 2";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let hypercube r =
+  if r < 0 || r > 25 then invalid_arg "Gen_classic.hypercube: bad dimension";
+  let n = 1 lsl r in
+  let edges = ref [] in
+  for v = n - 1 downto 0 do
+    for b = 0 to r - 1 do
+      let w = v lxor (1 lsl b) in
+      if v < w then edges := (v, w) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let torus2d rows cols =
+  if rows < 3 || cols < 3 then invalid_arg "Gen_classic.torus2d: sides < 3";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = rows - 1 downto 0 do
+    for c = cols - 1 downto 0 do
+      edges := (id r c, id r ((c + 1) mod cols)) :: !edges;
+      edges := (id r c, id ((r + 1) mod rows) c) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !edges
+
+let grid2d rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Gen_classic.grid2d";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = rows - 1 downto 0 do
+    for c = cols - 1 downto 0 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !edges
+
+let binary_tree depth =
+  if depth < 0 then invalid_arg "Gen_classic.binary_tree: depth < 0";
+  let n = (1 lsl (depth + 1)) - 1 in
+  let edges = ref [] in
+  for v = n - 1 downto 1 do
+    edges := ((v - 1) / 2, v) :: !edges
+  done;
+  Graph.of_edges ~n !edges
+
+let lollipop k p =
+  if k < 3 || p < 1 then invalid_arg "Gen_classic.lollipop";
+  let edges = ref [] in
+  for i = k - 1 downto 0 do
+    for j = k - 1 downto i + 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  (* Path attached to clique vertex k - 1. *)
+  for i = 0 to p - 1 do
+    let a = if i = 0 then k - 1 else k + i - 1 in
+    edges := (a, k + i) :: !edges
+  done;
+  Graph.of_edges ~n:(k + p) !edges
+
+let barbell k p =
+  if k < 3 || p < 0 then invalid_arg "Gen_classic.barbell";
+  let edges = ref [] in
+  let clique offset =
+    for i = k - 1 downto 0 do
+      for j = k - 1 downto i + 1 do
+        edges := (offset + i, offset + j) :: !edges
+      done
+    done
+  in
+  clique 0;
+  clique k;
+  (* Path of p extra vertices between vertex k - 1 and vertex k. *)
+  if p = 0 then edges := (k - 1, k) :: !edges
+  else begin
+    edges := (k - 1, 2 * k) :: !edges;
+    for i = 1 to p - 1 do
+      edges := ((2 * k) + i - 1, (2 * k) + i) :: !edges
+    done;
+    edges := ((2 * k) + p - 1, k) :: !edges
+  end;
+  Graph.of_edges ~n:((2 * k) + p) !edges
+
+let petersen () =
+  let outer = List.init 5 (fun i -> (i, (i + 1) mod 5)) in
+  let spokes = List.init 5 (fun i -> (i, i + 5)) in
+  let inner = List.init 5 (fun i -> (i + 5, ((i + 2) mod 5) + 5)) in
+  Graph.of_edges ~n:10 (outer @ spokes @ inner)
+
+let double_cycle n =
+  if n < 3 then invalid_arg "Gen_classic.double_cycle: n < 3";
+  let once = List.init n (fun i -> (i, (i + 1) mod n)) in
+  Graph.of_edges ~n (once @ once)

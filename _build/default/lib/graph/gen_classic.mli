@@ -1,0 +1,53 @@
+(** Deterministic graph families.
+
+    The even-degree families here exercise the paper's theorems directly
+    (torus: 4-regular; hypercube of even dimension; cycles), and the odd or
+    irregular families serve as baselines and counter-examples (Section 5,
+    lower-bound experiments). *)
+
+val cycle : int -> Graph.t
+(** [cycle n], [n >= 3]: the n-cycle — 2-regular, `ell`-good with
+    [ell = n].  @raise Invalid_argument for [n < 3]. *)
+
+val path : int -> Graph.t
+(** [path n]: n vertices, n-1 edges.  @raise Invalid_argument for [n < 1]. *)
+
+val complete : int -> Graph.t
+(** [complete n]: the clique K_n.  @raise Invalid_argument for [n < 1]. *)
+
+val complete_bipartite : int -> int -> Graph.t
+(** [complete_bipartite a b]: K_{a,b}, sides [0..a-1] and [a..a+b-1]. *)
+
+val star : int -> Graph.t
+(** [star n]: centre 0 joined to [n - 1] leaves. *)
+
+val hypercube : int -> Graph.t
+(** [hypercube r]: H_r on 2^r vertices, r-regular — the running example for
+    the edge-cover discussion around eq. (2)/(3).
+    @raise Invalid_argument for [r < 0] or [r > 25]. *)
+
+val torus2d : int -> int -> Graph.t
+(** [torus2d rows cols]: the wrap-around grid — 4-regular (even degree!) on
+    [rows * cols] vertices.  Requires both sides [>= 3] so the graph stays
+    simple. *)
+
+val grid2d : int -> int -> Graph.t
+(** [grid2d rows cols]: the open grid (no wrap-around). *)
+
+val binary_tree : int -> Graph.t
+(** [binary_tree depth]: complete binary tree with [2^(depth+1) - 1]
+    vertices. *)
+
+val lollipop : int -> int -> Graph.t
+(** [lollipop k p]: clique K_k with a path of [p] extra vertices attached —
+    the classic worst case for SRW hitting times. *)
+
+val barbell : int -> int -> Graph.t
+(** [barbell k p]: two K_k cliques joined by a path of [p] extra vertices. *)
+
+val petersen : unit -> Graph.t
+(** The Petersen graph: 3-regular, girth 5 — a small odd-degree test case. *)
+
+val double_cycle : int -> Graph.t
+(** [double_cycle n]: the n-cycle with every edge doubled — a 4-regular even
+    multigraph whose blue subgraphs are easy to reason about in tests. *)

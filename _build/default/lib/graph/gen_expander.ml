@@ -1,0 +1,47 @@
+let margulis k =
+  if k < 2 then invalid_arg "Gen_expander.margulis: k < 2";
+  let n = k * k in
+  let id x y = (((x mod k) + k) mod k * k) + (((y mod k) + k) mod k) in
+  let b = Builder.create ~n in
+  for x = 0 to k - 1 do
+    for y = 0 to k - 1 do
+      let v = id x y in
+      (* The four Gabber–Galil maps; the reverse directions arrive as the
+         images of other vertices, giving total degree 8 (with self-loops
+         where a map fixes the vertex, e.g. y = 0 for the first map). *)
+      Builder.add_edge b v (id (x + y) y);
+      Builder.add_edge b v (id (x + y + 1) y);
+      Builder.add_edge b v (id x (y + x));
+      Builder.add_edge b v (id x (y + x + 1))
+    done
+  done;
+  Builder.to_graph b
+
+let circulant n offsets =
+  if n < 3 then invalid_arg "Gen_expander.circulant: n < 3";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if s < 1 || 2 * s >= n then
+        invalid_arg "Gen_expander.circulant: offset out of range";
+      if Hashtbl.mem seen s then
+        invalid_arg "Gen_expander.circulant: duplicate offset";
+      Hashtbl.add seen s ())
+    offsets;
+  let b = Builder.create ~n in
+  for i = 0 to n - 1 do
+    List.iter (fun s -> Builder.add_edge b i ((i + s) mod n)) offsets
+  done;
+  Builder.to_graph b
+
+let chordal_cycle p =
+  if p < 5 then invalid_arg "Gen_expander.chordal_cycle: p < 5";
+  let b = Builder.create ~n:p in
+  for i = 0 to p - 1 do
+    Builder.add_edge b i ((i + 1) mod p);
+    (* Doubling chords: each i -> 2i; for odd p this is a bijection, so the
+       chord system is 2-regular, with one self-loop at 0 keeping the degree
+       even (= 4) everywhere. *)
+    Builder.add_edge b i (2 * i mod p)
+  done;
+  Builder.to_graph b

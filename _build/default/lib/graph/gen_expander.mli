@@ -1,0 +1,30 @@
+(** Explicit even-degree expander constructions.
+
+    Theorem 1 applies to even-degree expanders; beyond random regular graphs
+    (which are expanders whp by Friedman's theorem, property P1), these
+    deterministic families give reproducible instances with a provable
+    spectral gap: the Margulis / Gabber–Galil degree-8 expander and circulant
+    graphs of arbitrary even degree. *)
+
+val margulis : int -> Graph.t
+(** [margulis k]: the Gabber–Galil variant of the Margulis expander on the
+    vertex set [Z_k x Z_k] ([n = k^2]).  Every vertex [(x, y)] is joined to
+    [(x + y, y)], [(x + y + 1, y)], [(x, y + x)], [(x, y + x + 1)] (mod k)
+    and, being undirected, to the four preimages — an 8-regular multigraph
+    with second adjacency eigenvalue at most [5 sqrt 2 < 8].
+    @raise Invalid_argument for [k < 2]. *)
+
+val circulant : int -> int list -> Graph.t
+(** [circulant n offsets]: vertex [i] joined to [i ± s mod n] for each
+    [s] in [offsets].  With distinct offsets in [1 .. (n-1)/2] the result is
+    simple and [2 |offsets|]-regular (even degree).
+    @raise Invalid_argument for an offset outside [1 .. n/2], duplicate
+    offsets, or [s = n/2] when [n] is even (that chord would create parallel
+    edges under the ± convention). *)
+
+val chordal_cycle : int -> Graph.t
+(** [chordal_cycle p]: the degree-4 "cycle with chords" expander candidate on
+    [Z_p]: vertex [i] joined to [i + 1], [i - 1] and to the modular inverse
+    chord [i -> 2i mod p] (as an undirected 2-regular chord system).  Even
+    degree 4; an expander for prime [p].
+    @raise Invalid_argument for [p < 5]. *)

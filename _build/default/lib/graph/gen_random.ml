@@ -1,0 +1,87 @@
+module Rng = Ewalk_prng.Rng
+
+let gnp rng n p =
+  if n < 0 then invalid_arg "Gen_random.gnp: n < 0";
+  if p < 0.0 || p > 1.0 then invalid_arg "Gen_random.gnp: p out of [0,1]";
+  let b = Builder.create ~n in
+  if p > 0.0 then begin
+    if p >= 1.0 then
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          Builder.add_edge b u v
+        done
+      done
+    else begin
+      (* Geometric skipping over the lexicographic pair order. *)
+      let log1mp = log (1.0 -. p) in
+      let v = ref 1 and u = ref (-1) in
+      while !v < n do
+        let r = Rng.float rng 1.0 in
+        let r = if r = 0.0 then epsilon_float else r in
+        let skip = int_of_float (Float.floor (log r /. log1mp)) in
+        u := !u + 1 + skip;
+        while !u >= !v && !v < n do
+          u := !u - !v;
+          incr v
+        done;
+        if !v < n then Builder.add_edge b !u !v
+      done
+    end
+  end;
+  Builder.to_graph b
+
+let gnm rng n m =
+  if n < 0 || m < 0 then invalid_arg "Gen_random.gnm: negative argument";
+  let max_m = n * (n - 1) / 2 in
+  if m > max_m then invalid_arg "Gen_random.gnm: too many edges";
+  let chosen = Hashtbl.create (2 * m) in
+  let b = Builder.create ~n in
+  let placed = ref 0 in
+  while !placed < m do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then begin
+      let key = if u < v then (u, v) else (v, u) in
+      if not (Hashtbl.mem chosen key) then begin
+        Hashtbl.add chosen key ();
+        Builder.add_edge b (fst key) (snd key);
+        incr placed
+      end
+    end
+  done;
+  Builder.to_graph b
+
+let random_geometric rng n radius =
+  if n < 0 then invalid_arg "Gen_random.random_geometric: n < 0";
+  if radius < 0.0 then invalid_arg "Gen_random.random_geometric: radius < 0";
+  let xs = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let ys = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let cells = max 1 (int_of_float (1.0 /. Float.max radius 1e-9)) in
+  let cells = min cells 4096 in
+  let bucket = Hashtbl.create (2 * n) in
+  let cell_of x = min (cells - 1) (int_of_float (x *. float_of_int cells)) in
+  for i = 0 to n - 1 do
+    let key = (cell_of xs.(i), cell_of ys.(i)) in
+    Hashtbl.replace bucket key
+      (i :: (try Hashtbl.find bucket key with Not_found -> []))
+  done;
+  let b = Builder.create ~n in
+  let r2 = radius *. radius in
+  for i = 0 to n - 1 do
+    let cx = cell_of xs.(i) and cy = cell_of ys.(i) in
+    for dx = -1 to 1 do
+      for dy = -1 to 1 do
+        match Hashtbl.find_opt bucket (cx + dx, cy + dy) with
+        | None -> ()
+        | Some js ->
+            List.iter
+              (fun j ->
+                if j > i then begin
+                  let ddx = xs.(i) -. xs.(j) and ddy = ys.(i) -. ys.(j) in
+                  if (ddx *. ddx) +. (ddy *. ddy) <= r2 then
+                    Builder.add_edge b i j
+                end)
+              js
+      done
+    done
+  done;
+  Builder.to_graph b

@@ -1,0 +1,20 @@
+(** Random graph models other than the regular/configuration models.
+
+    Erdős–Rényi graphs serve as irregular baselines; random geometric graphs
+    reproduce the workload of the Avin–Krishnamachari "random walk with
+    choice" study cited in the paper's related work. *)
+
+val gnp : Ewalk_prng.Rng.t -> int -> float -> Graph.t
+(** [gnp rng n p]: every unordered pair is an edge independently with
+    probability [p].  Uses geometric skipping, so the cost is proportional
+    to the number of edges generated.
+    @raise Invalid_argument unless [0 <= p <= 1] and [n >= 0]. *)
+
+val gnm : Ewalk_prng.Rng.t -> int -> int -> Graph.t
+(** [gnm rng n m]: a uniform simple graph with exactly [m] edges.
+    @raise Invalid_argument if [m] exceeds [n (n-1) / 2]. *)
+
+val random_geometric : Ewalk_prng.Rng.t -> int -> float -> Graph.t
+(** [random_geometric rng n radius]: [n] uniform points in the unit square,
+    an edge between points at Euclidean distance [<= radius].  Grid-bucketed
+    so the cost is near-linear for small radii. *)

@@ -1,0 +1,206 @@
+let has_self_loop g = Graph.count_self_loops g > 0
+let has_parallel g = Graph.count_parallel_edges g > 0
+
+(* BFS from [v] collecting cycle-length candidates [d(x) + d(w) + 1] for
+   non-tree edges; every candidate upper-bounds a real cycle, and for [v] on
+   a shortest cycle the candidate matches the girth, so the minimum over all
+   start vertices is exact. *)
+let bfs_candidate g v cap =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(v) <- 0;
+  Queue.add v queue;
+  let best = ref cap in
+  while not (Queue.is_empty queue) do
+    let x = Queue.take queue in
+    (* A cycle found via depths d and d' has length >= 2d + 1 when both
+       endpoints sit at depth >= d, so depth (best - 1) / 2 suffices. *)
+    if 2 * dist.(x) + 1 <= !best then
+      Graph.iter_neighbors g x (fun w e ->
+          if e <> parent_edge.(x) then begin
+            if dist.(w) < 0 then begin
+              dist.(w) <- dist.(x) + 1;
+              parent_edge.(w) <- e;
+              Queue.add w queue
+            end
+            else begin
+              let candidate = dist.(x) + dist.(w) + 1 in
+              if candidate < !best then best := candidate
+            end
+          end)
+  done;
+  !best
+
+let girth_bounded g cap =
+  if Graph.m g = 0 then None
+  else if has_self_loop g then Some 1
+  else if has_parallel g then Some 2
+  else begin
+    let best = ref cap in
+    for v = 0 to Graph.n g - 1 do
+      let c = bfs_candidate g v !best in
+      if c < !best then best := c
+    done;
+    if !best >= cap then None else Some !best
+  end
+
+let girth g = girth_bounded g max_int
+
+let girth_at_most g k = girth_bounded g (k + 1)
+
+let shortest_cycle_through g v =
+  (* Exact: a shortest cycle through [v] uses some incident edge [e]; its
+     length is 1 + (shortest path between the endpoints of [e] in G - e). *)
+  let best = ref max_int in
+  Graph.iter_neighbors g v (fun w banned ->
+      let n = Graph.n g in
+      let dist = Array.make n (-1) in
+      let queue = Queue.create () in
+      dist.(w) <- 0;
+      Queue.add w queue;
+      while not (Queue.is_empty queue) do
+        let x = Queue.take queue in
+        if dist.(x) + 1 < !best && dist.(v) < 0 then
+          Graph.iter_neighbors g x (fun y e ->
+              if e <> banned && dist.(y) < 0 then begin
+                dist.(y) <- dist.(x) + 1;
+                Queue.add y queue
+              end)
+      done;
+      if dist.(v) >= 0 && dist.(v) + 1 < !best then best := dist.(v) + 1);
+  if !best = max_int then None else Some !best
+
+let count_cycles g ~max_len =
+  if max_len < 0 then invalid_arg "Girth.count_cycles: max_len < 0";
+  let counts = Array.make (max_len + 1) 0 in
+  let n = Graph.n g in
+  let on_path = Array.make n false in
+  (* Each cycle is counted from its minimum vertex [s], once per direction;
+     intermediate vertices are restricted to be > s. *)
+  for s = 0 to n - 1 do
+    let rec extend v len prev_edge =
+      Graph.iter_neighbors g v (fun w e ->
+          if e <> prev_edge then begin
+            if w = s && len + 1 >= 1 then
+              counts.(len + 1) <- counts.(len + 1) + 1
+            else if w > s && (not on_path.(w)) && len + 1 < max_len then begin
+              on_path.(w) <- true;
+              extend w (len + 1) e;
+              on_path.(w) <- false
+            end
+          end)
+    in
+    if max_len >= 1 then begin
+      on_path.(s) <- true;
+      extend s 0 (-1);
+      on_path.(s) <- false
+    end
+  done;
+  Array.map (fun c -> c / 2) counts
+
+let find_short_cycle g ~shorter_than =
+  if shorter_than <= 1 then None
+  else begin
+    (* Self-loops and parallel pairs are length-1 / length-2 cycles. *)
+    let found = ref None in
+    if shorter_than > 1 then
+      Graph.iter_edges g (fun e u v ->
+          if !found = None && u = v then found := Some [ e ]);
+    if !found = None && shorter_than > 2 then begin
+      let seen = Hashtbl.create (2 * Graph.m g) in
+      Graph.iter_edges g (fun e u v ->
+          if !found = None && u <> v then begin
+            let key = if u < v then (u, v) else (v, u) in
+            match Hashtbl.find_opt seen key with
+            | Some e' -> found := Some [ e'; e ]
+            | None -> Hashtbl.add seen key e
+          end)
+    end;
+    if !found <> None then !found
+    else begin
+      (* BFS from every vertex with depth cut; reconstruct via parent edges
+         when a non-tree edge closes a short-enough cycle, stripping the
+         common ancestor prefix. *)
+      let n = Graph.n g in
+      let v0 = ref 0 in
+      while !found = None && !v0 < n do
+        let s = !v0 in
+        let dist = Array.make n (-1) in
+        let parent_edge = Array.make n (-1) in
+        let parent = Array.make n (-1) in
+        let queue = Queue.create () in
+        dist.(s) <- 0;
+        Queue.add s queue;
+        while !found = None && not (Queue.is_empty queue) do
+          let x = Queue.take queue in
+          if 2 * dist.(x) + 1 < shorter_than then
+            Graph.iter_neighbors g x (fun w e ->
+                if !found = None && e <> parent_edge.(x) then begin
+                  if dist.(w) < 0 then begin
+                    dist.(w) <- dist.(x) + 1;
+                    parent_edge.(w) <- e;
+                    parent.(w) <- x;
+                    Queue.add w queue
+                  end
+                  else if dist.(x) + dist.(w) + 1 < shorter_than then begin
+                    (* Closed walk: root paths of x and w plus edge e.
+                       Strip the shared prefix to get a simple cycle. *)
+                    let path_to_root y =
+                      let rec up y acc =
+                        if parent.(y) < 0 then acc
+                        else up parent.(y) ((y, parent_edge.(y)) :: acc)
+                      in
+                      up y []
+                    in
+                    let px = path_to_root x and pw = path_to_root w in
+                    let rec strip px pw =
+                      match (px, pw) with
+                      | (a, _) :: px', (b, _) :: pw' when a = b ->
+                          strip px' pw'
+                      | _ -> (px, pw)
+                    in
+                    let px, pw = strip px pw in
+                    let edges =
+                      List.map snd px @ [ e ] @ List.rev_map snd pw
+                    in
+                    found := Some edges
+                  end
+                end)
+        done;
+        incr v0
+      done;
+      !found
+    end
+  end
+
+let cycles_through g v ~max_len =
+  let n = Graph.n g in
+  let on_path = Array.make n false in
+  let seen = Hashtbl.create 64 in
+  let cycles = ref [] in
+  let record path =
+    let key = List.sort compare path in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      cycles := List.rev path :: !cycles
+    end
+  in
+  let rec extend x len prev_edge path =
+    Graph.iter_neighbors g x (fun w e ->
+        if e <> prev_edge then begin
+          if w = v then record (e :: path)
+          else if (not on_path.(w)) && len + 1 < max_len then begin
+            on_path.(w) <- true;
+            extend w (len + 1) e (e :: path);
+            on_path.(w) <- false
+          end
+        end)
+  in
+  if max_len >= 1 then begin
+    on_path.(v) <- true;
+    extend v 0 (-1) [];
+    on_path.(v) <- false
+  end;
+  !cycles

@@ -1,0 +1,36 @@
+(** Girth and small-cycle census.
+
+    Theorem 3 bounds the E-process edge cover time in terms of the girth [g],
+    and Corollary 4's proof counts the cycles of each small length [N_k]
+    against their expectation on random regular graphs.  Both quantities are
+    computed here.  Conventions: a self-loop is a cycle of length 1, a pair
+    of parallel edges a cycle of length 2. *)
+
+val girth : Graph.t -> int option
+(** Exact girth, or [None] for an acyclic graph.  Per-vertex BFS with a
+    depth cut-off at the best cycle found so far; fast whenever the girth is
+    small (the typical case on the families studied here). *)
+
+val girth_at_most : Graph.t -> int -> int option
+(** [girth_at_most g k] is the girth if it is [<= k], else [None]; never
+    explores deeper than [k/2 + 1], so it stays cheap on large graphs. *)
+
+val shortest_cycle_through : Graph.t -> Graph.vertex -> int option
+(** Length of a shortest cycle containing the given vertex. *)
+
+val count_cycles : Graph.t -> max_len:int -> int array
+(** [count_cycles g ~max_len] returns [c] with [c.(k)] the exact number of
+    (vertex-)simple cycles of length [k], for [0 <= k <= max_len] ([c.(0)]
+    is always 0).  Exponential in [max_len] with base [max_degree]; intended
+    for [max_len = O(log n)] on bounded-degree graphs, matching the paper's
+    use.  @raise Invalid_argument if [max_len < 0]. *)
+
+val cycles_through : Graph.t -> Graph.vertex -> max_len:int -> Graph.edge list list
+(** All simple cycles through the given vertex of length [<= max_len], each
+    as its edge-id list, each cycle reported once.  Used by the
+    [ell]-goodness search. *)
+
+val find_short_cycle : Graph.t -> shorter_than:int -> Graph.edge list option
+(** The edge list of some simple cycle of length [< shorter_than], if one
+    exists.  Cheap (bounded BFS per vertex); the building block of the
+    girth-boosting rewiring in {!Switch}. *)

@@ -1,0 +1,49 @@
+let to_string g =
+  let buf = Buffer.create (16 * (Graph.m g + 1)) in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" (Graph.n g) (Graph.m g));
+  Graph.iter_edges g (fun _ u v ->
+      Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  Buffer.contents buf
+
+let relevant_lines s =
+  String.split_on_char '\n' s
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
+let parse_pair what line =
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [ a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b -> (a, b)
+      | _ -> failwith (Printf.sprintf "Graph_io: bad %s line %S" what line))
+  | _ -> failwith (Printf.sprintf "Graph_io: bad %s line %S" what line)
+
+let of_string s =
+  match relevant_lines s with
+  | [] -> failwith "Graph_io: empty input"
+  | header :: rest ->
+      let n, m = parse_pair "header" header in
+      if n < 0 || m < 0 then failwith "Graph_io: negative header";
+      if List.length rest <> m then
+        failwith
+          (Printf.sprintf "Graph_io: expected %d edges, found %d" m
+             (List.length rest));
+      let edges = List.map (parse_pair "edge") rest in
+      List.iter
+        (fun (u, v) ->
+          if u < 0 || u >= n || v < 0 || v >= n then
+            failwith "Graph_io: endpoint out of range")
+        edges;
+      Graph.of_edges ~n edges
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,18 @@
+(** Plain-text graph serialisation.
+
+    Format: a header line ["n m"] followed by [m] lines ["u v"], one per
+    edge, in edge-id order.  Lines starting with ['#'] and blank lines are
+    ignored on input.  Round-trips exactly (edge ids and multiplicities
+    preserved), so experiment graphs can be saved and re-examined. *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> Graph.t
+(** @raise Failure on malformed input (bad header, wrong edge count,
+    out-of-range endpoint). *)
+
+val save : string -> Graph.t -> unit
+(** [save path g] writes {!to_string} to [path]. *)
+
+val load : string -> Graph.t
+(** @raise Failure as {!of_string}; @raise Sys_error on I/O errors. *)

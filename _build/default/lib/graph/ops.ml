@@ -1,0 +1,71 @@
+let disjoint_union a b =
+  let na = Graph.n a in
+  let edges =
+    Graph.fold_edges b
+      (fun acc _ u v -> (u + na, v + na) :: acc)
+      (List.rev (Graph.edge_list a))
+  in
+  Graph.of_edges ~n:(na + Graph.n b) (List.rev edges)
+
+let cartesian_product a b =
+  let nb = Graph.n b in
+  let id u v = (u * nb) + v in
+  let edges = ref [] in
+  (* (u, v) ~ (u, v') for v ~ v' in b. *)
+  for u = Graph.n a - 1 downto 0 do
+    Graph.iter_edges b (fun _ v v' -> edges := (id u v, id u v') :: !edges)
+  done;
+  (* (u, v) ~ (u', v) for u ~ u' in a. *)
+  for v = nb - 1 downto 0 do
+    Graph.iter_edges a (fun _ u u' -> edges := (id u v, id u' v) :: !edges)
+  done;
+  Graph.of_edges ~n:(Graph.n a * nb) !edges
+
+let complement g =
+  if not (Graph.is_simple g) then
+    invalid_arg "Ops.complement: graph is not simple";
+  let n = Graph.n g in
+  let edges = ref [] in
+  for u = n - 1 downto 0 do
+    for v = n - 1 downto u + 1 do
+      if not (Graph.mem_edge g u v) then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let line_graph g =
+  if Graph.count_self_loops g > 0 then
+    invalid_arg "Ops.line_graph: self-loops not supported";
+  let edges = ref [] in
+  (* For each vertex, connect every pair of incident edges. *)
+  for v = Graph.n g - 1 downto 0 do
+    let incident = ref [] in
+    Graph.iter_neighbors g v (fun _ e -> incident := e :: !incident);
+    let rec pairs = function
+      | [] -> ()
+      | e :: rest ->
+          List.iter (fun e' -> edges := (e, e') :: !edges) rest;
+          pairs rest
+    in
+    pairs !incident
+  done;
+  Graph.of_edges ~n:(Graph.m g) !edges
+
+let double_edges g =
+  let edges = Graph.edge_list g in
+  Graph.of_edges ~n:(Graph.n g) (edges @ edges)
+
+let relabel g perm =
+  let n = Graph.n g in
+  if Array.length perm <> n then invalid_arg "Ops.relabel: wrong length";
+  let seen = Array.make n false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= n || seen.(p) then
+        invalid_arg "Ops.relabel: not a permutation";
+      seen.(p) <- true)
+    perm;
+  let edges =
+    Graph.fold_edges g (fun acc _ u v -> (perm.(u), perm.(v)) :: acc) []
+  in
+  Graph.of_edges ~n (List.rev edges)

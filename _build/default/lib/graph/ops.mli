@@ -1,0 +1,37 @@
+(** Graph combinators: unions, products, complement, line graph.
+
+    The classic families are products in disguise — the hypercube is an
+    iterated product of [K_2]s and the torus a product of two cycles — so
+    these combinators double as independent oracles for the generators in
+    the test suite, besides letting users assemble their own even-degree
+    workloads (products of even-degree graphs are even-degree). *)
+
+val disjoint_union : Graph.t -> Graph.t -> Graph.t
+(** Vertices of the second graph are shifted by [n] of the first. *)
+
+val cartesian_product : Graph.t -> Graph.t -> Graph.t
+(** [cartesian_product g h]: vertex [(u, v)] is encoded as [u * n_h + v];
+    [(u,v) ~ (u',v')] iff ([u = u'] and [v ~ v']) or ([v = v'] and
+    [u ~ u']).  Degrees add, so products of even-degree graphs stay even. *)
+
+val complement : Graph.t -> Graph.t
+(** Simple complement (self-loops never included).  Quadratic; intended for
+    small graphs.  @raise Invalid_argument if the input is not simple. *)
+
+val line_graph : Graph.t -> Graph.t
+(** Vertices = edges of [g]; two adjacent iff they share an endpoint.  The
+    line graph of an [r]-regular graph is [2(r-1)]-regular — a classic
+    source of {e even-degree} graphs from odd-degree ones (e.g. the line
+    graph of a random cubic graph is 4-regular), directly relevant to
+    applying Theorem 1 beyond even families.
+    @raise Invalid_argument on graphs with self-loops. *)
+
+val double_edges : Graph.t -> Graph.t
+(** Every edge duplicated: all degrees double, so the result is even-degree
+    — the cheapest way to bring an odd-degree graph under Theorem 1's
+    hypotheses (the same doubling the rotor-router model performs).  The
+    duplicate of edge [e] has id [m + e]. *)
+
+val relabel : Graph.t -> int array -> Graph.t
+(** [relabel g perm] renames vertex [v] to [perm.(v)].
+    @raise Invalid_argument if [perm] is not a permutation of [0..n-1]. *)

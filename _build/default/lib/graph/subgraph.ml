@@ -1,0 +1,73 @@
+let check_distinct_vertices g vs =
+  let seen = Hashtbl.create (List.length vs) in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= Graph.n g then
+        invalid_arg "Subgraph: vertex out of range";
+      if Hashtbl.mem seen v then invalid_arg "Subgraph: duplicate vertex";
+      Hashtbl.add seen v ())
+    vs
+
+let induced g vs =
+  check_distinct_vertices g vs;
+  let vs = Array.of_list vs in
+  let k = Array.length vs in
+  let new_id = Array.make (Graph.n g) (-1) in
+  Array.iteri (fun i v -> new_id.(v) <- i) vs;
+  let edges =
+    Graph.fold_edges g
+      (fun acc _ u v ->
+        if new_id.(u) >= 0 && new_id.(v) >= 0 then
+          (new_id.(u), new_id.(v)) :: acc
+        else acc)
+      []
+  in
+  (Graph.of_edges ~n:k (List.rev edges), vs)
+
+let edge_subgraph g es =
+  let edges =
+    List.map
+      (fun e ->
+        if e < 0 || e >= Graph.m g then
+          invalid_arg "Subgraph.edge_subgraph: edge out of range";
+        Graph.endpoints g e)
+      es
+  in
+  Graph.of_edges ~n:(Graph.n g) edges
+
+let contract g s =
+  if s = [] then invalid_arg "Subgraph.contract: empty set";
+  check_distinct_vertices g s;
+  let in_s = Array.make (Graph.n g) false in
+  List.iter (fun v -> in_s.(v) <- true) s;
+  let map = Array.make (Graph.n g) (-1) in
+  let next = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    if not in_s.(v) then begin
+      map.(v) <- !next;
+      incr next
+    end
+  done;
+  let gamma = !next in
+  for v = 0 to Graph.n g - 1 do
+    if in_s.(v) then map.(v) <- gamma
+  done;
+  let edges =
+    Graph.fold_edges g (fun acc _ u v -> (map.(u), map.(v)) :: acc) []
+  in
+  (Graph.of_edges ~n:(gamma + 1) (List.rev edges), map, gamma)
+
+let remove_edges g es =
+  let removed = Array.make (Graph.m g) false in
+  List.iter
+    (fun e ->
+      if e < 0 || e >= Graph.m g then
+        invalid_arg "Subgraph.remove_edges: edge out of range";
+      removed.(e) <- true)
+    es;
+  let edges =
+    Graph.fold_edges g
+      (fun acc e u v -> if removed.(e) then acc else (u, v) :: acc)
+      []
+  in
+  Graph.of_edges ~n:(Graph.n g) (List.rev edges)

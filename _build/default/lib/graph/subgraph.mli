@@ -1,0 +1,31 @@
+(** Induced subgraphs, edge subgraphs, and vertex-set contraction.
+
+    Contraction is the [Gamma = G / S] operation at the heart of the paper's
+    Section 2.2: a vertex set [S] collapses to one vertex [gamma], loops and
+    parallel edges are retained so that [d(gamma) = d(S)] and
+    [|E(Gamma)| = |E(G)|].  The test suite verifies the eigenvalue-gap
+    monotonicity (eq. 16) on small graphs through this function. *)
+
+val induced : Graph.t -> Graph.vertex list -> Graph.t * Graph.vertex array
+(** [induced g vs] is the subgraph induced by the distinct vertices [vs]
+    (edges with both endpoints in [vs]), together with the map from new
+    vertex id to original vertex id.
+    @raise Invalid_argument on duplicates or out-of-range vertices. *)
+
+val edge_subgraph : Graph.t -> Graph.edge list -> Graph.t
+(** [edge_subgraph g es] keeps every vertex of [g] and exactly the listed
+    edges (new consecutive edge ids, order preserved).
+    @raise Invalid_argument on an out-of-range edge id. *)
+
+val contract :
+  Graph.t -> Graph.vertex list -> Graph.t * Graph.vertex array * Graph.vertex
+(** [contract g s] collapses the vertex set [s] into a single new vertex.
+    Returns [(gamma_graph, map, gamma)] where [map.(v)] is the new id of
+    original vertex [v] (members of [s] all map to [gamma]).  Edges inside
+    [s] become self-loops at [gamma]; multi-edges are retained, so degrees
+    sum exactly as in the paper.
+    @raise Invalid_argument if [s] is empty, has duplicates, or is out of
+    range. *)
+
+val remove_edges : Graph.t -> Graph.edge list -> Graph.t
+(** Graph with the listed edge ids deleted (vertex set unchanged). *)

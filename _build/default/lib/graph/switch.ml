@@ -1,0 +1,163 @@
+module Rng = Ewalk_prng.Rng
+
+(* Mutable edge-array view with a membership table, so each switch is O(1)
+   and only the final freeze rebuilds the CSR. *)
+type state = {
+  n : int;
+  edges : (int * int) array;
+  member : (int * int, int) Hashtbl.t; (* normalised pair -> multiplicity *)
+}
+
+let key u v = if u < v then (u, v) else (v, u)
+
+let state_of_graph g =
+  let edges = Array.of_list (Graph.edge_list g) in
+  let member = Hashtbl.create (2 * Array.length edges) in
+  Array.iter
+    (fun (u, v) ->
+      let k = key u v in
+      Hashtbl.replace member k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt member k)))
+    edges;
+  { n = Graph.n g; edges; member }
+
+let mem state u v = Hashtbl.mem state.member (key u v)
+
+let remove state u v =
+  let k = key u v in
+  match Hashtbl.find_opt state.member k with
+  | Some 1 -> Hashtbl.remove state.member k
+  | Some c -> Hashtbl.replace state.member k (c - 1)
+  | None -> assert false
+
+let add state u v =
+  let k = key u v in
+  Hashtbl.replace state.member k
+    (1 + Option.value ~default:0 (Hashtbl.find_opt state.member k))
+
+let try_switch rng state =
+  let m = Array.length state.edges in
+  let i = Rng.int rng m and j = Rng.int rng m in
+  if i = j then false
+  else begin
+    let a, b = state.edges.(i) and c, d = state.edges.(j) in
+    (* Randomly orient the second edge so both pairings are reachable. *)
+    let c, d = if Rng.bool rng then (c, d) else (d, c) in
+    let distinct = a <> c && a <> d && b <> c && b <> d in
+    if (not distinct) || mem state a d || mem state c b then false
+    else begin
+      remove state a b;
+      remove state c d;
+      add state a d;
+      add state c b;
+      state.edges.(i) <- (a, d);
+      state.edges.(j) <- (c, b);
+      true
+    end
+  end
+
+let freeze state = Graph.of_edge_array ~n:state.n state.edges
+
+let check g =
+  if not (Graph.is_simple g) then invalid_arg "Switch: graph is not simple";
+  if Graph.m g < 2 then invalid_arg "Switch: need at least 2 edges"
+
+let switch_once rng g =
+  check g;
+  let state = state_of_graph g in
+  if try_switch rng state then Some (freeze state) else None
+
+let randomize rng g ~switches =
+  check g;
+  if switches < 0 then invalid_arg "Switch.randomize: switches < 0";
+  let state = state_of_graph g in
+  let done_ = ref 0 and attempts = ref 0 in
+  let budget = 100 * max 1 switches in
+  while !done_ < switches && !attempts < budget do
+    incr attempts;
+    if try_switch rng state then incr done_
+  done;
+  freeze state
+
+(* Switch a specific edge position [i] against a random partner; returns the
+   partner's position on success. *)
+let try_switch_edge rng state i =
+  let m = Array.length state.edges in
+  let j = Rng.int rng m in
+  if i = j then None
+  else begin
+    let a, b = state.edges.(i) and c, d = state.edges.(j) in
+    let c, d = if Rng.bool rng then (c, d) else (d, c) in
+    let distinct = a <> c && a <> d && b <> c && b <> d in
+    if (not distinct) || mem state a d || mem state c b then None
+    else begin
+      remove state a b;
+      remove state c d;
+      add state a d;
+      add state c b;
+      state.edges.(i) <- (a, d);
+      state.edges.(j) <- (c, b);
+      Some j
+    end
+  end
+
+(* Is the shortest cycle through edge [e] of [g] shorter than [bound]?
+   Equivalent: a path between its endpoints avoiding [e] of length
+   [< bound - 1].  Bounded BFS, cheap for small bounds. *)
+let short_cycle_through_edge g e ~bound =
+  let u, v = Graph.endpoints g e in
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(u) <- 0;
+  Queue.add u queue;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty queue) do
+    let x = Queue.take queue in
+    if dist.(x) + 1 <= bound - 2 then
+      Graph.iter_neighbors g x (fun w e' ->
+          if e' <> e && dist.(w) < 0 then begin
+            dist.(w) <- dist.(x) + 1;
+            if w = v then found := true else Queue.add w queue
+          end)
+  done;
+  !found
+
+let boost_girth ?max_rounds rng g ~target =
+  check g;
+  if target < 3 then invalid_arg "Switch.boost_girth: target < 3";
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> 50 * max 1 (Graph.n g)
+  in
+  let current = ref g in
+  let rounds = ref 0 in
+  let give_up = ref false in
+  while (not !give_up) && !rounds < max_rounds do
+    incr rounds;
+    match Girth.find_short_cycle !current ~shorter_than:target with
+    | None -> give_up := true (* girth reached *)
+    | Some cycle_edges ->
+        (* Switch a random edge of the offending cycle; removing edges only
+           destroys cycles, so the move is monotone as long as neither NEW
+           edge closes a cycle shorter than the target. *)
+        let edges = Array.of_list cycle_edges in
+        let e = edges.(Rng.int rng (Array.length edges)) in
+        let state = state_of_graph !current in
+        let partner = ref None in
+        let tries = ref 0 in
+        while !partner = None && !tries < 50 do
+          incr tries;
+          partner := try_switch_edge rng state e
+        done;
+        (match !partner with
+        | None -> ()
+        | Some j ->
+            (* Edge ids in the frozen graph follow the array order, so the
+               two rewritten edges are exactly ids e and j. *)
+            let candidate = freeze state in
+            if
+              (not (short_cycle_through_edge candidate e ~bound:target))
+              && not (short_cycle_through_edge candidate j ~bound:target)
+            then current := candidate)
+  done;
+  !current

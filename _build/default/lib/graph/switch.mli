@@ -1,0 +1,32 @@
+(** The double-edge-switch Markov chain on simple graphs.
+
+    A switch picks two edges [(a, b)] and [(c, d)] with four distinct
+    endpoints and rewires them to [(a, d), (c, b)] (rejected if either new
+    edge already exists).  The chain preserves the degree sequence and is
+    irreducible on the set of simple realisations, with uniform stationary
+    distribution — a second, independent route to (near-)uniform random
+    regular graphs, used to cross-check the Steger–Wormald generator, and a
+    practical "anonymiser" of structured graphs. *)
+
+val switch_once : Ewalk_prng.Rng.t -> Graph.t -> Graph.t option
+(** One attempted switch; [None] if the sampled pair was rejected
+    (shared endpoint or multi-edge creation).  O(m) (rebuilds the CSR). *)
+
+val randomize : Ewalk_prng.Rng.t -> Graph.t -> switches:int -> Graph.t
+(** [randomize rng g ~switches] performs the given number of {e successful}
+    switches (rejections are retried, capped at [100 * switches] attempts
+    in total).  The result has exactly the degree sequence of [g].
+    @raise Invalid_argument if [g] is not simple or has [m < 2]. *)
+
+val boost_girth :
+  ?max_rounds:int -> Ewalk_prng.Rng.t -> Graph.t -> target:int -> Graph.t
+(** [boost_girth rng g ~target]: hill-climb towards girth [>= target] by
+    repeatedly locating a shortest cycle and switching one of its edges
+    against a random other edge (degree sequence preserved; a move is kept
+    only if it does not shorten the girth).  The paper's title objects —
+    {e high girth even degree expanders} — are produced this way from
+    random regular graphs; see [Lubotzky–Phillips–Sarnak] for explicit
+    constructions.  Best effort: returns the current graph when
+    [max_rounds] (default [50 * n]) elapses, so callers should check the
+    achieved girth.
+    @raise Invalid_argument as {!randomize}, or if [target < 3]. *)

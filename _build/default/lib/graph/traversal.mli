@@ -1,0 +1,47 @@
+(** Breadth-first / depth-first machinery: components, distances, diameter,
+    bipartiteness. *)
+
+val bfs_distances : Graph.t -> Graph.vertex -> int array
+(** [bfs_distances g s] maps every vertex to its hop distance from [s];
+    unreachable vertices get [-1]. *)
+
+val bfs_distances_bounded : Graph.t -> Graph.vertex -> int -> int array
+(** Like {!bfs_distances} but does not explore beyond the given radius. *)
+
+val distance : Graph.t -> Graph.vertex -> Graph.vertex -> int
+(** Hop distance, or [-1] if disconnected. *)
+
+val connected_components : Graph.t -> int array * int
+(** [connected_components g] labels every vertex with a component id in
+    [0 .. k-1] and returns [(labels, k)]. *)
+
+val is_connected : Graph.t -> bool
+(** [true] iff the graph has exactly one component ([n <= 1] counts as
+    connected). *)
+
+val component_of : Graph.t -> Graph.vertex -> Graph.vertex list
+(** Vertices of the component containing the given vertex. *)
+
+val largest_component_vertices : Graph.t -> Graph.vertex list
+
+val eccentricity : Graph.t -> Graph.vertex -> int
+(** Largest finite BFS distance from the vertex (its component's radius seen
+    from there). *)
+
+val diameter : Graph.t -> int
+(** Exact diameter of the (connected) graph by all-pairs BFS; O(n m).
+    @raise Invalid_argument if the graph is disconnected or empty. *)
+
+val diameter_lower_bound : Graph.t -> int
+(** Double-sweep lower bound: one BFS to the farthest vertex, one BFS back.
+    Cheap and usually tight on the graph families used here. *)
+
+val is_bipartite : Graph.t -> bool
+(** Two-colourability check; a bipartite graph forces [lambda_n = -1] for
+    the plain walk, which is why the lazy walk exists (paper, Section 2.1). *)
+
+val dfs_preorder : Graph.t -> Graph.vertex -> Graph.vertex list
+(** Iterative DFS preorder of the component of the given vertex. *)
+
+val spanning_forest : Graph.t -> Graph.edge list
+(** Edge ids of a BFS spanning forest (n - #components edges). *)

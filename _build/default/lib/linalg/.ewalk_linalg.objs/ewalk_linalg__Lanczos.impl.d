@@ -1,0 +1,1 @@
+lib/linalg/lanczos.ml: Array Ewalk_prng Jacobi List Matrix Power Vec

@@ -1,0 +1,1 @@
+lib/linalg/lanczos.mli: Ewalk_prng Power Vec

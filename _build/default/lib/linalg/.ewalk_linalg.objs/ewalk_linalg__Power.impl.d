@@ -1,0 +1,1 @@
+lib/linalg/power.ml: Array Csr Ewalk_prng Float List Matrix Vec

@@ -1,0 +1,1 @@
+lib/linalg/power.mli: Csr Ewalk_prng Matrix Vec

@@ -1,0 +1,1 @@
+lib/linalg/solve.mli: Matrix Vec

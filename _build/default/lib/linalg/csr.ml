@@ -1,0 +1,92 @@
+type t = {
+  n : int;
+  row_start : int array; (* length n + 1 *)
+  col : int array;
+  value : float array;
+}
+
+let dim t = t.n
+let nnz t = Array.length t.col
+
+let of_sorted n entries =
+  (* [entries] is an array of (row, col, value), sorted by row then col, with
+     no duplicate coordinates. *)
+  let k = Array.length entries in
+  let row_start = Array.make (n + 1) 0 in
+  Array.iter (fun (r, _, _) -> row_start.(r + 1) <- row_start.(r + 1) + 1)
+    entries;
+  for i = 1 to n do
+    row_start.(i) <- row_start.(i) + row_start.(i - 1)
+  done;
+  let col = Array.make k 0 and value = Array.make k 0.0 in
+  Array.iteri
+    (fun i (_, c, v) ->
+      col.(i) <- c;
+      value.(i) <- v)
+    entries;
+  { n; row_start; col; value }
+
+let of_rows n entries =
+  List.iter
+    (fun (r, c, _) ->
+      if r < 0 || r >= n || c < 0 || c >= n then
+        invalid_arg "Csr.of_rows: index out of range")
+    entries;
+  let sorted =
+    List.sort
+      (fun (r1, c1, _) (r2, c2, _) ->
+        match compare r1 r2 with 0 -> compare c1 c2 | d -> d)
+      entries
+  in
+  (* Merge duplicates by summation. *)
+  let merged =
+    List.fold_left
+      (fun acc (r, c, v) ->
+        match acc with
+        | (r', c', v') :: rest when r = r' && c = c' ->
+            (r, c, v +. v') :: rest
+        | _ -> (r, c, v) :: acc)
+      [] sorted
+  in
+  of_sorted n (Array.of_list (List.rev merged))
+
+let of_row_fun n row =
+  let entries = ref [] in
+  for i = n - 1 downto 0 do
+    List.iter (fun (j, v) -> entries := (i, j, v) :: !entries) (row i)
+  done;
+  of_rows n !entries
+
+let mul_vec_into t x y =
+  if Array.length x <> t.n || Array.length y <> t.n then
+    invalid_arg "Csr.mul_vec_into: dim mismatch";
+  for i = 0 to t.n - 1 do
+    let s = ref 0.0 in
+    for k = t.row_start.(i) to t.row_start.(i + 1) - 1 do
+      s := !s +. (t.value.(k) *. x.(t.col.(k)))
+    done;
+    y.(i) <- !s
+  done
+
+let mul_vec t x =
+  let y = Array.make t.n 0.0 in
+  mul_vec_into t x y;
+  y
+
+let to_dense t =
+  let m = Matrix.create t.n in
+  for i = 0 to t.n - 1 do
+    for k = t.row_start.(i) to t.row_start.(i + 1) - 1 do
+      Matrix.set m i t.col.(k) (Matrix.get m i t.col.(k) +. t.value.(k))
+    done
+  done;
+  m
+
+let transpose t =
+  let entries = ref [] in
+  for i = t.n - 1 downto 0 do
+    for k = t.row_start.(i + 1) - 1 downto t.row_start.(i) do
+      entries := (t.col.(k), i, t.value.(k)) :: !entries
+    done
+  done;
+  of_rows t.n !entries

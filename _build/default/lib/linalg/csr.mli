@@ -1,0 +1,32 @@
+(** Sparse matrices in compressed-sparse-row form.
+
+    Used to represent graph operators (normalised adjacency, transition
+    matrix) of large graphs; {!Power} runs its iterations through
+    {!mul_vec}. *)
+
+type t
+
+val of_rows : int -> (int * int * float) list -> t
+(** [of_rows n entries] builds an [n x n] matrix from [(row, col, value)]
+    triples.  Duplicate coordinates are summed.
+    @raise Invalid_argument on an out-of-range index. *)
+
+val of_row_fun : int -> (int -> (int * float) list) -> t
+(** [of_row_fun n row] builds the matrix whose row [i] has the entries
+    [row i]. *)
+
+val dim : t -> int
+
+val nnz : t -> int
+(** Number of stored entries. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** Sparse matrix-vector product. *)
+
+val mul_vec_into : t -> Vec.t -> Vec.t -> unit
+(** [mul_vec_into m x y] writes [m x] into [y] (no allocation). *)
+
+val to_dense : t -> Matrix.t
+(** Densify (test-scale only). *)
+
+val transpose : t -> t

@@ -1,0 +1,58 @@
+let rotate a v p q =
+  (* One Jacobi rotation zeroing a(p,q), accumulating eigenvectors in v. *)
+  let n = Matrix.dim a in
+  let apq = Matrix.get a p q in
+  if Float.abs apq > 0.0 then begin
+    let app = Matrix.get a p p and aqq = Matrix.get a q q in
+    let theta = (aqq -. app) /. (2.0 *. apq) in
+    let t =
+      let sign = if theta >= 0.0 then 1.0 else -1.0 in
+      sign /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+    in
+    let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+    let s = t *. c in
+    let tau = s /. (1.0 +. c) in
+    Matrix.set a p p (app -. (t *. apq));
+    Matrix.set a q q (aqq +. (t *. apq));
+    Matrix.set a p q 0.0;
+    Matrix.set a q p 0.0;
+    for i = 0 to n - 1 do
+      if i <> p && i <> q then begin
+        let aip = Matrix.get a i p and aiq = Matrix.get a i q in
+        let aip' = aip -. (s *. (aiq +. (tau *. aip))) in
+        let aiq' = aiq +. (s *. (aip -. (tau *. aiq))) in
+        Matrix.set a i p aip';
+        Matrix.set a p i aip';
+        Matrix.set a i q aiq';
+        Matrix.set a q i aiq'
+      end
+    done;
+    for i = 0 to n - 1 do
+      let vip = Matrix.get v i p and viq = Matrix.get v i q in
+      Matrix.set v i p (vip -. (s *. (viq +. (tau *. vip))));
+      Matrix.set v i q (viq +. (s *. (vip -. (tau *. viq))))
+    done
+  end
+
+let eigensystem ?(tol = 1e-10) ?(max_sweeps = 100) m =
+  if not (Matrix.is_symmetric ~tol:1e-8 m) then
+    invalid_arg "Jacobi.eigensystem: matrix is not symmetric";
+  let n = Matrix.dim m in
+  let a = Matrix.copy m in
+  let v = Matrix.identity n in
+  let sweeps = ref 0 in
+  while Matrix.frobenius_off_diagonal a > tol && !sweeps < max_sweeps do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        rotate a v p q
+      done
+    done
+  done;
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare (Matrix.get a j j) (Matrix.get a i i)) order;
+  let eigs = Array.map (fun i -> Matrix.get a i i) order in
+  let vecs = Matrix.init n (fun i j -> Matrix.get v i order.(j)) in
+  (eigs, vecs)
+
+let eigenvalues ?tol ?max_sweeps m = fst (eigensystem ?tol ?max_sweeps m)

@@ -1,0 +1,74 @@
+let default_rng () = Ewalk_prng.Rng.create ~seed:0x1A2C05 ()
+
+(* Full-reorthogonalisation Lanczos: returns the tridiagonal coefficients
+   (alphas, betas) actually computed (may stop early on invariant
+   subspaces). *)
+let tridiagonalize ?rng ?steps ~deflate op =
+  let n = op.Power.n in
+  let rng = match rng with Some r -> r | None -> default_rng () in
+  let steps = match steps with Some s -> min s n | None -> min 60 n in
+  let basis = ref [] in
+  let project v =
+    List.iter (fun u -> Vec.project_out u v) deflate;
+    List.iter (fun u -> Vec.project_out u v) !basis
+  in
+  let q = Vec.random_unit rng n in
+  project q;
+  Vec.normalize q;
+  let alphas = ref [] and betas = ref [] in
+  let continue_ = ref (Vec.norm2 q > 0.5) in
+  let q_prev = ref (Vec.make n 0.0) in
+  let q_cur = ref q in
+  let beta_prev = ref 0.0 in
+  let k = ref 0 in
+  let w = Vec.make n 0.0 in
+  while !continue_ && !k < steps do
+    incr k;
+    op.Power.apply !q_cur w;
+    let alpha = Vec.dot !q_cur w in
+    alphas := alpha :: !alphas;
+    (* w <- w - alpha q_cur - beta_prev q_prev, then full reorth. *)
+    Vec.axpy (-.alpha) !q_cur w;
+    Vec.axpy (-. !beta_prev) !q_prev w;
+    basis := !q_cur :: !basis;
+    let w' = Vec.copy w in
+    project w';
+    let beta = Vec.norm2 w' in
+    if beta < 1e-12 then continue_ := false
+    else begin
+      betas := beta :: !betas;
+      Vec.scale_in_place (1.0 /. beta) w';
+      q_prev := !q_cur;
+      q_cur := w';
+      beta_prev := beta
+    end
+  done;
+  ( Array.of_list (List.rev !alphas),
+    Array.of_list (List.rev !betas) )
+
+let ritz_of_tridiagonal alphas betas =
+  let k = Array.length alphas in
+  if k = 0 then [||]
+  else begin
+    let t =
+      Matrix.init k (fun i j ->
+          if i = j then alphas.(i)
+          else if abs (i - j) = 1 then betas.(min i j)
+          else 0.0)
+    in
+    Jacobi.eigenvalues t
+  end
+
+let ritz_values ?rng ?steps op =
+  let alphas, betas = tridiagonalize ?rng ?steps ~deflate:[] op in
+  ritz_of_tridiagonal alphas betas
+
+let extreme ?rng ?steps op =
+  let ritz = ritz_values ?rng ?steps op in
+  if Array.length ritz = 0 then (0.0, 0.0)
+  else (ritz.(0), ritz.(Array.length ritz - 1))
+
+let second_largest ?rng ?steps ~deflate op =
+  let alphas, betas = tridiagonalize ?rng ?steps ~deflate:[ deflate ] op in
+  let ritz = ritz_of_tridiagonal alphas betas in
+  if Array.length ritz = 0 then 0.0 else ritz.(0)

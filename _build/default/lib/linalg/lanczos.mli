@@ -1,0 +1,26 @@
+(** Lanczos iteration for extreme eigenvalues of symmetric operators.
+
+    Power iteration stalls when the second and third eigenvalues are nearly
+    degenerate — exactly the situation at the bulk edge of a random regular
+    graph's spectrum.  Lanczos builds a Krylov tridiagonalisation whose Ritz
+    values converge to the extreme eigenvalues far faster.  We use full
+    reorthogonalisation (the operators here are test-to-moderate scale), and
+    diagonalise the tridiagonal matrix with the existing Jacobi solver. *)
+
+val ritz_values :
+  ?rng:Ewalk_prng.Rng.t -> ?steps:int -> Power.operator -> float array
+(** [ritz_values op] runs [steps] (default [min 60 n]) Lanczos iterations
+    from a random unit start and returns the Ritz values, sorted in
+    decreasing order.  The first few approximate the largest eigenvalues,
+    the last few the smallest. *)
+
+val extreme :
+  ?rng:Ewalk_prng.Rng.t -> ?steps:int -> Power.operator -> float * float
+(** [(largest, smallest)] eigenvalue estimates. *)
+
+val second_largest :
+  ?rng:Ewalk_prng.Rng.t -> ?steps:int -> deflate:Vec.t -> Power.operator ->
+  float
+(** Largest Ritz value of the operator restricted to the complement of the
+    {e unit} vector [deflate] — the graph [lambda_2] when [deflate] is the
+    square-root-degree vector. *)

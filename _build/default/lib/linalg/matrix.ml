@@ -1,0 +1,61 @@
+type t = { n : int; a : float array }
+
+let create n = { n; a = Array.make (n * n) 0.0 }
+
+let init n f =
+  let a = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      a.((i * n) + j) <- f i j
+    done
+  done;
+  { n; a }
+
+let dim m = m.n
+let get m i j = m.a.((i * m.n) + j)
+let set m i j v = m.a.((i * m.n) + j) <- v
+let copy m = { n = m.n; a = Array.copy m.a }
+
+let identity n = init n (fun i j -> if i = j then 1.0 else 0.0)
+
+let mul_vec m v =
+  if Array.length v <> m.n then invalid_arg "Matrix.mul_vec: dim mismatch";
+  Array.init m.n (fun i ->
+      let s = ref 0.0 in
+      for j = 0 to m.n - 1 do
+        s := !s +. (m.a.((i * m.n) + j) *. v.(j))
+      done;
+      !s)
+
+let mul x y =
+  if x.n <> y.n then invalid_arg "Matrix.mul: dim mismatch";
+  let n = x.n in
+  init n (fun i j ->
+      let s = ref 0.0 in
+      for k = 0 to n - 1 do
+        s := !s +. (get x i k *. get y k j)
+      done;
+      !s)
+
+let transpose m = init m.n (fun i j -> get m j i)
+
+let is_symmetric ?(tol = 1e-9) m =
+  let ok = ref true in
+  for i = 0 to m.n - 1 do
+    for j = i + 1 to m.n - 1 do
+      if Float.abs (get m i j -. get m j i) > tol then ok := false
+    done
+  done;
+  !ok
+
+let frobenius_off_diagonal m =
+  let s = ref 0.0 in
+  for i = 0 to m.n - 1 do
+    for j = 0 to m.n - 1 do
+      if i <> j then begin
+        let v = get m i j in
+        s := !s +. (v *. v)
+      end
+    done
+  done;
+  sqrt !s

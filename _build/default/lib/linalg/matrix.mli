@@ -1,0 +1,35 @@
+(** Minimal dense square-matrix support for test-scale spectra.
+
+    Large-graph spectral estimation goes through {!Csr} and {!Power}; this
+    module exists so small graphs (up to a few hundred vertices) can have
+    their {e full} spectrum computed exactly by {!Jacobi} and used as an
+    oracle in the test suite. *)
+
+type t
+(** A dense [n x n] matrix of floats. *)
+
+val create : int -> t
+(** [create n] is the zero [n x n] matrix. *)
+
+val init : int -> (int -> int -> float) -> t
+(** [init n f] has entry [(i, j)] equal to [f i j]. *)
+
+val dim : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+
+val identity : int -> t
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec m v] is the matrix-vector product. *)
+
+val mul : t -> t -> t
+(** Matrix-matrix product.  @raise Invalid_argument on dimension mismatch. *)
+
+val transpose : t -> t
+
+val is_symmetric : ?tol:float -> t -> bool
+
+val frobenius_off_diagonal : t -> float
+(** Frobenius norm of the off-diagonal part; the Jacobi convergence metric. *)

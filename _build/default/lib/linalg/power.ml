@@ -1,0 +1,51 @@
+type operator = { n : int; apply : Vec.t -> Vec.t -> unit }
+
+let of_csr csr = { n = Csr.dim csr; apply = (fun x y -> Csr.mul_vec_into csr x y) }
+
+let of_matrix m =
+  {
+    n = Matrix.dim m;
+    apply =
+      (fun x y ->
+        let z = Matrix.mul_vec m x in
+        Array.blit z 0 y 0 (Array.length z));
+  }
+
+let dominant ?rng ?(tol = 1e-9) ?(max_iter = 20_000) ?(deflate = []) op =
+  let rng =
+    match rng with Some r -> r | None -> Ewalk_prng.Rng.create ~seed:0xE16 ()
+  in
+  let x = Vec.random_unit rng op.n in
+  List.iter (fun u -> Vec.project_out u x) deflate;
+  Vec.normalize x;
+  let y = Vec.make op.n 0.0 in
+  let rayleigh = ref 0.0 in
+  let prev = ref infinity in
+  let iter = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    op.apply x y;
+    List.iter (fun u -> Vec.project_out u y) deflate;
+    rayleigh := Vec.dot x y;
+    let norm = Vec.norm2 y in
+    if norm < 1e-300 then begin
+      (* Deflated operator annihilates the iterate: remaining spectrum is 0. *)
+      rayleigh := 0.0;
+      converged := true
+    end
+    else begin
+      Array.blit y 0 x 0 op.n;
+      Vec.scale_in_place (1.0 /. norm) x;
+      if Float.abs (!rayleigh -. !prev) <= tol *. (1.0 +. Float.abs !rayleigh)
+      then converged := true;
+      prev := !rayleigh
+    end
+  done;
+  (!rayleigh, x)
+
+let second_largest_magnitude ?rng ?tol ?max_iter ~top_eigenvector op =
+  let lambda, _ =
+    dominant ?rng ?tol ?max_iter ~deflate:[ top_eigenvector ] op
+  in
+  lambda

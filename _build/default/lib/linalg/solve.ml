@@ -1,0 +1,84 @@
+(* LU with partial pivoting, factorising a copy. *)
+let lu a =
+  let n = Matrix.dim a in
+  let m = Matrix.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* Pivot selection. *)
+    let best = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Matrix.get m i k) > Float.abs (Matrix.get m !best k) then
+        best := i
+    done;
+    if !best <> k then begin
+      for j = 0 to n - 1 do
+        let t = Matrix.get m k j in
+        Matrix.set m k j (Matrix.get m !best j);
+        Matrix.set m !best j t
+      done;
+      let t = perm.(k) in
+      perm.(k) <- perm.(!best);
+      perm.(!best) <- t;
+      sign := -. !sign
+    end;
+    let pivot = Matrix.get m k k in
+    if Float.abs pivot < 1e-300 then failwith "Solve: singular matrix";
+    for i = k + 1 to n - 1 do
+      let factor = Matrix.get m i k /. pivot in
+      Matrix.set m i k factor;
+      for j = k + 1 to n - 1 do
+        Matrix.set m i j (Matrix.get m i j -. (factor *. Matrix.get m k j))
+      done
+    done
+  done;
+  (m, perm, !sign)
+
+let back_substitute lu_m perm b =
+  let n = Matrix.dim lu_m in
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* Forward solve L y = P b (unit lower triangle stored below diagonal). *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (Matrix.get lu_m i j *. x.(j))
+    done
+  done;
+  (* Back solve U x = y. *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (Matrix.get lu_m i j *. x.(j))
+    done;
+    x.(i) <- x.(i) /. Matrix.get lu_m i i
+  done;
+  x
+
+let solve a b =
+  if Array.length b <> Matrix.dim a then
+    invalid_arg "Solve.solve: dimension mismatch";
+  let lu_m, perm, _ = lu a in
+  back_substitute lu_m perm b
+
+let solve_many a b =
+  let n = Matrix.dim a in
+  if Matrix.dim b <> n then invalid_arg "Solve.solve_many: dimension mismatch";
+  let lu_m, perm, _ = lu a in
+  let out = Matrix.create n in
+  for col = 0 to n - 1 do
+    let rhs = Array.init n (fun i -> Matrix.get b i col) in
+    let x = back_substitute lu_m perm rhs in
+    for i = 0 to n - 1 do
+      Matrix.set out i col x.(i)
+    done
+  done;
+  out
+
+let determinant_sign_log a =
+  let lu_m, _, sign = lu a in
+  let n = Matrix.dim a in
+  let log_abs = ref 0.0 and s = ref sign in
+  for i = 0 to n - 1 do
+    let d = Matrix.get lu_m i i in
+    if d < 0.0 then s := -. !s;
+    log_abs := !log_abs +. log (Float.abs d)
+  done;
+  (!s, !log_abs)

@@ -1,0 +1,19 @@
+(** Dense linear-system solving (Gaussian elimination, partial pivoting).
+
+    Exact hitting times of a random walk satisfy a linear system
+    ([E_u H_v = 1 + sum_w P(u,w) E_w H_v] for [u <> v]); {!Hitting} solves
+    it through this module.  Intended for test-scale systems (hundreds of
+    unknowns). *)
+
+val solve : Matrix.t -> Vec.t -> Vec.t
+(** [solve a b] returns [x] with [a x = b].  [a] is not modified.
+    @raise Invalid_argument on dimension mismatch.
+    @raise Failure if [a] is (numerically) singular. *)
+
+val solve_many : Matrix.t -> Matrix.t -> Matrix.t
+(** [solve_many a b] solves [a x = b] column-wise (one factorisation, many
+    right-hand sides). *)
+
+val determinant_sign_log : Matrix.t -> float * float
+(** [(sign, log_abs_det)] from the LU factorisation: a cheap
+    invertibility/conditioning probe used by the tests. *)

@@ -1,0 +1,67 @@
+type t = float array
+
+let make = Array.make
+let init = Array.init
+let copy = Array.copy
+
+let dot a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Vec.dot: length mismatch";
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+let norm2 a = sqrt (dot a a)
+
+let scale_in_place c a =
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- c *. a.(i)
+  done
+
+let scale c a =
+  let b = copy a in
+  scale_in_place c b;
+  b
+
+let axpy c x y =
+  let n = Array.length x in
+  if Array.length y <> n then invalid_arg "Vec.axpy: length mismatch";
+  for i = 0 to n - 1 do
+    y.(i) <- (c *. x.(i)) +. y.(i)
+  done
+
+let normalize a =
+  let n = norm2 a in
+  if n > 0.0 then scale_in_place (1.0 /. n) a
+
+let sub a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Vec.sub: length mismatch";
+  Array.init n (fun i -> a.(i) -. b.(i))
+
+let linf_dist a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Vec.linf_dist: length mismatch";
+  let m = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = Float.abs (a.(i) -. b.(i)) in
+    if d > !m then m := d
+  done;
+  !m
+
+let project_out u v =
+  let c = dot u v in
+  axpy (-.c) u v
+
+let random_unit rng n =
+  let rec attempt () =
+    let v = Array.init n (fun _ -> Ewalk_prng.Rng.gaussian rng) in
+    if norm2 v < 1e-12 then attempt ()
+    else begin
+      normalize v;
+      v
+    end
+  in
+  attempt ()

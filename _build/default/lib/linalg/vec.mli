@@ -1,0 +1,37 @@
+(** Dense float-vector helpers shared by the eigensolvers. *)
+
+type t = float array
+
+val make : int -> float -> t
+val init : int -> (int -> float) -> t
+val copy : t -> t
+
+val dot : t -> t -> float
+(** Euclidean inner product.  @raise Invalid_argument on length mismatch. *)
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val scale : float -> t -> t
+(** [scale a v] is a fresh vector [a * v]. *)
+
+val scale_in_place : float -> t -> unit
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val normalize : t -> unit
+(** Scale to unit Euclidean norm in place.  No-op on the zero vector. *)
+
+val sub : t -> t -> t
+(** Componentwise difference (fresh vector). *)
+
+val linf_dist : t -> t -> float
+(** Maximum absolute componentwise difference. *)
+
+val project_out : t -> t -> unit
+(** [project_out u v] removes from [v] (in place) its component along the
+    {e unit} vector [u]: [v <- v - (u.v) u]. *)
+
+val random_unit : Ewalk_prng.Rng.t -> int -> t
+(** A uniformly random direction on the unit sphere (Gaussian method). *)

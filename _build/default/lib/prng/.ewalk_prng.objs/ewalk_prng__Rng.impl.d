@@ -1,0 +1,1 @@
+lib/prng/rng.ml: Array Float Hashtbl Int64 Splitmix Xoshiro

@@ -1,0 +1,78 @@
+(** Deterministic, splittable random source for all experiments.
+
+    Every stochastic component in this repository (graph generators, walk
+    processes, trial harnesses) draws exclusively from this module, never from
+    [Stdlib.Random], so that every experiment is reproducible from a single
+    integer seed.  {!split} derives statistically independent child
+    generators, which the sweep harness uses to give each trial its own
+    stream: trial [i] of experiment [e] sees the same randomness regardless
+    of which other trials ran before it. *)
+
+type t
+(** A mutable pseudo-random generator (xoshiro256++ underneath). *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] builds a generator from [seed] (default [0x5EED]). *)
+
+val of_int64 : int64 -> t
+(** [of_int64 seed] builds a generator from a full 64-bit seed. *)
+
+val split : t -> t
+(** [split t] returns a fresh generator whose stream is independent of the
+    future output of [t].  [t] itself is advanced. *)
+
+val split_n : t -> int -> t array
+(** [split_n t k] is [k] independent children of [t]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future stream). *)
+
+val bits64 : t -> int64
+(** [bits64 t] is 64 uniform pseudo-random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [\[0, bound)].  Unbiased (rejection
+    sampling).  @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform on the inclusive range [\[lo, hi\]].
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform on [\[0, bound)] with 53-bit resolution. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val geometric : t -> float -> int
+(** [geometric t p] is the number of failures before the first success of a
+    Bernoulli([p]) sequence; support [{0, 1, ...}].
+    @raise Invalid_argument if [p <= 0. || p > 1.]. *)
+
+val exponential : t -> float -> float
+(** [exponential t lambda] is Exp([lambda]) distributed.
+    @raise Invalid_argument if [lambda <= 0.]. *)
+
+val gaussian : t -> float
+(** [gaussian t] is standard normal (Box–Muller, fresh pair per call). *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** [shuffle_in_place t a] applies a uniform Fisher–Yates permutation. *)
+
+val shuffle : t -> 'a array -> 'a array
+(** [shuffle t a] is a shuffled copy of [a]. *)
+
+val permutation : t -> int -> int array
+(** [permutation t k] is a uniform permutation of [0 .. k-1]. *)
+
+val choice : t -> 'a array -> 'a
+(** [choice t a] is a uniform element of [a].
+    @raise Invalid_argument on an empty array. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] is a uniform [k]-subset of
+    [0 .. n-1], in random order.  @raise Invalid_argument if [k > n] or
+    [k < 0]. *)

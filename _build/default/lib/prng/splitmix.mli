@@ -1,0 +1,20 @@
+(** SplitMix64: a tiny, fast 64-bit generator used for seeding.
+
+    SplitMix64 (Steele, Lea & Flood, OOPSLA 2014) has a single 64-bit word of
+    state advanced by a Weyl sequence and finalised by a variant of the
+    MurmurHash3 mixer.  Its whole purpose here is to expand a user seed into
+    the 256-bit state of {!Xoshiro}, and to derive independent child seeds for
+    {!Rng.split}.  It must never be used directly for experiments. *)
+
+type t
+(** Mutable SplitMix64 state. *)
+
+val create : int64 -> t
+(** [create seed] initialises the state with [seed]. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns the next 64-bit output. *)
+
+val mix : int64 -> int64
+(** [mix z] is the stateless finaliser applied to [z]: a bijective mixing
+    function useful for hashing seeds together deterministically. *)

@@ -1,0 +1,34 @@
+(** xoshiro256++: the core pseudo-random generator.
+
+    xoshiro256++ (Blackman & Vigna, 2019) is a 256-bit-state all-purpose
+    generator: fast, equidistributed in 4 dimensions, and passing BigCrush.
+    The paper's experiments used Python's Mersenne Twister; xoshiro256++ is a
+    modern replacement of at least equal statistical quality (see DESIGN.md,
+    substitution table).
+
+    The state must not be everywhere zero; seeding through {!of_seed} uses
+    SplitMix64 as recommended by the authors and cannot produce the zero
+    state. *)
+
+type t
+(** Mutable 256-bit generator state. *)
+
+val of_seed : int64 -> t
+(** [of_seed seed] expands [seed] into a full state via SplitMix64. *)
+
+val of_state : int64 -> int64 -> int64 -> int64 -> t
+(** [of_state s0 s1 s2 s3] uses the given words verbatim.
+    @raise Invalid_argument if all four words are zero. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with identical current state. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns 64 pseudo-random bits. *)
+
+val jump : t -> unit
+(** [jump t] advances [t] by 2{^128} steps: the canonical way to carve
+    non-overlapping subsequences out of one stream. *)
+
+val state : t -> int64 * int64 * int64 * int64
+(** [state t] exposes the current state words (for checkpointing). *)

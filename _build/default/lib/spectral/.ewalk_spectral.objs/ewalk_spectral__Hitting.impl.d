@@ -1,0 +1,1 @@
+lib/spectral/hitting.ml: Array Ewalk_graph Ewalk_linalg Graph Spectral Traversal

@@ -1,0 +1,1 @@
+lib/spectral/hitting.mli: Ewalk_graph Ewalk_linalg Graph

@@ -1,0 +1,1 @@
+lib/spectral/spectral.ml: Array Csr Ewalk_graph Ewalk_linalg Float Graph Jacobi Lanczos List Power Vec

@@ -1,0 +1,1 @@
+lib/spectral/spectral.mli: Csr Ewalk_graph Ewalk_linalg Ewalk_prng Graph Vec

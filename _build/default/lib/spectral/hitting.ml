@@ -1,0 +1,139 @@
+open Ewalk_graph
+module Matrix = Ewalk_linalg.Matrix
+module Solve = Ewalk_linalg.Solve
+
+let check g =
+  if Graph.n g > 500 then invalid_arg "Hitting: graph too large (n > 500)";
+  if Graph.m g = 0 then invalid_arg "Hitting: graph has no edges";
+  if not (Traversal.is_connected g) then
+    invalid_arg "Hitting: graph is disconnected"
+
+(* Dense walk matrix P(u, w) = slots(u -> w) / d(u). *)
+let walk_matrix g =
+  let n = Graph.n g in
+  let p = Matrix.create n in
+  for u = 0 to n - 1 do
+    let d = float_of_int (Graph.degree g u) in
+    Graph.iter_neighbors g u (fun w _ ->
+        Matrix.set p u w (Matrix.get p u w +. (1.0 /. d)))
+  done;
+  p
+
+let hitting_times_to_inner g p ~target =
+  let n = Graph.n g in
+  (* Unknowns are the n - 1 vertices other than the target. *)
+  let idx = Array.make n (-1) in
+  let back = Array.make (n - 1) 0 in
+  let next = ref 0 in
+  for u = 0 to n - 1 do
+    if u <> target then begin
+      idx.(u) <- !next;
+      back.(!next) <- u;
+      incr next
+    end
+  done;
+  let a =
+    Matrix.init (n - 1) (fun i j ->
+        let u = back.(i) and w = back.(j) in
+        (if i = j then 1.0 else 0.0) -. Matrix.get p u w)
+  in
+  let b = Array.make (n - 1) 1.0 in
+  let x = Solve.solve a b in
+  let h = Array.make n 0.0 in
+  for i = 0 to n - 2 do
+    h.(back.(i)) <- x.(i)
+  done;
+  h
+
+let hitting_times_to g ~target =
+  check g;
+  if target < 0 || target >= Graph.n g then
+    invalid_arg "Hitting.hitting_times_to: target out of range";
+  hitting_times_to_inner g (walk_matrix g) ~target
+
+let hitting_matrix g =
+  check g;
+  let n = Graph.n g in
+  let p = walk_matrix g in
+  let out = Matrix.create n in
+  for v = 0 to n - 1 do
+    let h = hitting_times_to_inner g p ~target:v in
+    for u = 0 to n - 1 do
+      Matrix.set out u v h.(u)
+    done
+  done;
+  out
+
+let commute_time g u v =
+  let hu = hitting_times_to g ~target:u in
+  let hv = hitting_times_to g ~target:v in
+  hv.(u) +. hu.(v)
+
+let expected_return_time g v =
+  let h = hitting_times_to g ~target:v in
+  let d = float_of_int (Graph.degree g v) in
+  Graph.fold_neighbors g v (fun acc w _ -> acc +. (h.(w) /. d)) 1.0
+
+let hitting_from_stationary g v =
+  let h = hitting_times_to g ~target:v in
+  let pi = Spectral.stationary g in
+  let acc = ref 0.0 in
+  for u = 0 to Graph.n g - 1 do
+    acc := !acc +. (pi.(u) *. h.(u))
+  done;
+  !acc
+
+let effective_resistance g u v =
+  check g;
+  let n = Graph.n g in
+  if u < 0 || u >= n || v < 0 || v >= n then
+    invalid_arg "Hitting.effective_resistance: vertex out of range";
+  if Graph.count_self_loops g > 0 then
+    invalid_arg "Hitting.effective_resistance: self-loops not supported";
+  if u = v then 0.0
+  else begin
+    (* Ground v: solve L' x = b on the other n - 1 vertices, where L' is
+       the Laplacian with row/column v removed and b injects one ampere at
+       u.  The potential at u is the effective resistance. *)
+    let idx = Array.make n (-1) in
+    let back = Array.make (n - 1) 0 in
+    let next = ref 0 in
+    for w = 0 to n - 1 do
+      if w <> v then begin
+        idx.(w) <- !next;
+        back.(!next) <- w;
+        incr next
+      end
+    done;
+    let l =
+      Matrix.init (n - 1) (fun i j ->
+          let a = back.(i) and b = back.(j) in
+          if i = j then float_of_int (Graph.degree g a)
+          else begin
+            (* Negative multiplicity of edges between a and b. *)
+            let count = ref 0 in
+            Graph.iter_neighbors g a (fun w _ -> if w = b then incr count);
+            -.float_of_int !count
+          end)
+    in
+    let rhs = Array.make (n - 1) 0.0 in
+    rhs.(idx.(u)) <- 1.0;
+    let x = Solve.solve l rhs in
+    x.(idx.(u))
+  end
+
+let matthews_upper_bound g =
+  check g;
+  let n = Graph.n g in
+  let hm = hitting_matrix g in
+  let worst = ref 0.0 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if Matrix.get hm u v > !worst then worst := Matrix.get hm u v
+    done
+  done;
+  let harmonic = ref 0.0 in
+  for i = 1 to n do
+    harmonic := !harmonic +. (1.0 /. float_of_int i)
+  done;
+  !worst *. !harmonic

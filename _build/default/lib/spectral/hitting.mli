@@ -1,0 +1,42 @@
+(** Exact hitting, return, and commute times via linear solves.
+
+    The quantities of the paper's Section 2.2, computed exactly on
+    test-scale graphs: [E_u H_v] solves the first-step linear system
+    [(I - Q) h = 1] where [Q] is the walk matrix with the target row and
+    column deleted.  These exact values back the simulated estimates and
+    the spectral bounds (Lemma 6, Corollary 9) in the test suite, and power
+    the Matthews-bound experiment.  Dense; intended for [n] up to a few
+    hundred. *)
+
+open Ewalk_graph
+
+val hitting_times_to : Graph.t -> target:Graph.vertex -> float array
+(** [h.(u) = E_u H_target], with [h.(target) = 0].
+    @raise Invalid_argument if the graph is disconnected, edgeless, or has
+    more than 500 vertices. *)
+
+val hitting_matrix : Graph.t -> Ewalk_linalg.Matrix.t
+(** [(u, v)] entry is [E_u H_v].  [n] linear solves. *)
+
+val commute_time : Graph.t -> Graph.vertex -> Graph.vertex -> float
+(** [K(u, v) = E_u H_v + E_v H_u]. *)
+
+val expected_return_time : Graph.t -> Graph.vertex -> float
+(** [E_v T_v^+ = 1 + sum_w P(v, w) E_w H_v]; equals [1 / pi_v] (the identity
+    used in Theorem 5's proof), which the tests verify. *)
+
+val hitting_from_stationary : Graph.t -> Graph.vertex -> float
+(** [E_pi H_v = sum_u pi_u E_u H_v] — the quantity Lemma 6 bounds by
+    [1 / ((1 - lambda_max) pi_v)]. *)
+
+val matthews_upper_bound : Graph.t -> float
+(** Matthews: [C_V <= (max_{u,v} E_u H_v) * H_n] with [H_n] the harmonic
+    number — an exact-arithmetic cover-time upper bound to set against the
+    measured cover times. *)
+
+val effective_resistance : Graph.t -> Graph.vertex -> Graph.vertex -> float
+(** The graph seen as a unit-resistor network: the voltage difference when
+    one ampere flows from [u] to [v] (Laplacian solve with [v] grounded).
+    Satisfies the commute-time identity [K(u, v) = 2 m R(u, v)] (Chandra et
+    al.), which the test suite verifies against {!commute_time}.
+    @raise Invalid_argument as {!hitting_times_to}; 0 when [u = v]. *)

@@ -1,0 +1,167 @@
+open Ewalk_graph
+open Ewalk_linalg
+
+let stationary g =
+  let m = Graph.m g in
+  if m = 0 then invalid_arg "Spectral.stationary: graph has no edges";
+  let denom = float_of_int (2 * m) in
+  Array.init (Graph.n g) (fun v -> float_of_int (Graph.degree g v) /. denom)
+
+let check_min_degree g name =
+  if Graph.n g > 0 && Graph.min_degree g = 0 then
+    invalid_arg (name ^ ": vertex of degree 0")
+
+let slot_weights g weight =
+  (* Build the row entries of a walk-like operator: for every adjacency slot
+     (u, w) add [weight u w] at (u, w).  Parallel slots accumulate. *)
+  let entries = ref [] in
+  for u = Graph.n g - 1 downto 0 do
+    Graph.iter_neighbors g u (fun w _ -> entries := (u, w, weight u w) :: !entries)
+  done;
+  Csr.of_rows (Graph.n g) !entries
+
+let normalized_adjacency g =
+  check_min_degree g "Spectral.normalized_adjacency";
+  let inv_sqrt_deg =
+    Array.init (Graph.n g) (fun v ->
+        1.0 /. sqrt (float_of_int (Graph.degree g v)))
+  in
+  slot_weights g (fun u w -> inv_sqrt_deg.(u) *. inv_sqrt_deg.(w))
+
+let transition_matrix g =
+  check_min_degree g "Spectral.transition_matrix";
+  slot_weights g (fun u _ -> 1.0 /. float_of_int (Graph.degree g u))
+
+let lazy_normalized_adjacency g =
+  check_min_degree g "Spectral.lazy_normalized_adjacency";
+  let inv_sqrt_deg =
+    Array.init (Graph.n g) (fun v ->
+        1.0 /. sqrt (float_of_int (Graph.degree g v)))
+  in
+  let entries = ref [] in
+  for u = Graph.n g - 1 downto 0 do
+    entries := (u, u, 0.5) :: !entries;
+    Graph.iter_neighbors g u (fun w _ ->
+        entries := (u, w, 0.5 *. inv_sqrt_deg.(u) *. inv_sqrt_deg.(w)) :: !entries)
+  done;
+  Csr.of_rows (Graph.n g) !entries
+
+let sqrt_degree_unit g =
+  let v = Array.init (Graph.n g) (fun u -> sqrt (float_of_int (Graph.degree g u))) in
+  Vec.normalize v;
+  v
+
+let spectrum_exact g =
+  let dense = Csr.to_dense (normalized_adjacency g) in
+  Jacobi.eigenvalues dense
+
+type gap_report = {
+  lambda_2 : float;
+  lambda_n : float;
+  lambda_max : float;
+  gap : float;
+}
+
+let gap_exact g =
+  let eigs = spectrum_exact g in
+  let n = Array.length eigs in
+  if n < 2 then invalid_arg "Spectral.gap_exact: need at least 2 vertices";
+  let lambda_2 = eigs.(1) and lambda_n = eigs.(n - 1) in
+  let lambda_max = Float.max lambda_2 (Float.abs lambda_n) in
+  { lambda_2; lambda_n; lambda_max; gap = 1.0 -. lambda_max }
+
+let lambda_max_power ?rng ?tol ?max_iter g =
+  let op = Power.of_csr (normalized_adjacency g) in
+  (* The deflated iteration converges to the signed eigenvalue of largest
+     magnitude; the paper's lambda_max = max(lambda_2, |lambda_n|) is its
+     absolute value. *)
+  Float.abs
+    (Power.second_largest_magnitude ?rng ?tol ?max_iter
+       ~top_eigenvector:(sqrt_degree_unit g) op)
+
+let lambda_max ?(exact_threshold = 256) g =
+  if Graph.n g <= exact_threshold then (gap_exact g).lambda_max
+  else lambda_max_power g
+
+let spectral_gap ?exact_threshold g =
+  Float.max 0.0 (1.0 -. lambda_max ?exact_threshold g)
+
+let lambda_2_lanczos ?steps g =
+  let op = Power.of_csr (normalized_adjacency g) in
+  Lanczos.second_largest ?steps ~deflate:(sqrt_degree_unit g) op
+
+let gap_lanczos ?steps g =
+  let op = Power.of_csr (normalized_adjacency g) in
+  let alphas_ritz =
+    let deflate = sqrt_degree_unit g in
+    (* One Krylov run gives both spectrum ends of the deflated operator. *)
+    let top = Lanczos.second_largest ?steps ~deflate op in
+    let _, bottom = Lanczos.extreme ?steps op in
+    (top, bottom)
+  in
+  let lambda_2, lambda_n = alphas_ritz in
+  let lambda_max = Float.max lambda_2 (Float.abs lambda_n) in
+  { lambda_2; lambda_n; lambda_max; gap = 1.0 -. lambda_max }
+
+let adjacency_lambda_2 ?tol ?max_iter g =
+  if not (Graph.is_regular g) then
+    invalid_arg "Spectral.adjacency_lambda_2: graph is not regular";
+  let r = float_of_int (Graph.max_degree g) in
+  let l2 =
+    if Graph.n g <= 256 then (gap_exact g).lambda_2
+    else begin
+      (* lambda_2 (not |lambda_n|): deflate v1 from the lazy operator, whose
+         spectrum is (1 + lambda)/2, strictly positive ordering. *)
+      let op = Power.of_csr (lazy_normalized_adjacency g) in
+      let mu =
+        Power.second_largest_magnitude ?tol ?max_iter
+          ~top_eigenvector:(sqrt_degree_unit g) op
+      in
+      (2.0 *. mu) -. 1.0
+    end
+  in
+  r *. l2
+
+let mixing_time_bound ?(k = 6.0) g =
+  let n = float_of_int (Graph.n g) in
+  k *. log n /. Float.max (spectral_gap g) 1e-15
+
+let hitting_time_bound g v =
+  let pi = stationary g in
+  1.0 /. (Float.max (spectral_gap g) 1e-15 *. pi.(v))
+
+let set_hitting_time_bound g s =
+  if s = [] then invalid_arg "Spectral.set_hitting_time_bound: empty set";
+  let d_s = List.fold_left (fun acc v -> acc + Graph.degree g v) 0 s in
+  let m = float_of_int (Graph.m g) in
+  2.0 *. m /. (float_of_int d_s *. Float.max (spectral_gap g) 1e-15)
+
+let conductance_exact g =
+  let n = Graph.n g and m = Graph.m g in
+  if n > 24 then invalid_arg "Spectral.conductance_exact: n > 24";
+  if m = 0 then invalid_arg "Spectral.conductance_exact: no edges";
+  let deg = Graph.degrees g in
+  let best = ref infinity in
+  (* Enumerate non-empty proper subsets once each (fix vertex 0 outside X
+     would miss sets containing 0; instead enumerate all and filter by the
+     degree condition d(X) <= m, as the paper defines Phi). *)
+  for mask = 1 to (1 lsl n) - 2 do
+    let d_x = ref 0 in
+    for v = 0 to n - 1 do
+      if mask land (1 lsl v) <> 0 then d_x := !d_x + deg.(v)
+    done;
+    if !d_x <= m && !d_x > 0 then begin
+      let cut = ref 0 in
+      Graph.iter_edges g (fun _ u v ->
+          let u_in = mask land (1 lsl u) <> 0
+          and v_in = mask land (1 lsl v) <> 0 in
+          if u_in <> v_in then incr cut);
+      let phi = float_of_int !cut /. float_of_int !d_x in
+      if phi < !best then best := phi
+    end
+  done;
+  !best
+
+let cheeger_bounds g =
+  let phi = conductance_exact g in
+  (1.0 -. (2.0 *. phi), 1.0 -. (phi *. phi /. 2.0))

@@ -1,0 +1,98 @@
+(** Spectral quantities of the simple random walk on a graph.
+
+    The paper measures edge expansion through the eigenvalue gap
+    [1 - lambda_max] of the walk's transition matrix [P], where
+    [lambda_max = max(lambda_2, |lambda_n|)] (Section 2.1).  [P] is similar
+    to the symmetric normalised adjacency [N = D^{-1/2} A D^{-1/2}], so all
+    computations happen on [N]: exactly (Jacobi) for small graphs, by
+    deflated power iteration for large ones.  Self-loops follow the standard
+    convention (a loop adds 2 to its vertex's degree and is traversed with
+    probability 2/d(v)), matching {!Ewalk_graph.Graph}. *)
+
+open Ewalk_graph
+open Ewalk_linalg
+
+val stationary : Graph.t -> float array
+(** [pi_v = d(v) / 2m].  @raise Invalid_argument if the graph has no
+    edges. *)
+
+val normalized_adjacency : Graph.t -> Csr.t
+(** The symmetric operator [N = D^{-1/2} A D^{-1/2}] as a sparse matrix.
+    @raise Invalid_argument if some vertex has degree 0. *)
+
+val transition_matrix : Graph.t -> Csr.t
+(** The walk matrix [P] with [P(u, v) = (slots from u to v) / d(u)]. *)
+
+val lazy_normalized_adjacency : Graph.t -> Csr.t
+(** [(I + N) / 2] — spectrum mapped into [\[0, 1\]], making
+    [lambda_max = lambda_2]; the paper's lazification (Section 2.1). *)
+
+val sqrt_degree_unit : Graph.t -> Vec.t
+(** The unit top eigenvector of [N]: [v1(u) = sqrt d(u)], normalised.
+    Valid as stated only for connected graphs. *)
+
+val spectrum_exact : Graph.t -> float array
+(** Full walk spectrum [lambda_1 >= ... >= lambda_n] by dense Jacobi on [N].
+    Intended for [n] up to a few hundred. *)
+
+type gap_report = {
+  lambda_2 : float;
+  lambda_n : float;
+  lambda_max : float; (* max (lambda_2, |lambda_n|) *)
+  gap : float; (* 1 - lambda_max *)
+}
+
+val gap_exact : Graph.t -> gap_report
+(** Exact extreme eigenvalues via {!spectrum_exact} (small graphs). *)
+
+val lambda_max_power :
+  ?rng:Ewalk_prng.Rng.t -> ?tol:float -> ?max_iter:int -> Graph.t -> float
+(** [lambda_max] of a {e connected} graph by power iteration on [N] with the
+    known top eigenvector deflated.  Accuracy governed by [tol] on the
+    Rayleigh quotient (default [1e-9]). *)
+
+val lambda_max : ?exact_threshold:int -> Graph.t -> float
+(** Dispatch: Jacobi when [n <= exact_threshold] (default 256), deflated
+    power iteration otherwise. *)
+
+val lambda_2_lanczos : ?steps:int -> Graph.t -> float
+(** [lambda_2] of a {e connected} graph by deflated Lanczos — converges
+    where plain power iteration stalls on the near-degenerate bulk edge of
+    random regular spectra.  [steps] Krylov iterations (default 60). *)
+
+val gap_lanczos : ?steps:int -> Graph.t -> gap_report
+(** Full gap report from one Lanczos run on the deflated normalised
+    adjacency: [lambda_2] is the top Ritz value, [lambda_n] the bottom. *)
+
+val spectral_gap : ?exact_threshold:int -> Graph.t -> float
+(** [1 - lambda_max g], clamped below at [0.]. *)
+
+val adjacency_lambda_2 : ?tol:float -> ?max_iter:int -> Graph.t -> float
+(** Second adjacency eigenvalue of a {e regular} graph ([r * lambda_2(P)]);
+    the quantity bounded by [2 sqrt (r - 1) + eps] in property P1.
+    On large graphs ([n > 256]) this is a deflated power iteration on the
+    lazy operator; because the bulk spectrum of a random regular graph is
+    nearly degenerate at the top, the iteration plateaus {e just below}
+    [lambda_2] — a slight underestimate, never an overestimate of the
+    Rayleigh quotient.  [tol]/[max_iter] bound the work (defaults [1e-9] /
+    20_000).
+    @raise Invalid_argument on an irregular graph. *)
+
+val mixing_time_bound : ?k:float -> Graph.t -> float
+(** Lemma 7's mixing time [T = K log n / (1 - lambda_max)], default
+    [K = 6]. *)
+
+val hitting_time_bound : Graph.t -> Graph.vertex -> float
+(** Lemma 6: [E_pi H_v <= 1 / ((1 - lambda_max) pi_v)]. *)
+
+val set_hitting_time_bound : Graph.t -> Graph.vertex list -> float
+(** Corollary 9: [E_pi H_S <= 2m / (d(S) (1 - lambda_max))]. *)
+
+val conductance_exact : Graph.t -> float
+(** Exact conductance [Phi = min_{d(X) <= m} e(X, X-bar) / d(X)] by subset
+    enumeration.  @raise Invalid_argument for [n > 24] or an edgeless
+    graph. *)
+
+val cheeger_bounds : Graph.t -> float * float
+(** [(lo, hi)] with [lo = 1 - 2 Phi <= lambda_2 <= 1 - Phi^2 / 2 = hi]
+    (eq. 19), computed from {!conductance_exact} — small graphs only. *)

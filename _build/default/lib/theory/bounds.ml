@@ -1,0 +1,74 @@
+let fl = float_of_int
+
+let theorem1_vertex_cover ?(c = 1.0) ~ell ~gap n =
+  if ell < 1 then invalid_arg "Bounds.theorem1_vertex_cover: ell < 1";
+  if gap <= 0.0 then invalid_arg "Bounds.theorem1_vertex_cover: gap <= 0";
+  c *. (fl n +. (fl n *. log (fl (max 2 n)) /. (fl ell *. gap)))
+
+let expander_vertex_cover ?(c = 1.0) ~ell n =
+  if ell < 1 then invalid_arg "Bounds.expander_vertex_cover: ell < 1";
+  c *. (fl n +. (fl n *. log (fl (max 2 n)) /. fl ell))
+
+let theorem3_edge_cover ?(c = 1.0) ~m ~girth ~max_degree ~gap n =
+  if girth < 1 then invalid_arg "Bounds.theorem3_edge_cover: girth < 1";
+  if gap <= 0.0 then invalid_arg "Bounds.theorem3_edge_cover: gap <= 0";
+  c
+  *. (fl m
+      +. fl m /. (gap *. gap)
+         *. ((log (fl (max 2 n)) /. fl girth) +. log (fl (max 2 max_degree))))
+
+let grw_edge_cover ?(c = 1.0) ~m ~gap n =
+  if gap <= 0.0 then invalid_arg "Bounds.grw_edge_cover: gap <= 0";
+  fl m +. (c *. fl n *. log (fl (max 2 n)) /. gap)
+
+let edge_cover_sandwich_upper ~m ~srw_vertex_cover = fl m +. srw_vertex_cover
+
+let radzik_lower_bound ~n = fl n /. 4.0 *. log (fl n /. 2.0)
+
+let feige_lower_bound ~n = fl n *. log (fl (max 2 n))
+
+let walk_trivial_lower_bound ~n = max 0 (n - 1)
+
+let mixing_time ?(k = 6.0) ~gap n =
+  if gap <= 0.0 then invalid_arg "Bounds.mixing_time: gap <= 0";
+  k *. log (fl (max 2 n)) /. gap
+
+let hitting_bound ~pi_v ~gap =
+  if gap <= 0.0 || pi_v <= 0.0 then invalid_arg "Bounds.hitting_bound";
+  1.0 /. (gap *. pi_v)
+
+let set_hitting_bound ~m ~d_s ~gap =
+  if gap <= 0.0 || d_s <= 0 then invalid_arg "Bounds.set_hitting_bound";
+  2.0 *. fl m /. (fl d_s *. gap)
+
+let non_visit_probability ~t ~d_s ~m ~gap =
+  if m <= 0 || d_s <= 0 then invalid_arg "Bounds.non_visit_probability";
+  exp (-.t *. fl d_s *. gap /. (14.0 *. fl m))
+
+let rooted_subgraph_count_bound ~s ~max_degree =
+  2.0 ** (fl s *. fl max_degree)
+
+let friedman_lambda2 ?(eps = 0.1) r =
+  if r < 2 then invalid_arg "Bounds.friedman_lambda2: r < 2";
+  (2.0 *. sqrt (fl (r - 1))) +. eps
+
+let p2_ell ~n ~r =
+  if r < 1 then invalid_arg "Bounds.p2_ell: r < 1";
+  log (fl (max 2 n)) /. (4.0 *. log (fl r *. Float.exp 1.0))
+
+let expected_cycles ~r ~k =
+  if r < 2 || k < 1 then invalid_arg "Bounds.expected_cycles";
+  (fl (r - 1) ** fl k) /. (2.0 *. fl k)
+
+let isolated_star_fraction () = 0.125
+
+let coupon_collector ~n =
+  let harmonic = ref 0.0 in
+  if n <= 10_000 then
+    for i = 1 to n do
+      harmonic := !harmonic +. (1.0 /. fl i)
+    done
+  else
+    (* H_n = ln n + gamma + 1/2n + O(1/n^2) *)
+    harmonic := log (fl n) +. 0.5772156649015329 +. (1.0 /. (2.0 *. fl n));
+  fl n *. !harmonic

@@ -1,0 +1,75 @@
+(** The paper's quantitative statements as executable formulas.
+
+    Every bound is provided in the exact parametric form the paper states
+    it, so experiment tables can print "measured vs bound" columns.  Bounds
+    with unspecified constants take the constant as a parameter defaulting
+    to 1 (they are shape comparisons, not certified inequalities). *)
+
+val theorem1_vertex_cover : ?c:float -> ell:int -> gap:float -> int -> float
+(** Theorem 1: [C_V(E) = O(n + n log n / (ell (1 - lambda_max)))].
+    Natural logarithm throughout, as in the paper's fitted constants. *)
+
+val expander_vertex_cover : ?c:float -> ell:int -> int -> float
+(** Eq. (1): the Theorem 1 bound with the gap absorbed —
+    [O(n + n log n / ell)]. *)
+
+val theorem3_edge_cover :
+  ?c:float -> m:int -> girth:int -> max_degree:int -> gap:float -> int ->
+  float
+(** Theorem 3: [C_E(E) = O(m + m/(1-lambda)^2 (log n / g + log Delta))]. *)
+
+val grw_edge_cover : ?c:float -> m:int -> gap:float -> int -> float
+(** Eq. (2) (Orenshtein–Shinkar): [C_E(GRW) = m + O(n log n / (1 -
+    lambda_max))]. *)
+
+val edge_cover_sandwich_upper : m:int -> srw_vertex_cover:float -> float
+(** Eq. (3) upper bound: [C_E(E) <= m + C_V(SRW)]. *)
+
+val radzik_lower_bound : n:int -> float
+(** Theorem 5: any reversible weighted walk has
+    [C_V >= (n/4) log (n/2)]. *)
+
+val feige_lower_bound : n:int -> float
+(** Feige: [C_V(SRW) >= (1 - o(1)) n log n]; we return the leading term
+    [n log n]. *)
+
+val walk_trivial_lower_bound : n:int -> int
+(** Any walk-based process needs at least [n - 1] steps. *)
+
+val mixing_time : ?k:float -> gap:float -> int -> float
+(** Lemma 7: [T = K log n / (1 - lambda_max)], default [K = 6]. *)
+
+val hitting_bound : pi_v:float -> gap:float -> float
+(** Lemma 6: [E_pi H_v <= 1 / ((1 - lambda_max) pi_v)]. *)
+
+val set_hitting_bound : m:int -> d_s:int -> gap:float -> float
+(** Corollary 9: [E_pi H_S <= 2m / (d(S) (1 - lambda_max))]. *)
+
+val non_visit_probability : t:float -> d_s:int -> m:int -> gap:float -> float
+(** Lemma 13: [Pr(S unvisited at t) <= exp(-t d(S) gap / 14 m)] (valid once
+    [t >= 7m/(d(S) gap)]; we return the raw exponential). *)
+
+val rooted_subgraph_count_bound : s:int -> max_degree:int -> float
+(** Lemma 14: [beta(s, v) <= 2^(s Delta)]. *)
+
+val friedman_lambda2 : ?eps:float -> int -> float
+(** Property P1: second adjacency eigenvalue of a random [r]-regular graph
+    is at most [2 sqrt (r - 1) + eps] whp (default [eps = 0.1]). *)
+
+val p2_ell : n:int -> r:int -> float
+(** Corollary 2's proof: random [r]-regular graphs are [ell]-good with
+    [ell = log n / (4 log (re))]. *)
+
+val expected_cycles : r:int -> k:int -> float
+(** Expected number of [k]-cycles in a random [r]-regular graph:
+    [(r-1)^k / (2k)] (the [theta_k r^k / k] of Corollary 4's proof, in its
+    standard sharp form). *)
+
+val isolated_star_fraction : unit -> float
+(** Section 5: the expected fraction of vertices left at the centre of an
+    isolated blue star by the blue walk on random 3-regular graphs —
+    [(1/2)^3 = 1/8]. *)
+
+val coupon_collector : n:int -> float
+(** [n H_n ~ n ln n]: the time scale for the embedded walk to pick up [n]
+    scattered targets (Section 5's closing argument). *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Ewalk Ewalk_analysis Ewalk_graph Ewalk_prng Float Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Ewalk Ewalk_graph Ewalk_prng List QCheck QCheck_alcotest

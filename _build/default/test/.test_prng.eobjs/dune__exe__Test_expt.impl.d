@@ -1,0 +1,1 @@
+test/test_expt.ml: Alcotest Array Ewalk Ewalk_analysis Ewalk_expt Ewalk_graph Ewalk_prng List String

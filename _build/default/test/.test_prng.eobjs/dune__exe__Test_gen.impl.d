@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Ewalk_graph Ewalk_prng Ewalk_spectral Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Ewalk_graph Ewalk_prng List QCheck QCheck_alcotest

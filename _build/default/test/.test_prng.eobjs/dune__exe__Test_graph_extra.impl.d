@@ -1,0 +1,1 @@
+test/test_graph_extra.ml: Alcotest Ewalk_graph Ewalk_prng Filename Fun Hashtbl List Option QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Ewalk Ewalk_analysis Ewalk_expt Ewalk_graph Ewalk_prng Ewalk_spectral Ewalk_theory List Printf String

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Ewalk_linalg Ewalk_prng Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Ewalk Ewalk_graph Ewalk_linalg Ewalk_prng Ewalk_spectral Float List Printf QCheck QCheck_alcotest

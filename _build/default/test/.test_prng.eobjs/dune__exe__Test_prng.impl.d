@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Ewalk_prng Float Hashtbl Int64 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_spectral.ml: Alcotest Array Ewalk_graph Ewalk_linalg Ewalk_prng Ewalk_spectral Float Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_team.ml: Alcotest Array Ewalk Ewalk_graph Ewalk_prng List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Ewalk_theory Float QCheck QCheck_alcotest

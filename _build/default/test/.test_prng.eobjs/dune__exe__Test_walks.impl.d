@@ -1,0 +1,1 @@
+test/test_walks.ml: Alcotest Array Ewalk Ewalk_graph Ewalk_prng Hashtbl List Option Printf QCheck QCheck_alcotest

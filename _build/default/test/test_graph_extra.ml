@@ -1,0 +1,422 @@
+(* Tests for the extended graph toolkit: Euler circuits, combinators,
+   serialisation, degree sequences, and the switch chain. *)
+
+module Graph = Ewalk_graph.Graph
+module Gen_classic = Ewalk_graph.Gen_classic
+module Gen_regular = Ewalk_graph.Gen_regular
+module Traversal = Ewalk_graph.Traversal
+module Euler = Ewalk_graph.Euler
+module Ops = Ewalk_graph.Ops
+module Graph_io = Ewalk_graph.Graph_io
+module Degrees = Ewalk_graph.Degrees
+module Switch = Ewalk_graph.Switch
+module Rng = Ewalk_prng.Rng
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* -- Euler ------------------------------------------------------------------ *)
+
+let is_valid_circuit g start edges =
+  (* Chains, returns to start, and uses every edge exactly once. *)
+  List.length edges = Graph.m g
+  && List.sort compare edges = List.init (Graph.m g) (fun e -> e)
+  &&
+  let vs = Euler.circuit_vertices g ~start edges in
+  match (vs, List.rev vs) with
+  | first :: _, last :: _ -> first = start && last = start
+  | _ -> Graph.m g = 0
+
+let euler_known_families () =
+  Alcotest.(check bool) "cycle eulerian" true
+    (Euler.is_eulerian (Gen_classic.cycle 7));
+  Alcotest.(check bool) "torus eulerian" true
+    (Euler.is_eulerian (Gen_classic.torus2d 4 4));
+  Alcotest.(check bool) "petersen not (odd degree)" false
+    (Euler.is_eulerian (Gen_classic.petersen ()));
+  Alcotest.(check bool) "path not" false (Euler.is_eulerian (Gen_classic.path 5));
+  (* Disconnected even-degree graph is not Eulerian. *)
+  let two_triangles =
+    Ops.disjoint_union (Gen_classic.cycle 3) (Gen_classic.cycle 3)
+  in
+  Alcotest.(check bool) "disconnected not" false
+    (Euler.is_eulerian two_triangles)
+
+let euler_circuit_valid () =
+  List.iter
+    (fun g ->
+      match Euler.euler_circuit g ~start:0 with
+      | Some edges ->
+          Alcotest.(check bool) "valid circuit" true
+            (is_valid_circuit g 0 edges)
+      | None -> Alcotest.fail "eulerian graph must have a circuit")
+    [
+      Gen_classic.cycle 9;
+      Gen_classic.torus2d 4 5;
+      Gen_classic.double_cycle 6;
+      Gen_classic.complete 5;
+      Gen_classic.hypercube 4;
+      Graph.of_edges ~n:2 [ (0, 0); (0, 1); (0, 1) ];
+    ]
+
+let euler_rejects_non_eulerian () =
+  Alcotest.(check bool) "petersen none" true
+    (Euler.euler_circuit (Gen_classic.petersen ()) ~start:0 = None);
+  Alcotest.(check bool) "empty graph trivial" true
+    (Euler.euler_circuit (Graph.of_edges ~n:3 []) ~start:0 = Some [])
+
+let euler_decomposition () =
+  (* Two disjoint triangles decompose into exactly two closed trails. *)
+  let g = Ops.disjoint_union (Gen_classic.cycle 3) (Gen_classic.cycle 3) in
+  let trails = Euler.closed_trail_decomposition g in
+  Alcotest.(check int) "two trails" 2 (List.length trails);
+  let total = List.fold_left (fun acc t -> acc + List.length t) 0 trails in
+  Alcotest.(check int) "all edges" (Graph.m g) total;
+  (* Every even graph decomposes completely. *)
+  let rng = Rng.create ~seed:1 () in
+  let g2 = Gen_regular.cycle_union rng 20 2 in
+  let trails2 = Euler.closed_trail_decomposition g2 in
+  let total2 = List.fold_left (fun acc t -> acc + List.length t) 0 trails2 in
+  Alcotest.(check int) "complete partition" (Graph.m g2) total2;
+  Alcotest.check_raises "odd degree"
+    (Invalid_argument "Euler.closed_trail_decomposition: odd-degree vertex")
+    (fun () ->
+      ignore (Euler.closed_trail_decomposition (Gen_classic.petersen ())))
+
+let euler_circuit_vertices_checks () =
+  let g = Gen_classic.cycle 4 in
+  Alcotest.check_raises "broken chain"
+    (Invalid_argument "Euler.circuit_vertices: edges do not chain") (fun () ->
+      ignore (Euler.circuit_vertices g ~start:0 [ 0; 3 ]))
+
+(* -- Ops --------------------------------------------------------------------- *)
+
+let ops_disjoint_union () =
+  let g = Ops.disjoint_union (Gen_classic.cycle 3) (Gen_classic.path 4) in
+  Alcotest.(check int) "n adds" 7 (Graph.n g);
+  Alcotest.(check int) "m adds" 6 (Graph.m g);
+  let _, k = Traversal.connected_components g in
+  Alcotest.(check int) "two components" 2 k
+
+let ops_product_hypercube () =
+  (* K2 x K2 x K2 = H_3. *)
+  let k2 = Gen_classic.path 2 in
+  let h3 = Ops.cartesian_product (Ops.cartesian_product k2 k2) k2 in
+  Alcotest.(check int) "n" 8 (Graph.n h3);
+  Alcotest.(check int) "m" 12 (Graph.m h3);
+  Alcotest.(check bool) "3-regular" true
+    (Graph.is_regular h3 && Graph.max_degree h3 = 3);
+  Alcotest.(check bool) "bipartite like H3" true (Traversal.is_bipartite h3);
+  Alcotest.(check int) "diameter 3" 3 (Traversal.diameter h3)
+
+let ops_product_torus () =
+  (* C4 x C5 = 4x5 torus. *)
+  let t = Ops.cartesian_product (Gen_classic.cycle 4) (Gen_classic.cycle 5) in
+  let reference = Gen_classic.torus2d 4 5 in
+  Alcotest.(check int) "n" (Graph.n reference) (Graph.n t);
+  Alcotest.(check int) "m" (Graph.m reference) (Graph.m t);
+  Alcotest.(check bool) "4-regular" true
+    (Graph.is_regular t && Graph.max_degree t = 4);
+  Alcotest.(check bool) "connected" true (Traversal.is_connected t);
+  Alcotest.(check (option int)) "girth" (Ewalk_graph.Girth.girth reference)
+    (Ewalk_graph.Girth.girth t)
+
+let ops_complement () =
+  let c5 = Gen_classic.cycle 5 in
+  let comp = Ops.complement c5 in
+  (* Complement of C5 is C5 again. *)
+  Alcotest.(check int) "m" 5 (Graph.m comp);
+  Alcotest.(check bool) "2-regular" true
+    (Graph.is_regular comp && Graph.max_degree comp = 2);
+  Alcotest.(check bool) "connected" true (Traversal.is_connected comp);
+  let k4 = Gen_classic.complete 4 in
+  Alcotest.(check int) "complement of complete is empty" 0
+    (Graph.m (Ops.complement k4))
+
+let ops_line_graph () =
+  (* L(K4) is 4-regular on 6 vertices (the octahedron). *)
+  let l = Ops.line_graph (Gen_classic.complete 4) in
+  Alcotest.(check int) "n = m of K4" 6 (Graph.n l);
+  Alcotest.(check bool) "4-regular" true
+    (Graph.is_regular l && Graph.max_degree l = 4);
+  Alcotest.(check int) "m = 12" 12 (Graph.m l);
+  (* Line graph of a cubic graph is even-degree: the Theorem 1 trick. *)
+  let lp = Ops.line_graph (Gen_classic.petersen ()) in
+  Alcotest.(check bool) "L(petersen) 4-regular even" true
+    (Graph.is_regular lp && Graph.max_degree lp = 4
+    && Graph.all_degrees_even lp)
+
+
+let ops_double_edges () =
+  let g = Ewalk_graph.Gen_classic.petersen () in
+  let d = Ops.double_edges g in
+  Alcotest.(check int) "m doubled" (2 * Graph.m g) (Graph.m d);
+  Alcotest.(check bool) "even degrees" true (Graph.all_degrees_even d);
+  Alcotest.(check int) "degree doubled" 6 (Graph.max_degree d);
+  (* Duplicate of edge e is edge m + e with the same endpoints. *)
+  for e = 0 to Graph.m g - 1 do
+    Alcotest.(check (pair int int)) "duplicate endpoints"
+      (Graph.endpoints d e)
+      (Graph.endpoints d (Graph.m g + e))
+  done
+
+let ops_relabel () =
+  let g = Gen_classic.path 4 in
+  let perm = [| 3; 2; 1; 0 |] in
+  let r = Ops.relabel g perm in
+  Alcotest.(check bool) "same shape" true
+    (Graph.m r = 3 && Graph.degree r 3 = 1 && Graph.degree r 2 = 2);
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Ops.relabel: not a permutation") (fun () ->
+      ignore (Ops.relabel g [| 0; 0; 1; 2 |]))
+
+(* -- Graph_io ------------------------------------------------------------------ *)
+
+let io_roundtrip () =
+  let g = Gen_classic.petersen () in
+  let g2 = Graph_io.of_string (Graph_io.to_string g) in
+  Alcotest.(check int) "n" (Graph.n g) (Graph.n g2);
+  Alcotest.(check (list (pair int int))) "edges preserved in order"
+    (Graph.edge_list g) (Graph.edge_list g2)
+
+let io_multigraph_roundtrip () =
+  let g = Graph.of_edges ~n:3 [ (0, 0); (1, 2); (1, 2) ] in
+  let g2 = Graph_io.of_string (Graph_io.to_string g) in
+  Alcotest.(check int) "loops kept" 1 (Graph.count_self_loops g2);
+  Alcotest.(check int) "parallels kept" 1 (Graph.count_parallel_edges g2)
+
+let io_comments_and_blanks () =
+  let g = Graph_io.of_string "# a comment\n\n3 2\n0 1\n\n# another\n1 2\n" in
+  Alcotest.(check int) "n" 3 (Graph.n g);
+  Alcotest.(check int) "m" 2 (Graph.m g)
+
+let io_malformed () =
+  List.iter
+    (fun s ->
+      match Graph_io.of_string s with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail ("should reject " ^ String.escaped s))
+    [ ""; "2"; "2 1\n0 5"; "2 2\n0 1"; "x y\n"; "2 1\n0 1\n0 1" ]
+
+let io_file_roundtrip () =
+  let g = Gen_classic.torus2d 3 3 in
+  let path = Filename.temp_file "ewalk" ".graph" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Graph_io.save path g;
+      let g2 = Graph_io.load path in
+      Alcotest.(check (list (pair int int))) "file roundtrip"
+        (Graph.edge_list g) (Graph.edge_list g2))
+
+(* -- Degrees ---------------------------------------------------------------- *)
+
+let degrees_graphical () =
+  Alcotest.(check bool) "regular ok" true (Degrees.is_graphical [| 2; 2; 2 |]);
+  Alcotest.(check bool) "star ok" true (Degrees.is_graphical [| 3; 1; 1; 1 |]);
+  Alcotest.(check bool) "odd sum" false (Degrees.is_graphical [| 1; 1; 1 |]);
+  Alcotest.(check bool) "too big" false (Degrees.is_graphical [| 3; 1; 1 |]);
+  Alcotest.(check bool) "negative" false (Degrees.is_graphical [| -1; 1 |]);
+  (* Erdős–Gallai catches non-graphical even-sum sequences. *)
+  Alcotest.(check bool) "4,4,1,1,1,1 not graphical" false
+    (Degrees.is_graphical [| 4; 4; 1; 1; 1; 1 |])
+
+let degrees_havel_hakimi () =
+  (match Degrees.havel_hakimi [| 2; 2; 2; 2 |] with
+  | Some g ->
+      Alcotest.(check (array int)) "realises" [| 2; 2; 2; 2 |]
+        (Graph.degrees g);
+      Alcotest.(check bool) "simple" true (Graph.is_simple g)
+  | None -> Alcotest.fail "C4 sequence is graphical");
+  (match Degrees.havel_hakimi [| 3; 3; 3; 3; 3; 3 |] with
+  | Some g ->
+      Alcotest.(check bool) "3-regular on 6" true
+        (Graph.is_simple g && Graph.degrees g = [| 3; 3; 3; 3; 3; 3 |])
+  | None -> Alcotest.fail "K33-ish sequence is graphical");
+  Alcotest.(check bool) "non-graphical gives none" true
+    (Degrees.havel_hakimi [| 4; 4; 1; 1; 1; 1 |] = None)
+
+let degrees_sorted () =
+  Alcotest.(check (array int)) "sorted desc" [| 5; 3; 1 |]
+    (Degrees.sorted_descending [| 3; 5; 1 |])
+
+(* -- Switch ------------------------------------------------------------------ *)
+
+let switch_preserves_degrees () =
+  let rng = Rng.create ~seed:2 () in
+  let g = Gen_regular.random_regular rng 30 4 in
+  let g2 = Switch.randomize rng g ~switches:200 in
+  Alcotest.(check (array int)) "degrees preserved" (Graph.degrees g)
+    (Graph.degrees g2);
+  Alcotest.(check bool) "stays simple" true (Graph.is_simple g2)
+
+let switch_changes_graph () =
+  let rng = Rng.create ~seed:3 () in
+  let g = Gen_classic.cycle 12 in
+  let g2 = Switch.randomize rng g ~switches:30 in
+  (* A randomised cycle is almost surely no longer a single cycle. *)
+  Alcotest.(check bool) "edge set changed" true
+    (Graph.edge_list g <> Graph.edge_list g2)
+
+let switch_validation () =
+  let rng = Rng.create () in
+  Alcotest.check_raises "multigraph rejected"
+    (Invalid_argument "Switch: graph is not simple") (fun () ->
+      ignore
+        (Switch.randomize rng (Graph.of_edges ~n:2 [ (0, 1); (0, 1) ])
+           ~switches:1))
+
+let switch_once_works_eventually () =
+  let rng = Rng.create ~seed:4 () in
+  let g = Gen_classic.complete_bipartite 3 3 in
+  let succeeded = ref false in
+  for _ = 1 to 50 do
+    if not !succeeded then
+      match Switch.switch_once rng g with
+      | Some g2 ->
+          succeeded := true;
+          Alcotest.(check (array int)) "degrees" (Graph.degrees g)
+            (Graph.degrees g2)
+      | None -> ()
+  done;
+  Alcotest.(check bool) "eventually switches" true !succeeded
+
+
+let find_short_cycle_test () =
+  (* Cycle graph: the unique cycle is found when within the bound. *)
+  let g = Gen_classic.cycle 6 in
+  (match Ewalk_graph.Girth.find_short_cycle g ~shorter_than:7 with
+  | Some edges ->
+      Alcotest.(check int) "the hexagon" 6 (List.length edges);
+      Alcotest.(check (list int)) "all its edges" [ 0; 1; 2; 3; 4; 5 ]
+        (List.sort compare edges)
+  | None -> Alcotest.fail "cycle within bound");
+  Alcotest.(check bool) "not shorter than 6" true
+    (Ewalk_graph.Girth.find_short_cycle g ~shorter_than:6 = None);
+  (* Trees have no cycle. *)
+  Alcotest.(check bool) "tree" true
+    (Ewalk_graph.Girth.find_short_cycle (Gen_classic.binary_tree 3)
+       ~shorter_than:100
+    = None);
+  (* Self-loop and digon conventions. *)
+  (match
+     Ewalk_graph.Girth.find_short_cycle
+       (Graph.of_edges ~n:2 [ (0, 0); (0, 1) ])
+       ~shorter_than:3
+   with
+  | Some [ e ] -> Alcotest.(check int) "the loop" 0 e
+  | _ -> Alcotest.fail "loop is a 1-cycle");
+  (* The returned edges always form a closed chain. *)
+  let k5 = Gen_classic.complete 5 in
+  match Ewalk_graph.Girth.find_short_cycle k5 ~shorter_than:4 with
+  | Some edges ->
+      Alcotest.(check int) "triangle" 3 (List.length edges);
+      let touched = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          let u, v = Graph.endpoints k5 e in
+          List.iter
+            (fun x ->
+              Hashtbl.replace touched x
+                (1 + Option.value ~default:0 (Hashtbl.find_opt touched x)))
+            [ u; v ])
+        edges;
+      Hashtbl.iter
+        (fun _ c -> Alcotest.(check int) "each vertex twice" 2 c)
+        touched
+  | None -> Alcotest.fail "K5 has triangles"
+
+let boost_girth_test () =
+  let rng = Rng.create ~seed:5 () in
+  let g = Gen_regular.random_regular_connected rng 300 4 in
+  let b = Switch.boost_girth rng g ~target:6 in
+  Alcotest.(check (array int)) "degrees preserved" (Graph.degrees g)
+    (Graph.degrees b);
+  Alcotest.(check bool) "simple" true (Graph.is_simple b);
+  (match Ewalk_graph.Girth.girth_at_most b 5 with
+  | None -> ()
+  | Some gi -> Alcotest.failf "short cycle of length %d survived" gi);
+  Alcotest.check_raises "bad target"
+    (Invalid_argument "Switch.boost_girth: target < 3") (fun () ->
+      ignore (Switch.boost_girth rng g ~target:2))
+
+let prop_switch_chain_invariants =
+  QCheck.Test.make ~name:"switch chain preserves degrees and simplicity"
+    ~count:50 QCheck.(small_int)
+    (fun seed ->
+      let rng = Rng.create ~seed () in
+      let g = Gen_regular.random_regular rng 16 3 in
+      let g2 = Switch.randomize rng g ~switches:40 in
+      Graph.degrees g2 = Graph.degrees g && Graph.is_simple g2)
+
+let prop_euler_on_even_graphs =
+  QCheck.Test.make ~name:"every connected even graph has an Euler circuit"
+    ~count:50 QCheck.(pair small_int (int_range 1 3))
+    (fun (seed, r) ->
+      let rng = Rng.create ~seed () in
+      let g = Gen_regular.cycle_union rng 12 r in
+      match Euler.euler_circuit g ~start:0 with
+      | Some edges -> is_valid_circuit g 0 edges
+      | None -> false)
+
+let prop_product_degree_sum =
+  QCheck.Test.make ~name:"product degrees add" ~count:50
+    QCheck.(pair (int_range 3 6) (int_range 3 6))
+    (fun (a, b) ->
+      let g = Ops.cartesian_product (Gen_classic.cycle a) (Gen_classic.cycle b) in
+      Graph.is_regular g && Graph.max_degree g = 4
+      && Graph.n g = a * b
+      && Graph.m g = 2 * a * b)
+
+let () =
+  Alcotest.run "graph_extra"
+    [
+      ( "euler",
+        [
+          Alcotest.test_case "known families" `Quick euler_known_families;
+          Alcotest.test_case "circuit valid" `Quick euler_circuit_valid;
+          Alcotest.test_case "non-eulerian" `Quick euler_rejects_non_eulerian;
+          Alcotest.test_case "decomposition" `Quick euler_decomposition;
+          Alcotest.test_case "vertex expansion checks" `Quick
+            euler_circuit_vertices_checks;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "disjoint union" `Quick ops_disjoint_union;
+          Alcotest.test_case "product = hypercube" `Quick ops_product_hypercube;
+          Alcotest.test_case "product = torus" `Quick ops_product_torus;
+          Alcotest.test_case "complement" `Quick ops_complement;
+          Alcotest.test_case "line graph" `Quick ops_line_graph;
+          Alcotest.test_case "double edges" `Quick ops_double_edges;
+          Alcotest.test_case "relabel" `Quick ops_relabel;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip" `Quick io_roundtrip;
+          Alcotest.test_case "multigraph" `Quick io_multigraph_roundtrip;
+          Alcotest.test_case "comments" `Quick io_comments_and_blanks;
+          Alcotest.test_case "malformed" `Quick io_malformed;
+          Alcotest.test_case "file roundtrip" `Quick io_file_roundtrip;
+        ] );
+      ( "degrees",
+        [
+          Alcotest.test_case "graphical" `Quick degrees_graphical;
+          Alcotest.test_case "havel-hakimi" `Quick degrees_havel_hakimi;
+          Alcotest.test_case "sorted" `Quick degrees_sorted;
+        ] );
+      ( "switch",
+        [
+          Alcotest.test_case "preserves degrees" `Quick
+            switch_preserves_degrees;
+          Alcotest.test_case "changes graph" `Quick switch_changes_graph;
+          Alcotest.test_case "validation" `Quick switch_validation;
+          Alcotest.test_case "switch once" `Quick switch_once_works_eventually;
+          Alcotest.test_case "find short cycle" `Quick find_short_cycle_test;
+          Alcotest.test_case "boost girth" `Quick boost_girth_test;
+        ] );
+      ( "properties",
+        [
+          qcheck prop_switch_chain_invariants;
+          qcheck prop_euler_on_even_graphs;
+          qcheck prop_product_degree_sum;
+        ] );
+    ]

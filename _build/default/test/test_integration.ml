@@ -1,0 +1,176 @@
+(* Integration tests: every registered experiment runs end-to-end at tiny
+   scale and produces a non-degenerate table; plus cross-module pipelines
+   that mirror the paper's top-level claims at small n. *)
+
+module Graph = Ewalk_graph.Graph
+module Gen_regular = Ewalk_graph.Gen_regular
+module Cover = Ewalk.Cover
+module Eprocess = Ewalk.Eprocess
+module Srw = Ewalk.Srw
+module Rng = Ewalk_prng.Rng
+module Experiments = Ewalk_expt.Experiments
+module Table = Ewalk_expt.Table
+
+let run_experiment_test entry () =
+  let table = entry.Experiments.run ~scale:Ewalk_expt.Sweep.Tiny ~seed:2 in
+  Alcotest.(check string) "id propagated" entry.Experiments.id
+    table.Table.id;
+  Alcotest.(check bool) "has rows" true (List.length table.Table.rows > 0);
+  Alcotest.(check bool) "has header" true (List.length table.Table.header > 0);
+  (* Every row has exactly as many cells as the header. *)
+  let width = List.length table.Table.header in
+  List.iter
+    (fun row -> Alcotest.(check int) "row width" width (List.length row))
+    table.Table.rows;
+  (* Rendering and CSV never raise and are non-empty. *)
+  Alcotest.(check bool) "renders" true (String.length (Table.render table) > 0);
+  Alcotest.(check bool) "csv" true (String.length (Table.to_csv table) > 0)
+
+let experiment_cases =
+  List.map
+    (fun e ->
+      Alcotest.test_case e.Experiments.id `Slow (run_experiment_test e))
+    Experiments.all
+
+(* -- end-to-end claims ------------------------------------------------------- *)
+
+(* Corollary 2 at small n: the E-process covers random 4-regular graphs well
+   within the Theorem 1 envelope, and faster than the SRW. *)
+let headline_speedup () =
+  let n = 600 in
+  let trials = 5 in
+  let e_total = ref 0 and s_total = ref 0 in
+  for seed = 1 to trials do
+    let rng = Rng.create ~seed () in
+    let g = Gen_regular.random_regular_connected rng n 4 in
+    (match
+       Cover.run_until_vertex_cover ~cap:(Cover.default_cap g)
+         (Eprocess.process (Eprocess.create g rng ~start:0))
+     with
+    | Some t -> e_total := !e_total + t
+    | None -> Alcotest.fail "e-process capped");
+    match
+      Cover.run_until_vertex_cover ~cap:(Cover.default_cap g)
+        (Srw.process (Srw.create g rng ~start:0))
+    with
+    | Some t -> s_total := !s_total + t
+    | None -> Alcotest.fail "srw capped"
+  done;
+  let e_mean = float_of_int !e_total /. float_of_int trials in
+  let s_mean = float_of_int !s_total /. float_of_int trials in
+  (* E-process within a small constant of n. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "e-process %.0f <= 4 n" e_mean)
+    true
+    (e_mean <= 4.0 *. float_of_int n);
+  (* And at least the trivial bound. *)
+  Alcotest.(check bool) "above n-1" true (e_mean >= float_of_int (n - 1));
+  (* SRW above the Radzik lower bound (Theorem 5). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "srw %.0f above Radzik" s_mean)
+    true
+    (s_mean >= Ewalk_theory.Bounds.radzik_lower_bound ~n);
+  (* The headline: a clear speed-up. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "speedup %.1fx" (s_mean /. e_mean))
+    true
+    (s_mean /. e_mean > 2.0)
+
+(* The Theorem 1 envelope with measured quantities: gap from the spectral
+   module, ell from the goodness module, both feeding the bound formula. *)
+let theorem1_envelope_measured () =
+  let rng = Rng.create ~seed:9 () in
+  let g = Gen_regular.random_regular_connected rng 200 4 in
+  let gap = Ewalk_spectral.Spectral.spectral_gap g in
+  Alcotest.(check bool) "expander gap" true (gap > 0.05);
+  (* Certified ell lower bound over all vertices with a modest radius. *)
+  let ell = ref max_int in
+  for v = 0 to Graph.n g - 1 do
+    let b = Ewalk_analysis.Goodness.ell_of_vertex g v ~max_len:6 in
+    if b.Ewalk_analysis.Goodness.lower < !ell then
+      ell := b.Ewalk_analysis.Goodness.lower
+  done;
+  Alcotest.(check bool) "nontrivial ell" true (!ell >= 3);
+  let bound =
+    Ewalk_theory.Bounds.theorem1_vertex_cover ~c:20.0 ~ell:!ell ~gap
+      (Graph.n g)
+  in
+  match
+    Cover.run_until_vertex_cover ~cap:(Cover.default_cap g)
+      (Eprocess.process (Eprocess.create g rng ~start:0))
+  with
+  | Some t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "measured %d within envelope %.0f" t bound)
+        true
+        (float_of_int t <= bound)
+  | None -> Alcotest.fail "capped"
+
+(* Observation 12 pipeline at integration level: C_E within the sandwich for
+   a fresh graph + walk pair measured by independent modules. *)
+let sandwich_pipeline () =
+  let rng = Rng.create ~seed:10 () in
+  let g = Gen_regular.random_regular_connected rng 300 4 in
+  let ep = Eprocess.create g rng ~start:0 in
+  let ce =
+    match Cover.run_until_edge_cover ~cap:(Cover.default_cap g) (Eprocess.process ep) with
+    | Some t -> t
+    | None -> Alcotest.fail "capped"
+  in
+  Alcotest.(check bool) "m <= C_E" true (ce >= Graph.m g);
+  let srw_cv =
+    match
+      Cover.run_until_vertex_cover ~cap:(Cover.default_cap g)
+        (Srw.process (Srw.create g rng ~start:0))
+    with
+    | Some t -> t
+    | None -> Alcotest.fail "srw capped"
+  in
+  (* The sandwich holds in expectation; at n=300 allow slack of 3x on a
+     single sample pair. *)
+  Alcotest.(check bool) "C_E within 3 (m + C_V(SRW))" true
+    (float_of_int ce
+    <= 3.0
+       *. Ewalk_theory.Bounds.edge_cover_sandwich_upper ~m:(Graph.m g)
+            ~srw_vertex_cover:(float_of_int srw_cv))
+
+(* The CLI's process specs cover every walk implementation; drive each once
+   through the Families + processes path used by bin/eproc. *)
+let families_times_processes () =
+  let rng = Rng.create ~seed:11 () in
+  let g = Ewalk_expt.Families.build "torus" rng ~n:36 in
+  List.iter
+    (fun p ->
+      match Cover.run_until_vertex_cover ~cap:(Cover.default_cap g) (p g rng) with
+      | Some _ -> ()
+      | None -> Alcotest.fail "process capped on a 6x6 torus")
+    [
+      (fun g rng -> Eprocess.process (Eprocess.create g rng ~start:0));
+      (fun g rng -> Srw.process (Srw.create g rng ~start:0));
+      (fun g rng -> Srw.process (Srw.create_lazy g rng ~start:0));
+      (fun g rng -> Ewalk.Rotor.process (Ewalk.Rotor.create g rng ~start:0));
+      (fun g rng -> Ewalk.Rwc.process (Ewalk.Rwc.create ~d:3 g rng ~start:0));
+      (fun g rng ->
+        Ewalk.Fair.process
+          (Ewalk.Fair.create ~strategy:Ewalk.Fair.Least_used_first g rng
+             ~start:0));
+      (fun g rng ->
+        Ewalk.Fair.process
+          (Ewalk.Fair.create ~strategy:Ewalk.Fair.Oldest_first g rng ~start:0));
+      (fun g rng -> Ewalk.Vprocess.process (Ewalk.Vprocess.create g rng ~start:0));
+    ]
+
+let () =
+  Alcotest.run "integration"
+    [
+      ("experiments-tiny", experiment_cases);
+      ( "claims",
+        [
+          Alcotest.test_case "headline speed-up" `Slow headline_speedup;
+          Alcotest.test_case "theorem 1 envelope" `Slow
+            theorem1_envelope_measured;
+          Alcotest.test_case "sandwich pipeline" `Slow sandwich_pipeline;
+          Alcotest.test_case "families x processes" `Quick
+            families_times_processes;
+        ] );
+    ]

@@ -1,0 +1,331 @@
+(* Tests for Ewalk_linalg: vectors, dense matrices, Jacobi, CSR, power
+   iteration. *)
+
+module Vec = Ewalk_linalg.Vec
+module Matrix = Ewalk_linalg.Matrix
+module Jacobi = Ewalk_linalg.Jacobi
+module Csr = Ewalk_linalg.Csr
+module Power = Ewalk_linalg.Power
+module Rng = Ewalk_prng.Rng
+
+let feps = 1e-8
+let close msg a b = Alcotest.(check (float feps)) msg a b
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* -- Vec ------------------------------------------------------------------ *)
+
+let vec_dot () =
+  close "dot" 32.0 (Vec.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Vec.dot: length mismatch") (fun () ->
+      ignore (Vec.dot [| 1. |] [| 1.; 2. |]))
+
+let vec_norm () =
+  close "norm 3-4-5" 5.0 (Vec.norm2 [| 3.; 4. |]);
+  close "norm zero" 0.0 (Vec.norm2 [| 0.; 0. |])
+
+let vec_scale_axpy () =
+  let v = Vec.scale 2.0 [| 1.; -2. |] in
+  close "scale x" 2.0 v.(0);
+  close "scale y" (-4.0) v.(1);
+  let y = [| 1.; 1. |] in
+  Vec.axpy 3.0 [| 2.; 0. |] y;
+  close "axpy x" 7.0 y.(0);
+  close "axpy y" 1.0 y.(1)
+
+let vec_normalize () =
+  let v = [| 3.; 4. |] in
+  Vec.normalize v;
+  close "unit norm" 1.0 (Vec.norm2 v);
+  let z = [| 0.; 0. |] in
+  Vec.normalize z;
+  close "zero stays zero" 0.0 (Vec.norm2 z)
+
+let vec_project_out () =
+  let u = [| 1.; 0. |] in
+  let v = [| 5.; 7. |] in
+  Vec.project_out u v;
+  close "component removed" 0.0 v.(0);
+  close "orthogonal survives" 7.0 v.(1)
+
+let vec_random_unit () =
+  let rng = Rng.create ~seed:1 () in
+  for _ = 1 to 20 do
+    let v = Vec.random_unit rng 5 in
+    close "unit" 1.0 (Vec.norm2 v)
+  done
+
+let vec_linf () =
+  close "linf" 3.0 (Vec.linf_dist [| 1.; 5. |] [| 4.; 4. |])
+
+(* -- Matrix --------------------------------------------------------------- *)
+
+let matrix_basic () =
+  let m = Matrix.init 3 (fun i j -> float_of_int ((3 * i) + j)) in
+  close "get" 5.0 (Matrix.get m 1 2);
+  Matrix.set m 1 2 9.0;
+  close "set" 9.0 (Matrix.get m 1 2);
+  Alcotest.(check int) "dim" 3 (Matrix.dim m)
+
+let matrix_identity_mul () =
+  let m = Matrix.init 4 (fun i j -> float_of_int (i + j)) in
+  let i4 = Matrix.identity 4 in
+  let p = Matrix.mul m i4 in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      close "M*I = M" (Matrix.get m i j) (Matrix.get p i j)
+    done
+  done
+
+let matrix_mul_vec () =
+  let m = Matrix.init 2 (fun i j -> float_of_int ((2 * i) + j + 1)) in
+  (* [[1 2];[3 4]] * [1;1] = [3;7] *)
+  let v = Matrix.mul_vec m [| 1.; 1. |] in
+  close "row 0" 3.0 v.(0);
+  close "row 1" 7.0 v.(1)
+
+let matrix_transpose_symmetric () =
+  let m = Matrix.init 3 (fun i j -> float_of_int (i - j)) in
+  let t = Matrix.transpose m in
+  close "transposed" (Matrix.get m 0 2) (Matrix.get t 2 0);
+  Alcotest.(check bool) "skew not symmetric" false (Matrix.is_symmetric m);
+  let s = Matrix.init 3 (fun i j -> float_of_int (i * j)) in
+  Alcotest.(check bool) "product symmetric" true (Matrix.is_symmetric s)
+
+(* -- Jacobi --------------------------------------------------------------- *)
+
+let jacobi_2x2 () =
+  (* [[2 1];[1 2]] has eigenvalues 3 and 1. *)
+  let m = Matrix.init 2 (fun i j -> if i = j then 2.0 else 1.0) in
+  let eigs = Jacobi.eigenvalues m in
+  close "largest" 3.0 eigs.(0);
+  close "smallest" 1.0 eigs.(1)
+
+let jacobi_diagonal () =
+  let m = Matrix.create 4 in
+  List.iteri (fun i v -> Matrix.set m i i v) [ 4.0; -1.0; 2.5; 0.0 ];
+  let eigs = Jacobi.eigenvalues m in
+  close "e0" 4.0 eigs.(0);
+  close "e1" 2.5 eigs.(1);
+  close "e2" 0.0 eigs.(2);
+  close "e3" (-1.0) eigs.(3)
+
+let jacobi_path_graph () =
+  (* Adjacency of the path P_n has eigenvalues 2 cos(k pi / (n+1)). *)
+  let n = 7 in
+  let m =
+    Matrix.init n (fun i j -> if abs (i - j) = 1 then 1.0 else 0.0)
+  in
+  let eigs = Jacobi.eigenvalues m in
+  for k = 1 to n do
+    let expected =
+      2.0 *. cos (float_of_int k *. Float.pi /. float_of_int (n + 1))
+    in
+    close (Printf.sprintf "path eig %d" k) expected eigs.(k - 1)
+  done
+
+let jacobi_eigensystem_orthonormal () =
+  let rng = Rng.create ~seed:2 () in
+  let n = 8 in
+  let a = Matrix.create n in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let v = Rng.float rng 2.0 -. 1.0 in
+      Matrix.set a i j v;
+      Matrix.set a j i v
+    done
+  done;
+  let eigs, vecs = Jacobi.eigensystem a in
+  (* Columns orthonormal. *)
+  for c1 = 0 to n - 1 do
+    for c2 = 0 to n - 1 do
+      let dot = ref 0.0 in
+      for r = 0 to n - 1 do
+        dot := !dot +. (Matrix.get vecs r c1 *. Matrix.get vecs r c2)
+      done;
+      let expected = if c1 = c2 then 1.0 else 0.0 in
+      Alcotest.(check (float 1e-6))
+        "orthonormal columns" expected !dot
+    done
+  done;
+  (* A v = lambda v for each column. *)
+  for c = 0 to n - 1 do
+    let v = Array.init n (fun r -> Matrix.get vecs r c) in
+    let av = Matrix.mul_vec a v in
+    for r = 0 to n - 1 do
+      Alcotest.(check (float 1e-6))
+        "eigen equation" (eigs.(c) *. v.(r)) av.(r)
+    done
+  done
+
+let jacobi_rejects_asymmetric () =
+  let m = Matrix.init 2 (fun i j -> float_of_int (i + (2 * j))) in
+  Alcotest.check_raises "asymmetric"
+    (Invalid_argument "Jacobi.eigensystem: matrix is not symmetric") (fun () ->
+      ignore (Jacobi.eigenvalues m))
+
+(* -- CSR ------------------------------------------------------------------ *)
+
+let csr_basic () =
+  let m = Csr.of_rows 3 [ (0, 1, 2.0); (1, 0, 3.0); (2, 2, 4.0) ] in
+  Alcotest.(check int) "dim" 3 (Csr.dim m);
+  Alcotest.(check int) "nnz" 3 (Csr.nnz m);
+  let y = Csr.mul_vec m [| 1.; 1.; 1. |] in
+  close "row0" 2.0 y.(0);
+  close "row1" 3.0 y.(1);
+  close "row2" 4.0 y.(2)
+
+let csr_duplicates_summed () =
+  let m = Csr.of_rows 2 [ (0, 0, 1.0); (0, 0, 2.5) ] in
+  Alcotest.(check int) "merged" 1 (Csr.nnz m);
+  let y = Csr.mul_vec m [| 1.; 0. |] in
+  close "summed" 3.5 y.(0)
+
+let csr_out_of_range () =
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Csr.of_rows: index out of range") (fun () ->
+      ignore (Csr.of_rows 2 [ (0, 2, 1.0) ]))
+
+let csr_matches_dense () =
+  let rng = Rng.create ~seed:3 () in
+  let n = 10 in
+  let entries = ref [] in
+  for _ = 1 to 30 do
+    entries := (Rng.int rng n, Rng.int rng n, Rng.float rng 1.0) :: !entries
+  done;
+  let sparse = Csr.of_rows n !entries in
+  let dense = Csr.to_dense sparse in
+  let x = Array.init n (fun i -> float_of_int i) in
+  let ys = Csr.mul_vec sparse x and yd = Matrix.mul_vec dense x in
+  for i = 0 to n - 1 do
+    Alcotest.(check (float 1e-9)) "sparse = dense" yd.(i) ys.(i)
+  done
+
+let csr_transpose () =
+  let m = Csr.of_rows 3 [ (0, 1, 2.0); (2, 0, 5.0) ] in
+  let t = Csr.transpose m in
+  let y = Csr.mul_vec t [| 1.; 1.; 1. |] in
+  (* transpose entries: (1,0,2.0), (0,2,5.0) *)
+  close "t row0" 5.0 y.(0);
+  close "t row1" 2.0 y.(1);
+  close "t row2" 0.0 y.(2)
+
+let csr_of_row_fun () =
+  let m = Csr.of_row_fun 3 (fun i -> [ (i, 1.0) ]) in
+  let y = Csr.mul_vec m [| 1.; 2.; 3. |] in
+  close "identity-ish" 1.0 y.(0);
+  close "identity-ish" 2.0 y.(1);
+  close "identity-ish" 3.0 y.(2)
+
+(* -- Power iteration ------------------------------------------------------ *)
+
+let power_dominant_diagonal () =
+  let m = Matrix.create 3 in
+  List.iteri (fun i v -> Matrix.set m i i v) [ 1.0; 5.0; 2.0 ];
+  let lambda, v = Power.dominant (Power.of_matrix m) in
+  Alcotest.(check (float 1e-6)) "dominant eigenvalue" 5.0 lambda;
+  Alcotest.(check (float 1e-3)) "eigenvector" 1.0 (Float.abs v.(1))
+
+let power_dominant_negative () =
+  let m = Matrix.create 2 in
+  Matrix.set m 0 0 (-7.0);
+  Matrix.set m 1 1 3.0;
+  let lambda, _ = Power.dominant (Power.of_matrix m) in
+  Alcotest.(check (float 1e-6)) "negative dominant" (-7.0) lambda
+
+let power_deflation () =
+  let m = Matrix.create 3 in
+  List.iteri (fun i v -> Matrix.set m i i v) [ 6.0; 4.0; 1.0 ];
+  let top = [| 1.0; 0.0; 0.0 |] in
+  let lambda =
+    Power.second_largest_magnitude ~top_eigenvector:top (Power.of_matrix m)
+  in
+  Alcotest.(check (float 1e-6)) "second eigenvalue" 4.0 lambda
+
+let power_matches_jacobi () =
+  let rng = Rng.create ~seed:4 () in
+  let n = 12 in
+  let a = Matrix.create n in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let v = Rng.float rng 2.0 -. 1.0 in
+      Matrix.set a i j v;
+      Matrix.set a j i v
+    done
+  done;
+  let eigs = Jacobi.eigenvalues a in
+  let dominant_abs =
+    Array.fold_left (fun acc e -> Float.max acc (Float.abs e)) 0.0 eigs
+  in
+  let lambda, _ = Power.dominant ~tol:1e-12 (Power.of_matrix a) in
+  Alcotest.(check (float 1e-5)) "power = jacobi" dominant_abs (Float.abs lambda)
+
+let prop_csr_linear =
+  QCheck.Test.make ~name:"csr mat-vec is linear" ~count:100
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Rng.create ~seed () in
+      let n = 6 in
+      let entries = ref [] in
+      for _ = 1 to 12 do
+        entries := (Rng.int rng n, Rng.int rng n, Rng.float rng 1.0) :: !entries
+      done;
+      let m = Csr.of_rows n !entries in
+      let x = Array.init n (fun _ -> Rng.float rng 1.0) in
+      let y = Array.init n (fun _ -> Rng.float rng 1.0) in
+      let xy = Array.init n (fun i -> x.(i) +. y.(i)) in
+      let mx = Csr.mul_vec m x and my = Csr.mul_vec m y in
+      let mxy = Csr.mul_vec m xy in
+      Array.for_all
+        (fun i -> Float.abs (mxy.(i) -. (mx.(i) +. my.(i))) < 1e-9)
+        (Array.init n (fun i -> i)))
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "dot" `Quick vec_dot;
+          Alcotest.test_case "norm" `Quick vec_norm;
+          Alcotest.test_case "scale/axpy" `Quick vec_scale_axpy;
+          Alcotest.test_case "normalize" `Quick vec_normalize;
+          Alcotest.test_case "project_out" `Quick vec_project_out;
+          Alcotest.test_case "random_unit" `Quick vec_random_unit;
+          Alcotest.test_case "linf" `Quick vec_linf;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "basic" `Quick matrix_basic;
+          Alcotest.test_case "identity mul" `Quick matrix_identity_mul;
+          Alcotest.test_case "mul_vec" `Quick matrix_mul_vec;
+          Alcotest.test_case "transpose/symmetric" `Quick
+            matrix_transpose_symmetric;
+        ] );
+      ( "jacobi",
+        [
+          Alcotest.test_case "2x2" `Quick jacobi_2x2;
+          Alcotest.test_case "diagonal" `Quick jacobi_diagonal;
+          Alcotest.test_case "path graph spectrum" `Quick jacobi_path_graph;
+          Alcotest.test_case "eigensystem orthonormal" `Quick
+            jacobi_eigensystem_orthonormal;
+          Alcotest.test_case "rejects asymmetric" `Quick
+            jacobi_rejects_asymmetric;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "basic" `Quick csr_basic;
+          Alcotest.test_case "duplicates summed" `Quick csr_duplicates_summed;
+          Alcotest.test_case "out of range" `Quick csr_out_of_range;
+          Alcotest.test_case "matches dense" `Quick csr_matches_dense;
+          Alcotest.test_case "transpose" `Quick csr_transpose;
+          Alcotest.test_case "of_row_fun" `Quick csr_of_row_fun;
+        ] );
+      ( "power",
+        [
+          Alcotest.test_case "dominant diagonal" `Quick power_dominant_diagonal;
+          Alcotest.test_case "dominant negative" `Quick power_dominant_negative;
+          Alcotest.test_case "deflation" `Quick power_deflation;
+          Alcotest.test_case "matches jacobi" `Quick power_matches_jacobi;
+        ] );
+      ("properties", [ qcheck prop_csr_linear ]);
+    ]

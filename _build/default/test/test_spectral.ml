@@ -1,0 +1,241 @@
+(* Tests for Ewalk_spectral: stationary distribution, operators, eigenvalue
+   estimation, conductance and the paper's spectral bounds. *)
+
+module Graph = Ewalk_graph.Graph
+module Gen_classic = Ewalk_graph.Gen_classic
+module Gen_regular = Ewalk_graph.Gen_regular
+module Subgraph = Ewalk_graph.Subgraph
+module Spectral = Ewalk_spectral.Spectral
+module Csr = Ewalk_linalg.Csr
+module Rng = Ewalk_prng.Rng
+
+let qcheck = QCheck_alcotest.to_alcotest
+let closef tol msg a b = Alcotest.(check (float tol)) msg a b
+
+let stationary_sums_to_one () =
+  let g = Gen_classic.lollipop 5 3 in
+  let pi = Spectral.stationary g in
+  closef 1e-12 "sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 pi);
+  (* pi_v = d(v)/2m. *)
+  closef 1e-12 "formula"
+    (float_of_int (Graph.degree g 0) /. float_of_int (2 * Graph.m g))
+    pi.(0)
+
+let stationary_no_edges () =
+  Alcotest.check_raises "edgeless"
+    (Invalid_argument "Spectral.stationary: graph has no edges") (fun () ->
+      ignore (Spectral.stationary (Graph.of_edges ~n:3 [])))
+
+let transition_rows_sum_to_one () =
+  let g = Gen_classic.petersen () in
+  let p = Spectral.transition_matrix g in
+  let ones = Array.make (Graph.n g) 1.0 in
+  let row_sums = Csr.mul_vec p ones in
+  Array.iter (fun s -> closef 1e-12 "row sum 1" 1.0 s) row_sums
+
+let lazy_rows_sum_to_one () =
+  let g = Gen_classic.cycle 6 in
+  let p = Spectral.lazy_normalized_adjacency g in
+  (* For a regular graph the lazy normalised adjacency is also stochastic. *)
+  let ones = Array.make (Graph.n g) 1.0 in
+  let row_sums = Csr.mul_vec p ones in
+  Array.iter (fun s -> closef 1e-12 "row sum 1" 1.0 s) row_sums
+
+let degree_zero_rejected () =
+  let g = Graph.of_edges ~n:3 [ (0, 1) ] in
+  Alcotest.check_raises "degree-0 vertex"
+    (Invalid_argument "Spectral.normalized_adjacency: vertex of degree 0")
+    (fun () -> ignore (Spectral.normalized_adjacency g))
+
+let complete_graph_spectrum () =
+  (* K_n walk spectrum: 1 with multiplicity 1, -1/(n-1) with multiplicity
+     n - 1. *)
+  let n = 8 in
+  let eigs = Spectral.spectrum_exact (Gen_classic.complete n) in
+  closef 1e-9 "top" 1.0 eigs.(0);
+  for i = 1 to n - 1 do
+    closef 1e-9 "bulk" (-1.0 /. float_of_int (n - 1)) eigs.(i)
+  done
+
+let cycle_graph_spectrum () =
+  (* Cycle C_n walk eigenvalues: cos(2 pi k / n). *)
+  let n = 10 in
+  let eigs = Spectral.spectrum_exact (Gen_classic.cycle n) in
+  closef 1e-9 "lambda_2" (cos (2.0 *. Float.pi /. float_of_int n)) eigs.(1);
+  closef 1e-9 "lambda_n (bipartite)" (-1.0) eigs.(n - 1)
+
+let hypercube_gap () =
+  (* H_r walk spectrum: 1 - 2k/r; lambda_2 = 1 - 2/r. *)
+  let r = 4 in
+  let rep = Spectral.gap_exact (Gen_classic.hypercube r) in
+  closef 1e-9 "lambda_2" (1.0 -. (2.0 /. float_of_int r)) rep.Spectral.lambda_2;
+  closef 1e-9 "lambda_n" (-1.0) rep.Spectral.lambda_n;
+  closef 1e-9 "lambda_max is 1 (bipartite)" 1.0 rep.Spectral.lambda_max
+
+let power_matches_exact () =
+  let rng = Rng.create ~seed:1 () in
+  for _ = 1 to 5 do
+    let g = Gen_regular.random_regular_connected rng 60 4 in
+    let exact = (Spectral.gap_exact g).Spectral.lambda_max in
+    let power = Spectral.lambda_max_power ~tol:1e-12 g in
+    closef 1e-4 "power = jacobi" exact power
+  done
+
+let lambda_max_dispatch () =
+  let g = Gen_classic.complete 10 in
+  closef 1e-9 "small goes exact" (1.0 /. 9.0) (Spectral.lambda_max g);
+  let rng = Rng.create ~seed:2 () in
+  let big = Gen_regular.random_regular_connected rng 400 4 in
+  let l = Spectral.lambda_max big in
+  Alcotest.(check bool) "plausible range" true (l > 0.5 && l < 1.0)
+
+let adjacency_lambda2_regular () =
+  (* Complete graph adjacency: second eigenvalue -1. *)
+  closef 1e-9 "K6" (-1.0) (Spectral.adjacency_lambda_2 (Gen_classic.complete 6));
+  (* Cycle: 2 cos(2 pi / n). *)
+  closef 1e-9 "C8"
+    (2.0 *. cos (Float.pi /. 4.0))
+    (Spectral.adjacency_lambda_2 (Gen_classic.cycle 8));
+  Alcotest.check_raises "irregular rejected"
+    (Invalid_argument "Spectral.adjacency_lambda_2: graph is not regular")
+    (fun () -> ignore (Spectral.adjacency_lambda_2 (Gen_classic.star 5)))
+
+let sqrt_degree_is_top_eigenvector () =
+  let g = Gen_classic.lollipop 4 3 in
+  let v1 = Spectral.sqrt_degree_unit g in
+  let op = Spectral.normalized_adjacency g in
+  let nv1 = Csr.mul_vec op v1 in
+  Array.iteri (fun i x -> closef 1e-9 "N v1 = v1" v1.(i) x) nv1
+
+let conductance_cycle () =
+  (* C_n: the best cut takes half the cycle: e(X,X-bar) = 2, d(X) = n. *)
+  let n = 10 in
+  let phi = Spectral.conductance_exact (Gen_classic.cycle n) in
+  closef 1e-9 "cycle conductance" (2.0 /. float_of_int n) phi
+
+let conductance_complete () =
+  (* K_4: conductance minimised by a half split: e = 4, d(X) = 6. *)
+  let phi = Spectral.conductance_exact (Gen_classic.complete 4) in
+  closef 1e-9 "K4 conductance" (4.0 /. 6.0) phi
+
+let conductance_barbell_small () =
+  (* Two K4s joined by one edge: the bottleneck cut has 1 edge and cut
+     degree 13. *)
+  let g = Gen_classic.barbell 4 0 in
+  let phi = Spectral.conductance_exact g in
+  closef 1e-9 "bottleneck" (1.0 /. 13.0) phi
+
+let cheeger_sandwich () =
+  let rng = Rng.create ~seed:3 () in
+  for _ = 1 to 10 do
+    let g = Gen_regular.random_regular_connected rng 12 4 in
+    let lo, hi = Spectral.cheeger_bounds g in
+    let l2 = (Spectral.gap_exact g).Spectral.lambda_2 in
+    Alcotest.(check bool)
+      (Printf.sprintf "%.3f <= %.3f <= %.3f" lo l2 hi)
+      true
+      (lo -. 1e-9 <= l2 && l2 <= hi +. 1e-9)
+  done
+
+let contraction_increases_gap () =
+  (* eq. (16): contracting a vertex set cannot shrink the eigenvalue gap.
+     Use lazy walks so bipartite parity cannot flip the comparison. *)
+  let rng = Rng.create ~seed:4 () in
+  for _ = 1 to 5 do
+    let g = Gen_regular.random_regular_connected rng 14 4 in
+    let contracted, _, _ = Subgraph.contract g [ 0; 1; 2 ] in
+    let l2 g =
+      let eigs =
+        Ewalk_linalg.Jacobi.eigenvalues
+          (Ewalk_linalg.Csr.to_dense (Spectral.lazy_normalized_adjacency g))
+      in
+      eigs.(1)
+    in
+    Alcotest.(check bool) "lambda_2 does not increase under contraction" true
+      (l2 contracted <= l2 g +. 1e-9)
+  done
+
+let mixing_and_hitting_bounds () =
+  let g = Gen_classic.complete 8 in
+  let t = Spectral.mixing_time_bound g in
+  Alcotest.(check bool) "mixing positive" true (t > 0.0);
+  let h = Spectral.hitting_time_bound g 0 in
+  (* E_pi H_v <= 1/(gap pi_v); for K8 gap = 1 + 1/7, pi = 1/8. *)
+  Alcotest.(check bool) "hitting bound sane" true (h > 0.0 && h < 100.0);
+  let hs = Spectral.set_hitting_time_bound g [ 0; 1 ] in
+  Alcotest.(check bool) "set bound below vertex bound" true (hs < h +. 1e-9);
+  Alcotest.check_raises "empty set"
+    (Invalid_argument "Spectral.set_hitting_time_bound: empty set") (fun () ->
+      ignore (Spectral.set_hitting_time_bound g []))
+
+let conductance_guard () =
+  Alcotest.check_raises "too big"
+    (Invalid_argument "Spectral.conductance_exact: n > 24") (fun () ->
+      ignore (Spectral.conductance_exact (Gen_classic.cycle 30)))
+
+let prop_spectrum_in_unit_interval =
+  QCheck.Test.make ~name:"walk spectrum within [-1, 1], top = 1" ~count:50
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Rng.create ~seed () in
+      let g = Gen_regular.random_regular_connected rng 16 4 in
+      let eigs = Spectral.spectrum_exact g in
+      Float.abs (eigs.(0) -. 1.0) < 1e-8
+      && Array.for_all (fun l -> l >= -1.0 -. 1e-8 && l <= 1.0 +. 1e-8) eigs)
+
+let prop_gap_report_consistent =
+  QCheck.Test.make ~name:"gap report fields are consistent" ~count:50
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Rng.create ~seed () in
+      let g = Gen_regular.random_regular_connected rng 14 4 in
+      let r = Spectral.gap_exact g in
+      Float.abs
+        (r.Spectral.lambda_max
+        -. Float.max r.Spectral.lambda_2 (Float.abs r.Spectral.lambda_n))
+      < 1e-12
+      && Float.abs (r.Spectral.gap -. (1.0 -. r.Spectral.lambda_max)) < 1e-12)
+
+let () =
+  Alcotest.run "spectral"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "stationary" `Quick stationary_sums_to_one;
+          Alcotest.test_case "stationary edgeless" `Quick stationary_no_edges;
+          Alcotest.test_case "transition stochastic" `Quick
+            transition_rows_sum_to_one;
+          Alcotest.test_case "lazy stochastic" `Quick lazy_rows_sum_to_one;
+          Alcotest.test_case "degree-0 rejected" `Quick degree_zero_rejected;
+          Alcotest.test_case "sqrt-degree eigenvector" `Quick
+            sqrt_degree_is_top_eigenvector;
+        ] );
+      ( "spectra",
+        [
+          Alcotest.test_case "complete graph" `Quick complete_graph_spectrum;
+          Alcotest.test_case "cycle graph" `Quick cycle_graph_spectrum;
+          Alcotest.test_case "hypercube gap" `Quick hypercube_gap;
+          Alcotest.test_case "power matches exact" `Quick power_matches_exact;
+          Alcotest.test_case "lambda_max dispatch" `Quick lambda_max_dispatch;
+          Alcotest.test_case "adjacency lambda_2" `Quick
+            adjacency_lambda2_regular;
+        ] );
+      ( "conductance",
+        [
+          Alcotest.test_case "cycle" `Quick conductance_cycle;
+          Alcotest.test_case "complete" `Quick conductance_complete;
+          Alcotest.test_case "barbell bottleneck" `Quick
+            conductance_barbell_small;
+          Alcotest.test_case "cheeger sandwich" `Quick cheeger_sandwich;
+          Alcotest.test_case "size guard" `Quick conductance_guard;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "contraction increases gap" `Quick
+            contraction_increases_gap;
+          Alcotest.test_case "mixing/hitting" `Quick mixing_and_hitting_bounds;
+        ] );
+      ( "properties",
+        [ qcheck prop_spectrum_in_unit_interval; qcheck prop_gap_report_consistent ]
+      );
+    ]

@@ -1,0 +1,172 @@
+(* Tests for the multi-walker Team E-process and its shared bookkeeping. *)
+
+module Graph = Ewalk_graph.Graph
+module Gen_classic = Ewalk_graph.Gen_classic
+module Gen_regular = Ewalk_graph.Gen_regular
+module Team = Ewalk.Team
+module Unvisited = Ewalk.Unvisited
+module Coverage = Ewalk.Coverage
+module Cover = Ewalk.Cover
+module Rng = Ewalk_prng.Rng
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* -- Unvisited bookkeeping ---------------------------------------------------- *)
+
+let unvisited_initial () =
+  let g = Gen_classic.torus2d 3 3 in
+  let u = Unvisited.create g in
+  for v = 0 to Graph.n g - 1 do
+    Alcotest.(check int) "all live" (Graph.degree g v) (Unvisited.count u v)
+  done
+
+let unvisited_retire () =
+  let g = Gen_classic.cycle 4 in
+  let u = Unvisited.create g in
+  Unvisited.retire_edge u 0;
+  let a, b = Graph.endpoints g 0 in
+  Alcotest.(check int) "endpoint a" 1 (Unvisited.count u a);
+  Alcotest.(check int) "endpoint b" 1 (Unvisited.count u b);
+  (* The retired edge no longer appears among live slots. *)
+  for v = 0 to 3 do
+    Array.iter
+      (fun e -> Alcotest.(check bool) "edge 0 gone" true (e <> 0))
+      (Unvisited.incident_edges u v)
+  done
+
+let unvisited_self_loop () =
+  let g = Graph.of_edges ~n:1 [ (0, 0) ] in
+  let u = Unvisited.create g in
+  Alcotest.(check int) "loop counts twice" 2 (Unvisited.count u 0);
+  Alcotest.(check int) "listed once" 1
+    (Array.length (Unvisited.incident_edges u 0));
+  Unvisited.retire_edge u 0;
+  Alcotest.(check int) "both slots retired" 0 (Unvisited.count u 0)
+
+let unvisited_slot_with_edge () =
+  let g = Gen_classic.cycle 5 in
+  let u = Unvisited.create g in
+  let slot = Unvisited.slot_with_edge u 0 0 in
+  Alcotest.(check int) "slot carries edge" 0 (Graph.slot_edge g slot);
+  Unvisited.retire_edge u 0;
+  Alcotest.check_raises "gone" Not_found (fun () ->
+      ignore (Unvisited.slot_with_edge u 0 0))
+
+(* -- Team --------------------------------------------------------------------- *)
+
+let team_validation () =
+  let g = Gen_classic.cycle 5 in
+  let rng = Rng.create () in
+  Alcotest.check_raises "no walkers" (Invalid_argument "Team.create: no walkers")
+    (fun () -> ignore (Team.create g rng ~starts:[]));
+  Alcotest.check_raises "bad start"
+    (Invalid_argument "Team.create: start out of range") (fun () ->
+      ignore (Team.create g rng ~starts:[ 9 ]));
+  Alcotest.check_raises "bad count"
+    (Invalid_argument "Team.create_spread: walkers < 1") (fun () ->
+      ignore (Team.create_spread g rng ~walkers:0))
+
+let team_single_walker_covers_like_eprocess () =
+  (* On a cycle, one walker must tour deterministically: n - 1 steps to
+     vertex cover. *)
+  let n = 15 in
+  let g = Gen_classic.cycle n in
+  let rng = Rng.create ~seed:1 () in
+  let t = Team.create g rng ~starts:[ 0 ] in
+  Alcotest.(check (option int)) "cycle tour" (Some (n - 1))
+    (Cover.run_until_vertex_cover (Team.process t))
+
+let team_counts_rounds () =
+  let g = Gen_classic.torus2d 4 4 in
+  let rng = Rng.create ~seed:2 () in
+  let t = Team.create g rng ~starts:[ 0; 5; 10 ] in
+  Alcotest.(check int) "3 walkers" 3 (Team.walkers t);
+  Team.step_round t;
+  Alcotest.(check int) "one round" 1 (Team.rounds t);
+  Alcotest.(check int) "3 steps" 3 (Team.steps t);
+  Alcotest.(check int) "positions array" 3 (Array.length (Team.positions t))
+
+let team_covers_even_graphs () =
+  let rng = Rng.create ~seed:3 () in
+  let g = Gen_regular.random_regular_connected rng 500 4 in
+  List.iter
+    (fun k ->
+      let t = Team.create_spread g rng ~walkers:k in
+      match
+        Cover.run_until_vertex_cover ~cap:(Cover.default_cap g)
+          (Team.process t)
+      with
+      | Some _ -> ()
+      | None -> Alcotest.fail (Printf.sprintf "%d walkers capped" k))
+    [ 1; 2; 4; 8 ]
+
+let team_total_work_stays_linear () =
+  (* Shared marks: the team's total work to cover stays O(n), independent of
+     the walker count (the marks are consumed once whoever visits them). *)
+  let rng = Rng.create ~seed:4 () in
+  let n = 2_000 in
+  let g = Gen_regular.random_regular_connected rng n 4 in
+  List.iter
+    (fun k ->
+      let t = Team.create_spread g rng ~walkers:k in
+      match
+        Cover.run_until_vertex_cover ~cap:(Cover.default_cap g)
+          (Team.process t)
+      with
+      | Some steps ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%d walkers: %d steps <= 5n" k steps)
+            true
+            (steps <= 5 * n)
+      | None -> Alcotest.fail "capped")
+    [ 1; 4; 16 ]
+
+let team_edge_marks_shared () =
+  (* Once every edge is covered the blue steps across all walkers total m:
+     no edge is claimed twice. *)
+  let rng = Rng.create ~seed:5 () in
+  let g = Gen_regular.random_regular_connected rng 300 4 in
+  let t = Team.create_spread g rng ~walkers:4 in
+  match
+    Cover.run_until_edge_cover ~cap:(Cover.default_cap g) (Team.process t)
+  with
+  | None -> Alcotest.fail "capped"
+  | Some _ ->
+      let cov = Team.coverage t in
+      Alcotest.(check bool) "all edges visited" true
+        (Coverage.all_edges_visited cov)
+
+let prop_team_covers =
+  QCheck.Test.make ~name:"team covers connected even graphs for any k"
+    ~count:30
+    QCheck.(pair small_int (int_range 1 6))
+    (fun (seed, k) ->
+      let rng = Rng.create ~seed () in
+      let g = Gen_regular.cycle_union rng 20 2 in
+      let t = Team.create_spread g rng ~walkers:k in
+      Cover.run_until_vertex_cover ~cap:(Cover.default_cap g) (Team.process t)
+      <> None)
+
+let () =
+  Alcotest.run "team"
+    [
+      ( "unvisited",
+        [
+          Alcotest.test_case "initial" `Quick unvisited_initial;
+          Alcotest.test_case "retire" `Quick unvisited_retire;
+          Alcotest.test_case "self loop" `Quick unvisited_self_loop;
+          Alcotest.test_case "slot with edge" `Quick unvisited_slot_with_edge;
+        ] );
+      ( "team",
+        [
+          Alcotest.test_case "validation" `Quick team_validation;
+          Alcotest.test_case "single walker tour" `Quick
+            team_single_walker_covers_like_eprocess;
+          Alcotest.test_case "rounds" `Quick team_counts_rounds;
+          Alcotest.test_case "covers" `Quick team_covers_even_graphs;
+          Alcotest.test_case "linear total work" `Quick
+            team_total_work_stays_linear;
+          Alcotest.test_case "shared marks" `Quick team_edge_marks_shared;
+        ] );
+      ("properties", [ qcheck prop_team_covers ]);
+    ]

@@ -1,0 +1,153 @@
+(* Tests for Ewalk_theory.Bounds: every formula in the paper, evaluated at
+   hand-checked points. *)
+
+module Bounds = Ewalk_theory.Bounds
+
+let closef tol msg a b = Alcotest.(check (float tol)) msg a b
+let qcheck = QCheck_alcotest.to_alcotest
+
+let theorem1 () =
+  (* n + n ln n / (ell gap) at n = e^2 (ln n = 2), ell = 2, gap = 0.5:
+     n + n * 2 / 1 = 3n. *)
+  let n = int_of_float (Float.exp 2.0) in
+  (* use exact values instead: n = 100, ln 100 = 4.605... *)
+  ignore n;
+  let v = Bounds.theorem1_vertex_cover ~ell:2 ~gap:0.5 100 in
+  closef 1e-6 "formula" (100.0 +. (100.0 *. log 100.0 /. 1.0)) v;
+  let scaled = Bounds.theorem1_vertex_cover ~c:2.0 ~ell:2 ~gap:0.5 100 in
+  closef 1e-6 "constant scales" (2.0 *. v) scaled;
+  Alcotest.check_raises "bad ell"
+    (Invalid_argument "Bounds.theorem1_vertex_cover: ell < 1") (fun () ->
+      ignore (Bounds.theorem1_vertex_cover ~ell:0 ~gap:0.5 10));
+  Alcotest.check_raises "bad gap"
+    (Invalid_argument "Bounds.theorem1_vertex_cover: gap <= 0") (fun () ->
+      ignore (Bounds.theorem1_vertex_cover ~ell:2 ~gap:0.0 10))
+
+let eq1_expander () =
+  let v = Bounds.expander_vertex_cover ~ell:5 1000 in
+  closef 1e-6 "eq 1" (1000.0 +. (1000.0 *. log 1000.0 /. 5.0)) v;
+  (* For ell >= log n the bound is Theta(n). *)
+  let tight = Bounds.expander_vertex_cover ~ell:1_000_000 1000 in
+  Alcotest.(check bool) "approaches n" true (tight < 1001.0)
+
+let theorem3 () =
+  let v =
+    Bounds.theorem3_edge_cover ~m:2000 ~girth:10 ~max_degree:4 ~gap:0.5 1000
+  in
+  let expected =
+    2000.0 +. (2000.0 /. 0.25 *. ((log 1000.0 /. 10.0) +. log 4.0))
+  in
+  closef 1e-6 "formula" expected v
+
+let eq2_grw () =
+  let v = Bounds.grw_edge_cover ~m:5000 ~gap:0.25 1000 in
+  closef 1e-6 "formula" (5000.0 +. (1000.0 *. log 1000.0 /. 0.25)) v
+
+let eq3_sandwich () =
+  closef 1e-9 "upper" 150.0
+    (Bounds.edge_cover_sandwich_upper ~m:100 ~srw_vertex_cover:50.0)
+
+let radzik () =
+  (* (n/4) ln (n/2) at n = 8: 2 ln 4. *)
+  closef 1e-9 "radzik" (2.0 *. log 4.0) (Bounds.radzik_lower_bound ~n:8);
+  (* Must be below Feige's n ln n for all n. *)
+  for n = 4 to 100 do
+    Alcotest.(check bool) "radzik < feige" true
+      (Bounds.radzik_lower_bound ~n < Bounds.feige_lower_bound ~n)
+  done
+
+let trivial_lower () =
+  Alcotest.(check int) "n-1" 99 (Bounds.walk_trivial_lower_bound ~n:100);
+  Alcotest.(check int) "n=0" 0 (Bounds.walk_trivial_lower_bound ~n:0)
+
+let mixing () =
+  closef 1e-9 "K log n / gap" (6.0 *. log 100.0 /. 0.5)
+    (Bounds.mixing_time ~gap:0.5 100);
+  closef 1e-9 "custom K" (10.0 *. log 100.0 /. 0.5)
+    (Bounds.mixing_time ~k:10.0 ~gap:0.5 100)
+
+let hitting () =
+  closef 1e-9 "lemma 6" 20.0 (Bounds.hitting_bound ~pi_v:0.1 ~gap:0.5);
+  closef 1e-9 "corollary 9" 80.0
+    (Bounds.set_hitting_bound ~m:100 ~d_s:5 ~gap:0.5)
+
+let lemma13_exponential () =
+  let p = Bounds.non_visit_probability ~t:0.0 ~d_s:4 ~m:100 ~gap:0.5 in
+  closef 1e-9 "t=0 is 1" 1.0 p;
+  let p1 = Bounds.non_visit_probability ~t:1000.0 ~d_s:4 ~m:100 ~gap:0.5 in
+  let p2 = Bounds.non_visit_probability ~t:2000.0 ~d_s:4 ~m:100 ~gap:0.5 in
+  Alcotest.(check bool) "decreasing in t" true (p2 < p1);
+  closef 1e-9 "squares" (p1 *. p1) p2
+
+let lemma14_count () =
+  closef 1e-9 "2^(s Delta)" 64.0
+    (Bounds.rooted_subgraph_count_bound ~s:2 ~max_degree:3)
+
+let friedman () =
+  closef 1e-9 "r=4" ((2.0 *. sqrt 3.0) +. 0.1) (Bounds.friedman_lambda2 4);
+  closef 1e-9 "custom eps" (2.0 *. sqrt 3.0)
+    (Bounds.friedman_lambda2 ~eps:0.0 4)
+
+let p2_ell_formula () =
+  let v = Bounds.p2_ell ~n:1000 ~r:4 in
+  closef 1e-9 "formula" (log 1000.0 /. (4.0 *. log (4.0 *. Float.exp 1.0))) v
+
+let expected_cycles () =
+  (* (r-1)^k / 2k for r=4, k=3: 27/6. *)
+  closef 1e-9 "4-regular triangles" 4.5 (Bounds.expected_cycles ~r:4 ~k:3);
+  closef 1e-9 "3-regular triangles" (8.0 /. 6.0)
+    (Bounds.expected_cycles ~r:3 ~k:3)
+
+let star_fraction () = closef 1e-12 "1/8" 0.125 (Bounds.isolated_star_fraction ())
+
+let coupon () =
+  (* n H_n at n = 4: 4 * (1 + 1/2 + 1/3 + 1/4) = 25/3. *)
+  closef 1e-9 "exact small" (25.0 /. 3.0) (Bounds.coupon_collector ~n:4);
+  (* Asymptotic branch stays close to n (ln n + gamma). *)
+  let n = 100_000 in
+  let v = Bounds.coupon_collector ~n in
+  let approx = float_of_int n *. (log (float_of_int n) +. 0.5772156649) in
+  Alcotest.(check bool) "asymptotic" true (Float.abs (v -. approx) < 10.0)
+
+let prop_theorem1_monotone_in_ell =
+  QCheck.Test.make ~name:"Theorem 1 bound decreases in ell" ~count:200
+    QCheck.(pair (int_range 1 50) (int_range 1 50))
+    (fun (e1, e2) ->
+      let lo = min e1 e2 and hi = max e1 e2 in
+      Bounds.theorem1_vertex_cover ~ell:hi ~gap:0.3 10_000
+      <= Bounds.theorem1_vertex_cover ~ell:lo ~gap:0.3 10_000 +. 1e-9)
+
+let prop_nonvisit_in_unit =
+  QCheck.Test.make ~name:"Lemma 13 probability within [0, 1]" ~count:200
+    QCheck.(pair (float_range 0.0 1e6) (int_range 1 100))
+    (fun (t, d_s) ->
+      (* Underflow to exactly 0 is expected for huge t. *)
+      let p = Bounds.non_visit_probability ~t ~d_s ~m:1000 ~gap:0.5 in
+      p >= 0.0 && p <= 1.0)
+
+let () =
+  Alcotest.run "theory"
+    [
+      ( "bounds",
+        [
+          Alcotest.test_case "theorem 1" `Quick theorem1;
+          Alcotest.test_case "eq 1" `Quick eq1_expander;
+          Alcotest.test_case "theorem 3" `Quick theorem3;
+          Alcotest.test_case "eq 2 (GRW)" `Quick eq2_grw;
+          Alcotest.test_case "eq 3 sandwich" `Quick eq3_sandwich;
+          Alcotest.test_case "radzik" `Quick radzik;
+          Alcotest.test_case "trivial lower" `Quick trivial_lower;
+          Alcotest.test_case "mixing (lemma 7)" `Quick mixing;
+          Alcotest.test_case "hitting (lemma 6/cor 9)" `Quick hitting;
+          Alcotest.test_case "lemma 13" `Quick lemma13_exponential;
+          Alcotest.test_case "lemma 14" `Quick lemma14_count;
+          Alcotest.test_case "friedman (P1)" `Quick friedman;
+          Alcotest.test_case "p2 ell" `Quick p2_ell_formula;
+          Alcotest.test_case "expected cycles" `Quick expected_cycles;
+          Alcotest.test_case "star fraction" `Quick star_fraction;
+          Alcotest.test_case "coupon collector" `Quick coupon;
+        ] );
+      ( "properties",
+        [ qcheck prop_theorem1_monotone_in_ell; qcheck prop_nonvisit_in_unit ]
+      );
+    ]
