@@ -1,0 +1,34 @@
+.PHONY: all build test bench bench-json fmt fmt-check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Regenerate BENCH_core.json (micro-bench ns/run, obs overhead, experiment
+# timings) at tiny scale. Override the output path with EWALK_BENCH_JSON.
+bench-json:
+	EWALK_BENCH_SCALE=tiny dune exec bench/main.exe
+
+# The container has no ocamlformat, so `dune build @fmt` cannot check .ml
+# sources; format/check the dune files directly instead.
+DUNE_FILES := dune-project $(shell git ls-files '*/dune')
+
+fmt:
+	@for f in $(DUNE_FILES); do \
+	  dune format-dune-file $$f > $$f.fmt && mv $$f.fmt $$f; \
+	done
+
+fmt-check:
+	@fail=0; for f in $(DUNE_FILES); do \
+	  dune format-dune-file $$f | cmp -s - $$f || { echo "not formatted: $$f"; fail=1; }; \
+	done; exit $$fail
+
+clean:
+	dune clean

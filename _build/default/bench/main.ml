@@ -150,6 +150,33 @@ let bench_rejection_generator () =
   Staged.stage (fun () ->
       ignore (Ewalk_graph.Gen_regular.random_regular_rejection rng 2_000 3))
 
+(* Observability overhead ablations against fig1:eprocess-10k-steps: the
+   no-op bundle (null sink, no metrics — must stay within 5% of baseline)
+   and the metrics-collecting bundle (null sink, live registry). *)
+let bench_eprocess_obs_null () =
+  let g = Lazy.force fixture_regular in
+  let rng = Rng.create ~seed:99 () in
+  Staged.stage (fun () ->
+      let t = Ewalk.Eprocess.create g rng ~start:0 in
+      let obs = Ewalk.Observe.create () in
+      Ewalk.Observe.attach_eprocess obs t;
+      let p = Ewalk.Observe.instrument obs (Ewalk.Eprocess.process t) in
+      Ewalk.Cover.run_steps p 10_000;
+      Ewalk.Observe.finish obs p)
+
+let bench_eprocess_obs_metrics () =
+  let g = Lazy.force fixture_regular in
+  let rng = Rng.create ~seed:99 () in
+  Staged.stage (fun () ->
+      let t = Ewalk.Eprocess.create g rng ~start:0 in
+      let obs =
+        Ewalk.Observe.create ~metrics:(Ewalk_obs.Metrics.create ()) ()
+      in
+      Ewalk.Observe.attach_eprocess obs t;
+      let p = Ewalk.Observe.instrument obs (Ewalk.Eprocess.process t) in
+      Ewalk.Cover.run_steps p 10_000;
+      Ewalk.Observe.finish obs p)
+
 let tests =
   Test.make_grouped ~name:"ewalk" ~fmt:"%s/%s"
     [
@@ -165,6 +192,8 @@ let tests =
       Test.make ~name:"generator:steger-wormald-2k" (bench_generator ());
       Test.make ~name:"ablation:eprocess-naive-rescan" (bench_naive_eprocess ());
       Test.make ~name:"ablation:generator-rejection-2k" (bench_rejection_generator ());
+      Test.make ~name:"obs:eprocess-10k-steps-nullsink" (bench_eprocess_obs_null ());
+      Test.make ~name:"obs:eprocess-10k-steps-metrics" (bench_eprocess_obs_metrics ());
     ]
 
 let run_micro_benchmarks () =
@@ -179,14 +208,20 @@ let run_micro_benchmarks () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   print_endline "== micro-benchmarks (one kernel per experiment table) ==";
   Printf.printf "%-40s %15s\n" "kernel" "time/run";
-  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  let rows =
+    Hashtbl.fold
+      (fun name v acc ->
+        let ns =
+          match Analyze.OLS.estimates v with
+          | Some [ x ] -> x
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
   List.iter
-    (fun (name, v) ->
-      let ns =
-        match Analyze.OLS.estimates v with
-        | Some [ x ] -> x
-        | _ -> Float.nan
-      in
+    (fun (name, ns) ->
       let pretty =
         if Float.is_nan ns then "n/a"
         else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
@@ -195,8 +230,34 @@ let run_micro_benchmarks () =
         else Printf.sprintf "%.0f ns" ns
       in
       Printf.printf "%-40s %15s\n" name pretty)
-    (List.sort compare rows);
-  print_newline ()
+    rows;
+  print_newline ();
+  rows
+
+(* The null-sink observability path is contractually free: fail loudly if
+   the instrumented stepping kernel drifts more than 5% from baseline. *)
+let obs_overhead_percent rows =
+  let find name = List.assoc_opt ("ewalk/" ^ name) rows in
+  match find "fig1:eprocess-10k-steps" with
+  | Some base when base > 0.0 && not (Float.is_nan base) ->
+      let pct name =
+        match find name with
+        | Some ns when not (Float.is_nan ns) ->
+            Some (100.0 *. ((ns /. base) -. 1.0))
+        | _ -> None
+      in
+      let null_pct = pct "obs:eprocess-10k-steps-nullsink" in
+      let metrics_pct = pct "obs:eprocess-10k-steps-metrics" in
+      (match null_pct with
+      | Some p ->
+          Printf.printf "obs overhead (null sink): %+.1f%% %s\n" p
+            (if p > 5.0 then "** EXCEEDS 5% BUDGET **" else "(within 5% budget)")
+      | None -> ());
+      (match metrics_pct with
+      | Some p -> Printf.printf "obs overhead (metrics, null sink): %+.1f%%\n\n" p
+      | None -> print_newline ());
+      (null_pct, metrics_pct)
+  | _ -> (None, None)
 
 (* -- experiment tables ----------------------------------------------------- *)
 
@@ -205,17 +266,57 @@ let run_experiments () =
   Printf.printf
     "== experiment tables (scale: %s; set EWALK_BENCH_SCALE=tiny/default/full) ==\n\n"
     (Ewalk_expt.Sweep.scale_name scale);
-  List.iter
+  List.map
     (fun e ->
-      let t0 = Unix.gettimeofday () in
-      let table = e.Ewalk_expt.Experiments.run ~scale ~seed:1 in
+      let table, seconds = Ewalk_expt.Experiments.run_timed e ~scale ~seed:1 in
       Ewalk_expt.Table.print table;
       Printf.printf "  [%s reproduces: %s; %.1fs]\n\n%!"
-        e.Ewalk_expt.Experiments.id e.Ewalk_expt.Experiments.paper_item
-        (Unix.gettimeofday () -. t0))
+        e.Ewalk_expt.Experiments.id e.Ewalk_expt.Experiments.paper_item seconds;
+      (e.Ewalk_expt.Experiments.id, seconds))
     Ewalk_expt.Experiments.all
+
+(* Machine-readable baseline for the perf trajectory: BENCH_core.json (or
+   $EWALK_BENCH_JSON) accumulates one snapshot per bench run. *)
+let write_bench_json ~scale ~kernels ~overhead ~experiments =
+  let path =
+    match Sys.getenv_opt "EWALK_BENCH_JSON" with
+    | Some p -> p
+    | None -> "BENCH_core.json"
+  in
+  let module J = Ewalk_obs.Json in
+  let null_pct, metrics_pct = overhead in
+  let opt_float = function None -> J.Null | Some x -> J.Float x in
+  let json =
+    J.Obj
+      [
+        ("schema", J.String "ewalk-bench/1");
+        ("scale", J.String (Ewalk_expt.Sweep.scale_name scale));
+        ( "kernels_ns_per_run",
+          J.Obj
+            (List.map
+               (fun (name, ns) ->
+                 (name, if Float.is_nan ns then J.Null else J.Float ns))
+               kernels) );
+        ("obs_overhead_null_sink_percent", opt_float null_pct);
+        ("obs_overhead_metrics_percent", opt_float metrics_pct);
+        ( "experiments_seconds",
+          J.Obj (List.map (fun (id, s) -> (id, J.Float s)) experiments) );
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      J.to_channel oc json;
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" path
 
 let () =
   let skip_micro = Sys.getenv_opt "EWALK_BENCH_SKIP_MICRO" = Some "1" in
-  if not skip_micro then run_micro_benchmarks ();
-  run_experiments ()
+  let kernels = if skip_micro then [] else run_micro_benchmarks () in
+  let overhead =
+    if skip_micro then (None, None) else obs_overhead_percent kernels
+  in
+  let experiments = run_experiments () in
+  write_bench_json ~scale:(Ewalk_expt.Sweep.scale_of_env ()) ~kernels ~overhead
+    ~experiments

@@ -5,12 +5,15 @@
      experiment ID             - run one experiment (or "all")
      graph-info                - structural report of a generated graph
      cover                     - cover-time trials for one process
+     trace                     - run one walk, emitting a JSONL event stream
      spectra                   - spectral report of a generated graph *)
 
 open Cmdliner
 module Graph = Ewalk_graph.Graph
 module Rng = Ewalk_prng.Rng
 module Expt = Ewalk_expt
+module Obs = Ewalk_obs
+module Observe = Ewalk.Observe
 
 let seed_arg =
   let doc = "Random seed (all runs are deterministic given the seed)." in
@@ -49,6 +52,14 @@ let csv_arg =
   let doc = "Also write the result table as CSV to $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
+let metrics_arg =
+  let doc = "Write a JSON metrics snapshot of the run to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let write_metrics path metrics =
+  Obs.Metrics.write_file metrics path;
+  Printf.printf "wrote %s\n" path
+
 (* -- list ---------------------------------------------------------------- *)
 
 let list_cmd =
@@ -64,20 +75,29 @@ let list_cmd =
 
 (* -- experiment ----------------------------------------------------------- *)
 
-let write_csv path table =
+(* [Fun.protect] so an I/O error cannot leak the channel. *)
+let write_string_to_file path s =
   let oc = open_out path in
-  output_string oc (Expt.Table.to_csv table);
-  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s);
   Printf.printf "wrote %s\n" path
+
+let write_csv path table = write_string_to_file path (Expt.Table.to_csv table)
 
 let experiment_cmd =
   let id_arg =
     let doc = "Experiment id (see $(b,list)), or $(b,all)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id scale seed csv =
+  let run id scale seed csv metrics =
+    let registry = Obs.Metrics.create () in
+    Obs.Metrics.set
+      (Obs.Metrics.gauge registry "seed")
+      (float_of_int seed);
     let run_one e =
-      let table = e.Expt.Experiments.run ~scale ~seed in
+      let table, seconds = Expt.Experiments.run_timed e ~scale ~seed in
+      Expt.Experiments.record_run registry e ~table ~seconds;
       Expt.Table.print table;
       match csv with
       | Some path ->
@@ -89,14 +109,17 @@ let experiment_cmd =
           write_csv file table
       | None -> ()
     in
+    let finish () = Option.iter (fun p -> write_metrics p registry) metrics in
     if id = "all" then begin
       List.iter run_one Expt.Experiments.all;
+      finish ();
       `Ok ()
     end
     else begin
       match Expt.Experiments.find id with
       | Some e ->
           run_one e;
+          finish ();
           `Ok ()
       | None ->
           `Error
@@ -106,7 +129,8 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run a paper experiment and print its table.")
-    Term.(ret (const run $ id_arg $ scale_arg $ seed_arg $ csv_arg))
+    Term.(
+      ret (const run $ id_arg $ scale_arg $ seed_arg $ csv_arg $ metrics_arg))
 
 (* -- graph-info ----------------------------------------------------------- *)
 
@@ -147,36 +171,45 @@ let process_arg =
   in
   Arg.(value & opt string "e-process" & info [ "process" ] ~docv:"P" ~doc)
 
+(* Each spec yields the generic process plus a native-hook attacher for the
+   processes that have one (E-process, SRW); others only get the generic
+   [Observe.instrument] wrapper. *)
 let make_process spec g rng =
+  let eprocess ?rule () =
+    let t = Ewalk.Eprocess.create ?rule g rng ~start:0 in
+    (Ewalk.Eprocess.process t, fun obs -> Observe.attach_eprocess obs t)
+  in
+  let srw t = (Ewalk.Srw.process t, fun obs -> Observe.attach_srw obs t) in
+  let plain p = (p, fun (_ : Observe.t) -> ()) in
   match String.split_on_char ':' spec with
-  | [ "e-process" ] ->
-      Ewalk.Eprocess.process (Ewalk.Eprocess.create g rng ~start:0)
-  | [ "e-process"; "lowest" ] ->
-      Ewalk.Eprocess.process
-        (Ewalk.Eprocess.create ~rule:Ewalk.Eprocess.Lowest_slot g rng ~start:0)
-  | [ "e-process"; "highest" ] ->
-      Ewalk.Eprocess.process
-        (Ewalk.Eprocess.create ~rule:Ewalk.Eprocess.Highest_slot g rng ~start:0)
-  | [ "srw" ] -> Ewalk.Srw.process (Ewalk.Srw.create g rng ~start:0)
-  | [ "lazy-srw" ] -> Ewalk.Srw.process (Ewalk.Srw.create_lazy g rng ~start:0)
+  | [ "e-process" ] -> eprocess ()
+  | [ "e-process"; "lowest" ] -> eprocess ~rule:Ewalk.Eprocess.Lowest_slot ()
+  | [ "e-process"; "highest" ] -> eprocess ~rule:Ewalk.Eprocess.Highest_slot ()
+  | [ "srw" ] -> srw (Ewalk.Srw.create g rng ~start:0)
+  | [ "lazy-srw" ] -> srw (Ewalk.Srw.create_lazy g rng ~start:0)
   | [ "v-process" ] ->
-      Ewalk.Vprocess.process (Ewalk.Vprocess.create g rng ~start:0)
+      plain (Ewalk.Vprocess.process (Ewalk.Vprocess.create g rng ~start:0))
   | [ "rotor" ] ->
-      Ewalk.Rotor.process
-        (Ewalk.Rotor.create ~randomize_rotors:true g rng ~start:0)
+      plain
+        (Ewalk.Rotor.process
+           (Ewalk.Rotor.create ~randomize_rotors:true g rng ~start:0))
   | [ "rwc"; d ] ->
-      Ewalk.Rwc.process
-        (Ewalk.Rwc.create ~d:(int_of_string d) g rng ~start:0)
+      plain
+        (Ewalk.Rwc.process
+           (Ewalk.Rwc.create ~d:(int_of_string d) g rng ~start:0))
   | [ "luf" ] ->
-      Ewalk.Fair.process
-        (Ewalk.Fair.create ~random_ties:true
-           ~strategy:Ewalk.Fair.Least_used_first g rng ~start:0)
+      plain
+        (Ewalk.Fair.process
+           (Ewalk.Fair.create ~random_ties:true
+              ~strategy:Ewalk.Fair.Least_used_first g rng ~start:0))
   | [ "oldest" ] ->
-      Ewalk.Fair.process
-        (Ewalk.Fair.create ~random_ties:true ~strategy:Ewalk.Fair.Oldest_first
-           g rng ~start:0)
+      plain
+        (Ewalk.Fair.process
+           (Ewalk.Fair.create ~random_ties:true
+              ~strategy:Ewalk.Fair.Oldest_first g rng ~start:0))
   | [ "metropolis" ] ->
-      Ewalk.Metropolis.process (Ewalk.Metropolis.create g rng ~start:0)
+      plain
+        (Ewalk.Metropolis.process (Ewalk.Metropolis.create g rng ~start:0))
   | _ -> invalid_arg (Printf.sprintf "unknown process %S" spec)
 
 let cover_cmd =
@@ -184,22 +217,37 @@ let cover_cmd =
     let doc = "Measure edge cover time instead of vertex cover time." in
     Arg.(value & flag & info [ "edges" ] ~doc)
   in
-  let run family process n trials seed edges =
+  let run family process n trials seed edges metrics =
     let root = Rng.create ~seed () in
     let rngs = Rng.split_n root trials in
+    (* One registry across the trials: counters accumulate, gauges keep the
+       last trial's values. *)
+    let registry = Option.map (fun _ -> Obs.Metrics.create ()) metrics in
+    let obs = Option.map (fun m -> Observe.create ~metrics:m ()) registry in
     let results =
       Array.map
         (fun rng ->
           let g = Expt.Families.build family rng ~n in
-          let p = make_process process g rng in
+          let p, attach_native = make_process process g rng in
+          let p =
+            match obs with
+            | None -> p
+            | Some obs ->
+                attach_native obs;
+                Observe.instrument obs p
+          in
           let cap = Ewalk.Cover.default_cap g in
           let t =
             if edges then Ewalk.Cover.run_until_edge_cover ~cap p
             else Ewalk.Cover.run_until_vertex_cover ~cap p
           in
+          Option.iter (fun obs -> Observe.finish obs p) obs;
           (t, Graph.n g, Graph.m g))
         rngs
     in
+    (match (metrics, registry) with
+    | Some path, Some registry -> write_metrics path registry
+    | _ -> ());
     let times =
       Array.to_list results
       |> List.filter_map (fun (t, _, _) -> Option.map float_of_int t)
@@ -229,7 +277,87 @@ let cover_cmd =
     (Cmd.info "cover" ~doc:"Measure cover times of a walk process.")
     Term.(
       const run $ family_arg $ process_arg $ n_arg $ trials_arg $ seed_arg
-      $ edges_arg)
+      $ edges_arg $ metrics_arg)
+
+(* -- trace ----------------------------------------------------------------- *)
+
+let trace_cmd =
+  let out_arg =
+    let doc = "Write the JSONL event stream to $(docv) (default: stdout)." in
+    Arg.(value & opt string "-" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let no_steps_arg =
+    let doc =
+      "Omit per-step events (keep run/phase/milestone events only)."
+    in
+    Arg.(value & flag & info [ "no-steps" ] ~doc)
+  in
+  let edges_arg =
+    let doc = "Run until edge coverage instead of vertex coverage." in
+    Arg.(value & flag & info [ "edges" ] ~doc)
+  in
+  let max_steps_arg =
+    let doc = "Step cap (default: the generous Cover.default_cap)." in
+    Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"K" ~doc)
+  in
+  let run family process n seed edges no_steps max_steps out metrics =
+    let rng = Rng.create ~seed () in
+    let g = Expt.Families.build family rng ~n in
+    let oc, close_oc =
+      if out = "-" then (stdout, fun () -> flush stdout)
+      else
+        let oc = open_out out in
+        (oc, fun () -> close_out_noerr oc)
+    in
+    Fun.protect ~finally:close_oc (fun () ->
+        let sink = Obs.Trace.jsonl oc in
+        let sink =
+          if no_steps then
+            Obs.Trace.filter
+              (function Obs.Trace.Step _ -> false | _ -> true)
+              sink
+          else sink
+        in
+        let registry = Obs.Metrics.create () in
+        let obs = Observe.create ~metrics:registry ~sink () in
+        let p, attach_native = make_process process g rng in
+        attach_native obs;
+        let p = Observe.instrument obs p in
+        let cap =
+          match max_steps with
+          | Some c -> c
+          | None -> Ewalk.Cover.default_cap g
+        in
+        let result =
+          if edges then Ewalk.Cover.run_until_edge_cover ~cap p
+          else Ewalk.Cover.run_until_vertex_cover ~cap p
+        in
+        Observe.finish obs p;
+        Obs.Trace.close sink;
+        (match result with
+        | Some t ->
+            Printf.eprintf "%s covered %s of %s (n=%d, m=%d) at step %d\n"
+              process
+              (if edges then "edges" else "vertices")
+              family (Graph.n g) (Graph.m g) t
+        | None ->
+            Printf.eprintf "%s hit the %d-step cap before covering %s\n"
+              process cap
+              (if edges then "edges" else "vertices"));
+        match metrics with
+        | Some path ->
+            Obs.Metrics.write_file registry path;
+            Printf.eprintf "wrote %s\n" path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one walk and emit its structured event stream as JSONL (one \
+          event per line: run_start, step, phase, milestone, run_end).")
+    Term.(
+      const run $ family_arg $ process_arg $ n_arg $ seed_arg $ edges_arg
+      $ no_steps_arg $ max_steps_arg $ out_arg $ metrics_arg)
 
 (* -- spectra -------------------------------------------------------------- *)
 
@@ -357,11 +485,7 @@ let report_cmd =
       Expt.Experiments.all;
     match out with
     | None -> print_string (Buffer.contents buf)
-    | Some path ->
-        let oc = open_out path in
-        output_string oc (Buffer.contents buf);
-        close_out oc;
-        Printf.printf "wrote %s\n" path
+    | Some path -> write_string_to_file path (Buffer.contents buf)
   in
   Cmd.v
     (Cmd.info "report"
@@ -373,8 +497,16 @@ let main =
   Cmd.group
     (Cmd.info "eproc" ~version:"1.0.0" ~doc)
     [
-      list_cmd; experiment_cmd; graph_info_cmd; cover_cmd; spectra_cmd;
-      euler_cmd; audit_cmd; report_cmd;
+      list_cmd; experiment_cmd; graph_info_cmd; cover_cmd; trace_cmd;
+      spectra_cmd; euler_cmd; audit_cmd; report_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+(* Cmdliner cannot declare a one-letter long option, but "--n 1000" is how
+   everyone writes the size flag; rewrite it to the short form "-n". *)
+let normalize_arg a =
+  if a = "--n" then "-n"
+  else if String.length a > 4 && String.sub a 0 4 = "--n=" then
+    "-n" ^ String.sub a 4 (String.length a - 4)
+  else a
+
+let () = exit (Cmd.eval ~argv:(Array.map normalize_arg Sys.argv) main)

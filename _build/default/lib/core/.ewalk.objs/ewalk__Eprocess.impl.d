@@ -1,1 +1,1 @@
-lib/core/eprocess.ml: Array Cover Coverage Ewalk_graph Ewalk_prng Graph List Unvisited
+lib/core/eprocess.ml: Array Cover Coverage Ewalk_graph Ewalk_obs Ewalk_prng Graph List Unvisited

@@ -1,1 +1,1 @@
-lib/core/eprocess.mli: Cover Coverage Ewalk_graph Ewalk_prng Graph
+lib/core/eprocess.mli: Cover Coverage Ewalk_graph Ewalk_obs Ewalk_prng Graph

@@ -1,1 +1,1 @@
-lib/core/srw.mli: Cover Coverage Ewalk_graph Ewalk_prng Graph
+lib/core/srw.mli: Cover Coverage Ewalk_graph Ewalk_obs Ewalk_prng Graph

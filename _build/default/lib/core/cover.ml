@@ -66,3 +66,12 @@ let run_steps p k =
   for _ = 1 to k do
     p.step ()
   done
+
+let with_step_hook p ~hook =
+  {
+    p with
+    step =
+      (fun () ->
+        p.step ();
+        hook p);
+  }

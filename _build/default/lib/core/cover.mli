@@ -38,6 +38,12 @@ val run_until_min_visits : ?cap:int -> k:int -> process -> int option
 val run_steps : process -> int -> unit
 (** Perform exactly the given number of transitions. *)
 
+val with_step_hook : process -> hook:(process -> unit) -> process
+(** A view of the process that additionally calls [hook] after every
+    transition — the choke point the {!Observe} instrumentation wraps.
+    The underlying process is shared, not copied: stepping either view
+    advances the same walk. *)
+
 val default_cap : Graph.t -> int
 (** A generous default budget, [~ 2000 n (ln n + 1) + 10^5]: several hundred
     times the expected cover time on the expander families studied here,

@@ -46,6 +46,15 @@ let record_edge t ~step e =
     if t.edges_seen = t.m then t.edge_cover_step <- step
   end
 
+let total_vertices t = t.n
+let total_edges t = t.m
+
+let vertex_fraction t =
+  if t.n = 0 then 1.0 else float_of_int t.vertices_seen /. float_of_int t.n
+
+let edge_fraction t =
+  if t.m = 0 then 1.0 else float_of_int t.edges_seen /. float_of_int t.m
+
 let vertex_visited t v = t.vertex_first.(v) >= 0
 let edge_visited t e = t.edge_first.(e) >= 0
 let vertices_visited t = t.vertices_seen

@@ -23,6 +23,16 @@ val record_edge : t -> step:int -> Graph.edge -> unit
 (** [record_edge t ~step e]: transition number [step] traversed [e].
     Idempotent (repeat traversals only bump {!edge_traversals}). *)
 
+val total_vertices : t -> int
+(** [n] of the underlying graph. *)
+
+val total_edges : t -> int
+
+val vertex_fraction : t -> float
+(** Fraction of vertices visited so far (1.0 on the empty graph). *)
+
+val edge_fraction : t -> float
+
 val vertex_visited : t -> Graph.vertex -> bool
 val edge_visited : t -> Graph.edge -> bool
 

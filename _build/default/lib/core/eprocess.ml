@@ -14,6 +14,7 @@ type t = {
   record_phases : bool;
   mutable current_phase : (phase_kind * int * Graph.vertex) option;
   mutable phases : phase list; (* reversed *)
+  mutable observer : (Ewalk_obs.Trace.event -> unit) option;
 }
 
 and rule =
@@ -51,6 +52,7 @@ let create ?(rule = Uar) ?(record_phases = false) g rng ~start =
     record_phases;
     current_phase = None;
     phases = [];
+    observer = None;
   }
 
 let graph t = t.g
@@ -63,10 +65,29 @@ let blue_degree t v = Unvisited.count t.unvisited v
 let unvisited_incident t v = Unvisited.incident_edges t.unvisited v
 let in_blue_phase t = Unvisited.count t.unvisited t.pos > 0
 
+let set_observer t obs = t.observer <- obs
+
+let emit_phase t kind =
+  match t.observer with
+  | None -> ()
+  | Some f ->
+      f
+        (Ewalk_obs.Trace.Phase
+           {
+             step = t.steps;
+             kind =
+               (match kind with
+               | Blue -> Ewalk_obs.Trace.Blue
+               | Red -> Ewalk_obs.Trace.Red);
+             vertex = t.pos;
+           })
+
 let record_phase_transition t next_is_blue =
   let now_kind = if next_is_blue then Blue else Red in
   match t.current_phase with
-  | None -> t.current_phase <- Some (now_kind, t.steps, t.pos)
+  | None ->
+      t.current_phase <- Some (now_kind, t.steps, t.pos);
+      emit_phase t now_kind
   | Some (kind, start_step, start_vertex) ->
       if kind <> now_kind then begin
         if t.record_phases then
@@ -79,7 +100,8 @@ let record_phase_transition t next_is_blue =
               end_vertex = t.pos;
             }
             :: t.phases;
-        t.current_phase <- Some (now_kind, t.steps, t.pos)
+        t.current_phase <- Some (now_kind, t.steps, t.pos);
+        emit_phase t now_kind
       end
 
 let choose_blue_slot t =
@@ -127,7 +149,11 @@ let step t =
   else t.red_steps <- t.red_steps + 1;
   Coverage.record_edge t.coverage ~step:t.steps e;
   t.pos <- w;
-  Coverage.record_move t.coverage ~step:t.steps w
+  Coverage.record_move t.coverage ~step:t.steps w;
+  match t.observer with
+  | None -> ()
+  | Some f ->
+      f (Ewalk_obs.Trace.Step { step = t.steps; vertex = w; edge = e; blue })
 
 let phase_log t = List.rev t.phases
 

@@ -81,6 +81,14 @@ val step : t -> unit
 (** Perform one transition.  @raise Invalid_argument if the current vertex
     is isolated. *)
 
+val set_observer : t -> (Ewalk_obs.Trace.event -> unit) option -> unit
+(** Install (or remove, with [None]) a per-step trace observer.  With an
+    observer present, every transition emits a {!Ewalk_obs.Trace.Step}
+    event and every Blue/Red phase boundary a [Phase] event — independent
+    of [record_phases].  The default ([None]) costs one pattern match per
+    step; use {!Observe.attach_eprocess} rather than calling this
+    directly. *)
+
 val phase_log : t -> phase list
 (** Completed phases in chronological order ([] unless [record_phases]).
     The phase currently in progress is not included. *)

@@ -15,6 +15,7 @@ type t = {
   mutable pos : Graph.vertex;
   mutable steps : int;
   coverage : Coverage.t;
+  mutable observer : (Ewalk_obs.Trace.event -> unit) option;
 }
 
 let make g rng kind name start =
@@ -22,7 +23,7 @@ let make g rng kind name start =
     invalid_arg "Srw.create: start out of range";
   let coverage = Coverage.create g in
   Coverage.record_start coverage start;
-  { g; rng; kind; name; pos = start; steps = 0; coverage }
+  { g; rng; kind; name; pos = start; steps = 0; coverage; observer = None }
 
 let create g rng ~start = make g rng Simple "srw" start
 let create_lazy g rng ~start = make g rng Lazy "lazy-srw" start
@@ -52,6 +53,15 @@ let graph t = t.g
 let position t = t.pos
 let steps t = t.steps
 let coverage t = t.coverage
+let set_observer t obs = t.observer <- obs
+
+let emit_step t ~edge =
+  match t.observer with
+  | None -> ()
+  | Some f ->
+      f
+        (Ewalk_obs.Trace.Step
+           { step = t.steps; vertex = t.pos; edge; blue = false })
 
 let pick_weighted_slot t v cumulative =
   let acc = cumulative.(v) in
@@ -72,7 +82,10 @@ let step t =
   if deg = 0 then invalid_arg "Srw.step: isolated vertex";
   t.steps <- t.steps + 1;
   let stay = match t.kind with Lazy -> Rng.bool t.rng | _ -> false in
-  if stay then Coverage.record_move t.coverage ~step:t.steps v
+  if stay then begin
+    Coverage.record_move t.coverage ~step:t.steps v;
+    emit_step t ~edge:(-1)
+  end
   else begin
     let slot =
       match t.kind with
@@ -83,7 +96,8 @@ let step t =
     let e = Graph.slot_edge t.g slot in
     Coverage.record_edge t.coverage ~step:t.steps e;
     t.pos <- w;
-    Coverage.record_move t.coverage ~step:t.steps w
+    Coverage.record_move t.coverage ~step:t.steps w;
+    emit_step t ~edge:e
   end
 
 let process t =

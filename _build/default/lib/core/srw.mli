@@ -35,6 +35,11 @@ val coverage : t -> Coverage.t
 val step : t -> unit
 (** One transition.  @raise Invalid_argument on an isolated vertex. *)
 
+val set_observer : t -> (Ewalk_obs.Trace.event -> unit) option -> unit
+(** Install (or remove) a per-step trace observer; every transition emits a
+    {!Ewalk_obs.Trace.Step} event ([blue] always false; [edge = -1] for a
+    lazy stay).  Prefer {!Observe.attach_srw}. *)
+
 val process : t -> Cover.process
 
 val hitting_time :

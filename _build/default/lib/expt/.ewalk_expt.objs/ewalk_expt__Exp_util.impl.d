@@ -1,1 +1,1 @@
-lib/expt/exp_util.ml: Array Ewalk Ewalk_graph Gen_regular Graph
+lib/expt/exp_util.ml: Array Ewalk Ewalk_graph Gen_regular Graph Option

@@ -1,1 +1,1 @@
-lib/expt/experiments.ml: Exp_cover Exp_edge Exp_extra Exp_structure List Sweep Table
+lib/expt/experiments.ml: Ewalk_obs Exp_cover Exp_edge Exp_extra Exp_structure List Sweep Table

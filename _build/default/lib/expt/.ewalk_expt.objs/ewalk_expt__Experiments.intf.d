@@ -1,1 +1,1 @@
-lib/expt/experiments.mli: Sweep Table
+lib/expt/experiments.mli: Ewalk_obs Sweep Table

@@ -1,1 +1,1 @@
-lib/expt/sweep.ml: Array Ewalk_analysis Ewalk_prng Printf Sys
+lib/expt/sweep.ml: Array Ewalk_analysis Ewalk_obs Ewalk_prng Printf Sys

@@ -4,25 +4,47 @@ module Srw = Ewalk.Srw
 module Cover = Ewalk.Cover
 module Coverage = Ewalk.Coverage
 
+module Observe = Ewalk.Observe
+
 let regular_graph rng ~n ~d = Gen_regular.random_regular_connected rng n d
 
 let with_cap cap g = match cap with Some c -> c | None -> Cover.default_cap g
 
-let vertex_cover_eprocess ?rule ?cap rng g =
+(* Run [p] to (vertex or edge) coverage under an observation bundle:
+   instrument, run, emit Run_end.  [Observe.noop]-ish bundles add nothing. *)
+let run_observed ?obs ~edges ~cap p =
+  match obs with
+  | None ->
+      if edges then Cover.run_until_edge_cover ~cap p
+      else Cover.run_until_vertex_cover ~cap p
+  | Some obs ->
+      let p = Observe.instrument obs p in
+      let r =
+        if edges then Cover.run_until_edge_cover ~cap p
+        else Cover.run_until_vertex_cover ~cap p
+      in
+      Observe.finish obs p;
+      r
+
+let vertex_cover_eprocess ?rule ?cap ?obs rng g =
   let t = Eprocess.create ?rule g rng ~start:0 in
-  Cover.run_until_vertex_cover ~cap:(with_cap cap g) (Eprocess.process t)
+  Option.iter (fun o -> Observe.attach_eprocess o t) obs;
+  run_observed ?obs ~edges:false ~cap:(with_cap cap g) (Eprocess.process t)
 
-let edge_cover_eprocess ?rule ?cap rng g =
+let edge_cover_eprocess ?rule ?cap ?obs rng g =
   let t = Eprocess.create ?rule g rng ~start:0 in
-  Cover.run_until_edge_cover ~cap:(with_cap cap g) (Eprocess.process t)
+  Option.iter (fun o -> Observe.attach_eprocess o t) obs;
+  run_observed ?obs ~edges:true ~cap:(with_cap cap g) (Eprocess.process t)
 
-let vertex_cover_srw ?cap rng g =
+let vertex_cover_srw ?cap ?obs rng g =
   let t = Srw.create g rng ~start:0 in
-  Cover.run_until_vertex_cover ~cap:(with_cap cap g) (Srw.process t)
+  Option.iter (fun o -> Observe.attach_srw o t) obs;
+  run_observed ?obs ~edges:false ~cap:(with_cap cap g) (Srw.process t)
 
-let edge_cover_srw ?cap rng g =
+let edge_cover_srw ?cap ?obs rng g =
   let t = Srw.create g rng ~start:0 in
-  Cover.run_until_edge_cover ~cap:(with_cap cap g) (Srw.process t)
+  Option.iter (fun o -> Observe.attach_srw o t) obs;
+  run_observed ?obs ~edges:true ~cap:(with_cap cap g) (Srw.process t)
 
 let adversary_stay_explored t candidates =
   let g = Eprocess.graph t in

@@ -133,3 +133,15 @@ let all =
 let find id = List.find_opt (fun e -> e.id = id) all
 
 let ids () = List.map (fun e -> e.id) all
+
+let run_timed e ~scale ~seed =
+  let table, span =
+    Ewalk_obs.Timer.with_span e.id (fun () -> e.run ~scale ~seed)
+  in
+  (table, Ewalk_obs.Timer.elapsed span)
+
+let record_run metrics e ~table ~seconds =
+  let open Ewalk_obs.Metrics in
+  incr (counter metrics "experiments_run");
+  add (counter metrics "table_rows") (List.length table.Table.rows);
+  set (gauge metrics ("seconds/" ^ e.id)) seconds

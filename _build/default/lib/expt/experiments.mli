@@ -14,3 +14,13 @@ val find : string -> entry option
 (** Look up by id. *)
 
 val ids : unit -> string list
+
+val run_timed : entry -> scale:Sweep.scale -> seed:int -> Table.t * float
+(** Run one experiment under an {!Ewalk_obs.Timer} span; returns the table
+    and the wall seconds it took. *)
+
+val record_run :
+  Ewalk_obs.Metrics.t -> entry -> table:Table.t -> seconds:float -> unit
+(** Fold one finished run into a telemetry registry: bumps the
+    [experiments_run] and [table_rows] counters and sets the per-experiment
+    [seconds/<id>] gauge — the payload of [eproc experiment --metrics]. *)

@@ -45,13 +45,25 @@ let trial_rngs ~seed ~trials =
   let root = Rng.create ~seed () in
   Rng.split_n root trials
 
-let mean_of_trials ~seed ~trials f =
-  let rngs = trial_rngs ~seed ~trials in
-  Stats.summarize (Array.map f rngs)
+(* One tick per trial, printed only when EWALK_PROGRESS is set — the
+   heartbeat for full-scale sweeps that run for minutes per data point. *)
+let map_trials ?(label = "trials") f rngs =
+  Ewalk_obs.Progress.with_reporter ~total:(Array.length rngs) ~label
+    (fun tick ->
+      Array.map
+        (fun rng ->
+          let x = f rng in
+          tick ();
+          x)
+        rngs)
 
-let mean_cover_of_trials ~seed ~trials f =
+let mean_of_trials ?label ~seed ~trials f =
   let rngs = trial_rngs ~seed ~trials in
-  let results = Array.map f rngs in
+  Stats.summarize (map_trials ?label f rngs)
+
+let mean_cover_of_trials ?label ~seed ~trials f =
+  let rngs = trial_rngs ~seed ~trials in
+  let results = map_trials ?label f rngs in
   if Array.exists (fun r -> r = None) results then None
   else
     Some

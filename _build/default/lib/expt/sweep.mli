@@ -35,12 +35,15 @@ val trial_rngs : seed:int -> trials:int -> Ewalk_prng.Rng.t array
 (** Independent per-trial generators derived from [seed]. *)
 
 val mean_of_trials :
-  seed:int -> trials:int -> (Ewalk_prng.Rng.t -> float) ->
+  ?label:string -> seed:int -> trials:int -> (Ewalk_prng.Rng.t -> float) ->
   Ewalk_analysis.Stats.summary
-(** Run the measurement once per trial generator and summarise. *)
+(** Run the measurement once per trial generator and summarise.  When
+    [EWALK_PROGRESS=1], a throttled {!Ewalk_obs.Progress} heartbeat
+    (tagged [label], default ["trials"]) ticks once per finished trial. *)
 
 val mean_cover_of_trials :
-  seed:int -> trials:int -> (Ewalk_prng.Rng.t -> int option) ->
+  ?label:string -> seed:int -> trials:int ->
+  (Ewalk_prng.Rng.t -> int option) ->
   Ewalk_analysis.Stats.summary option
 (** Like {!mean_of_trials} for capped runs: [None] if {e any} trial hit its
     cap (a partial mean would understate the truth). *)

@@ -1,0 +1,132 @@
+module Metrics = Ewalk_obs.Metrics
+module Trace = Ewalk_obs.Trace
+
+type t = { metrics_ : Metrics.t option; sink_ : Trace.sink }
+
+let create ?metrics ?(sink = Trace.null) () = { metrics_ = metrics; sink_ = sink }
+let metrics t = t.metrics_
+let sink t = t.sink_
+
+let is_noop t =
+  (match t.metrics_ with None -> true | Some _ -> false)
+  && Trace.is_null t.sink_
+
+(* Shared event interpreter for the native per-step hooks: fold the event
+   stream into the registry, then forward to the sink (skipping event
+   forwarding — but not metric updates — when the sink is null). *)
+let recorder t =
+  let forward = not (Trace.is_null t.sink_) in
+  let update =
+    match t.metrics_ with
+    | None -> ignore
+    | Some m ->
+        let blue_c = Metrics.counter m "blue_steps" in
+        let red_c = Metrics.counter m "red_steps" in
+        let phases_blue = Metrics.counter m "phases_blue" in
+        let phases_red = Metrics.counter m "phases_red" in
+        let phase_len = Metrics.histogram m "phase_length" in
+        let open_phase = ref None in
+        fun (ev : Trace.event) ->
+          (match ev with
+          | Trace.Step { blue; _ } ->
+              Metrics.incr (if blue then blue_c else red_c)
+          | Trace.Phase { step; kind; _ } ->
+              (match !open_phase with
+              | Some start -> Metrics.observe phase_len (float_of_int (step - start))
+              | None -> ());
+              open_phase := Some step;
+              Metrics.incr
+                (match kind with
+                | Trace.Blue -> phases_blue
+                | Trace.Red -> phases_red)
+          | _ -> ())
+  in
+  fun ev ->
+    update ev;
+    if forward then Trace.emit t.sink_ ev
+
+let attach_eprocess t p =
+  if not (is_noop t) then Eprocess.set_observer p (Some (recorder t))
+
+let attach_srw t p =
+  if not (is_noop t) then Srw.set_observer p (Some (recorder t))
+
+(* Ceiling of [pct]% of [total]. *)
+let target ~total pct = ((pct * total) + 99) / 100
+
+let percents = [ 25; 50; 75; 100 ]
+
+let instrument t (p : Cover.process) =
+  if is_noop t then p
+  else begin
+    let cov = p.coverage in
+    let n = Coverage.total_vertices cov and m = Coverage.total_edges cov in
+    Trace.emit t.sink_
+      (Trace.Run_start { name = p.name; n; m; start = p.position () });
+    (match t.metrics_ with
+    | None -> ()
+    | Some reg ->
+        Metrics.set (Metrics.gauge reg "graph_vertices") (float_of_int n);
+        Metrics.set (Metrics.gauge reg "graph_edges") (float_of_int m));
+    let steps_c =
+      match t.metrics_ with
+      | None -> None
+      | Some reg -> Some (Metrics.counter reg "steps")
+    in
+    (* Pending milestone thresholds, in crossing order: the per-step check
+       is one integer comparison against the head target. *)
+    let pending total =
+      ref
+        (if total = 0 then []
+         else List.map (fun pct -> (pct, target ~total pct)) percents)
+    in
+    let pending_v = pending n and pending_e = pending m in
+    let check pending kind count total ~step =
+      let rec go () =
+        match !pending with
+        | (pct, tgt) :: rest when count >= tgt ->
+            pending := rest;
+            Trace.emit t.sink_
+              (Trace.Milestone { step; kind; percent = pct; count; total });
+            go ()
+        | _ -> ()
+      in
+      go ()
+    in
+    let milestones step =
+      check pending_v Trace.Vertices (Coverage.vertices_visited cov) n ~step;
+      check pending_e Trace.Edges (Coverage.edges_visited cov) m ~step
+    in
+    (* The start vertex may already put tiny graphs past a threshold. *)
+    milestones (p.steps_done ());
+    Cover.with_step_hook p ~hook:(fun p ->
+        (match steps_c with Some c -> Metrics.incr c | None -> ());
+        milestones (p.steps_done ()))
+  end
+
+let finish t (p : Cover.process) =
+  if not (is_noop t) then begin
+    let cov = p.coverage in
+    (match t.metrics_ with
+    | None -> ()
+    | Some reg ->
+        Metrics.set
+          (Metrics.gauge reg "coverage_vertex_fraction")
+          (Coverage.vertex_fraction cov);
+        Metrics.set
+          (Metrics.gauge reg "coverage_edge_fraction")
+          (Coverage.edge_fraction cov);
+        Metrics.set
+          (Metrics.gauge reg "frontier_unvisited_vertices")
+          (float_of_int
+             (Coverage.total_vertices cov - Coverage.vertices_visited cov));
+        Metrics.set
+          (Metrics.gauge reg "frontier_unvisited_edges")
+          (float_of_int (Coverage.total_edges cov - Coverage.edges_visited cov)));
+    Trace.emit t.sink_
+      (Trace.Run_end
+         {
+           steps = p.steps_done ();
+           covered = Coverage.all_vertices_visited cov;
+         })
+  end

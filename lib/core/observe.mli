@@ -1,0 +1,57 @@
+(** Observability wiring: one bundle connecting any walk process to the
+    {!Ewalk_obs} metrics registry and trace sinks.
+
+    An {!t} is a (metrics, sink) pair.  Two attachment layers exist, and
+    they compose:
+
+    - {!instrument} wraps {e any} {!Cover.process} at the generic choke
+      point ({!Cover.with_step_hook}): it emits [Run_start], watches the
+      shared {!Coverage} for 25/50/75/100% vertex- and edge-coverage
+      milestones, and maintains the process-agnostic metrics
+      ([steps], [coverage_vertex_fraction], [coverage_edge_fraction],
+      [frontier_unvisited_vertices], [frontier_unvisited_edges]).
+    - {!attach_eprocess} / {!attach_srw} install the native per-step hooks
+      of the processes that have them, adding [Step] and [Phase] trace
+      events and the E-process-specific metrics ([blue_steps],
+      [red_steps], [phases_blue], [phases_red], and the [phase_length]
+      histogram).
+
+    The no-op bundle (no metrics, null sink) is free on the hot path: the
+    native attach is skipped outright (the process keeps its [None]
+    observer — one pattern match per step) and {!instrument} adds only an
+    integer comparison per step.  The bench harness guards this at under
+    5% on the E-process stepping kernel. *)
+
+module Metrics = Ewalk_obs.Metrics
+module Trace = Ewalk_obs.Trace
+
+type t
+
+val create : ?metrics:Metrics.t -> ?sink:Trace.sink -> unit -> t
+(** Defaults: no metrics, {!Trace.null}. *)
+
+val metrics : t -> Metrics.t option
+val sink : t -> Trace.sink
+
+val is_noop : t -> bool
+(** True iff there is nothing to record (no metrics, null sink). *)
+
+val attach_eprocess : t -> Eprocess.t -> unit
+(** Install the native E-process observer (no-op on a no-op bundle).
+    Updates [blue_steps]/[red_steps] counters, phase counters and the
+    [phase_length] histogram, and forwards [Step]/[Phase] events to the
+    sink. *)
+
+val attach_srw : t -> Srw.t -> unit
+
+val instrument : t -> Cover.process -> Cover.process
+(** Generic wrapper: emits [Run_start] immediately (plus any milestone
+    already crossed at attach time — the start vertex counts), then after
+    every transition updates the process-agnostic metrics and emits
+    milestone events as coverage crosses 25/50/75/100%.  Each call carries
+    its own milestone state, so instrument each process (or trial) with a
+    fresh call. *)
+
+val finish : t -> Cover.process -> unit
+(** Emit [Run_end] (with [covered] = all vertices visited) and push the
+    final gauge values.  Call once per instrumented run. *)

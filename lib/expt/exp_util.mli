@@ -7,17 +7,25 @@ val regular_graph : Ewalk_prng.Rng.t -> n:int -> d:int -> Graph.t
     rejection) — the Figure 1 workload. *)
 
 val vertex_cover_eprocess :
-  ?rule:Ewalk.Eprocess.rule -> ?cap:int -> Ewalk_prng.Rng.t -> Graph.t ->
-  int option
+  ?rule:Ewalk.Eprocess.rule -> ?cap:int -> ?obs:Ewalk.Observe.t ->
+  Ewalk_prng.Rng.t -> Graph.t -> int option
 (** Vertex cover time of one E-process run from vertex 0;
-    [None] if the cap (default {!Ewalk.Cover.default_cap}) was hit. *)
+    [None] if the cap (default {!Ewalk.Cover.default_cap}) was hit.
+    With [obs], the run is fully instrumented: native E-process hooks
+    attached, the process wrapped by {!Ewalk.Observe.instrument}, and
+    [Run_end] emitted on completion. *)
 
 val edge_cover_eprocess :
-  ?rule:Ewalk.Eprocess.rule -> ?cap:int -> Ewalk_prng.Rng.t -> Graph.t ->
+  ?rule:Ewalk.Eprocess.rule -> ?cap:int -> ?obs:Ewalk.Observe.t ->
+  Ewalk_prng.Rng.t -> Graph.t -> int option
+
+val vertex_cover_srw :
+  ?cap:int -> ?obs:Ewalk.Observe.t -> Ewalk_prng.Rng.t -> Graph.t ->
   int option
 
-val vertex_cover_srw : ?cap:int -> Ewalk_prng.Rng.t -> Graph.t -> int option
-val edge_cover_srw : ?cap:int -> Ewalk_prng.Rng.t -> Graph.t -> int option
+val edge_cover_srw :
+  ?cap:int -> ?obs:Ewalk.Observe.t -> Ewalk_prng.Rng.t -> Graph.t ->
+  int option
 
 val adversary_stay_explored : Ewalk.Eprocess.t -> Graph.edge array -> int
 (** An online adversary for the rule-independence experiment: among the

@@ -1,0 +1,24 @@
+(** A minimal JSON value type and serialiser.
+
+    Just enough JSON for the observability layer — metrics snapshots, trace
+    events, bench baselines — without pulling a parser dependency into the
+    build.  Serialisation is deterministic: object fields are emitted in the
+    order given, floats in shortest round-trip form, and all strings
+    escaped per RFC 8259. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_channel : out_channel -> t -> unit
+(** [to_string] written to the channel (no trailing newline). *)

@@ -1,0 +1,147 @@
+type counter = { mutable count : int }
+
+type gauge = { mutable value : float; mutable g_set : bool }
+
+type histogram = {
+  bounds : float array; (* ascending upper bounds, exclusive of +inf *)
+  bucket_counts : int array; (* length = Array.length bounds + 1 *)
+  mutable h_count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { instruments : (string, instrument) Hashtbl.t }
+
+let create () = { instruments = Hashtbl.create 16 }
+
+let clash name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S already registered with a different kind" name)
+
+let counter t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (Counter c) -> c
+  | Some _ -> clash name
+  | None ->
+      let c = { count = 0 } in
+      Hashtbl.add t.instruments name (Counter c);
+      c
+
+let gauge t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (Gauge g) -> g
+  | Some _ -> clash name
+  | None ->
+      let g = { value = 0.0; g_set = false } in
+      Hashtbl.add t.instruments name (Gauge g);
+      g
+
+let default_buckets = Array.init 21 (fun i -> Float.of_int (1 lsl i))
+
+let histogram ?(buckets = default_buckets) t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (Histogram h) -> h
+  | Some _ -> clash name
+  | None ->
+      if Array.length buckets = 0 then
+        invalid_arg "Metrics.histogram: empty buckets";
+      Array.iteri
+        (fun i b ->
+          if i > 0 && not (b > buckets.(i - 1)) then
+            invalid_arg "Metrics.histogram: buckets not increasing")
+        buckets;
+      let h =
+        {
+          bounds = Array.copy buckets;
+          bucket_counts = Array.make (Array.length buckets + 1) 0;
+          h_count = 0;
+          sum = 0.0;
+          min = Float.infinity;
+          max = Float.neg_infinity;
+        }
+      in
+      Hashtbl.add t.instruments name (Histogram h);
+      h
+
+let incr c = c.count <- c.count + 1
+let add c k = c.count <- c.count + k
+let value c = c.count
+
+let set g x =
+  g.value <- x;
+  g.g_set <- true
+
+let set_max g x = if (not g.g_set) || x > g.value then set g x
+let gauge_value g = g.value
+
+let observe h x =
+  let nb = Array.length h.bounds in
+  let i = ref 0 in
+  while !i < nb && x > h.bounds.(!i) do
+    Stdlib.incr i
+  done;
+  h.bucket_counts.(!i) <- h.bucket_counts.(!i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.sum <- h.sum +. x;
+  if x < h.min then h.min <- x;
+  if x > h.max then h.max <- x
+
+let hist_count h = h.h_count
+let hist_sum h = h.sum
+
+let hist_json h =
+  let buckets =
+    List.init
+      (Array.length h.bucket_counts)
+      (fun i ->
+        let le =
+          if i < Array.length h.bounds then Json.Float h.bounds.(i)
+          else Json.String "+inf"
+        in
+        Json.Obj [ ("le", le); ("count", Json.Int h.bucket_counts.(i)) ])
+  in
+  Json.Obj
+    [
+      ("count", Json.Int h.h_count);
+      ("sum", Json.Float h.sum);
+      ("min", if h.h_count = 0 then Json.Null else Json.Float h.min);
+      ("max", if h.h_count = 0 then Json.Null else Json.Float h.max);
+      ("buckets", Json.List buckets);
+    ]
+
+let snapshot t =
+  let sorted kind =
+    Hashtbl.fold
+      (fun name instr acc ->
+        match kind instr with Some j -> (name, j) :: acc | None -> acc)
+      t.instruments []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (sorted (function Counter c -> Some (Json.Int c.count) | _ -> None))
+      );
+      ( "gauges",
+        Json.Obj
+          (sorted (function
+            | Gauge g -> Some (Json.Float g.value)
+            | _ -> None)) );
+      ( "histograms",
+        Json.Obj
+          (sorted (function Histogram h -> Some (hist_json h) | _ -> None)) );
+    ]
+
+let to_json_string t = Json.to_string (snapshot t)
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_json_string t);
+      output_char oc '\n')

@@ -1,0 +1,64 @@
+(** A registry of named counters, gauges, and histograms.
+
+    One registry per run (or per trial batch — counters accumulate across
+    attached processes, so a multi-trial sweep sums naturally).  All
+    instruments are cheap enough to update on a per-step hot path: a counter
+    bump is one mutable-field increment, a histogram observation a bucket
+    scan over a handful of bounds.
+
+    {!snapshot} serialises the whole registry to a deterministic JSON value
+    (instruments sorted by name), which is what [eproc --metrics FILE]
+    writes and what the trace-determinism tests compare. *)
+
+type t
+(** The registry. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** [counter t name] registers (or retrieves — same name, same instrument)
+    a monotonically increasing integer counter starting at 0. *)
+
+val gauge : t -> string -> gauge
+(** A float-valued instrument holding the last value set. *)
+
+val histogram : ?buckets:float array -> t -> string -> histogram
+(** A cumulative histogram over the given ascending upper bounds (an
+    implicit [+inf] bucket is always appended).  Default buckets are
+    powers of two [1, 2, 4, ..., 2^20] — sized for phase lengths and other
+    step-count-valued observations.  [buckets] is ignored when the name is
+    already registered.
+    @raise Invalid_argument if [buckets] is empty or not increasing. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val set : gauge -> float -> unit
+val set_max : gauge -> float -> unit
+(** Keep the running maximum of the values set. *)
+
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+
+val hist_count : histogram -> int
+(** Total number of observations. *)
+
+val hist_sum : histogram -> float
+
+val snapshot : t -> Json.t
+(** Deterministic snapshot:
+    [{"counters":{..},"gauges":{..},"histograms":{name:{"count","sum",
+    "min","max","buckets":[{"le","count"},..]}}}] with names sorted. *)
+
+val to_json_string : t -> string
+(** [Json.to_string (snapshot t)]. *)
+
+val write_file : t -> string -> unit
+(** Write the snapshot (plus a trailing newline) to a file, atomically
+    enough for our purposes ([Fun.protect]-guarded channel). *)

@@ -1,0 +1,57 @@
+type t = {
+  out : out_channel;
+  interval : float;
+  total : int;
+  label : string;
+  started : float;
+  mutable done_ : int;
+  mutable last_print : float;
+  mutable finished : bool;
+}
+
+let enabled () =
+  match Sys.getenv_opt "EWALK_PROGRESS" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let create ?(out = stderr) ?(interval = 1.0) ~total ~label () =
+  {
+    out;
+    interval;
+    total;
+    label;
+    started = Timer.now ();
+    done_ = 0;
+    last_print = 0.0;
+    finished = false;
+  }
+
+let print t =
+  let elapsed = Timer.now () -. t.started in
+  let pct =
+    if t.total <= 0 then 100.0
+    else 100.0 *. float_of_int t.done_ /. float_of_int t.total
+  in
+  Printf.fprintf t.out "%s: %3.0f%% (%d/%d) %.1fs\n%!" t.label pct t.done_
+    t.total elapsed
+
+let tick ?(amount = 1) t =
+  t.done_ <- t.done_ + amount;
+  let now = Timer.now () in
+  if now -. t.last_print >= t.interval then begin
+    t.last_print <- now;
+    print t
+  end
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    print t
+  end
+
+let with_reporter ?enabled:(on = enabled ()) ~total ~label f =
+  if not on then f ignore
+  else begin
+    let t = create ~total ~label () in
+    Fun.protect ~finally:(fun () -> finish t) (fun () -> f (fun () -> tick t))
+  end

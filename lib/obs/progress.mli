@@ -1,0 +1,31 @@
+(** Throttled progress reporting for long sweeps.
+
+    Prints at most one line per [interval] seconds (plus a final line from
+    {!finish}) to [stderr] by default, so a [full]-scale sweep that runs
+    for minutes shows a heartbeat without drowning the terminal.  Enable it
+    fleet-wide by exporting [EWALK_PROGRESS=1] — {!enabled} is the switch
+    the experiment scaffolding consults. *)
+
+type t
+
+val enabled : unit -> bool
+(** True iff [EWALK_PROGRESS] is set to [1] / [true] / [yes]. *)
+
+val create :
+  ?out:out_channel -> ?interval:float -> total:int -> label:string -> unit -> t
+(** A reporter for [total] units of work (default [interval] 1s, output to
+    [stderr]). *)
+
+val tick : ?amount:int -> t -> unit
+(** Record [amount] (default 1) units done; prints if the throttle
+    interval has elapsed. *)
+
+val finish : t -> unit
+(** Print the final 100%-style line (whatever count was reached) with total
+    elapsed time.  Idempotent. *)
+
+val with_reporter :
+  ?enabled:bool -> total:int -> label:string -> ((unit -> unit) -> 'a) -> 'a
+(** [with_reporter ~total ~label f] passes a tick function to [f] and
+    finishes the reporter afterwards.  When [enabled] is false (default:
+    {!enabled} [()]), the tick function is [ignore] and nothing prints. *)

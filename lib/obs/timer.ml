@@ -1,0 +1,34 @@
+let now () = Unix.gettimeofday ()
+
+type span = {
+  span_name : string;
+  started : float;
+  mutable finished : float option;
+}
+
+let start name = { span_name = name; started = now (); finished = None }
+
+let stop s =
+  (match s.finished with None -> s.finished <- Some (now ()) | Some _ -> ());
+  match s.finished with
+  | Some t -> t -. s.started
+  | None -> assert false
+
+let elapsed s =
+  match s.finished with
+  | Some t -> t -. s.started
+  | None -> now () -. s.started
+
+let name s = s.span_name
+
+let with_span name f =
+  let s = start name in
+  Fun.protect
+    ~finally:(fun () -> ignore (stop s))
+    (fun () ->
+      let x = f () in
+      (x, s))
+
+let span_to_json s =
+  Json.Obj
+    [ ("name", Json.String s.span_name); ("seconds", Json.Float (elapsed s)) ]

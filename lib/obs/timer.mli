@@ -1,0 +1,30 @@
+(** Wall-clock spans for run telemetry.
+
+    A {!span} measures elapsed wall time between {!start} and {!stop};
+    finished spans can be serialised into the run-telemetry JSON that
+    [eproc experiment --metrics] and the bench harness emit.  Timestamps
+    come from [Unix.gettimeofday] — microsecond-ish resolution, which is
+    plenty for the multi-second experiment sweeps these spans wrap. *)
+
+val now : unit -> float
+(** Seconds since the epoch. *)
+
+type span
+
+val start : string -> span
+(** Begin a named span. *)
+
+val stop : span -> float
+(** End the span (first call wins) and return its duration in seconds. *)
+
+val elapsed : span -> float
+(** Duration so far (final duration once stopped). *)
+
+val name : span -> string
+
+val with_span : string -> (unit -> 'a) -> 'a * span
+(** Run the thunk inside a span; the span is stopped even on exceptions
+    (in which case the exception is re-raised). *)
+
+val span_to_json : span -> Json.t
+(** [{"name":..,"seconds":..}]. *)

@@ -1,0 +1,131 @@
+type phase = Blue | Red
+type milestone = Vertices | Edges
+
+type event =
+  | Run_start of { name : string; n : int; m : int; start : int }
+  | Step of { step : int; vertex : int; edge : int; blue : bool }
+  | Phase of { step : int; kind : phase; vertex : int }
+  | Milestone of {
+      step : int;
+      kind : milestone;
+      percent : int;
+      count : int;
+      total : int;
+    }
+  | Run_end of { steps : int; covered : bool }
+
+let phase_name = function Blue -> "blue" | Red -> "red"
+let milestone_name = function Vertices -> "vertices" | Edges -> "edges"
+
+let event_to_json = function
+  | Run_start { name; n; m; start } ->
+      Json.Obj
+        [
+          ("type", Json.String "run_start");
+          ("process", Json.String name);
+          ("n", Json.Int n);
+          ("m", Json.Int m);
+          ("start", Json.Int start);
+        ]
+  | Step { step; vertex; edge; blue } ->
+      Json.Obj
+        [
+          ("type", Json.String "step");
+          ("step", Json.Int step);
+          ("vertex", Json.Int vertex);
+          ("edge", Json.Int edge);
+          ("blue", Json.Bool blue);
+        ]
+  | Phase { step; kind; vertex } ->
+      Json.Obj
+        [
+          ("type", Json.String "phase");
+          ("step", Json.Int step);
+          ("kind", Json.String (phase_name kind));
+          ("vertex", Json.Int vertex);
+        ]
+  | Milestone { step; kind; percent; count; total } ->
+      Json.Obj
+        [
+          ("type", Json.String "milestone");
+          ("step", Json.Int step);
+          ("kind", Json.String (milestone_name kind));
+          ("percent", Json.Int percent);
+          ("count", Json.Int count);
+          ("total", Json.Int total);
+        ]
+  | Run_end { steps; covered } ->
+      Json.Obj
+        [
+          ("type", Json.String "run_end");
+          ("steps", Json.Int steps);
+          ("covered", Json.Bool covered);
+        ]
+
+let event_to_string ev = Json.to_string (event_to_json ev)
+
+type sink = { kind : sink_kind; emit : event -> unit; close_fn : unit -> unit }
+and sink_kind = Null | Live
+
+let emit s ev = s.emit ev
+let close s = s.close_fn ()
+let null = { kind = Null; emit = ignore; close_fn = ignore }
+let is_null s = s.kind = Null
+
+let of_fun ?(close = ignore) emit = { kind = Live; emit; close_fn = close }
+
+let jsonl oc =
+  of_fun
+    ~close:(fun () -> flush oc)
+    (fun ev ->
+      output_string oc (event_to_string ev);
+      output_char oc '\n')
+
+let tee a b =
+  if is_null a then b
+  else if is_null b then a
+  else
+    of_fun
+      ~close:(fun () ->
+        close a;
+        close b)
+      (fun ev ->
+        a.emit ev;
+        b.emit ev)
+
+let filter pred s =
+  if is_null s then s
+  else
+    of_fun
+      ~close:(fun () -> close s)
+      (fun ev -> if pred ev then s.emit ev)
+
+type ring = {
+  buf : event array;
+  capacity : int;
+  mutable next : int; (* insertion index *)
+  mutable seen : int;
+}
+
+let ring ~capacity =
+  if capacity <= 0 then invalid_arg "Trace.ring: capacity <= 0";
+  {
+    buf = Array.make capacity (Run_end { steps = 0; covered = false });
+    capacity;
+    next = 0;
+    seen = 0;
+  }
+
+let ring_sink r =
+  of_fun (fun ev ->
+      r.buf.(r.next) <- ev;
+      r.next <- (r.next + 1) mod r.capacity;
+      r.seen <- r.seen + 1)
+
+let ring_length r = min r.seen r.capacity
+let ring_seen r = r.seen
+
+let ring_contents r =
+  let len = ring_length r in
+  let first = if r.seen <= r.capacity then 0 else r.next in
+  List.init len (fun i -> r.buf.((first + i) mod r.capacity))

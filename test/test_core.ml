@@ -309,6 +309,44 @@ let phases_alternate () =
   in
   Alcotest.(check bool) "phases chain" true (chained phases)
 
+let phase_lengths_account_steps () =
+  (* With record_phases, the completed phases partition the run: alternating
+     kinds, contiguous boundaries, and the blue-phase lengths summing to
+     exactly blue_steps once the final blue phase has been closed (after
+     edge cover every step is red, so one extra step closes it). *)
+  let g = Gen_regular.cycle_union (Rng.create ~seed:21 ()) 30 2 in
+  let t =
+    Eprocess.create ~record_phases:true g (Rng.create ~seed:22 ()) ~start:0
+  in
+  let p = Eprocess.process t in
+  (match Cover.run_until_edge_cover ~cap:(Cover.default_cap g) p with
+  | Some _ -> ()
+  | None -> Alcotest.fail "edge cover not reached");
+  Eprocess.step t;
+  let phases = Eprocess.phase_log t in
+  let rec alternates = function
+    | a :: (b :: _ as rest) ->
+        a.Eprocess.kind <> b.Eprocess.kind && alternates rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "alternate" true (alternates phases);
+  let rec chained = function
+    | a :: (b :: _ as rest) ->
+        a.Eprocess.end_step = b.Eprocess.start_step && chained rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "contiguous" true (chained phases);
+  let blue_len =
+    List.fold_left
+      (fun acc ph ->
+        if ph.Eprocess.kind = Eprocess.Blue then
+          acc + (ph.Eprocess.end_step - ph.Eprocess.start_step)
+        else acc)
+      0 phases
+  in
+  Alcotest.(check int) "blue phase lengths sum to blue_steps"
+    (Eprocess.blue_steps t) blue_len
+
 (* -- Cover runners ----------------------------------------------------------- *)
 
 let cover_cap_respected () =
@@ -378,6 +416,8 @@ let () =
           Alcotest.test_case "loop dedup" `Quick
             eprocess_unvisited_incident_dedupes_loop;
           Alcotest.test_case "phases alternate" `Quick phases_alternate;
+          Alcotest.test_case "phase lengths account steps" `Quick
+            phase_lengths_account_steps;
         ] );
       ( "observations",
         [

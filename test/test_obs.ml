@@ -1,0 +1,339 @@
+(* Tests for the observability layer: JSON serialisation, the metrics
+   registry, trace sinks, timers/progress, and the Observe wiring that
+   connects walk processes to them — including the trace-determinism
+   guarantee (same seed, same graph => identical event stream and metrics
+   snapshot). *)
+
+module Graph = Ewalk_graph.Graph
+module Gen_classic = Ewalk_graph.Gen_classic
+module Gen_regular = Ewalk_graph.Gen_regular
+module Rng = Ewalk_prng.Rng
+module Json = Ewalk_obs.Json
+module Metrics = Ewalk_obs.Metrics
+module Trace = Ewalk_obs.Trace
+module Timer = Ewalk_obs.Timer
+module Progress = Ewalk_obs.Progress
+module Eprocess = Ewalk.Eprocess
+module Srw = Ewalk.Srw
+module Cover = Ewalk.Cover
+module Coverage = Ewalk.Coverage
+module Observe = Ewalk.Observe
+
+(* -- Json -------------------------------------------------------------------- *)
+
+let json_rendering () =
+  Alcotest.(check string)
+    "scalars" {|[null,true,42,1.5,"a\"b\\c\nd"]|}
+    (Json.to_string
+       (Json.List
+          [
+            Json.Null; Json.Bool true; Json.Int 42; Json.Float 1.5;
+            Json.String "a\"b\\c\nd";
+          ]));
+  Alcotest.(check string)
+    "object field order preserved" {|{"b":1,"a":2}|}
+    (Json.to_string (Json.Obj [ ("b", Json.Int 1); ("a", Json.Int 2) ]));
+  Alcotest.(check string)
+    "integral float keeps decimal point" {|3.0|}
+    (Json.to_string (Json.Float 3.0));
+  Alcotest.(check string)
+    "control chars escaped" {|"\u0001"|}
+    (Json.to_string (Json.String "\001"))
+
+(* -- Metrics ----------------------------------------------------------------- *)
+
+let metrics_counters_gauges () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "steps" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter" 5 (Metrics.value c);
+  Alcotest.(check int) "same name, same counter" 5
+    (Metrics.value (Metrics.counter m "steps"));
+  let g = Metrics.gauge m "frontier" in
+  Metrics.set g 7.5;
+  Metrics.set_max g 3.0;
+  Alcotest.(check (float 0.0)) "set_max keeps max" 7.5 (Metrics.gauge_value g);
+  Metrics.set_max g 9.0;
+  Alcotest.(check (float 0.0)) "set_max raises" 9.0 (Metrics.gauge_value g);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics: \"steps\" already registered with a different kind")
+    (fun () -> ignore (Metrics.gauge m "steps"))
+
+let metrics_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram ~buckets:[| 1.0; 10.0; 100.0 |] m "lens" in
+  List.iter (fun x -> Metrics.observe h x) [ 0.5; 1.0; 5.0; 1000.0 ];
+  Alcotest.(check int) "count" 4 (Metrics.hist_count h);
+  Alcotest.(check (float 1e-9)) "sum" 1006.5 (Metrics.hist_sum h);
+  let json = Metrics.to_json_string m in
+  (* Buckets are cumulative-style per-bucket counts: <=1: two (0.5, 1.0),
+     (1,10]: one, (10,100]: none, +inf: one. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "snapshot mentions buckets: %s" json)
+    true
+    (let expected =
+       {|"buckets":[{"le":1.0,"count":2},{"le":10.0,"count":1},{"le":100.0,"count":0},{"le":"+inf","count":1}]|}
+     in
+     (* substring check *)
+     let rec contains i =
+       if i + String.length expected > String.length json then false
+       else String.sub json i (String.length expected) = expected || contains (i + 1)
+     in
+     contains 0)
+
+let metrics_snapshot_deterministic () =
+  let build () =
+    let m = Metrics.create () in
+    Metrics.add (Metrics.counter m "b") 2;
+    Metrics.incr (Metrics.counter m "a");
+    Metrics.set (Metrics.gauge m "g") 0.25;
+    Metrics.observe (Metrics.histogram m "h") 3.0;
+    Metrics.to_json_string m
+  in
+  Alcotest.(check string) "same ops, same snapshot" (build ()) (build ())
+
+(* -- Trace sinks ------------------------------------------------------------- *)
+
+let ev_step i =
+  Trace.Step { step = i; vertex = i; edge = i; blue = i mod 2 = 0 }
+
+let trace_ring () =
+  let r = Trace.ring ~capacity:3 in
+  let sink = Trace.ring_sink r in
+  for i = 1 to 5 do
+    Trace.emit sink (ev_step i)
+  done;
+  Alcotest.(check int) "length capped" 3 (Trace.ring_length r);
+  Alcotest.(check int) "seen counts all" 5 (Trace.ring_seen r);
+  let steps =
+    List.map
+      (function Trace.Step { step; _ } -> step | _ -> -1)
+      (Trace.ring_contents r)
+  in
+  Alcotest.(check (list int)) "keeps most recent, oldest first" [ 3; 4; 5 ] steps
+
+let trace_null_and_filter () =
+  Alcotest.(check bool) "null is null" true (Trace.is_null Trace.null);
+  Alcotest.(check bool) "filter of null stays null" true
+    (Trace.is_null (Trace.filter (fun _ -> true) Trace.null));
+  let r = Trace.ring ~capacity:10 in
+  let sink =
+    Trace.filter
+      (function Trace.Step _ -> false | _ -> true)
+      (Trace.ring_sink r)
+  in
+  Trace.emit sink (ev_step 1);
+  Trace.emit sink (Trace.Run_end { steps = 1; covered = false });
+  Alcotest.(check int) "steps filtered out" 1 (Trace.ring_length r)
+
+let trace_jsonl_format () =
+  Alcotest.(check string)
+    "step line"
+    {|{"type":"step","step":3,"vertex":7,"edge":9,"blue":true}|}
+    (Trace.event_to_string
+       (Trace.Step { step = 3; vertex = 7; edge = 9; blue = true }));
+  Alcotest.(check string)
+    "milestone line"
+    {|{"type":"milestone","step":10,"kind":"vertices","percent":50,"count":5,"total":10}|}
+    (Trace.event_to_string
+       (Trace.Milestone
+          { step = 10; kind = Trace.Vertices; percent = 50; count = 5; total = 10 }))
+
+(* -- Timer / Progress -------------------------------------------------------- *)
+
+let timer_span () =
+  let x, span = Timer.with_span "unit" (fun () -> 41 + 1) in
+  Alcotest.(check int) "result" 42 x;
+  Alcotest.(check string) "name" "unit" (Timer.name span);
+  Alcotest.(check bool) "non-negative" true (Timer.elapsed span >= 0.0);
+  let d1 = Timer.elapsed span in
+  let d2 = Timer.elapsed span in
+  Alcotest.(check (float 0.0)) "stopped span is frozen" d1 d2
+
+let progress_reporter () =
+  let path = Filename.temp_file "ewalk_progress" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let p =
+        Progress.create ~out:oc ~interval:0.0 ~total:4 ~label:"sweep" ()
+      in
+      Progress.tick p;
+      Progress.tick ~amount:3 p;
+      Progress.finish p;
+      Progress.finish p;
+      close_out oc;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "two ticks + one finish" 3 (List.length lines);
+      Alcotest.(check bool) "mentions label" true
+        (List.for_all
+           (fun l -> String.length l >= 5 && String.sub l 0 5 = "sweep")
+           lines))
+
+(* -- Observe wiring ---------------------------------------------------------- *)
+
+let observed_eprocess_run ?(ring_capacity = 200_000) ~seed ~n () =
+  let rng = Rng.create ~seed () in
+  let g = Gen_regular.cycle_union rng n 2 in
+  let walk_rng = Rng.create ~seed:(seed + 1) () in
+  let t = Eprocess.create g walk_rng ~start:0 in
+  let metrics = Metrics.create () in
+  let r = Trace.ring ~capacity:ring_capacity in
+  let obs = Observe.create ~metrics ~sink:(Trace.ring_sink r) () in
+  Observe.attach_eprocess obs t;
+  let p = Observe.instrument obs (Eprocess.process t) in
+  let cover = Cover.run_until_vertex_cover ~cap:(Cover.default_cap g) p in
+  Observe.finish obs p;
+  (t, metrics, r, cover)
+
+let observe_metrics_match_process () =
+  let t, metrics, _, cover = observed_eprocess_run ~seed:42 ~n:60 () in
+  Alcotest.(check bool) "covered" true (cover <> None);
+  Alcotest.(check int) "blue counter = blue_steps" (Eprocess.blue_steps t)
+    (Metrics.value (Metrics.counter metrics "blue_steps"));
+  Alcotest.(check int) "red counter = red_steps" (Eprocess.red_steps t)
+    (Metrics.value (Metrics.counter metrics "red_steps"));
+  Alcotest.(check int) "steps counter = steps" (Eprocess.steps t)
+    (Metrics.value (Metrics.counter metrics "steps"));
+  Alcotest.(check (float 0.0)) "vertex coverage complete" 1.0
+    (Metrics.gauge_value (Metrics.gauge metrics "coverage_vertex_fraction"))
+
+let observe_event_stream_shape () =
+  let _, _, r, _ = observed_eprocess_run ~seed:7 ~n:40 () in
+  let events = Trace.ring_contents r in
+  (match events with
+  | Trace.Run_start { n; m; start; _ } :: _ ->
+      Alcotest.(check int) "n" 40 n;
+      Alcotest.(check int) "m" 80 m;
+      Alcotest.(check int) "start" 0 start
+  | _ -> Alcotest.fail "first event must be run_start");
+  (match List.rev events with
+  | Trace.Run_end { covered; _ } :: _ ->
+      Alcotest.(check bool) "covered" true covered
+  | _ -> Alcotest.fail "last event must be run_end");
+  let milestone_pcts =
+    List.filter_map
+      (function
+        | Trace.Milestone { kind = Trace.Vertices; percent; _ } -> Some percent
+        | _ -> None)
+      events
+  in
+  Alcotest.(check (list int)) "vertex milestones in order" [ 25; 50; 75; 100 ]
+    milestone_pcts;
+  (* Milestone step indices agree with what Coverage recorded. *)
+  let phase_events =
+    List.filter (function Trace.Phase _ -> true | _ -> false) events
+  in
+  Alcotest.(check bool) "has phase events" true (List.length phase_events >= 1);
+  let steps =
+    List.filter_map
+      (function Trace.Step { step; _ } -> Some step | _ -> None)
+      events
+  in
+  let rec consecutive i = function
+    | [] -> true
+    | s :: rest -> s = i && consecutive (i + 1) rest
+  in
+  Alcotest.(check bool) "step events numbered 1..k" true (consecutive 1 steps)
+
+let observe_noop_attaches_nothing () =
+  let g = Gen_classic.cycle 10 in
+  let t = Eprocess.create g (Rng.create ~seed:5 ()) ~start:0 in
+  let obs = Observe.create () in
+  Alcotest.(check bool) "noop bundle" true (Observe.is_noop obs);
+  Observe.attach_eprocess obs t;
+  let p = Observe.instrument obs (Eprocess.process t) in
+  (* A noop bundle must leave the process untouched - same closure. *)
+  Cover.run_steps p 5;
+  Alcotest.(check int) "still steps" 5 (Eprocess.steps t)
+
+let observe_srw_attach () =
+  let g = Gen_classic.cycle 12 in
+  let t = Srw.create g (Rng.create ~seed:9 ()) ~start:0 in
+  let metrics = Metrics.create () in
+  let obs = Observe.create ~metrics () in
+  Observe.attach_srw obs t;
+  let p = Observe.instrument obs (Srw.process t) in
+  Cover.run_steps p 100;
+  Observe.finish obs p;
+  Alcotest.(check int) "all srw steps are red" 100
+    (Metrics.value (Metrics.counter metrics "red_steps"));
+  Alcotest.(check int) "no blue steps" 0
+    (Metrics.value (Metrics.counter metrics "blue_steps"))
+
+(* -- Determinism (same seed + graph => identical telemetry) ------------------- *)
+
+let jsonl_of_run ~seed ~n =
+  let buf = Buffer.create 4096 in
+  let sink =
+    Trace.of_fun (fun ev ->
+        Buffer.add_string buf (Trace.event_to_string ev);
+        Buffer.add_char buf '\n')
+  in
+  let rng = Rng.create ~seed () in
+  let g = Gen_regular.cycle_union rng n 2 in
+  let t = Eprocess.create g (Rng.create ~seed:(seed + 1) ()) ~start:0 in
+  let metrics = Metrics.create () in
+  let obs = Observe.create ~metrics ~sink () in
+  Observe.attach_eprocess obs t;
+  let p = Observe.instrument obs (Eprocess.process t) in
+  ignore (Cover.run_until_vertex_cover ~cap:(Cover.default_cap g) p);
+  Observe.finish obs p;
+  (Buffer.contents buf, Metrics.to_json_string metrics)
+
+let trace_determinism () =
+  let stream1, snap1 = jsonl_of_run ~seed:123 ~n:50 in
+  let stream2, snap2 = jsonl_of_run ~seed:123 ~n:50 in
+  Alcotest.(check bool) "stream non-trivial" true
+    (String.length stream1 > 200);
+  Alcotest.(check string) "identical JSONL streams" stream1 stream2;
+  Alcotest.(check string) "identical metrics snapshots" snap1 snap2;
+  (* And a different seed really changes the stream. *)
+  let stream3, _ = jsonl_of_run ~seed:124 ~n:50 in
+  Alcotest.(check bool) "different seed, different stream" true
+    (stream1 <> stream3)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [ Alcotest.test_case "rendering" `Quick json_rendering ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick
+            metrics_counters_gauges;
+          Alcotest.test_case "histogram" `Quick metrics_histogram;
+          Alcotest.test_case "snapshot deterministic" `Quick
+            metrics_snapshot_deterministic;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring buffer" `Quick trace_ring;
+          Alcotest.test_case "null and filter" `Quick trace_null_and_filter;
+          Alcotest.test_case "jsonl format" `Quick trace_jsonl_format;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "span" `Quick timer_span;
+          Alcotest.test_case "progress" `Quick progress_reporter;
+        ] );
+      ( "observe",
+        [
+          Alcotest.test_case "metrics match process" `Quick
+            observe_metrics_match_process;
+          Alcotest.test_case "event stream shape" `Quick
+            observe_event_stream_shape;
+          Alcotest.test_case "noop is free" `Quick observe_noop_attaches_nothing;
+          Alcotest.test_case "srw attach" `Quick observe_srw_attach;
+          Alcotest.test_case "determinism" `Quick trace_determinism;
+        ] );
+    ]
