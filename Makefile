@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json fmt fmt-check clean
+.PHONY: all build test test-par bench bench-json fmt fmt-check clean
 
 all: build
 
@@ -8,13 +8,21 @@ build:
 test:
 	dune runtest
 
+# The parallel-determinism gate: the whole suite must pass with the pool
+# disabled and with 4 domains (results are bit-identical by contract).
+test-par:
+	EWALK_JOBS=1 dune runtest --force
+	EWALK_JOBS=4 dune runtest --force
+
 bench:
 	dune exec bench/main.exe
 
 # Regenerate BENCH_core.json (micro-bench ns/run, obs overhead, experiment
-# timings) at tiny scale. Override the output path with EWALK_BENCH_JSON.
+# timings, and the jobs=1 vs jobs=4 parallel speedup + bit-identity check)
+# at tiny scale. Override the output path with EWALK_BENCH_JSON and the
+# domain count with --jobs / EWALK_JOBS.
 bench-json:
-	EWALK_BENCH_SCALE=tiny dune exec bench/main.exe
+	EWALK_BENCH_SCALE=tiny dune exec bench/main.exe -- --jobs 4
 
 # The container has no ocamlformat, so `dune build @fmt` cannot check .ml
 # sources; format/check the dune files directly instead.

@@ -261,23 +261,68 @@ let obs_overhead_percent rows =
 
 (* -- experiment tables ----------------------------------------------------- *)
 
-let run_experiments () =
+let run_experiments ~pool () =
   let scale = Ewalk_expt.Sweep.scale_of_env () in
   Printf.printf
-    "== experiment tables (scale: %s; set EWALK_BENCH_SCALE=tiny/default/full) ==\n\n"
-    (Ewalk_expt.Sweep.scale_name scale);
+    "== experiment tables (scale: %s, jobs: %d; set \
+     EWALK_BENCH_SCALE=tiny/default/full) ==\n\n"
+    (Ewalk_expt.Sweep.scale_name scale)
+    (Ewalk_par.Pool.jobs pool);
   List.map
     (fun e ->
-      let table, seconds = Ewalk_expt.Experiments.run_timed e ~scale ~seed:1 in
+      let table, seconds =
+        Ewalk_expt.Experiments.run_timed ~pool e ~scale ~seed:1
+      in
       Ewalk_expt.Table.print table;
       Printf.printf "  [%s reproduces: %s; %.1fs]\n\n%!"
         e.Ewalk_expt.Experiments.id e.Ewalk_expt.Experiments.paper_item seconds;
       (e.Ewalk_expt.Experiments.id, seconds))
     Ewalk_expt.Experiments.all
 
+(* -- parallel speedup ------------------------------------------------------- *)
+
+(* Wall-clock jobs=1 vs jobs=4 on a fixed trial workload, with the
+   per-trial bit-identity check that backs the deterministic-sharding
+   contract.  The speedup only shows on multicore hardware, but the
+   identity check is meaningful everywhere. *)
+let run_parallel_speedup ~scale =
+  let n =
+    match scale with
+    | Ewalk_expt.Sweep.Tiny -> 8_000
+    | Ewalk_expt.Sweep.Default -> 20_000
+    | Ewalk_expt.Sweep.Full -> 50_000
+  in
+  let trials = 16 in
+  let trial rng =
+    let g = Ewalk_graph.Gen_regular.random_regular_connected rng n 4 in
+    match
+      Ewalk.Cover.run_until_vertex_cover
+        ~cap:(Ewalk.Cover.default_cap g)
+        (Ewalk.Eprocess.process (Ewalk.Eprocess.create g rng ~start:0))
+    with
+    | Some t -> float_of_int t
+    | None -> Float.nan
+  in
+  let timed jobs =
+    Ewalk_par.Pool.with_pool ~jobs @@ fun pool ->
+    let rngs = Ewalk_expt.Sweep.trial_rngs ~seed:1 ~trials in
+    let t0 = Unix.gettimeofday () in
+    let r = Ewalk_expt.Sweep.map_trials ~pool trial rngs in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let s1, r1 = timed 1 in
+  let s4, r4 = timed 4 in
+  let bit_identical = r1 = r4 in
+  let speedup = s1 /. s4 in
+  Printf.printf
+    "== parallel speedup (vertex-cover trials, n=%d, %d trials) ==\n\
+     jobs=1: %.2fs  jobs=4: %.2fs  speedup: %.2fx  bit-identical: %b\n\n"
+    n trials s1 s4 speedup bit_identical;
+  (s1, s4, speedup, bit_identical)
+
 (* Machine-readable baseline for the perf trajectory: BENCH_core.json (or
    $EWALK_BENCH_JSON) accumulates one snapshot per bench run. *)
-let write_bench_json ~scale ~kernels ~overhead ~experiments =
+let write_bench_json ~scale ~jobs ~kernels ~overhead ~experiments ~parallel =
   let path =
     match Sys.getenv_opt "EWALK_BENCH_JSON" with
     | Some p -> p
@@ -291,6 +336,7 @@ let write_bench_json ~scale ~kernels ~overhead ~experiments =
       [
         ("schema", J.String "ewalk-bench/1");
         ("scale", J.String (Ewalk_expt.Sweep.scale_name scale));
+        ("jobs", J.Int jobs);
         ( "kernels_ns_per_run",
           J.Obj
             (List.map
@@ -301,6 +347,17 @@ let write_bench_json ~scale ~kernels ~overhead ~experiments =
         ("obs_overhead_metrics_percent", opt_float metrics_pct);
         ( "experiments_seconds",
           J.Obj (List.map (fun (id, s) -> (id, J.Float s)) experiments) );
+        ( "parallel",
+          match parallel with
+          | None -> J.Null
+          | Some (s1, s4, speedup, bit_identical) ->
+              J.Obj
+                [
+                  ("seconds_jobs1", J.Float s1);
+                  ("seconds_jobs4", J.Float s4);
+                  ("speedup", J.Float speedup);
+                  ("bit_identical", J.Bool bit_identical);
+                ] );
       ]
   in
   let oc = open_out path in
@@ -311,12 +368,34 @@ let write_bench_json ~scale ~kernels ~overhead ~experiments =
       output_char oc '\n');
   Printf.printf "wrote %s\n" path
 
+(* "--jobs N" (or "--jobs=N"); default: EWALK_JOBS, else the machine's
+   recommended domain count minus one (Pool.default_jobs). *)
+let jobs_of_argv () =
+  let rec scan = function
+    | "--jobs" :: v :: _ -> Some (int_of_string v)
+    | a :: _ when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+        Some (int_of_string (String.sub a 7 (String.length a - 7)))
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
 let () =
   let skip_micro = Sys.getenv_opt "EWALK_BENCH_SKIP_MICRO" = Some "1" in
+  let skip_parallel = Sys.getenv_opt "EWALK_BENCH_SKIP_PARALLEL" = Some "1" in
+  let jobs = jobs_of_argv () in
+  let scale = Ewalk_expt.Sweep.scale_of_env () in
+  (* Micro-benches run before the pool exists: idle worker domains would
+     drag every minor collection into a multi-domain stop-the-world and
+     distort the allocation-heavy kernels (the obs overhead ones most). *)
   let kernels = if skip_micro then [] else run_micro_benchmarks () in
   let overhead =
     if skip_micro then (None, None) else obs_overhead_percent kernels
   in
-  let experiments = run_experiments () in
-  write_bench_json ~scale:(Ewalk_expt.Sweep.scale_of_env ()) ~kernels ~overhead
-    ~experiments
+  Ewalk_par.Pool.with_pool ?jobs @@ fun pool ->
+  let experiments = run_experiments ~pool () in
+  let parallel =
+    if skip_parallel then None else Some (run_parallel_speedup ~scale)
+  in
+  write_bench_json ~scale ~jobs:(Ewalk_par.Pool.jobs pool) ~kernels ~overhead
+    ~experiments ~parallel

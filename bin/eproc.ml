@@ -56,6 +56,14 @@ let metrics_arg =
   let doc = "Write a JSON metrics snapshot of the run to $(docv)." in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domains for trial sweeps (default: $(b,EWALK_JOBS), else the machine's \
+     recommended domain count minus one).  $(docv)=1 forces the sequential \
+     path; results are bit-identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let write_metrics path metrics =
   Obs.Metrics.write_file metrics path;
   Printf.printf "wrote %s\n" path
@@ -90,13 +98,17 @@ let experiment_cmd =
     let doc = "Experiment id (see $(b,list)), or $(b,all)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id scale seed csv metrics =
+  let run id scale seed csv metrics jobs =
+    Ewalk_par.Pool.with_pool ?jobs @@ fun pool ->
     let registry = Obs.Metrics.create () in
     Obs.Metrics.set
       (Obs.Metrics.gauge registry "seed")
       (float_of_int seed);
+    Obs.Metrics.set
+      (Obs.Metrics.gauge registry "jobs")
+      (float_of_int (Ewalk_par.Pool.jobs pool));
     let run_one e =
-      let table, seconds = Expt.Experiments.run_timed e ~scale ~seed in
+      let table, seconds = Expt.Experiments.run_timed ~pool e ~scale ~seed in
       Expt.Experiments.record_run registry e ~table ~seconds;
       Expt.Table.print table;
       match csv with
@@ -130,7 +142,9 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run a paper experiment and print its table.")
     Term.(
-      ret (const run $ id_arg $ scale_arg $ seed_arg $ csv_arg $ metrics_arg))
+      ret
+        (const run $ id_arg $ scale_arg $ seed_arg $ csv_arg $ metrics_arg
+       $ jobs_arg))
 
 (* -- graph-info ----------------------------------------------------------- *)
 
@@ -217,15 +231,16 @@ let cover_cmd =
     let doc = "Measure edge cover time instead of vertex cover time." in
     Arg.(value & flag & info [ "edges" ] ~doc)
   in
-  let run family process n trials seed edges metrics =
+  let run family process n trials seed edges metrics jobs =
+    Ewalk_par.Pool.with_pool ?jobs @@ fun pool ->
     let root = Rng.create ~seed () in
     let rngs = Rng.split_n root trials in
-    (* One registry across the trials: counters accumulate, gauges keep the
-       last trial's values. *)
+    (* One registry across the trials: counters accumulate (exactly, even
+       when trials shard across domains), gauges keep one trial's values. *)
     let registry = Option.map (fun _ -> Obs.Metrics.create ()) metrics in
     let obs = Option.map (fun m -> Observe.create ~metrics:m ()) registry in
     let results =
-      Array.map
+      Ewalk_par.Pool.map_array ~chunk:1 pool
         (fun rng ->
           let g = Expt.Families.build family rng ~n in
           let p, attach_native = make_process process g rng in
@@ -277,7 +292,7 @@ let cover_cmd =
     (Cmd.info "cover" ~doc:"Measure cover times of a walk process.")
     Term.(
       const run $ family_arg $ process_arg $ n_arg $ trials_arg $ seed_arg
-      $ edges_arg $ metrics_arg)
+      $ edges_arg $ metrics_arg $ jobs_arg)
 
 (* -- trace ----------------------------------------------------------------- *)
 
@@ -468,7 +483,8 @@ let report_cmd =
     let doc = "Write the markdown report to $(docv) (default: stdout)." in
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
   in
-  let run scale seed out =
+  let run scale seed out jobs =
+    Ewalk_par.Pool.with_pool ?jobs @@ fun pool ->
     let buf = Buffer.create 65536 in
     Buffer.add_string buf
       (Printf.sprintf
@@ -477,7 +493,7 @@ let report_cmd =
          (Expt.Sweep.scale_name scale) seed);
     List.iter
       (fun e ->
-        let table = e.Expt.Experiments.run ~scale ~seed in
+        let table = e.Expt.Experiments.run ~pool:(Some pool) ~scale ~seed in
         Buffer.add_string buf (Expt.Table.to_markdown table);
         Buffer.add_string buf
           (Printf.sprintf "\n*(reproduces: %s)*\n\n" e.Expt.Experiments.paper_item);
@@ -490,7 +506,7 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Run every experiment and emit one markdown results report.")
-    Term.(const run $ scale_arg $ seed_arg $ out_arg)
+    Term.(const run $ scale_arg $ seed_arg $ out_arg $ jobs_arg)
 
 let main =
   let doc = "Random walks which prefer unvisited edges (E-process) - reproduction CLI." in

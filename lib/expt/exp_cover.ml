@@ -10,20 +10,20 @@ let fl = float_of_int
    reproducible in isolation. *)
 let point_seed seed tag n = seed + (7919 * tag) + n
 
-let cover_summary ~scale ~seed ~tag ~n measure =
-  Sweep.mean_cover_of_trials ~seed:(point_seed seed tag n)
+let cover_summary ?pool ~scale ~seed ~tag ~n measure =
+  Sweep.mean_cover_of_trials ?pool ~seed:(point_seed seed tag n)
     ~trials:(Sweep.trials scale) measure
 
 (* Mean E-process vertex cover times on random d-regular graphs, one entry
    per n; capped runs are dropped from the series used for fitting. *)
-let eprocess_series ~scale ~seed ~sizes ~d =
+let eprocess_series ~pool ~scale ~seed ~sizes ~d =
   List.filter_map
     (fun n ->
       let feasible = n * d mod 2 = 0 in
       if not feasible then None
       else begin
         match
-          cover_summary ~scale ~seed ~tag:d ~n (fun rng ->
+          cover_summary ?pool ~scale ~seed ~tag:d ~n (fun rng ->
               let g = Exp_util.regular_graph rng ~n ~d in
               Exp_util.vertex_cover_eprocess rng g)
         with
@@ -55,10 +55,12 @@ let fit_notes ~d series =
 let paper_constants =
   [ (3, "0.93 n ln n"); (5, "0.41 n ln n"); (7, "0.38 n ln n") ]
 
-let fig1 ~scale ~seed =
+let fig1 ~pool ~scale ~seed =
   let degrees = [ 3; 4; 5; 6; 7 ] in
   let sizes = Sweep.cover_sizes scale in
-  let data = List.map (fun d -> (d, eprocess_series ~scale ~seed ~sizes ~d)) degrees in
+  let data =
+    List.map (fun d -> (d, eprocess_series ~pool ~scale ~seed ~sizes ~d)) degrees
+  in
   let rows =
     List.concat_map
       (fun (d, series) ->
@@ -96,7 +98,7 @@ let fig1 ~scale ~seed =
 (* Each family maps the nominal size to its actual vertex count (the
    Margulis construction rounds to a square) and builds a graph of that
    size. *)
-let family_table ~id ~title ~scale ~seed families =
+let family_table ?pool ~id ~title ~scale ~seed families =
   let sizes = Sweep.cover_sizes scale in
   let rows = ref [] in
   let notes = ref [] in
@@ -106,7 +108,7 @@ let family_table ~id ~title ~scale ~seed families =
       List.iter
         (fun n ->
           match
-            cover_summary ~scale ~seed ~tag:(100 + fi) ~n (fun rng ->
+            cover_summary ?pool ~scale ~seed ~tag:(100 + fi) ~n (fun rng ->
                 Exp_util.vertex_cover_eprocess rng (build rng n))
           with
           | None -> ()
@@ -141,9 +143,9 @@ let family_table ~id ~title ~scale ~seed families =
     notes = List.rev !notes;
   }
 
-let thm1_scaling ~scale ~seed =
+let thm1_scaling ~pool ~scale ~seed =
   let square n = max 2 (int_of_float (Float.round (sqrt (fl n)))) in
-  family_table ~id:"thm1-scaling"
+  family_table ?pool ~id:"thm1-scaling"
     ~title:
       "Theorem 1 / Corollary 2: C_V(E-process) = Theta(n) on even-degree expanders"
     ~scale ~seed
@@ -162,7 +164,7 @@ let thm1_scaling ~scale ~seed =
         fun rng n -> Gen_regular.cycle_union rng n 2 );
     ]
 
-let rule_independence ~scale ~seed =
+let rule_independence ~pool ~scale ~seed =
   let sizes =
     match Sweep.cover_sizes scale with
     | a :: b :: c :: _ -> [ a; b; c ]
@@ -183,7 +185,8 @@ let rule_independence ~scale ~seed =
         List.filter_map
           (fun n ->
             match
-              cover_summary ~scale ~seed ~tag:(Hashtbl.hash name land 0xff) ~n
+              cover_summary ?pool ~scale ~seed
+                ~tag:(Hashtbl.hash name land 0xff) ~n
                 (fun rng ->
                   let g = Exp_util.regular_graph rng ~n ~d:4 in
                   Exp_util.vertex_cover_eprocess ~rule rng g)
@@ -212,18 +215,18 @@ let rule_independence ~scale ~seed =
       ];
   }
 
-let srw_lower ~scale ~seed =
+let srw_lower ~pool ~scale ~seed =
   let sizes = Sweep.cover_sizes scale in
   let rows = ref [] in
   let speedups = ref [] in
   List.iter
     (fun n ->
       let srw =
-        cover_summary ~scale ~seed ~tag:500 ~n (fun rng ->
+        cover_summary ?pool ~scale ~seed ~tag:500 ~n (fun rng ->
             let g = Exp_util.regular_graph rng ~n ~d:4 in
             Exp_util.vertex_cover_srw rng g)
       and ep =
-        cover_summary ~scale ~seed ~tag:501 ~n (fun rng ->
+        cover_summary ?pool ~scale ~seed ~tag:501 ~n (fun rng ->
             let g = Exp_util.regular_graph rng ~n ~d:4 in
             Exp_util.vertex_cover_eprocess rng g)
       in
@@ -269,7 +272,7 @@ let srw_lower ~scale ~seed =
     notes;
   }
 
-let odd_even_frontier ~scale ~seed =
+let odd_even_frontier ~pool ~scale ~seed =
   let degrees = [ 3; 4; 5; 6; 7; 8 ] in
   (* The slope estimate needs the full size range: with narrow spreads the
      odd degrees' logarithmic growth hides inside the noise. *)
@@ -277,7 +280,7 @@ let odd_even_frontier ~scale ~seed =
   let rows =
     List.filter_map
       (fun d ->
-        let series = eprocess_series ~scale ~seed ~sizes ~d in
+        let series = eprocess_series ~pool ~scale ~seed ~sizes ~d in
         match series with
         | [] | [ _ ] -> None
         | _ ->
@@ -310,7 +313,7 @@ let odd_even_frontier ~scale ~seed =
     notes = [ "paper: even degrees flat; odd degrees logarithmic (Fig 1)" ];
   }
 
-let process_compare ~scale ~seed =
+let process_compare ~pool ~scale ~seed =
   let n =
     match Sweep.cover_sizes scale with
     | _ :: _ :: c :: _ -> c
@@ -360,7 +363,7 @@ let process_compare ~scale ~seed =
           (fun (pname, make_process) ->
             let tag = (Hashtbl.hash (gname, pname) land 0xfff) + 600 in
             let result =
-              cover_summary ~scale ~seed ~tag ~n (fun rng ->
+              cover_summary ?pool ~scale ~seed ~tag ~n (fun rng ->
                   let g, _ = build rng in
                   Cover.run_until_vertex_cover
                     ~cap:(Cover.default_cap g)
@@ -390,7 +393,7 @@ let process_compare ~scale ~seed =
       ];
   }
 
-let blanket_r_visits ~scale ~seed =
+let blanket_r_visits ~pool ~scale ~seed =
   let sizes =
     match Sweep.cover_sizes scale with
     | a :: b :: c :: _ -> [ a; b; c ]
@@ -401,7 +404,7 @@ let blanket_r_visits ~scale ~seed =
     List.filter_map
       (fun n ->
         let measured =
-          Sweep.mean_of_trials ~seed:(point_seed seed 700 n)
+          Sweep.mean_of_trials ?pool ~seed:(point_seed seed 700 n)
             ~trials:(Sweep.trials scale) (fun rng ->
               let g = Exp_util.regular_graph rng ~n ~d in
               let walk = Ewalk.Srw.create g rng ~start:0 in

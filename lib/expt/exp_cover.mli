@@ -1,31 +1,43 @@
 (** Vertex-cover-time experiments (Figure 1, Theorem 1, Theorem 5,
-    Section 5). *)
+    Section 5).
 
-val fig1 : scale:Sweep.scale -> seed:int -> Table.t
+    Every experiment takes a [~pool] ([None] for the sequential path):
+    with [Some pool], trials shard across the pool's domains via
+    {!Sweep.map_trials}, with tables bit-identical to the sequential run
+    for any job count. *)
+
+val fig1 :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Figure 1: normalised E-process cover time on random [d]-regular graphs,
     [d = 3..7], with the paper's [c n ln n] fits for odd degrees. *)
 
-val thm1_scaling : scale:Sweep.scale -> seed:int -> Table.t
+val thm1_scaling :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Theorem 1 / Corollary 2: [C_V / n] stays bounded across [n] on
     even-degree expander families. *)
 
-val rule_independence : scale:Sweep.scale -> seed:int -> Table.t
+val rule_independence :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Theorem 1's rule-independence: u.a.r., deterministic, and two online
     adversarial rules all give [Theta(n)] on random 4-regular graphs. *)
 
-val srw_lower : scale:Sweep.scale -> seed:int -> Table.t
+val srw_lower :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Theorem 5 / Feige baseline: measured SRW cover time against the
     [(n/4) log (n/2)] lower bound, and the E-process speed-up factor. *)
 
-val odd_even_frontier : scale:Sweep.scale -> seed:int -> Table.t
+val odd_even_frontier :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Section 5's question: the [a + b ln n] slope of [C_V / n] per degree —
     [b ~ 0] exactly for even degrees. *)
 
-val process_compare : scale:Sweep.scale -> seed:int -> Table.t
+val process_compare :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Related-work positioning: E-process vs V-process, SRW, rotor-router,
     RWC(2), Least-Used-First and Oldest-First on a random 4-regular graph
     and a torus. *)
 
-val blanket_r_visits : scale:Sweep.scale -> seed:int -> Table.t
+val blanket_r_visits :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Eq. (4) discussion: SRW time to visit every vertex [r] times is
     [O(C_V(SRW))] on [r]-regular graphs. *)

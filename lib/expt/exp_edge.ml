@@ -6,11 +6,11 @@ let fl = float_of_int
 
 let point_seed seed tag n = seed + (104729 * tag) + n
 
-let summary ~scale ~seed ~tag ~n measure =
-  Sweep.mean_cover_of_trials ~seed:(point_seed seed tag n)
+let summary ?pool ~scale ~seed ~tag ~n measure =
+  Sweep.mean_cover_of_trials ?pool ~seed:(point_seed seed tag n)
     ~trials:(Sweep.trials scale) measure
 
-let edge_cover_sandwich ~scale ~seed =
+let edge_cover_sandwich ~pool ~scale ~seed =
   let sizes =
     match Sweep.edge_sizes scale with
     | a :: b :: c :: _ -> [ a; b; c ]
@@ -38,30 +38,41 @@ let edge_cover_sandwich ~scale ~seed =
              trial, so the sandwich is checked pointwise. *)
           let trials = Sweep.trials scale in
           let rngs = Sweep.trial_rngs ~seed:(point_seed seed (20 + fi) n) ~trials in
+          let per_trial =
+            Sweep.map_trials ?pool ~label:name
+              (fun rng ->
+                let g = build rng n in
+                let m = Graph.m g in
+                match
+                  ( Exp_util.edge_cover_eprocess rng g,
+                    Exp_util.vertex_cover_srw rng g )
+                with
+                | Some ce_t, Some cv_srw ->
+                    let upper =
+                      Ewalk_theory.Bounds.edge_cover_sandwich_upper ~m
+                        ~srw_vertex_cover:(fl cv_srw)
+                    in
+                    Some (m, ce_t, upper)
+                | _ -> None)
+              rngs
+          in
+          (* Index-ordered fold: reproduces the sequential accumulation
+             order, so the table is bit-identical for any job count. *)
           let ok = ref true in
           let ce = Stats.Online.create () and bound = Stats.Online.create () in
           let m_ref = ref 0 in
           Array.iter
-            (fun rng ->
-              let g = build rng n in
-              m_ref := Graph.m g;
-              match
-                ( Exp_util.edge_cover_eprocess rng g,
-                  Exp_util.vertex_cover_srw rng g )
-              with
-              | Some ce_t, Some cv_srw ->
-                  let upper =
-                    Ewalk_theory.Bounds.edge_cover_sandwich_upper
-                      ~m:(Graph.m g) ~srw_vertex_cover:(fl cv_srw)
-                  in
+            (function
+              | Some (m, ce_t, upper) ->
+                  m_ref := m;
                   Stats.Online.add ce (fl ce_t);
                   Stats.Online.add bound upper;
-                  if ce_t < Graph.m g then begin
+                  if ce_t < m then begin
                     ok := false;
                     incr violations
                   end
-              | _ -> ok := false)
-            rngs;
+              | None -> ok := false)
+            per_trial;
           if Stats.Online.count ce > 0 then
             rows :=
               [
@@ -87,18 +98,18 @@ let edge_cover_sandwich ~scale ~seed =
       ];
   }
 
-let hypercube_edge ~scale ~seed =
+let hypercube_edge ~pool ~scale ~seed =
   let dims = Sweep.hypercube_dims scale in
   let rows = ref [] in
   List.iter
     (fun r ->
       let n = 1 lsl r in
       let ep =
-        summary ~scale ~seed ~tag:40 ~n (fun rng ->
+        summary ?pool ~scale ~seed ~tag:40 ~n (fun rng ->
             let g = Gen_classic.hypercube r in
             Exp_util.edge_cover_eprocess rng g)
       and srw =
-        summary ~scale ~seed ~tag:41 ~n (fun rng ->
+        summary ?pool ~scale ~seed ~tag:41 ~n (fun rng ->
             let g = Gen_classic.hypercube r in
             Exp_util.edge_cover_srw rng g)
       in
@@ -131,7 +142,7 @@ let hypercube_edge ~scale ~seed =
       ];
   }
 
-let grw_bound ~scale ~seed =
+let grw_bound ~pool ~scale ~seed =
   let n =
     match Sweep.edge_sizes scale with
     | _ :: b :: _ -> b
@@ -142,29 +153,49 @@ let grw_bound ~scale ~seed =
   let rows =
     List.filter_map
       (fun r ->
-        let gap_holder = ref 0.0 and m_holder = ref 0 in
-        let measured =
-          summary ~scale ~seed ~tag:(50 + r) ~n (fun rng ->
+        (* Each trial returns its own (m, gap, cover) so no shared holders
+           race under the pool; the bound uses the last trial's m and gap,
+           matching the sequential code's last-write-wins. *)
+        let rngs =
+          Sweep.trial_rngs ~seed:(point_seed seed (50 + r) n)
+            ~trials:(Sweep.trials scale)
+        in
+        let per_trial =
+          Sweep.map_trials ?pool
+            (fun rng ->
               let g = Exp_util.regular_graph rng ~n ~d:r in
-              m_holder := Graph.m g;
-              gap_holder :=
+              let m = Graph.m g in
+              let gap =
                 1.0
                 -. Ewalk_spectral.Spectral.lambda_max_power ~tol:1e-7
-                     ~max_iter:3_000 g;
-              Exp_util.edge_cover_eprocess rng g)
+                     ~max_iter:3_000 g
+              in
+              (m, gap, Exp_util.edge_cover_eprocess rng g))
+            rngs
+        in
+        let m_last, gap_last, _ = per_trial.(Array.length per_trial - 1) in
+        let measured =
+          if Array.exists (fun (_, _, c) -> c = None) per_trial then None
+          else
+            Some
+              (Stats.summarize
+                 (Array.map
+                    (fun (_, _, c) ->
+                      match c with Some t -> fl t | None -> assert false)
+                    per_trial))
         in
         match measured with
         | None -> None
         | Some s ->
             let bound =
-              Ewalk_theory.Bounds.grw_edge_cover ~m:!m_holder ~gap:!gap_holder n
+              Ewalk_theory.Bounds.grw_edge_cover ~m:m_last ~gap:gap_last n
             in
             Some
               [
                 Table.cell_i r;
                 Table.cell_i n;
-                Table.cell_i !m_holder;
-                Table.cell_f !gap_holder;
+                Table.cell_i m_last;
+                Table.cell_f gap_last;
                 Table.cell_f s.Stats.mean;
                 Table.cell_f bound;
                 Table.cell_f (s.Stats.mean /. bound);
@@ -184,14 +215,14 @@ let grw_bound ~scale ~seed =
       ];
   }
 
-let cor4_edge ~scale ~seed =
+let cor4_edge ~pool ~scale ~seed =
   let sizes = Sweep.edge_sizes scale in
   let rows = ref [] in
   let series = ref [] in
   List.iter
     (fun n ->
       match
-        summary ~scale ~seed ~tag:60 ~n (fun rng ->
+        summary ?pool ~scale ~seed ~tag:60 ~n (fun rng ->
             let g = Exp_util.regular_graph rng ~n ~d:4 in
             Exp_util.edge_cover_eprocess rng g)
       with

@@ -1,18 +1,27 @@
 (** Edge-cover-time experiments (eq. (2)/(3), Theorem 3, Corollary 4,
-    the hypercube example). *)
+    the hypercube example).
 
-val edge_cover_sandwich : scale:Sweep.scale -> seed:int -> Table.t
+    Every experiment takes a [~pool] ([None] for the sequential path):
+    with [Some pool], trials shard across the pool's domains via
+    {!Sweep.map_trials}, with tables bit-identical to the sequential run
+    for any job count. *)
+
+val edge_cover_sandwich :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Eq. (3) / Observation 12: [m <= C_E(E-process) <= m + C_V(SRW)] on
     several graph families. *)
 
-val hypercube_edge : scale:Sweep.scale -> seed:int -> Table.t
+val hypercube_edge :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Section 1's example: on the hypercube [H_r] the E-process edge cover
     time is [Theta(n log n)] while the SRW needs [Theta(n log^2 n)]. *)
 
-val grw_bound : scale:Sweep.scale -> seed:int -> Table.t
+val grw_bound :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Eq. (2) (Orenshtein–Shinkar): measured [C_E] against
     [m + n log n / (1 - lambda_max)] with the gap measured spectrally. *)
 
-val cor4_edge : scale:Sweep.scale -> seed:int -> Table.t
+val cor4_edge :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Corollary 4: on random 4-regular graphs [C_E = O(omega n)] — the
     normalised edge cover time grows slower than any fixed power. *)

@@ -20,7 +20,7 @@ let small_families ~scale ~seed =
     ("lollipop", Gen_classic.lollipop (2 * n / 3) (n / 3));
   ]
 
-let hitting_bounds ~scale ~seed =
+let hitting_bounds ~pool:_ ~scale ~seed =
   let rows =
     List.map
       (fun (name, g) ->
@@ -90,7 +90,7 @@ let hitting_bounds ~scale ~seed =
       ];
   }
 
-let mixing_decay ~scale ~seed =
+let mixing_decay ~pool:_ ~scale ~seed =
   let n = match scale with Sweep.Tiny -> 40 | _ -> 100 in
   let rng = Ewalk_prng.Rng.create ~seed:(point_seed seed 2 n) () in
   let g = Gen_regular.random_regular_connected rng n 4 in
@@ -146,7 +146,7 @@ let mixing_decay ~scale ~seed =
       [ "the measured deviation must sit below the spectral envelope at every t" ];
   }
 
-let matthews_cover ~scale ~seed =
+let matthews_cover ~pool ~scale ~seed =
   let rows =
     List.filter_map
       (fun (name, g) ->
@@ -160,17 +160,20 @@ let matthews_cover ~scale ~seed =
           let rngs =
             Sweep.trial_rngs ~seed:(point_seed seed 3 (Graph.n g)) ~trials
           in
-          let acc = Stats.Online.create () in
-          Array.iter
-            (fun rng ->
-              match
+          let per_trial =
+            Sweep.map_trials ?pool ~label:name
+              (fun rng ->
                 Ewalk.Cover.run_until_vertex_cover
                   ~cap:(Ewalk.Cover.default_cap g)
-                  (Ewalk.Srw.process (Ewalk.Srw.create g rng ~start:0))
-              with
+                  (Ewalk.Srw.process (Ewalk.Srw.create g rng ~start:0)))
+              rngs
+          in
+          let acc = Stats.Online.create () in
+          Array.iter
+            (function
               | Some t -> Stats.Online.add acc (fl t)
               | None -> ())
-            rngs;
+            per_trial;
           if Stats.Online.count acc = 0 then None
           else
             Some
@@ -197,7 +200,7 @@ let matthews_cover ~scale ~seed =
       ];
   }
 
-let euler_overhead ~scale ~seed =
+let euler_overhead ~pool ~scale ~seed =
   let sizes =
     match Sweep.edge_sizes scale with
     | a :: b :: c :: _ -> [ a; b; c ]
@@ -224,19 +227,34 @@ let euler_overhead ~scale ~seed =
                 ~seed:(point_seed seed (4 + Hashtbl.hash name land 0xf) n)
                 ~trials
             in
+            let per_trial =
+              Sweep.map_trials ?pool ~label:name
+                (fun rng ->
+                  let g = build rng n in
+                  (* Offline optimum: the Euler circuit has length exactly
+                     m. *)
+                  let ok =
+                    match Ewalk_graph.Euler.euler_circuit g ~start:0 with
+                    | Some trail when List.length trail = Graph.m g -> true
+                    | _ -> false
+                  in
+                  let ratio =
+                    match Exp_util.edge_cover_eprocess rng g with
+                    | Some ce -> Some (fl ce /. fl (Graph.m g))
+                    | None -> None
+                  in
+                  (ok, ratio))
+                rngs
+            in
             let overhead = Stats.Online.create () in
             let euler_ok = ref true in
             Array.iter
-              (fun rng ->
-                let g = build rng n in
-                (* Offline optimum: the Euler circuit has length exactly m. *)
-                (match Ewalk_graph.Euler.euler_circuit g ~start:0 with
-                | Some trail when List.length trail = Graph.m g -> ()
-                | _ -> euler_ok := false);
-                match Exp_util.edge_cover_eprocess rng g with
-                | Some ce -> Stats.Online.add overhead (fl ce /. fl (Graph.m g))
+              (fun (ok, ratio) ->
+                if not ok then euler_ok := false;
+                match ratio with
+                | Some x -> Stats.Online.add overhead x
                 | None -> ())
-              rngs;
+              per_trial;
             if Stats.Online.count overhead = 0 then None
             else
               Some
@@ -262,7 +280,7 @@ let euler_overhead ~scale ~seed =
       ];
   }
 
-let team_speedup ~scale ~seed =
+let team_speedup ~pool ~scale ~seed =
   let n =
     match scale with Sweep.Tiny -> 1_000 | Sweep.Default -> 50_000 | Sweep.Full -> 200_000
   in
@@ -273,22 +291,25 @@ let team_speedup ~scale ~seed =
     List.filter_map
       (fun k ->
         let rngs = Sweep.trial_rngs ~seed:(point_seed seed (40 + k) n) ~trials in
+        let per_trial =
+          Sweep.map_trials ?pool
+            (fun rng ->
+              let g = Exp_util.regular_graph rng ~n ~d:4 in
+              let t = Ewalk.Team.create_spread g rng ~walkers:k in
+              Ewalk.Cover.run_until_vertex_cover
+                ~cap:(Ewalk.Cover.default_cap g)
+                (Ewalk.Team.process t))
+            rngs
+        in
         let rounds_acc = Stats.Online.create () in
         let work_acc = Stats.Online.create () in
         Array.iter
-          (fun rng ->
-            let g = Exp_util.regular_graph rng ~n ~d:4 in
-            let t = Ewalk.Team.create_spread g rng ~walkers:k in
-            match
-              Ewalk.Cover.run_until_vertex_cover
-                ~cap:(Ewalk.Cover.default_cap g)
-                (Ewalk.Team.process t)
-            with
+          (function
             | Some steps ->
                 Stats.Online.add work_acc (fl steps /. fl n);
                 Stats.Online.add rounds_acc (fl steps /. fl k /. fl n)
             | None -> ())
-          rngs;
+          per_trial;
         if Stats.Online.count rounds_acc = 0 then None
         else begin
           let rounds = Stats.Online.mean rounds_acc in
@@ -318,7 +339,7 @@ let team_speedup ~scale ~seed =
       ];
   }
 
-let coverage_profile ~scale ~seed =
+let coverage_profile ~pool ~scale ~seed =
   let n =
     match scale with
     | Sweep.Tiny -> 1_000
@@ -340,34 +361,50 @@ let coverage_profile ~scale ~seed =
             ~seed:(point_seed seed (50 + (10 * d) + String.length pname) n)
             ~trials
         in
+        let per_trial =
+          Sweep.map_trials ?pool ~label:pname
+            (fun rng ->
+              let g = Exp_util.regular_graph rng ~n ~d in
+              let p =
+                match pname with
+                | "e-process" ->
+                    Ewalk.Eprocess.process
+                      (Ewalk.Eprocess.create g rng ~start:0)
+                | _ -> Ewalk.Srw.process (Ewalk.Srw.create g rng ~start:0)
+              in
+              let profile =
+                Ewalk_analysis.Profile.run ~cap:(20 * n)
+                  ~checkpoint_every:(max 1 (n / 4))
+                  p
+              in
+              let fracs =
+                List.map
+                  (fun c ->
+                    match
+                      Ewalk_analysis.Profile.stragglers_at profile
+                        ~steps:(c * n)
+                    with
+                    | Some u -> Some (fl u /. fl n)
+                    | None -> None)
+                  checkpoints
+              in
+              (fracs, Ewalk_analysis.Profile.decay_rate profile ~n))
+            rngs
+        in
         let sums = Array.make (List.length checkpoints) 0.0 in
         let rate = Stats.Online.create () in
         Array.iter
-          (fun rng ->
-            let g = Exp_util.regular_graph rng ~n ~d in
-            let p =
-              match pname with
-              | "e-process" ->
-                  Ewalk.Eprocess.process (Ewalk.Eprocess.create g rng ~start:0)
-              | _ -> Ewalk.Srw.process (Ewalk.Srw.create g rng ~start:0)
-            in
-            let profile =
-              Ewalk_analysis.Profile.run ~cap:(20 * n)
-                ~checkpoint_every:(max 1 (n / 4))
-                p
-            in
+          (fun (fracs, r) ->
             List.iteri
-              (fun i c ->
-                match
-                  Ewalk_analysis.Profile.stragglers_at profile ~steps:(c * n)
-                with
-                | Some u -> sums.(i) <- sums.(i) +. (fl u /. fl n)
+              (fun i frac ->
+                match frac with
+                | Some x -> sums.(i) <- sums.(i) +. x
                 | None -> ())
-              checkpoints;
-            match Ewalk_analysis.Profile.decay_rate profile ~n with
+              fracs;
+            match r with
             | Some r -> Stats.Online.add rate r
             | None -> ())
-          rngs;
+          per_trial;
         Printf.sprintf "%s d=%d" pname d
         :: List.map
              (fun i -> Table.cell_f (sums.(i) /. fl trials))
@@ -398,7 +435,7 @@ let coverage_profile ~scale ~seed =
       ];
   }
 
-let concentration ~scale ~seed =
+let concentration ~pool ~scale ~seed =
   let n =
     match scale with
     | Sweep.Tiny -> 500
@@ -429,18 +466,23 @@ let concentration ~scale ~seed =
             ~seed:(point_seed seed (60 + (String.length name)) n)
             ~trials
         in
-        let samples = ref [] in
-        Array.iter
-          (fun rng ->
-            let g = Exp_util.regular_graph rng ~n ~d:4 in
-            match
+        let per_trial =
+          Sweep.map_trials ?pool ~label:name
+            (fun rng ->
+              let g = Exp_util.regular_graph rng ~n ~d:4 in
               Ewalk.Cover.run_until_vertex_cover
                 ~cap:(Ewalk.Cover.default_cap g)
-                (make g rng)
-            with
+                (make g rng))
+            rngs
+        in
+        (* Prepend in trial order: reproduces the sequential code's
+           reversed sample list, keeping the summary bit-identical. *)
+        let samples = ref [] in
+        Array.iter
+          (function
             | Some t -> samples := fl t :: !samples
             | None -> ())
-          rngs;
+          per_trial;
         match !samples with
         | [] | [ _ ] -> None
         | s ->
@@ -475,7 +517,7 @@ let concentration ~scale ~seed =
       ];
   }
 
-let doubled_odd ~scale ~seed =
+let doubled_odd ~pool ~scale ~seed =
   let sizes =
     match scale with
     | Sweep.Tiny -> [ 500; 1_000 ]
@@ -487,18 +529,25 @@ let doubled_odd ~scale ~seed =
     List.concat_map
       (fun n ->
         let rngs = Sweep.trial_rngs ~seed:(point_seed seed 70 n) ~trials in
+        let per_trial =
+          Sweep.map_trials ?pool
+            (fun rng ->
+              let g = Exp_util.regular_graph rng ~n ~d:3 in
+              let plain_t = Exp_util.vertex_cover_eprocess rng g in
+              let g2 = Ops.double_edges g in
+              (plain_t, Exp_util.vertex_cover_eprocess rng g2))
+            rngs
+        in
         let plain = Stats.Online.create () and doubled = Stats.Online.create () in
         Array.iter
-          (fun rng ->
-            let g = Exp_util.regular_graph rng ~n ~d:3 in
-            (match Exp_util.vertex_cover_eprocess rng g with
+          (fun (plain_t, doubled_t) ->
+            (match plain_t with
             | Some t -> Stats.Online.add plain (fl t /. fl n)
             | None -> ());
-            let g2 = Ops.double_edges g in
-            match Exp_util.vertex_cover_eprocess rng g2 with
+            match doubled_t with
             | Some t -> Stats.Online.add doubled (fl t /. fl n)
             | None -> ())
-          rngs;
+          per_trial;
         if Stats.Online.count plain = 0 || Stats.Online.count doubled = 0 then []
         else
           [
@@ -528,7 +577,7 @@ let doubled_odd ~scale ~seed =
       ];
   }
 
-let high_girth ~scale ~seed =
+let high_girth ~pool ~scale ~seed =
   let n = match scale with Sweep.Tiny -> 500 | _ -> 10_000 in
   let targets = [ 3; 6 ] in
   let trials = match scale with Sweep.Tiny -> 2 | _ -> 3 in
@@ -536,33 +585,44 @@ let high_girth ~scale ~seed =
     List.filter_map
       (fun target ->
         let rngs = Sweep.trial_rngs ~seed:(point_seed seed (80 + target) n) ~trials in
+        let per_trial =
+          Sweep.map_trials ?pool
+            (fun rng ->
+              let g = Exp_util.regular_graph rng ~n ~d:4 in
+              let g =
+                if target > 3 then Switch.boost_girth rng g ~target else g
+              in
+              let girth =
+                match Girth.girth_at_most g 24 with Some x -> x | None -> 24
+              in
+              let gap =
+                1.0
+                -. Ewalk_spectral.Spectral.lambda_max_power ~tol:1e-7
+                     ~max_iter:2_000 g
+              in
+              let bound =
+                Ewalk_theory.Bounds.theorem3_edge_cover ~m:(Graph.m g) ~girth
+                  ~max_degree:4 ~gap:(Float.max gap 1e-6) n
+              in
+              let ce_ratio =
+                match Exp_util.edge_cover_eprocess rng g with
+                | Some t -> Some (fl t /. fl (Graph.m g))
+                | None -> None
+              in
+              (girth, bound /. fl (Graph.m g), ce_ratio))
+            rngs
+        in
         let ce = Stats.Online.create () in
         let bound_acc = Stats.Online.create () in
         let girth_min = ref max_int in
         Array.iter
-          (fun rng ->
-            let g = Exp_util.regular_graph rng ~n ~d:4 in
-            let g =
-              if target > 3 then Switch.boost_girth rng g ~target else g
-            in
-            let girth =
-              match Girth.girth_at_most g 24 with Some x -> x | None -> 24
-            in
+          (fun (girth, bound_ratio, ce_ratio) ->
             if girth < !girth_min then girth_min := girth;
-            let gap =
-              1.0
-              -. Ewalk_spectral.Spectral.lambda_max_power ~tol:1e-7
-                   ~max_iter:2_000 g
-            in
-            let bound =
-              Ewalk_theory.Bounds.theorem3_edge_cover ~m:(Graph.m g) ~girth
-                ~max_degree:4 ~gap:(Float.max gap 1e-6) n
-            in
-            Stats.Online.add bound_acc (bound /. fl (Graph.m g));
-            match Exp_util.edge_cover_eprocess rng g with
-            | Some t -> Stats.Online.add ce (fl t /. fl (Graph.m g))
+            Stats.Online.add bound_acc bound_ratio;
+            match ce_ratio with
+            | Some x -> Stats.Online.add ce x
             | None -> ())
-          rngs;
+          per_trial;
         if Stats.Online.count ce = 0 then None
         else
           Some

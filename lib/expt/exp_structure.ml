@@ -11,7 +11,7 @@ let fl = float_of_int
 
 let point_seed seed tag n = seed + (15_485_863 * tag) + n
 
-let spectral_p1 ~scale ~seed =
+let spectral_p1 ~pool ~scale ~seed =
   let degrees = [ 3; 4; 6; 8 ] in
   let sizes = Sweep.spectral_sizes scale in
   let rows =
@@ -22,7 +22,7 @@ let spectral_p1 ~scale ~seed =
             if n * r mod 2 = 1 then None
             else begin
               let s =
-                Sweep.mean_of_trials ~seed:(point_seed seed r n)
+                Sweep.mean_of_trials ?pool ~seed:(point_seed seed r n)
                   ~trials:(Sweep.trials scale) (fun rng ->
                     let g = Exp_util.regular_graph rng ~n ~d:r in
                     Ewalk_spectral.Spectral.adjacency_lambda_2 ~tol:1e-8
@@ -55,7 +55,7 @@ let spectral_p1 ~scale ~seed =
       ];
   }
 
-let density_p2 ~scale ~seed =
+let density_p2 ~pool ~scale ~seed =
   let sizes = Sweep.spectral_sizes scale in
   let samples =
     match scale with Sweep.Tiny -> 100 | Sweep.Default -> 500 | Sweep.Full -> 2_000
@@ -64,16 +64,24 @@ let density_p2 ~scale ~seed =
     List.map
       (fun n ->
         let s_size = max 4 (int_of_float (log (fl n))) in
+        (* Per-trial (allowance, density) pairs; the fold keeps the last
+           trial's allowance, matching the sequential last-write-wins. *)
+        let per_trial =
+          Sweep.map_trials ?pool
+            (fun rng ->
+              let g = Exp_util.regular_graph rng ~n ~d:4 in
+              ( Density.p2_excess_allowance g ~s:s_size,
+                Density.max_density_sampled rng g ~s:s_size ~samples ))
+            (Sweep.trial_rngs ~seed:(point_seed seed 2 n)
+               ~trials:(Sweep.trials scale))
+        in
         let worst = ref 0 in
         let allowance = ref 0 in
         Array.iter
-          (fun rng ->
-            let g = Exp_util.regular_graph rng ~n ~d:4 in
-            allowance := Density.p2_excess_allowance g ~s:s_size;
-            let d = Density.max_density_sampled rng g ~s:s_size ~samples in
+          (fun (a, d) ->
+            allowance := a;
             if d > !worst then worst := d)
-          (Sweep.trial_rngs ~seed:(point_seed seed 2 n)
-             ~trials:(Sweep.trials scale));
+          per_trial;
         [
           Table.cell_i n;
           Table.cell_i s_size;
@@ -96,7 +104,7 @@ let density_p2 ~scale ~seed =
       ];
   }
 
-let ell_good ~scale ~seed =
+let ell_good ~pool:_ ~scale ~seed =
   let sizes =
     match scale with
     | Sweep.Tiny -> [ 30; 60 ]
@@ -206,7 +214,7 @@ let invariant_row name g rng even_expected =
     (if even_expected then "all must hold" else "expected to fail");
   ]
 
-let blue_invariants ~scale ~seed =
+let blue_invariants ~pool:_ ~scale ~seed =
   let n = match scale with Sweep.Tiny -> 300 | _ -> 3_000 in
   let rng = Ewalk_prng.Rng.create ~seed:(point_seed seed 4 n) () in
   let rows =
@@ -288,7 +296,7 @@ let star_trial rng ~n ~d =
   done;
   (!max_simul, Hashtbl.length ever, !surrounded, Eprocess.steps t)
 
-let stars_r3 ~scale ~seed =
+let stars_r3 ~pool ~scale ~seed =
   let sizes =
     match scale with
     | Sweep.Tiny -> [ 2_000 ]
@@ -303,18 +311,20 @@ let stars_r3 ~scale ~seed =
           (fun n ->
             let trials = Sweep.trials scale in
             let rngs = Sweep.trial_rngs ~seed:(point_seed seed (5 + d) n) ~trials in
+            let per_trial =
+              Sweep.map_trials ?pool (fun rng -> star_trial rng ~n ~d) rngs
+            in
             let max_s = Stats.Online.create ()
             and ever_s = Stats.Online.create ()
             and surr_s = Stats.Online.create ()
             and cover_s = Stats.Online.create () in
             Array.iter
-              (fun rng ->
-                let max_simul, ever, surrounded, cover = star_trial rng ~n ~d in
+              (fun (max_simul, ever, surrounded, cover) ->
                 Stats.Online.add max_s (fl max_simul /. fl n);
                 Stats.Online.add ever_s (fl ever /. fl n);
                 Stats.Online.add surr_s (fl surrounded /. fl n);
                 Stats.Online.add cover_s (fl cover /. (fl n *. log (fl n))))
-              rngs;
+              per_trial;
             [
               Table.cell_i d;
               Table.cell_i n;
@@ -350,7 +360,7 @@ let stars_r3 ~scale ~seed =
       ];
   }
 
-let cycle_census ~scale ~seed =
+let cycle_census ~pool ~scale ~seed =
   let n, max_len =
     match scale with
     | Sweep.Tiny -> (500, 6)
@@ -360,13 +370,18 @@ let cycle_census ~scale ~seed =
   let r = 4 in
   let trials = Sweep.trials scale in
   let rngs = Sweep.trial_rngs ~seed:(point_seed seed 6 n) ~trials in
+  let per_trial =
+    Sweep.map_trials ?pool
+      (fun rng ->
+        let g = Exp_util.regular_graph rng ~n ~d:r in
+        Girth.count_cycles g ~max_len)
+      rngs
+  in
+  (* Sum in trial order so float accumulation matches the sequential run. *)
   let sums = Array.make (max_len + 1) 0.0 in
   Array.iter
-    (fun rng ->
-      let g = Exp_util.regular_graph rng ~n ~d:r in
-      let counts = Girth.count_cycles g ~max_len in
-      Array.iteri (fun k c -> sums.(k) <- sums.(k) +. fl c) counts)
-    rngs;
+    (fun counts -> Array.iteri (fun k c -> sums.(k) <- sums.(k) +. fl c) counts)
+    per_trial;
   let rows = ref [] in
   for k = 3 to max_len do
     let mean = sums.(k) /. fl trials in

@@ -1,28 +1,39 @@
 (** Structural experiments: spectra (P1), subgraph density (P2),
     [ell]-goodness, blue-subgraph invariants, the 3-regular star census and
-    the small-cycle census. *)
+    the small-cycle census.
 
-val spectral_p1 : scale:Sweep.scale -> seed:int -> Table.t
+    Every experiment takes a [~pool] ([None] for the sequential path);
+    trial sweeps then shard across the pool's domains with bit-identical
+    tables.  [ell_good] and [blue_invariants] have no independent trial
+    generators and always run sequentially. *)
+
+val spectral_p1 :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Property P1 (Friedman): measured second adjacency eigenvalue of random
     [r]-regular graphs vs [2 sqrt (r-1) + eps]. *)
 
-val density_p2 : scale:Sweep.scale -> seed:int -> Table.t
+val density_p2 :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Property P2: sampled connected [s]-sets never induce more than [s + a]
     edges. *)
 
-val ell_good : scale:Sweep.scale -> seed:int -> Table.t
+val ell_good :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Corollary 2's engine: certified [ell(v)] bounds on small even-regular
     graphs, against the P2-implied [log n / (4 log re)]. *)
 
-val blue_invariants : scale:Sweep.scale -> seed:int -> Table.t
+val blue_invariants :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Observations 10/11: blue phases return to their start vertex and blue
     degrees stay even on even-degree graphs — and both fail on odd-degree
     graphs. *)
 
-val stars_r3 : scale:Sweep.scale -> seed:int -> Table.t
+val stars_r3 :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Section 5: fraction of vertices stranded at the centre of an isolated
     blue star on random 3-regular graphs, vs the predicted 1/8. *)
 
-val cycle_census : scale:Sweep.scale -> seed:int -> Table.t
+val cycle_census :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Corollary 4's proof: measured [N_k] vs [E N_k = (r-1)^k / 2k] on random
     regular graphs. *)

@@ -1,7 +1,7 @@
 type entry = {
   id : string;
   paper_item : string;
-  run : scale:Sweep.scale -> seed:int -> Table.t;
+  run : pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t;
 }
 
 let all =
@@ -134,9 +134,9 @@ let find id = List.find_opt (fun e -> e.id = id) all
 
 let ids () = List.map (fun e -> e.id) all
 
-let run_timed e ~scale ~seed =
+let run_timed ?pool e ~scale ~seed =
   let table, span =
-    Ewalk_obs.Timer.with_span e.id (fun () -> e.run ~scale ~seed)
+    Ewalk_obs.Timer.with_span e.id (fun () -> e.run ~pool ~scale ~seed)
   in
   (table, Ewalk_obs.Timer.elapsed span)
 

@@ -4,7 +4,7 @@
 type entry = {
   id : string;
   paper_item : string; (** which figure / theorem / equation it reproduces *)
-  run : scale:Sweep.scale -> seed:int -> Table.t;
+  run : pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t;
 }
 
 val all : entry list
@@ -15,9 +15,12 @@ val find : string -> entry option
 
 val ids : unit -> string list
 
-val run_timed : entry -> scale:Sweep.scale -> seed:int -> Table.t * float
+val run_timed :
+  ?pool:Ewalk_par.Pool.t ->
+  entry -> scale:Sweep.scale -> seed:int -> Table.t * float
 (** Run one experiment under an {!Ewalk_obs.Timer} span; returns the table
-    and the wall seconds it took. *)
+    and the wall seconds it took.  With [pool], trial sweeps shard across
+    its domains (tables stay bit-identical to the sequential run). *)
 
 val record_run :
   Ewalk_obs.Metrics.t -> entry -> table:Table.t -> seconds:float -> unit

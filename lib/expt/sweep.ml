@@ -42,28 +42,38 @@ let hypercube_dims = function
 let trials = function Tiny -> 2 | Default -> 3 | Full -> 5
 
 let trial_rngs ~seed ~trials =
+  if trials <= 0 then
+    invalid_arg
+      (Printf.sprintf "Sweep.trial_rngs: trials must be positive (got %d)"
+         trials);
   let root = Rng.create ~seed () in
   Rng.split_n root trials
 
 (* One tick per trial, printed only when EWALK_PROGRESS is set — the
-   heartbeat for full-scale sweeps that run for minutes per data point. *)
-let map_trials ?(label = "trials") f rngs =
+   heartbeat for full-scale sweeps that run for minutes per data point.
+   With a pool, trials shard across its domains; each trial still consumes
+   only its own split generator and lands at its own index, so the result
+   array is bit-identical to the sequential path for every job count. *)
+let map_trials ?pool ?(label = "trials") f rngs =
   Ewalk_obs.Progress.with_reporter ~total:(Array.length rngs) ~label
     (fun tick ->
-      Array.map
-        (fun rng ->
-          let x = f rng in
-          tick ();
-          x)
-        rngs)
+      let run_one rng =
+        let x = f rng in
+        tick ();
+        x
+      in
+      match pool with
+      | Some p when Ewalk_par.Pool.jobs p > 1 ->
+          Ewalk_par.Pool.map_array ~chunk:1 p run_one rngs
+      | _ -> Array.map run_one rngs)
 
-let mean_of_trials ?label ~seed ~trials f =
+let mean_of_trials ?pool ?label ~seed ~trials f =
   let rngs = trial_rngs ~seed ~trials in
-  Stats.summarize (map_trials ?label f rngs)
+  Stats.summarize (map_trials ?pool ?label f rngs)
 
-let mean_cover_of_trials ?label ~seed ~trials f =
+let mean_cover_of_trials ?pool ?label ~seed ~trials f =
   let rngs = trial_rngs ~seed ~trials in
-  let results = map_trials ?label f rngs in
+  let results = map_trials ?pool ?label f rngs in
   if Array.exists (fun r -> r = None) results then None
   else
     Some

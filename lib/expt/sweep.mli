@@ -32,18 +32,34 @@ val trials : scale -> int
 (** Trials per data point (5 at [Full], as in the paper). *)
 
 val trial_rngs : seed:int -> trials:int -> Ewalk_prng.Rng.t array
-(** Independent per-trial generators derived from [seed]. *)
+(** Independent per-trial generators derived from [seed].
+    @raise Invalid_argument if [trials <= 0]. *)
 
-val mean_of_trials :
-  ?label:string -> seed:int -> trials:int -> (Ewalk_prng.Rng.t -> float) ->
-  Ewalk_analysis.Stats.summary
-(** Run the measurement once per trial generator and summarise.  When
+val map_trials :
+  ?pool:Ewalk_par.Pool.t ->
+  ?label:string ->
+  (Ewalk_prng.Rng.t -> 'a) ->
+  Ewalk_prng.Rng.t array ->
+  'a array
+(** Run the measurement once per trial generator; result [i] comes from
+    generator [i].  With [pool], trials shard across the pool's domains —
+    because each trial draws only from its own generator, the result array
+    is bit-identical to the sequential path regardless of job count.  When
     [EWALK_PROGRESS=1], a throttled {!Ewalk_obs.Progress} heartbeat
     (tagged [label], default ["trials"]) ticks once per finished trial. *)
 
+val mean_of_trials :
+  ?pool:Ewalk_par.Pool.t ->
+  ?label:string -> seed:int -> trials:int -> (Ewalk_prng.Rng.t -> float) ->
+  Ewalk_analysis.Stats.summary
+(** {!map_trials} over {!trial_rngs}, summarised.
+    @raise Invalid_argument if [trials <= 0]. *)
+
 val mean_cover_of_trials :
+  ?pool:Ewalk_par.Pool.t ->
   ?label:string -> seed:int -> trials:int ->
   (Ewalk_prng.Rng.t -> int option) ->
   Ewalk_analysis.Stats.summary option
 (** Like {!mean_of_trials} for capped runs: [None] if {e any} trial hit its
-    cap (a partial mean would understate the truth). *)
+    cap (a partial mean would understate the truth).
+    @raise Invalid_argument if [trials <= 0]. *)

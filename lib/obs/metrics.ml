@@ -1,8 +1,21 @@
-type counter = { mutable count : int }
+(* Thread-safety: a registry may be updated from several domains at once
+   (trial sweeps run inside Ewalk_par.Pool).  Counters and gauges are
+   lock-free Atomics; histograms update several fields per observation, so
+   each carries its own mutex; the instrument table itself is guarded by the
+   registry mutex.  [snapshot] locks only the registry and each histogram in
+   turn, so it can run concurrently with updates and still serialise a
+   well-formed (per-instrument-consistent) document. *)
 
-type gauge = { mutable value : float; mutable g_set : bool }
+(* A counter IS its atomic cell (no wrapper record): the hot-loop
+   increment is one load plus one lock-prefixed add. *)
+type counter = int Atomic.t
+
+type gstate = { g_value : float; g_set : bool }
+
+type gauge = { g : gstate Atomic.t }
 
 type histogram = {
+  h_mutex : Mutex.t;
   bounds : float array; (* ascending upper bounds, exclusive of +inf *)
   bucket_counts : int array; (* length = Array.length bounds + 1 *)
   mutable h_count : int;
@@ -13,69 +26,79 @@ type histogram = {
 
 type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
 
-type t = { instruments : (string, instrument) Hashtbl.t }
+type t = {
+  t_mutex : Mutex.t;
+  instruments : (string, instrument) Hashtbl.t;
+}
 
-let create () = { instruments = Hashtbl.create 16 }
+let create () = { t_mutex = Mutex.create (); instruments = Hashtbl.create 16 }
 
 let clash name =
   invalid_arg
     (Printf.sprintf "Metrics: %S already registered with a different kind" name)
 
+(* Registration is find-or-create under the registry mutex, so two domains
+   registering the same name concurrently get the same instrument.  [make]
+   must not raise (argument validation happens before the lock). *)
+let register t name ~make ~cast =
+  Mutex.lock t.t_mutex;
+  let instr =
+    match Hashtbl.find_opt t.instruments name with
+    | Some instr -> instr
+    | None ->
+        let fresh = make () in
+        Hashtbl.add t.instruments name fresh;
+        fresh
+  in
+  Mutex.unlock t.t_mutex;
+  match cast instr with Some x -> x | None -> clash name
+
 let counter t name =
-  match Hashtbl.find_opt t.instruments name with
-  | Some (Counter c) -> c
-  | Some _ -> clash name
-  | None ->
-      let c = { count = 0 } in
-      Hashtbl.add t.instruments name (Counter c);
-      c
+  register t name
+    ~make:(fun () -> Counter (Atomic.make 0))
+    ~cast:(function Counter c -> Some c | _ -> None)
 
 let gauge t name =
-  match Hashtbl.find_opt t.instruments name with
-  | Some (Gauge g) -> g
-  | Some _ -> clash name
-  | None ->
-      let g = { value = 0.0; g_set = false } in
-      Hashtbl.add t.instruments name (Gauge g);
-      g
+  register t name
+    ~make:(fun () -> Gauge { g = Atomic.make { g_value = 0.0; g_set = false } })
+    ~cast:(function Gauge g -> Some g | _ -> None)
 
 let default_buckets = Array.init 21 (fun i -> Float.of_int (1 lsl i))
 
 let histogram ?(buckets = default_buckets) t name =
-  match Hashtbl.find_opt t.instruments name with
-  | Some (Histogram h) -> h
-  | Some _ -> clash name
-  | None ->
-      if Array.length buckets = 0 then
-        invalid_arg "Metrics.histogram: empty buckets";
-      Array.iteri
-        (fun i b ->
-          if i > 0 && not (b > buckets.(i - 1)) then
-            invalid_arg "Metrics.histogram: buckets not increasing")
-        buckets;
-      let h =
+  if Array.length buckets = 0 then invalid_arg "Metrics.histogram: empty buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && not (b > buckets.(i - 1)) then
+        invalid_arg "Metrics.histogram: buckets not increasing")
+    buckets;
+  register t name
+    ~make:(fun () ->
+      Histogram
         {
+          h_mutex = Mutex.create ();
           bounds = Array.copy buckets;
           bucket_counts = Array.make (Array.length buckets + 1) 0;
           h_count = 0;
           sum = 0.0;
           min = Float.infinity;
           max = Float.neg_infinity;
-        }
-      in
-      Hashtbl.add t.instruments name (Histogram h);
-      h
+        })
+    ~cast:(function Histogram h -> Some h | _ -> None)
 
-let incr c = c.count <- c.count + 1
-let add c k = c.count <- c.count + k
-let value c = c.count
+let incr c = ignore (Atomic.fetch_and_add c 1)
+let add c k = ignore (Atomic.fetch_and_add c k)
+let value c = Atomic.get c
 
-let set g x =
-  g.value <- x;
-  g.g_set <- true
+let set g x = Atomic.set g.g { g_value = x; g_set = true }
 
-let set_max g x = if (not g.g_set) || x > g.value then set g x
-let gauge_value g = g.value
+let rec set_max g x =
+  let cur = Atomic.get g.g in
+  if (not cur.g_set) || x > cur.g_value then
+    if not (Atomic.compare_and_set g.g cur { g_value = x; g_set = true }) then
+      set_max g x
+
+let gauge_value g = (Atomic.get g.g).g_value
 
 let observe h x =
   let nb = Array.length h.bounds in
@@ -83,53 +106,74 @@ let observe h x =
   while !i < nb && x > h.bounds.(!i) do
     Stdlib.incr i
   done;
+  Mutex.lock h.h_mutex;
   h.bucket_counts.(!i) <- h.bucket_counts.(!i) + 1;
   h.h_count <- h.h_count + 1;
   h.sum <- h.sum +. x;
   if x < h.min then h.min <- x;
-  if x > h.max then h.max <- x
+  if x > h.max then h.max <- x;
+  Mutex.unlock h.h_mutex
 
-let hist_count h = h.h_count
-let hist_sum h = h.sum
+let hist_count h =
+  Mutex.lock h.h_mutex;
+  let n = h.h_count in
+  Mutex.unlock h.h_mutex;
+  n
+
+let hist_sum h =
+  Mutex.lock h.h_mutex;
+  let s = h.sum in
+  Mutex.unlock h.h_mutex;
+  s
 
 let hist_json h =
+  Mutex.lock h.h_mutex;
+  let bucket_counts = Array.copy h.bucket_counts in
+  let h_count = h.h_count and sum = h.sum and min = h.min and max = h.max in
+  Mutex.unlock h.h_mutex;
   let buckets =
     List.init
-      (Array.length h.bucket_counts)
+      (Array.length bucket_counts)
       (fun i ->
         let le =
           if i < Array.length h.bounds then Json.Float h.bounds.(i)
           else Json.String "+inf"
         in
-        Json.Obj [ ("le", le); ("count", Json.Int h.bucket_counts.(i)) ])
+        Json.Obj [ ("le", le); ("count", Json.Int bucket_counts.(i)) ])
   in
   Json.Obj
     [
-      ("count", Json.Int h.h_count);
-      ("sum", Json.Float h.sum);
-      ("min", if h.h_count = 0 then Json.Null else Json.Float h.min);
-      ("max", if h.h_count = 0 then Json.Null else Json.Float h.max);
+      ("count", Json.Int h_count);
+      ("sum", Json.Float sum);
+      ("min", if h_count = 0 then Json.Null else Json.Float min);
+      ("max", if h_count = 0 then Json.Null else Json.Float max);
       ("buckets", Json.List buckets);
     ]
 
 let snapshot t =
+  Mutex.lock t.t_mutex;
+  let entries =
+    Hashtbl.fold (fun name instr acc -> (name, instr) :: acc) t.instruments []
+  in
+  Mutex.unlock t.t_mutex;
   let sorted kind =
-    Hashtbl.fold
-      (fun name instr acc ->
-        match kind instr with Some j -> (name, j) :: acc | None -> acc)
-      t.instruments []
+    List.filter_map
+      (fun (name, instr) ->
+        match kind instr with Some j -> Some (name, j) | None -> None)
+      entries
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   Json.Obj
     [
       ( "counters",
         Json.Obj
-          (sorted (function Counter c -> Some (Json.Int c.count) | _ -> None))
-      );
+          (sorted (function
+            | Counter c -> Some (Json.Int (Atomic.get c))
+            | _ -> None)) );
       ( "gauges",
         Json.Obj
           (sorted (function
-            | Gauge g -> Some (Json.Float g.value)
+            | Gauge g -> Some (Json.Float (Atomic.get g.g).g_value)
             | _ -> None)) );
       ( "histograms",
         Json.Obj

@@ -8,7 +8,14 @@
 
     {!snapshot} serialises the whole registry to a deterministic JSON value
     (instruments sorted by name), which is what [eproc --metrics FILE]
-    writes and what the trace-determinism tests compare. *)
+    writes and what the trace-determinism tests compare.
+
+    All operations are safe under concurrent use from several domains (the
+    trial sweeps of [Ewalk_expt.Sweep] run inside [Ewalk_par.Pool]):
+    counters and gauges are lock-free atomics, histograms and the registry
+    are mutex-guarded.  Counter increments from different domains are exact
+    (never lost); a gauge holds the last value {e some} domain set, so under
+    a parallel sweep its final value reflects one (unspecified) trial. *)
 
 type t
 (** The registry. *)
@@ -30,8 +37,8 @@ val histogram : ?buckets:float array -> t -> string -> histogram
 (** A cumulative histogram over the given ascending upper bounds (an
     implicit [+inf] bucket is always appended).  Default buckets are
     powers of two [1, 2, 4, ..., 2^20] — sized for phase lengths and other
-    step-count-valued observations.  [buckets] is ignored when the name is
-    already registered.
+    step-count-valued observations.  [buckets] is validated on every call
+    but only used when the name is not yet registered.
     @raise Invalid_argument if [buckets] is empty or not increasing. *)
 
 val incr : counter -> unit

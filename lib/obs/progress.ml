@@ -1,9 +1,14 @@
+(* Thread-safety: the tick function handed out by [with_reporter] is called
+   from worker domains when a sweep runs inside Ewalk_par.Pool, so every
+   counter update and print happens under the reporter's mutex. *)
+
 type t = {
   out : out_channel;
   interval : float;
   total : int;
   label : string;
   started : float;
+  mutex : Mutex.t;
   mutable done_ : int;
   mutable last_print : float;
   mutable finished : bool;
@@ -21,12 +26,14 @@ let create ?(out = stderr) ?(interval = 1.0) ~total ~label () =
     total;
     label;
     started = Timer.now ();
+    mutex = Mutex.create ();
     done_ = 0;
     last_print = 0.0;
     finished = false;
   }
 
-let print t =
+(* Caller holds [t.mutex]. *)
+let print_locked t =
   let elapsed = Timer.now () -. t.started in
   let pct =
     if t.total <= 0 then 100.0
@@ -36,18 +43,22 @@ let print t =
     t.total elapsed
 
 let tick ?(amount = 1) t =
+  Mutex.lock t.mutex;
   t.done_ <- t.done_ + amount;
   let now = Timer.now () in
   if now -. t.last_print >= t.interval then begin
     t.last_print <- now;
-    print t
-  end
+    print_locked t
+  end;
+  Mutex.unlock t.mutex
 
 let finish t =
+  Mutex.lock t.mutex;
   if not t.finished then begin
     t.finished <- true;
-    print t
-  end
+    print_locked t
+  end;
+  Mutex.unlock t.mutex
 
 let with_reporter ?enabled:(on = enabled ()) ~total ~label f =
   if not on then f ignore

@@ -4,7 +4,12 @@
     {!finish}) to [stderr] by default, so a [full]-scale sweep that runs
     for minutes shows a heartbeat without drowning the terminal.  Enable it
     fleet-wide by exporting [EWALK_PROGRESS=1] — {!enabled} is the switch
-    the experiment scaffolding consults. *)
+    the experiment scaffolding consults.
+
+    Reporters are mutex-guarded: {!tick} and {!finish} may be called from
+    several domains at once (parallel trial sweeps tick from inside
+    [Ewalk_par.Pool] workers) without losing counts or interleaving
+    output. *)
 
 type t
 

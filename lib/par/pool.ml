@@ -1,0 +1,180 @@
+(* A spawn-once domain pool with a chunked work queue.
+
+   Architecture: [create] spawns [jobs - 1] worker domains that block on a
+   Condition until tasks appear in the shared queue.  A batch ([map_array])
+   never hands one closure per element to the queue; instead it enqueues up
+   to [jobs - 1] "helper" tasks that all drain the same atomic chunk cursor,
+   and the calling domain drains it too.  This keeps queue traffic at
+   O(jobs) per batch regardless of the array size, and means the caller
+   makes progress even when every worker is busy with another batch (so
+   nested batches cannot deadlock - they just degrade toward sequential). *)
+
+type batch_state = {
+  b_mutex : Mutex.t;
+  b_done : Condition.t;
+  mutable pending : int; (* helper tasks that have not yet finished *)
+  mutable failed : (exn * Printexc.raw_backtrace) option; (* first failure *)
+}
+
+type t = {
+  pool_jobs : int;
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  tasks : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () =
+  let hardware () = max 1 (Domain.recommended_domain_count () - 1) in
+  match Sys.getenv_opt "EWALK_JOBS" with
+  | None | Some "" -> hardware ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ ->
+          Printf.eprintf
+            "ewalk: ignoring EWALK_JOBS=%S (want a positive integer)\n%!" s;
+          hardware ())
+
+let jobs t = t.pool_jobs
+
+(* Workers exit only once the pool is stopping AND the queue is drained, so
+   helper tasks enqueued before [shutdown] always run to completion (their
+   batches would otherwise wait on [pending] forever). *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.tasks && not t.stopping do
+    Condition.wait t.has_work t.mutex
+  done;
+  if Queue.is_empty t.tasks then Mutex.unlock t.mutex
+  else begin
+    let task = Queue.pop t.tasks in
+    Mutex.unlock t.mutex;
+    (try task () with _ -> ());
+    worker_loop t
+  end
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Pool.create: jobs must be >= 1 (got %d)" jobs);
+  let t =
+    {
+      pool_jobs = jobs;
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      tasks = Queue.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t task =
+  Mutex.lock t.mutex;
+  if t.stopping then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool: submit to a shut-down pool"
+  end;
+  Queue.push task t.tasks;
+  Condition.signal t.has_work;
+  Mutex.unlock t.mutex
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let already = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  if not already then begin
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Drain chunks from a shared cursor until the input is exhausted, another
+   lane has failed, or this lane fails (recording the first exception). *)
+let drain_chunks ~src ~dst ~f ~chunk ~cursor ~stop ~state =
+  let n = Array.length src in
+  let continue_ = ref true in
+  while !continue_ do
+    if Atomic.get stop then continue_ := false
+    else begin
+      let start = Atomic.fetch_and_add cursor chunk in
+      if start >= n then continue_ := false
+      else begin
+        let limit = min n (start + chunk) in
+        try
+          for i = start to limit - 1 do
+            dst.(i) <- Some (f src.(i))
+          done
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Atomic.set stop true;
+          Mutex.lock state.b_mutex;
+          if state.failed = None then state.failed <- Some (e, bt);
+          Mutex.unlock state.b_mutex;
+          continue_ := false
+      end
+    end
+  done
+
+let map_array ?chunk t f src =
+  let n = Array.length src in
+  (match chunk with
+  | Some c when c < 1 ->
+      invalid_arg (Printf.sprintf "Pool.map_array: chunk must be >= 1 (got %d)" c)
+  | _ -> ());
+  if t.pool_jobs <= 1 || n <= 1 then Array.map f src
+  else begin
+    let chunk =
+      match chunk with
+      | Some c -> c
+      | None -> max 1 (n / (t.pool_jobs * 4))
+    in
+    let dst = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let stop = Atomic.make false in
+    let state =
+      {
+        b_mutex = Mutex.create ();
+        b_done = Condition.create ();
+        pending = 0;
+        failed = None;
+      }
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let helpers = min (t.pool_jobs - 1) nchunks in
+    state.pending <- helpers;
+    for _ = 1 to helpers do
+      submit t (fun () ->
+          drain_chunks ~src ~dst ~f ~chunk ~cursor ~stop ~state;
+          Mutex.lock state.b_mutex;
+          state.pending <- state.pending - 1;
+          if state.pending = 0 then Condition.broadcast state.b_done;
+          Mutex.unlock state.b_mutex)
+    done;
+    drain_chunks ~src ~dst ~f ~chunk ~cursor ~stop ~state;
+    Mutex.lock state.b_mutex;
+    while state.pending > 0 do
+      Condition.wait state.b_done state.b_mutex
+    done;
+    let failed = state.failed in
+    Mutex.unlock state.b_mutex;
+    match failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map
+          (function Some x -> x | None -> assert false (* every index claimed *))
+          dst
+  end
+
+let run t thunks =
+  Array.to_list
+    (map_array ~chunk:1 t (fun thunk -> thunk ()) (Array.of_list thunks))

@@ -1,0 +1,60 @@
+(** A reusable OCaml 5 domain pool for embarrassingly parallel trial sweeps.
+
+    The pool spawns its worker domains once ({!create}) and reuses them for
+    every subsequent batch, so per-batch overhead is a few mutex operations
+    rather than a domain spawn.  Work is distributed in chunks pulled from a
+    shared cursor; the calling domain participates in every batch, so a pool
+    with [jobs = k] runs [k] lanes of work on [k - 1] spawned domains.
+
+    Determinism contract: {!map_array} writes result [i] from input [i] —
+    results are positional, never completion-ordered.  A caller that gives
+    each element its own independent random stream (as
+    [Ewalk_expt.Sweep.trial_rngs] does via [Rng.split_n]) therefore gets
+    results that are bit-identical to the sequential path regardless of the
+    job count or chunk size.
+
+    A pool with [jobs = 1] spawns no domains at all: every batch runs
+    sequentially in the caller, making [jobs=1] a guaranteed-equivalent
+    fallback (and the reference implementation the determinism tests compare
+    against). *)
+
+type t
+(** A pool of worker domains plus a shared work queue. *)
+
+val default_jobs : unit -> int
+(** Job count used when [create] is given no [jobs]: the value of the
+    [EWALK_JOBS] environment variable if set to a positive integer, else
+    [max 1 (Domain.recommended_domain_count () - 1)] (one lane is left for
+    the calling domain's housekeeping).  A malformed [EWALK_JOBS] is
+    reported on [stderr] and ignored. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (none when
+    [jobs <= 1]).  Defaults to {!default_jobs}.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** The number of parallel lanes (including the calling domain). *)
+
+val map_array : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f a] is [Array.map f a], computed in parallel.  Elements
+    are claimed in contiguous chunks of [chunk] (default: a chunk size that
+    yields a few chunks per lane, at least 1); results land at their input's
+    index.  If any application of [f] raises, the first exception (in
+    completion order) is re-raised in the caller after the batch quiesces,
+    and the pool remains usable.  Safe to call again after an exception and
+    safe to call from code already running inside another pool's batch.
+    @raise Invalid_argument if [chunk < 1]. *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** [run pool thunks] evaluates the thunks in parallel (chunk size 1) and
+    returns their results in input order.  Same exception contract as
+    {!map_array}. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains.  Idempotent.  Submitting new batches to a
+    shut-down pool with [jobs > 1] raises [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] creates a pool, passes it to [f] and shuts it down
+    afterwards (also on exceptions). *)

@@ -100,6 +100,21 @@ let sweep_trial_rngs_deterministic () =
   Alcotest.(check bool) "trials differ" true
     (stream c.(0) <> stream c.(1))
 
+let sweep_trial_rngs_rejects_nonpositive () =
+  Alcotest.check_raises "zero trials"
+    (Invalid_argument "Sweep.trial_rngs: trials must be positive (got 0)")
+    (fun () -> ignore (Sweep.trial_rngs ~seed:1 ~trials:0));
+  Alcotest.check_raises "negative trials"
+    (Invalid_argument "Sweep.trial_rngs: trials must be positive (got -3)")
+    (fun () -> ignore (Sweep.trial_rngs ~seed:1 ~trials:(-3)));
+  Alcotest.check_raises "mean_of_trials inherits the check"
+    (Invalid_argument "Sweep.trial_rngs: trials must be positive (got 0)")
+    (fun () -> ignore (Sweep.mean_of_trials ~seed:1 ~trials:0 (fun _ -> 0.0)));
+  Alcotest.check_raises "mean_cover_of_trials inherits the check"
+    (Invalid_argument "Sweep.trial_rngs: trials must be positive (got -1)")
+    (fun () ->
+      ignore (Sweep.mean_cover_of_trials ~seed:1 ~trials:(-1) (fun _ -> None)))
+
 let sweep_mean_of_trials () =
   let s = Sweep.mean_of_trials ~seed:1 ~trials:4 (fun _ -> 2.5) in
   Alcotest.(check (float 1e-12)) "constant mean" 2.5
@@ -226,6 +241,8 @@ let () =
         [
           Alcotest.test_case "scales" `Quick sweep_scales;
           Alcotest.test_case "trial rngs" `Quick sweep_trial_rngs_deterministic;
+          Alcotest.test_case "trial rngs reject nonpositive" `Quick
+            sweep_trial_rngs_rejects_nonpositive;
           Alcotest.test_case "mean of trials" `Quick sweep_mean_of_trials;
           Alcotest.test_case "mean cover poisoning" `Quick sweep_mean_cover;
         ] );

@@ -12,7 +12,9 @@ module Experiments = Ewalk_expt.Experiments
 module Table = Ewalk_expt.Table
 
 let run_experiment_test entry () =
-  let table = entry.Experiments.run ~scale:Ewalk_expt.Sweep.Tiny ~seed:2 in
+  let table =
+    entry.Experiments.run ~pool:None ~scale:Ewalk_expt.Sweep.Tiny ~seed:2
+  in
   Alcotest.(check string) "id propagated" entry.Experiments.id
     table.Table.id;
   Alcotest.(check bool) "has rows" true (List.length table.Table.rows > 0);
