@@ -1,4 +1,5 @@
-.PHONY: all build test test-par bench bench-json fmt fmt-check clean
+.PHONY: all build test test-par bench bench-json bench-baseline bench-check \
+	ci fmt fmt-check clean
 
 all: build
 
@@ -7,6 +8,10 @@ build:
 
 test:
 	dune runtest
+
+# Everything CI gates on: the build, the test suite, dune-file formatting,
+# and the bench regression check against the committed baseline.
+ci: build test fmt-check bench-check
 
 # The parallel-determinism gate: the whole suite must pass with the pool
 # disabled and with 4 domains (results are bit-identical by contract).
@@ -17,12 +22,34 @@ test-par:
 bench:
 	dune exec bench/main.exe
 
-# Regenerate BENCH_core.json (micro-bench ns/run, obs overhead, experiment
-# timings, and the jobs=1 vs jobs=4 parallel speedup + bit-identity check)
-# at tiny scale. Override the output path with EWALK_BENCH_JSON and the
-# domain count with --jobs / EWALK_JOBS.
+# Regenerate BENCH_core.json (micro-bench median/MAD/min, obs overhead,
+# experiment timings, and the jobs=1 vs jobs=4 parallel speedup +
+# bit-identity check) at tiny scale. Override the output path with
+# EWALK_BENCH_JSON and the domain count with --jobs / EWALK_JOBS.
 bench-json:
 	EWALK_BENCH_SCALE=tiny dune exec bench/main.exe -- --jobs 4
+
+# Micro-bench-only environment for the regression gate: tiny scale, no
+# experiment tables, no parallel section — just the kernel distributions
+# the ledger compares.
+BENCH_CHECK_ENV := EWALK_BENCH_SCALE=tiny EWALK_BENCH_SKIP_EXPERIMENTS=1 \
+	EWALK_BENCH_SKIP_PARALLEL=1
+
+# Refresh the committed baseline the regression gate compares against.
+# Run this (and commit BENCH_baseline.json) after an intentional perf
+# change; the run is not appended to the history ledger.
+bench-baseline:
+	$(BENCH_CHECK_ENV) EWALK_BENCH_JSON=BENCH_baseline.json \
+	  EWALK_BENCH_HISTORY=/dev/null dune exec bench/main.exe -- --jobs 1
+
+# The perf regression gate: measure the current tree's kernels and diff
+# them against the committed baseline with MAD-scaled tolerance.  Exits
+# non-zero iff a kernel median regressed beyond tolerance.
+bench-check:
+	$(BENCH_CHECK_ENV) EWALK_BENCH_JSON=_build/bench-check.json \
+	  EWALK_BENCH_HISTORY=/dev/null dune exec bench/main.exe -- --jobs 1
+	dune exec bin/eproc.exe -- bench-diff BENCH_baseline.json \
+	  _build/bench-check.json
 
 # The container has no ocamlformat, so `dune build @fmt` cannot check .ml
 # sources; format/check the dune files directly instead.

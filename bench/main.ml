@@ -1,22 +1,36 @@
 (* Benchmark harness.
 
-   Two sections:
+   Three sections:
 
-   1. Bechamel micro-benchmarks - one Test.make per experiment table,
-      benchmarking the computational kernel that dominates that table
-      (E-process stepping for the cover-time tables, mat-vec for the
-      spectral table, and so on).
+   1. Micro-benchmarks - one kernel per experiment table (E-process
+      stepping for the cover-time tables, mat-vec for the spectral table,
+      and so on), each measured as warmups plus >= 10 timed repetitions
+      and summarised by median / MAD / min (Ewalk_obs.Benchstat).  The
+      observability overhead is a median of interleaved paired ratios, so
+      it cannot go negative from drift between two separately sampled
+      estimates.
 
    2. The experiment tables themselves - running every experiment of
       DESIGN.md section 4 at the scale selected by EWALK_BENCH_SCALE
       (tiny / default / full) and printing the same rows/series the paper
       reports.  `full` matches the paper's n (Figure 1 up to 5*10^5,
-      5 trials per point). *)
+      5 trials per point).
 
-open Bechamel
-open Toolkit
+   3. The bench ledger - BENCH_core.json is the machine-readable snapshot
+      of this run, and one schema-versioned record per run is appended to
+      BENCH_history.jsonl (Ewalk_obs.Ledger), which `eproc bench-diff` /
+      `make bench-check` gate regressions against.
+
+   Skip knobs (all env, value "1"): EWALK_BENCH_SKIP_MICRO,
+   EWALK_BENCH_SKIP_EXPERIMENTS, EWALK_BENCH_SKIP_PARALLEL.  Output paths:
+   EWALK_BENCH_JSON (default BENCH_core.json), EWALK_BENCH_HISTORY
+   (default BENCH_history.jsonl). *)
+
 module Rng = Ewalk_prng.Rng
 module Graph = Ewalk_graph.Graph
+module Benchstat = Ewalk_obs.Benchstat
+module Ledger = Ewalk_obs.Ledger
+module Prof = Ewalk_obs.Prof
 
 (* -- shared fixtures (built once; kernels must not mutate them) ----------- *)
 
@@ -36,45 +50,44 @@ let bench_eprocess_steps () =
   (* fig1, thm1-scaling, rule-independence, odd-even-frontier *)
   let g = Lazy.force fixture_regular in
   let rng = Rng.create ~seed:99 () in
-  Staged.stage (fun () ->
-      let t = Ewalk.Eprocess.create g rng ~start:0 in
-      Ewalk.Cover.run_steps (Ewalk.Eprocess.process t) 10_000)
+  fun () ->
+    let t = Ewalk.Eprocess.create g rng ~start:0 in
+    Ewalk.Cover.run_steps (Ewalk.Eprocess.process t) 10_000
 
 let bench_srw_steps () =
   (* srw-lower, blanket-r-visits *)
   let g = Lazy.force fixture_regular in
   let rng = Rng.create ~seed:98 () in
-  Staged.stage (fun () ->
-      let t = Ewalk.Srw.create g rng ~start:0 in
-      Ewalk.Cover.run_steps (Ewalk.Srw.process t) 10_000)
+  fun () ->
+    let t = Ewalk.Srw.create g rng ~start:0 in
+    Ewalk.Cover.run_steps (Ewalk.Srw.process t) 10_000
 
 let bench_edge_cover () =
   (* edge-cover-sandwich, hypercube-edge, grw-bound, cor4-edge *)
   let g = Lazy.force fixture_hypercube in
   let rng = Rng.create ~seed:97 () in
-  Staged.stage (fun () ->
-      let t = Ewalk.Eprocess.create g rng ~start:0 in
-      ignore (Ewalk.Cover.run_until_edge_cover (Ewalk.Eprocess.process t)))
+  fun () ->
+    let t = Ewalk.Eprocess.create g rng ~start:0 in
+    ignore (Ewalk.Cover.run_until_edge_cover (Ewalk.Eprocess.process t))
 
 let bench_matvec () =
   (* spectral-p1 *)
   let csr = Lazy.force fixture_csr in
   let x = Array.make (Ewalk_linalg.Csr.dim csr) 1.0 in
   let y = Array.make (Ewalk_linalg.Csr.dim csr) 0.0 in
-  Staged.stage (fun () -> Ewalk_linalg.Csr.mul_vec_into csr x y)
+  fun () -> Ewalk_linalg.Csr.mul_vec_into csr x y
 
 let bench_connected_set () =
   (* density-p2 *)
   let g = Lazy.force fixture_regular in
   let rng = Rng.create ~seed:96 () in
-  Staged.stage (fun () ->
-      ignore (Ewalk_analysis.Subgraph_density.random_connected_set rng g ~s:9))
+  fun () ->
+    ignore (Ewalk_analysis.Subgraph_density.random_connected_set rng g ~s:9)
 
 let bench_ell () =
   (* ell-good *)
   let g = Lazy.force fixture_regular in
-  Staged.stage (fun () ->
-      ignore (Ewalk_analysis.Goodness.ell_of_vertex g 0 ~max_len:8))
+  fun () -> ignore (Ewalk_analysis.Goodness.ell_of_vertex g 0 ~max_len:8)
 
 let bench_blue_components () =
   (* blue-invariants, stars-r3 *)
@@ -83,29 +96,26 @@ let bench_blue_components () =
   let t = Ewalk.Eprocess.create g rng ~start:0 in
   Ewalk.Cover.run_steps (Ewalk.Eprocess.process t) (Graph.n g);
   let flags = Ewalk.Coverage.visited_edge_flags (Ewalk.Eprocess.coverage t) in
-  Staged.stage (fun () ->
-      ignore (Ewalk_analysis.Blue.components g ~visited:flags))
+  fun () -> ignore (Ewalk_analysis.Blue.components g ~visited:flags)
 
 let bench_count_cycles () =
   (* cycle-census *)
   let rng = Rng.create ~seed:94 () in
   let g = Ewalk_graph.Gen_regular.random_regular_connected rng 500 4 in
-  Staged.stage (fun () ->
-      ignore (Ewalk_graph.Girth.count_cycles g ~max_len:6))
+  fun () -> ignore (Ewalk_graph.Girth.count_cycles g ~max_len:6)
 
 let bench_rotor_steps () =
   (* process-compare *)
   let g = Lazy.force fixture_regular in
   let rng = Rng.create ~seed:93 () in
-  Staged.stage (fun () ->
-      let t = Ewalk.Rotor.create g rng ~start:0 in
-      Ewalk.Cover.run_steps (Ewalk.Rotor.process t) 10_000)
+  fun () ->
+    let t = Ewalk.Rotor.create g rng ~start:0 in
+    Ewalk.Cover.run_steps (Ewalk.Rotor.process t) 10_000
 
 let bench_generator () =
   (* all tables consume this generator *)
   let rng = Rng.create ~seed:92 () in
-  Staged.stage (fun () ->
-      ignore (Ewalk_graph.Gen_regular.random_regular rng 2_000 4))
+  fun () -> ignore (Ewalk_graph.Gen_regular.random_regular rng 2_000 4)
 
 (* Ablation (DESIGN.md section 5): the E-process with naive O(deg) rescan of
    the adjacency instead of the swap-partition bookkeeping.  Same trajectory
@@ -113,42 +123,41 @@ let bench_generator () =
 let bench_naive_eprocess () =
   let g = Lazy.force fixture_regular in
   let rng = Rng.create ~seed:91 () in
-  Staged.stage (fun () ->
-      let visited = Array.make (Graph.m g) false in
-      let pos = ref 0 in
-      for _ = 1 to 10_000 do
-        let v = !pos in
-        let deg = Graph.degree g v in
-        (* Rescan: count unvisited slots, then pick one uniformly. *)
-        let unvisited = ref 0 in
-        for i = 0 to deg - 1 do
-          if not visited.(Graph.neighbor_edge g v i) then incr unvisited
-        done;
-        let slot =
-          if !unvisited > 0 then begin
-            let target = Rng.int rng !unvisited in
-            let seen = ref 0 and found = ref 0 in
-            for i = 0 to deg - 1 do
-              if not visited.(Graph.neighbor_edge g v i) then begin
-                if !seen = target then found := i;
-                incr seen
-              end
-            done;
-            !found
-          end
-          else Rng.int rng deg
-        in
-        let e = Graph.neighbor_edge g v slot in
-        visited.(e) <- true;
-        pos := Graph.neighbor g v slot
-      done)
+  fun () ->
+    let visited = Array.make (Graph.m g) false in
+    let pos = ref 0 in
+    for _ = 1 to 10_000 do
+      let v = !pos in
+      let deg = Graph.degree g v in
+      (* Rescan: count unvisited slots, then pick one uniformly. *)
+      let unvisited = ref 0 in
+      for i = 0 to deg - 1 do
+        if not visited.(Graph.neighbor_edge g v i) then incr unvisited
+      done;
+      let slot =
+        if !unvisited > 0 then begin
+          let target = Rng.int rng !unvisited in
+          let seen = ref 0 and found = ref 0 in
+          for i = 0 to deg - 1 do
+            if not visited.(Graph.neighbor_edge g v i) then begin
+              if !seen = target then found := i;
+              incr seen
+            end
+          done;
+          !found
+        end
+        else Rng.int rng deg
+      in
+      let e = Graph.neighbor_edge g v slot in
+      visited.(e) <- true;
+      pos := Graph.neighbor g v slot
+    done
 
 let bench_rejection_generator () =
   (* Ablation: exact-uniform pairing rejection vs Steger-Wormald (r = 3,
      where rejection is still viable). *)
   let rng = Rng.create ~seed:90 () in
-  Staged.stage (fun () ->
-      ignore (Ewalk_graph.Gen_regular.random_regular_rejection rng 2_000 3))
+  fun () -> ignore (Ewalk_graph.Gen_regular.random_regular_rejection rng 2_000 3)
 
 (* Observability overhead ablations against fig1:eprocess-10k-steps: the
    no-op bundle (null sink, no metrics — must stay within 5% of baseline)
@@ -156,108 +165,102 @@ let bench_rejection_generator () =
 let bench_eprocess_obs_null () =
   let g = Lazy.force fixture_regular in
   let rng = Rng.create ~seed:99 () in
-  Staged.stage (fun () ->
-      let t = Ewalk.Eprocess.create g rng ~start:0 in
-      let obs = Ewalk.Observe.create () in
-      Ewalk.Observe.attach_eprocess obs t;
-      let p = Ewalk.Observe.instrument obs (Ewalk.Eprocess.process t) in
-      Ewalk.Cover.run_steps p 10_000;
-      Ewalk.Observe.finish obs p)
+  fun () ->
+    let t = Ewalk.Eprocess.create g rng ~start:0 in
+    let obs = Ewalk.Observe.create () in
+    Ewalk.Observe.attach_eprocess obs t;
+    let p = Ewalk.Observe.instrument obs (Ewalk.Eprocess.process t) in
+    Ewalk.Cover.run_steps p 10_000;
+    Ewalk.Observe.finish obs p
 
 let bench_eprocess_obs_metrics () =
   let g = Lazy.force fixture_regular in
   let rng = Rng.create ~seed:99 () in
-  Staged.stage (fun () ->
-      let t = Ewalk.Eprocess.create g rng ~start:0 in
-      let obs =
-        Ewalk.Observe.create ~metrics:(Ewalk_obs.Metrics.create ()) ()
-      in
-      Ewalk.Observe.attach_eprocess obs t;
-      let p = Ewalk.Observe.instrument obs (Ewalk.Eprocess.process t) in
-      Ewalk.Cover.run_steps p 10_000;
-      Ewalk.Observe.finish obs p)
+  fun () ->
+    let t = Ewalk.Eprocess.create g rng ~start:0 in
+    let obs = Ewalk.Observe.create ~metrics:(Ewalk_obs.Metrics.create ()) () in
+    Ewalk.Observe.attach_eprocess obs t;
+    let p = Ewalk.Observe.instrument obs (Ewalk.Eprocess.process t) in
+    Ewalk.Cover.run_steps p 10_000;
+    Ewalk.Observe.finish obs p
 
-let tests =
-  Test.make_grouped ~name:"ewalk" ~fmt:"%s/%s"
-    [
-      Test.make ~name:"fig1:eprocess-10k-steps" (bench_eprocess_steps ());
-      Test.make ~name:"srw-lower:srw-10k-steps" (bench_srw_steps ());
-      Test.make ~name:"edge-cover:H8-edge-cover" (bench_edge_cover ());
-      Test.make ~name:"spectral-p1:matvec-10k" (bench_matvec ());
-      Test.make ~name:"density-p2:connected-set" (bench_connected_set ());
-      Test.make ~name:"ell-good:ell-of-vertex" (bench_ell ());
-      Test.make ~name:"blue:components-10k" (bench_blue_components ());
-      Test.make ~name:"cycle-census:count-cycles" (bench_count_cycles ());
-      Test.make ~name:"process-compare:rotor-10k-steps" (bench_rotor_steps ());
-      Test.make ~name:"generator:steger-wormald-2k" (bench_generator ());
-      Test.make ~name:"ablation:eprocess-naive-rescan" (bench_naive_eprocess ());
-      Test.make ~name:"ablation:generator-rejection-2k" (bench_rejection_generator ());
-      Test.make ~name:"obs:eprocess-10k-steps-nullsink" (bench_eprocess_obs_null ());
-      Test.make ~name:"obs:eprocess-10k-steps-metrics" (bench_eprocess_obs_metrics ());
-    ]
+let kernels () =
+  [
+    ("fig1:eprocess-10k-steps", bench_eprocess_steps ());
+    ("srw-lower:srw-10k-steps", bench_srw_steps ());
+    ("edge-cover:H8-edge-cover", bench_edge_cover ());
+    ("spectral-p1:matvec-10k", bench_matvec ());
+    ("density-p2:connected-set", bench_connected_set ());
+    ("ell-good:ell-of-vertex", bench_ell ());
+    ("blue:components-10k", bench_blue_components ());
+    ("cycle-census:count-cycles", bench_count_cycles ());
+    ("process-compare:rotor-10k-steps", bench_rotor_steps ());
+    ("generator:steger-wormald-2k", bench_generator ());
+    ("ablation:eprocess-naive-rescan", bench_naive_eprocess ());
+    ("ablation:generator-rejection-2k", bench_rejection_generator ());
+    ("obs:eprocess-10k-steps-nullsink", bench_eprocess_obs_null ());
+    ("obs:eprocess-10k-steps-metrics", bench_eprocess_obs_metrics ());
+  ]
+
+let pretty_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
 
 let run_micro_benchmarks () =
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
-  in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2_000 ~quota:(Time.second 0.5) ~stabilize:true ()
-  in
-  let raw = Benchmark.all cfg instances tests in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  print_endline "== micro-benchmarks (one kernel per experiment table) ==";
-  Printf.printf "%-40s %15s\n" "kernel" "time/run";
+  print_endline
+    "== micro-benchmarks (one kernel per experiment table; median of >=10 \
+     reps) ==";
+  Printf.printf "%-36s %12s %10s %12s %6s\n" "kernel" "median/run" "mad"
+    "min/run" "reps";
   let rows =
-    Hashtbl.fold
-      (fun name v acc ->
-        let ns =
-          match Analyze.OLS.estimates v with
-          | Some [ x ] -> x
-          | _ -> Float.nan
+    List.map
+      (fun (name, f) ->
+        let s = Prof.span_ambient ("kernel:" ^ name) (fun () ->
+            Benchstat.measure f)
         in
-        (name, ns) :: acc)
-      results []
-    |> List.sort compare
+        Printf.printf "%-36s %12s %10s %12s %6d\n%!" name
+          (pretty_ns s.Benchstat.median_ns)
+          (pretty_ns s.Benchstat.mad_ns)
+          (pretty_ns s.Benchstat.min_ns)
+          s.Benchstat.samples;
+        (name, s))
+      (kernels ())
   in
-  List.iter
-    (fun (name, ns) ->
-      let pretty =
-        if Float.is_nan ns then "n/a"
-        else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
-        else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-        else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-        else Printf.sprintf "%.0f ns" ns
-      in
-      Printf.printf "%-40s %15s\n" name pretty)
-    rows;
   print_newline ();
   rows
 
-(* The null-sink observability path is contractually free: fail loudly if
-   the instrumented stepping kernel drifts more than 5% from baseline. *)
-let obs_overhead_percent rows =
-  let find name = List.assoc_opt ("ewalk/" ^ name) rows in
-  match find "fig1:eprocess-10k-steps" with
-  | Some base when base > 0.0 && not (Float.is_nan base) ->
-      let pct name =
-        match find name with
-        | Some ns when not (Float.is_nan ns) ->
-            Some (100.0 *. ((ns /. base) -. 1.0))
-        | _ -> None
-      in
-      let null_pct = pct "obs:eprocess-10k-steps-nullsink" in
-      let metrics_pct = pct "obs:eprocess-10k-steps-metrics" in
-      (match null_pct with
-      | Some p ->
-          Printf.printf "obs overhead (null sink): %+.1f%% %s\n" p
-            (if p > 5.0 then "** EXCEEDS 5% BUDGET **" else "(within 5% budget)")
-      | None -> ());
-      (match metrics_pct with
-      | Some p -> Printf.printf "obs overhead (metrics, null sink): %+.1f%%\n\n" p
-      | None -> print_newline ());
-      (null_pct, metrics_pct)
-  | _ -> (None, None)
+(* Paired overhead: the null-sink observability path is contractually free.
+   Both sides interleave rep by rep, so the reported percentage is a median
+   of paired ratios with a noise floor — never negative, and loud when the
+   5% budget is exceeded. *)
+let obs_overhead_paired () =
+  let base = bench_eprocess_steps () in
+  let null_oh =
+    Benchstat.paired_overhead ~base ~instrumented:(bench_eprocess_obs_null ())
+      ()
+  in
+  let metrics_oh =
+    Benchstat.paired_overhead ~base
+      ~instrumented:(bench_eprocess_obs_metrics ()) ()
+  in
+  let self_check_ok =
+    null_oh.Benchstat.raw_percent >= -2.0 && null_oh.Benchstat.percent <= 5.0
+  in
+  Printf.printf
+    "obs overhead (null sink): %.1f%% (raw %+.1f%%, noise %.1f%%, %d pairs) \
+     %s\n"
+    null_oh.Benchstat.percent null_oh.Benchstat.raw_percent
+    null_oh.Benchstat.noise_percent null_oh.Benchstat.pairs
+    (if not self_check_ok then "** OUTSIDE [-2%,+5%] BUDGET **"
+     else "(within budget)");
+  Printf.printf
+    "obs overhead (metrics, null sink): %.1f%% (raw %+.1f%%, noise %.1f%%)\n\n"
+    metrics_oh.Benchstat.percent metrics_oh.Benchstat.raw_percent
+    metrics_oh.Benchstat.noise_percent;
+  (null_oh, metrics_oh, self_check_ok)
 
 (* -- experiment tables ----------------------------------------------------- *)
 
@@ -281,10 +284,20 @@ let run_experiments ~pool () =
 
 (* -- parallel speedup ------------------------------------------------------- *)
 
+type parallel_result = {
+  par_s1 : float;
+  par_s4 : float;
+  par_speedup : float;
+  par_bit_identical : bool;
+  par_lanes : Ewalk_par.Pool.lane_report array; (* jobs=4 run *)
+  par_utilization : string; (* one-line summary, also printed *)
+}
+
 (* Wall-clock jobs=1 vs jobs=4 on a fixed trial workload, with the
    per-trial bit-identity check that backs the deterministic-sharding
    contract.  The speedup only shows on multicore hardware, but the
-   identity check is meaningful everywhere. *)
+   identity check is meaningful everywhere; the jobs=4 lane telemetry
+   (busy/wait/chunks per domain) explains poor speedups in-band. *)
 let run_parallel_speedup ~scale =
   let n =
     match scale with
@@ -306,22 +319,54 @@ let run_parallel_speedup ~scale =
   let timed jobs =
     Ewalk_par.Pool.with_pool ~jobs @@ fun pool ->
     let rngs = Ewalk_expt.Sweep.trial_rngs ~seed:1 ~trials in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Ewalk_obs.Clock.now_ns () in
     let r = Ewalk_expt.Sweep.map_trials ~pool trial rngs in
-    (Unix.gettimeofday () -. t0, r)
+    let dt = Ewalk_obs.Clock.elapsed_s t0 in
+    (dt, r, Ewalk_par.Pool.stats pool, Ewalk_par.Pool.utilization_line pool ~wall_s:dt)
   in
-  let s1, r1 = timed 1 in
-  let s4, r4 = timed 4 in
+  let s1, r1, _, _ = timed 1 in
+  let s4, r4, lanes, utilization = timed 4 in
   let bit_identical = r1 = r4 in
   let speedup = s1 /. s4 in
   Printf.printf
     "== parallel speedup (vertex-cover trials, n=%d, %d trials) ==\n\
-     jobs=1: %.2fs  jobs=4: %.2fs  speedup: %.2fx  bit-identical: %b\n\n"
-    n trials s1 s4 speedup bit_identical;
-  (s1, s4, speedup, bit_identical)
+     jobs=1: %.2fs  jobs=4: %.2fs  speedup: %.2fx  bit-identical: %b\n\
+     %s\n\n"
+    n trials s1 s4 speedup bit_identical utilization;
+  {
+    par_s1 = s1;
+    par_s4 = s4;
+    par_speedup = speedup;
+    par_bit_identical = bit_identical;
+    par_lanes = lanes;
+    par_utilization = utilization;
+  }
 
-(* Machine-readable baseline for the perf trajectory: BENCH_core.json (or
-   $EWALK_BENCH_JSON) accumulates one snapshot per bench run. *)
+(* -- machine-readable outputs ----------------------------------------------- *)
+
+let kernel_stats_json (s : Benchstat.stats) =
+  let module J = Ewalk_obs.Json in
+  J.Obj
+    [
+      ("median_ns", J.Float s.Benchstat.median_ns);
+      ("mad_ns", J.Float s.Benchstat.mad_ns);
+      ("min_ns", J.Float s.Benchstat.min_ns);
+      ("samples", J.Int s.Benchstat.samples);
+    ]
+
+let overhead_json (oh : Benchstat.overhead) =
+  let module J = Ewalk_obs.Json in
+  J.Obj
+    [
+      ("percent", J.Float oh.Benchstat.percent);
+      ("raw_percent", J.Float oh.Benchstat.raw_percent);
+      ("noise_percent", J.Float oh.Benchstat.noise_percent);
+      ("pairs", J.Int oh.Benchstat.pairs);
+    ]
+
+(* BENCH_core.json (or $EWALK_BENCH_JSON): one snapshot per bench run,
+   schema ewalk-bench/2 — kernel entries carry {median_ns, mad_ns, min_ns,
+   samples} distributions rather than a single OLS point estimate. *)
 let write_bench_json ~scale ~jobs ~kernels ~overhead ~experiments ~parallel =
   let path =
     match Sys.getenv_opt "EWALK_BENCH_JSON" with
@@ -329,34 +374,60 @@ let write_bench_json ~scale ~jobs ~kernels ~overhead ~experiments ~parallel =
     | None -> "BENCH_core.json"
   in
   let module J = Ewalk_obs.Json in
-  let null_pct, metrics_pct = overhead in
-  let opt_float = function None -> J.Null | Some x -> J.Float x in
   let json =
     J.Obj
       [
-        ("schema", J.String "ewalk-bench/1");
+        ("schema", J.String "ewalk-bench/2");
         ("scale", J.String (Ewalk_expt.Sweep.scale_name scale));
         ("jobs", J.Int jobs);
-        ( "kernels_ns_per_run",
+        ("git_rev", J.String (Ledger.git_rev ()));
+        ( "kernels",
           J.Obj
-            (List.map
-               (fun (name, ns) ->
-                 (name, if Float.is_nan ns then J.Null else J.Float ns))
-               kernels) );
-        ("obs_overhead_null_sink_percent", opt_float null_pct);
-        ("obs_overhead_metrics_percent", opt_float metrics_pct);
+            (List.map (fun (name, s) -> (name, kernel_stats_json s)) kernels) );
+        ( "obs_overhead_null_sink_percent",
+          match overhead with
+          | None -> J.Null
+          | Some (null_oh, _, _) -> J.Float null_oh.Benchstat.percent );
+        ( "obs_overhead_null_sink",
+          match overhead with
+          | None -> J.Null
+          | Some (null_oh, _, _) -> overhead_json null_oh );
+        ( "obs_overhead_metrics",
+          match overhead with
+          | None -> J.Null
+          | Some (_, metrics_oh, _) -> overhead_json metrics_oh );
+        ( "obs_overhead_self_check_ok",
+          match overhead with
+          | None -> J.Null
+          | Some (_, _, ok) -> J.Bool ok );
         ( "experiments_seconds",
           J.Obj (List.map (fun (id, s) -> (id, J.Float s)) experiments) );
         ( "parallel",
           match parallel with
           | None -> J.Null
-          | Some (s1, s4, speedup, bit_identical) ->
+          | Some p ->
               J.Obj
                 [
-                  ("seconds_jobs1", J.Float s1);
-                  ("seconds_jobs4", J.Float s4);
-                  ("speedup", J.Float speedup);
-                  ("bit_identical", J.Bool bit_identical);
+                  ("seconds_jobs1", J.Float p.par_s1);
+                  ("seconds_jobs4", J.Float p.par_s4);
+                  ("speedup", J.Float p.par_speedup);
+                  ("bit_identical", J.Bool p.par_bit_identical);
+                  ( "jobs4_lanes",
+                    J.List
+                      (Array.to_list
+                         (Array.mapi
+                            (fun i (l : Ewalk_par.Pool.lane_report) ->
+                              J.Obj
+                                [
+                                  ("lane", J.Int i);
+                                  ("busy_s", J.Float l.Ewalk_par.Pool.busy_s);
+                                  ("wait_s", J.Float l.Ewalk_par.Pool.wait_s);
+                                  ( "chunks",
+                                    J.Int l.Ewalk_par.Pool.chunks_served );
+                                  ("tasks", J.Int l.Ewalk_par.Pool.tasks_served);
+                                ])
+                            p.par_lanes)) );
+                  ("utilization", J.String p.par_utilization);
                 ] );
       ]
   in
@@ -367,6 +438,35 @@ let write_bench_json ~scale ~jobs ~kernels ~overhead ~experiments ~parallel =
       J.to_channel oc json;
       output_char oc '\n');
   Printf.printf "wrote %s\n" path
+
+(* One append-only ledger record per run (skipped when micro-benches were,
+   since kernel medians are the record's payload). *)
+let append_ledger ~scale ~jobs ~kernels =
+  let path =
+    match Sys.getenv_opt "EWALK_BENCH_HISTORY" with
+    | Some p -> p
+    | None -> "BENCH_history.jsonl"
+  in
+  let record =
+    Ledger.make
+      ~scale:(Ewalk_expt.Sweep.scale_name scale)
+      ~jobs
+      ~kernels:
+        (List.map
+           (fun (name, (s : Benchstat.stats)) ->
+             ( name,
+               {
+                 Ledger.k_median_ns = s.Benchstat.median_ns;
+                 k_mad_ns = s.Benchstat.mad_ns;
+                 k_min_ns = s.Benchstat.min_ns;
+                 k_samples = s.Benchstat.samples;
+               } ))
+           kernels)
+      ()
+  in
+  Ledger.append ~path record;
+  Printf.printf "appended ledger record (%s, %s) to %s\n" record.Ledger.git_rev
+    record.Ledger.scale path
 
 (* "--jobs N" (or "--jobs=N"); default: EWALK_JOBS, else the machine's
    recommended domain count minus one (Pool.default_jobs). *)
@@ -381,21 +481,48 @@ let jobs_of_argv () =
   scan (Array.to_list Sys.argv)
 
 let () =
-  let skip_micro = Sys.getenv_opt "EWALK_BENCH_SKIP_MICRO" = Some "1" in
-  let skip_parallel = Sys.getenv_opt "EWALK_BENCH_SKIP_PARALLEL" = Some "1" in
+  let skip name = Sys.getenv_opt name = Some "1" in
+  let skip_micro = skip "EWALK_BENCH_SKIP_MICRO" in
+  let skip_experiments = skip "EWALK_BENCH_SKIP_EXPERIMENTS" in
+  let skip_parallel = skip "EWALK_BENCH_SKIP_PARALLEL" in
   let jobs = jobs_of_argv () in
   let scale = Ewalk_expt.Sweep.scale_of_env () in
+  let prof = Prof.enable_ambient () in
   (* Micro-benches run before the pool exists: idle worker domains would
      drag every minor collection into a multi-domain stop-the-world and
      distort the allocation-heavy kernels (the obs overhead ones most). *)
-  let kernels = if skip_micro then [] else run_micro_benchmarks () in
+  let kernels =
+    if skip_micro then []
+    else Prof.span_ambient "bench:micro" run_micro_benchmarks
+  in
   let overhead =
-    if skip_micro then (None, None) else obs_overhead_percent kernels
+    if skip_micro then None
+    else Some (Prof.span_ambient "bench:obs-overhead" obs_overhead_paired)
   in
-  Ewalk_par.Pool.with_pool ?jobs @@ fun pool ->
-  let experiments = run_experiments ~pool () in
-  let parallel =
-    if skip_parallel then None else Some (run_parallel_speedup ~scale)
+  let experiments, parallel =
+    Ewalk_par.Pool.with_pool ?jobs @@ fun pool ->
+    let experiments =
+      if skip_experiments then []
+      else
+        Prof.span_ambient "bench:experiments" (fun () ->
+            run_experiments ~pool ())
+    in
+    let parallel =
+      if skip_parallel then None
+      else
+        Some
+          (Prof.span_ambient "bench:parallel" (fun () ->
+               run_parallel_speedup ~scale))
+    in
+    (experiments, parallel)
   in
-  write_bench_json ~scale ~jobs:(Ewalk_par.Pool.jobs pool) ~kernels ~overhead
-    ~experiments ~parallel
+  write_bench_json ~scale
+    ~jobs:(match jobs with Some j -> j | None -> Ewalk_par.Pool.default_jobs ())
+    ~kernels ~overhead ~experiments ~parallel;
+  if not skip_micro then
+    append_ledger ~scale
+      ~jobs:
+        (match jobs with Some j -> j | None -> Ewalk_par.Pool.default_jobs ())
+      ~kernels;
+  print_endline "== profile (self/total seconds per span) ==";
+  Prof.report prof

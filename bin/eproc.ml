@@ -6,7 +6,8 @@
      graph-info                - structural report of a generated graph
      cover                     - cover-time trials for one process
      trace                     - run one walk, emitting a JSONL event stream
-     spectra                   - spectral report of a generated graph *)
+     spectra                   - spectral report of a generated graph
+     bench-diff                - regression gate over two bench ledger records *)
 
 open Cmdliner
 module Graph = Ewalk_graph.Graph
@@ -64,9 +65,50 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let export_metrics_arg =
+  let doc =
+    "Also write the run's telemetry as OpenMetrics (Prometheus text \
+     exposition) to $(docv).  When $(b,--profile) is active the profiler \
+     span tree is exported too."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "export-metrics" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let doc =
+    "Enable the ambient span profiler and print the merged call tree \
+     (total/self seconds, calls) to stderr when the run finishes."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+(* --profile: switch the ambient profiler on for the run, report at exit.
+   Returns the profiler (for --export-metrics) when enabled. *)
+let with_profile enabled f =
+  if not enabled then f None
+  else begin
+    let prof = Obs.Prof.enable_ambient () in
+    Fun.protect
+      ~finally:(fun () ->
+        prerr_endline "== profile (self/total seconds per span) ==";
+        Obs.Prof.report ~out:stderr prof)
+      (fun () -> f (Some prof))
+  end
+
 let write_metrics path metrics =
   Obs.Metrics.write_file metrics path;
   Printf.printf "wrote %s\n" path
+
+let write_openmetrics ?prof path metrics =
+  Obs.Export.write_file ?prof metrics path;
+  Printf.printf "wrote %s (OpenMetrics)\n" path
+
+(* The one-line busy/utilization summary a jobs>1 run ends with, so a poor
+   speedup arrives with its per-lane explanation attached. *)
+let print_utilization pool ~wall_s =
+  if Ewalk_par.Pool.jobs pool > 1 then
+    print_endline (Ewalk_par.Pool.utilization_line pool ~wall_s)
 
 (* -- list ---------------------------------------------------------------- *)
 
@@ -98,8 +140,10 @@ let experiment_cmd =
     let doc = "Experiment id (see $(b,list)), or $(b,all)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id scale seed csv metrics jobs =
+  let run id scale seed csv metrics export_metrics profile jobs =
+    with_profile profile @@ fun prof ->
     Ewalk_par.Pool.with_pool ?jobs @@ fun pool ->
+    let t0 = Obs.Clock.now_ns () in
     let registry = Obs.Metrics.create () in
     Obs.Metrics.set
       (Obs.Metrics.gauge registry "seed")
@@ -121,7 +165,11 @@ let experiment_cmd =
           write_csv file table
       | None -> ()
     in
-    let finish () = Option.iter (fun p -> write_metrics p registry) metrics in
+    let finish () =
+      print_utilization pool ~wall_s:(Obs.Clock.elapsed_s t0);
+      Option.iter (fun p -> write_metrics p registry) metrics;
+      Option.iter (fun p -> write_openmetrics ?prof p registry) export_metrics
+    in
     if id = "all" then begin
       List.iter run_one Expt.Experiments.all;
       finish ();
@@ -144,7 +192,7 @@ let experiment_cmd =
     Term.(
       ret
         (const run $ id_arg $ scale_arg $ seed_arg $ csv_arg $ metrics_arg
-       $ jobs_arg))
+       $ export_metrics_arg $ profile_arg $ jobs_arg))
 
 (* -- graph-info ----------------------------------------------------------- *)
 
@@ -231,13 +279,20 @@ let cover_cmd =
     let doc = "Measure edge cover time instead of vertex cover time." in
     Arg.(value & flag & info [ "edges" ] ~doc)
   in
-  let run family process n trials seed edges metrics jobs =
+  let run family process n trials seed edges metrics export_metrics profile
+      jobs =
+    with_profile profile @@ fun prof ->
     Ewalk_par.Pool.with_pool ?jobs @@ fun pool ->
+    let t0 = Obs.Clock.now_ns () in
     let root = Rng.create ~seed () in
     let rngs = Rng.split_n root trials in
     (* One registry across the trials: counters accumulate (exactly, even
        when trials shard across domains), gauges keep one trial's values. *)
-    let registry = Option.map (fun _ -> Obs.Metrics.create ()) metrics in
+    let registry =
+      if metrics <> None || export_metrics <> None then
+        Some (Obs.Metrics.create ())
+      else None
+    in
     let obs = Option.map (fun m -> Observe.create ~metrics:m ()) registry in
     let results =
       Ewalk_par.Pool.map_array ~chunk:1 pool
@@ -260,8 +315,12 @@ let cover_cmd =
           (t, Graph.n g, Graph.m g))
         rngs
     in
+    print_utilization pool ~wall_s:(Obs.Clock.elapsed_s t0);
     (match (metrics, registry) with
     | Some path, Some registry -> write_metrics path registry
+    | _ -> ());
+    (match (export_metrics, registry) with
+    | Some path, Some registry -> write_openmetrics ?prof path registry
     | _ -> ());
     let times =
       Array.to_list results
@@ -292,7 +351,7 @@ let cover_cmd =
     (Cmd.info "cover" ~doc:"Measure cover times of a walk process.")
     Term.(
       const run $ family_arg $ process_arg $ n_arg $ trials_arg $ seed_arg
-      $ edges_arg $ metrics_arg $ jobs_arg)
+      $ edges_arg $ metrics_arg $ export_metrics_arg $ profile_arg $ jobs_arg)
 
 (* -- trace ----------------------------------------------------------------- *)
 
@@ -315,7 +374,9 @@ let trace_cmd =
     let doc = "Step cap (default: the generous Cover.default_cap)." in
     Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"K" ~doc)
   in
-  let run family process n seed edges no_steps max_steps out metrics =
+  let run family process n seed edges no_steps max_steps out metrics
+      export_metrics profile =
+    with_profile profile @@ fun prof ->
     let rng = Rng.create ~seed () in
     let g = Expt.Families.build family rng ~n in
     let oc, close_oc =
@@ -359,10 +420,15 @@ let trace_cmd =
             Printf.eprintf "%s hit the %d-step cap before covering %s\n"
               process cap
               (if edges then "edges" else "vertices"));
-        match metrics with
+        (match metrics with
         | Some path ->
             Obs.Metrics.write_file registry path;
             Printf.eprintf "wrote %s\n" path
+        | None -> ());
+        match export_metrics with
+        | Some path ->
+            Obs.Export.write_file ?prof registry path;
+            Printf.eprintf "wrote %s (OpenMetrics)\n" path
         | None -> ())
   in
   Cmd.v
@@ -372,7 +438,8 @@ let trace_cmd =
           event per line: run_start, step, phase, milestone, run_end).")
     Term.(
       const run $ family_arg $ process_arg $ n_arg $ seed_arg $ edges_arg
-      $ no_steps_arg $ max_steps_arg $ out_arg $ metrics_arg)
+      $ no_steps_arg $ max_steps_arg $ out_arg $ metrics_arg
+      $ export_metrics_arg $ profile_arg)
 
 (* -- spectra -------------------------------------------------------------- *)
 
@@ -476,6 +543,86 @@ let audit_cmd =
        ~doc:"Audit a graph against Theorem 1's hypotheses.")
     Term.(const run $ family_arg $ n_arg $ seed_arg)
 
+(* -- bench-diff ------------------------------------------------------------ *)
+
+(* The regression gate over the bench ledger.  Exit codes: 0 = no kernel
+   regressed, 1 = at least one regression, 2 = a record failed to load.
+   `make bench-check` wires this against the committed baseline. *)
+let bench_diff_cmd =
+  let baseline_arg =
+    let doc =
+      "Baseline record: a BENCH_core.json-style snapshot, or a .jsonl \
+       ledger (its last record is used)."
+    in
+    Arg.(value & pos 0 string "BENCH_baseline.json" & info [] ~docv:"BASE" ~doc)
+  in
+  let candidate_arg =
+    let doc = "Candidate record (same formats as $(b,BASE))." in
+    Arg.(
+      value & pos 1 string "BENCH_history.jsonl" & info [] ~docv:"CAND" ~doc)
+  in
+  let tolerance_arg =
+    let doc =
+      "A kernel regresses when its candidate median exceeds the baseline \
+       median by more than $(docv) baseline MADs (subject to \
+       $(b,--min-rel-pct))."
+    in
+    Arg.(
+      value & opt float 6.0 & info [ "tolerance-mads" ] ~docv:"K" ~doc)
+  in
+  let min_rel_arg =
+    let doc =
+      "Relative tolerance floor in percent: kernels whose MAD is ~0 still \
+       get this much upward slack."
+    in
+    Arg.(value & opt float 25.0 & info [ "min-rel-pct" ] ~docv:"PCT" ~doc)
+  in
+  let run baseline candidate tolerance_mads min_rel_pct =
+    let load what path =
+      match Obs.Ledger.load_record path with
+      | Ok r -> r
+      | Error e ->
+          Printf.eprintf "eproc bench-diff: %s %s: %s\n" what path e;
+          exit 2
+    in
+    let base = load "baseline" baseline in
+    let cand = load "candidate" candidate in
+    let verdicts =
+      Obs.Ledger.diff ~tolerance_mads ~min_rel:(min_rel_pct /. 100.0)
+        ~baseline:base cand
+    in
+    Printf.printf "bench-diff: %s (%s, %s) vs %s (%s, %s)\n" baseline
+      base.Obs.Ledger.git_rev base.Obs.Ledger.scale candidate
+      cand.Obs.Ledger.git_rev cand.Obs.Ledger.scale;
+    if verdicts = [] then
+      print_endline "  (no kernels in common; nothing to compare)"
+    else begin
+      Printf.printf "%-36s %12s %12s %9s %10s\n" "kernel" "base" "cand"
+        "delta" "tolerance";
+      List.iter
+        (fun v ->
+          Printf.printf "%-36s %9.2f us %9.2f us %+8.1f%% %9.1f%% %s\n"
+            v.Obs.Ledger.v_kernel
+            (v.Obs.Ledger.v_base_ns /. 1e3)
+            (v.Obs.Ledger.v_cand_ns /. 1e3)
+            v.Obs.Ledger.v_delta_percent v.Obs.Ledger.v_tolerance_percent
+            (if v.Obs.Ledger.v_regressed then "REGRESSED" else "ok"))
+        verdicts
+    end;
+    if Obs.Ledger.any_regression verdicts then begin
+      print_endline "bench-diff: REGRESSION detected";
+      exit 1
+    end
+    else print_endline "bench-diff: ok"
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two bench ledger records kernel by kernel (MAD-scaled \
+          tolerance); exit 1 on regression, 2 on a load error.")
+    Term.(
+      const run $ baseline_arg $ candidate_arg $ tolerance_arg $ min_rel_arg)
+
 (* -- report ---------------------------------------------------------------- *)
 
 let report_cmd =
@@ -514,7 +661,7 @@ let main =
     (Cmd.info "eproc" ~version:"1.0.0" ~doc)
     [
       list_cmd; experiment_cmd; graph_info_cmd; cover_cmd; trace_cmd;
-      spectra_cmd; euler_cmd; audit_cmd; report_cmd;
+      spectra_cmd; euler_cmd; audit_cmd; report_cmd; bench_diff_cmd;
     ]
 
 (* Cmdliner cannot declare a one-letter long option, but "--n 1000" is how

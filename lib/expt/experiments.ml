@@ -135,6 +135,7 @@ let find id = List.find_opt (fun e -> e.id = id) all
 let ids () = List.map (fun e -> e.id) all
 
 let run_timed ?pool e ~scale ~seed =
+  Ewalk_obs.Prof.span_ambient ("experiment:" ^ e.id) @@ fun () ->
   let table, span =
     Ewalk_obs.Timer.with_span e.id (fun () -> e.run ~pool ~scale ~seed)
   in

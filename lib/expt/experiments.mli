@@ -18,9 +18,11 @@ val ids : unit -> string list
 val run_timed :
   ?pool:Ewalk_par.Pool.t ->
   entry -> scale:Sweep.scale -> seed:int -> Table.t * float
-(** Run one experiment under an {!Ewalk_obs.Timer} span; returns the table
-    and the wall seconds it took.  With [pool], trial sweeps shard across
-    its domains (tables stay bit-identical to the sequential run). *)
+(** Run one experiment under an {!Ewalk_obs.Timer} span (and an ambient
+    {!Ewalk_obs.Prof} span [experiment:<id>] when profiling is enabled);
+    returns the table and the wall seconds it took.  With [pool], trial
+    sweeps shard across its domains (tables stay bit-identical to the
+    sequential run). *)
 
 val record_run :
   Ewalk_obs.Metrics.t -> entry -> table:Table.t -> seconds:float -> unit

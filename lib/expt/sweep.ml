@@ -57,8 +57,11 @@ let trial_rngs ~seed ~trials =
 let map_trials ?pool ?(label = "trials") f rngs =
   Ewalk_obs.Progress.with_reporter ~total:(Array.length rngs) ~label
     (fun tick ->
+      (* Each trial runs inside an ambient profiler span (free while
+         profiling is off).  Spans open on whichever domain executes the
+         trial, so the merged tree attributes sweep time per domain. *)
       let run_one rng =
-        let x = f rng in
+        let x = Ewalk_obs.Prof.span_ambient ("trial:" ^ label) (fun () -> f rng) in
         tick ();
         x
       in

@@ -46,7 +46,9 @@ val map_trials :
     because each trial draws only from its own generator, the result array
     is bit-identical to the sequential path regardless of job count.  When
     [EWALK_PROGRESS=1], a throttled {!Ewalk_obs.Progress} heartbeat
-    (tagged [label], default ["trials"]) ticks once per finished trial. *)
+    (tagged [label], default ["trials"]) ticks once per finished trial.
+    When the ambient {!Ewalk_obs.Prof} profiler is enabled, each trial runs
+    in a [trial:<label>] span on its executing domain. *)
 
 val mean_of_trials :
   ?pool:Ewalk_par.Pool.t ->

@@ -1,0 +1,90 @@
+type stats = {
+  median_ns : float;
+  mad_ns : float;
+  min_ns : float;
+  samples : int;
+}
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Benchstat.median: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  if n mod 2 = 1 then sorted.(n / 2)
+  else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.0
+
+let mad xs =
+  let m = median xs in
+  median (Array.map (fun x -> Float.abs (x -. m)) xs)
+
+(* One timed repetition: [iters] calls of [f], in ns total. *)
+let time_rep f iters =
+  let t0 = Clock.now_ns () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  float_of_int (Clock.elapsed_ns t0)
+
+(* Double the iteration count until one repetition takes >= min_rep_s, so
+   short kernels are timed over enough work to outlast clock granularity. *)
+let calibrate f ~min_rep_s =
+  let target_ns = min_rep_s *. 1e9 in
+  let rec go iters =
+    let dt = time_rep f iters in
+    if dt >= target_ns || iters >= 1 lsl 20 then iters else go (iters * 2)
+  in
+  go 1
+
+let measure ?(warmup = 3) ?(reps = 10) ?(min_rep_s = 0.002) f =
+  let reps = max 10 reps in
+  let iters = calibrate f ~min_rep_s in
+  for _ = 1 to warmup do
+    ignore (time_rep f iters)
+  done;
+  let per_run = float_of_int iters in
+  let samples = Array.init reps (fun _ -> time_rep f iters /. per_run) in
+  {
+    median_ns = median samples;
+    mad_ns = mad samples;
+    min_ns = Array.fold_left Float.min samples.(0) samples;
+    samples = reps;
+  }
+
+type overhead = {
+  percent : float;
+  raw_percent : float;
+  noise_percent : float;
+  pairs : int;
+}
+
+let paired_overhead ?(warmup = 2) ?(reps = 12) ?(min_rep_s = 0.002) ~base
+    ~instrumented () =
+  let reps = max 10 reps in
+  (* Same iteration count for both sides: the ratio then cancels it. *)
+  let iters = calibrate base ~min_rep_s in
+  for _ = 1 to warmup do
+    ignore (time_rep base iters);
+    ignore (time_rep instrumented iters)
+  done;
+  let ratios =
+    Array.init reps (fun i ->
+        (* Alternate which side runs first so frequency/GC drift within a
+           pair has no preferred sign. *)
+        if i mod 2 = 0 then begin
+          let b = time_rep base iters in
+          let m = time_rep instrumented iters in
+          m /. b
+        end
+        else begin
+          let m = time_rep instrumented iters in
+          let b = time_rep base iters in
+          m /. b
+        end)
+  in
+  let raw_percent = (median ratios -. 1.0) *. 100.0 in
+  let noise_percent = mad ratios *. 100.0 in
+  let percent =
+    if Float.abs raw_percent <= noise_percent then 0.0
+    else Float.max raw_percent 0.0
+  in
+  { percent; raw_percent; noise_percent; pairs = reps }

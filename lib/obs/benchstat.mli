@@ -1,0 +1,62 @@
+(** Robust repeated-sample timing for the bench harness.
+
+    Single-shot timings are the wrong estimator for kernel cost — GC state,
+    frequency scaling, and scheduler noise dominate one-off deltas (the
+    seed bench once reported a {e negative} observability overhead that
+    way).  This module measures every kernel as warmups plus at least ten
+    timed repetitions on the monotonic clock and summarises with the
+    outlier-robust trio the bench ledger stores: median, MAD (median
+    absolute deviation), and min.
+
+    Overhead comparisons ({!paired_overhead}) interleave the baseline and
+    instrumented kernels rep by rep, so slow drift hits both sides equally,
+    and report the median of per-pair ratios with a MAD noise floor — the
+    published percentage is non-negative by construction (an instrumented
+    kernel cannot truly be faster; a negative raw median is noise and
+    clamps to 0, with the raw value kept alongside for transparency). *)
+
+type stats = {
+  median_ns : float;  (** median ns per run across repetitions *)
+  mad_ns : float;  (** median absolute deviation around [median_ns] *)
+  min_ns : float;
+  samples : int;  (** number of measured repetitions *)
+}
+
+val median : float array -> float
+(** Linear-interpolated median. @raise Invalid_argument on empty input. *)
+
+val mad : float array -> float
+(** Median absolute deviation around the median.
+    @raise Invalid_argument on empty input. *)
+
+val measure :
+  ?warmup:int -> ?reps:int -> ?min_rep_s:float -> (unit -> unit) -> stats
+(** [measure f] times [f] as [reps] repetitions (default 10, floored at
+    10), each repeating [f] enough times to run at least [min_rep_s]
+    seconds (default 2 ms; the iteration count is calibrated once before
+    the warmups).  [warmup] (default 3) un-timed repetitions precede the
+    measurements. *)
+
+type overhead = {
+  percent : float;
+      (** reported overhead, non-negative by construction: the noise-floored
+          median of paired ratios *)
+  raw_percent : float;  (** un-floored [(median ratio - 1) * 100] *)
+  noise_percent : float;  (** MAD of the paired ratios, in percent *)
+  pairs : int;
+}
+
+val paired_overhead :
+  ?warmup:int ->
+  ?reps:int ->
+  ?min_rep_s:float ->
+  base:(unit -> unit) ->
+  instrumented:(unit -> unit) ->
+  unit ->
+  overhead
+(** Time [base] and [instrumented] in alternating, interleaved repetitions
+    (default 12 pairs, floored at 10; order swaps every pair so neither
+    side systematically runs first) and form one instrumented/base ratio
+    per pair.  [percent] is [max raw_percent 0], and additionally snaps to
+    exactly 0 when [|raw_percent|] is within the ratio MAD — differences
+    indistinguishable from noise read as "free". *)

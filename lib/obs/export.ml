@@ -1,0 +1,214 @@
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+(* OpenMetrics label values escape backslash, double quote, and newline. *)
+let escape_label v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let fmt_float = Json.float_to_string
+
+let render ?(prefix = "ewalk") ?prof metrics =
+  let buf = Buffer.create 1024 in
+  let family name kind = Printf.bprintf buf "# TYPE %s %s\n" name kind in
+  List.iter
+    (fun (raw_name, view) ->
+      let name = prefix ^ "_" ^ sanitize raw_name in
+      match view with
+      | Metrics.Counter_view v ->
+          family name "counter";
+          Printf.bprintf buf "%s_total %d\n" name v
+      | Metrics.Gauge_view v ->
+          family name "gauge";
+          Printf.bprintf buf "%s %s\n" name (fmt_float v)
+      | Metrics.Histogram_view { hv_count; hv_sum; hv_buckets; hv_inf = _ } ->
+          family name "histogram";
+          let cum = ref 0 in
+          Array.iter
+            (fun (le, c) ->
+              cum := !cum + c;
+              Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" name
+                (fmt_float le) !cum)
+            hv_buckets;
+          (* The +Inf bucket is total count by construction. *)
+          Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" name hv_count;
+          Printf.bprintf buf "%s_sum %s\n" name (fmt_float hv_sum);
+          Printf.bprintf buf "%s_count %d\n" name hv_count)
+    (Metrics.instruments metrics);
+  (match prof with
+  | None -> ()
+  | Some p -> (
+      match Prof.tree p with
+      | [] -> ()
+      | roots ->
+          (* Flatten the tree to slash-joined paths, depth-first, so the
+             label order matches the report's visual order. *)
+          let flat = ref [] in
+          let rec walk path (n : Prof.node) =
+            let path = if path = "" then n.name else path ^ "/" ^ n.name in
+            flat := (path, n) :: !flat;
+            List.iter (walk path) n.children
+          in
+          List.iter (walk "") roots;
+          let flat = List.rev !flat in
+          let calls = prefix ^ "_prof_calls" in
+          let seconds = prefix ^ "_prof_seconds" in
+          let self_seconds = prefix ^ "_prof_self_seconds" in
+          family calls "counter";
+          List.iter
+            (fun (path, (n : Prof.node)) ->
+              Printf.bprintf buf "%s_total{span=\"%s\"} %d\n" calls
+                (escape_label path) n.calls)
+            flat;
+          family seconds "gauge";
+          List.iter
+            (fun (path, (n : Prof.node)) ->
+              Printf.bprintf buf "%s{span=\"%s\"} %s\n" seconds
+                (escape_label path) (fmt_float n.total_s))
+            flat;
+          family self_seconds "gauge";
+          List.iter
+            (fun (path, (n : Prof.node)) ->
+              Printf.bprintf buf "%s{span=\"%s\"} %s\n" self_seconds
+                (escape_label path) (fmt_float n.self_s))
+            flat));
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let write_file ?prefix ?prof metrics path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (render ?prefix ?prof metrics))
+
+(* -- validation -------------------------------------------------------------- *)
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let valid_name s =
+  String.length s > 0
+  && is_name_start s.[0]
+  && String.for_all is_name_char s
+
+(* A sample name belongs to a family if it carries one of the suffixes that
+   family's kind allows: counters expose only [_total] (and [_created]),
+   histograms their [_bucket]/[_sum]/[_count] series, gauges the bare
+   name. *)
+let extends_family ~family ~kind name =
+  let suffixed suffix = name = family ^ suffix in
+  match kind with
+  | "counter" -> suffixed "_total" || suffixed "_created"
+  | "histogram" | "summary" ->
+      suffixed "_bucket" || suffixed "_sum" || suffixed "_count"
+      || suffixed "_created"
+  | "gauge" -> name = family
+  | _ -> name = family || suffixed "_total"
+
+let split_sample line =
+  (* name[{labels}] value [timestamp] -> (name, labels option, rest) *)
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do
+    incr i
+  done;
+  if !i = 0 then Error "sample line does not start with a metric name"
+  else begin
+    let name = String.sub line 0 !i in
+    if !i < n && line.[!i] = '{' then begin
+      (* Scan to the closing brace, honouring escapes inside quotes. *)
+      let j = ref (!i + 1) in
+      let in_string = ref false in
+      let escaped = ref false in
+      let closed = ref false in
+      while !j < n && not !closed do
+        let c = line.[!j] in
+        if !escaped then escaped := false
+        else if !in_string then begin
+          if c = '\\' then escaped := true
+          else if c = '"' then in_string := false
+        end
+        else if c = '"' then in_string := true
+        else if c = '}' then closed := true;
+        incr j
+      done;
+      if not !closed then Error "unterminated label set"
+      else
+        Ok (name, Some (String.sub line (!i + 1) (!j - !i - 2)),
+            String.sub line !j (n - !j))
+    end
+    else Ok (name, None, String.sub line !i (n - !i))
+  end
+
+let validate text =
+  let lines = String.split_on_char '\n' text in
+  (* A trailing newline yields a final "" entry; require it. *)
+  let rec check families saw_eof = function
+    | [] -> if saw_eof then Ok () else Error "missing terminal # EOF"
+    | [ "" ] when saw_eof -> Ok ()
+    | line :: rest ->
+        if saw_eof then Error "content after # EOF"
+        else if line = "# EOF" then check families true rest
+        else if line = "" then Error "blank line"
+        else if String.length line >= 2 && String.sub line 0 2 = "# " then begin
+          match String.split_on_char ' ' line with
+          | "#" :: "TYPE" :: name :: [ kind ] ->
+              if not (valid_name name) then
+                Error (Printf.sprintf "bad family name %S" name)
+              else if
+                not
+                  (List.mem kind
+                     [
+                       "counter"; "gauge"; "histogram"; "summary"; "info";
+                       "stateset"; "unknown";
+                     ])
+              then Error (Printf.sprintf "bad family type %S" kind)
+              else check ((name, kind) :: families) saw_eof rest
+          | "#" :: ("HELP" | "UNIT") :: name :: _ when valid_name name ->
+              check families saw_eof rest
+          | _ -> Error (Printf.sprintf "malformed comment line %S" line)
+        end
+        else begin
+          match split_sample line with
+          | Error e -> Error (Printf.sprintf "%s: %S" e line)
+          | Ok (name, _labels, remainder) ->
+              let remainder = String.trim remainder in
+              let value =
+                match String.split_on_char ' ' remainder with
+                | v :: _ -> v
+                | [] -> ""
+              in
+              let value_ok =
+                match value with
+                | "+Inf" | "-Inf" | "NaN" -> true
+                | v -> float_of_string_opt v <> None
+              in
+              if not value_ok then
+                Error (Printf.sprintf "bad sample value in %S" line)
+              else if
+                not
+                  (List.exists
+                     (fun (family, kind) -> extends_family ~family ~kind name)
+                     families)
+              then
+                Error
+                  (Printf.sprintf "sample %S precedes its # TYPE family" name)
+              else check families saw_eof rest
+        end
+  in
+  check [] false lines

@@ -1,0 +1,36 @@
+(** OpenMetrics / Prometheus text exposition of the telemetry registry.
+
+    {!render} turns any {!Metrics.t} (and optionally a {!Prof} span tree)
+    into the standard text exposition format, so a run's counters, gauges,
+    histograms, and profile can be scraped, diffed, or pushed to any
+    Prometheus-compatible backend.  Reachable from the CLI as
+    [eproc ... --export-metrics FILE].
+
+    Mapping:
+    - a counter [steps] becomes [ewalk_steps_total] (type [counter]);
+    - a gauge [coverage_vertex_fraction] becomes
+      [ewalk_coverage_vertex_fraction] (type [gauge]);
+    - a histogram becomes the conventional [_bucket{le="..."}] series with
+      {e cumulative} counts (the registry stores per-bucket counts), plus
+      [_sum] and [_count];
+    - profiler nodes become [ewalk_prof_calls_total{span="a/b"}],
+      [ewalk_prof_seconds{span=...}] and [ewalk_prof_self_seconds{span=...}]
+      with the slash-joined span path as the label.
+
+    Instrument names are sanitised to the OpenMetrics charset (every char
+    outside [[a-zA-Z0-9_:]] becomes [_]).  Output is deterministic:
+    families sorted by instrument name, [# EOF] terminated. *)
+
+val render : ?prefix:string -> ?prof:Prof.t -> Metrics.t -> string
+(** [prefix] defaults to ["ewalk"]. *)
+
+val write_file : ?prefix:string -> ?prof:Prof.t -> Metrics.t -> string -> unit
+(** {!render} written to a file ([Fun.protect]-guarded channel). *)
+
+val validate : string -> (unit, string) result
+(** Check a string against the shape of the OpenMetrics text format: every
+    line is a [# TYPE]/[# HELP]/[# UNIT] comment or a
+    [name[{labels}] value [timestamp]] sample; sample names must extend a
+    declared family (counters via [_total], histograms via
+    [_bucket]/[_sum]/[_count]); the last line must be [# EOF].  A syntax
+    check for tests and CI, not a full spec implementation. *)

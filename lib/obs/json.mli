@@ -1,10 +1,12 @@
-(** A minimal JSON value type and serialiser.
+(** A minimal JSON value type, serialiser, and parser.
 
     Just enough JSON for the observability layer — metrics snapshots, trace
-    events, bench baselines — without pulling a parser dependency into the
-    build.  Serialisation is deterministic: object fields are emitted in the
-    order given, floats in shortest round-trip form, and all strings
-    escaped per RFC 8259. *)
+    events, bench baselines and ledger records — without pulling a JSON
+    dependency into the build.  Serialisation is deterministic: object
+    fields are emitted in the order given, floats in shortest round-trip
+    form, and all strings escaped per RFC 8259.  The parser accepts
+    anything this serialiser emits (and standard JSON generally); it exists
+    so [eproc bench-diff] can read the bench ledger back. *)
 
 type t =
   | Null
@@ -22,3 +24,23 @@ val to_buffer : Buffer.t -> t -> unit
 
 val to_channel : out_channel -> t -> unit
 (** [to_string] written to the channel (no trailing newline). *)
+
+val float_to_string : float -> string
+(** The serialiser's float rendering: shortest representation that
+    round-trips ([nan] becomes ["null"]).  Shared with the OpenMetrics
+    exporter so both emit identical numbers. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (surrounding whitespace allowed).  Numbers
+    without fraction or exponent that fit an OCaml [int] parse as [Int],
+    everything else as [Float]; [\uXXXX] escapes are decoded to UTF-8
+    (surrogate pairs included).  Errors carry a character offset. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj] (first match); [None] on other constructors. *)
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] as a float; [None] otherwise. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option

@@ -150,6 +150,46 @@ let hist_json h =
       ("buckets", Json.List buckets);
     ]
 
+type view =
+  | Counter_view of int
+  | Gauge_view of float
+  | Histogram_view of {
+      hv_count : int;
+      hv_sum : float;
+      hv_buckets : (float * int) array;
+      hv_inf : int;
+    }
+
+let instruments t =
+  Mutex.lock t.t_mutex;
+  let entries =
+    Hashtbl.fold (fun name instr acc -> (name, instr) :: acc) t.instruments []
+  in
+  Mutex.unlock t.t_mutex;
+  entries
+  |> List.map (fun (name, instr) ->
+         let view =
+           match instr with
+           | Counter c -> Counter_view (Atomic.get c)
+           | Gauge g -> Gauge_view (Atomic.get g.g).g_value
+           | Histogram h ->
+               Mutex.lock h.h_mutex;
+               let counts = Array.copy h.bucket_counts in
+               let hv_count = h.h_count and hv_sum = h.sum in
+               Mutex.unlock h.h_mutex;
+               let nb = Array.length h.bounds in
+               Histogram_view
+                 {
+                   hv_count;
+                   hv_sum;
+                   hv_buckets =
+                     Array.init nb (fun i -> (h.bounds.(i), counts.(i)));
+                   hv_inf = counts.(nb);
+                 }
+         in
+         (name, view))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let snapshot t =
   Mutex.lock t.t_mutex;
   let entries =

@@ -58,6 +58,23 @@ val hist_count : histogram -> int
 
 val hist_sum : histogram -> float
 
+type view =
+  | Counter_view of int
+  | Gauge_view of float
+  | Histogram_view of {
+      hv_count : int;
+      hv_sum : float;
+      hv_buckets : (float * int) array;
+          (** (finite upper bound, count in that bucket) — per-bucket, not
+              cumulative *)
+      hv_inf : int;  (** observations above the last bound *)
+    }
+
+val instruments : t -> (string * view) list
+(** A consistent, name-sorted snapshot of every registered instrument —
+    the exporter's ({!Export}) view of the registry.  Histogram fields are
+    copied under the histogram's own lock. *)
+
 val snapshot : t -> Json.t
 (** Deterministic snapshot:
     [{"counters":{..},"gauges":{..},"histograms":{name:{"count","sum",

@@ -1,0 +1,162 @@
+(* Per-domain local trees, merged on read.
+
+   The hot path (enter/exit) touches only the calling domain's own tree:
+   one DLS lookup, one hashtable probe, two monotonic clock reads — no
+   locks, no atomics.  The profiler's mutex guards only the list of
+   domain-local roots (taken once per domain, on its first span). *)
+
+type data = {
+  mutable count : int;
+  mutable total_ns : int;
+  node_children : (string, data) Hashtbl.t;
+}
+
+let fresh_data () = { count = 0; total_ns = 0; node_children = Hashtbl.create 4 }
+
+type frame = { f_node : data; started : int }
+
+type local = { l_root : data; mutable l_frames : frame list }
+
+type t = {
+  key : local Domain.DLS.key;
+  p_mutex : Mutex.t;
+  locals : local list ref;
+}
+
+let create () =
+  let p_mutex = Mutex.create () in
+  let locals = ref [] in
+  let key =
+    (* Runs on a domain's first access: register its fresh tree. *)
+    Domain.DLS.new_key (fun () ->
+        let l = { l_root = fresh_data (); l_frames = [] } in
+        Mutex.lock p_mutex;
+        locals := l :: !locals;
+        Mutex.unlock p_mutex;
+        l)
+  in
+  { key; p_mutex; locals }
+
+let local t = Domain.DLS.get t.key
+
+let enter t name =
+  let l = local t in
+  let parent =
+    match l.l_frames with [] -> l.l_root | f :: _ -> f.f_node
+  in
+  let node =
+    match Hashtbl.find_opt parent.node_children name with
+    | Some d -> d
+    | None ->
+        let d = fresh_data () in
+        Hashtbl.add parent.node_children name d;
+        d
+  in
+  l.l_frames <- { f_node = node; started = Clock.now_ns () } :: l.l_frames
+
+let exit_span t =
+  let l = local t in
+  match l.l_frames with
+  | [] -> invalid_arg "Prof.exit_span: no open span on this domain"
+  | f :: rest ->
+      l.l_frames <- rest;
+      f.f_node.count <- f.f_node.count + 1;
+      f.f_node.total_ns <- f.f_node.total_ns + Clock.elapsed_ns f.started
+
+let span t name f =
+  enter t name;
+  Fun.protect ~finally:(fun () -> exit_span t) f
+
+type node = {
+  name : string;
+  calls : int;
+  total_s : float;
+  self_s : float;
+  children : node list;
+}
+
+(* Merge same-named nodes across the per-domain tables: counts and totals
+   sum; children merge recursively and sort by name, so the result is
+   independent of domain interleaving. *)
+let rec merge_tables (tables : (string, data) Hashtbl.t list) : node list =
+  let names = Hashtbl.create 8 in
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter (fun name _ -> Hashtbl.replace names name ()) tbl)
+    tables;
+  Hashtbl.fold (fun name () acc -> name :: acc) names []
+  |> List.sort String.compare
+  |> List.map (fun name ->
+         let datas =
+           List.filter_map (fun tbl -> Hashtbl.find_opt tbl name) tables
+         in
+         let calls = List.fold_left (fun a d -> a + d.count) 0 datas in
+         let total_ns =
+           List.fold_left (fun a d -> a + d.total_ns) 0 datas
+         in
+         let children =
+           merge_tables (List.map (fun d -> d.node_children) datas)
+         in
+         let child_total =
+           List.fold_left (fun a c -> a +. c.total_s) 0.0 children
+         in
+         let total_s = Clock.ns_to_s total_ns in
+         {
+           name;
+           calls;
+           total_s;
+           self_s = Float.max 0.0 (total_s -. child_total);
+           children;
+         })
+
+let tree t =
+  Mutex.lock t.p_mutex;
+  let locals = !(t.locals) in
+  Mutex.unlock t.p_mutex;
+  merge_tables (List.map (fun l -> l.l_root.node_children) locals)
+
+let rec node_to_json n =
+  Json.Obj
+    [
+      ("name", Json.String n.name);
+      ("calls", Json.Int n.calls);
+      ("total_s", Json.Float n.total_s);
+      ("self_s", Json.Float n.self_s);
+      ("children", Json.List (List.map node_to_json n.children));
+    ]
+
+let to_json t = Json.List (List.map node_to_json (tree t))
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  let rec go depth n =
+    Buffer.add_string buf
+      (Printf.sprintf "%*stotal %8.3fs  self %8.3fs  calls %6d  %s\n"
+         (depth * 2) "" n.total_s n.self_s n.calls n.name);
+    List.iter (go (depth + 1)) n.children
+  in
+  List.iter (go 0) (tree t);
+  Buffer.contents buf
+
+let report ?(out = stdout) t =
+  let s = to_string t in
+  if s <> "" then output_string out s
+
+(* -- ambient ---------------------------------------------------------------- *)
+
+let ambient_enabled = Atomic.make false
+
+let ambient_t = lazy (create ())
+
+let enable_ambient () =
+  Atomic.set ambient_enabled true;
+  Lazy.force ambient_t
+
+let disable_ambient () = Atomic.set ambient_enabled false
+
+let ambient () =
+  if Atomic.get ambient_enabled then Some (Lazy.force ambient_t) else None
+
+let span_ambient name f =
+  if Atomic.get ambient_enabled then span (Lazy.force ambient_t) name f
+  else f ()

@@ -1,0 +1,75 @@
+(** Hierarchical span profiler with per-domain attribution.
+
+    A profiler accumulates named, nestable spans into a call tree: each
+    node carries a call count and total monotonic time; after merging, a
+    node's {e self} time is its total minus its children's totals.  This is
+    the instrument that turns "the bench took 70 s" into "59 s of it is
+    [spectral-p1]'s Lanczos sweep" — and "jobs=4 is slower" into a
+    per-domain time budget.
+
+    {b Domains.}  Every domain that enters a span gets its own local tree
+    (domain-local storage), so the hot path takes no locks and spans opened
+    on pool workers never interleave with the caller's.  {!tree} merges the
+    per-domain trees deterministically: nodes with the same path are
+    summed, children are sorted by name.  Merging reads other domains'
+    trees without synchronisation, so call {!tree} at a quiescent point
+    (after the pool batch / domain joins), which is how the bench and CLI
+    use it.
+
+    {b Ambient profiler.}  Library code that should be profilable without
+    threading a [Prof.t] through every signature (the experiment sweeps)
+    wraps its work in {!span_ambient}: a no-op (one atomic load) until
+    {!enable_ambient} is called. *)
+
+type t
+
+val create : unit -> t
+
+val enter : t -> string -> unit
+(** Open a span named [name] nested inside the calling domain's innermost
+    open span. *)
+
+val exit_span : t -> unit
+(** Close the innermost open span, folding its duration into the tree.
+    @raise Invalid_argument if the calling domain has no open span. *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f] inside a [name] span; the span is closed even
+    when [f] raises (the exception is re-raised). *)
+
+(** One node of the merged call tree. *)
+type node = {
+  name : string;
+  calls : int;  (** completed spans (still-open spans are not counted) *)
+  total_s : float;
+  self_s : float;  (** [total_s] minus the children's [total_s], >= 0 *)
+  children : node list;  (** sorted by name *)
+}
+
+val tree : t -> node list
+(** Merge every domain's spans into one deterministic tree (same spans =>
+    same tree, whatever the domain interleaving).  Top-level nodes sorted
+    by name. *)
+
+val to_json : t -> Json.t
+(** The merged tree as
+    [[{"name","calls","total_s","self_s","children"},...]]. *)
+
+val to_string : t -> string
+(** Human-readable indented tree: total, self, calls per node.  Empty
+    string when nothing was recorded. *)
+
+val report : ?out:out_channel -> t -> unit
+(** Print {!to_string} (default [stdout]); silent when empty. *)
+
+val enable_ambient : unit -> t
+(** Switch the process-global ambient profiler on (idempotent) and return
+    it. *)
+
+val disable_ambient : unit -> unit
+
+val ambient : unit -> t option
+(** The ambient profiler, when enabled. *)
+
+val span_ambient : string -> (unit -> 'a) -> 'a
+(** {!span} on the ambient profiler; just [f ()] while disabled. *)

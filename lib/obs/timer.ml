@@ -1,23 +1,29 @@
+(* Epoch time is kept ONLY for timestamps (ledger records, log lines);
+   every duration below is measured on the monotonic clock so a span can
+   never go backwards when NTP adjusts the wall clock mid-run. *)
 let now () = Unix.gettimeofday ()
 
 type span = {
   span_name : string;
-  started : float;
-  mutable finished : float option;
+  started_ns : int;
+  mutable finished_ns : int option;
 }
 
-let start name = { span_name = name; started = now (); finished = None }
+let start name =
+  { span_name = name; started_ns = Clock.now_ns (); finished_ns = None }
 
 let stop s =
-  (match s.finished with None -> s.finished <- Some (now ()) | Some _ -> ());
-  match s.finished with
-  | Some t -> t -. s.started
+  (match s.finished_ns with
+  | None -> s.finished_ns <- Some (Clock.now_ns ())
+  | Some _ -> ());
+  match s.finished_ns with
+  | Some t -> Clock.ns_to_s (max 0 (t - s.started_ns))
   | None -> assert false
 
 let elapsed s =
-  match s.finished with
-  | Some t -> t -. s.started
-  | None -> now () -. s.started
+  match s.finished_ns with
+  | Some t -> Clock.ns_to_s (max 0 (t - s.started_ns))
+  | None -> Clock.elapsed_s s.started_ns
 
 let name s = s.span_name
 

@@ -1,13 +1,14 @@
 (** Wall-clock spans for run telemetry.
 
-    A {!span} measures elapsed wall time between {!start} and {!stop};
-    finished spans can be serialised into the run-telemetry JSON that
-    [eproc experiment --metrics] and the bench harness emit.  Timestamps
-    come from [Unix.gettimeofday] — microsecond-ish resolution, which is
-    plenty for the multi-second experiment sweeps these spans wrap. *)
+    A {!span} measures elapsed time between {!start} and {!stop} on the
+    monotonic clock ({!Clock}), so a duration can never go negative under
+    NTP adjustment; finished spans can be serialised into the run-telemetry
+    JSON that [eproc experiment --metrics] and the bench harness emit.
+    For nested spans with self/total attribution use {!Prof}. *)
 
 val now : unit -> float
-(** Seconds since the epoch. *)
+(** Seconds since the epoch ([Unix.gettimeofday]) — for {e timestamps}
+    only (ledger records, log lines), never for durations. *)
 
 type span
 

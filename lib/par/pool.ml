@@ -16,11 +16,30 @@ type batch_state = {
   mutable failed : (exn * Printexc.raw_backtrace) option; (* first failure *)
 }
 
+(* Telemetry cell, one per lane (lane 0 = the calling domain, 1.. = spawned
+   workers).  Each cell is written only by its own domain, so updates take
+   no locks; readers ([stats]) should run at a quiescent point (after the
+   batch returns), which is when the numbers are meaningful anyway. *)
+type lane = {
+  mutable busy_ns : int; (* executing batch work *)
+  mutable wait_ns : int; (* blocked: queue wait (workers), barrier (caller) *)
+  mutable chunks : int; (* chunks claimed from batch cursors *)
+  mutable tasks_run : int; (* helper tasks (workers) / batches (caller) *)
+}
+
+type lane_report = {
+  busy_s : float;
+  wait_s : float;
+  chunks_served : int;
+  tasks_served : int;
+}
+
 type t = {
   pool_jobs : int;
   mutex : Mutex.t;
   has_work : Condition.t;
-  tasks : (unit -> unit) Queue.t;
+  tasks : (int -> unit) Queue.t; (* argument: executing worker's lane *)
+  lanes : lane array; (* length pool_jobs *)
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
 }
@@ -41,19 +60,32 @@ let jobs t = t.pool_jobs
 
 (* Workers exit only once the pool is stopping AND the queue is drained, so
    helper tasks enqueued before [shutdown] always run to completion (their
-   batches would otherwise wait on [pending] forever). *)
-let rec worker_loop t =
+   batches would otherwise wait on [pending] forever).  [lane_idx] is the
+   worker's telemetry cell: time from arriving at the queue to popping a
+   task (or learning the pool stopped) counts as queue wait.  Busy time is
+   recorded by the task itself (see [map_array]) — it must land BEFORE the
+   task signals its batch done, or a caller reading [stats] right after
+   the batch could miss it. *)
+let rec worker_loop t lane_idx =
+  let lane = t.lanes.(lane_idx) in
+  let wait_t0 = Ewalk_obs.Clock.now_ns () in
   Mutex.lock t.mutex;
   while Queue.is_empty t.tasks && not t.stopping do
     Condition.wait t.has_work t.mutex
   done;
-  if Queue.is_empty t.tasks then Mutex.unlock t.mutex
+  if Queue.is_empty t.tasks then begin
+    Mutex.unlock t.mutex;
+    lane.wait_ns <- lane.wait_ns + Ewalk_obs.Clock.elapsed_ns wait_t0
+  end
   else begin
     let task = Queue.pop t.tasks in
     Mutex.unlock t.mutex;
-    (try task () with _ -> ());
-    worker_loop t
+    lane.wait_ns <- lane.wait_ns + Ewalk_obs.Clock.elapsed_ns wait_t0;
+    (try task lane_idx with _ -> ());
+    worker_loop t lane_idx
   end
+
+let fresh_lane () = { busy_ns = 0; wait_ns = 0; chunks = 0; tasks_run = 0 }
 
 let create ?jobs () =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
@@ -65,12 +97,14 @@ let create ?jobs () =
       mutex = Mutex.create ();
       has_work = Condition.create ();
       tasks = Queue.create ();
+      lanes = Array.init jobs (fun _ -> fresh_lane ());
       stopping = false;
       workers = [];
     }
   in
   t.workers <-
-    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t (i + 1)));
   t
 
 let submit t task =
@@ -99,8 +133,9 @@ let with_pool ?jobs f =
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 (* Drain chunks from a shared cursor until the input is exhausted, another
-   lane has failed, or this lane fails (recording the first exception). *)
-let drain_chunks ~src ~dst ~f ~chunk ~cursor ~stop ~state =
+   lane has failed, or this lane fails (recording the first exception).
+   [lane] counts the chunks this drain claims. *)
+let drain_chunks ~src ~dst ~f ~chunk ~cursor ~stop ~state ~lane =
   let n = Array.length src in
   let continue_ = ref true in
   while !continue_ do
@@ -109,6 +144,7 @@ let drain_chunks ~src ~dst ~f ~chunk ~cursor ~stop ~state =
       let start = Atomic.fetch_and_add cursor chunk in
       if start >= n then continue_ := false
       else begin
+        lane.chunks <- lane.chunks + 1;
         let limit = min n (start + chunk) in
         try
           for i = start to limit - 1 do
@@ -153,20 +189,33 @@ let map_array ?chunk t f src =
     let helpers = min (t.pool_jobs - 1) nchunks in
     state.pending <- helpers;
     for _ = 1 to helpers do
-      submit t (fun () ->
-          drain_chunks ~src ~dst ~f ~chunk ~cursor ~stop ~state;
+      submit t (fun lane_idx ->
+          (* Record busy time / task count before the pending decrement: the
+             caller may read [stats] as soon as the last decrement lands, and
+             the b_mutex release below is what publishes these writes. *)
+          let lane = t.lanes.(lane_idx) in
+          let busy_t0 = Ewalk_obs.Clock.now_ns () in
+          drain_chunks ~src ~dst ~f ~chunk ~cursor ~stop ~state ~lane;
+          lane.busy_ns <- lane.busy_ns + Ewalk_obs.Clock.elapsed_ns busy_t0;
+          lane.tasks_run <- lane.tasks_run + 1;
           Mutex.lock state.b_mutex;
           state.pending <- state.pending - 1;
           if state.pending = 0 then Condition.broadcast state.b_done;
           Mutex.unlock state.b_mutex)
     done;
-    drain_chunks ~src ~dst ~f ~chunk ~cursor ~stop ~state;
+    let caller = t.lanes.(0) in
+    let busy_t0 = Ewalk_obs.Clock.now_ns () in
+    drain_chunks ~src ~dst ~f ~chunk ~cursor ~stop ~state ~lane:caller;
+    caller.busy_ns <- caller.busy_ns + Ewalk_obs.Clock.elapsed_ns busy_t0;
+    caller.tasks_run <- caller.tasks_run + 1;
+    let wait_t0 = Ewalk_obs.Clock.now_ns () in
     Mutex.lock state.b_mutex;
     while state.pending > 0 do
       Condition.wait state.b_done state.b_mutex
     done;
     let failed = state.failed in
     Mutex.unlock state.b_mutex;
+    caller.wait_ns <- caller.wait_ns + Ewalk_obs.Clock.elapsed_ns wait_t0;
     match failed with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None ->
@@ -178,3 +227,41 @@ let map_array ?chunk t f src =
 let run t thunks =
   Array.to_list
     (map_array ~chunk:1 t (fun thunk -> thunk ()) (Array.of_list thunks))
+
+let stats t =
+  Array.map
+    (fun l ->
+      {
+        busy_s = Ewalk_obs.Clock.ns_to_s l.busy_ns;
+        wait_s = Ewalk_obs.Clock.ns_to_s l.wait_ns;
+        chunks_served = l.chunks;
+        tasks_served = l.tasks_run;
+      })
+    t.lanes
+
+let reset_stats t =
+  Array.iter
+    (fun l ->
+      l.busy_ns <- 0;
+      l.wait_ns <- 0;
+      l.chunks <- 0;
+      l.tasks_run <- 0)
+    t.lanes
+
+let utilization_line t ~wall_s =
+  let reports = stats t in
+  let busy_total = Array.fold_left (fun a r -> a +. r.busy_s) 0.0 reports in
+  let chunks = Array.fold_left (fun a r -> a + r.chunks_served) 0 reports in
+  let util =
+    if wall_s > 0.0 then
+      100.0 *. busy_total /. (wall_s *. float_of_int t.pool_jobs)
+    else 0.0
+  in
+  let lanes_txt =
+    Array.to_list reports
+    |> List.map (fun r -> Printf.sprintf "%.2f" r.busy_s)
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "pool: jobs=%d wall=%.2fs busy=[%ss] utilization=%.0f%% chunks=%d"
+    t.pool_jobs wall_s lanes_txt util chunks

@@ -51,6 +51,34 @@ val run : t -> (unit -> 'a) list -> 'a list
     returns their results in input order.  Same exception contract as
     {!map_array}. *)
 
+(** Per-lane telemetry accumulated since pool creation (or the last
+    {!reset_stats}).  Lane 0 is the calling domain; lanes 1.. are the
+    spawned workers. *)
+type lane_report = {
+  busy_s : float;  (** seconds spent executing batch work *)
+  wait_s : float;
+      (** seconds blocked: queue wait for workers, end-of-batch barrier
+          for the caller *)
+  chunks_served : int;  (** chunks claimed from batch cursors *)
+  tasks_served : int;  (** helper tasks (workers) / batches (caller) *)
+}
+
+val stats : t -> lane_report array
+(** One report per lane, index = lane.  Cells are written without locks by
+    their owning domains, so read this at a quiescent point — after the
+    batch whose cost you are attributing has returned.  The sequential
+    fast path ([jobs = 1], or single-element inputs) records nothing. *)
+
+val reset_stats : t -> unit
+(** Zero every lane (quiescent points only, same caveat as {!stats}). *)
+
+val utilization_line : t -> wall_s:float -> string
+(** One-line human summary of {!stats} against a wall-clock interval:
+    per-lane busy seconds, aggregate utilization percent
+    ([sum busy / (jobs * wall)]), and total chunks served.  This is the
+    line the bench and CLI print after [--jobs > 1] runs so a poor
+    speedup arrives with its explanation attached. *)
+
 val shutdown : t -> unit
 (** Joins the worker domains.  Idempotent.  Submitting new batches to a
     shut-down pool with [jobs > 1] raises [Invalid_argument]. *)

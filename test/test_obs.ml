@@ -40,6 +40,232 @@ let json_rendering () =
     "control chars escaped" {|"\u0001"|}
     (Json.to_string (Json.String "\001"))
 
+let json_parser_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("schema", Json.String "x/1");
+        ("xs", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null ]);
+        ("ok", Json.Bool false);
+        ("name", Json.String "a\"b\\c\n\t");
+        ("neg", Json.Int (-42));
+        ("tiny", Json.Float 1e-9);
+      ]
+  in
+  (match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "parse (to_string v) = v" true (v = v')
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e);
+  (* Standard JSON beyond our own output: whitespace, \u escapes (surrogate
+     pair) decoded to UTF-8.  {|..|} keeps the backslashes literal, so the
+     parser really sees the \u escapes. *)
+  (match
+     Json.of_string {|  { "a" : [ 1 , 2.0 ] , "u" : "\u0041\uD83D\uDE00" }  |}
+   with
+  | Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float 2.0 ]); ("u", Json.String u) ]) ->
+      Alcotest.(check string) "unicode escapes to UTF-8" "A\xf0\x9f\x98\x80" u
+  | Ok other -> Alcotest.failf "unexpected parse: %s" (Json.to_string other)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* Integral numbers parse as Int, everything else as Float. *)
+  Alcotest.(check bool) "3 is Int" true (Json.of_string "3" = Ok (Json.Int 3));
+  Alcotest.(check bool) "3.0 is Float" true
+    (Json.of_string "3.0" = Ok (Json.Float 3.0));
+  Alcotest.(check bool) "3e2 is Float" true
+    (Json.of_string "3e2" = Ok (Json.Float 300.0))
+
+let json_parser_errors () =
+  let rejects s =
+    match Json.of_string s with
+    | Ok v -> Alcotest.failf "accepted %S as %s" s (Json.to_string v)
+    | Error _ -> ()
+  in
+  List.iter rejects
+    [
+      ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2";
+      "{\"a\" 1}"; "[1 2]"; "\"bad \\x escape\"";
+    ]
+
+let json_accessors () =
+  let v = Json.Obj [ ("a", Json.Int 3); ("b", Json.Float 1.5) ] in
+  Alcotest.(check bool) "member hit" true (Json.member "a" v = Some (Json.Int 3));
+  Alcotest.(check bool) "member miss" true (Json.member "z" v = None);
+  Alcotest.(check bool) "int as float" true
+    (Option.bind (Json.member "a" v) Json.to_float_opt = Some 3.0);
+  Alcotest.(check bool) "float not int" true
+    (Option.bind (Json.member "b" v) Json.to_int_opt = None)
+
+(* -- Benchstat --------------------------------------------------------------- *)
+
+module Benchstat = Ewalk_obs.Benchstat
+
+let benchstat_median_mad () =
+  Alcotest.(check (float 1e-9)) "odd median" 3.0
+    (Benchstat.median [| 5.0; 1.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "even median interpolates" 2.5
+    (Benchstat.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "mad" 1.0
+    (Benchstat.mad [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  Alcotest.(check (float 1e-9)) "mad of constant is 0" 0.0
+    (Benchstat.mad [| 7.0; 7.0; 7.0 |]);
+  Alcotest.check_raises "median of empty"
+    (Invalid_argument "Benchstat.median: empty sample") (fun () ->
+      ignore (Benchstat.median [||]))
+
+let benchstat_measure () =
+  let s = Benchstat.measure ~reps:12 ~min_rep_s:1e-4 (fun () -> ()) in
+  Alcotest.(check int) "samples as requested" 12 s.Benchstat.samples;
+  Alcotest.(check bool) "median positive" true (s.Benchstat.median_ns > 0.0);
+  Alcotest.(check bool) "min <= median" true
+    (s.Benchstat.min_ns <= s.Benchstat.median_ns);
+  Alcotest.(check bool) "mad non-negative" true (s.Benchstat.mad_ns >= 0.0);
+  (* reps floors at 10. *)
+  let s = Benchstat.measure ~reps:3 ~min_rep_s:1e-5 (fun () -> ()) in
+  Alcotest.(check int) "reps floored at 10" 10 s.Benchstat.samples
+
+let benchstat_overhead_non_negative () =
+  (* Identical kernels: true overhead 0; the paired estimator must report
+     exactly 0 however the noise lands. *)
+  let work () = ignore (Sys.opaque_identity (Array.make 128 0)) in
+  for _ = 1 to 3 do
+    let oh =
+      Benchstat.paired_overhead ~reps:10 ~min_rep_s:1e-4 ~base:work
+        ~instrumented:work ()
+    in
+    Alcotest.(check bool) "reported >= 0" true (oh.Benchstat.percent >= 0.0);
+    Alcotest.(check bool) "noise >= 0" true (oh.Benchstat.noise_percent >= 0.0);
+    Alcotest.(check int) "pairs floored at 10" 10 oh.Benchstat.pairs
+  done;
+  (* A genuinely slower instrumented side must show, not clamp to 0. *)
+  let slow () =
+    work ();
+    for _ = 1 to 40 do
+      work ()
+    done
+  in
+  let oh =
+    Benchstat.paired_overhead ~reps:10 ~min_rep_s:1e-4 ~base:work
+      ~instrumented:slow ()
+  in
+  Alcotest.(check bool) "real overhead detected" true
+    (oh.Benchstat.percent > 100.0)
+
+(* -- Ledger ------------------------------------------------------------------ *)
+
+module Ledger = Ewalk_obs.Ledger
+
+let k ?(mad = 50.0) median =
+  {
+    Ledger.k_median_ns = median;
+    k_mad_ns = mad;
+    k_min_ns = median *. 0.9;
+    k_samples = 10;
+  }
+
+let ledger_roundtrip () =
+  let r =
+    Ledger.make ~timestamp:123.5 ~git_rev:"abc1234" ~scale:"tiny" ~jobs:4
+      ~kernels:[ ("b", k 2000.0); ("a", k 1000.0) ]
+      ()
+  in
+  Alcotest.(check (list string))
+    "kernels sorted" [ "a"; "b" ]
+    (List.map fst r.Ledger.kernels);
+  Alcotest.(check string) "schema" Ledger.schema_version r.Ledger.schema;
+  match Ledger.of_json (Ledger.to_json r) with
+  | Ok r' -> Alcotest.(check bool) "of_json (to_json r) = r" true (r = r')
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+let ledger_accepts_bench_core () =
+  (* A BENCH_core.json v2 snapshot is a valid diff endpoint: same kernels
+     table, different envelope. *)
+  let s =
+    {|{"schema":"ewalk-bench/2","scale":"tiny","jobs":1,"git_rev":"deadbee",
+       "kernels":{"x":{"median_ns":10.0,"mad_ns":1.0,"min_ns":9.0,"samples":10}},
+       "extra_field":null}|}
+  in
+  match Result.bind (Json.of_string s) Ledger.of_json with
+  | Ok r ->
+      Alcotest.(check string) "git rev carried" "deadbee" r.Ledger.git_rev;
+      Alcotest.(check int) "one kernel" 1 (List.length r.Ledger.kernels)
+  | Error e -> Alcotest.failf "BENCH_core.json rejected: %s" e
+
+let ledger_append_read () =
+  let path = Filename.temp_file "ewalk-ledger" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let r i =
+        Ledger.make ~timestamp:(float_of_int i) ~git_rev:"r" ~scale:"tiny"
+          ~jobs:1
+          ~kernels:[ ("a", k (1000.0 +. float_of_int i)) ]
+          ()
+      in
+      Ledger.append ~path (r 1);
+      Ledger.append ~path (r 2);
+      (match Ledger.read_history ~path with
+      | Ok [ a; b ] ->
+          Alcotest.(check (float 0.0)) "file order" 1.0 a.Ledger.timestamp;
+          Alcotest.(check (float 0.0)) "second record" 2.0 b.Ledger.timestamp
+      | Ok l -> Alcotest.failf "expected 2 records, got %d" (List.length l)
+      | Error e -> Alcotest.failf "read_history: %s" e);
+      (* load_record on a .jsonl path picks the last record. *)
+      match Ledger.load_record path with
+      | Ok r -> Alcotest.(check (float 0.0)) "last record" 2.0 r.Ledger.timestamp
+      | Error e -> Alcotest.failf "load_record: %s" e)
+
+let ledger_diff_gate () =
+  let baseline =
+    Ledger.make ~timestamp:0.0 ~git_rev:"base" ~scale:"tiny" ~jobs:1
+      ~kernels:
+        [
+          ("steady", k ~mad:50.0 1000.0);
+          ("noisy", k ~mad:400.0 1000.0);
+          ("zero-mad", k ~mad:0.0 1000.0);
+          ("base-only", k 1.0);
+        ]
+      ()
+  in
+  let candidate kernels =
+    Ledger.make ~timestamp:1.0 ~git_rev:"cand" ~scale:"tiny" ~jobs:1 ~kernels
+      ()
+  in
+  (* Within tolerance: +25% relative floor dominates 6 MADs of 50ns. *)
+  let ok =
+    Ledger.diff ~baseline
+      (candidate
+         [
+           ("steady", k 1240.0); ("noisy", k 3000.0); ("zero-mad", k 1200.0);
+           ("cand-only", k 1.0);
+         ])
+  in
+  Alcotest.(check int) "intersection only" 3 (List.length ok);
+  Alcotest.(check bool) "steady +24% ok" true
+    (not (List.find (fun v -> v.Ledger.v_kernel = "steady") ok).Ledger.v_regressed);
+  (* noisy: tolerance = max(6*400, 0.25*1000) = 2400 -> 3000 < 3400 ok *)
+  Alcotest.(check bool) "noisy +200% within 6 MADs" true
+    (not (List.find (fun v -> v.Ledger.v_kernel = "noisy") ok).Ledger.v_regressed);
+  Alcotest.(check bool) "no regression" false (Ledger.any_regression ok);
+  (* Beyond tolerance. *)
+  let bad =
+    Ledger.diff ~baseline
+      (candidate
+         [ ("steady", k 1400.0); ("noisy", k 1000.0); ("zero-mad", k 1260.0) ])
+  in
+  let v name = List.find (fun v -> v.Ledger.v_kernel = name) bad in
+  Alcotest.(check bool) "steady +40% regressed" true
+    (v "steady").Ledger.v_regressed;
+  Alcotest.(check bool) "zero-mad uses relative floor" true
+    (v "zero-mad").Ledger.v_regressed;
+  Alcotest.(check bool) "any_regression" true (Ledger.any_regression bad);
+  (* An improvement is never a regression, and tolerance scales with MADs. *)
+  let improved = Ledger.diff ~baseline (candidate [ ("steady", k 100.0) ]) in
+  Alcotest.(check bool) "faster is fine" false (Ledger.any_regression improved);
+  let tight =
+    Ledger.diff ~tolerance_mads:1.0 ~min_rel:0.01 ~baseline
+      (candidate [ ("steady", k 1100.0) ])
+  in
+  Alcotest.(check bool) "tight tolerance flags +10%" true
+    (Ledger.any_regression tight)
+
 (* -- Metrics ----------------------------------------------------------------- *)
 
 let metrics_counters_gauges () =
@@ -306,7 +532,27 @@ let () =
   Alcotest.run "obs"
     [
       ( "json",
-        [ Alcotest.test_case "rendering" `Quick json_rendering ] );
+        [
+          Alcotest.test_case "rendering" `Quick json_rendering;
+          Alcotest.test_case "parser roundtrip" `Quick json_parser_roundtrip;
+          Alcotest.test_case "parser errors" `Quick json_parser_errors;
+          Alcotest.test_case "accessors" `Quick json_accessors;
+        ] );
+      ( "benchstat",
+        [
+          Alcotest.test_case "median and mad" `Quick benchstat_median_mad;
+          Alcotest.test_case "measure" `Quick benchstat_measure;
+          Alcotest.test_case "paired overhead non-negative" `Quick
+            benchstat_overhead_non_negative;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "roundtrip" `Quick ledger_roundtrip;
+          Alcotest.test_case "accepts BENCH_core.json" `Quick
+            ledger_accepts_bench_core;
+          Alcotest.test_case "append and read" `Quick ledger_append_read;
+          Alcotest.test_case "diff regression gate" `Quick ledger_diff_gate;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "counters and gauges" `Quick

@@ -79,6 +79,57 @@ let pool_shutdown_rejects () =
     (Invalid_argument "Pool: submit to a shut-down pool") (fun () ->
       ignore (Pool.map_array p succ [| 1; 2 |]))
 
+let pool_lane_telemetry () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      let before = Pool.stats p in
+      Alcotest.(check int) "one report per lane" 3 (Array.length before);
+      let busy_work x =
+        let acc = ref x in
+        for i = 1 to 50_000 do
+          acc := (!acc + i) land 0xFFFF
+        done;
+        !acc
+      in
+      let src = Array.init 64 (fun i -> i) in
+      ignore (Pool.map_array ~chunk:4 p busy_work src);
+      let lanes = Pool.stats p in
+      let total_chunks =
+        Array.fold_left (fun a l -> a + l.Pool.chunks_served) 0 lanes
+      in
+      Alcotest.(check int) "every chunk claimed exactly once" 16 total_chunks;
+      Array.iteri
+        (fun i l ->
+          Alcotest.(check bool)
+            (Printf.sprintf "lane %d busy_s >= 0" i)
+            true (l.Pool.busy_s >= 0.0);
+          Alcotest.(check bool)
+            (Printf.sprintf "lane %d wait_s >= 0" i)
+            true (l.Pool.wait_s >= 0.0))
+        lanes;
+      Alcotest.(check int) "caller ran one batch" 1 lanes.(0).Pool.tasks_served;
+      Alcotest.(check bool) "somebody was busy" true
+        (Array.exists (fun l -> l.Pool.busy_s > 0.0) lanes);
+      (* The utilization line carries the job count and the chunk total. *)
+      let line = Pool.utilization_line p ~wall_s:1.0 in
+      let contains needle =
+        let n = String.length needle and l = String.length line in
+        let rec scan i =
+          i + n <= l && (String.sub line i n = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "line mentions jobs and chunks: %s" line)
+        true
+        (contains "jobs=3" && contains "chunks=16");
+      Pool.reset_stats p;
+      let zeroed = Pool.stats p in
+      Array.iter
+        (fun l ->
+          Alcotest.(check int) "chunks zeroed" 0 l.Pool.chunks_served;
+          Alcotest.(check (float 0.0)) "busy zeroed" 0.0 l.Pool.busy_s)
+        zeroed)
+
 (* -- qcheck: map_array ≡ Array.map across arrays, chunks, job counts ------- *)
 
 let prop_map_array_agrees =
@@ -275,6 +326,7 @@ let () =
             pool_exception_propagates;
           Alcotest.test_case "shutdown rejects new batches" `Quick
             pool_shutdown_rejects;
+          Alcotest.test_case "lane telemetry" `Quick pool_lane_telemetry;
           qcheck prop_map_array_agrees;
           qcheck prop_run_agrees;
         ] );

@@ -1,0 +1,229 @@
+(* Tests for the span profiler and the OpenMetrics exporter: nesting
+   invariants (self = total - children, never negative), exception safety,
+   deterministic cross-domain merging, the ambient on/off switch, the
+   golden-file check of the exporter's text output, and the validator's
+   accept/reject behaviour. *)
+
+module Prof = Ewalk_obs.Prof
+module Metrics = Ewalk_obs.Metrics
+module Export = Ewalk_obs.Export
+
+let rec find_node name nodes =
+  List.find_opt (fun n -> n.Prof.name = name) nodes
+  |> function
+  | Some n -> Some n
+  | None ->
+      List.fold_left
+        (fun acc n ->
+          match acc with
+          | Some _ -> acc
+          | None -> find_node name n.Prof.children)
+        None nodes
+
+let get name nodes =
+  match find_node name nodes with
+  | Some n -> n
+  | None -> Alcotest.failf "span %S not in tree" name
+
+(* -- nesting ----------------------------------------------------------------- *)
+
+let spin_ns ns =
+  let t0 = Ewalk_obs.Clock.now_ns () in
+  while Ewalk_obs.Clock.elapsed_ns t0 < ns do
+    ignore (Sys.opaque_identity 0)
+  done
+
+let prof_nesting_invariants () =
+  let p = Prof.create () in
+  for _ = 1 to 3 do
+    Prof.span p "outer" (fun () ->
+        spin_ns 200_000;
+        Prof.span p "inner-a" (fun () -> spin_ns 400_000);
+        Prof.span p "inner-b" (fun () -> spin_ns 100_000))
+  done;
+  let tree = Prof.tree p in
+  let outer = get "outer" tree in
+  let a = get "inner-a" tree and b = get "inner-b" tree in
+  Alcotest.(check int) "outer calls" 3 outer.Prof.calls;
+  Alcotest.(check int) "inner-a calls" 3 a.Prof.calls;
+  Alcotest.(check (list string))
+    "children sorted by name"
+    [ "inner-a"; "inner-b" ]
+    (List.map (fun n -> n.Prof.name) outer.Prof.children);
+  (* total >= sum of children's totals; self makes up exactly the rest. *)
+  Alcotest.(check bool) "outer total covers children" true
+    (outer.Prof.total_s >= a.Prof.total_s +. b.Prof.total_s);
+  Alcotest.(check (float 1e-9))
+    "self = total - children"
+    (outer.Prof.total_s -. a.Prof.total_s -. b.Prof.total_s)
+    outer.Prof.self_s;
+  Alcotest.(check bool) "self non-negative" true (outer.Prof.self_s >= 0.0);
+  Alcotest.(check bool) "leaf self = total" true
+    (a.Prof.self_s = a.Prof.total_s);
+  (* The same name at different depths is a different node. *)
+  Prof.span p "inner-a" (fun () -> ());
+  let tree = Prof.tree p in
+  let top_a = List.find_opt (fun n -> n.Prof.name = "inner-a") tree in
+  Alcotest.(check bool) "top-level inner-a separate" true (top_a <> None);
+  Alcotest.(check int) "nested inner-a calls unchanged" 3
+    (get "inner-a" (get "outer" tree).Prof.children).Prof.calls
+
+exception Probe
+
+let prof_exception_safety () =
+  let p = Prof.create () in
+  (try
+     Prof.span p "outer" (fun () ->
+         Prof.span p "inner" (fun () -> raise Probe))
+   with Probe -> ());
+  (* Both spans closed despite the raise; a later sibling nests correctly. *)
+  Prof.span p "outer" (fun () -> Prof.span p "after" (fun () -> ()));
+  let tree = Prof.tree p in
+  let outer = get "outer" tree in
+  Alcotest.(check int) "outer closed twice" 2 outer.Prof.calls;
+  Alcotest.(check (list string))
+    "both children recorded under outer"
+    [ "after"; "inner" ]
+    (List.map (fun n -> n.Prof.name) outer.Prof.children);
+  Alcotest.check_raises "exit_span with nothing open"
+    (Invalid_argument "Prof.exit_span: no open span on this domain")
+    (fun () -> Prof.exit_span p)
+
+(* -- cross-domain merge ------------------------------------------------------ *)
+
+let prof_cross_domain_merge () =
+  (* Every domain records the same span structure with its own counts; the
+     merged tree must sum counts and be identical whatever the domain
+     interleaving or spawn order. *)
+  let run order =
+    let p = Prof.create () in
+    Prof.span p "walk" (fun () -> Prof.span p "caller" (fun () -> ()));
+    let body reps () =
+      for _ = 1 to reps do
+        Prof.span p "walk" (fun () ->
+            Prof.span p "step" (fun () -> ());
+            Prof.span p "step" (fun () -> ()))
+      done
+    in
+    let domains = List.map (fun reps -> Domain.spawn (body reps)) order in
+    List.iter Domain.join domains;
+    Prof.tree p
+  in
+  let shape tree =
+    let rec flat prefix nodes =
+      List.concat_map
+        (fun n ->
+          let path = prefix ^ "/" ^ n.Prof.name in
+          (path, n.Prof.calls) :: flat path n.Prof.children)
+        nodes
+    in
+    flat "" tree
+  in
+  let t1 = run [ 2; 3; 5 ] and t2 = run [ 5; 3; 2 ] in
+  Alcotest.(check (list (pair string int)))
+    "merged shape independent of domain order" (shape t1) (shape t2);
+  let walk = get "walk" t1 in
+  Alcotest.(check int) "walk calls summed across domains" 11 walk.Prof.calls;
+  Alcotest.(check int) "step calls summed" 20
+    (get "step" walk.Prof.children).Prof.calls;
+  Alcotest.(check (list string))
+    "children union, sorted" [ "caller"; "step" ]
+    (List.map (fun n -> n.Prof.name) walk.Prof.children)
+
+let prof_ambient_switch () =
+  (* Default off: span_ambient is transparent. *)
+  Prof.disable_ambient ();
+  Alcotest.(check bool) "ambient off" true (Prof.ambient () = None);
+  Alcotest.(check int) "span_ambient passes through" 7
+    (Prof.span_ambient "ghost" (fun () -> 7));
+  let p = Prof.enable_ambient () in
+  Fun.protect ~finally:Prof.disable_ambient (fun () ->
+      Alcotest.(check bool) "enable is idempotent" true
+        (Prof.enable_ambient () == p);
+      Prof.span_ambient "seen" (fun () -> ());
+      Alcotest.(check bool) "ambient span recorded" true
+        (find_node "seen" (Prof.tree p) <> None))
+
+(* -- OpenMetrics export ------------------------------------------------------ *)
+
+(* A fixed registry: every instrument kind, adversarial names included.
+   Rendering is deterministic, so the output can be a golden file. *)
+let golden_registry () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "steps") 12345;
+  Metrics.add (Metrics.counter m "blue_steps") 678;
+  Metrics.set (Metrics.gauge m "coverage_vertex_fraction") 0.75;
+  Metrics.set (Metrics.gauge m "seconds/fig1") 1.5;
+  let h = Metrics.histogram ~buckets:[| 1.0; 10.0; 100.0 |] m "phase_length" in
+  List.iter (fun x -> Metrics.observe h x) [ 0.5; 2.0; 3.0; 250.0 ];
+  m
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let export_golden_file () =
+  let rendered = Export.render (golden_registry ()) in
+  let expected = read_file "golden/export.txt" in
+  Alcotest.(check string) "matches golden/export.txt" expected rendered
+
+let export_validates () =
+  let rendered = Export.render (golden_registry ()) in
+  (match Export.validate rendered with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "golden render rejected: %s" e);
+  let reject what s =
+    match Export.validate s with
+    | Ok () -> Alcotest.failf "validator accepted %s" what
+    | Error _ -> ()
+  in
+  reject "missing EOF" "# TYPE a gauge\na 1.0\n";
+  reject "sample without family" "# TYPE a gauge\nb 1.0\n# EOF\n";
+  reject "counter without _total"
+    "# TYPE c counter\nc 1\n# EOF\n";
+  reject "garbage value" "# TYPE a gauge\na x\n# EOF\n";
+  reject "content after EOF" "# TYPE a gauge\na 1.0\n# EOF\na 2.0\n";
+  reject "blank line" "# TYPE a gauge\n\na 1.0\n# EOF\n"
+
+let export_includes_profile () =
+  let p = Prof.create () in
+  Prof.span p "walk" (fun () -> Prof.span p "step" (fun () -> ()));
+  let out = Export.render ~prof:p (golden_registry ()) in
+  (match Export.validate out with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "render with profile rejected: %s" e);
+  let contains needle =
+    let n = String.length needle and l = String.length out in
+    let rec scan i =
+      i + n <= l && (String.sub out i n = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "span path label" true
+    (contains {|ewalk_prof_calls_total{span="walk/step"} 1|});
+  Alcotest.(check bool) "seconds family" true
+    (contains {|ewalk_prof_seconds{span="walk"}|});
+  Alcotest.(check bool) "self seconds family" true
+    (contains {|ewalk_prof_self_seconds{span="walk/step"}|})
+
+let () =
+  Alcotest.run "profiler"
+    [
+      ( "prof",
+        [
+          Alcotest.test_case "nesting invariants" `Quick
+            prof_nesting_invariants;
+          Alcotest.test_case "exception safety" `Quick prof_exception_safety;
+          Alcotest.test_case "cross-domain merge deterministic" `Quick
+            prof_cross_domain_merge;
+          Alcotest.test_case "ambient switch" `Quick prof_ambient_switch;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "golden file" `Quick export_golden_file;
+          Alcotest.test_case "validator" `Quick export_validates;
+          Alcotest.test_case "profile series" `Quick export_includes_profile;
+        ] );
+    ]
