@@ -1,5 +1,5 @@
 .PHONY: all build test test-par bench bench-json bench-baseline bench-check \
-	ci fmt fmt-check clean
+	check-oracle ci fmt fmt-check clean
 
 all: build
 
@@ -10,8 +10,16 @@ test:
 	dune runtest
 
 # Everything CI gates on: the build, the test suite, dune-file formatting,
-# and the bench regression check against the committed baseline.
-ci: build test fmt-check bench-check
+# the bench regression check against the committed baseline, and the
+# oracle differential suite.
+ci: build test fmt-check bench-check check-oracle
+
+# Run every production walk against the naive reference oracles over the
+# stock graph/seed/mode matrix, serially and with 4 domains (the report is
+# bit-identical by the pool's determinism contract).
+check-oracle:
+	EWALK_JOBS=1 dune exec bin/eproc.exe -- check-oracle
+	EWALK_JOBS=4 dune exec bin/eproc.exe -- check-oracle
 
 # The parallel-determinism gate: the whole suite must pass with the pool
 # disabled and with 4 domains (results are bit-identical by contract).

@@ -6,6 +6,8 @@
      graph-info                - structural report of a generated graph
      cover                     - cover-time trials for one process
      trace                     - run one walk, emitting a JSONL event stream
+     verify-trace              - replay a JSONL stream against the walk invariants
+     check-oracle              - differential-test production walks vs naive oracles
      spectra                   - spectral report of a generated graph
      bench-diff                - regression gate over two bench ledger records *)
 
@@ -242,6 +244,7 @@ let make_process spec g rng =
     (Ewalk.Eprocess.process t, fun obs -> Observe.attach_eprocess obs t)
   in
   let srw t = (Ewalk.Srw.process t, fun obs -> Observe.attach_srw obs t) in
+  let rotor t = (Ewalk.Rotor.process t, fun obs -> Observe.attach_rotor obs t) in
   let plain p = (p, fun (_ : Observe.t) -> ()) in
   match String.split_on_char ':' spec with
   | [ "e-process" ] -> eprocess ()
@@ -252,9 +255,7 @@ let make_process spec g rng =
   | [ "v-process" ] ->
       plain (Ewalk.Vprocess.process (Ewalk.Vprocess.create g rng ~start:0))
   | [ "rotor" ] ->
-      plain
-        (Ewalk.Rotor.process
-           (Ewalk.Rotor.create ~randomize_rotors:true g rng ~start:0))
+      rotor (Ewalk.Rotor.create ~randomize_rotors:true g rng ~start:0)
   | [ "rwc"; d ] ->
       plain
         (Ewalk.Rwc.process
@@ -440,6 +441,107 @@ let trace_cmd =
       const run $ family_arg $ process_arg $ n_arg $ seed_arg $ edges_arg
       $ no_steps_arg $ max_steps_arg $ out_arg $ metrics_arg
       $ export_metrics_arg $ profile_arg)
+
+(* -- verify-trace ----------------------------------------------------------- *)
+
+(* Replay a recorded JSONL event stream against the Ewalk_check verifier.
+   The graph is rebuilt exactly as `eproc trace` built it (same family,
+   size and seed => same deterministic construction).  Exit codes: 0 =
+   every invariant held, 1 = a violation, 2 = unreadable input. *)
+let verify_trace_cmd =
+  let file_arg =
+    let doc = "JSONL trace file as written by $(b,eproc trace) ($(b,-) = stdin)." in
+    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc)
+  in
+  let run family n seed file =
+    let rng = Rng.create ~seed () in
+    let g = Expt.Families.build family rng ~n in
+    let ic, close_ic =
+      if file = "-" then (stdin, fun () -> ())
+      else
+        match open_in file with
+        | ic -> (ic, fun () -> close_in_noerr ic)
+        | exception Sys_error e ->
+            Printf.eprintf "eproc verify-trace: %s\n" e;
+            exit 2
+    in
+    Fun.protect ~finally:close_ic (fun () ->
+        let verifier = Ewalk_check.Replay.create g in
+        let violation v =
+          Printf.eprintf "eproc verify-trace: %s\n"
+            (Ewalk_check.Invariant.violation_to_string v);
+          exit 1
+        in
+        let lineno = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             incr lineno;
+             if String.trim line <> "" then
+               match Obs.Trace.event_of_string line with
+               | Error e ->
+                   Printf.eprintf "eproc verify-trace: line %d: %s\n" !lineno e;
+                   exit 2
+               | Ok ev -> (
+                   match Ewalk_check.Replay.feed verifier ev with
+                   | Ok () -> ()
+                   | Error v -> violation v)
+           done
+         with End_of_file -> ());
+        match Ewalk_check.Replay.finish verifier with
+        | Error v -> violation v
+        | Ok s ->
+            Printf.printf "verify-trace: ok - %s\n"
+              (Ewalk_check.Replay.summary_to_string s))
+  in
+  Cmd.v
+    (Cmd.info "verify-trace"
+       ~doc:
+         "Replay a recorded $(b,eproc trace) JSONL stream against the walk \
+          invariants (edge validity, unvisited-edge preference, blue-parity, \
+          milestone consistency).  Exit 1 on a violation, 2 on unreadable \
+          input.")
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ file_arg)
+
+(* -- check-oracle ----------------------------------------------------------- *)
+
+let check_oracle_cmd =
+  let seeds_arg =
+    let doc = "Number of seeds per (graph, mode) pair (seeds 1..$(docv))." in
+    Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"K" ~doc)
+  in
+  let run seeds jobs =
+    if seeds <= 0 then begin
+      Printf.eprintf "eproc check-oracle: --seeds must be positive\n";
+      exit 2
+    end;
+    let cases =
+      Ewalk_check.Differential.stock_cases
+        ~seeds:(List.init seeds (fun i -> i + 1))
+        ()
+    in
+    let report = Ewalk_check.Differential.run_suite ?jobs cases in
+    Printf.printf "check-oracle: %s (jobs=%d)\n"
+      (Ewalk_check.Differential.report_line report)
+      (match jobs with
+      | Some j -> j
+      | None -> Ewalk_par.Pool.default_jobs ());
+    match report.Ewalk_check.Differential.failures with
+    | [] -> ()
+    | fs ->
+        List.iter
+          (fun (name, msg) -> Printf.eprintf "  FAIL %s: %s\n" name msg)
+          fs;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "check-oracle"
+       ~doc:
+         "Differential-test the production walks against the naive reference \
+          oracles over the stock graph suite (RNG lockstep where the rule is \
+          deterministic, invariant-monitored everywhere).  Exit 1 on any \
+          divergence.")
+    Term.(const run $ seeds_arg $ jobs_arg)
 
 (* -- spectra -------------------------------------------------------------- *)
 
@@ -661,7 +763,8 @@ let main =
     (Cmd.info "eproc" ~version:"1.0.0" ~doc)
     [
       list_cmd; experiment_cmd; graph_info_cmd; cover_cmd; trace_cmd;
-      spectra_cmd; euler_cmd; audit_cmd; report_cmd; bench_diff_cmd;
+      verify_trace_cmd; check_oracle_cmd; spectra_cmd; euler_cmd; audit_cmd;
+      report_cmd; bench_diff_cmd;
     ]
 
 (* Cmdliner cannot declare a one-letter long option, but "--n 1000" is how

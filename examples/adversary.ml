@@ -46,7 +46,7 @@ let run name g rule =
   | None -> Printf.printf "%-28s hit the step cap!\n" name
 
 let () =
-  let n = 30_000 in
+  let n = Scale.pick ~tiny:2_000 30_000 in
   let rng = Rng.create ~seed:3 () in
   let g = Ewalk_graph.Gen_regular.random_regular_connected rng n 6 in
   Printf.printf

@@ -74,14 +74,25 @@ let () =
   let rng = Rng.create ~seed:5 () in
 
   (* Candidate 1: a random 4-regular graph - all hypotheses hold. *)
-  let good = Ewalk_graph.Gen_regular.random_regular_connected rng 20_000 4 in
+  let good =
+    Ewalk_graph.Gen_regular.random_regular_connected rng
+      (Scale.pick ~tiny:2_000 20_000)
+      4
+  in
   audit "random 4-regular (the paper's ideal case)" good;
 
   (* Candidate 2: a torus - even degrees but no expansion. *)
-  audit "torus 100x100 (even, but gap -> 0)" (Ewalk_graph.Gen_classic.torus2d 100 100);
+  let side = Scale.pick ~tiny:30 100 in
+  audit
+    (Printf.sprintf "torus %dx%d (even, but gap -> 0)" side side)
+    (Ewalk_graph.Gen_classic.torus2d side side);
 
   (* Candidate 3: a random 3-regular graph - odd degrees. *)
-  let odd = Ewalk_graph.Gen_regular.random_regular_connected rng 20_000 3 in
+  let odd =
+    Ewalk_graph.Gen_regular.random_regular_connected rng
+      (Scale.pick ~tiny:2_000 20_000)
+      3
+  in
   audit "random 3-regular (odd degrees: Section 5 territory)" odd;
 
   (* Candidate 4: "even-ise" an odd-degree graph with its line graph.  The
@@ -90,7 +101,11 @@ let () =
      lambda + 1, so the walk gap compresses to ~(lambda_2(G)+1)/4 ~ 0.04,
      and every vertex sits on two triangles, pinning ell at the constant 5.
      A cautionary example: evenness alone is not enough. *)
-  let cubic = Ewalk_graph.Gen_regular.random_regular_connected rng 10_000 3 in
+  let cubic =
+    Ewalk_graph.Gen_regular.random_regular_connected rng
+      (Scale.pick ~tiny:1_000 10_000)
+      3
+  in
   audit "line graph of a random cubic graph (even, but gap and ell degrade)"
     (Ewalk_graph.Ops.line_graph cubic);
 

@@ -56,7 +56,7 @@ let patrol name g ~reset =
     (float_of_int !worst_gap /. float_of_int n)
 
 let () =
-  let side = 100 in
+  let side = Scale.pick ~tiny:12 100 in
   let g = Ewalk_graph.Gen_classic.torus2d side side in
   let n = Graph.n g in
   Printf.printf "patrolling a %dx%d torus (%d nodes), %d sweeps each:\n\n" side

@@ -11,7 +11,7 @@ module Graph = Ewalk_graph.Graph
 module Rng = Ewalk_prng.Rng
 
 let () =
-  let n = 50_000 in
+  let n = Scale.pick ~tiny:2_000 50_000 in
   let rng = Rng.create ~seed:42 () in
   let g = Ewalk_graph.Gen_regular.random_regular_connected rng n 4 in
   Printf.printf "graph: %d vertices, %d edges, 4-regular\n" (Graph.n g)

@@ -1,0 +1,11 @@
+(* One knob shared by every example: the test suite sets
+   EWALK_EXAMPLE_SCALE=tiny so each example runs in well under a second,
+   while a plain [dune exec] keeps the full-size graphs the commentary
+   describes.  [pick ~tiny v] selects the reduced size under the knob. *)
+
+let tiny =
+  match Sys.getenv_opt "EWALK_EXAMPLE_SCALE" with
+  | Some "tiny" -> true
+  | _ -> false
+
+let pick ~tiny:small full = if tiny then small else full

@@ -41,7 +41,7 @@ let () =
             srw_t
             (float_of_int srw_t /. (nl *. log fn))
       | _ -> Printf.printf "%3d: step cap hit\n" r)
-    [ 10; 11; 12; 13 ];
+    (Scale.pick ~tiny:[ 5; 6 ] [ 10; 11; 12; 13 ]);
   print_newline ();
   print_endline
     "both normalised columns are ~constant: the E-process saves a full";

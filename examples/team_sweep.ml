@@ -12,7 +12,7 @@ module Graph = Ewalk_graph.Graph
 module Rng = Ewalk_prng.Rng
 
 let () =
-  let n = 100_000 in
+  let n = Scale.pick ~tiny:2_000 100_000 in
   let rng = Rng.create ~seed:21 () in
   let g = Ewalk_graph.Gen_regular.random_regular_connected rng n 4 in
   Printf.printf

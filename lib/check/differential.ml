@@ -1,0 +1,345 @@
+open Ewalk_graph
+module Rng = Ewalk_prng.Rng
+module Eprocess = Ewalk.Eprocess
+module Srw = Ewalk.Srw
+module Rotor = Ewalk.Rotor
+module Coverage = Ewalk.Coverage
+module Pool = Ewalk_par.Pool
+
+type mode = Uar | Lowest | Highest | Srw_walk | Rotor_walk
+
+let mode_name = function
+  | Uar -> "uar"
+  | Lowest -> "lowest-slot"
+  | Highest -> "highest-slot"
+  | Srw_walk -> "srw"
+  | Rotor_walk -> "rotor"
+
+let all_modes = [ Uar; Lowest; Highest; Srw_walk; Rotor_walk ]
+
+type case = {
+  label : string;
+  graph : Graph.t;
+  seed : int;
+  max_steps : int;
+  mode : mode;
+}
+
+let case_name c =
+  Printf.sprintf "%s/%s/seed=%d" c.label (mode_name c.mode) c.seed
+
+(* Feed a production process's native Step events through an invariant
+   monitor, keeping the first violation. *)
+let monitor_observer inv first (ev : Ewalk_obs.Trace.event) =
+  match ev with
+  | Ewalk_obs.Trace.Step { step; vertex; edge; blue } -> (
+      match Invariant.on_step inv ~step ~vertex ~edge ~blue with
+      | Some v when !first = None ->
+          first := Some (Invariant.violation_to_string v)
+      | _ -> ())
+  | _ -> ()
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* Compare the production coverage's per-edge flags against a reference
+   bool array.  For the E-process the two must coincide exactly: red steps
+   only re-traverse edges already visited, so the coverage set equals the
+   set of blue-retired edges. *)
+let check_edge_flags cov reference =
+  let flags = Coverage.visited_edge_flags cov in
+  if Array.length flags <> Array.length reference then
+    err "edge flag arrays differ in length: %d vs %d" (Array.length flags)
+      (Array.length reference)
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun e p -> if !bad = None && p <> reference.(e) then bad := Some e)
+      flags;
+    match !bad with
+    | Some e ->
+        err "edge %d %s by production but %s in the reference set" e
+          (if Coverage.edge_visited cov e then "visited" else "unvisited")
+          (if reference.(e) then "visited" else "unvisited")
+    | None -> Ok ()
+  end
+
+let ( let* ) = Result.bind
+
+let finish_monitor inv first =
+  match !first with Some msg -> Error msg | None -> Ok (Invariant.steps inv)
+
+(* Deterministic blue rules: full RNG lockstep against the oracle. *)
+let eprocess_lockstep c =
+  let prod_rule, oracle_rule, inv_rule =
+    match c.mode with
+    | Lowest ->
+        (Eprocess.Lowest_slot, Oracle.Eprocess.Lowest_slot, Invariant.Lowest_slot)
+    | _ ->
+        (Eprocess.Highest_slot, Oracle.Eprocess.Highest_slot,
+         Invariant.Highest_slot)
+  in
+  let g = c.graph in
+  let prod = Eprocess.create ~rule:prod_rule g (Rng.create ~seed:c.seed ()) ~start:0 in
+  let orc =
+    Oracle.Eprocess.create ~rule:oracle_rule g (Rng.create ~seed:c.seed ())
+      ~start:0
+  in
+  let inv = Invariant.create ~rule:inv_rule g ~start:0 in
+  let first = ref None in
+  Eprocess.set_observer prod (Some (monitor_observer inv first));
+  let cov = Eprocess.coverage prod in
+  let divergence = ref None in
+  let steps = ref 0 in
+  while
+    !divergence = None
+    && (not (Coverage.all_vertices_visited cov))
+    && !steps < c.max_steps
+  do
+    Eprocess.step prod;
+    Oracle.Eprocess.step orc;
+    incr steps;
+    if Eprocess.position prod <> Oracle.Eprocess.position orc then
+      divergence :=
+        Some
+          (Printf.sprintf "step %d: production at vertex %d, oracle at %d"
+             !steps (Eprocess.position prod)
+             (Oracle.Eprocess.position orc))
+    else if Eprocess.blue_steps prod <> Oracle.Eprocess.blue_steps orc then
+      divergence :=
+        Some
+          (Printf.sprintf "step %d: production blue count %d, oracle %d"
+             !steps (Eprocess.blue_steps prod)
+             (Oracle.Eprocess.blue_steps orc))
+  done;
+  match !divergence with
+  | Some msg -> Error msg
+  | None ->
+      let* _ = finish_monitor inv first in
+      if not (Coverage.all_vertices_visited cov) then
+        err "not covered within %d steps" c.max_steps
+      else
+        let* () = check_edge_flags cov (Oracle.Eprocess.visited_edges orc) in
+        if Coverage.vertices_visited cov <> Oracle.Eprocess.vertices_visited orc
+        then
+          err "vertex counts diverge: production %d, oracle %d"
+            (Coverage.vertices_visited cov)
+            (Oracle.Eprocess.vertices_visited orc)
+        else Ok !steps
+
+(* Uniform rule: trajectories legitimately diverge (production draws over
+   a swap-partitioned slot order), so the production run is validated by
+   the monitor and reconciled against the monitor's shadow; the oracle
+   runs the same seed independently as a sanity reference. *)
+let eprocess_uar c =
+  let g = c.graph in
+  let prod = Eprocess.create ~rule:Eprocess.Uar g (Rng.create ~seed:c.seed ()) ~start:0 in
+  let inv = Invariant.create ~rule:Invariant.Any_unvisited g ~start:0 in
+  let first = ref None in
+  Eprocess.set_observer prod (Some (monitor_observer inv first));
+  let cov = Eprocess.coverage prod in
+  let steps = ref 0 in
+  while (not (Coverage.all_vertices_visited cov)) && !steps < c.max_steps do
+    Eprocess.step prod;
+    incr steps
+  done;
+  let* _ = finish_monitor inv first in
+  if not (Coverage.all_vertices_visited cov) then
+    err "not covered within %d steps" c.max_steps
+  else
+    let shadow = Array.init (Graph.m g) (Invariant.edge_visited inv) in
+    let* () = check_edge_flags cov shadow in
+    if Eprocess.blue_steps prod <> Invariant.edges_visited inv then
+      err "blue steps %d but %d edges retired" (Eprocess.blue_steps prod)
+        (Invariant.edges_visited inv)
+    else if Coverage.vertices_visited cov <> Invariant.vertices_visited inv
+    then
+      err "vertex counts diverge: coverage %d, shadow %d"
+        (Coverage.vertices_visited cov)
+        (Invariant.vertices_visited inv)
+    else begin
+      (* Oracle sanity run: same seed, same cap, must also cover. *)
+      let orc = Oracle.Eprocess.create g (Rng.create ~seed:c.seed ()) ~start:0 in
+      let osteps = ref 0 in
+      while
+        (not (Oracle.Eprocess.all_vertices_visited orc))
+        && !osteps < c.max_steps
+      do
+        Oracle.Eprocess.step orc;
+        incr osteps
+      done;
+      if not (Oracle.Eprocess.all_vertices_visited orc) then
+        err "oracle did not cover within %d steps" c.max_steps
+      else if
+        Oracle.Eprocess.blue_steps orc
+        <> Array.fold_left
+             (fun acc b -> if b then acc + 1 else acc)
+             0
+             (Oracle.Eprocess.visited_edges orc)
+      then err "oracle blue steps disagree with its own visited set"
+      else Ok !steps
+    end
+
+let srw_lockstep c =
+  let g = c.graph in
+  let prod = Srw.create g (Rng.create ~seed:c.seed ()) ~start:0 in
+  let orc = Oracle.Srw.create g (Rng.create ~seed:c.seed ()) ~start:0 in
+  let inv = Invariant.create ~prefers_unvisited:false g ~start:0 in
+  let first = ref None in
+  Srw.set_observer prod (Some (monitor_observer inv first));
+  let cov = Srw.coverage prod in
+  let divergence = ref None in
+  let steps = ref 0 in
+  while
+    !divergence = None
+    && (not (Coverage.all_vertices_visited cov))
+    && !steps < c.max_steps
+  do
+    Srw.step prod;
+    Oracle.Srw.step orc;
+    incr steps;
+    if Srw.position prod <> Oracle.Srw.position orc then
+      divergence :=
+        Some
+          (Printf.sprintf "step %d: production at vertex %d, oracle at %d"
+             !steps (Srw.position prod) (Oracle.Srw.position orc))
+  done;
+  match !divergence with
+  | Some msg -> Error msg
+  | None ->
+      let* _ = finish_monitor inv first in
+      if not (Coverage.all_vertices_visited cov) then
+        err "not covered within %d steps" c.max_steps
+      else if Coverage.vertices_visited cov <> Oracle.Srw.vertices_visited orc
+      then
+        err "vertex counts diverge: production %d, oracle %d"
+          (Coverage.vertices_visited cov)
+          (Oracle.Srw.vertices_visited orc)
+      else Ok !steps
+
+let rotor_lockstep c =
+  let g = c.graph in
+  let prod =
+    Rotor.create ~randomize_rotors:true g (Rng.create ~seed:c.seed ()) ~start:0
+  in
+  let orc =
+    Oracle.Rotor.create ~randomize_rotors:true g (Rng.create ~seed:c.seed ())
+      ~start:0
+  in
+  let inv = Invariant.create ~prefers_unvisited:false g ~start:0 in
+  let first = ref None in
+  Rotor.set_observer prod (Some (monitor_observer inv first));
+  let check_offsets where =
+    let bad = ref None in
+    for v = 0 to Graph.n g - 1 do
+      if !bad = None && Rotor.rotor_offset prod v <> Oracle.Rotor.rotor_offset orc v
+      then bad := Some v
+    done;
+    match !bad with
+    | Some v ->
+        err "%s: rotor offset at vertex %d is %d (production) vs %d (oracle)"
+          where v
+          (Rotor.rotor_offset prod v)
+          (Oracle.Rotor.rotor_offset orc v)
+    | None -> Ok ()
+  in
+  let* () = check_offsets "after init" in
+  let cov = Rotor.coverage prod in
+  let divergence = ref None in
+  let steps = ref 0 in
+  while
+    !divergence = None
+    && (not (Coverage.all_vertices_visited cov))
+    && !steps < c.max_steps
+  do
+    Rotor.step prod;
+    Oracle.Rotor.step orc;
+    incr steps;
+    if Rotor.position prod <> Oracle.Rotor.position orc then
+      divergence :=
+        Some
+          (Printf.sprintf "step %d: production at vertex %d, oracle at %d"
+             !steps (Rotor.position prod) (Oracle.Rotor.position orc))
+  done;
+  match !divergence with
+  | Some msg -> Error msg
+  | None ->
+      let* _ = finish_monitor inv first in
+      if not (Coverage.all_vertices_visited cov) then
+        err "not covered within %d steps" c.max_steps
+      else
+        let* () = check_offsets "at end" in
+        Ok !steps
+
+let run_case c =
+  match c.mode with
+  | Uar -> eprocess_uar c
+  | Lowest | Highest -> eprocess_lockstep c
+  | Srw_walk -> srw_lockstep c
+  | Rotor_walk -> rotor_lockstep c
+
+(* Deterministically-built stock graphs spanning the shapes the paper's
+   theorems distinguish: even regular (simple and multigraph), odd
+   regular, hypercube, lollipop, cycle unions. *)
+let stock_graphs () =
+  let rng = Rng.create ~seed:42 () in
+  [
+    ("cycle16", Gen_classic.cycle 16);
+    ("complete5", Gen_classic.complete 5);
+    ("double-cycle12", Gen_classic.double_cycle 12);
+    ("hypercube4", Gen_classic.hypercube 4);
+    ("torus5x4", Gen_classic.torus2d 5 4);
+    ("cycle-union18", Gen_regular.cycle_union rng 18 2);
+    ("regular4-24", Gen_regular.random_regular_connected rng 24 4);
+    ("regular3-20", Gen_regular.random_regular_connected rng 20 3);
+    ("lollipop8-8", Gen_classic.lollipop 8 8);
+    ("petersen", Gen_classic.petersen ());
+  ]
+
+let stock_cases ?(seeds = [ 1; 2; 3 ]) ?(modes = all_modes) () =
+  List.concat_map
+    (fun (label, graph) ->
+      let max_steps = max 50_000 (500 * Graph.m graph) in
+      List.concat_map
+        (fun seed ->
+          List.map (fun mode -> { label; graph; seed; max_steps; mode }) modes)
+        seeds)
+    (stock_graphs ())
+
+type report = {
+  cases : int;
+  graphs : int;
+  seeds : int;
+  modes : int;
+  steps : int;
+  failures : (string * string) list;
+}
+
+let report_line r =
+  Printf.sprintf "verified %d cases (%d graphs x %d seeds x %d modes), %d steps%s"
+    r.cases r.graphs r.seeds r.modes r.steps
+    (match r.failures with
+    | [] -> ""
+    | fs -> Printf.sprintf ", %d FAILED" (List.length fs))
+
+let distinct xs = List.length (List.sort_uniq compare xs)
+
+let run_suite ?jobs cases =
+  let arr = Array.of_list cases in
+  let results =
+    Pool.with_pool ?jobs (fun pool -> Pool.map_array pool run_case arr)
+  in
+  let steps = ref 0 and failures = ref [] in
+  Array.iteri
+    (fun i result ->
+      match result with
+      | Ok s -> steps := !steps + s
+      | Error msg -> failures := (case_name arr.(i), msg) :: !failures)
+    results;
+  {
+    cases = Array.length arr;
+    graphs = distinct (List.map (fun c -> c.label) cases);
+    seeds = distinct (List.map (fun c -> c.seed) cases);
+    modes = distinct (List.map (fun c -> c.mode) cases);
+    steps = !steps;
+    failures = List.rev !failures;
+  }

@@ -1,0 +1,72 @@
+(** Model-based differential testing: production walks vs the naive
+    {!Oracle} implementations, in RNG lockstep where the step rule is
+    deterministic, under the {!Invariant} monitor everywhere.
+
+    Each case runs one (graph, seed, mode) triple to vertex cover (or a
+    step cap) and cross-checks:
+
+    - [Lowest]/[Highest]: production E-process and oracle consume
+      identically-seeded RNG streams and must agree on the position,
+      blue/red step counts at {e every} step, and on the full visited-edge
+      set at the end — the swap-partitioned production bookkeeping against
+      the oracle's adjacency scan, bit for bit.
+    - [Uar]: the uniform rule draws from differently-ordered candidate
+      sets on the two sides, so trajectories legitimately diverge; the
+      production run is instead verified per-step by the invariant monitor
+      and its final coverage state is reconciled against the monitor's
+      shadow (visited-edge flags, blue steps = edges visited).
+    - [Srw_walk] / [Rotor_walk]: full positional lockstep (and, for the
+      rotor, final rotor-offset equality), with the monitor checking edge
+      validity and coverage monotonicity.
+
+    The stock suite covers the shapes the paper's theorems distinguish:
+    even-degree regular graphs (where Theorem 1's linear bound and the
+    blue-parity structure apply), odd-degree regular graphs, the
+    hypercube, the lollipop, multigraphs with parallel edges, and cycle
+    unions. *)
+
+open Ewalk_graph
+
+type mode = Uar | Lowest | Highest | Srw_walk | Rotor_walk
+
+val mode_name : mode -> string
+val all_modes : mode list
+
+type case = {
+  label : string;  (** graph family label, e.g. ["hypercube4"] *)
+  graph : Graph.t;
+  seed : int;
+  max_steps : int;
+  mode : mode;
+}
+
+val case_name : case -> string
+(** ["label/mode/seed=k"] — stable identifier for reports. *)
+
+val run_case : case -> (int, string) result
+(** Run one case to cover (or [max_steps]); [Ok steps] on agreement,
+    [Error message] naming the first divergence or invariant violation. *)
+
+val stock_cases : ?seeds:int list -> ?modes:mode list -> unit -> case list
+(** The cross product of the stock graph family (deterministically built)
+    with [seeds] (default [[1; 2; 3]]) and [modes] (default
+    {!all_modes}). *)
+
+type report = {
+  cases : int;
+  graphs : int;  (** distinct graph labels *)
+  seeds : int;  (** distinct seeds *)
+  modes : int;  (** distinct modes *)
+  steps : int;  (** total verified transitions across passing cases *)
+  failures : (string * string) list;  (** [(case_name, message)] *)
+}
+
+val report_line : report -> string
+(** One-line summary, e.g.
+    ["verified 150 cases (10 graphs x 3 seeds x 5 modes), 81234 steps"]. *)
+
+val run_suite : ?jobs:int -> case list -> report
+(** Run every case, sharded over an {!Ewalk_par.Pool} of [jobs] domains
+    (default {!Ewalk_par.Pool.default_jobs}, i.e. the [EWALK_JOBS]
+    environment variable).  Case outcomes are positional, so the report is
+    identical for every job count. *)

@@ -1,0 +1,335 @@
+open Ewalk_graph
+
+type kind =
+  | Edge_invalid
+  | Preference
+  | Blue_flag
+  | Rule
+  | Red_parity
+  | Coverage
+  | Schema
+
+let kind_name = function
+  | Edge_invalid -> "edge-invalid"
+  | Preference -> "preference"
+  | Blue_flag -> "blue-flag"
+  | Rule -> "rule"
+  | Red_parity -> "red-parity"
+  | Coverage -> "coverage"
+  | Schema -> "schema"
+
+type violation = {
+  v_step : int;
+  v_vertex : int;
+  v_chosen : int;
+  v_expected : int list;
+  v_kind : kind;
+  v_message : string;
+}
+
+let violation_to_string v =
+  let expected =
+    match v.v_expected with
+    | [] -> ""
+    | es ->
+        Printf.sprintf " expected{%s}"
+          (String.concat "," (List.map string_of_int es))
+  in
+  Printf.sprintf "[%s] step %d at vertex %d, edge %d%s: %s"
+    (kind_name v.v_kind) v.v_step v.v_vertex v.v_chosen expected v.v_message
+
+type rule = Any_unvisited | Lowest_slot | Highest_slot
+
+type t = {
+  g : Graph.t;
+  rule : rule;
+  prefers_unvisited : bool;
+  check_parity : bool;
+  visited : bool array; (* per-edge: traversed at least once *)
+  blue_deg : int array; (* unvisited incident slots per vertex *)
+  parity : bool array; (* odd blue degree? *)
+  mutable odd_count : int;
+  mutable anchor : int; (* start vertex of the current blue trail *)
+  vertex_seen : bool array;
+  mutable pos : int;
+  mutable steps : int;
+  mutable blue_steps : int;
+  mutable red_steps : int;
+  mutable vertices_seen : int;
+  mutable edges_seen : int;
+  mutable violations : violation list; (* reversed *)
+}
+
+let create ?(rule = Any_unvisited) ?(prefers_unvisited = true) g ~start =
+  if start < 0 || start >= Graph.n g then
+    invalid_arg "Invariant.create: start out of range";
+  {
+    g;
+    rule;
+    prefers_unvisited;
+    check_parity = prefers_unvisited && Graph.all_degrees_even g;
+    visited = Array.make (Graph.m g) false;
+    blue_deg = Graph.degrees g;
+    parity = Array.make (Graph.n g) false;
+    odd_count = 0;
+    anchor = start;
+    vertex_seen =
+      (let a = Array.make (Graph.n g) false in
+       a.(start) <- true;
+       a);
+    pos = start;
+    steps = 0;
+    blue_steps = 0;
+    red_steps = 0;
+    vertices_seen = 1;
+    edges_seen = 0;
+    violations = [];
+  }
+
+let steps t = t.steps
+let blue_steps t = t.blue_steps
+let red_steps t = t.red_steps
+let position t = t.pos
+let vertices_visited t = t.vertices_seen
+let edges_visited t = t.edges_seen
+let edge_visited t e = t.visited.(e)
+let vertex_visited t v = t.vertex_seen.(v)
+let violations t = List.rev t.violations
+
+let unvisited_incident t v =
+  (* Slot order, deduplicated: a self-loop owns two slots but is one edge. *)
+  List.rev
+    (Graph.fold_neighbors t.g v
+       (fun acc _w e ->
+         if t.visited.(e) || List.mem e acc then acc else e :: acc)
+       [])
+
+(* Record the walk's arrival at [vertex] (and, for [edge >= 0], the edge
+   traversal) in the shadow.  Called on every reported step, violation or
+   not, so the shadow tracks the *reported* walk and one bad step does not
+   cascade into spurious reports. *)
+let apply t ~vertex ~edge ~blue =
+  t.steps <- t.steps + 1;
+  if blue then t.blue_steps <- t.blue_steps + 1
+  else t.red_steps <- t.red_steps + 1;
+  (if edge >= 0 && edge < Graph.m t.g && not t.visited.(edge) then begin
+     t.visited.(edge) <- true;
+     t.edges_seen <- t.edges_seen + 1;
+     let a, b = Graph.endpoints t.g edge in
+     if a = b then t.blue_deg.(a) <- t.blue_deg.(a) - 2
+     else begin
+       t.blue_deg.(a) <- t.blue_deg.(a) - 1;
+       t.blue_deg.(b) <- t.blue_deg.(b) - 1;
+       let flip v =
+         t.parity.(v) <- not t.parity.(v);
+         t.odd_count <- t.odd_count + (if t.parity.(v) then 1 else -1)
+       in
+       flip a;
+       flip b
+     end
+   end);
+  if vertex >= 0 && vertex < Graph.n t.g then begin
+    if not t.vertex_seen.(vertex) then begin
+      t.vertex_seen.(vertex) <- true;
+      t.vertices_seen <- t.vertices_seen + 1
+    end;
+    t.pos <- vertex
+  end
+
+let record t v =
+  t.violations <- v :: t.violations;
+  Some v
+
+let on_step t ~step ~vertex ~edge ~blue =
+  let u = t.pos in
+  let fail kind ?(expected = []) ?(chosen = edge) fmt =
+    Printf.ksprintf
+      (fun msg ->
+        record t
+          {
+            v_step = step;
+            v_vertex = u;
+            v_chosen = chosen;
+            v_expected = expected;
+            v_kind = kind;
+            v_message = msg;
+          })
+      fmt
+  in
+  let finish_ok () =
+    apply t ~vertex ~edge ~blue;
+    None
+  in
+  let finish_fail v =
+    apply t ~vertex ~edge ~blue;
+    v
+  in
+  if step <> t.steps + 1 then
+    finish_fail
+      (fail Schema "step index %d after step %d (must be consecutive)" step
+         t.steps)
+  else if vertex < 0 || vertex >= Graph.n t.g then
+    finish_fail (fail Edge_invalid "landing vertex %d out of range" vertex)
+  else if edge = -1 then
+    (* A "stayed put" step (lazy walk): no edge, same vertex, never blue. *)
+    if t.prefers_unvisited then
+      finish_fail
+        (fail Edge_invalid "edge-preferring process reported a no-edge step")
+    else if vertex <> u then
+      finish_fail
+        (fail Edge_invalid "no-edge step moved from vertex %d to %d" u vertex)
+    else if blue then
+      finish_fail (fail Blue_flag "no-edge step flagged blue")
+    else finish_ok ()
+  else if edge < 0 || edge >= Graph.m t.g then
+    finish_fail (fail Edge_invalid "edge %d out of range" edge)
+  else begin
+    let a, b = Graph.endpoints t.g edge in
+    if a <> u && b <> u then
+      finish_fail
+        (fail Edge_invalid "edge %d = (%d,%d) is not incident to vertex %d"
+           edge a b u)
+    else if vertex <> Graph.opposite t.g edge u then
+      finish_fail
+        (fail Edge_invalid
+           "edge %d = (%d,%d) from vertex %d cannot land on vertex %d" edge a
+           b u vertex)
+    else if not t.prefers_unvisited then
+      if blue then
+        finish_fail
+          (fail Blue_flag "process without the preference flagged a blue step")
+      else finish_ok ()
+    else begin
+      (* The unvisited-edge preference rule. *)
+      let blue_here = t.blue_deg.(u) > 0 in
+      if blue_here && not blue then
+        finish_fail
+          (fail Preference
+             ~expected:(unvisited_incident t u)
+             "red step while %d unvisited incident edge slots remain"
+             t.blue_deg.(u))
+      else if blue && not blue_here then
+        finish_fail
+          (fail Blue_flag "blue step but no unvisited incident edges remain")
+      else if blue && t.visited.(edge) then
+        finish_fail
+          (fail Blue_flag
+             ~expected:(unvisited_incident t u)
+             "blue step traverses already-visited edge %d" edge)
+      else begin
+        let rule_violation =
+          if not blue then None
+          else
+            match t.rule with
+            | Any_unvisited -> None
+            | Lowest_slot | Highest_slot -> (
+                match unvisited_incident t u with
+                | [] -> None (* unreachable: blue_here *)
+                | es ->
+                    let want =
+                      match t.rule with
+                      | Highest_slot -> List.nth es (List.length es - 1)
+                      | _ -> List.hd es
+                    in
+                    if edge = want then None
+                    else
+                      fail Rule ~expected:[ want ]
+                        "%s rule must take edge %d, walk took %d"
+                        (if t.rule = Lowest_slot then "lowest-slot"
+                         else "highest-slot")
+                        want edge)
+        in
+        match rule_violation with
+        | Some _ as v -> finish_fail v
+        | None ->
+            (* Parity bookkeeping happens in [apply]; anchor maintenance and
+               the parity assertions live here. *)
+            if not t.check_parity then finish_ok ()
+            else if blue then begin
+              if t.odd_count = 0 then t.anchor <- u;
+              let anchor = t.anchor in
+              apply t ~vertex ~edge ~blue;
+              if
+                t.odd_count = 0
+                || t.odd_count = 2
+                   && t.parity.(anchor)
+                   && t.parity.(t.pos)
+                   && anchor <> t.pos
+              then None
+              else
+                record t
+                  {
+                    v_step = step;
+                    v_vertex = u;
+                    v_chosen = edge;
+                    v_expected = [];
+                    v_kind = Red_parity;
+                    v_message =
+                      Printf.sprintf
+                        "blue subgraph has %d odd-degree vertices not \
+                         confined to the trail anchor %d and position %d"
+                        t.odd_count anchor t.pos;
+                  }
+            end
+            else if t.odd_count <> 0 then
+              finish_fail
+                (fail Red_parity
+                   "red step with %d odd-degree blue vertices (blue phase \
+                    did not close at its anchor %d)"
+                   t.odd_count t.anchor)
+            else finish_ok ()
+      end
+    end
+  end
+
+let sink t =
+  Ewalk_obs.Trace.of_fun (fun ev ->
+      match ev with
+      | Ewalk_obs.Trace.Step { step; vertex; edge; blue } ->
+          ignore (on_step t ~step ~vertex ~edge ~blue)
+      | _ -> ())
+
+let coverage_hook (p : Ewalk.Cover.process) ~on_violation =
+  let module Coverage = Ewalk.Coverage in
+  let cov = p.Ewalk.Cover.coverage in
+  let g = p.Ewalk.Cover.graph in
+  let n = Coverage.total_vertices cov and m = Coverage.total_edges cov in
+  let last_steps = ref (p.Ewalk.Cover.steps_done ()) in
+  let last_v = ref (Coverage.vertices_visited cov) in
+  let last_e = ref (Coverage.edges_visited cov) in
+  let fail ~step ~vertex kind fmt =
+    Printf.ksprintf
+      (fun msg ->
+        on_violation
+          {
+            v_step = step;
+            v_vertex = vertex;
+            v_chosen = -1;
+            v_expected = [];
+            v_kind = kind;
+            v_message = msg;
+          })
+      fmt
+  in
+  Ewalk.Cover.with_step_hook p ~hook:(fun p ->
+      let step = p.Ewalk.Cover.steps_done () in
+      let pos = p.Ewalk.Cover.position () in
+      if step <> !last_steps + 1 then
+        fail ~step ~vertex:pos Schema "step counter jumped from %d to %d"
+          !last_steps step;
+      last_steps := step;
+      if pos < 0 || pos >= Graph.n g then
+        fail ~step ~vertex:pos Edge_invalid "position %d out of range" pos
+      else if not (Coverage.vertex_visited cov pos) then
+        fail ~step ~vertex:pos Coverage
+          "walk occupies vertex %d but coverage has it unvisited" pos;
+      let vc = Coverage.vertices_visited cov in
+      let ec = Coverage.edges_visited cov in
+      if vc < !last_v || vc > n then
+        fail ~step ~vertex:pos Coverage
+          "visited-vertex count went from %d to %d (total %d)" !last_v vc n;
+      if ec < !last_e || ec > m then
+        fail ~step ~vertex:pos Coverage
+          "visited-edge count went from %d to %d (total %d)" !last_e ec m;
+      last_v := vc;
+      last_e := ec)

@@ -1,0 +1,120 @@
+(** Runtime invariant monitor for walk-process step streams.
+
+    The monitor maintains a {e shadow} of the walk — an explicit per-edge
+    visited set, per-vertex unvisited ("blue") degrees, and the parity
+    structure of the blue subgraph — rebuilt naively from nothing but the
+    graph and the observed [(step, vertex, edge, blue)] transitions.  Each
+    reported step is checked against that shadow:
+
+    - {e edge validity}: the edge exists, is incident to the walk's current
+      vertex, and the reported landing vertex is its opposite endpoint
+      ([edge = -1] is accepted as "stayed put" for lazy walks);
+    - {e unvisited-edge preference} (processes created with
+      [~prefers_unvisited:true]): the [blue] flag is set iff the current
+      vertex had unvisited incident edges, a blue step traverses an edge
+      not yet visited, and — for the deterministic slot rules — the {e
+      right} unvisited edge in adjacency order;
+    - {e blue-subgraph parity} (even-degree graphs only): after every blue
+      step the odd-degree vertices of the unvisited subgraph are exactly
+      the current blue trail's anchor and the walk's position, and every
+      red step happens with the blue subgraph back to all-even degrees —
+      the structural fact behind the paper's Observation 10 (blue phases
+      on even-degree graphs end where they began);
+    - {e monotone coverage}: step indices are consecutive and visited
+      counts never regress (also available for arbitrary
+      {!Ewalk.Cover.process}es through {!coverage_hook}).
+
+    A failed check produces a structured {!violation} carrying the step
+    index, the vertex the walk stood on, the chosen edge, the expected
+    edge set, and a message.  The monitor keeps checking after a violation
+    (its shadow adopts the reported transition), so one broken step yields
+    one report, not an avalanche. *)
+
+open Ewalk_graph
+
+type kind =
+  | Edge_invalid  (** nonexistent / non-incident edge, or wrong endpoint *)
+  | Preference  (** red step taken while unvisited incident edges remain *)
+  | Blue_flag
+      (** [blue] flag inconsistent with the shadow's unvisited set, or a
+          blue step along an already-visited edge *)
+  | Rule  (** deterministic slot rule picked the wrong unvisited edge *)
+  | Red_parity
+      (** blue-subgraph degree parity broken on an even-degree graph *)
+  | Coverage  (** visited counts regressed or exceeded their totals *)
+  | Schema  (** malformed stream: bad step numbering, bad event order *)
+
+val kind_name : kind -> string
+
+type violation = {
+  v_step : int;  (** step index of the offending transition *)
+  v_vertex : int;  (** vertex the walk stood on before the transition *)
+  v_chosen : int;  (** edge reported taken ([-1] = stayed put) *)
+  v_expected : int list;
+      (** the edges the invariant allowed (e.g. the unvisited incident
+          edges); [[]] when the check is not about edge choice *)
+  v_kind : kind;
+  v_message : string;
+}
+
+val violation_to_string : violation -> string
+(** One human-readable line: kind, step, vertex, chosen edge, expected
+    set, message. *)
+
+type rule = Any_unvisited | Lowest_slot | Highest_slot
+(** How strictly to check a blue step's choice: [Any_unvisited] accepts
+    any unvisited incident edge (uar and adversarial rules);
+    [Lowest_slot]/[Highest_slot] additionally pin the choice to the
+    first/last unvisited edge in adjacency-slot order, matching the
+    E-process's deterministic rules. *)
+
+type t
+
+val create :
+  ?rule:rule -> ?prefers_unvisited:bool -> Graph.t -> start:Graph.vertex -> t
+(** A fresh monitor for a walk starting at [start] with every edge
+    unvisited.  [prefers_unvisited] (default [true]) enables the
+    preference, blue-flag, rule and parity checks — pass [false] for
+    processes without the preference (SRW, rotor), which are then only
+    checked for edge validity, [blue = false], and monotone coverage.
+    Parity checks additionally require [Graph.all_degrees_even].
+    @raise Invalid_argument if [start] is out of range. *)
+
+val on_step :
+  t -> step:int -> vertex:int -> edge:int -> blue:bool -> violation option
+(** Check one reported transition ([vertex] = landing vertex) and advance
+    the shadow.  Returns the violation, if any; every violation is also
+    retained for {!violations}. *)
+
+val violations : t -> violation list
+(** All violations so far, in step order. *)
+
+val steps : t -> int
+val blue_steps : t -> int
+val red_steps : t -> int
+val position : t -> Graph.vertex
+val vertices_visited : t -> int
+val edges_visited : t -> int
+val edge_visited : t -> Graph.edge -> bool
+val vertex_visited : t -> Graph.vertex -> bool
+
+val unvisited_incident : t -> Graph.vertex -> Graph.edge list
+(** Unvisited incident edges in adjacency-slot order (a self-loop appears
+    once) — the "expected" set for preference violations. *)
+
+val sink : t -> Ewalk_obs.Trace.sink
+(** A trace sink that feeds every [Step] event through {!on_step}
+    (other event types pass unchecked).  Tee it with a process's real
+    sink — or hand it to {!Ewalk.Observe.create} — to monitor a live run:
+    the attachment point is the same native observer / generic
+    {!Ewalk.Cover.with_step_hook} choke point the tracing layer uses. *)
+
+val coverage_hook :
+  Ewalk.Cover.process ->
+  on_violation:(violation -> unit) ->
+  Ewalk.Cover.process
+(** Process-agnostic monitor for walks without a native step stream: a
+    {!Ewalk.Cover.with_step_hook} wrapper asserting, after every
+    transition, that the step counter advanced, the position is a valid
+    vertex and is marked visited, and the shared {!Ewalk.Coverage}
+    vertex/edge counts are monotone and within bounds. *)

@@ -1,0 +1,154 @@
+open Ewalk_graph
+module Rng = Ewalk_prng.Rng
+
+(* Shared naive vertex-visit bookkeeping. *)
+module Visits = struct
+  type t = { seen : bool array; mutable count : int }
+
+  let create n start =
+    let seen = Array.make n false in
+    seen.(start) <- true;
+    { seen; count = 1 }
+
+  let visit t v =
+    if not t.seen.(v) then begin
+      t.seen.(v) <- true;
+      t.count <- t.count + 1
+    end
+end
+
+module Eprocess = struct
+  type rule = Uar | Lowest_slot | Highest_slot
+
+  type t = {
+    g : Graph.t;
+    rng : Rng.t;
+    rule : rule;
+    visited : bool array;
+    visits : Visits.t;
+    mutable pos : Graph.vertex;
+    mutable steps : int;
+    mutable blue_steps : int;
+    mutable red_steps : int;
+  }
+
+  let create ?(rule = Uar) g rng ~start =
+    if Graph.n g = 0 then invalid_arg "Oracle.Eprocess.create: empty graph";
+    if start < 0 || start >= Graph.n g then
+      invalid_arg "Oracle.Eprocess.create: start out of range";
+    {
+      g;
+      rng;
+      rule;
+      visited = Array.make (Graph.m g) false;
+      visits = Visits.create (Graph.n g) start;
+      pos = start;
+      steps = 0;
+      blue_steps = 0;
+      red_steps = 0;
+    }
+
+  let position t = t.pos
+  let steps t = t.steps
+  let blue_steps t = t.blue_steps
+  let red_steps t = t.red_steps
+  let edge_visited t e = t.visited.(e)
+  let visited_edges t = Array.copy t.visited
+  let vertices_visited t = t.visits.Visits.count
+  let all_vertices_visited t = t.visits.Visits.count = Graph.n t.g
+
+  (* The adjacency slot offsets (in slot order) of [v] whose edge is still
+     unvisited.  A blue self-loop contributes both its slots, matching the
+     production [Unvisited.count] convention. *)
+  let unvisited_offsets t v =
+    let deg = Graph.degree t.g v in
+    let acc = ref [] in
+    for i = deg - 1 downto 0 do
+      if not t.visited.(Graph.neighbor_edge t.g v i) then acc := i :: !acc
+    done;
+    !acc
+
+  let step t =
+    let v = t.pos in
+    let deg = Graph.degree t.g v in
+    if deg = 0 then invalid_arg "Oracle.Eprocess.step: isolated vertex";
+    let blue_offsets = unvisited_offsets t v in
+    let i =
+      match blue_offsets with
+      | [] -> Rng.int t.rng deg (* red: plain SRW step *)
+      | offsets -> (
+          match t.rule with
+          | Uar -> List.nth offsets (Rng.int t.rng (List.length offsets))
+          | Lowest_slot -> List.hd offsets
+          | Highest_slot -> List.nth offsets (List.length offsets - 1))
+    in
+    let e = Graph.neighbor_edge t.g v i in
+    let w = Graph.neighbor t.g v i in
+    t.steps <- t.steps + 1;
+    if blue_offsets <> [] then begin
+      t.blue_steps <- t.blue_steps + 1;
+      t.visited.(e) <- true
+    end
+    else t.red_steps <- t.red_steps + 1;
+    t.pos <- w;
+    Visits.visit t.visits w
+end
+
+module Srw = struct
+  type t = {
+    g : Graph.t;
+    rng : Rng.t;
+    visits : Visits.t;
+    mutable pos : Graph.vertex;
+    mutable steps : int;
+  }
+
+  let create g rng ~start =
+    if start < 0 || start >= Graph.n g then
+      invalid_arg "Oracle.Srw.create: start out of range";
+    { g; rng; visits = Visits.create (Graph.n g) start; pos = start; steps = 0 }
+
+  let position t = t.pos
+  let steps t = t.steps
+  let vertices_visited t = t.visits.Visits.count
+
+  let step t =
+    let deg = Graph.degree t.g t.pos in
+    if deg = 0 then invalid_arg "Oracle.Srw.step: isolated vertex";
+    let w = Graph.neighbor t.g t.pos (Rng.int t.rng deg) in
+    t.steps <- t.steps + 1;
+    t.pos <- w;
+    Visits.visit t.visits w
+end
+
+module Rotor = struct
+  type t = {
+    g : Graph.t;
+    offsets : int array;
+    mutable pos : Graph.vertex;
+    mutable steps : int;
+  }
+
+  let create ?(randomize_rotors = false) g rng ~start =
+    if start < 0 || start >= Graph.n g then
+      invalid_arg "Oracle.Rotor.create: start out of range";
+    let offsets =
+      Array.init (Graph.n g) (fun v ->
+          let deg = Graph.degree g v in
+          if randomize_rotors && deg > 0 then Rng.int rng deg else 0)
+    in
+    { g; offsets; pos = start; steps = 0 }
+
+  let position t = t.pos
+  let steps t = t.steps
+  let rotor_offset t v = t.offsets.(v)
+
+  let step t =
+    let v = t.pos in
+    let deg = Graph.degree t.g v in
+    if deg = 0 then invalid_arg "Oracle.Rotor.step: isolated vertex";
+    let i = t.offsets.(v) in
+    t.offsets.(v) <- (i + 1) mod deg;
+    t.steps <- t.steps + 1;
+    t.pos <- Graph.neighbor t.g v i
+end

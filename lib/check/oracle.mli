@@ -1,0 +1,78 @@
+(** Naive, obviously-correct reference implementations of the walk step
+    rules.
+
+    Each oracle keeps the straightforward state the paper's prose
+    describes — an explicit per-edge visited flag, a position, a few
+    counters — and chooses its next edge by scanning the adjacency list,
+    with none of the production data structures (no swap-partitioned
+    {!Ewalk.Unvisited}, no {!Ewalk.Coverage}).  They exist to be read and
+    trusted at a glance, and to be driven in lockstep against the
+    production implementations by {!Differential}.
+
+    RNG alignment: {!Srw}, {!Rotor}, and {!Eprocess} under the
+    deterministic [Lowest_slot]/[Highest_slot] rules consume random draws
+    in exactly the same order and with the same bounds as their production
+    counterparts, so seeding both sides identically must reproduce the
+    production trajectory bit for bit.  Under [Uar] both sides draw one
+    integer per blue step but index differently-ordered candidate sets, so
+    trajectories legitimately diverge — the differential harness checks
+    that mode through the {!Invariant} monitor instead. *)
+
+open Ewalk_graph
+module Rng = Ewalk_prng.Rng
+
+(** The E-process over an explicit edge-visit set. *)
+module Eprocess : sig
+  type rule = Uar | Lowest_slot | Highest_slot
+
+  type t
+
+  val create : ?rule:rule -> Graph.t -> Rng.t -> start:Graph.vertex -> t
+  (** Default rule: {!Uar}.  @raise Invalid_argument if [start] is out of
+      range or the graph is empty. *)
+
+  val position : t -> Graph.vertex
+  val steps : t -> int
+  val blue_steps : t -> int
+  val red_steps : t -> int
+  val edge_visited : t -> Graph.edge -> bool
+  val visited_edges : t -> bool array
+  (** A copy of the per-edge visited flags. *)
+
+  val vertices_visited : t -> int
+  val all_vertices_visited : t -> bool
+
+  val step : t -> unit
+  (** One transition: scan the current vertex's adjacency slots for
+      unvisited edges; if any exist take one (per the rule) and mark it
+      visited, else move along a uniformly random incident slot.
+      @raise Invalid_argument on an isolated vertex. *)
+end
+
+(** Simple random walk: one uniform slot draw per step. *)
+module Srw : sig
+  type t
+
+  val create : Graph.t -> Rng.t -> start:Graph.vertex -> t
+  val position : t -> Graph.vertex
+  val steps : t -> int
+  val vertices_visited : t -> int
+  val step : t -> unit
+end
+
+(** Rotor-router: per-vertex cyclic slot pointers, no randomness after
+    initialisation. *)
+module Rotor : sig
+  type t
+
+  val create :
+    ?randomize_rotors:bool -> Graph.t -> Rng.t -> start:Graph.vertex -> t
+  (** Mirrors {!Ewalk.Rotor.create}: rotors start at slot 0, or at
+      uniformly random offsets drawn vertex by vertex when
+      [~randomize_rotors:true]. *)
+
+  val position : t -> Graph.vertex
+  val steps : t -> int
+  val rotor_offset : t -> Graph.vertex -> int
+  val step : t -> unit
+end

@@ -1,0 +1,259 @@
+open Ewalk_graph
+module Trace = Ewalk_obs.Trace
+
+type summary = {
+  process : string;
+  n : int;
+  m : int;
+  start : int;
+  steps : int;
+  blue_steps : int;
+  red_steps : int;
+  vertices_visited : int;
+  edges_visited : int;
+  milestones : int;
+  cover_step : int option;
+  covered : bool;
+  has_steps : bool;
+}
+
+let summary_to_string s =
+  Printf.sprintf
+    "%s on n=%d m=%d from %d: %d steps (%d blue, %d red), %d/%d vertices, \
+     %d/%d edges, %d milestones%s%s%s"
+    s.process s.n s.m s.start s.steps s.blue_steps s.red_steps
+    s.vertices_visited s.n s.edges_visited s.m s.milestones
+    (match s.cover_step with
+    | Some c -> Printf.sprintf ", covered at step %d" c
+    | None -> "")
+    (if s.covered then "" else ", not covered")
+    (if s.has_steps then "" else " (no per-step events)")
+
+type state = Expect_start | Running | Done
+
+type t = {
+  g : Graph.t;
+  mutable state : state;
+  mutable process : string;
+  mutable start : int;
+  mutable inv : Invariant.t option;
+  mutable has_steps : bool;
+  mutable milestones : int;
+  mutable pct_v : int; (* highest vertices-milestone percent seen *)
+  mutable pct_e : int;
+  mutable cover_step : int option;
+  mutable covered : bool;
+  mutable violations : Invariant.violation list; (* reversed *)
+}
+
+let create g =
+  {
+    g;
+    state = Expect_start;
+    process = "";
+    start = -1;
+    inv = None;
+    has_steps = false;
+    milestones = 0;
+    pct_v = 0;
+    pct_e = 0;
+    cover_step = None;
+    covered = false;
+    violations = [];
+  }
+
+let violations t = List.rev t.violations
+
+let shadow_steps t = match t.inv with None -> 0 | Some i -> Invariant.steps i
+
+let shadow_pos t =
+  match t.inv with None -> t.start | Some i -> Invariant.position i
+
+let fail t ?(step = -1) ?(chosen = -1) kind fmt =
+  Printf.ksprintf
+    (fun msg ->
+      let v =
+        {
+          Invariant.v_step = (if step >= 0 then step else shadow_steps t);
+          v_vertex = shadow_pos t;
+          v_chosen = chosen;
+          v_expected = [];
+          v_kind = kind;
+          v_message = msg;
+        }
+      in
+      t.violations <- v :: t.violations;
+      Error v)
+    fmt
+
+(* The process name written by the core library determines which invariant
+   checks apply: every E-process variant prefers unvisited edges, and the
+   lowest/highest slot rules are deterministic enough to pin the exact
+   edge. *)
+let config_of_name name =
+  let has_prefix p =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  if has_prefix "e-process" then
+    let rule =
+      if name = "e-process(lowest-slot)" then Invariant.Lowest_slot
+      else if name = "e-process(highest-slot)" then Invariant.Highest_slot
+      else Invariant.Any_unvisited
+    in
+    (true, rule)
+  else (false, Invariant.Any_unvisited)
+
+let milestone_target ~total percent = ((percent * total) + 99) / 100
+
+let feed t (ev : Trace.event) =
+  match (t.state, ev) with
+  | Done, _ -> fail t Invariant.Schema "event after run_end"
+  | Expect_start, Run_start { name; n; m; start } ->
+      if n <> Graph.n t.g then
+        fail t Invariant.Schema "trace claims n=%d but graph has %d vertices" n
+          (Graph.n t.g)
+      else if m <> Graph.m t.g then
+        fail t Invariant.Schema "trace claims m=%d but graph has %d edges" m
+          (Graph.m t.g)
+      else if start < 0 || start >= Graph.n t.g then
+        fail t Invariant.Schema "start vertex %d out of range" start
+      else begin
+        let prefers_unvisited, rule = config_of_name name in
+        t.process <- name;
+        t.start <- start;
+        t.inv <- Some (Invariant.create ~rule ~prefers_unvisited t.g ~start);
+        t.state <- Running;
+        Ok ()
+      end
+  | Expect_start, _ -> fail t Invariant.Schema "stream must begin with run_start"
+  | Running, Run_start _ -> fail t Invariant.Schema "duplicate run_start"
+  | Running, Step { step; vertex; edge; blue } -> (
+      t.has_steps <- true;
+      let inv = Option.get t.inv in
+      match Invariant.on_step inv ~step ~vertex ~edge ~blue with
+      | None -> Ok ()
+      | Some v ->
+          t.violations <- v :: t.violations;
+          Error v)
+  | Running, Phase { step; kind = _; vertex } ->
+      (* Emitted just before the transition numbered [step + 1]: the stamp
+         must match the shadow — but only when per-step events are present
+         to keep the shadow in sync (a phase-only stream is unverifiable
+         beyond vertex range). *)
+      if vertex < 0 || vertex >= Graph.n t.g then
+        fail t ~step Invariant.Edge_invalid "phase vertex %d out of range"
+          vertex
+      else if
+        (t.has_steps || step = 0)
+        && (step <> shadow_steps t || vertex <> shadow_pos t)
+      then
+        fail t ~step Invariant.Schema
+          "phase stamped step=%d vertex=%d but the walk is at step=%d \
+           vertex=%d"
+          step vertex (shadow_steps t) (shadow_pos t)
+      else Ok ()
+  | Running, Milestone { step; kind; percent; count; total } ->
+      let kind_s = match kind with Trace.Vertices -> "vertices" | Trace.Edges -> "edges" in
+      let expected_total =
+        match kind with Trace.Vertices -> Graph.n t.g | Trace.Edges -> Graph.m t.g
+      in
+      let last_pct =
+        match kind with Trace.Vertices -> t.pct_v | Trace.Edges -> t.pct_e
+      in
+      if not (List.mem percent [ 25; 50; 75; 100 ]) then
+        fail t ~step Invariant.Schema "milestone percent %d not in {25,50,75,100}"
+          percent
+      else if total <> expected_total then
+        fail t ~step Invariant.Coverage
+          "%s milestone total %d, graph has %d" kind_s total expected_total
+      else if percent <= last_pct then
+        fail t ~step Invariant.Coverage
+          "%s milestones not strictly increasing: %d%% after %d%%" kind_s
+          percent last_pct
+      else if count > total || count < milestone_target ~total percent then
+        fail t ~step Invariant.Coverage
+          "%s milestone %d%% with count %d of %d" kind_s percent count total
+      else begin
+        let shadow_count =
+          match (t.inv, kind) with
+          | Some i, Trace.Vertices -> Some (Invariant.vertices_visited i)
+          | Some i, Trace.Edges -> Some (Invariant.edges_visited i)
+          | None, _ -> None
+        in
+        match shadow_count with
+        | Some c when t.has_steps && (count <> c || step <> shadow_steps t) ->
+            fail t ~step Invariant.Coverage
+              "%s milestone stamped step=%d count=%d but the shadow has \
+               step=%d count=%d"
+              kind_s step count (shadow_steps t) c
+        | _ ->
+            (match kind with
+            | Trace.Vertices -> t.pct_v <- percent
+            | Trace.Edges -> t.pct_e <- percent);
+            if kind = Trace.Vertices && percent = 100 then
+              t.cover_step <- Some step;
+            t.milestones <- t.milestones + 1;
+            Ok ()
+      end
+  | Running, Run_end { steps; covered } ->
+      t.state <- Done;
+      t.covered <- covered;
+      let inv = Option.get t.inv in
+      if t.has_steps && steps <> Invariant.steps inv then
+        fail t ~step:steps Invariant.Schema
+          "run_end reports %d steps, the stream carried %d" steps
+          (Invariant.steps inv)
+      else if
+        t.has_steps && covered <> (Invariant.vertices_visited inv = Graph.n t.g)
+      then
+        fail t ~step:steps Invariant.Coverage
+          "run_end says covered=%b but the shadow visited %d of %d vertices"
+          covered
+          (Invariant.vertices_visited inv)
+          (Graph.n t.g)
+      else Ok ()
+
+let finish t =
+  match t.state with
+  | Expect_start -> (
+      match fail t Invariant.Schema "empty stream: no run_start" with
+      | Error v -> Error v
+      | Ok () -> assert false)
+  | Running -> (
+      match
+        fail t Invariant.Schema "truncated stream: no run_end after step %d"
+          (shadow_steps t)
+      with
+      | Error v -> Error v
+      | Ok () -> assert false)
+  | Done -> (
+      match List.rev t.violations with
+      | v :: _ -> Error v
+      | [] ->
+          let inv = Option.get t.inv in
+          Ok
+            {
+              process = t.process;
+              n = Graph.n t.g;
+              m = Graph.m t.g;
+              start = t.start;
+              steps = Invariant.steps inv;
+              blue_steps = Invariant.blue_steps inv;
+              red_steps = Invariant.red_steps inv;
+              vertices_visited = Invariant.vertices_visited inv;
+              edges_visited = Invariant.edges_visited inv;
+              milestones = t.milestones;
+              cover_step = t.cover_step;
+              covered = t.covered;
+              has_steps = t.has_steps;
+            })
+
+let verify_events g events =
+  let t = create g in
+  let rec go = function
+    | [] -> finish t
+    | ev :: rest -> (
+        match feed t ev with Ok () -> go rest | Error v -> Error v)
+  in
+  go events

@@ -1,0 +1,67 @@
+(** Trace replay verification: re-run a recorded [eproc trace] event
+    stream against the {!Invariant} monitor.
+
+    The verifier is a streaming consumer: hand it the graph the trace was
+    recorded on, {!feed} it events one at a time (e.g. as JSONL lines are
+    parsed), and {!finish} it at end of stream.  It checks the stream's
+    own shape — exactly one [Run_start] first, nothing after [Run_end],
+    consecutive step indices — and, through a shadow {!Invariant.t}
+    configured from the recorded process name, every per-step walk
+    invariant the monitor knows about.  [Phase] and [Milestone] events are
+    cross-checked against the shadow: a phase transition must be stamped
+    with the current step count and position, and a milestone's count must
+    match the shadow's visited tally at that moment.
+
+    The monitor configuration is inferred from the [Run_start] process
+    name: names beginning with ["e-process"] enable the unvisited-edge
+    preference checks (with the slot rule pinned for
+    ["e-process(lowest-slot)"] / ["e-process(highest-slot)"]); any other
+    name gets edge-validity and coverage checks only. *)
+
+open Ewalk_graph
+
+type summary = {
+  process : string;
+  n : int;
+  m : int;
+  start : int;
+  steps : int;  (** transitions verified (from [Step] events) *)
+  blue_steps : int;
+  red_steps : int;
+  vertices_visited : int;
+  edges_visited : int;
+  milestones : int;  (** [Milestone] events seen *)
+  cover_step : int option;
+      (** step stamped on the [vertices 100%] milestone, if reached *)
+  covered : bool;  (** the [Run_end] flag *)
+  has_steps : bool;
+      (** whether the stream carried per-step events; when [false] only
+          stream-shape and milestone checks were possible *)
+}
+
+val summary_to_string : summary -> string
+(** One human-readable line. *)
+
+type t
+
+val create : Graph.t -> t
+(** A verifier expecting a trace recorded on exactly this graph. *)
+
+val feed : t -> Ewalk_obs.Trace.event -> (unit, Invariant.violation) result
+(** Verify one event.  On [Error v] the verifier records the violation and
+    keeps accepting events (its shadow adopts the reported transition), so
+    a caller may choose to stop at the first violation or drain the stream
+    and collect them all via {!violations}. *)
+
+val finish : t -> (summary, Invariant.violation) result
+(** End of stream.  Errors if no [Run_start] was ever seen, [Run_end] is
+    missing (truncated trace), or any earlier {!feed} reported a violation
+    (the first one is returned). *)
+
+val violations : t -> Invariant.violation list
+(** Every violation reported so far, in stream order. *)
+
+val verify_events :
+  Graph.t -> Ewalk_obs.Trace.event list -> (summary, Invariant.violation) result
+(** Convenience: feed a complete event list and finish, stopping at the
+    first violation. *)

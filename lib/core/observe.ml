@@ -51,6 +51,9 @@ let attach_eprocess t p =
 let attach_srw t p =
   if not (is_noop t) then Srw.set_observer p (Some (recorder t))
 
+let attach_rotor t p =
+  if not (is_noop t) then Rotor.set_observer p (Some (recorder t))
+
 (* Ceiling of [pct]% of [total]. *)
 let target ~total pct = ((pct * total) + 99) / 100
 

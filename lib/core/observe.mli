@@ -44,6 +44,11 @@ val attach_eprocess : t -> Eprocess.t -> unit
 
 val attach_srw : t -> Srw.t -> unit
 
+val attach_rotor : t -> Rotor.t -> unit
+(** Install the rotor-router's native per-step observer: [Step] events
+    with [blue = false] (and the [red_steps] counter).  Gives rotor
+    traces the same per-step stream the verifier checks. *)
+
 val instrument : t -> Cover.process -> Cover.process
 (** Generic wrapper: emits [Run_start] immediately (plus any milestone
     already crossed at attach time — the start vertex counts), then after

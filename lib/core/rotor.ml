@@ -7,6 +7,7 @@ type t = {
   mutable steps : int;
   rotor : int array; (* per-vertex slot offset in [0, degree) *)
   coverage : Coverage.t;
+  mutable observer : (Ewalk_obs.Trace.event -> unit) option;
 }
 
 let create ?(randomize_rotors = false) g rng ~start =
@@ -19,13 +20,14 @@ let create ?(randomize_rotors = false) g rng ~start =
   in
   let coverage = Coverage.create g in
   Coverage.record_start coverage start;
-  { g; pos = start; steps = 0; rotor; coverage }
+  { g; pos = start; steps = 0; rotor; coverage; observer = None }
 
 let graph t = t.g
 let position t = t.pos
 let steps t = t.steps
 let coverage t = t.coverage
 let rotor_offset t v = t.rotor.(v)
+let set_observer t obs = t.observer <- obs
 
 let step t =
   let v = t.pos in
@@ -38,7 +40,13 @@ let step t =
   t.steps <- t.steps + 1;
   Coverage.record_edge t.coverage ~step:t.steps e;
   t.pos <- w;
-  Coverage.record_move t.coverage ~step:t.steps w
+  Coverage.record_move t.coverage ~step:t.steps w;
+  match t.observer with
+  | None -> ()
+  | Some f ->
+      f
+        (Ewalk_obs.Trace.Step
+           { step = t.steps; vertex = w; edge = e; blue = false })
 
 let process t =
   {

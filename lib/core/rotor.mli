@@ -29,4 +29,10 @@ val rotor_offset : t -> Graph.vertex -> int
 val step : t -> unit
 (** @raise Invalid_argument on an isolated vertex. *)
 
+val set_observer : t -> (Ewalk_obs.Trace.event -> unit) option -> unit
+(** Install (or remove, with [None]) a per-step trace observer: every
+    transition emits a {!Ewalk_obs.Trace.Step} event (always with
+    [blue = false] — the rotor walk has no unvisited-edge preference).
+    Use {!Observe.attach_rotor} rather than calling this directly. *)
+
 val process : t -> Cover.process

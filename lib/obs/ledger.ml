@@ -111,12 +111,16 @@ let of_json j =
   | None -> Error "record has no \"kernels\" field"
 
 let append ~path r =
+  (* One [output_string] of the full line, flushed before close: an append
+     that dies mid-way leaves at most one unterminated trailing line, which
+     [read_history] skips, never an interleaved or silently-buffered one. *)
+  let line = Json.to_string (to_json r) ^ "\n" in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      Json.to_channel oc (to_json r);
-      output_char oc '\n')
+      output_string oc line;
+      flush oc)
 
 let read_file path =
   try
@@ -132,12 +136,23 @@ let read_history ~path =
   match read_file path with
   | Error e -> Error e
   | Ok text ->
+      (* A final line with no terminating newline is a truncated append (a
+         crash mid-write): drop it if it no longer parses, instead of
+         failing the whole history.  A terminated line that fails to parse
+         is real corruption and still errors. *)
+      let terminated =
+        text = "" || text.[String.length text - 1] = '\n'
+      in
       let lines =
         String.split_on_char '\n' text
         |> List.filter (fun l -> String.trim l <> "")
       in
       let rec go acc i = function
         | [] -> Ok (List.rev acc)
+        | [ last ] when not terminated -> (
+            match Result.bind (Json.of_string last) of_json with
+            | Ok r -> Ok (List.rev (r :: acc))
+            | Error _ -> Ok (List.rev acc))
         | line :: rest -> (
             match Result.bind (Json.of_string line) of_json with
             | Ok r -> go (r :: acc) (i + 1) rest

@@ -61,11 +61,16 @@ val of_json : Json.t -> (record, string) result
     entries). *)
 
 val append : path:string -> record -> unit
-(** Append one record as a single JSON line (file created when missing). *)
+(** Append one record as a single JSON line (file created when missing).
+    The line is written with a single [output_string] and flushed, so a
+    crash mid-append leaves at most one unterminated trailing line — which
+    {!read_history} skips — never a torn or interleaved record. *)
 
 val read_history : path:string -> (record list, string) result
-(** Every parseable line, in file order; blank lines skipped.  [Error] on
-    an unreadable file or an unparseable line. *)
+(** Every parseable line, in file order; blank lines skipped.  A trailing
+    line without its newline that fails to parse is treated as a truncated
+    append and silently dropped.  [Error] on an unreadable file or an
+    unparseable {e terminated} line. *)
 
 val load_record : string -> (record, string) result
 (** Load a comparison endpoint: a [.jsonl] path yields the {e last} record

@@ -64,6 +64,69 @@ let event_to_json = function
 
 let event_to_string ev = Json.to_string (event_to_json ev)
 
+let event_of_json j =
+  let str name = Option.bind (Json.member name j) Json.to_string_opt in
+  let int name = Option.bind (Json.member name j) Json.to_int_opt in
+  let bool name =
+    match Json.member name j with Some (Json.Bool b) -> Some b | _ -> None
+  in
+  let missing ty name =
+    Error (Printf.sprintf "%s event: missing or ill-typed %S" ty name)
+  in
+  match str "type" with
+  | None -> Error "event has no \"type\" field"
+  | Some "run_start" -> (
+      match (str "process", int "n", int "m", int "start") with
+      | Some name, Some n, Some m, Some start ->
+          Ok (Run_start { name; n; m; start })
+      | None, _, _, _ -> missing "run_start" "process"
+      | _, None, _, _ -> missing "run_start" "n"
+      | _, _, None, _ -> missing "run_start" "m"
+      | _, _, _, None -> missing "run_start" "start")
+  | Some "step" -> (
+      match (int "step", int "vertex", int "edge", bool "blue") with
+      | Some step, Some vertex, Some edge, Some blue ->
+          Ok (Step { step; vertex; edge; blue })
+      | None, _, _, _ -> missing "step" "step"
+      | _, None, _, _ -> missing "step" "vertex"
+      | _, _, None, _ -> missing "step" "edge"
+      | _, _, _, None -> missing "step" "blue")
+  | Some "phase" -> (
+      match (int "step", str "kind", int "vertex") with
+      | Some step, Some kind_s, Some vertex -> (
+          match kind_s with
+          | "blue" -> Ok (Phase { step; kind = Blue; vertex })
+          | "red" -> Ok (Phase { step; kind = Red; vertex })
+          | other -> Error (Printf.sprintf "phase event: unknown kind %S" other))
+      | None, _, _ -> missing "phase" "step"
+      | _, None, _ -> missing "phase" "kind"
+      | _, _, None -> missing "phase" "vertex")
+  | Some "milestone" -> (
+      match
+        (int "step", str "kind", int "percent", int "count", int "total")
+      with
+      | Some step, Some kind_s, Some percent, Some count, Some total -> (
+          match kind_s with
+          | "vertices" ->
+              Ok (Milestone { step; kind = Vertices; percent; count; total })
+          | "edges" ->
+              Ok (Milestone { step; kind = Edges; percent; count; total })
+          | other ->
+              Error (Printf.sprintf "milestone event: unknown kind %S" other))
+      | None, _, _, _, _ -> missing "milestone" "step"
+      | _, None, _, _, _ -> missing "milestone" "kind"
+      | _, _, None, _, _ -> missing "milestone" "percent"
+      | _, _, _, None, _ -> missing "milestone" "count"
+      | _, _, _, _, None -> missing "milestone" "total")
+  | Some "run_end" -> (
+      match (int "steps", bool "covered") with
+      | Some steps, Some covered -> Ok (Run_end { steps; covered })
+      | None, _ -> missing "run_end" "steps"
+      | _, None -> missing "run_end" "covered")
+  | Some other -> Error (Printf.sprintf "unknown event type %S" other)
+
+let event_of_string s = Result.bind (Json.of_string s) event_of_json
+
 type sink = { kind : sink_kind; emit : event -> unit; close_fn : unit -> unit }
 and sink_kind = Null | Live
 

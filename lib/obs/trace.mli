@@ -41,6 +41,17 @@ val event_to_json : event -> Json.t
 val event_to_string : event -> string
 (** Compact single-line JSON — exactly one JSONL line, sans newline. *)
 
+val event_of_json : Json.t -> (event, string) result
+(** Inverse of {!event_to_json}: [event_of_json (event_to_json e) = Ok e]
+    for every event.  Extra object fields are ignored; a missing or
+    ill-typed field, or an unknown ["type"], is an [Error] naming it.  This
+    is what [eproc verify-trace] and the {!Ewalk_check} replay verifier
+    parse recorded JSONL streams back through. *)
+
+val event_of_string : string -> (event, string) result
+(** One JSONL line (without the newline) to an event:
+    [Json.of_string] composed with {!event_of_json}. *)
+
 type sink
 (** Where events go.  Sinks are synchronous and not thread-safe. *)
 

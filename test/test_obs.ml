@@ -266,6 +266,43 @@ let ledger_diff_gate () =
   Alcotest.(check bool) "tight tolerance flags +10%" true
     (Ledger.any_regression tight)
 
+(* A crashed writer leaves a trailing partial line; the reader must keep
+   every complete record and silently drop the torn tail.  A corrupt line
+   that IS newline-terminated is still an error: that's damage, not a
+   crash artefact. *)
+let ledger_truncation_tolerated () =
+  let path = Filename.temp_file "ewalk-ledger" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let r i =
+        Ledger.make ~timestamp:(float_of_int i) ~git_rev:"r" ~scale:"tiny"
+          ~jobs:1
+          ~kernels:[ ("a", k 1000.0) ]
+          ()
+      in
+      Ledger.append ~path (r 1);
+      Ledger.append ~path (r 2);
+      let text = In_channel.with_open_bin path In_channel.input_all in
+      (* cut the file in the middle of the second record's line *)
+      let first_nl = String.index text '\n' in
+      let cut = first_nl + 1 + ((String.length text - first_nl) / 2) in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub text 0 cut));
+      (match Ledger.read_history ~path with
+      | Ok [ a ] ->
+          Alcotest.(check (float 0.0)) "surviving record" 1.0 a.Ledger.timestamp
+      | Ok l ->
+          Alcotest.failf "expected 1 surviving record, got %d" (List.length l)
+      | Error e -> Alcotest.failf "truncated tail not tolerated: %s" e);
+      (* a terminated-but-corrupt line is reported, not skipped *)
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub text 0 cut);
+          Out_channel.output_string oc "\n");
+      match Ledger.read_history ~path with
+      | Ok _ -> Alcotest.fail "corrupt terminated line accepted"
+      | Error _ -> ())
+
 (* -- Metrics ----------------------------------------------------------------- *)
 
 let metrics_counters_gauges () =
@@ -365,6 +402,90 @@ let trace_jsonl_format () =
     (Trace.event_to_string
        (Trace.Milestone
           { step = 10; kind = Trace.Vertices; percent = 50; count = 5; total = 10 }))
+
+(* event_of_string must invert event_to_string for every variant, and name
+   the offending field on malformed input. *)
+let trace_event_parser_roundtrip () =
+  let events =
+    [
+      Trace.Run_start { name = "e-process(uar)"; n = 10; m = 20; start = 0 };
+      Trace.Step { step = 1; vertex = 3; edge = 7; blue = true };
+      Trace.Step { step = 2; vertex = 0; edge = -1; blue = false };
+      Trace.Phase { step = 0; kind = Trace.Blue; vertex = 0 };
+      Trace.Phase { step = 9; kind = Trace.Red; vertex = 4 };
+      Trace.Milestone
+        { step = 5; kind = Trace.Edges; percent = 25; count = 5; total = 20 };
+      Trace.Run_end { steps = 42; covered = true };
+    ]
+  in
+  List.iter
+    (fun ev ->
+      let line = Trace.event_to_string ev in
+      match Trace.event_of_string line with
+      | Ok ev' ->
+          Alcotest.(check bool) ("roundtrip: " ^ line) true (ev = ev')
+      | Error e -> Alcotest.failf "parse %s: %s" line e)
+    events;
+  let expect_error what line =
+    match Trace.event_of_string line with
+    | Ok _ -> Alcotest.failf "%s: accepted" what
+    | Error _ -> ()
+  in
+  expect_error "unknown type" {|{"type":"warp","step":1}|};
+  expect_error "missing field" {|{"type":"step","step":1,"vertex":2}|};
+  expect_error "ill-typed field"
+    {|{"type":"step","step":"one","vertex":2,"edge":3,"blue":true}|};
+  expect_error "no type" {|{"step":1}|};
+  expect_error "not json" "step 1 vertex 2"
+
+(* A full traced run serialised to JSONL and parsed back reproduces the
+   run's observable facts: step count, milestone count, and cover time. *)
+let trace_full_run_roundtrip () =
+  let g = Gen_regular.random_regular_connected (Rng.create ~seed:8 ()) 30 4 in
+  let events = ref [] in
+  let sink = Trace.of_fun (fun ev -> events := ev :: !events) in
+  let obs = Observe.create ~sink () in
+  let t = Eprocess.create g (Rng.create ~seed:8 ()) ~start:0 in
+  Observe.attach_eprocess obs t;
+  let p = Observe.instrument obs (Eprocess.process t) in
+  let cover =
+    match Cover.run_until_vertex_cover ~cap:100_000 p with
+    | Some c -> c
+    | None -> Alcotest.fail "walk hit its cap"
+  in
+  Observe.finish obs p;
+  let parsed =
+    List.rev_map
+      (fun ev ->
+        match Trace.event_of_string (Trace.event_to_string ev) with
+        | Ok e -> e
+        | Error e -> Alcotest.failf "reparse: %s" e)
+      !events
+  in
+  let steps =
+    List.length
+      (List.filter (function Trace.Step _ -> true | _ -> false) parsed)
+  in
+  let milestones =
+    List.filter (function Trace.Milestone _ -> true | _ -> false) parsed
+  in
+  Alcotest.(check int) "step events" (Eprocess.steps t) steps;
+  Alcotest.(check bool) "milestones present" true (List.length milestones >= 4);
+  let cover_milestone =
+    List.find_map
+      (function
+        | Trace.Milestone { step; kind = Trace.Vertices; percent = 100; _ } ->
+            Some step
+        | _ -> None)
+      parsed
+  in
+  Alcotest.(check (option int)) "cover time survives the round-trip"
+    (Some cover) cover_milestone;
+  match List.rev parsed with
+  | Trace.Run_end { steps = end_steps; covered } :: _ ->
+      Alcotest.(check int) "run_end steps" (Eprocess.steps t) end_steps;
+      Alcotest.(check bool) "run_end covered" true covered
+  | _ -> Alcotest.fail "stream does not end with run_end"
 
 (* -- Timer / Progress -------------------------------------------------------- *)
 
@@ -551,6 +672,8 @@ let () =
           Alcotest.test_case "accepts BENCH_core.json" `Quick
             ledger_accepts_bench_core;
           Alcotest.test_case "append and read" `Quick ledger_append_read;
+          Alcotest.test_case "truncated tail tolerated" `Quick
+            ledger_truncation_tolerated;
           Alcotest.test_case "diff regression gate" `Quick ledger_diff_gate;
         ] );
       ( "metrics",
@@ -566,6 +689,10 @@ let () =
           Alcotest.test_case "ring buffer" `Quick trace_ring;
           Alcotest.test_case "null and filter" `Quick trace_null_and_filter;
           Alcotest.test_case "jsonl format" `Quick trace_jsonl_format;
+          Alcotest.test_case "event parser roundtrip" `Quick
+            trace_event_parser_roundtrip;
+          Alcotest.test_case "full run roundtrip" `Quick
+            trace_full_run_roundtrip;
         ] );
       ( "timer",
         [

@@ -20,11 +20,17 @@ let qcheck = QCheck_alcotest.to_alcotest
 
 let srw_covers_cycle () =
   let g = Gen_classic.cycle 20 in
-  let rng = Rng.create ~seed:1 () in
-  let t = Srw.create g rng ~start:0 in
-  match Cover.run_until_vertex_cover ~cap:1_000_000 (Srw.process t) with
-  | Some s -> Alcotest.(check bool) "at least n-1 steps" true (s >= 19)
-  | None -> Alcotest.fail "srw failed to cover a cycle"
+  List.iter
+    (fun seed ->
+      let rng = Rng.create ~seed () in
+      let t = Srw.create g rng ~start:0 in
+      match Cover.run_until_vertex_cover ~cap:1_000_000 (Srw.process t) with
+      | Some s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: at least n-1 steps" seed)
+            true (s >= 19)
+      | None -> Alcotest.failf "seed %d: srw failed to cover a cycle" seed)
+    [ 1; 2; 3; 4 ]
 
 let srw_validation () =
   let g = Gen_classic.cycle 4 in
@@ -241,10 +247,15 @@ let rwc_validation () =
 
 let rwc_covers () =
   let g = Gen_regular.random_regular_connected (Rng.create ~seed:10 ()) 100 4 in
-  let t = Rwc.create ~d:2 g (Rng.create ~seed:11 ()) ~start:0 in
-  match Cover.run_until_vertex_cover ~cap:(Cover.default_cap g) (Rwc.process t) with
-  | Some _ -> ()
-  | None -> Alcotest.fail "rwc(2) failed to cover"
+  List.iter
+    (fun seed ->
+      let t = Rwc.create ~d:2 g (Rng.create ~seed ()) ~start:0 in
+      match
+        Cover.run_until_vertex_cover ~cap:(Cover.default_cap g) (Rwc.process t)
+      with
+      | Some _ -> ()
+      | None -> Alcotest.failf "seed %d: rwc(2) failed to cover" seed)
+    [ 11; 12; 13 ]
 
 let rwc_beats_srw_on_average () =
   (* Avin–Krishnamachari's observation: the power of choice reduces cover
@@ -298,12 +309,16 @@ let luf_covers_and_equalises () =
 
 let oldest_first_covers_small () =
   let g = Gen_classic.cycle 12 in
-  let t =
-    Fair.create ~strategy:Fair.Oldest_first g (Rng.create ~seed:13 ()) ~start:0
-  in
-  match Cover.run_until_vertex_cover ~cap:1_000_000 (Fair.process t) with
-  | Some _ -> ()
-  | None -> Alcotest.fail "oldest-first failed on a cycle"
+  List.iter
+    (fun seed ->
+      let t =
+        Fair.create ~strategy:Fair.Oldest_first g (Rng.create ~seed ())
+          ~start:0
+      in
+      match Cover.run_until_vertex_cover ~cap:1_000_000 (Fair.process t) with
+      | Some _ -> ()
+      | None -> Alcotest.failf "seed %d: oldest-first failed on a cycle" seed)
+    [ 13; 14; 15 ]
 
 let fair_deterministic_without_random_ties () =
   let g = Gen_classic.torus2d 4 4 in
@@ -335,13 +350,16 @@ let vprocess_prefers_unvisited () =
 
 let vprocess_covers () =
   let g = Gen_regular.random_regular_connected (Rng.create ~seed:16 ()) 100 3 in
-  let t = Vprocess.create g (Rng.create ~seed:17 ()) ~start:0 in
-  match
-    Cover.run_until_vertex_cover ~cap:(Cover.default_cap g)
-      (Vprocess.process t)
-  with
-  | Some _ -> ()
-  | None -> Alcotest.fail "v-process failed to cover"
+  List.iter
+    (fun seed ->
+      let t = Vprocess.create g (Rng.create ~seed ()) ~start:0 in
+      match
+        Cover.run_until_vertex_cover ~cap:(Cover.default_cap g)
+          (Vprocess.process t)
+      with
+      | Some _ -> ()
+      | None -> Alcotest.failf "seed %d: v-process failed to cover" seed)
+    [ 17; 18; 19 ]
 
 (* -- cross-process properties ----------------------------------------------------- *)
 
