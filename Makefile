@@ -1,5 +1,5 @@
-.PHONY: all build test test-par bench bench-json bench-baseline bench-check \
-	check-oracle ci fmt fmt-check clean
+.PHONY: all build test test-par test-crash bench bench-json bench-baseline \
+	bench-check check-oracle ci fmt fmt-check clean
 
 all: build
 
@@ -10,9 +10,16 @@ test:
 	dune runtest
 
 # Everything CI gates on: the build, the test suite, dune-file formatting,
-# the bench regression check against the committed baseline, and the
-# oracle differential suite.
-ci: build test fmt-check bench-check check-oracle
+# the bench regression check against the committed baseline, the oracle
+# differential suite, and the crash-equivalence matrix.
+ci: build test fmt-check bench-check check-oracle test-crash
+
+# Crash-equivalence matrix: kill a checkpointed campaign at every trial
+# boundary (at --jobs 1 and 4), resume it, and require bit-identical
+# results; same for a snapshotted single walk, plus corrupted-snapshot
+# rejection.  See test/crash_matrix.sh.
+test-crash: build
+	bash test/crash_matrix.sh
 
 # Run every production walk against the naive reference oracles over the
 # stock graph/seed/mode matrix, serially and with 4 domains (the report is

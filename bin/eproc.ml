@@ -6,8 +6,10 @@
      graph-info                - structural report of a generated graph
      cover                     - cover-time trials for one process
      trace                     - run one walk, emitting a JSONL event stream
+                                 (optionally checkpointed / resumed from a snapshot)
      verify-trace              - replay a JSONL stream against the walk invariants
      check-oracle              - differential-test production walks vs naive oracles
+     checkpoint-inspect        - describe a snapshot file or campaign directory
      spectra                   - spectral report of a generated graph
      bench-diff                - regression gate over two bench ledger records *)
 
@@ -137,14 +139,83 @@ let write_string_to_file path s =
 
 let write_csv path table = write_string_to_file path (Expt.Table.to_csv table)
 
+let checkpoint_dir_arg =
+  let doc =
+    "Checkpoint the trial sweep into directory $(docv): every completed \
+     trial is journaled, so a killed run restarted with $(b,--resume) \
+     re-runs only the unfinished trials and produces a bit-identical table."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume the campaign in $(b,--checkpoint-dir): replay journaled trials \
+     and execute the rest.  The directory's manifest must match this \
+     invocation's experiment, scale and seed ($(b,--jobs) may differ)."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let task_retries_arg =
+  let doc =
+    "Retry a trial that raises (or times out) up to $(docv) more times \
+     before failing the sweep; retries are recorded in the pool's lane \
+     telemetry.  Trials consume a copy of their generator, so a retried \
+     trial is bit-identical to an undisturbed one."
+  in
+  Arg.(value & opt int 2 & info [ "task-retries" ] ~docv:"N" ~doc)
+
+let task_timeout_arg =
+  let doc =
+    "Treat a single trial running longer than $(docv) seconds as failed \
+     (checked when the trial finishes; subject to $(b,--task-retries))."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "task-timeout" ] ~docv:"SECONDS" ~doc)
+
 let experiment_cmd =
   let id_arg =
     let doc = "Experiment id (see $(b,list)), or $(b,all)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id scale seed csv metrics export_metrics profile jobs =
+  let run id scale seed csv metrics export_metrics profile jobs checkpoint_dir
+      resume task_retries task_timeout =
     with_profile profile @@ fun prof ->
-    Ewalk_par.Pool.with_pool ?jobs @@ fun pool ->
+    Ewalk_par.Pool.with_pool ~retries:task_retries ?task_timeout_s:task_timeout
+      ?jobs
+    @@ fun pool ->
+    (match (resume, checkpoint_dir) with
+    | true, None ->
+        Printf.eprintf "eproc experiment: --resume requires --checkpoint-dir\n";
+        exit 2
+    | _ -> ());
+    let campaign =
+      match checkpoint_dir with
+      | None -> None
+      | Some dir -> (
+          let manifest =
+            [
+              ("experiment", Obs.Json.String id);
+              ("scale", Obs.Json.String (Expt.Sweep.scale_name scale));
+              ("seed", Obs.Json.Int seed);
+            ]
+          in
+          match Ewalk_resume.Campaign.open_ ~dir ~manifest ~resume with
+          | Ok c ->
+              Ewalk_resume.Campaign.set_ambient (Some c);
+              Some c
+          | Error e ->
+              Printf.eprintf "eproc experiment: %s\n" e;
+              exit 2)
+    in
+    Fun.protect ~finally:(fun () ->
+        Ewalk_resume.Campaign.set_ambient None;
+        Option.iter Ewalk_resume.Campaign.close campaign)
+    @@ fun () ->
     let t0 = Obs.Clock.now_ns () in
     let registry = Obs.Metrics.create () in
     Obs.Metrics.set
@@ -169,6 +240,27 @@ let experiment_cmd =
     in
     let finish () =
       print_utilization pool ~wall_s:(Obs.Clock.elapsed_s t0);
+      (match campaign with
+      | None -> ()
+      | Some c ->
+          let completed = Ewalk_resume.Campaign.completed c in
+          let cached = Ewalk_resume.Campaign.cached c in
+          let executed = Ewalk_resume.Campaign.executed c in
+          Obs.Metrics.set
+            (Obs.Metrics.gauge registry "campaign_trials_completed")
+            (float_of_int completed);
+          Obs.Metrics.set
+            (Obs.Metrics.gauge registry "campaign_trials_replayed")
+            (float_of_int cached);
+          Obs.Metrics.set
+            (Obs.Metrics.gauge registry "campaign_trials_executed")
+            (float_of_int executed);
+          Printf.printf
+            "checkpoint: %d trials journaled in %s (%d replayed, %d executed \
+             this run)\n"
+            completed
+            (Ewalk_resume.Campaign.dir c)
+            cached executed);
       Option.iter (fun p -> write_metrics p registry) metrics;
       Option.iter (fun p -> write_openmetrics ?prof p registry) export_metrics
     in
@@ -194,7 +286,8 @@ let experiment_cmd =
     Term.(
       ret
         (const run $ id_arg $ scale_arg $ seed_arg $ csv_arg $ metrics_arg
-       $ export_metrics_arg $ profile_arg $ jobs_arg))
+       $ export_metrics_arg $ profile_arg $ jobs_arg $ checkpoint_dir_arg
+       $ resume_arg $ task_retries_arg $ task_timeout_arg))
 
 (* -- graph-info ----------------------------------------------------------- *)
 
@@ -274,6 +367,39 @@ let make_process spec g rng =
       plain
         (Ewalk.Metropolis.process (Ewalk.Metropolis.create g rng ~start:0))
   | _ -> invalid_arg (Printf.sprintf "unknown process %S" spec)
+
+(* The snapshottable subset of --process specs, as Snapshot.walk values:
+   what `trace --checkpoint` can write and `trace --resume-from` restores.
+   Specs outside it (adversarial rules, weighted walks, processes without
+   a checkpoint function) return None. *)
+let make_snapshot_walk spec g rng =
+  let module S = Ewalk_resume.Snapshot in
+  match String.split_on_char ':' spec with
+  | [ "e-process" ] -> Some (S.Eprocess (Ewalk.Eprocess.create g rng ~start:0))
+  | [ "e-process"; "lowest" ] ->
+      Some
+        (S.Eprocess
+           (Ewalk.Eprocess.create ~rule:Ewalk.Eprocess.Lowest_slot g rng
+              ~start:0))
+  | [ "e-process"; "highest" ] ->
+      Some
+        (S.Eprocess
+           (Ewalk.Eprocess.create ~rule:Ewalk.Eprocess.Highest_slot g rng
+              ~start:0))
+  | [ "srw" ] -> Some (S.Srw (Ewalk.Srw.create g rng ~start:0))
+  | [ "lazy-srw" ] -> Some (S.Srw (Ewalk.Srw.create_lazy g rng ~start:0))
+  | [ "rotor" ] ->
+      Some (S.Rotor (Ewalk.Rotor.create ~randomize_rotors:true g rng ~start:0))
+  | _ -> None
+
+let process_of_walk (w : Ewalk_resume.Snapshot.walk) =
+  match w with
+  | Ewalk_resume.Snapshot.Eprocess t ->
+      (Ewalk.Eprocess.process t, fun obs -> Observe.attach_eprocess obs t)
+  | Ewalk_resume.Snapshot.Srw t ->
+      (Ewalk.Srw.process t, fun obs -> Observe.attach_srw obs t)
+  | Ewalk_resume.Snapshot.Rotor t ->
+      (Ewalk.Rotor.process t, fun obs -> Observe.attach_rotor obs t)
 
 let cover_cmd =
   let edges_arg =
@@ -375,8 +501,32 @@ let trace_cmd =
     let doc = "Step cap (default: the generous Cover.default_cap)." in
     Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"K" ~doc)
   in
+  let checkpoint_arg =
+    let doc =
+      "Write a CRC-guarded snapshot of the full walk state (position, \
+       counters, coverage, unvisited partition, PRNG words) to $(docv) at \
+       every checkpoint boundary; each write is atomic and emits a \
+       $(b,checkpoint) trace event.  Only snapshottable processes \
+       (e-process rules, srw, lazy-srw, rotor) qualify."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let checkpoint_every_arg =
+    let doc = "Checkpoint boundary spacing in steps (with $(b,--checkpoint))." in
+    Arg.(value & opt int 1_000 & info [ "checkpoint-every" ] ~docv:"K" ~doc)
+  in
+  let resume_from_arg =
+    let doc =
+      "Restore the walk from snapshot $(docv) (recorded on the same \
+       --family/--n/--seed graph) and continue it; the stream opens with a \
+       $(b,resume) event.  The snapshot's process kind wins over \
+       $(b,--process)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "resume-from" ] ~docv:"FILE" ~doc)
+  in
   let run family process n seed edges no_steps max_steps out metrics
-      export_metrics profile =
+      export_metrics profile checkpoint checkpoint_every resume_from =
     with_profile profile @@ fun prof ->
     let rng = Rng.create ~seed () in
     let g = Expt.Families.build family rng ~n in
@@ -397,9 +547,61 @@ let trace_cmd =
         in
         let registry = Obs.Metrics.create () in
         let obs = Observe.create ~metrics:registry ~sink () in
-        let p, attach_native = make_process process g rng in
+        if checkpoint_every <= 0 then begin
+          Printf.eprintf "eproc trace: --checkpoint-every must be positive\n";
+          exit 2
+        end;
+        let walk_opt, (p, attach_native), resumed_at =
+          match resume_from with
+          | Some path -> (
+              match Ewalk_resume.Snapshot.read g ~path with
+              | Error e ->
+                  Printf.eprintf "eproc trace: %s: %s\n" path
+                    (Ewalk_resume.Snapshot.error_to_string e);
+                  exit 2
+              | Ok w ->
+                  ( Some w,
+                    process_of_walk w,
+                    Some (Ewalk_resume.Snapshot.walk_steps w) ))
+          | None -> (
+              match make_snapshot_walk process g rng with
+              | Some w -> (Some w, process_of_walk w, None)
+              | None -> (None, make_process process g rng, None))
+        in
+        let pname =
+          match (resume_from, walk_opt) with
+          | Some _, Some w -> Ewalk_resume.Snapshot.kind_name w
+          | _ -> process
+        in
         attach_native obs;
-        let p = Observe.instrument obs p in
+        let p = Observe.instrument ?resumed_at obs p in
+        let p =
+          match checkpoint with
+          | None -> p
+          | Some path ->
+              let w =
+                match walk_opt with
+                | Some w -> w
+                | None ->
+                    Printf.eprintf
+                      "eproc trace: process %S cannot be checkpointed\n"
+                      process;
+                    exit 2
+              in
+              let checkpoints_c = Obs.Metrics.counter registry "checkpoints" in
+              Ewalk.Cover.with_step_hook p ~hook:(fun p ->
+                  let step = p.Ewalk.Cover.steps_done () in
+                  if step mod checkpoint_every = 0 then begin
+                    (match Ewalk_resume.Snapshot.write ~path w with
+                    | Ok () -> ()
+                    | Error e ->
+                        Printf.eprintf "eproc trace: %s: %s\n" path
+                          (Ewalk_resume.Snapshot.error_to_string e);
+                        exit 2);
+                    Obs.Trace.emit sink (Obs.Trace.Checkpoint { step });
+                    Obs.Metrics.incr checkpoints_c
+                  end)
+        in
         let cap =
           match max_steps with
           | Some c -> c
@@ -414,12 +616,12 @@ let trace_cmd =
         (match result with
         | Some t ->
             Printf.eprintf "%s covered %s of %s (n=%d, m=%d) at step %d\n"
-              process
+              pname
               (if edges then "edges" else "vertices")
               family (Graph.n g) (Graph.m g) t
         | None ->
             Printf.eprintf "%s hit the %d-step cap before covering %s\n"
-              process cap
+              pname cap
               (if edges then "edges" else "vertices"));
         (match metrics with
         | Some path ->
@@ -440,7 +642,8 @@ let trace_cmd =
     Term.(
       const run $ family_arg $ process_arg $ n_arg $ seed_arg $ edges_arg
       $ no_steps_arg $ max_steps_arg $ out_arg $ metrics_arg
-      $ export_metrics_arg $ profile_arg)
+      $ export_metrics_arg $ profile_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ resume_from_arg)
 
 (* -- verify-trace ----------------------------------------------------------- *)
 
@@ -542,6 +745,43 @@ let check_oracle_cmd =
           deterministic, invariant-monitored everywhere).  Exit 1 on any \
           divergence.")
     Term.(const run $ seeds_arg $ jobs_arg)
+
+(* -- checkpoint-inspect ----------------------------------------------------- *)
+
+(* Describe a durability artifact without touching it: a snapshot file
+   (CRC-verified, then summarised) or a campaign checkpoint directory
+   (manifest + journal size).  Exit codes: 0 = readable, 2 = missing,
+   corrupt or mismatched. *)
+let checkpoint_inspect_cmd =
+  let path_arg =
+    let doc =
+      "A snapshot file written by $(b,eproc trace --checkpoint), or a \
+       campaign directory written by $(b,eproc experiment --checkpoint-dir)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH" ~doc)
+  in
+  let run path =
+    let is_dir = try Sys.is_directory path with Sys_error _ -> false in
+    let result =
+      if is_dir then Ewalk_resume.Campaign.describe ~dir:path
+      else
+        match Ewalk_resume.Snapshot.describe ~path with
+        | Ok s -> Ok s
+        | Error e -> Error (Ewalk_resume.Snapshot.error_to_string e)
+    in
+    match result with
+    | Ok s -> print_endline s
+    | Error e ->
+        Printf.eprintf "eproc checkpoint-inspect: %s\n" e;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "checkpoint-inspect"
+       ~doc:
+         "Describe a walk snapshot file (after CRC verification) or a \
+          campaign checkpoint directory.  Exit 2 if the artifact is \
+          missing, corrupt or unrecognised.")
+    Term.(const run $ path_arg)
 
 (* -- spectra -------------------------------------------------------------- *)
 
@@ -763,8 +1003,8 @@ let main =
     (Cmd.info "eproc" ~version:"1.0.0" ~doc)
     [
       list_cmd; experiment_cmd; graph_info_cmd; cover_cmd; trace_cmd;
-      verify_trace_cmd; check_oracle_cmd; spectra_cmd; euler_cmd; audit_cmd;
-      report_cmd; bench_diff_cmd;
+      verify_trace_cmd; check_oracle_cmd; checkpoint_inspect_cmd; spectra_cmd;
+      euler_cmd; audit_cmd; report_cmd; bench_diff_cmd;
     ]
 
 (* Cmdliner cannot declare a one-letter long option, but "--n 1000" is how
@@ -775,4 +1015,12 @@ let normalize_arg a =
     "-n" ^ String.sub a 4 (String.length a - 4)
   else a
 
-let () = exit (Cmd.eval ~argv:(Array.map normalize_arg Sys.argv) main)
+let () =
+  (* Arm the durability-test fault spec before any subcommand runs, so the
+     crash matrix can inject failures into every code path uniformly. *)
+  (match Ewalk_resume.Faults.install_from_env () with
+  | Ok _ -> ()
+  | Error e ->
+      Printf.eprintf "eproc: %s: %s\n" Ewalk_resume.Faults.env_var e;
+      exit 2);
+  exit (Cmd.eval ~argv:(Array.map normalize_arg Sys.argv) main)

@@ -44,6 +44,7 @@ type t = {
   g : Graph.t;
   rule : rule;
   prefers_unvisited : bool;
+  relaxed : bool;
   check_parity : bool;
   visited : bool array; (* per-edge: traversed at least once *)
   blue_deg : int array; (* unvisited incident slots per vertex *)
@@ -60,14 +61,18 @@ type t = {
   mutable violations : violation list; (* reversed *)
 }
 
-let create ?(rule = Any_unvisited) ?(prefers_unvisited = true) g ~start =
+let create ?(rule = Any_unvisited) ?(prefers_unvisited = true)
+    ?(start_step = 0) ?(relaxed = false) g ~start =
   if start < 0 || start >= Graph.n g then
     invalid_arg "Invariant.create: start out of range";
+  if start_step < 0 then
+    invalid_arg "Invariant.create: start_step must be >= 0";
   {
     g;
     rule;
     prefers_unvisited;
-    check_parity = prefers_unvisited && Graph.all_degrees_even g;
+    relaxed;
+    check_parity = (not relaxed) && prefers_unvisited && Graph.all_degrees_even g;
     visited = Array.make (Graph.m g) false;
     blue_deg = Graph.degrees g;
     parity = Array.make (Graph.n g) false;
@@ -78,7 +83,7 @@ let create ?(rule = Any_unvisited) ?(prefers_unvisited = true) g ~start =
        a.(start) <- true;
        a);
     pos = start;
-    steps = 0;
+    steps = start_step;
     blue_steps = 0;
     red_steps = 0;
     vertices_seen = 1;
@@ -198,6 +203,16 @@ let on_step t ~step ~vertex ~edge ~blue =
       if blue then
         finish_fail
           (fail Blue_flag "process without the preference flagged a blue step")
+      else finish_ok ()
+    else if t.relaxed then
+      (* Resumed trace: the shadow starts at the resume step with no
+         pre-resume visit history, so the preference, slot-rule and parity
+         checks would misfire.  A blue flag on an edge this very segment
+         already traversed is wrong regardless of history, so that much
+         stays enforced. *)
+      if blue && t.visited.(edge) then
+        finish_fail
+          (fail Blue_flag "blue step traverses already-visited edge %d" edge)
       else finish_ok ()
     else begin
       (* The unvisited-edge preference rule. *)

@@ -71,14 +71,30 @@ type rule = Any_unvisited | Lowest_slot | Highest_slot
 type t
 
 val create :
-  ?rule:rule -> ?prefers_unvisited:bool -> Graph.t -> start:Graph.vertex -> t
+  ?rule:rule ->
+  ?prefers_unvisited:bool ->
+  ?start_step:int ->
+  ?relaxed:bool ->
+  Graph.t ->
+  start:Graph.vertex ->
+  t
 (** A fresh monitor for a walk starting at [start] with every edge
     unvisited.  [prefers_unvisited] (default [true]) enables the
     preference, blue-flag, rule and parity checks — pass [false] for
     processes without the preference (SRW, rotor), which are then only
     checked for edge validity, [blue = false], and monotone coverage.
     Parity checks additionally require [Graph.all_degrees_even].
-    @raise Invalid_argument if [start] is out of range. *)
+
+    [start_step] (default [0]) seeds the shadow's step counter, so a
+    stream whose first step index is [start_step + 1] — the tail of a
+    resumed run — passes the consecutive-numbering check.  [relaxed]
+    (default [false]) marks the stream as a {e resumed tail}: the shadow
+    has no pre-resume visit history, so the preference, slot-rule and
+    parity checks are suppressed; edge validity, step numbering, and
+    "blue flag on an edge this segment already traversed" remain
+    enforced.
+    @raise Invalid_argument if [start] is out of range or [start_step]
+    is negative. *)
 
 val on_step :
   t -> step:int -> vertex:int -> edge:int -> blue:bool -> violation option

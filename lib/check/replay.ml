@@ -15,6 +15,7 @@ type summary = {
   cover_step : int option;
   covered : bool;
   has_steps : bool;
+  resumed : bool;
 }
 
 let summary_to_string s =
@@ -27,7 +28,8 @@ let summary_to_string s =
     | Some c -> Printf.sprintf ", covered at step %d" c
     | None -> "")
     (if s.covered then "" else ", not covered")
-    (if s.has_steps then "" else " (no per-step events)")
+    ((if s.has_steps then "" else " (no per-step events)")
+    ^ if s.resumed then " (resumed)" else "")
 
 type state = Expect_start | Running | Done
 
@@ -43,6 +45,7 @@ type t = {
   mutable pct_e : int;
   mutable cover_step : int option;
   mutable covered : bool;
+  mutable resumed : bool;
   mutable violations : Invariant.violation list; (* reversed *)
 }
 
@@ -59,6 +62,7 @@ let create g =
     pct_e = 0;
     cover_step = None;
     covered = false;
+    resumed = false;
     violations = [];
   }
 
@@ -136,6 +140,37 @@ let feed t (ev : Trace.event) =
       | Some v ->
           t.violations <- v :: t.violations;
           Error v)
+  | Running, Checkpoint { step } ->
+      (* A snapshot was written here.  With per-step events the stamp must
+         match the shadow exactly; without them only sanity applies. *)
+      if step < 0 then
+        fail t ~step Invariant.Schema "checkpoint stamped negative step %d"
+          step
+      else if t.has_steps && step <> shadow_steps t then
+        fail t ~step Invariant.Schema
+          "checkpoint stamped step=%d but the walk is at step=%d" step
+          (shadow_steps t)
+      else Ok ()
+  | Running, Resume { step } ->
+      (* A resumed run announces itself right after run_start, before any
+         step or milestone: the shadow restarts at the resume step with no
+         pre-resume visit history, so history-dependent checks relax. *)
+      if step < 0 then
+        fail t ~step Invariant.Schema "resume stamped negative step %d" step
+      else if t.resumed then
+        fail t ~step Invariant.Schema "duplicate resume event"
+      else if t.has_steps || t.milestones > 0 then
+        fail t ~step Invariant.Schema
+          "resume event after steps or milestones (must follow run_start)"
+      else begin
+        let prefers_unvisited, rule = config_of_name t.process in
+        t.inv <-
+          Some
+            (Invariant.create ~rule ~prefers_unvisited ~start_step:step
+               ~relaxed:true t.g ~start:t.start);
+        t.resumed <- true;
+        Ok ()
+      end
   | Running, Phase { step; kind = _; vertex } ->
       (* Emitted just before the transition numbered [step + 1]: the stamp
          must match the shadow — but only when per-step events are present
@@ -181,8 +216,13 @@ let feed t (ev : Trace.event) =
           | Some i, Trace.Edges -> Some (Invariant.edges_visited i)
           | None, _ -> None
         in
+        (* In a resumed trace the shadow undercounts (it never saw the
+           pre-resume visits), so only the step stamp is cross-checked. *)
         match shadow_count with
-        | Some c when t.has_steps && (count <> c || step <> shadow_steps t) ->
+        | Some c
+          when t.has_steps
+               && (step <> shadow_steps t
+                  || ((not t.resumed) && count <> c)) ->
             fail t ~step Invariant.Coverage
               "%s milestone stamped step=%d count=%d but the shadow has \
                step=%d count=%d"
@@ -205,7 +245,13 @@ let feed t (ev : Trace.event) =
           "run_end reports %d steps, the stream carried %d" steps
           (Invariant.steps inv)
       else if
-        t.has_steps && covered <> (Invariant.vertices_visited inv = Graph.n t.g)
+        (* A resumed shadow undercounts vertices, so it can only refute
+           covered=false — seeing all n in the tail alone proves cover. *)
+        t.has_steps
+        &&
+        let tail_covered = Invariant.vertices_visited inv = Graph.n t.g in
+        if t.resumed then (not covered) && tail_covered
+        else covered <> tail_covered
       then
         fail t ~step:steps Invariant.Coverage
           "run_end says covered=%b but the shadow visited %d of %d vertices"
@@ -247,6 +293,7 @@ let finish t =
               cover_step = t.cover_step;
               covered = t.covered;
               has_steps = t.has_steps;
+              resumed = t.resumed;
             })
 
 let verify_events g events =

@@ -16,7 +16,18 @@
     name: names beginning with ["e-process"] enable the unvisited-edge
     preference checks (with the slot rule pinned for
     ["e-process(lowest-slot)"] / ["e-process(highest-slot)"]); any other
-    name gets edge-validity and coverage checks only. *)
+    name gets edge-validity and coverage checks only.
+
+    Checkpoint/resume traces are understood.  A [Checkpoint] event must be
+    stamped with the shadow's current step.  A [Resume] event is legal
+    only directly after [Run_start] (before any step or milestone) and
+    switches the verifier to {e resumed mode}: the shadow restarts at the
+    stamped step with {!Invariant.create}[ ~relaxed:true], because the
+    trace tail carries no pre-resume visit history — structural checks
+    (edge validity, consecutive absolute step indices, stream shape)
+    remain full-strength, while history-dependent ones (preference, slot
+    rule, parity, milestone counts) are suppressed or checked only in the
+    refutable direction. *)
 
 open Ewalk_graph
 
@@ -37,6 +48,9 @@ type summary = {
   has_steps : bool;
       (** whether the stream carried per-step events; when [false] only
           stream-shape and milestone checks were possible *)
+  resumed : bool;
+      (** the stream announced itself as the tail of a resumed run, so
+          history-dependent checks ran relaxed *)
 }
 
 val summary_to_string : summary -> string

@@ -91,3 +91,52 @@ let unvisited_edges t =
   !acc
 
 let visited_edge_flags t = Array.map (fun s -> s >= 0) t.edge_first
+
+type state = {
+  s_vertex_first : int array;
+  s_edge_first : int array;
+  s_visits : int array;
+  s_edge_count : int array;
+  s_vertices_seen : int;
+  s_edges_seen : int;
+  s_vertex_cover_step : int;
+  s_edge_cover_step : int;
+}
+
+let save t =
+  {
+    s_vertex_first = Array.copy t.vertex_first;
+    s_edge_first = Array.copy t.edge_first;
+    s_visits = Array.copy t.visits;
+    s_edge_count = Array.copy t.edge_count;
+    s_vertices_seen = t.vertices_seen;
+    s_edges_seen = t.edges_seen;
+    s_vertex_cover_step = t.vertex_cover_step;
+    s_edge_cover_step = t.edge_cover_step;
+  }
+
+let restore g s =
+  let n = Graph.n g and m = Graph.m g in
+  if Array.length s.s_vertex_first <> n || Array.length s.s_visits <> n then
+    invalid_arg "Coverage.restore: vertex arrays do not match the graph";
+  if Array.length s.s_edge_first <> m || Array.length s.s_edge_count <> m then
+    invalid_arg "Coverage.restore: edge arrays do not match the graph";
+  let count_nonneg a =
+    Array.fold_left (fun acc x -> if x >= 0 then acc + 1 else acc) 0 a
+  in
+  if count_nonneg s.s_vertex_first <> s.s_vertices_seen then
+    invalid_arg "Coverage.restore: vertices_seen disagrees with first-visits";
+  if count_nonneg s.s_edge_first <> s.s_edges_seen then
+    invalid_arg "Coverage.restore: edges_seen disagrees with first-visits";
+  {
+    n;
+    m;
+    vertex_first = Array.copy s.s_vertex_first;
+    edge_first = Array.copy s.s_edge_first;
+    visits = Array.copy s.s_visits;
+    edge_count = Array.copy s.s_edge_count;
+    vertices_seen = s.s_vertices_seen;
+    edges_seen = s.s_edges_seen;
+    vertex_cover_step = s.s_vertex_cover_step;
+    edge_cover_step = s.s_edge_cover_step;
+  }

@@ -67,3 +67,27 @@ val unvisited_edges : t -> Graph.edge list
 
 val visited_edge_flags : t -> bool array
 (** A copy of the per-edge visited flags (for blue-subgraph analysis). *)
+
+(** {2 Checkpointing} *)
+
+type state = {
+  s_vertex_first : int array;
+  s_edge_first : int array;
+  s_visits : int array;
+  s_edge_count : int array;
+  s_vertices_seen : int;
+  s_edges_seen : int;
+  s_vertex_cover_step : int;
+  s_edge_cover_step : int;
+}
+(** A plain-data snapshot of the full coverage bookkeeping, as used by
+    [Ewalk_resume.Snapshot].  Arrays are copies; mutating a state never
+    affects the live tracker. *)
+
+val save : t -> state
+(** Capture the complete current state. *)
+
+val restore : Graph.t -> state -> t
+(** Rebuild a tracker for [g] from a saved state.
+    @raise Invalid_argument if array lengths do not match the graph or the
+    seen-counters disagree with the first-visit arrays. *)

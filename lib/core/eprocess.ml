@@ -157,6 +157,74 @@ let step t =
 
 let phase_log t = List.rev t.phases
 
+type rule_id = [ `Uar | `Lowest_slot | `Highest_slot ]
+
+type checkpoint = {
+  ck_rule : rule_id;
+  ck_pos : Graph.vertex;
+  ck_steps : int;
+  ck_blue_steps : int;
+  ck_red_steps : int;
+  ck_rng : int64 array;
+  ck_coverage : Coverage.state;
+  ck_unvisited : Unvisited.state;
+  ck_record_phases : bool;
+  ck_current_phase : (phase_kind * int * Graph.vertex) option;
+  ck_phases : phase list;
+}
+
+let checkpoint t =
+  let ck_rule =
+    match t.rule with
+    | Uar -> `Uar
+    | Lowest_slot -> `Lowest_slot
+    | Highest_slot -> `Highest_slot
+    | Adversarial _ ->
+        invalid_arg
+          "Eprocess.checkpoint: an adversarial rule is a closure and cannot \
+           be serialized"
+  in
+  {
+    ck_rule;
+    ck_pos = t.pos;
+    ck_steps = t.steps;
+    ck_blue_steps = t.blue_steps;
+    ck_red_steps = t.red_steps;
+    ck_rng = Rng.save t.rng;
+    ck_coverage = Coverage.save t.coverage;
+    ck_unvisited = Unvisited.save t.unvisited;
+    ck_record_phases = t.record_phases;
+    ck_current_phase = t.current_phase;
+    ck_phases = List.rev t.phases;
+  }
+
+let of_checkpoint g ck =
+  if ck.ck_pos < 0 || ck.ck_pos >= Graph.n g then
+    invalid_arg "Eprocess.of_checkpoint: position out of range";
+  if
+    ck.ck_steps < 0 || ck.ck_blue_steps < 0 || ck.ck_red_steps < 0
+    || ck.ck_blue_steps + ck.ck_red_steps <> ck.ck_steps
+  then invalid_arg "Eprocess.of_checkpoint: inconsistent step counters";
+  {
+    g;
+    rng = Rng.restore ck.ck_rng;
+    rule =
+      (match ck.ck_rule with
+      | `Uar -> Uar
+      | `Lowest_slot -> Lowest_slot
+      | `Highest_slot -> Highest_slot);
+    pos = ck.ck_pos;
+    steps = ck.ck_steps;
+    blue_steps = ck.ck_blue_steps;
+    red_steps = ck.ck_red_steps;
+    coverage = Coverage.restore g ck.ck_coverage;
+    unvisited = Unvisited.restore g ck.ck_unvisited;
+    record_phases = ck.ck_record_phases;
+    current_phase = ck.ck_current_phase;
+    phases = List.rev ck.ck_phases;
+    observer = None;
+  }
+
 let process t =
   {
     Cover.name =

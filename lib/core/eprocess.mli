@@ -95,3 +95,34 @@ val phase_log : t -> phase list
 
 val process : t -> Cover.process
 (** Adapter for the generic runners in {!Cover}. *)
+
+(** {2 Checkpointing} *)
+
+type rule_id = [ `Uar | `Lowest_slot | `Highest_slot ]
+(** Serializable rules.  {!Adversarial} carries a closure and is excluded. *)
+
+type checkpoint = {
+  ck_rule : rule_id;
+  ck_pos : Graph.vertex;
+  ck_steps : int;
+  ck_blue_steps : int;
+  ck_red_steps : int;
+  ck_rng : int64 array;
+  ck_coverage : Coverage.state;
+  ck_unvisited : Unvisited.state;
+  ck_record_phases : bool;
+  ck_current_phase : (phase_kind * int * Graph.vertex) option;
+  ck_phases : phase list;
+}
+(** Complete plain-data process state: continuing from a restored
+    checkpoint is bit-identical to never having stopped. *)
+
+val checkpoint : t -> checkpoint
+(** Capture the full state (PRNG words included).
+    @raise Invalid_argument on an {!Adversarial} rule. *)
+
+val of_checkpoint : Graph.t -> checkpoint -> t
+(** Rebuild a process over [g].  The observer is not restored; re-attach
+    one with {!set_observer} / {!Observe.attach_eprocess} if needed.
+    @raise Invalid_argument if the checkpoint does not fit the graph or
+    its counters are inconsistent. *)

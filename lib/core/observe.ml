@@ -59,13 +59,16 @@ let target ~total pct = ((pct * total) + 99) / 100
 
 let percents = [ 25; 50; 75; 100 ]
 
-let instrument t (p : Cover.process) =
+let instrument ?resumed_at t (p : Cover.process) =
   if is_noop t then p
   else begin
     let cov = p.coverage in
     let n = Coverage.total_vertices cov and m = Coverage.total_edges cov in
     Trace.emit t.sink_
       (Trace.Run_start { name = p.name; n; m; start = p.position () });
+    (match resumed_at with
+    | Some step -> Trace.emit t.sink_ (Trace.Resume { step })
+    | None -> ());
     (match t.metrics_ with
     | None -> ()
     | Some reg ->
@@ -100,8 +103,26 @@ let instrument t (p : Cover.process) =
       check pending_v Trace.Vertices (Coverage.vertices_visited cov) n ~step;
       check pending_e Trace.Edges (Coverage.edges_visited cov) m ~step
     in
-    (* The start vertex may already put tiny graphs past a threshold. *)
-    milestones (p.steps_done ());
+    (match resumed_at with
+    | None ->
+        (* The start vertex may already put tiny graphs past a threshold. *)
+        milestones (p.steps_done ())
+    | Some _ ->
+        (* Resumed run: thresholds the pre-resume segment already crossed
+           were announced in the original trace — drop them silently so
+           only new crossings emit. *)
+        let drop pending count =
+          let rec go () =
+            match !pending with
+            | (_, tgt) :: rest when count >= tgt ->
+                pending := rest;
+                go ()
+            | _ -> ()
+          in
+          go ()
+        in
+        drop pending_v (Coverage.vertices_visited cov);
+        drop pending_e (Coverage.edges_visited cov));
     Cover.with_step_hook p ~hook:(fun p ->
         (match steps_c with Some c -> Metrics.incr c | None -> ());
         milestones (p.steps_done ()))

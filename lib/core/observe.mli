@@ -49,13 +49,19 @@ val attach_rotor : t -> Rotor.t -> unit
     with [blue = false] (and the [red_steps] counter).  Gives rotor
     traces the same per-step stream the verifier checks. *)
 
-val instrument : t -> Cover.process -> Cover.process
+val instrument : ?resumed_at:int -> t -> Cover.process -> Cover.process
 (** Generic wrapper: emits [Run_start] immediately (plus any milestone
     already crossed at attach time — the start vertex counts), then after
     every transition updates the process-agnostic metrics and emits
     milestone events as coverage crosses 25/50/75/100%.  Each call carries
     its own milestone state, so instrument each process (or trial) with a
-    fresh call. *)
+    fresh call.
+
+    [resumed_at] marks the process as restored from a snapshot taken at
+    that step: a [Resume] event follows [Run_start], and thresholds the
+    pre-resume segment already crossed are dropped silently instead of
+    re-announced (the original trace carries them), so the tail stream
+    stays verifiable by {!Ewalk_check.Replay}. *)
 
 val finish : t -> Cover.process -> unit
 (** Emit [Run_end] (with [covered] = all vertices visited) and push the

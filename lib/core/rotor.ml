@@ -48,6 +48,43 @@ let step t =
         (Ewalk_obs.Trace.Step
            { step = t.steps; vertex = w; edge = e; blue = false })
 
+type checkpoint = {
+  ck_pos : Graph.vertex;
+  ck_steps : int;
+  ck_rotor : int array;
+  ck_coverage : Coverage.state;
+}
+
+let checkpoint t =
+  {
+    ck_pos = t.pos;
+    ck_steps = t.steps;
+    ck_rotor = Array.copy t.rotor;
+    ck_coverage = Coverage.save t.coverage;
+  }
+
+let of_checkpoint g ck =
+  if ck.ck_pos < 0 || ck.ck_pos >= Graph.n g then
+    invalid_arg "Rotor.of_checkpoint: position out of range";
+  if ck.ck_steps < 0 then
+    invalid_arg "Rotor.of_checkpoint: negative step counter";
+  if Array.length ck.ck_rotor <> Graph.n g then
+    invalid_arg "Rotor.of_checkpoint: rotor array does not match the graph";
+  Array.iteri
+    (fun v r ->
+      let deg = Graph.degree g v in
+      if r < 0 || (deg > 0 && r >= deg) || (deg = 0 && r <> 0) then
+        invalid_arg "Rotor.of_checkpoint: rotor offset out of range")
+    ck.ck_rotor;
+  {
+    g;
+    pos = ck.ck_pos;
+    steps = ck.ck_steps;
+    rotor = Array.copy ck.ck_rotor;
+    coverage = Coverage.restore g ck.ck_coverage;
+    observer = None;
+  }
+
 let process t =
   {
     Cover.name = "rotor-router";

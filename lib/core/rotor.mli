@@ -36,3 +36,20 @@ val set_observer : t -> (Ewalk_obs.Trace.event -> unit) option -> unit
     Use {!Observe.attach_rotor} rather than calling this directly. *)
 
 val process : t -> Cover.process
+
+(** {2 Checkpointing} *)
+
+type checkpoint = {
+  ck_pos : Graph.vertex;
+  ck_steps : int;
+  ck_rotor : int array;
+  ck_coverage : Coverage.state;
+}
+(** Plain-data walk state: the rotor walk is deterministic after creation,
+    so position, step count, rotor offsets and coverage are everything. *)
+
+val checkpoint : t -> checkpoint
+
+val of_checkpoint : Graph.t -> checkpoint -> t
+(** Rebuild the walk; the observer is not restored.
+    @raise Invalid_argument if the checkpoint does not fit the graph. *)

@@ -110,6 +110,53 @@ let process t =
     coverage = t.coverage;
   }
 
+type checkpoint = {
+  ck_kind : [ `Simple | `Lazy ];
+  ck_pos : Graph.vertex;
+  ck_steps : int;
+  ck_rng : int64 array;
+  ck_coverage : Coverage.state;
+}
+
+let checkpoint t =
+  let ck_kind =
+    match t.kind with
+    | Simple -> `Simple
+    | Lazy -> `Lazy
+    | Weighted _ ->
+        invalid_arg
+          "Srw.checkpoint: weighted walks are not serializable (weights are \
+           not retained)"
+  in
+  {
+    ck_kind;
+    ck_pos = t.pos;
+    ck_steps = t.steps;
+    ck_rng = Rng.save t.rng;
+    ck_coverage = Coverage.save t.coverage;
+  }
+
+let of_checkpoint g ck =
+  if ck.ck_pos < 0 || ck.ck_pos >= Graph.n g then
+    invalid_arg "Srw.of_checkpoint: position out of range";
+  if ck.ck_steps < 0 then
+    invalid_arg "Srw.of_checkpoint: negative step counter";
+  let kind, name =
+    match ck.ck_kind with
+    | `Simple -> (Simple, "srw")
+    | `Lazy -> (Lazy, "lazy-srw")
+  in
+  {
+    g;
+    rng = Rng.restore ck.ck_rng;
+    kind;
+    name;
+    pos = ck.ck_pos;
+    steps = ck.ck_steps;
+    coverage = Coverage.restore g ck.ck_coverage;
+    observer = None;
+  }
+
 let hitting_time ?cap g rng ~from ~target =
   let t = create g rng ~start:from in
   let cap = match cap with Some c -> c | None -> Cover.default_cap g in

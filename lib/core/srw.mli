@@ -42,6 +42,25 @@ val set_observer : t -> (Ewalk_obs.Trace.event -> unit) option -> unit
 
 val process : t -> Cover.process
 
+(** {2 Checkpointing} *)
+
+type checkpoint = {
+  ck_kind : [ `Simple | `Lazy ];
+  ck_pos : Graph.vertex;
+  ck_steps : int;
+  ck_rng : int64 array;
+  ck_coverage : Coverage.state;
+}
+(** Plain-data walk state for the simple and lazy variants (weighted walks
+    do not retain their weight table and are excluded). *)
+
+val checkpoint : t -> checkpoint
+(** @raise Invalid_argument on a weighted walk. *)
+
+val of_checkpoint : Graph.t -> checkpoint -> t
+(** Rebuild the walk; the observer is not restored.
+    @raise Invalid_argument if the checkpoint does not fit the graph. *)
+
 val hitting_time :
   ?cap:int -> Graph.t -> Ewalk_prng.Rng.t -> from:Graph.vertex ->
   target:Graph.vertex -> int option

@@ -67,3 +67,47 @@ let retire_edge t e =
   let p1, p2 = Graph.edge_positions t.g e in
   retire_slot t p1;
   retire_slot t p2
+
+type state = {
+  s_slot_list : int array;
+  s_slot_index : int array;
+  s_counts : int array;
+}
+
+let save t =
+  {
+    s_slot_list = Array.copy t.slot_list;
+    s_slot_index = Array.copy t.slot_index;
+    s_counts = Array.copy t.counts;
+  }
+
+let restore g s =
+  let n = Graph.n g and two_m = 2 * Graph.m g in
+  if
+    Array.length s.s_slot_list <> two_m
+    || Array.length s.s_slot_index <> two_m
+  then invalid_arg "Unvisited.restore: slot arrays do not match the graph";
+  if Array.length s.s_counts <> n then
+    invalid_arg "Unvisited.restore: counts array does not match the graph";
+  let fresh = create g in
+  let slot_owner = fresh.slot_owner in
+  for p = 0 to two_m - 1 do
+    let q = s.s_slot_list.(p) in
+    if q < 0 || q >= two_m || s.s_slot_index.(q) <> p then
+      invalid_arg "Unvisited.restore: slot_index is not inverse to slot_list";
+    (* The partition only ever swaps slots within a vertex's own adjacency
+       region, so every stored slot must still belong to its region. *)
+    if slot_owner.(q) <> slot_owner.(p) then
+      invalid_arg "Unvisited.restore: slot moved across vertex regions"
+  done;
+  for v = 0 to n - 1 do
+    if s.s_counts.(v) < 0 || s.s_counts.(v) > Graph.degree g v then
+      invalid_arg "Unvisited.restore: live count out of range"
+  done;
+  {
+    g;
+    slot_list = Array.copy s.s_slot_list;
+    slot_index = Array.copy s.s_slot_index;
+    slot_owner;
+    counts = Array.copy s.s_counts;
+  }

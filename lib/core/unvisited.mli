@@ -30,3 +30,22 @@ val slot_with_edge : t -> Graph.vertex -> Graph.edge -> int
 val retire_edge : t -> Graph.edge -> unit
 (** Mark the edge visited (removes it at both endpoints).  Must be called
     at most once per edge. *)
+
+(** {2 Checkpointing} *)
+
+type state = {
+  s_slot_list : int array;
+  s_slot_index : int array;
+  s_counts : int array;
+}
+(** Plain-data snapshot of the swap-partition (the slot-owner map is
+    derived from the graph and not stored). *)
+
+val save : t -> state
+(** Capture the current partition. *)
+
+val restore : Graph.t -> state -> t
+(** Rebuild the partition over [g] from a saved state.
+    @raise Invalid_argument if the arrays do not match the graph, the
+    index is not the inverse of the list, a slot escaped its vertex
+    region, or a live count exceeds the vertex degree. *)

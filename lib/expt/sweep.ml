@@ -55,20 +55,48 @@ let trial_rngs ~seed ~trials =
    only its own split generator and lands at its own index, so the result
    array is bit-identical to the sequential path for every job count. *)
 let map_trials ?pool ?(label = "trials") f rngs =
+  (* With an ambient campaign, every sweep becomes resumable: trial [i] of
+     this call is journaled under "<label>#<batch>:<i>", where the batch
+     sequence number makes repeated sweeps under one label distinct.
+     Experiment code runs its sweeps in a fixed order, so keys are stable
+     across runs — which is what lets a resumed campaign replay completed
+     trials from the journal and execute only the rest. *)
+  let campaign = Ewalk_resume.Campaign.ambient () in
+  let batch =
+    match campaign with
+    | Some c -> Ewalk_resume.Campaign.next_batch c ~label
+    | None -> 0
+  in
   Ewalk_obs.Progress.with_reporter ~total:(Array.length rngs) ~label
     (fun tick ->
       (* Each trial runs inside an ambient profiler span (free while
          profiling is off).  Spans open on whichever domain executes the
          trial, so the merged tree attributes sweep time per domain. *)
-      let run_one rng =
-        let x = Ewalk_obs.Prof.span_ambient ("trial:" ^ label) (fun () -> f rng) in
+      let run_one (i, rng) =
+        (* The trial consumes a copy of its generator, so re-running it —
+           a pool retry after an injected failure, say — sees an identical
+           stream and produces an identical result. *)
+        let exec () =
+          Ewalk_obs.Prof.span_ambient ("trial:" ^ label) (fun () ->
+              f (Rng.copy rng))
+        in
+        let x =
+          match campaign with
+          | None -> exec ()
+          | Some c ->
+              Ewalk_resume.Campaign.run c
+                ~key:(Printf.sprintf "%s#%d:%d" label batch i)
+                exec
+        in
         tick ();
         x
       in
+      let indexed = Array.mapi (fun i rng -> (i, rng)) rngs in
       match pool with
-      | Some p when Ewalk_par.Pool.jobs p > 1 ->
-          Ewalk_par.Pool.map_array ~chunk:1 p run_one rngs
-      | _ -> Array.map run_one rngs)
+      (* A jobs=1 pool takes Pool.map_array's sequential path, which still
+         honours the pool's retry budget and fault injection. *)
+      | Some p -> Ewalk_par.Pool.map_array ~chunk:1 p run_one indexed
+      | None -> Array.map run_one indexed)
 
 let mean_of_trials ?pool ?label ~seed ~trials f =
   let rngs = trial_rngs ~seed ~trials in

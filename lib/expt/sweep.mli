@@ -48,7 +48,15 @@ val map_trials :
     [EWALK_PROGRESS=1], a throttled {!Ewalk_obs.Progress} heartbeat
     (tagged [label], default ["trials"]) ticks once per finished trial.
     When the ambient {!Ewalk_obs.Prof} profiler is enabled, each trial runs
-    in a [trial:<label>] span on its executing domain. *)
+    in a [trial:<label>] span on its executing domain.
+
+    Durability: when an ambient [Ewalk_resume.Campaign] is set, each trial
+    is memoized in the campaign journal under a stable
+    [<label>#<batch>:<index>] key, so a resumed run replays completed
+    trials and executes only the rest.  Each trial consumes a {e copy} of
+    its generator, so re-execution (pool retry or journal miss) is
+    bit-identical.  With a pool, the pool's retry budget and fault
+    injection apply — including on the [jobs = 1] sequential path. *)
 
 val mean_of_trials :
   ?pool:Ewalk_par.Pool.t ->

@@ -12,6 +12,8 @@ type event =
       count : int;
       total : int;
     }
+  | Checkpoint of { step : int }
+  | Resume of { step : int }
   | Run_end of { steps : int; covered : bool }
 
 let phase_name = function Blue -> "blue" | Red -> "red"
@@ -54,6 +56,10 @@ let event_to_json = function
           ("count", Json.Int count);
           ("total", Json.Int total);
         ]
+  | Checkpoint { step } ->
+      Json.Obj [ ("type", Json.String "checkpoint"); ("step", Json.Int step) ]
+  | Resume { step } ->
+      Json.Obj [ ("type", Json.String "resume"); ("step", Json.Int step) ]
   | Run_end { steps; covered } ->
       Json.Obj
         [
@@ -118,6 +124,14 @@ let event_of_json j =
       | _, _, None, _, _ -> missing "milestone" "percent"
       | _, _, _, None, _ -> missing "milestone" "count"
       | _, _, _, _, None -> missing "milestone" "total")
+  | Some "checkpoint" -> (
+      match int "step" with
+      | Some step -> Ok (Checkpoint { step })
+      | None -> missing "checkpoint" "step")
+  | Some "resume" -> (
+      match int "step" with
+      | Some step -> Ok (Resume { step })
+      | None -> missing "resume" "step")
   | Some "run_end" -> (
       match (int "steps", bool "covered") with
       | Some steps, Some covered -> Ok (Run_end { steps; covered })

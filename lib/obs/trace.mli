@@ -33,6 +33,13 @@ type event =
       count : int;
       total : int;
     }  (** Coverage first reached [percent]% after transition [step]. *)
+  | Checkpoint of { step : int }
+      (** A durable snapshot of the full walk state was written after
+          transition [step] (see [Ewalk_resume.Snapshot]). *)
+  | Resume of { step : int }
+      (** Emitted right after [Run_start] when the run continues from a
+          restored snapshot: the walk already stands [step] transitions in,
+          and per-step events in this trace resume at [step + 1]. *)
   | Run_end of { steps : int; covered : bool }
 
 val event_to_json : event -> Json.t

@@ -9,11 +9,45 @@
    makes progress even when every worker is busy with another batch (so
    nested batches cannot deadlock - they just degrade toward sequential). *)
 
+exception
+  Task_failed of { index : int; attempts : int; last : exn }
+
+exception
+  Task_timeout of { index : int; elapsed_s : float; timeout_s : float }
+
+let () =
+  Printexc.register_printer (function
+    | Task_failed { index; attempts; last } ->
+        Some
+          (Printf.sprintf
+             "Pool.Task_failed (element %d failed %d attempt%s; last: %s)"
+             index attempts
+             (if attempts = 1 then "" else "s")
+             (Printexc.to_string last))
+    | Task_timeout { index; elapsed_s; timeout_s } ->
+        Some
+          (Printf.sprintf
+             "Pool.Task_timeout (element %d took %.3fs, limit %.3fs)" index
+             elapsed_s timeout_s)
+    | _ -> None)
+
+(* Deterministic failure injection for the fault-tolerance tests: when set,
+   the hook runs before every element execution with the executing lane's
+   index and may raise to simulate a lane failure.  Installed by
+   [Ewalk_resume.Faults] (which this library must not depend on), hence a
+   process-global rather than a pool field. *)
+let fault_injector : (lane:int -> unit) option Atomic.t = Atomic.make None
+let set_fault_injector f = Atomic.set fault_injector f
+
+let inject ~lane =
+  match Atomic.get fault_injector with Some f -> f ~lane | None -> ()
+
 type batch_state = {
   b_mutex : Mutex.t;
   b_done : Condition.t;
   mutable pending : int; (* helper tasks that have not yet finished *)
   mutable failed : (exn * Printexc.raw_backtrace) option; (* first failure *)
+  mutable retryable : (int * exn) list; (* failed elements, retry mode only *)
 }
 
 (* Telemetry cell, one per lane (lane 0 = the calling domain, 1.. = spawned
@@ -25,6 +59,8 @@ type lane = {
   mutable wait_ns : int; (* blocked: queue wait (workers), barrier (caller) *)
   mutable chunks : int; (* chunks claimed from batch cursors *)
   mutable tasks_run : int; (* helper tasks (workers) / batches (caller) *)
+  mutable failures : int; (* element executions that raised or timed out *)
+  mutable retries : int; (* recovery re-executions performed by this lane *)
 }
 
 type lane_report = {
@@ -32,10 +68,14 @@ type lane_report = {
   wait_s : float;
   chunks_served : int;
   tasks_served : int;
+  tasks_failed : int;
+  tasks_retried : int;
 }
 
 type t = {
   pool_jobs : int;
+  pool_retries : int;
+  pool_timeout_s : float option;
   mutex : Mutex.t;
   has_work : Condition.t;
   tasks : (int -> unit) Queue.t; (* argument: executing worker's lane *)
@@ -85,15 +125,25 @@ let rec worker_loop t lane_idx =
     worker_loop t lane_idx
   end
 
-let fresh_lane () = { busy_ns = 0; wait_ns = 0; chunks = 0; tasks_run = 0 }
+let fresh_lane () =
+  { busy_ns = 0; wait_ns = 0; chunks = 0; tasks_run = 0; failures = 0; retries = 0 }
 
-let create ?jobs () =
+let create ?(retries = 0) ?task_timeout_s ?jobs () =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then
     invalid_arg (Printf.sprintf "Pool.create: jobs must be >= 1 (got %d)" jobs);
+  if retries < 0 then
+    invalid_arg
+      (Printf.sprintf "Pool.create: retries must be >= 0 (got %d)" retries);
+  (match task_timeout_s with
+  | Some s when not (s > 0.0) ->
+      invalid_arg "Pool.create: task_timeout_s must be > 0"
+  | _ -> ());
   let t =
     {
       pool_jobs = jobs;
+      pool_retries = retries;
+      pool_timeout_s = task_timeout_s;
       mutex = Mutex.create ();
       has_work = Condition.create ();
       tasks = Queue.create ();
@@ -128,14 +178,34 @@ let shutdown t =
     t.workers <- []
   end
 
-let with_pool ?jobs f =
-  let t = create ?jobs () in
+let with_pool ?retries ?task_timeout_s ?jobs f =
+  let t = create ?retries ?task_timeout_s ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-(* Drain chunks from a shared cursor until the input is exhausted, another
-   lane has failed, or this lane fails (recording the first exception).
-   [lane] counts the chunks this drain claims. *)
-let drain_chunks ~src ~dst ~f ~chunk ~cursor ~stop ~state ~lane =
+(* One element execution: fault injection first, then the user function,
+   then the (post-hoc) timeout check.  The timeout cannot interrupt a
+   runaway task — OCaml domains are not preemptible — so an overlong result
+   is discarded and reported as [Task_timeout], which the retry machinery
+   treats like any other failure. *)
+let exec_element ~timeout_s ~lane_idx ~index f x =
+  inject ~lane:lane_idx;
+  match timeout_s with
+  | None -> f x
+  | Some limit ->
+      let t0 = Ewalk_obs.Clock.now_ns () in
+      let r = f x in
+      let elapsed_s = Ewalk_obs.Clock.ns_to_s (Ewalk_obs.Clock.elapsed_ns t0) in
+      if elapsed_s > limit then
+        raise (Task_timeout { index; elapsed_s; timeout_s = limit })
+      else r
+
+(* Drain chunks from a shared cursor until the input is exhausted or the
+   batch is stopped.  Without retries, the first failing element stops the
+   whole batch (recording the first exception); with retries, failed
+   elements are collected in [state.retryable] and draining continues.
+   [lane] counts the chunks this drain claims and the failures it hit. *)
+let drain_chunks ~src ~dst ~f ~timeout_s ~retrying ~chunk ~cursor ~stop ~state
+    ~lane ~lane_idx =
   let n = Array.length src in
   let continue_ = ref true in
   while !continue_ do
@@ -146,34 +216,92 @@ let drain_chunks ~src ~dst ~f ~chunk ~cursor ~stop ~state ~lane =
       else begin
         lane.chunks <- lane.chunks + 1;
         let limit = min n (start + chunk) in
-        try
-          for i = start to limit - 1 do
-            dst.(i) <- Some (f src.(i))
-          done
-        with e ->
-          let bt = Printexc.get_raw_backtrace () in
-          Atomic.set stop true;
-          Mutex.lock state.b_mutex;
-          if state.failed = None then state.failed <- Some (e, bt);
-          Mutex.unlock state.b_mutex;
-          continue_ := false
+        let i = ref start in
+        while !continue_ && !i < limit do
+          (match
+             exec_element ~timeout_s ~lane_idx ~index:!i f src.(!i)
+           with
+          | r -> dst.(!i) <- Some r
+          | exception e ->
+              lane.failures <- lane.failures + 1;
+              if retrying then begin
+                Mutex.lock state.b_mutex;
+                state.retryable <- (!i, e) :: state.retryable;
+                Mutex.unlock state.b_mutex
+              end
+              else begin
+                let bt = Printexc.get_raw_backtrace () in
+                Atomic.set stop true;
+                Mutex.lock state.b_mutex;
+                if state.failed = None then state.failed <- Some (e, bt);
+                Mutex.unlock state.b_mutex;
+                continue_ := false
+              end);
+          incr i
+        done
       end
     end
   done
 
-let map_array ?chunk t f src =
+(* Sequential execution of one element with the full retry budget.  Used by
+   the [jobs = 1] fast path and by the caller-side recovery pass after a
+   parallel batch.  [attempts_done] counts executions already charged to
+   this element (0 on the fast path, 1 after a parallel-lane failure). *)
+let retry_element ~timeout_s ~retries ~attempts_done ~lane ~lane_idx ~index f x
+    ~first_exn =
+  let rec go attempt last =
+    if attempt > retries + 1 then
+      raise (Task_failed { index; attempts = retries + 1; last })
+    else begin
+      lane.retries <- lane.retries + 1;
+      match exec_element ~timeout_s ~lane_idx ~index f x with
+      | r -> r
+      | exception e ->
+          lane.failures <- lane.failures + 1;
+          go (attempt + 1) e
+    end
+  in
+  match first_exn with
+  | Some e -> go (attempts_done + 1) e
+  | None -> (
+      (* First execution: with no retry budget, preserve the plain-map
+         contract and let the original exception escape unchanged. *)
+      match exec_element ~timeout_s ~lane_idx ~index f x with
+      | r -> r
+      | exception e ->
+          lane.failures <- lane.failures + 1;
+          if retries = 0 then raise e else go 2 e)
+
+let map_array ?chunk ?retries ?task_timeout_s t f src =
   let n = Array.length src in
   (match chunk with
   | Some c when c < 1 ->
       invalid_arg (Printf.sprintf "Pool.map_array: chunk must be >= 1 (got %d)" c)
   | _ -> ());
-  if t.pool_jobs <= 1 || n <= 1 then Array.map f src
+  let retries =
+    match retries with
+    | Some r when r < 0 ->
+        invalid_arg
+          (Printf.sprintf "Pool.map_array: retries must be >= 0 (got %d)" r)
+    | Some r -> r
+    | None -> t.pool_retries
+  in
+  let timeout_s =
+    match task_timeout_s with Some _ as s -> s | None -> t.pool_timeout_s
+  in
+  if t.pool_jobs <= 1 || n <= 1 then
+    Array.mapi
+      (fun i x ->
+        retry_element ~timeout_s ~retries ~attempts_done:0 ~lane:t.lanes.(0)
+          ~lane_idx:0 ~index:i f x ~first_exn:None)
+      src
   else begin
     let chunk =
       match chunk with
       | Some c -> c
       | None -> max 1 (n / (t.pool_jobs * 4))
     in
+    let retrying = retries > 0 in
     let dst = Array.make n None in
     let cursor = Atomic.make 0 in
     let stop = Atomic.make false in
@@ -183,6 +311,7 @@ let map_array ?chunk t f src =
         b_done = Condition.create ();
         pending = 0;
         failed = None;
+        retryable = [];
       }
     in
     let nchunks = (n + chunk - 1) / chunk in
@@ -195,7 +324,8 @@ let map_array ?chunk t f src =
              the b_mutex release below is what publishes these writes. *)
           let lane = t.lanes.(lane_idx) in
           let busy_t0 = Ewalk_obs.Clock.now_ns () in
-          drain_chunks ~src ~dst ~f ~chunk ~cursor ~stop ~state ~lane;
+          drain_chunks ~src ~dst ~f ~timeout_s ~retrying ~chunk ~cursor ~stop
+            ~state ~lane ~lane_idx;
           lane.busy_ns <- lane.busy_ns + Ewalk_obs.Clock.elapsed_ns busy_t0;
           lane.tasks_run <- lane.tasks_run + 1;
           Mutex.lock state.b_mutex;
@@ -205,7 +335,8 @@ let map_array ?chunk t f src =
     done;
     let caller = t.lanes.(0) in
     let busy_t0 = Ewalk_obs.Clock.now_ns () in
-    drain_chunks ~src ~dst ~f ~chunk ~cursor ~stop ~state ~lane:caller;
+    drain_chunks ~src ~dst ~f ~timeout_s ~retrying ~chunk ~cursor ~stop ~state
+      ~lane:caller ~lane_idx:0;
     caller.busy_ns <- caller.busy_ns + Ewalk_obs.Clock.elapsed_ns busy_t0;
     caller.tasks_run <- caller.tasks_run + 1;
     let wait_t0 = Ewalk_obs.Clock.now_ns () in
@@ -214,11 +345,23 @@ let map_array ?chunk t f src =
       Condition.wait state.b_done state.b_mutex
     done;
     let failed = state.failed in
+    let to_retry = state.retryable in
     Mutex.unlock state.b_mutex;
     caller.wait_ns <- caller.wait_ns + Ewalk_obs.Clock.elapsed_ns wait_t0;
     match failed with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None ->
+        (* Recovery pass: re-run failed elements in the caller's lane —
+           by construction a different lane than the one that failed them,
+           except when the caller's own drain hit the failure.  Ascending
+           index order keeps the pass deterministic. *)
+        List.sort (fun (i, _) (j, _) -> compare i j) to_retry
+        |> List.iter (fun (i, first_exn) ->
+               dst.(i) <-
+                 Some
+                   (retry_element ~timeout_s ~retries ~attempts_done:1
+                      ~lane:caller ~lane_idx:0 ~index:i f src.(i)
+                      ~first_exn:(Some first_exn)));
         Array.map
           (function Some x -> x | None -> assert false (* every index claimed *))
           dst
@@ -236,6 +379,8 @@ let stats t =
         wait_s = Ewalk_obs.Clock.ns_to_s l.wait_ns;
         chunks_served = l.chunks;
         tasks_served = l.tasks_run;
+        tasks_failed = l.failures;
+        tasks_retried = l.retries;
       })
     t.lanes
 
@@ -245,7 +390,9 @@ let reset_stats t =
       l.busy_ns <- 0;
       l.wait_ns <- 0;
       l.chunks <- 0;
-      l.tasks_run <- 0)
+      l.tasks_run <- 0;
+      l.failures <- 0;
+      l.retries <- 0)
     t.lanes
 
 let utilization_line t ~wall_s =
@@ -262,6 +409,10 @@ let utilization_line t ~wall_s =
     |> List.map (fun r -> Printf.sprintf "%.2f" r.busy_s)
     |> String.concat ","
   in
+  let failed = Array.fold_left (fun a r -> a + r.tasks_failed) 0 reports in
+  let retried = Array.fold_left (fun a r -> a + r.tasks_retried) 0 reports in
   Printf.sprintf
-    "pool: jobs=%d wall=%.2fs busy=[%ss] utilization=%.0f%% chunks=%d"
+    "pool: jobs=%d wall=%.2fs busy=[%ss] utilization=%.0f%% chunks=%d%s"
     t.pool_jobs wall_s lanes_txt util chunks
+    (if failed = 0 && retried = 0 then ""
+     else Printf.sprintf " failures=%d retried=%d" failed retried)

@@ -21,6 +21,24 @@
 type t
 (** A pool of worker domains plus a shared work queue. *)
 
+exception Task_failed of { index : int; attempts : int; last : exn }
+(** Raised by {!map_array} when element [index] still fails after its full
+    retry budget ([attempts = retries + 1] executions); [last] is the final
+    failure.  Only raised when the retry budget is positive — with
+    [retries = 0] the original exception escapes unchanged. *)
+
+exception Task_timeout of { index : int; elapsed_s : float; timeout_s : float }
+(** The failure recorded for an element whose execution exceeded the task
+    timeout.  Domains are not preemptible, so the timeout is checked after
+    the fact: the overlong result is discarded and the element counts as
+    failed (and is retried under a positive retry budget). *)
+
+val set_fault_injector : (lane:int -> unit) option -> unit
+(** Install (or clear) a process-global hook run before every element
+    execution with the executing lane's index; raising from the hook makes
+    that execution fail.  Deterministic failure injection for the
+    fault-tolerance tests — see [Ewalk_resume.Faults]. *)
+
 val default_jobs : unit -> int
 (** Job count used when [create] is given no [jobs]: the value of the
     [EWALK_JOBS] environment variable if set to a positive integer, else
@@ -28,23 +46,49 @@ val default_jobs : unit -> int
     the calling domain's housekeeping).  A malformed [EWALK_JOBS] is
     reported on [stderr] and ignored. *)
 
-val create : ?jobs:int -> unit -> t
+val create : ?retries:int -> ?task_timeout_s:float -> ?jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains (none when
-    [jobs <= 1]).  Defaults to {!default_jobs}.
-    @raise Invalid_argument if [jobs < 1]. *)
+    [jobs <= 1]).  Defaults to {!default_jobs}.  [retries] (default [0])
+    and [task_timeout_s] (default: none) set the pool-wide defaults for
+    every {!map_array} batch.
+    @raise Invalid_argument if [jobs < 1], [retries < 0] or the timeout is
+    not positive. *)
 
 val jobs : t -> int
 (** The number of parallel lanes (including the calling domain). *)
 
-val map_array : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+val map_array :
+  ?chunk:int ->
+  ?retries:int ->
+  ?task_timeout_s:float ->
+  t ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** [map_array pool f a] is [Array.map f a], computed in parallel.  Elements
     are claimed in contiguous chunks of [chunk] (default: a chunk size that
     yields a few chunks per lane, at least 1); results land at their input's
-    index.  If any application of [f] raises, the first exception (in
-    completion order) is re-raised in the caller after the batch quiesces,
-    and the pool remains usable.  Safe to call again after an exception and
-    safe to call from code already running inside another pool's batch.
-    @raise Invalid_argument if [chunk < 1]. *)
+    index.
+
+    Failure handling is governed by the retry budget ([retries], defaulting
+    to the pool-wide value; likewise [task_timeout_s]).  With [retries = 0],
+    if any application of [f] raises, the first exception (in completion
+    order) is re-raised in the caller after the batch quiesces, and the pool
+    remains usable.  With [retries > 0], a failing (or timed-out) element
+    does not abort the batch: after the other lanes drain, it is re-executed
+    in the caller's lane — a different lane than the one that failed it,
+    unless the caller's own drain hit the failure — up to [retries] more
+    times, with every failure and re-execution surfaced in {!stats}.  An
+    element still failing after [retries + 1] executions raises
+    {!Task_failed}.  Because [f] is re-applied to the original element,
+    retried batches return the same results as undisturbed ones whenever
+    [f] is deterministic per element (give each element its own
+    pre-split RNG and copy it inside [f], as [Ewalk_expt.Sweep.map_trials]
+    does, rather than mutating shared state).
+
+    Safe to call again after an exception and safe to call from code
+    already running inside another pool's batch.
+    @raise Invalid_argument if [chunk < 1] or [retries < 0]. *)
 
 val run : t -> (unit -> 'a) list -> 'a list
 (** [run pool thunks] evaluates the thunks in parallel (chunk size 1) and
@@ -61,13 +105,17 @@ type lane_report = {
           for the caller *)
   chunks_served : int;  (** chunks claimed from batch cursors *)
   tasks_served : int;  (** helper tasks (workers) / batches (caller) *)
+  tasks_failed : int;
+      (** element executions in this lane that raised or timed out *)
+  tasks_retried : int;  (** recovery re-executions performed by this lane *)
 }
 
 val stats : t -> lane_report array
 (** One report per lane, index = lane.  Cells are written without locks by
     their owning domains, so read this at a quiescent point — after the
     batch whose cost you are attributing has returned.  The sequential
-    fast path ([jobs = 1], or single-element inputs) records nothing. *)
+    fast path ([jobs = 1], or single-element inputs) records no timing,
+    but failures and retries land in lane 0. *)
 
 val reset_stats : t -> unit
 (** Zero every lane (quiescent points only, same caveat as {!stats}). *)
@@ -83,6 +131,7 @@ val shutdown : t -> unit
 (** Joins the worker domains.  Idempotent.  Submitting new batches to a
     shut-down pool with [jobs > 1] raises [Invalid_argument]. *)
 
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?retries:int -> ?task_timeout_s:float -> ?jobs:int -> (t -> 'a) -> 'a
 (** [with_pool f] creates a pool, passes it to [f] and shuts it down
     afterwards (also on exceptions). *)

@@ -8,6 +8,15 @@ let bits64 = Xoshiro.next
 
 let copy = Xoshiro.copy
 
+let save t =
+  let s0, s1, s2, s3 = Xoshiro.state t in
+  [| s0; s1; s2; s3 |]
+
+let restore words =
+  if Array.length words <> 4 then
+    invalid_arg "Rng.restore: expected 4 state words";
+  Xoshiro.of_state words.(0) words.(1) words.(2) words.(3)
+
 let split t =
   (* Hash two successive outputs through the SplitMix finaliser so the child
      seed is not a raw state word of the parent stream. *)

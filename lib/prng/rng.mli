@@ -27,6 +27,15 @@ val split_n : t -> int -> t array
 val copy : t -> t
 (** [copy t] duplicates the current state (same future stream). *)
 
+val save : t -> int64 array
+(** [save t] is the exact generator state as 4 words, suitable for
+    checkpointing: [restore (save t)] produces the same future stream as
+    [t] without advancing it. *)
+
+val restore : int64 array -> t
+(** [restore words] rebuilds a generator from {!save} output.
+    @raise Invalid_argument if [words] is not 4 words or all zero. *)
+
 val bits64 : t -> int64
 (** [bits64 t] is 64 uniform pseudo-random bits. *)
 

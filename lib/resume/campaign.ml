@@ -1,0 +1,258 @@
+module Json = Ewalk_obs.Json
+
+let schema = "ewalk-campaign/1"
+let manifest_basename = "campaign.json"
+let journal_basename = "trials.jsonl"
+
+type t = {
+  c_dir : string;
+  mutex : Mutex.t;
+  table : (string, string) Hashtbl.t; (* key -> hex-armoured Marshal bytes *)
+  mutable journal : out_channel option;
+  mutable appended : int; (* journal lines written by this process *)
+  mutable hits : int;
+  mutable misses : int;
+  batch_counters : (string, int ref) Hashtbl.t;
+}
+
+let dir t = t.c_dir
+let completed t = Hashtbl.length t.table
+let cached t = t.hits
+let executed t = t.misses
+
+(* --- hex armour ---------------------------------------------------- *)
+
+let hex_of_string s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let string_of_hex h =
+  let len = String.length h in
+  if len mod 2 <> 0 then None
+  else
+    try
+      Some
+        (String.init (len / 2) (fun i ->
+             Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2))))
+    with _ -> None
+
+(* --- files --------------------------------------------------------- *)
+
+let manifest_path dir = Filename.concat dir manifest_basename
+let journal_path dir = Filename.concat dir journal_basename
+
+let manifest_json fields = Json.Obj (("schema", Json.String schema) :: fields)
+
+let write_manifest dir fields =
+  let path = manifest_path dir in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (Json.to_string (manifest_json fields));
+     output_char oc '\n';
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> In_channel.input_all ic)
+
+(* Journal lines follow the Ledger pattern: whole line in one write, then
+   flush, so a crash leaves at most one truncated final line — which the
+   loader drops (that trial simply reruns on resume).  Returns the byte
+   length of the newline-terminated prefix, so [open_] can truncate the
+   torn tail away before appending (appending after it would fuse the new
+   line onto the fragment and corrupt both). *)
+let load_journal path table =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let raw = read_file path in
+    let n = String.length raw in
+    let rec lines start =
+      if start >= n then start
+      else
+        match String.index_from_opt raw start '\n' with
+        | None -> start (* unterminated trailing line: crash leftover, drop *)
+        | Some stop ->
+            let line = String.sub raw start (stop - start) in
+            (if String.trim line <> "" then
+               match Json.of_string line with
+               | Error _ -> () (* torn line that still ends in \n: skip *)
+               | Ok j -> (
+                   match
+                     ( Option.bind (Json.member "key" j) Json.to_string_opt,
+                       Option.bind (Json.member "data" j) Json.to_string_opt )
+                   with
+                   | Some key, Some data -> Hashtbl.replace table key data
+                   | _ -> ()));
+            lines (stop + 1)
+    in
+    lines 0
+  end
+
+let open_ ~dir ~manifest ~resume =
+  try
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+    else if not (Sys.is_directory dir) then
+      failwith (Printf.sprintf "%s exists and is not a directory" dir);
+    let mpath = manifest_path dir and jpath = journal_path dir in
+    let wanted = Json.to_string (manifest_json manifest) in
+    if resume then begin
+      if not (Sys.file_exists mpath) then
+        failwith
+          (Printf.sprintf "no %s in %s: nothing to resume" manifest_basename
+             dir);
+      let have =
+        match Json.of_string (String.trim (read_file mpath)) with
+        | Ok j -> Json.to_string j
+        | Error msg ->
+            failwith
+              (Printf.sprintf "unreadable manifest %s: %s" mpath msg)
+      in
+      if have <> wanted then
+        failwith
+          (Printf.sprintf
+             "manifest mismatch in %s:\n  on disk:   %s\n  this run:  %s" dir
+             have wanted)
+    end
+    else begin
+      if Sys.file_exists mpath then
+        failwith
+          (Printf.sprintf
+             "%s already holds a campaign (found %s); pass --resume to \
+              continue it"
+             dir manifest_basename);
+      if Sys.file_exists jpath && (Unix.stat jpath).Unix.st_size > 0 then
+        failwith
+          (Printf.sprintf
+             "%s already holds a trial journal; pass --resume to continue it"
+             dir);
+      write_manifest dir manifest
+    end;
+    let table = Hashtbl.create 64 in
+    if resume then begin
+      let keep = load_journal jpath table in
+      if Sys.file_exists jpath && (Unix.stat jpath).Unix.st_size > keep then
+        Unix.truncate jpath keep
+    end;
+    let journal =
+      open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 jpath
+    in
+    Ok
+      {
+        c_dir = dir;
+        mutex = Mutex.create ();
+        table;
+        journal = Some journal;
+        appended = 0;
+        hits = 0;
+        misses = 0;
+        batch_counters = Hashtbl.create 8;
+      }
+  with
+  | Failure msg -> Error msg
+  | Sys_error msg | Unix.Unix_error (_, _, msg) -> Error msg
+
+let close t =
+  Mutex.lock t.mutex;
+  (match t.journal with
+  | Some oc ->
+      t.journal <- None;
+      flush oc;
+      close_out_noerr oc
+  | None -> ());
+  Mutex.unlock t.mutex
+
+let next_batch t ~label =
+  Mutex.lock t.mutex;
+  let r =
+    match Hashtbl.find_opt t.batch_counters label with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add t.batch_counters label r;
+        r
+  in
+  let seq = !r in
+  incr r;
+  Mutex.unlock t.mutex;
+  seq
+
+let run t ~key f =
+  let hit =
+    Mutex.lock t.mutex;
+    let v = Hashtbl.find_opt t.table key in
+    (match v with Some _ -> t.hits <- t.hits + 1 | None -> ());
+    Mutex.unlock t.mutex;
+    v
+  in
+  match hit with
+  | Some hex -> (
+      match string_of_hex hex with
+      | Some bytes -> Marshal.from_string bytes 0
+      | None ->
+          failwith
+            (Printf.sprintf "campaign journal entry %S is not hex" key))
+  | None ->
+      let v = f () in
+      let data = hex_of_string (Marshal.to_string v []) in
+      let line =
+        Json.to_string
+          (Json.Obj [ ("key", Json.String key); ("data", Json.String data) ])
+      in
+      Mutex.lock t.mutex;
+      Hashtbl.replace t.table key data;
+      t.misses <- t.misses + 1;
+      (match t.journal with
+      | Some oc ->
+          (* One write + flush: the atomic-append pattern. *)
+          output_string oc (line ^ "\n");
+          flush oc
+      | None -> ());
+      t.appended <- t.appended + 1;
+      let appended = t.appended in
+      Mutex.unlock t.mutex;
+      (* The journal line for this trial is durable: this is a checkpoint
+         boundary, where an injected kill-trial fault may exit. *)
+      Faults.trial_completed ~completed:appended;
+      v
+
+let describe ~dir =
+  try
+    let mpath = manifest_path dir and jpath = journal_path dir in
+    if not (Sys.file_exists mpath) then
+      Error (Printf.sprintf "no %s in %s" manifest_basename dir)
+    else
+      match Json.of_string (String.trim (read_file mpath)) with
+      | Error msg -> Error (Printf.sprintf "unreadable manifest: %s" msg)
+      | Ok j ->
+          let table = Hashtbl.create 64 in
+          ignore (load_journal jpath table : int);
+          let tag name =
+            match Json.member name j with
+            | Some (Json.String s) -> s
+            | Some v -> Json.to_string v
+            | None -> "?"
+          in
+          if tag "schema" <> schema then
+            Error
+              (Printf.sprintf "manifest schema %S, this reader understands %S"
+                 (tag "schema") schema)
+          else
+            Ok
+              (Printf.sprintf
+                 "%s: campaign %s (experiment=%s scale=%s seed=%s) — %d \
+                  completed trial(s) journaled"
+                 schema dir (tag "experiment") (tag "scale") (tag "seed")
+                 (Hashtbl.length table))
+  with Sys_error msg -> Error msg
+
+let ambient_campaign : t option ref = ref None
+let set_ambient c = ambient_campaign := c
+let ambient () = !ambient_campaign

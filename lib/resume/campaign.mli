@@ -1,0 +1,91 @@
+(** Resumable trial campaigns: a per-trial completion journal that lets a
+    killed experiment sweep restart and re-run only unfinished trials.
+
+    A campaign owns a checkpoint directory holding two files:
+
+    - [campaign.json] — a manifest [{"schema":"ewalk-campaign/1", ...}]
+      identifying the run (experiment id, scale, seed).  A resume whose
+      manifest disagrees is refused: mixing trials from different
+      experiments or seeds would silently corrupt tables.  The job count is
+      deliberately {e not} part of the identity — results are
+      jobs-invariant by the pool's determinism contract, so a campaign
+      started at [--jobs 4] may resume at [--jobs 1] and vice versa.
+    - [trials.jsonl] — one line per completed trial,
+      [{"key":"<label>#<batch>:<index>","data":"<hex>"}], appended with the
+      same single-write-plus-flush pattern as {!Ewalk_obs.Ledger} and read
+      back tolerating a truncated final line (the crash case).  [data] is
+      the trial's result value, [Marshal]-encoded and hex-armoured —
+      [Marshal] round-trips floats exactly, which is what makes resumed
+      tables bit-identical.
+
+    {!run} is the memoizing primitive: on a journal hit the stored value is
+    returned without executing the trial; on a miss the trial runs, its
+    value is journaled (that append is the checkpoint boundary
+    {!Faults.trial_completed} counts), and the value is returned.  Trials
+    may run concurrently on pool lanes; the journal is mutex-guarded.
+
+    Keys must be stable across runs: {!next_batch} hands out a per-label
+    sequence number in call order, which is deterministic because
+    experiment code performs the same sweeps in the same order every
+    run. *)
+
+val schema : string
+(** ["ewalk-campaign/1"]. *)
+
+val manifest_basename : string
+(** ["campaign.json"]. *)
+
+val journal_basename : string
+(** ["trials.jsonl"]. *)
+
+type t
+
+val open_ :
+  dir:string ->
+  manifest:(string * Ewalk_obs.Json.t) list ->
+  resume:bool ->
+  (t, string) result
+(** Open (and create, if needed) the checkpoint directory.
+
+    With [resume = false] the directory must not already hold a campaign
+    (a leftover manifest or non-empty journal is refused — pass [--resume]
+    to continue it).  With [resume = true] the manifest must exist and its
+    caller fields must equal [manifest]; completed trials are loaded from
+    the journal. *)
+
+val close : t -> unit
+(** Flush and close the journal.  Idempotent. *)
+
+val dir : t -> string
+
+val completed : t -> int
+(** Trials currently known complete (journal lines loaded + appended). *)
+
+val cached : t -> int
+(** {!run} calls answered from the journal since [open_]. *)
+
+val executed : t -> int
+(** {!run} calls that actually ran their trial since [open_]. *)
+
+val next_batch : t -> label:string -> int
+(** The next batch sequence number for [label] (0, 1, ... in call order).
+    Call once per sweep, from the orchestrating domain. *)
+
+val run : t -> key:string -> (unit -> 'a) -> 'a
+(** Memoize one trial under [key].  Unsafe in the [Marshal] sense: the
+    caller must use each key at a single result type, which the
+    label/batch/index key discipline guarantees.  Thread-safe. *)
+
+val describe : dir:string -> (string, string) result
+(** Human summary of a checkpoint directory (manifest + journal size) for
+    [eproc checkpoint-inspect]. *)
+
+(** {2 Ambient campaign}
+
+    The sweep harness ({!Ewalk_expt.Sweep.map_trials}) consults a
+    process-global campaign so experiment code needs no signature changes;
+    [eproc experiment --checkpoint-dir] sets it for the duration of the
+    run. *)
+
+val set_ambient : t option -> unit
+val ambient : unit -> t option

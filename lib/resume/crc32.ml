@@ -1,0 +1,39 @@
+(* Table-driven CRC-32, reflected form of polynomial 0x04C11DB7 (table
+   entries use the reversed constant 0xEDB88320).  Matches zlib's crc32()
+   so snapshot checksums can be cross-checked with standard tools. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let string s =
+  let table = Lazy.force table in
+  let crc = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
+    s;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let to_hex c = Printf.sprintf "%08lx" (Int32.logand c 0xFFFFFFFFl)
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else if not (String.for_all (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false) s)
+  then None
+  else
+    (* Parse as int64 first: 8 hex digits can exceed Int32.max_int. *)
+    match Int64.of_string_opt ("0x" ^ s) with
+    | Some v -> Some (Int64.to_int32 v)
+    | None -> None

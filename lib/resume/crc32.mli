@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), implemented locally so
+    snapshot files carry an integrity check without a compression-library
+    dependency.  Guards against truncated or bit-flipped checkpoint files —
+    it is a corruption detector, not a cryptographic signature. *)
+
+val string : string -> int32
+(** CRC-32 of the whole string (initial value [0xFFFFFFFF], final XOR, as
+    everywhere else). *)
+
+val to_hex : int32 -> string
+(** Lowercase 8-digit hex, e.g. ["cbf43926"]. *)
+
+val of_hex : string -> int32 option
+(** Inverse of {!to_hex}; [None] unless exactly 8 hex digits. *)

@@ -1,0 +1,112 @@
+type clause = Kill_trial of int | Fail_lane of { lane : int; always : bool }
+type t = clause list
+
+let none = []
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected what -> Some (Printf.sprintf "Faults.Injected(%s)" what)
+    | _ -> None)
+
+let kill_exit_code = 70
+let env_var = "EWALK_FAULT_SPEC"
+
+let clause_to_string = function
+  | Kill_trial k -> Printf.sprintf "kill-trial:%d" k
+  | Fail_lane { lane; always } ->
+      Printf.sprintf "fail-lane:%d:%s" lane (if always then "always" else "once")
+
+let to_string t = String.concat "," (List.map clause_to_string t)
+
+let parse_clause s =
+  match String.split_on_char ':' s with
+  | [ "kill-trial"; k ] -> (
+      match int_of_string_opt k with
+      | Some k when k >= 1 -> Ok (Kill_trial k)
+      | _ -> Error (Printf.sprintf "kill-trial wants a count >= 1, got %S" k))
+  | "fail-lane" :: lane :: rest -> (
+      match (int_of_string_opt lane, rest) with
+      | Some lane, [] when lane >= 0 -> Ok (Fail_lane { lane; always = false })
+      | Some lane, [ "once" ] when lane >= 0 ->
+          Ok (Fail_lane { lane; always = false })
+      | Some lane, [ "always" ] when lane >= 0 ->
+          Ok (Fail_lane { lane; always = true })
+      | Some _, [ other ] ->
+          Error (Printf.sprintf "fail-lane mode %S is not once|always" other)
+      | _ -> Error (Printf.sprintf "fail-lane wants a lane >= 0, got %S" lane))
+  | _ -> Error (Printf.sprintf "unknown fault clause %S" s)
+
+let parse s =
+  let s = String.trim s in
+  if s = "" then Ok none
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | c :: rest -> (
+          match parse_clause (String.trim c) with
+          | Ok cl -> go (cl :: acc) rest
+          | Error _ as e -> e)
+    in
+    go [] (String.split_on_char ',' s)
+
+(* Armed state.  [once] clauses need a disarm flag that is safe to trip
+   from any pool lane, hence the atomics; the spec itself is installed from
+   the main domain before any batch runs. *)
+type armed = { clauses : clause list; once_fired : bool Atomic.t array }
+
+let state : armed Atomic.t =
+  Atomic.make { clauses = []; once_fired = [||] }
+
+let install clauses =
+  let armed =
+    { clauses; once_fired = Array.init (List.length clauses) (fun _ -> Atomic.make false) }
+  in
+  Atomic.set state armed;
+  let has_lane_faults =
+    List.exists (function Fail_lane _ -> true | _ -> false) clauses
+  in
+  if has_lane_faults then
+    Ewalk_par.Pool.set_fault_injector
+      (Some
+         (fun ~lane ->
+           let a = Atomic.get state in
+           List.iteri
+             (fun i cl ->
+               match cl with
+               | Fail_lane { lane = l; always } when l = lane ->
+                   if always then
+                     raise (Injected (clause_to_string cl))
+                   else if
+                     Atomic.compare_and_set a.once_fired.(i) false true
+                   then raise (Injected (clause_to_string cl))
+               | _ -> ())
+             a.clauses))
+  else Ewalk_par.Pool.set_fault_injector None
+
+let install_from_env () =
+  match Sys.getenv_opt env_var with
+  | None ->
+      install none;
+      Ok none
+  | Some s -> (
+      match parse s with
+      | Ok t ->
+          install t;
+          Ok t
+      | Error _ as e -> e)
+
+let trial_completed ~completed =
+  let a = Atomic.get state in
+  List.iter
+    (function
+      | Kill_trial k when k = completed ->
+          Printf.eprintf
+            "ewalk: injected fault kill-trial:%d fired after %d journaled \
+             trial(s); exiting %d\n\
+             %!"
+            k completed kill_exit_code;
+          exit kill_exit_code
+      | _ -> ())
+    a.clauses

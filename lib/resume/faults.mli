@@ -1,0 +1,65 @@
+(** Deterministic fault injection for durability tests.
+
+    Failure paths (a worker lane raising, a campaign process dying between
+    checkpoints) are hard to hit on demand, so the crash-matrix and retry
+    suites inject them via the [EWALK_FAULT_SPEC] environment variable.
+
+    {2 Grammar}
+
+    [spec      ::= clause ("," clause)*]
+
+    [clause    ::= "kill-trial:" K          — exit with code 70 right after
+                                              the K-th (1-based) trial-journal
+                                              append of this process]
+
+    [           |  "fail-lane:" L ":once"   — the next task executing on pool
+                                              lane L raises Injected (then the
+                                              clause disarms)]
+
+    [           |  "fail-lane:" L ":always" — every task on lane L raises]
+
+    [           |  "fail-lane:" L           — shorthand for ":once"]
+
+    Examples: [kill-trial:7], [fail-lane:2:once], [kill-trial:3,fail-lane:0].
+
+    [fail-lane] clauses are wired into {!Ewalk_par.Pool.set_fault_injector};
+    [kill-trial] fires from {!Campaign} when a computed trial has just been
+    journaled — i.e. exactly at a checkpoint boundary, which is what lets
+    the crash matrix kill a campaign at every boundary in turn. *)
+
+type clause =
+  | Kill_trial of int  (** 1-based count of journal appends *)
+  | Fail_lane of { lane : int; always : bool }
+
+type t = clause list
+
+val none : t
+
+exception Injected of string
+(** What an armed [fail-lane] clause raises inside the failing task. *)
+
+val kill_exit_code : int
+(** 70 ([EX_SOFTWARE]): the exit status of an injected [kill-trial]. *)
+
+val parse : string -> (t, string) result
+(** Parse a spec string.  The empty string parses to {!none}. *)
+
+val to_string : t -> string
+(** Canonical rendering, [parse]-able back. *)
+
+val env_var : string
+(** ["EWALK_FAULT_SPEC"]. *)
+
+val install : t -> unit
+(** Arm the clauses process-wide: registers the pool fault injector (or
+    clears it for a spec without [fail-lane] clauses) and resets the
+    [once] / [kill-trial] firing state. *)
+
+val install_from_env : unit -> (t, string) result
+(** [parse] the [EWALK_FAULT_SPEC] variable (unset or empty: {!none}) and
+    {!install} the result.  An [Error] installs nothing. *)
+
+val trial_completed : completed:int -> unit
+(** Notify the armed spec that this process has journaled its
+    [completed]-th trial; an armed [kill-trial:completed] clause prints a
+    diagnostic to [stderr] and exits with {!kill_exit_code}. *)

@@ -1,0 +1,402 @@
+open Ewalk_graph
+module Json = Ewalk_obs.Json
+
+let schema = "ewalk-snapshot/1"
+
+type walk =
+  | Eprocess of Ewalk.Eprocess.t
+  | Srw of Ewalk.Srw.t
+  | Rotor of Ewalk.Rotor.t
+
+let kind_name = function
+  | Eprocess p -> (Ewalk.Eprocess.process p).Ewalk.Cover.name
+  | Srw w -> (Ewalk.Srw.process w).Ewalk.Cover.name
+  | Rotor r -> (Ewalk.Rotor.process r).Ewalk.Cover.name
+
+let walk_steps = function
+  | Eprocess p -> Ewalk.Eprocess.steps p
+  | Srw w -> Ewalk.Srw.steps w
+  | Rotor r -> Ewalk.Rotor.steps r
+
+let walk_position = function
+  | Eprocess p -> Ewalk.Eprocess.position p
+  | Srw w -> Ewalk.Srw.position w
+  | Rotor r -> Ewalk.Rotor.position r
+
+type error = Io of string | Corrupt of string | Mismatch of string
+
+let error_to_string = function
+  | Io msg -> "io error: " ^ msg
+  | Corrupt msg -> "corrupt snapshot: " ^ msg
+  | Mismatch msg -> "snapshot mismatch: " ^ msg
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let int_array a = Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a))
+
+(* PRNG words are full unsigned 64-bit values; OCaml's [Json.Int] carries
+   63-bit ints, so the words travel as hex strings. *)
+let rng_words words =
+  Json.List
+    (Array.to_list
+       (Array.map (fun w -> Json.String (Printf.sprintf "0x%Lx" w)) words))
+
+let coverage_json (s : Ewalk.Coverage.state) =
+  Json.Obj
+    [
+      ("vertex_first", int_array s.s_vertex_first);
+      ("edge_first", int_array s.s_edge_first);
+      ("visits", int_array s.s_visits);
+      ("edge_count", int_array s.s_edge_count);
+      ("vertices_seen", Json.Int s.s_vertices_seen);
+      ("edges_seen", Json.Int s.s_edges_seen);
+      ("vertex_cover_step", Json.Int s.s_vertex_cover_step);
+      ("edge_cover_step", Json.Int s.s_edge_cover_step);
+    ]
+
+let unvisited_json (s : Ewalk.Unvisited.state) =
+  Json.Obj
+    [
+      ("slot_list", int_array s.s_slot_list);
+      ("slot_index", int_array s.s_slot_index);
+      ("counts", int_array s.s_counts);
+    ]
+
+let phase_kind_name = function
+  | Ewalk.Eprocess.Blue -> "blue"
+  | Ewalk.Eprocess.Red -> "red"
+
+let phase_json (p : Ewalk.Eprocess.phase) =
+  Json.Obj
+    [
+      ("kind", Json.String (phase_kind_name p.kind));
+      ("start_step", Json.Int p.start_step);
+      ("start_vertex", Json.Int p.start_vertex);
+      ("end_step", Json.Int p.end_step);
+      ("end_vertex", Json.Int p.end_vertex);
+    ]
+
+let graph_fields g =
+  [ ("n", Json.Int (Graph.n g)); ("m", Json.Int (Graph.m g)) ]
+
+let payload_of_walk walk =
+  match walk with
+  | Eprocess p ->
+      let ck = Ewalk.Eprocess.checkpoint p in
+      Json.Obj
+        ([ ("kind", Json.String "eprocess") ]
+        @ graph_fields (Ewalk.Eprocess.graph p)
+        @ [
+            ( "rule",
+              Json.String
+                (match ck.ck_rule with
+                | `Uar -> "uar"
+                | `Lowest_slot -> "lowest-slot"
+                | `Highest_slot -> "highest-slot") );
+            ("pos", Json.Int ck.ck_pos);
+            ("steps", Json.Int ck.ck_steps);
+            ("blue_steps", Json.Int ck.ck_blue_steps);
+            ("red_steps", Json.Int ck.ck_red_steps);
+            ("rng", rng_words ck.ck_rng);
+            ("coverage", coverage_json ck.ck_coverage);
+            ("unvisited", unvisited_json ck.ck_unvisited);
+            ("record_phases", Json.Bool ck.ck_record_phases);
+            ( "current_phase",
+              match ck.ck_current_phase with
+              | None -> Json.Null
+              | Some (kind, start_step, start_vertex) ->
+                  Json.Obj
+                    [
+                      ("kind", Json.String (phase_kind_name kind));
+                      ("start_step", Json.Int start_step);
+                      ("start_vertex", Json.Int start_vertex);
+                    ] );
+            ("phases", Json.List (List.map phase_json ck.ck_phases));
+          ])
+  | Srw w ->
+      let ck = Ewalk.Srw.checkpoint w in
+      Json.Obj
+        ([
+           ( "kind",
+             Json.String
+               (match ck.ck_kind with `Simple -> "srw" | `Lazy -> "lazy-srw")
+           );
+         ]
+        @ graph_fields (Ewalk.Srw.graph w)
+        @ [
+            ("pos", Json.Int ck.ck_pos);
+            ("steps", Json.Int ck.ck_steps);
+            ("rng", rng_words ck.ck_rng);
+            ("coverage", coverage_json ck.ck_coverage);
+          ])
+  | Rotor r ->
+      let ck = Ewalk.Rotor.checkpoint r in
+      Json.Obj
+        ([ ("kind", Json.String "rotor") ]
+        @ graph_fields (Ewalk.Rotor.graph r)
+        @ [
+            ("pos", Json.Int ck.ck_pos);
+            ("steps", Json.Int ck.ck_steps);
+            ("rotor", int_array ck.ck_rotor);
+            ("coverage", coverage_json ck.ck_coverage);
+          ])
+
+(* ------------------------------------------------------------------ *)
+(* Decoding *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let field name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> fail "missing field %S" name
+
+let get_int name j =
+  match Json.to_int_opt (field name j) with
+  | Some i -> i
+  | None -> fail "field %S is not an integer" name
+
+let get_string name j =
+  match Json.to_string_opt (field name j) with
+  | Some s -> s
+  | None -> fail "field %S is not a string" name
+
+let get_bool name j =
+  match field name j with
+  | Json.Bool b -> b
+  | _ -> fail "field %S is not a boolean" name
+
+let get_int_array name j =
+  match field name j with
+  | Json.List l ->
+      Array.of_list
+        (List.map
+           (fun v ->
+             match Json.to_int_opt v with
+             | Some i -> i
+             | None -> fail "field %S has a non-integer entry" name)
+           l)
+  | _ -> fail "field %S is not an array" name
+
+let get_rng_words name j =
+  match field name j with
+  | Json.List l ->
+      Array.of_list
+        (List.map
+           (fun v ->
+             match Json.to_string_opt v with
+             | Some s -> (
+                 match Int64.of_string_opt s with
+                 | Some w -> w
+                 | None -> fail "field %S has a malformed word %S" name s)
+             | None -> fail "field %S has a non-string entry" name)
+           l)
+  | _ -> fail "field %S is not an array" name
+
+let coverage_of_json j : Ewalk.Coverage.state =
+  {
+    s_vertex_first = get_int_array "vertex_first" j;
+    s_edge_first = get_int_array "edge_first" j;
+    s_visits = get_int_array "visits" j;
+    s_edge_count = get_int_array "edge_count" j;
+    s_vertices_seen = get_int "vertices_seen" j;
+    s_edges_seen = get_int "edges_seen" j;
+    s_vertex_cover_step = get_int "vertex_cover_step" j;
+    s_edge_cover_step = get_int "edge_cover_step" j;
+  }
+
+let unvisited_of_json j : Ewalk.Unvisited.state =
+  {
+    s_slot_list = get_int_array "slot_list" j;
+    s_slot_index = get_int_array "slot_index" j;
+    s_counts = get_int_array "counts" j;
+  }
+
+let phase_kind_of_string name = function
+  | "blue" -> Ewalk.Eprocess.Blue
+  | "red" -> Ewalk.Eprocess.Red
+  | other -> fail "field %S has unknown phase kind %S" name other
+
+let phase_of_json j : Ewalk.Eprocess.phase =
+  {
+    kind = phase_kind_of_string "phases" (get_string "kind" j);
+    start_step = get_int "start_step" j;
+    start_vertex = get_int "start_vertex" j;
+    end_step = get_int "end_step" j;
+    end_vertex = get_int "end_vertex" j;
+  }
+
+let walk_of_payload g j =
+  let n = get_int "n" j and m = get_int "m" j in
+  if n <> Graph.n g || m <> Graph.m g then
+    raise
+      (Bad
+         (Printf.sprintf
+            "recorded on a graph with n=%d m=%d, but the given graph has \
+             n=%d m=%d"
+            n m (Graph.n g) (Graph.m g)));
+  match get_string "kind" j with
+  | "eprocess" ->
+      let ck : Ewalk.Eprocess.checkpoint =
+        {
+          ck_rule =
+            (match get_string "rule" j with
+            | "uar" -> `Uar
+            | "lowest-slot" -> `Lowest_slot
+            | "highest-slot" -> `Highest_slot
+            | other -> fail "unknown e-process rule %S" other);
+          ck_pos = get_int "pos" j;
+          ck_steps = get_int "steps" j;
+          ck_blue_steps = get_int "blue_steps" j;
+          ck_red_steps = get_int "red_steps" j;
+          ck_rng = get_rng_words "rng" j;
+          ck_coverage = coverage_of_json (field "coverage" j);
+          ck_unvisited = unvisited_of_json (field "unvisited" j);
+          ck_record_phases = get_bool "record_phases" j;
+          ck_current_phase =
+            (match field "current_phase" j with
+            | Json.Null -> None
+            | p ->
+                Some
+                  ( phase_kind_of_string "current_phase" (get_string "kind" p),
+                    get_int "start_step" p,
+                    get_int "start_vertex" p ));
+          ck_phases =
+            (match field "phases" j with
+            | Json.List l -> List.map phase_of_json l
+            | _ -> fail "field \"phases\" is not an array");
+        }
+      in
+      Eprocess (Ewalk.Eprocess.of_checkpoint g ck)
+  | ("srw" | "lazy-srw") as kind ->
+      let ck : Ewalk.Srw.checkpoint =
+        {
+          ck_kind = (if kind = "srw" then `Simple else `Lazy);
+          ck_pos = get_int "pos" j;
+          ck_steps = get_int "steps" j;
+          ck_rng = get_rng_words "rng" j;
+          ck_coverage = coverage_of_json (field "coverage" j);
+        }
+      in
+      Srw (Ewalk.Srw.of_checkpoint g ck)
+  | "rotor" ->
+      let ck : Ewalk.Rotor.checkpoint =
+        {
+          ck_pos = get_int "pos" j;
+          ck_steps = get_int "steps" j;
+          ck_rotor = get_int_array "rotor" j;
+          ck_coverage = coverage_of_json (field "coverage" j);
+        }
+      in
+      Rotor (Ewalk.Rotor.of_checkpoint g ck)
+  | other -> fail "unknown walk kind %S" other
+
+(* ------------------------------------------------------------------ *)
+(* Files *)
+
+let write ~path walk =
+  let payload = Json.to_string (payload_of_walk walk) in
+  let crc = Crc32.to_hex (Crc32.string payload) in
+  let line =
+    Printf.sprintf "{\"schema\":%s,\"crc32\":\"%s\",\"payload\":%s}"
+      (Json.to_string (Json.String schema))
+      crc payload
+  in
+  let tmp = path ^ ".tmp" in
+  try
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc line;
+       output_char oc '\n';
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    Sys.rename tmp path;
+    Ok ()
+  with Sys_error msg -> Error (Io msg)
+
+(* CRC-verify the file and hand back the payload.  The checksum covers the
+   payload's serialized bytes: the reader re-serializes the parsed payload,
+   which is byte-identical to what the writer hashed because the JSON
+   serializer is deterministic and snapshot payloads carry no floats. *)
+let read_payload ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> In_channel.input_all ic)
+  with
+  | exception Sys_error msg -> Error (Io msg)
+  | raw -> (
+      match Json.of_string raw with
+      | Error msg -> Error (Corrupt ("not a JSON document: " ^ msg))
+      | Ok doc -> (
+          match Option.bind (Json.member "schema" doc) Json.to_string_opt with
+          | None -> Error (Corrupt "no schema tag")
+          | Some s when s <> schema ->
+              Error
+                (Mismatch
+                   (Printf.sprintf "schema %S, this reader understands %S" s
+                      schema))
+          | Some _ -> (
+              match
+                ( Option.bind (Json.member "crc32" doc) Json.to_string_opt,
+                  Json.member "payload" doc )
+              with
+              | None, _ -> Error (Corrupt "no crc32 field")
+              | _, None -> Error (Corrupt "no payload field")
+              | Some crc_hex, Some payload -> (
+                  match Crc32.of_hex crc_hex with
+                  | None ->
+                      Error (Corrupt ("malformed crc32 field " ^ crc_hex))
+                  | Some stored ->
+                      let actual = Crc32.string (Json.to_string payload) in
+                      if stored <> actual then
+                        Error
+                          (Corrupt
+                             (Printf.sprintf
+                                "checksum mismatch (stored %s, computed %s)"
+                                crc_hex (Crc32.to_hex actual)))
+                      else Ok payload))))
+
+let read g ~path =
+  match read_payload ~path with
+  | Error _ as e -> e
+  | Ok payload -> (
+      try Ok (walk_of_payload g payload) with
+      | Bad msg -> Error (Mismatch msg)
+      | Invalid_argument msg -> Error (Mismatch msg))
+
+let describe ~path =
+  match read_payload ~path with
+  | Error _ as e -> e
+  | Ok payload -> (
+      try
+        let kind = get_string "kind" payload in
+        let n = get_int "n" payload and m = get_int "m" payload in
+        let steps = get_int "steps" payload in
+        let pos = get_int "pos" payload in
+        let extra =
+          match kind with
+          | "eprocess" ->
+              Printf.sprintf " rule=%s blue=%d red=%d"
+                (get_string "rule" payload)
+                (get_int "blue_steps" payload)
+                (get_int "red_steps" payload)
+          | _ -> ""
+        in
+        let coverage = field "coverage" payload in
+        Ok
+          (Printf.sprintf
+             "%s: %s walk on n=%d m=%d, %d steps, at vertex %d, %d/%d \
+              vertices %d/%d edges visited%s"
+             schema kind n m steps pos
+             (get_int "vertices_seen" coverage)
+             n
+             (get_int "edges_seen" coverage)
+             m extra)
+      with Bad msg -> Error (Corrupt msg))

@@ -1,0 +1,63 @@
+(** Versioned, CRC-guarded serialization of full walk state.
+
+    A snapshot captures everything a walk process needs to continue
+    bit-identically after a crash: position, step and phase counters,
+    the {!Ewalk.Coverage} arrays, the {!Ewalk.Unvisited} partition and the
+    exact PRNG state words.  Restoring a snapshot and stepping on produces
+    the same states, traces and final coverage as a run that was never
+    interrupted — the property the qcheck round-trip suite enforces.
+
+    {2 File format}
+
+    One line of JSON:
+    [{"schema":"ewalk-snapshot/1","crc32":"<8 hex digits>","payload":{...}}]
+    where [crc32] is the CRC-32 of the serialized [payload] object, byte
+    for byte as written.  The [schema] tag names the payload layout and is
+    bumped on incompatible changes; readers reject unknown schemas rather
+    than guessing.  Writes are atomic (temp file + rename in the target
+    directory), so a crash mid-write leaves either the old snapshot or
+    none — never a torn one; a torn or edited file fails the CRC and is
+    rejected as {!Corrupt}. *)
+
+open Ewalk_graph
+
+val schema : string
+(** ["ewalk-snapshot/1"]. *)
+
+type walk =
+  | Eprocess of Ewalk.Eprocess.t
+  | Srw of Ewalk.Srw.t
+  | Rotor of Ewalk.Rotor.t
+      (** The processes that can be snapshotted.  Excluded: adversarial
+          E-process rules and weighted walks (both carry state that is not
+          plain data — see the core [checkpoint] functions). *)
+
+val kind_name : walk -> string
+(** The process name, e.g. ["e-process(uar)"], ["lazy-srw"]. *)
+
+val walk_steps : walk -> int
+val walk_position : walk -> int
+
+type error =
+  | Io of string  (** file unreadable / unwritable *)
+  | Corrupt of string  (** torn, truncated, tampered or non-JSON file *)
+  | Mismatch of string
+      (** valid file, wrong world: unknown schema, wrong graph, or a
+          payload that fails the state validators *)
+
+val error_to_string : error -> string
+
+val write : path:string -> walk -> (unit, error) result
+(** Serialize the walk's full state to [path], atomically: the bytes are
+    written to a temp file in the same directory and renamed over [path].
+    @raise Invalid_argument if the walk is not serializable (adversarial
+    rule / weighted walk). *)
+
+val read : Graph.t -> path:string -> (walk, error) result
+(** Load a snapshot recorded on exactly this graph.  The CRC is verified
+    before any payload field is trusted. *)
+
+val describe : path:string -> (string, error) result
+(** CRC-verify the file and render a short human summary (kind, graph
+    size, step counters) without needing the graph — what
+    [eproc checkpoint-inspect] prints. *)

@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# Crash-equivalence matrix for checkpoint/resume (make test-crash).
+#
+# Campaign half: run the fig1 sweep under EWALK_FAULT_SPEC=kill-trial:K for
+# every checkpoint boundary K (every journaled trial), resume each killed
+# campaign, and require the resumed CSV to be byte-identical to an
+# undisturbed run — at --jobs 1 and --jobs 4.
+#
+# Trace half: checkpoint a single walk, cut it off mid-run, resume from the
+# snapshot, and require (a) verify-trace to accept both streams and (b) the
+# resumed tail to be byte-identical to the corresponding tail of the
+# uninterrupted stream.  Corrupted snapshots must be rejected with exit 2.
+set -u
+
+EPROC=${EPROC:-_build/default/bin/eproc.exe}
+KILL_EXIT=70
+
+if [ ! -x "$EPROC" ]; then
+  echo "crash_matrix: $EPROC not built (run dune build first)" >&2
+  exit 2
+fi
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+fails=0
+checks=0
+
+note() { printf 'crash_matrix: %s\n' "$*"; }
+fail() {
+  printf 'crash_matrix: FAIL: %s\n' "$*" >&2
+  fails=$((fails + 1))
+}
+check() { checks=$((checks + 1)); }
+
+expect_exit() {
+  # expect_exit WANT DESC CMD...
+  local want=$1 desc=$2 got
+  shift 2
+  check
+  "$@" >/dev/null 2>&1
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    fail "$desc: expected exit $want, got $got"
+  fi
+}
+
+# --- campaign crash matrix --------------------------------------------------
+
+EXP=fig1 SCALE=tiny SEED=1
+
+note "baseline $EXP --scale $SCALE --seed $SEED"
+"$EPROC" experiment $EXP --scale $SCALE --seed $SEED --jobs 1 \
+  --csv "$work/base.csv" >/dev/null 2>&1 \
+  || { echo "crash_matrix: baseline run failed" >&2; exit 2; }
+
+"$EPROC" experiment $EXP --scale $SCALE --seed $SEED --jobs 1 \
+  --checkpoint-dir "$work/probe" >/dev/null 2>&1 \
+  || { echo "crash_matrix: probe run failed" >&2; exit 2; }
+K=$(wc -l < "$work/probe/trials.jsonl")
+note "campaign journals $K trials; killing at every boundary x jobs {1,4}"
+
+for jobs in 1 4; do
+  k=1
+  while [ "$k" -le "$K" ]; do
+    dir=$work/kill-$jobs-$k
+    expect_exit $KILL_EXIT "kill-trial:$k --jobs $jobs dies at boundary" \
+      env EWALK_FAULT_SPEC=kill-trial:$k \
+      "$EPROC" experiment $EXP --scale $SCALE --seed $SEED --jobs $jobs \
+      --checkpoint-dir "$dir"
+    # The journal must hold exactly the k trials that completed.
+    check
+    lines=$(wc -l < "$dir/trials.jsonl" 2>/dev/null || echo 0)
+    [ "$lines" -eq "$k" ] \
+      || fail "kill-trial:$k --jobs $jobs journaled $lines trials, wanted $k"
+    expect_exit 0 "resume after kill-trial:$k --jobs $jobs" \
+      "$EPROC" experiment $EXP --scale $SCALE --seed $SEED --jobs $jobs \
+      --checkpoint-dir "$dir" --resume --csv "$dir/out.csv"
+    check
+    cmp -s "$work/base.csv" "$dir/out.csv" \
+      || fail "resumed CSV differs from baseline (kill-trial:$k --jobs $jobs)"
+    rm -rf "$dir"
+    k=$((k + 1))
+  done
+done
+
+# Resuming with a mismatched manifest must be refused.
+expect_exit 2 "resume with mismatched seed refused" \
+  "$EPROC" experiment $EXP --scale $SCALE --seed 99 --jobs 1 \
+  --checkpoint-dir "$work/probe" --resume
+
+# --- trace checkpoint/resume ------------------------------------------------
+
+G="--family regular:4 -n 64 --seed 3"   # graph identity (shared with verify)
+TR="$G --process e-process"             # the traced walk
+CUT=100      # steps before the simulated crash
+EVERY=50     # checkpoint spacing; CUT is a boundary
+
+note "trace checkpoint/resume on $TR"
+check
+"$EPROC" trace $TR --out "$work/full.jsonl" >/dev/null 2>&1 \
+  || fail "uninterrupted trace run failed"
+check
+"$EPROC" trace $TR --checkpoint "$work/snap" --checkpoint-every $EVERY \
+  --max-steps $CUT --out "$work/head.jsonl" >/dev/null 2>&1 \
+  || fail "checkpointed head run failed"
+check
+[ -f "$work/snap" ] || fail "no snapshot written at the $CUT-step boundary"
+check
+"$EPROC" trace $TR --resume-from "$work/snap" --out "$work/tail.jsonl" \
+  >/dev/null 2>&1 || fail "resume from snapshot failed"
+
+# The resumed stream's step events must be byte-identical to the same tail
+# of the uninterrupted stream (crash equivalence).
+check
+grep '"type":"step"' "$work/full.jsonl" | tail -n +$((CUT + 1)) \
+  > "$work/full-tail.steps"
+grep '"type":"step"' "$work/tail.jsonl" > "$work/resumed.steps"
+cmp -s "$work/full-tail.steps" "$work/resumed.steps" \
+  || fail "resumed step stream differs from the uninterrupted tail"
+
+expect_exit 0 "verify-trace accepts the uninterrupted stream" \
+  "$EPROC" verify-trace $G "$work/full.jsonl"
+expect_exit 0 "verify-trace accepts the checkpointed head" \
+  "$EPROC" verify-trace $G "$work/head.jsonl"
+expect_exit 0 "verify-trace accepts the resumed tail" \
+  "$EPROC" verify-trace $G "$work/tail.jsonl"
+
+expect_exit 0 "checkpoint-inspect reads a healthy snapshot" \
+  "$EPROC" checkpoint-inspect "$work/snap"
+expect_exit 0 "checkpoint-inspect reads a campaign directory" \
+  "$EPROC" checkpoint-inspect "$work/probe"
+
+# --- corrupted snapshots are rejected, never half-loaded --------------------
+
+size=$(wc -c < "$work/snap")
+head -c $((size - 10)) "$work/snap" > "$work/snap.trunc"
+expect_exit 2 "truncated snapshot rejected by checkpoint-inspect" \
+  "$EPROC" checkpoint-inspect "$work/snap.trunc"
+expect_exit 2 "truncated snapshot rejected by --resume-from" \
+  "$EPROC" trace $TR --resume-from "$work/snap.trunc" --out /dev/null
+
+# Flip one payload byte: the CRC must catch it.
+cp "$work/snap" "$work/snap.flip"
+orig=$(dd if="$work/snap.flip" bs=1 skip=$((size - 10)) count=1 2>/dev/null)
+sub=Z; [ "$orig" = "Z" ] && sub=Q
+printf '%s' "$sub" | dd of="$work/snap.flip" bs=1 seek=$((size - 10)) \
+  conv=notrunc 2>/dev/null
+expect_exit 2 "bit-flipped snapshot rejected by checkpoint-inspect" \
+  "$EPROC" checkpoint-inspect "$work/snap.flip"
+expect_exit 2 "bit-flipped snapshot rejected by --resume-from" \
+  "$EPROC" trace $TR --resume-from "$work/snap.flip" --out /dev/null
+
+expect_exit 2 "missing snapshot rejected" \
+  "$EPROC" checkpoint-inspect "$work/no-such-snapshot"
+
+# ----------------------------------------------------------------------------
+
+if [ "$fails" -eq 0 ]; then
+  note "OK ($checks checks)"
+  exit 0
+else
+  note "$fails of $checks checks FAILED"
+  exit 1
+fi

@@ -226,6 +226,26 @@ let exp_util_adversaries () =
       | None -> Alcotest.fail "adversarial run capped")
     [ Exp_util.adversary_stay_explored; Exp_util.adversary_min_blue ]
 
+(* -- Wall-time regression guards --------------------------------------------- *)
+
+let spectral_p1_tiny_fast () =
+  (* spectral-p1 at Tiny once took ~10s because the dense O(n^3) Jacobi
+     eigensolver handled the lambda_2 probe; the Lanczos route brings it
+     under half a second.  Guard the fix: the budget below is ~10x the
+     fixed cost and well under the regressed cost, so it trips if the
+     dense path ever comes back without drowning CI in flakiness. *)
+  match Experiments.find "spectral-p1" with
+  | None -> Alcotest.fail "spectral-p1 missing from registry"
+  | Some e ->
+      let table, seconds =
+        Experiments.run_timed e ~scale:Sweep.Tiny ~seed:7
+      in
+      Alcotest.(check bool) "produces rows" true
+        (List.length table.Table.rows > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "tiny run under budget (took %.2fs)" seconds)
+        true (seconds < 5.0)
+
 let () =
   Alcotest.run "expt"
     [
@@ -261,5 +281,10 @@ let () =
         [
           Alcotest.test_case "cover helpers" `Quick exp_util_cover_helpers;
           Alcotest.test_case "adversaries" `Quick exp_util_adversaries;
+        ] );
+      ( "perf",
+        [
+          Alcotest.test_case "spectral-p1 tiny wall-time" `Slow
+            spectral_p1_tiny_fast;
         ] );
     ]

@@ -310,6 +310,167 @@ let progress_concurrent_ticks () =
       Alcotest.(check bool) "final line counts all domains' ticks" true
         has_total)
 
+(* -- Fault tolerance -------------------------------------------------------- *)
+
+(* An element that fails its first [fail_times] executions and then
+   succeeds — the transient-fault model the retry budget exists for. *)
+let flaky_element fail_times =
+  let attempts = Atomic.make 0 in
+  fun x ->
+    let a = Atomic.fetch_and_add attempts 1 in
+    if a < fail_times then raise (Boom x) else x * x
+
+let retry_recovers_and_is_recorded () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      Pool.reset_stats p;
+      let flaky = flaky_element 1 in
+      let src = Array.init 64 (fun i -> i) in
+      let got =
+        Pool.map_array ~chunk:4 ~retries:2 p
+          (fun x -> if x = 13 then flaky x else x * x)
+          src
+      in
+      Alcotest.(check (array int))
+        "retried batch = undisturbed map"
+        (Array.map (fun x -> x * x) src)
+        got;
+      let lanes = Pool.stats p in
+      let failed =
+        Array.fold_left (fun a l -> a + l.Pool.tasks_failed) 0 lanes
+      in
+      let retried =
+        Array.fold_left (fun a l -> a + l.Pool.tasks_retried) 0 lanes
+      in
+      Alcotest.(check int) "one failure recorded" 1 failed;
+      Alcotest.(check int) "one retry recorded" 1 retried;
+      Alcotest.(check int)
+        "recovery ran in the caller's lane" 1 lanes.(0).Pool.tasks_retried)
+
+let retry_sequential_path () =
+  (* The jobs=1 path honours the same budget (what Sweep relies on). *)
+  Pool.with_pool ~jobs:1 (fun p ->
+      let flaky = flaky_element 2 in
+      let got =
+        Pool.map_array ~retries:2 p
+          (fun x -> if x = 3 then flaky x else x * x)
+          [| 1; 2; 3; 4 |]
+      in
+      Alcotest.(check (array int)) "sequential retry" [| 1; 4; 9; 16 |] got;
+      Alcotest.(check int)
+        "retries recorded in lane 0" 2 (Pool.stats p).(0).Pool.tasks_retried)
+
+let retry_exhausted_raises_task_failed () =
+  Pool.with_pool ~jobs:4 ~retries:1 (fun p ->
+      let src = Array.init 32 (fun i -> i) in
+      (try
+         ignore
+           (Pool.map_array p (fun x -> if x = 7 then raise (Boom x) else x) src);
+         Alcotest.fail "expected Task_failed"
+       with Pool.Task_failed { index; attempts; last } ->
+         Alcotest.(check int) "failing index" 7 index;
+         Alcotest.(check int) "budget spent: retries + 1" 2 attempts;
+         Alcotest.(check bool) "last failure preserved" true (last = Boom 7));
+      (* Exhaustion must not poison the pool. *)
+      let got = Pool.map_array p succ src in
+      Alcotest.(check (array int))
+        "pool reusable after Task_failed" (Array.map succ src) got)
+
+let retry_results_index_ordered () =
+  (* A retried batch must still be positional: the recovered element lands
+     at its own index, not at completion order. *)
+  Pool.with_pool ~jobs:3 (fun p ->
+      let flaky = flaky_element 1 in
+      let src = Array.init 40 (fun i -> i) in
+      let got =
+        Pool.map_array ~chunk:1 ~retries:1 p
+          (fun x -> if x = 0 then flaky x else x * 10)
+          src
+      in
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check int)
+            (Printf.sprintf "index %d" i)
+            (if i = 0 then 0 else i * 10)
+            v)
+        got)
+
+let timeout_raises_task_timeout () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      try
+        ignore
+          (Pool.map_array ~task_timeout_s:0.01 p
+             (fun x ->
+               if x = 2 then Unix.sleepf 0.1;
+               x)
+             [| 0; 1; 2; 3 |]);
+        Alcotest.fail "expected Task_timeout"
+      with Pool.Task_timeout { index; elapsed_s; timeout_s } ->
+        Alcotest.(check int) "overlong index" 2 index;
+        Alcotest.(check bool) "elapsed exceeds budget" true
+          (elapsed_s > timeout_s))
+
+let injected_lane_failure_retried () =
+  (* The Ewalk_resume.Faults wiring: fail-lane:0:once makes exactly one
+     element execution on lane 0 raise; a positive budget absorbs it and
+     the result is unchanged.  jobs=1 so every execution provably runs on
+     lane 0 — at higher job counts a helper lane can legitimately drain
+     the whole batch before lane 0 takes a chunk, and the injection would
+     have nothing to hit. *)
+  let spec =
+    match Ewalk_resume.Faults.parse "fail-lane:0:once" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  Ewalk_resume.Faults.install spec;
+  Fun.protect ~finally:(fun () -> Ewalk_resume.Faults.install Ewalk_resume.Faults.none)
+  @@ fun () ->
+  Pool.with_pool ~jobs:1 ~retries:1 (fun p ->
+      let src = Array.init 16 (fun i -> i) in
+      let got = Pool.map_array p (fun x -> x + 100) src in
+      Alcotest.(check (array int))
+        "injected failure absorbed"
+        (Array.map (fun x -> x + 100) src)
+        got;
+      let lane0 = (Pool.stats p).(0) in
+      Alcotest.(check int) "injection recorded once" 1 lane0.Pool.tasks_failed;
+      Alcotest.(check int) "recovery recorded" 1 lane0.Pool.tasks_retried)
+
+let injected_failure_bit_identical_sweep () =
+  (* End to end through Sweep.map_trials: an injected failure plus retry
+     must leave trial results bit-identical to an undisturbed sweep,
+     because every trial consumes a copy of its own generator.  The clean
+     run uses 2 jobs and the faulted run the sequential path (where the
+     lane-0 injection deterministically hits the first trial), so this
+     also re-checks bit-identity across job counts. *)
+  let f rng = Rng.float rng 1.0 +. Rng.float rng 1.0 in
+  let rngs () = Sweep.trial_rngs ~seed:42 ~trials:12 in
+  let clean =
+    Pool.with_pool ~jobs:2 (fun p -> Sweep.map_trials ~pool:p f (rngs ()))
+  in
+  let spec =
+    match Ewalk_resume.Faults.parse "fail-lane:0:once" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  Ewalk_resume.Faults.install spec;
+  Fun.protect ~finally:(fun () -> Ewalk_resume.Faults.install Ewalk_resume.Faults.none)
+  @@ fun () ->
+  let faulted =
+    Pool.with_pool ~jobs:1 ~retries:2 (fun p ->
+        let got = Sweep.map_trials ~pool:p f (rngs ()) in
+        Alcotest.(check int)
+          "injection actually fired" 1 (Pool.stats p).(0).Pool.tasks_failed;
+        got)
+  in
+  Alcotest.(check int) "lengths" (Array.length clean) (Array.length faulted);
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "trial %d bit-identical" i)
+        true
+        (Int64.bits_of_float c = Int64.bits_of_float faulted.(i)))
+    clean
+
 let () =
   Alcotest.run "par"
     [
@@ -329,6 +490,23 @@ let () =
           Alcotest.test_case "lane telemetry" `Quick pool_lane_telemetry;
           qcheck prop_map_array_agrees;
           qcheck prop_run_agrees;
+        ] );
+      ( "fault-tolerance",
+        [
+          Alcotest.test_case "retry recovers and is recorded" `Quick
+            retry_recovers_and_is_recorded;
+          Alcotest.test_case "sequential path honours budget" `Quick
+            retry_sequential_path;
+          Alcotest.test_case "exhausted retries raise Task_failed" `Quick
+            retry_exhausted_raises_task_failed;
+          Alcotest.test_case "retried results stay index-ordered" `Quick
+            retry_results_index_ordered;
+          Alcotest.test_case "timeout raises Task_timeout" `Quick
+            timeout_raises_task_timeout;
+          Alcotest.test_case "injected lane failure retried" `Quick
+            injected_lane_failure_retried;
+          Alcotest.test_case "injected failure bit-identical sweep" `Quick
+            injected_failure_bit_identical_sweep;
         ] );
       ( "determinism",
         [
