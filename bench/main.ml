@@ -202,6 +202,46 @@ let kernels () =
     ("obs:eprocess-10k-steps-metrics", bench_eprocess_obs_metrics ());
   ]
 
+(* Headline throughput kernels: the 10k-step walk kernels re-expressed
+   per step, so the ledger carries ns/step (and the printed line
+   steps/sec) and `eproc bench-diff` gates walk throughput directly —
+   a stepping-rate regression shows up as `headline:*` REGRESSED even
+   when no individual table kernel trips its own tolerance.  Derived
+   from the already-measured distributions: every order statistic
+   scales. *)
+let headline_steps = 10_000.
+
+let headline_kernels kernels =
+  let derive headline src =
+    match List.assoc_opt src kernels with
+    | None -> None
+    | Some (s : Benchstat.stats) ->
+        Some
+          ( headline,
+            {
+              s with
+              Benchstat.median_ns = s.Benchstat.median_ns /. headline_steps;
+              mad_ns = s.Benchstat.mad_ns /. headline_steps;
+              min_ns = s.Benchstat.min_ns /. headline_steps;
+            } )
+  in
+  List.filter_map
+    (fun (headline, src) -> derive headline src)
+    [
+      ("headline:eprocess-ns-per-step", "fig1:eprocess-10k-steps");
+      ("headline:eprocess-metrics-ns-per-step", "obs:eprocess-10k-steps-metrics");
+      ("headline:srw-ns-per-step", "srw-lower:srw-10k-steps");
+    ]
+
+let print_headlines headlines =
+  List.iter
+    (fun (name, (s : Benchstat.stats)) ->
+      Printf.printf "%-36s %12s %21s\n" name
+        (Printf.sprintf "%.1f ns/step" s.Benchstat.median_ns)
+        (Printf.sprintf "%.2fM steps/sec" (1e3 /. s.Benchstat.median_ns)))
+    headlines;
+  if headlines <> [] then print_newline ()
+
 let pretty_ns ns =
   if Float.is_nan ns then "n/a"
   else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
@@ -246,20 +286,27 @@ let obs_overhead_paired () =
     Benchstat.paired_overhead ~base
       ~instrumented:(bench_eprocess_obs_metrics ()) ()
   in
-  let self_check_ok =
+  (* Both observability paths are budgeted at <= 5% on the noise-floored
+     estimate: the null-sink bundle (contractually ~free) and, since the
+     sharded fast path, the metrics-collecting bundle too. *)
+  let null_ok =
     null_oh.Benchstat.raw_percent >= -2.0 && null_oh.Benchstat.percent <= 5.0
   in
+  let metrics_ok = metrics_oh.Benchstat.percent <= 5.0 in
+  let self_check_ok = null_ok && metrics_ok in
   Printf.printf
     "obs overhead (null sink): %.1f%% (raw %+.1f%%, noise %.1f%%, %d pairs) \
      %s\n"
     null_oh.Benchstat.percent null_oh.Benchstat.raw_percent
     null_oh.Benchstat.noise_percent null_oh.Benchstat.pairs
-    (if not self_check_ok then "** OUTSIDE [-2%,+5%] BUDGET **"
+    (if not null_ok then "** OUTSIDE [-2%,+5%] BUDGET **"
      else "(within budget)");
   Printf.printf
-    "obs overhead (metrics, null sink): %.1f%% (raw %+.1f%%, noise %.1f%%)\n\n"
+    "obs overhead (metrics, null sink): %.1f%% (raw %+.1f%%, noise %.1f%%, \
+     %d pairs) %s\n\n"
     metrics_oh.Benchstat.percent metrics_oh.Benchstat.raw_percent
-    metrics_oh.Benchstat.noise_percent;
+    metrics_oh.Benchstat.noise_percent metrics_oh.Benchstat.pairs
+    (if not metrics_ok then "** OUTSIDE 5% BUDGET **" else "(within budget)");
   (null_oh, metrics_oh, self_check_ok)
 
 (* -- experiment tables ----------------------------------------------------- *)
@@ -493,7 +540,14 @@ let () =
      distort the allocation-heavy kernels (the obs overhead ones most). *)
   let kernels =
     if skip_micro then []
-    else Prof.span_ambient "bench:micro" run_micro_benchmarks
+    else begin
+      let rows = Prof.span_ambient "bench:micro" run_micro_benchmarks in
+      (* Derived headline throughput entries ride the same ledger record,
+         so bench-diff gates steps/sec alongside the raw kernels. *)
+      let headlines = headline_kernels rows in
+      print_headlines headlines;
+      rows @ headlines
+    end
   in
   let overhead =
     if skip_micro then None

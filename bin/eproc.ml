@@ -114,6 +114,114 @@ let print_utilization pool ~wall_s =
   if Ewalk_par.Pool.jobs pool > 1 then
     print_endline (Ewalk_par.Pool.utilization_line pool ~wall_s)
 
+(* -- --listen: live observability endpoint -------------------------------- *)
+
+let listen_arg =
+  let doc =
+    "Serve live observability over loopback HTTP on $(docv) while the run \
+     is in flight: $(b,/metrics) (OpenMetrics text), $(b,/progress) (JSON: \
+     steps/sec, coverage fractions, lane utilization, ETA), $(b,/healthz), \
+     $(b,/quit).  $(docv)=0 picks an ephemeral port; the bound port is \
+     printed on stderr as `listening on ...'."
+  in
+  Arg.(value & opt (some int) None & info [ "listen" ] ~docv:"PORT" ~doc)
+
+(* The /progress JSON: whatever the registry can currently say (sharded
+   counters drain into it at most one drain interval behind the walk),
+   plus wall clock and per-lane pool utilization.  Fields the run has not
+   populated yet are null rather than absent, so pollers see a stable
+   schema. *)
+let progress_body ?pool ~t0 registry () =
+  let elapsed = Obs.Clock.elapsed_s t0 in
+  let views = Obs.Metrics.instruments registry in
+  let counter name =
+    match List.assoc_opt name views with
+    | Some (Obs.Metrics.Counter_view k) -> Some k
+    | _ -> None
+  in
+  let gauge name =
+    match List.assoc_opt name views with
+    | Some (Obs.Metrics.Gauge_view v) -> Some v
+    | _ -> None
+  in
+  let opt f = function Some v -> f v | None -> Obs.Json.Null in
+  let steps = counter "steps" in
+  let steps_per_second =
+    match steps with
+    | Some s when elapsed > 0.0 -> Some (float_of_int s /. elapsed)
+    | _ -> None
+  in
+  let vfrac = gauge "coverage_vertex_fraction" in
+  let efrac = gauge "coverage_edge_fraction" in
+  (* Crude but honest: extrapolate the remaining vertex coverage at the
+     average rate so far.  Null until the first drain publishes a
+     fraction. *)
+  let eta_s =
+    match vfrac with
+    | Some c when c >= 1.0 -> Some 0.0
+    | Some c when c > 0.0 -> Some (elapsed *. ((1.0 -. c) /. c))
+    | _ -> None
+  in
+  let lane_fields =
+    match pool with
+    | None -> []
+    | Some pool ->
+        let stats = Ewalk_par.Pool.stats pool in
+        let jobs = Ewalk_par.Pool.jobs pool in
+        let busy =
+          Array.fold_left (fun a l -> a +. l.Ewalk_par.Pool.busy_s) 0.0 stats
+        in
+        [
+          ("jobs", Obs.Json.Int jobs);
+          ( "lane_busy_s",
+            Obs.Json.List
+              (Array.to_list stats
+              |> List.map (fun l -> Obs.Json.Float l.Ewalk_par.Pool.busy_s)) );
+          ( "utilization",
+            if elapsed > 0.0 then
+              Obs.Json.Float (busy /. (float_of_int jobs *. elapsed))
+            else Obs.Json.Null );
+        ]
+  in
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       ([
+          ("elapsed_s", Obs.Json.Float elapsed);
+          ("steps", opt (fun s -> Obs.Json.Int s) steps);
+          ( "steps_per_second",
+            opt (fun v -> Obs.Json.Float v) steps_per_second );
+          ("coverage_vertex_fraction", opt (fun v -> Obs.Json.Float v) vfrac);
+          ("coverage_edge_fraction", opt (fun v -> Obs.Json.Float v) efrac);
+          ("eta_s", opt (fun v -> Obs.Json.Float v) eta_s);
+        ]
+       @ lane_fields))
+  ^ "\n"
+
+(* Run [f] with the live endpoint up (when --listen was given), stopping
+   it afterwards even on exceptions.  The `listening on' line goes to
+   stderr so scripts (make serve-smoke) can scrape the ephemeral port
+   without disturbing the command's stdout. *)
+let with_listen ?pool ~t0 listen registry f =
+  match listen with
+  | None -> f ()
+  | Some port -> (
+      match
+        Obs.Serve.start ~port
+          ~metrics:(fun () -> Obs.Export.render registry)
+          ~progress:(progress_body ?pool ~t0 registry)
+          ()
+      with
+      | Error e ->
+          Printf.eprintf "eproc: --listen %d: %s\n%!" port e;
+          exit 2
+      | Ok srv ->
+          Printf.eprintf
+            "eproc: listening on http://127.0.0.1:%d (/metrics /progress \
+             /healthz /quit)\n\
+             %!"
+            (Obs.Serve.port srv);
+          Fun.protect ~finally:(fun () -> Obs.Serve.stop srv) f)
+
 (* -- list ---------------------------------------------------------------- *)
 
 let list_cmd =
@@ -183,7 +291,7 @@ let experiment_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
   let run id scale seed csv metrics export_metrics profile jobs checkpoint_dir
-      resume task_retries task_timeout =
+      resume task_retries task_timeout listen =
     with_profile profile @@ fun prof ->
     Ewalk_par.Pool.with_pool ~retries:task_retries ?task_timeout_s:task_timeout
       ?jobs
@@ -264,6 +372,7 @@ let experiment_cmd =
       Option.iter (fun p -> write_metrics p registry) metrics;
       Option.iter (fun p -> write_openmetrics ?prof p registry) export_metrics
     in
+    with_listen ~pool ~t0 listen registry @@ fun () ->
     if id = "all" then begin
       List.iter run_one Expt.Experiments.all;
       finish ();
@@ -287,7 +396,7 @@ let experiment_cmd =
       ret
         (const run $ id_arg $ scale_arg $ seed_arg $ csv_arg $ metrics_arg
        $ export_metrics_arg $ profile_arg $ jobs_arg $ checkpoint_dir_arg
-       $ resume_arg $ task_retries_arg $ task_timeout_arg))
+       $ resume_arg $ task_retries_arg $ task_timeout_arg $ listen_arg))
 
 (* -- graph-info ----------------------------------------------------------- *)
 
@@ -407,25 +516,31 @@ let cover_cmd =
     Arg.(value & flag & info [ "edges" ] ~doc)
   in
   let run family process n trials seed edges metrics export_metrics profile
-      jobs =
+      jobs listen =
     with_profile profile @@ fun prof ->
     Ewalk_par.Pool.with_pool ?jobs @@ fun pool ->
     let t0 = Obs.Clock.now_ns () in
     let root = Rng.create ~seed () in
     let rngs = Rng.split_n root trials in
     (* One registry across the trials: counters accumulate (exactly, even
-       when trials shard across domains), gauges keep one trial's values. *)
+       when trials shard across domains), gauges keep the highest trial
+       index's values ([Observe.for_trial]).  --listen forces a registry
+       so the endpoint has something to serve. *)
     let registry =
-      if metrics <> None || export_metrics <> None then
+      if metrics <> None || export_metrics <> None || listen <> None then
         Some (Obs.Metrics.create ())
       else None
     in
     let obs = Option.map (fun m -> Observe.create ~metrics:m ()) registry in
-    let results =
+    let run_trials () =
       Ewalk_par.Pool.map_array ~chunk:1 pool
-        (fun rng ->
+        (fun (trial, rng) ->
           let g = Expt.Families.build family rng ~n in
           let p, attach_native = make_process process g rng in
+          (* Each trial observes through its own view: per-trial drain
+             state, and deterministic last-trial-wins gauges under any
+             --jobs. *)
+          let obs = Option.map (fun o -> Observe.for_trial o ~trial) obs in
           let p =
             match obs with
             | None -> p
@@ -440,7 +555,12 @@ let cover_cmd =
           in
           Option.iter (fun obs -> Observe.finish obs p) obs;
           (t, Graph.n g, Graph.m g))
-        rngs
+        (Array.mapi (fun i rng -> (i, rng)) rngs)
+    in
+    let results =
+      match registry with
+      | Some reg -> with_listen ~pool ~t0 listen reg run_trials
+      | None -> run_trials ()
     in
     print_utilization pool ~wall_s:(Obs.Clock.elapsed_s t0);
     (match (metrics, registry) with
@@ -478,7 +598,8 @@ let cover_cmd =
     (Cmd.info "cover" ~doc:"Measure cover times of a walk process.")
     Term.(
       const run $ family_arg $ process_arg $ n_arg $ trials_arg $ seed_arg
-      $ edges_arg $ metrics_arg $ export_metrics_arg $ profile_arg $ jobs_arg)
+      $ edges_arg $ metrics_arg $ export_metrics_arg $ profile_arg $ jobs_arg
+      $ listen_arg)
 
 (* -- trace ----------------------------------------------------------------- *)
 
@@ -526,8 +647,9 @@ let trace_cmd =
       value & opt (some string) None & info [ "resume-from" ] ~docv:"FILE" ~doc)
   in
   let run family process n seed edges no_steps max_steps out metrics
-      export_metrics profile checkpoint checkpoint_every resume_from =
+      export_metrics profile checkpoint checkpoint_every resume_from listen =
     with_profile profile @@ fun prof ->
+    let t0 = Obs.Clock.now_ns () in
     let rng = Rng.create ~seed () in
     let g = Expt.Families.build family rng ~n in
     let oc, close_oc =
@@ -545,7 +667,12 @@ let trace_cmd =
               sink
           else sink
         in
+        (* Outermost so the flight recorder keeps full per-step fidelity
+           even when --no-steps thins the written stream.  Identity when
+           the recorder is off. *)
+        let sink = Obs.Flight.wrap sink in
         let registry = Obs.Metrics.create () in
+        with_listen ~t0 listen registry @@ fun () ->
         let obs = Observe.create ~metrics:registry ~sink () in
         if checkpoint_every <= 0 then begin
           Printf.eprintf "eproc trace: --checkpoint-every must be positive\n";
@@ -643,7 +770,7 @@ let trace_cmd =
       const run $ family_arg $ process_arg $ n_arg $ seed_arg $ edges_arg
       $ no_steps_arg $ max_steps_arg $ out_arg $ metrics_arg
       $ export_metrics_arg $ profile_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ resume_from_arg)
+      $ checkpoint_every_arg $ resume_from_arg $ listen_arg)
 
 (* -- verify-trace ----------------------------------------------------------- *)
 
@@ -656,7 +783,16 @@ let verify_trace_cmd =
     let doc = "JSONL trace file as written by $(b,eproc trace) ($(b,-) = stdin)." in
     Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc)
   in
-  let run family n seed file =
+  let flight_arg =
+    let doc =
+      "Accept a truncated stream — a crash flight-recorder dump \
+       ($(b,flight.jsonl)): a missing $(b,run_end) is reported as \
+       `truncated' instead of failing, while every event the dump does \
+       carry is verified at full strength."
+    in
+    Arg.(value & flag & info [ "flight" ] ~doc)
+  in
+  let run family n seed flight file =
     let rng = Rng.create ~seed () in
     let g = Expt.Families.build family rng ~n in
     let ic, close_ic =
@@ -691,7 +827,11 @@ let verify_trace_cmd =
                    | Error v -> violation v)
            done
          with End_of_file -> ());
-        match Ewalk_check.Replay.finish verifier with
+        let finish =
+          if flight then Ewalk_check.Replay.finish_partial
+          else Ewalk_check.Replay.finish
+        in
+        match finish verifier with
         | Error v -> violation v
         | Ok s ->
             Printf.printf "verify-trace: ok - %s\n"
@@ -703,8 +843,60 @@ let verify_trace_cmd =
          "Replay a recorded $(b,eproc trace) JSONL stream against the walk \
           invariants (edge validity, unvisited-edge preference, blue-parity, \
           milestone consistency).  Exit 1 on a violation, 2 on unreadable \
-          input.")
-    Term.(const run $ family_arg $ n_arg $ seed_arg $ file_arg)
+          input.  With $(b,--flight), judge a crash flight-recorder dump \
+          (truncation allowed).")
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ flight_arg $ file_arg)
+
+(* -- openmetrics-validate ---------------------------------------------------- *)
+
+(* Syntax-check an OpenMetrics text exposition (as served by --listen
+   /metrics or written by --export-metrics).  This is what `make
+   serve-smoke` pipes the live endpoint's output through.  Exit codes:
+   0 = valid, 1 = malformed, 2 = unreadable input. *)
+let openmetrics_validate_cmd =
+  let file_arg =
+    let doc = "OpenMetrics text file ($(b,-) = stdin)." in
+    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let ic, close_ic =
+      if file = "-" then (stdin, fun () -> ())
+      else
+        match open_in file with
+        | ic -> (ic, fun () -> close_in_noerr ic)
+        | exception Sys_error e ->
+            Printf.eprintf "eproc openmetrics-validate: %s\n" e;
+            exit 2
+    in
+    let body =
+      Fun.protect ~finally:close_ic (fun () ->
+          let buf = Buffer.create 65536 in
+          let chunk = Bytes.create 65536 in
+          let rec go () =
+            let k = input ic chunk 0 (Bytes.length chunk) in
+            if k > 0 then begin
+              Buffer.add_subbytes buf chunk 0 k;
+              go ()
+            end
+          in
+          go ();
+          Buffer.contents buf)
+    in
+    match Obs.Export.validate body with
+    | Ok () ->
+        Printf.printf "openmetrics-validate: ok (%d bytes)\n"
+          (String.length body)
+    | Error e ->
+        Printf.eprintf "eproc openmetrics-validate: %s\n" e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "openmetrics-validate"
+       ~doc:
+         "Check a file (or stdin) against the OpenMetrics text exposition \
+          shape the exporter emits.  Exit 1 on malformed input, 2 on an \
+          unreadable file.")
+    Term.(const run $ file_arg)
 
 (* -- check-oracle ----------------------------------------------------------- *)
 
@@ -1003,8 +1195,9 @@ let main =
     (Cmd.info "eproc" ~version:"1.0.0" ~doc)
     [
       list_cmd; experiment_cmd; graph_info_cmd; cover_cmd; trace_cmd;
-      verify_trace_cmd; check_oracle_cmd; checkpoint_inspect_cmd; spectra_cmd;
-      euler_cmd; audit_cmd; report_cmd; bench_diff_cmd;
+      verify_trace_cmd; openmetrics_validate_cmd; check_oracle_cmd;
+      checkpoint_inspect_cmd; spectra_cmd; euler_cmd; audit_cmd; report_cmd;
+      bench_diff_cmd;
     ]
 
 (* Cmdliner cannot declare a one-letter long option, but "--n 1000" is how
@@ -1023,4 +1216,10 @@ let () =
   | Error e ->
       Printf.eprintf "eproc: %s: %s\n" Ewalk_resume.Faults.env_var e;
       exit 2);
-  exit (Cmd.eval ~argv:(Array.map normalize_arg Sys.argv) main)
+  (* Likewise the crash flight recorder (EWALK_FLIGHT_DIR): any exit that
+     does not come back through here — injected faults, SIGTERM, uncaught
+     exceptions — dumps the last recorded events as a post-mortem. *)
+  Obs.Flight.enable_from_env ();
+  let code = Cmd.eval ~argv:(Array.map normalize_arg Sys.argv) main in
+  if code = 0 then Obs.Flight.disarm ();
+  exit code

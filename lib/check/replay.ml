@@ -16,6 +16,7 @@ type summary = {
   covered : bool;
   has_steps : bool;
   resumed : bool;
+  complete : bool;
 }
 
 let summary_to_string s =
@@ -29,7 +30,8 @@ let summary_to_string s =
     | None -> "")
     (if s.covered then "" else ", not covered")
     ((if s.has_steps then "" else " (no per-step events)")
-    ^ if s.resumed then " (resumed)" else "")
+    ^ (if s.resumed then " (resumed)" else "")
+    ^ if s.complete then "" else " (truncated)")
 
 type state = Expect_start | Running | Done
 
@@ -260,6 +262,26 @@ let feed t (ev : Trace.event) =
           (Graph.n t.g)
       else Ok ()
 
+let summary_of t ~complete =
+  let inv = Option.get t.inv in
+  {
+    process = t.process;
+    n = Graph.n t.g;
+    m = Graph.m t.g;
+    start = t.start;
+    steps = Invariant.steps inv;
+    blue_steps = Invariant.blue_steps inv;
+    red_steps = Invariant.red_steps inv;
+    vertices_visited = Invariant.vertices_visited inv;
+    edges_visited = Invariant.edges_visited inv;
+    milestones = t.milestones;
+    cover_step = t.cover_step;
+    covered = t.covered;
+    has_steps = t.has_steps;
+    resumed = t.resumed;
+    complete;
+  }
+
 let finish t =
   match t.state with
   | Expect_start -> (
@@ -276,25 +298,18 @@ let finish t =
   | Done -> (
       match List.rev t.violations with
       | v :: _ -> Error v
-      | [] ->
-          let inv = Option.get t.inv in
-          Ok
-            {
-              process = t.process;
-              n = Graph.n t.g;
-              m = Graph.m t.g;
-              start = t.start;
-              steps = Invariant.steps inv;
-              blue_steps = Invariant.blue_steps inv;
-              red_steps = Invariant.red_steps inv;
-              vertices_visited = Invariant.vertices_visited inv;
-              edges_visited = Invariant.edges_visited inv;
-              milestones = t.milestones;
-              cover_step = t.cover_step;
-              covered = t.covered;
-              has_steps = t.has_steps;
-              resumed = t.resumed;
-            })
+      | [] -> Ok (summary_of t ~complete:true))
+
+let finish_partial t =
+  match t.state with
+  | Expect_start -> (
+      match fail t Invariant.Schema "empty stream: no run_start" with
+      | Error v -> Error v
+      | Ok () -> assert false)
+  | Running | Done -> (
+      match List.rev t.violations with
+      | v :: _ -> Error v
+      | [] -> Ok (summary_of t ~complete:(t.state = Done)))
 
 let verify_events g events =
   let t = create g in

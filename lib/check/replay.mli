@@ -51,6 +51,9 @@ type summary = {
   resumed : bool;
       (** the stream announced itself as the tail of a resumed run, so
           history-dependent checks ran relaxed *)
+  complete : bool;
+      (** [Run_end] was seen; [false] only from {!finish_partial} on a
+          truncated stream *)
 }
 
 val summary_to_string : summary -> string
@@ -71,6 +74,14 @@ val finish : t -> (summary, Invariant.violation) result
 (** End of stream.  Errors if no [Run_start] was ever seen, [Run_end] is
     missing (truncated trace), or any earlier {!feed} reported a violation
     (the first one is returned). *)
+
+val finish_partial : t -> (summary, Invariant.violation) result
+(** Like {!finish} but a stream cut off mid-run (no [Run_end]) is
+    accepted — the summary carries [complete = false] and whatever the
+    shadow verified up to the cut.  This is how flight-recorder dumps are
+    judged ([eproc verify-trace --flight]): a crash post-mortem is by
+    nature truncated, and every event it does carry must still verify.
+    An empty stream is still an error. *)
 
 val violations : t -> Invariant.violation list
 (** Every violation reported so far, in stream order. *)

@@ -13,11 +13,37 @@ let default_cap g =
   let n = float_of_int (max 2 (Graph.n g)) in
   int_of_float (2000.0 *. n *. (log n +. 1.0)) + 100_000
 
+(* Ambient flight-recorder boundaries: one enabled-check per run (never
+   per step), so the crash post-mortem knows which run was in flight even
+   when no trace sink is attached.  A run entered with steps already done
+   announces itself as a resumed tail, which is what the replay verifier
+   expects of a partial stream. *)
+let flight_run_start p =
+  if Ewalk_obs.Flight.ambient_active () then begin
+    let n = Coverage.total_vertices p.coverage
+    and m = Coverage.total_edges p.coverage in
+    Ewalk_obs.Flight.record
+      (Ewalk_obs.Trace.Run_start { name = p.name; n; m; start = p.position () });
+    let k = p.steps_done () in
+    if k > 0 then Ewalk_obs.Flight.record (Ewalk_obs.Trace.Resume { step = k })
+  end
+
+let flight_run_end p =
+  if Ewalk_obs.Flight.ambient_active () then
+    Ewalk_obs.Flight.record
+      (Ewalk_obs.Trace.Run_end
+         {
+           steps = p.steps_done ();
+           covered = Coverage.all_vertices_visited p.coverage;
+         })
+
 let run_until ?(cap = max_int) p ~finished ~result =
+  flight_run_start p;
   let gave_up = ref false in
   while (not (finished ())) && not !gave_up do
     if p.steps_done () >= cap then gave_up := true else p.step ()
   done;
+  flight_run_end p;
   if finished () then Some (result ()) else None
 
 let run_until_vertex_cover ?cap p =
@@ -46,6 +72,7 @@ let run_until_min_visits ?(cap = max_int) ~k p =
     Coverage.all_vertices_visited p.coverage
     && Coverage.min_visit_count p.coverage >= k
   in
+  flight_run_start p;
   let gave_up = ref false in
   let done_ = ref (satisfied ()) in
   while (not !done_) && not !gave_up do
@@ -60,6 +87,7 @@ let run_until_min_visits ?(cap = max_int) ~k p =
       done_ := satisfied ()
     end
   done;
+  flight_run_end p;
   if !done_ then Some (p.steps_done ()) else None
 
 let run_steps p k =

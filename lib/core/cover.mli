@@ -6,7 +6,14 @@
     under identical accounting: step 0 is the start vertex, and the cover
     time is the index of the transition that completed coverage — matching
     the paper's definition of [C_V] as expected visit time of the last
-    vertex. *)
+    vertex.
+
+    When the {!Ewalk_obs.Flight} crash recorder is enabled in ambient
+    mode, the [run_until_*] runners record run-boundary events
+    ([Run_start]/[Resume]/[Run_end]) into the calling domain's flight
+    ring — one enabled-check per run, nothing per step — so a crash dump
+    names the in-flight run even with no trace sink attached.
+    [run_steps] records nothing (it is the bench kernel). *)
 
 open Ewalk_graph
 

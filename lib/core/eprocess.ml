@@ -15,6 +15,7 @@ type t = {
   mutable current_phase : (phase_kind * int * Graph.vertex) option;
   mutable phases : phase list; (* reversed *)
   mutable observer : (Ewalk_obs.Trace.event -> unit) option;
+  mutable phase_observer : (Ewalk_obs.Trace.event -> unit) option;
 }
 
 and rule =
@@ -53,6 +54,7 @@ let create ?(rule = Uar) ?(record_phases = false) g rng ~start =
     current_phase = None;
     phases = [];
     observer = None;
+    phase_observer = None;
   }
 
 let graph t = t.g
@@ -66,21 +68,25 @@ let unvisited_incident t v = Unvisited.incident_edges t.unvisited v
 let in_blue_phase t = Unvisited.count t.unvisited t.pos > 0
 
 let set_observer t obs = t.observer <- obs
+let set_phase_observer t obs = t.phase_observer <- obs
 
 let emit_phase t kind =
-  match t.observer with
-  | None -> ()
-  | Some f ->
-      f
-        (Ewalk_obs.Trace.Phase
-           {
-             step = t.steps;
-             kind =
-               (match kind with
-               | Blue -> Ewalk_obs.Trace.Blue
-               | Red -> Ewalk_obs.Trace.Red);
-             vertex = t.pos;
-           })
+  match (t.observer, t.phase_observer) with
+  | None, None -> ()
+  | o, po ->
+      let ev =
+        Ewalk_obs.Trace.Phase
+          {
+            step = t.steps;
+            kind =
+              (match kind with
+              | Blue -> Ewalk_obs.Trace.Blue
+              | Red -> Ewalk_obs.Trace.Red);
+            vertex = t.pos;
+          }
+      in
+      (match o with Some f -> f ev | None -> ());
+      (match po with Some f -> f ev | None -> ())
 
 let record_phase_transition t next_is_blue =
   let now_kind = if next_is_blue then Blue else Red in
@@ -223,6 +229,7 @@ let of_checkpoint g ck =
     current_phase = ck.ck_current_phase;
     phases = List.rev ck.ck_phases;
     observer = None;
+    phase_observer = None;
   }
 
 let process t =

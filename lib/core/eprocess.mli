@@ -89,6 +89,15 @@ val set_observer : t -> (Ewalk_obs.Trace.event -> unit) option -> unit
     step; use {!Observe.attach_eprocess} rather than calling this
     directly. *)
 
+val set_phase_observer : t -> (Ewalk_obs.Trace.event -> unit) option -> unit
+(** Install (or remove) an observer that sees {e only} [Phase] boundary
+    events — no per-step [Step] allocation.  This is the metrics fast
+    path's hook: phase transitions are rare (one per maximal blue/red
+    run), so phase accounting can stay event-driven while step counting
+    reads the process's native counters.  Independent of, and composable
+    with, {!set_observer}: with both installed a phase boundary reaches
+    the full observer first. *)
+
 val phase_log : t -> phase list
 (** Completed phases in chronological order ([] unless [record_phases]).
     The phase currently in progress is not included. *)

@@ -1,26 +1,39 @@
 (** Observability wiring: one bundle connecting any walk process to the
     {!Ewalk_obs} metrics registry and trace sinks.
 
-    An {!t} is a (metrics, sink) pair.  Two attachment layers exist, and
-    they compose:
+    An {!t} is a (metrics, sink) pair plus a per-trial view (see
+    {!for_trial}).  Two attachment layers exist, and they compose:
 
     - {!instrument} wraps {e any} {!Cover.process} at the generic choke
-      point ({!Cover.with_step_hook}): it emits [Run_start], watches the
-      shared {!Coverage} for 25/50/75/100% vertex- and edge-coverage
-      milestones, and maintains the process-agnostic metrics
-      ([steps], [coverage_vertex_fraction], [coverage_edge_fraction],
+      point ({!Cover.with_step_hook}): it watches the shared {!Coverage}
+      for 25/50/75/100% vertex- and edge-coverage milestones and
+      maintains the process-agnostic metrics ([steps],
+      [coverage_vertex_fraction], [coverage_edge_fraction],
       [frontier_unvisited_vertices], [frontier_unvisited_edges]).
-    - {!attach_eprocess} / {!attach_srw} install the native per-step hooks
-      of the processes that have them, adding [Step] and [Phase] trace
-      events and the E-process-specific metrics ([blue_steps],
+    - {!attach_eprocess} / {!attach_srw} install the native per-step
+      hooks of the processes that have them, adding [Step] and [Phase]
+      trace events and the E-process-specific metrics ([blue_steps],
       [red_steps], [phases_blue], [phases_red], and the [phase_length]
       histogram).
 
-    The no-op bundle (no metrics, null sink) is free on the hot path: the
-    native attach is skipped outright (the process keeps its [None]
-    observer — one pattern match per step) and {!instrument} adds only an
-    integer comparison per step.  The bench harness guards this at under
-    5% on the E-process stepping kernel. *)
+    {b Cost model.}  The no-op bundle (no metrics, null sink) is free on
+    the hot path: the native attach is skipped outright and
+    {!instrument} adds only an integer comparison per step.  The
+    {e metrics fast path} (metrics present, null sink) is nearly as
+    cheap: no per-step event is allocated and no observer closure
+    installed — step counters drain in batches from the processes'
+    native fields (every 4096 steps and at {!finish}) into
+    {!Ewalk_obs.Shard} per-domain cells, and phase accounting rides the
+    phase-boundary observer ({!Eprocess.set_phase_observer}), which
+    fires once per maximal blue/red run, not per step.  Only a live sink
+    pays for per-step events.  The bench harness guards both the
+    null-sink and the metrics-enabled overhead at under 5% on the
+    E-process stepping kernel.
+
+    Because counters flow through {!Ewalk_obs.Shard} and registry reads
+    flush pending shards first, [Metrics.snapshot] is exact at any
+    quiescent point; mid-run reads (the [--listen] endpoint) lag the
+    walk by at most one drain interval. *)
 
 module Metrics = Ewalk_obs.Metrics
 module Trace = Ewalk_obs.Trace
@@ -28,7 +41,16 @@ module Trace = Ewalk_obs.Trace
 type t
 
 val create : ?metrics:Metrics.t -> ?sink:Trace.sink -> unit -> t
-(** Defaults: no metrics, {!Trace.null}. *)
+(** Defaults: no metrics, {!Trace.null}.  The returned bundle is the
+    trial-0 view of itself. *)
+
+val for_trial : t -> trial:int -> t
+(** A fresh per-trial view sharing the registry and sink.  Each trial of
+    a (possibly parallel) sweep must attach and instrument through its
+    own view: the view carries the trial's drain state, and its [trial]
+    index resolves gauge races deterministically — final gauge values
+    are the highest trial index's ({!Metrics.set_at}), independent of
+    [--jobs]. *)
 
 val metrics : t -> Metrics.t option
 val sink : t -> Trace.sink
@@ -37,10 +59,11 @@ val is_noop : t -> bool
 (** True iff there is nothing to record (no metrics, null sink). *)
 
 val attach_eprocess : t -> Eprocess.t -> unit
-(** Install the native E-process observer (no-op on a no-op bundle).
-    Updates [blue_steps]/[red_steps] counters, phase counters and the
-    [phase_length] histogram, and forwards [Step]/[Phase] events to the
-    sink. *)
+(** Install E-process observation (no-op on a no-op bundle).  With a
+    live sink: the native per-step observer, forwarding [Step]/[Phase]
+    events and updating the sharded counters.  With a null sink (the
+    fast path): only the phase-boundary observer plus native-counter
+    drains — nothing allocated per step. *)
 
 val attach_srw : t -> Srw.t -> unit
 
@@ -50,12 +73,13 @@ val attach_rotor : t -> Rotor.t -> unit
     traces the same per-step stream the verifier checks. *)
 
 val instrument : ?resumed_at:int -> t -> Cover.process -> Cover.process
-(** Generic wrapper: emits [Run_start] immediately (plus any milestone
-    already crossed at attach time — the start vertex counts), then after
-    every transition updates the process-agnostic metrics and emits
-    milestone events as coverage crosses 25/50/75/100%.  Each call carries
-    its own milestone state, so instrument each process (or trial) with a
-    fresh call.
+(** Generic wrapper: emits [Run_start] immediately when the sink is live
+    (plus any milestone already crossed at attach time — the start
+    vertex counts), then after every transition updates the
+    process-agnostic metrics and emits milestone events as coverage
+    crosses 25/50/75/100%.  Each call carries its own milestone state,
+    so instrument each process (or trial) with a fresh {!for_trial}
+    view.
 
     [resumed_at] marks the process as restored from a snapshot taken at
     that step: a [Resume] event follows [Run_start], and thresholds the
@@ -64,5 +88,7 @@ val instrument : ?resumed_at:int -> t -> Cover.process -> Cover.process
     stays verifiable by {!Ewalk_check.Replay}. *)
 
 val finish : t -> Cover.process -> unit
-(** Emit [Run_end] (with [covered] = all vertices visited) and push the
-    final gauge values.  Call once per instrumented run. *)
+(** Run the view's pending drains, flush the shards, push the final
+    gauge values (stamped with the view's trial index), and emit
+    [Run_end] when the sink is live.  Call once per instrumented run,
+    on the lane that ran it. *)

@@ -1,0 +1,343 @@
+(* Crash flight recorder: a fixed-size per-domain ring of recent trace
+   events, dumped as JSONL when the process dies unexpectedly.
+
+   Events are stored decomposed into preallocated mutable slots (an int
+   tag plus int/bool/string fields), so recording allocates nothing once
+   the ring exists — a Step overwrites the oldest slot's fields in place.
+   Each domain owns its ring (Domain.DLS): recording is unsynchronised
+   and the dump of the exiting domain's own ring is exact.  Other
+   domains' rings are dumped best-effort (their fields are word-sized, so
+   reads are never torn, merely possibly stale).
+
+   The ring resets on every [Run_start], so a dump is always (a suffix
+   of) a single run's stream.  When the ring has wrapped, the dump
+   synthesises a [Run_start] + [Resume] prologue from a pinned header
+   (run identity never evicted) and the last evicted position, producing
+   exactly the resumed-tail stream shape [Ewalk_check.Replay] verifies in
+   relaxed mode — so [eproc verify-trace --flight] accepts any dump.
+
+   Arming: [enable] (or [EWALK_FLIGHT_DIR] via [enable_from_env])
+   installs an [at_exit] dump and a SIGTERM handler that routes through
+   [exit].  Injected faults ([Ewalk_resume.Faults], exit 70) and uncaught
+   exceptions both reach [at_exit]; a run that completes cleanly calls
+   [disarm] first and leaves no dump. *)
+
+type slot = {
+  mutable tag : int; (* 0 empty, 1..7 = event constructors in order *)
+  mutable i1 : int;
+  mutable i2 : int;
+  mutable i3 : int;
+  mutable i4 : int;
+  mutable b : bool;
+  mutable s : string;
+}
+
+let empty_slot () =
+  { tag = 0; i1 = 0; i2 = 0; i3 = 0; i4 = 0; b = false; s = "" }
+
+type rb = {
+  rb_id : int;
+  slots : slot array;
+  mutable next : int;
+  mutable seen : int;
+  mutable stamp : int; (* global-clock value of the last record *)
+  (* Pinned run header: survives eviction of the Run_start slot. *)
+  mutable hdr_valid : bool;
+  mutable hdr_name : string;
+  mutable hdr_n : int;
+  mutable hdr_m : int;
+  mutable hdr_start : int;
+  (* Walk position established by the most recently evicted event. *)
+  mutable has_evicted : bool;
+  mutable evicted_step : int;
+  mutable evicted_pos : int;
+}
+
+let default_capacity = 512
+let config : (string * int) option ref = ref None (* dir, capacity *)
+let armed = Atomic.make false
+let ambient_flag = Atomic.make true
+let clock = Atomic.make 0
+let rings_mutex = Mutex.create ()
+let rings : rb list ref = ref []
+let next_ring_id = Atomic.make 0
+
+let enabled () = !config <> None
+let ambient_active () = enabled () && Atomic.get ambient_flag
+let set_ambient b = Atomic.set ambient_flag b
+
+let ring_key =
+  Domain.DLS.new_key (fun () ->
+      let capacity =
+        match !config with Some (_, c) -> c | None -> default_capacity
+      in
+      let rb =
+        {
+          rb_id = Atomic.fetch_and_add next_ring_id 1;
+          slots = Array.init capacity (fun _ -> empty_slot ());
+          next = 0;
+          seen = 0;
+          stamp = -1;
+          hdr_valid = false;
+          hdr_name = "";
+          hdr_n = 0;
+          hdr_m = 0;
+          hdr_start = 0;
+          has_evicted = false;
+          evicted_step = 0;
+          evicted_pos = 0;
+        }
+      in
+      Mutex.lock rings_mutex;
+      rings := rb :: !rings;
+      Mutex.unlock rings_mutex;
+      rb)
+
+let store rb (ev : Trace.event) =
+  (match ev with
+  | Trace.Run_start { name; n; m; start } ->
+      (* New run: the ring only ever holds one run's suffix. *)
+      rb.next <- 0;
+      rb.seen <- 0;
+      rb.has_evicted <- false;
+      rb.hdr_valid <- true;
+      rb.hdr_name <- name;
+      rb.hdr_n <- n;
+      rb.hdr_m <- m;
+      rb.hdr_start <- start
+  | _ -> ());
+  let cap = Array.length rb.slots in
+  let sl = rb.slots.(rb.next) in
+  if rb.seen >= cap then begin
+    (* About to evict: remember the walk position this event pinned, so
+       the dump can open with a synthetic resume at that point. *)
+    match sl.tag with
+    | 2 (* Step *) | 3 (* Phase *) ->
+        rb.evicted_step <- sl.i1;
+        rb.evicted_pos <- sl.i2;
+        rb.has_evicted <- true
+    | _ -> ()
+  end;
+  (match ev with
+  | Trace.Run_start { name; n; m; start } ->
+      sl.tag <- 1;
+      sl.s <- name;
+      sl.i1 <- n;
+      sl.i2 <- m;
+      sl.i3 <- start
+  | Trace.Step { step; vertex; edge; blue } ->
+      sl.tag <- 2;
+      sl.i1 <- step;
+      sl.i2 <- vertex;
+      sl.i3 <- edge;
+      sl.b <- blue
+  | Trace.Phase { step; kind; vertex } ->
+      sl.tag <- 3;
+      sl.i1 <- step;
+      sl.i2 <- vertex;
+      sl.b <- (match kind with Trace.Blue -> true | Trace.Red -> false)
+  | Trace.Milestone { step; kind; percent; count; total } ->
+      sl.tag <- 4;
+      sl.i1 <- step;
+      sl.i2 <- percent;
+      sl.i3 <- count;
+      sl.i4 <- total;
+      sl.b <- (match kind with Trace.Vertices -> true | Trace.Edges -> false)
+  | Trace.Checkpoint { step } ->
+      sl.tag <- 5;
+      sl.i1 <- step
+  | Trace.Resume { step } ->
+      sl.tag <- 6;
+      sl.i1 <- step
+  | Trace.Run_end { steps; covered } ->
+      sl.tag <- 7;
+      sl.i1 <- steps;
+      sl.b <- covered);
+  rb.next <- (rb.next + 1) mod cap;
+  rb.seen <- rb.seen + 1;
+  rb.stamp <- Atomic.fetch_and_add clock 1
+
+let record ev = if enabled () then store (Domain.DLS.get ring_key) ev
+
+let wrap sink =
+  if not (enabled ()) then sink
+  else begin
+    (* Per-event fidelity supersedes the ambient boundary events Cover
+       would otherwise record (they would duplicate the stream). *)
+    set_ambient false;
+    Trace.of_fun
+      ~close:(fun () -> Trace.close sink)
+      (fun ev ->
+        record ev;
+        Trace.emit sink ev)
+  end
+
+(* --- dumping ------------------------------------------------------- *)
+
+let event_of_slot sl : Trace.event option =
+  match sl.tag with
+  | 1 -> Some (Run_start { name = sl.s; n = sl.i1; m = sl.i2; start = sl.i3 })
+  | 2 -> Some (Step { step = sl.i1; vertex = sl.i2; edge = sl.i3; blue = sl.b })
+  | 3 ->
+      Some
+        (Phase
+           {
+             step = sl.i1;
+             kind = (if sl.b then Trace.Blue else Trace.Red);
+             vertex = sl.i2;
+           })
+  | 4 ->
+      Some
+        (Milestone
+           {
+             step = sl.i1;
+             kind = (if sl.b then Trace.Vertices else Trace.Edges);
+             percent = sl.i2;
+             count = sl.i3;
+             total = sl.i4;
+           })
+  | 5 -> Some (Checkpoint { step = sl.i1 })
+  | 6 -> Some (Resume { step = sl.i1 })
+  | 7 -> Some (Run_end { steps = sl.i1; covered = sl.b })
+  | _ -> None
+
+let retained rb =
+  let cap = Array.length rb.slots in
+  let len = min rb.seen cap in
+  let first = if rb.seen <= cap then 0 else rb.next in
+  List.filter_map
+    (fun i -> event_of_slot rb.slots.((first + i) mod cap))
+    (List.init len Fun.id)
+
+(* The synthetic prologue turning a wrapped ring into a verifiable
+   resumed-tail stream. *)
+let events_of_ring rb =
+  let tail = retained rb in
+  match tail with
+  | [] -> []
+  | Trace.Run_start _ :: _ -> tail
+  | Trace.Resume _ :: _ when rb.hdr_valid ->
+      (* The run's own resume survived; only its run_start was evicted. *)
+      Trace.Run_start
+        {
+          name = rb.hdr_name;
+          n = rb.hdr_n;
+          m = rb.hdr_m;
+          start = rb.hdr_start;
+        }
+      :: tail
+  | _ when rb.hdr_valid && rb.has_evicted ->
+      Trace.Run_start
+        {
+          name = rb.hdr_name;
+          n = rb.hdr_n;
+          m = rb.hdr_m;
+          start = rb.evicted_pos;
+        }
+      :: Trace.Resume { step = rb.evicted_step }
+      :: tail
+  | _ when rb.hdr_valid ->
+      Trace.Run_start
+        {
+          name = rb.hdr_name;
+          n = rb.hdr_n;
+          m = rb.hdr_m;
+          start = rb.hdr_start;
+        }
+      :: tail
+  | _ -> tail
+
+let write_events path events =
+  match events with
+  | [] -> false
+  | _ -> (
+      try
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            List.iter
+              (fun ev ->
+                output_string oc (Trace.event_to_string ev);
+                output_char oc '\n')
+              events);
+        true
+      with Sys_error _ -> false)
+
+let dump ~dir =
+  let self = Domain.DLS.get ring_key in
+  let others =
+    Mutex.lock rings_mutex;
+    let l = !rings in
+    Mutex.unlock rings_mutex;
+    List.filter (fun rb -> rb.rb_id <> self.rb_id && rb.seen > 0) l
+  in
+  (* Primary = the exiting domain's own ring (consistent: injected kills
+     exit on the lane that ran the in-flight trial).  If this domain
+     recorded nothing, fall back to the most recently active ring. *)
+  let primary, rest =
+    if self.seen > 0 then (Some self, others)
+    else
+      match
+        List.sort (fun a b -> compare b.stamp a.stamp) others
+      with
+      | [] -> (None, [])
+      | hd :: tl -> (Some hd, tl)
+  in
+  let written = ref [] in
+  (match primary with
+  | Some rb ->
+      let path = Filename.concat dir "flight.jsonl" in
+      if write_events path (events_of_ring rb) then written := path :: !written
+  | None -> ());
+  List.iter
+    (fun rb ->
+      let path =
+        Filename.concat dir (Printf.sprintf "flight-%d.jsonl" rb.rb_id)
+      in
+      if write_events path (events_of_ring rb) then written := path :: !written)
+    rest;
+  List.rev !written
+
+let dump_now () = match !config with None -> [] | Some (dir, _) -> dump ~dir
+
+let disarm () = Atomic.set armed false
+
+(* [mkdir -p]: the dump dir is configured at process startup, typically
+   before whatever run directory it nests under exists. *)
+let rec mkdirs dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdirs parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let enable ?(capacity = default_capacity) ~dir () =
+  if capacity <= 0 then invalid_arg "Flight.enable: capacity <= 0";
+  match !config with
+  | Some _ -> Atomic.set armed true (* already configured: re-arm *)
+  | None ->
+      mkdirs dir;
+      config := Some (dir, capacity);
+      Atomic.set armed true;
+      at_exit (fun () ->
+          if Atomic.get armed then begin
+            disarm ();
+            ignore (dump ~dir : string list)
+          end);
+      (* SIGTERM routes through exit so at_exit dumps; 143 = 128 + 15. *)
+      (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> exit 143))
+       with Invalid_argument _ | Sys_error _ -> ())
+
+let enable_from_env () =
+  match Sys.getenv_opt "EWALK_FLIGHT_DIR" with
+  | None | Some "" -> ()
+  | Some dir ->
+      let capacity =
+        match Sys.getenv_opt "EWALK_FLIGHT_CAPACITY" with
+        | Some s -> ( match int_of_string_opt s with
+                      | Some c when c > 0 -> c
+                      | _ -> default_capacity)
+        | None -> default_capacity
+      in
+      enable ~capacity ~dir ()

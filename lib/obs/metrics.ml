@@ -10,7 +10,12 @@
    increment is one load plus one lock-prefixed add. *)
 type counter = int Atomic.t
 
-type gstate = { g_value : float; g_set : bool }
+(* [g_seq] orders writes under parallel sweeps: [set_at ~seq] only
+   overwrites a value stamped with a lower-or-equal sequence, so the final
+   reading is the highest-stamped write (last-by-trial-index) no matter
+   which domain ran which trial.  Plain [set] stamps [min_int] — "no
+   ordering claim" — and always wins over nothing. *)
+type gstate = { g_value : float; g_set : bool; g_seq : int }
 
 type gauge = { g : gstate Atomic.t }
 
@@ -60,43 +65,82 @@ let counter t name =
 
 let gauge t name =
   register t name
-    ~make:(fun () -> Gauge { g = Atomic.make { g_value = 0.0; g_set = false } })
+    ~make:(fun () ->
+      Gauge { g = Atomic.make { g_value = 0.0; g_set = false; g_seq = min_int } })
     ~cast:(function Gauge g -> Some g | _ -> None)
 
 let default_buckets = Array.init 21 (fun i -> Float.of_int (1 lsl i))
 
-let histogram ?(buckets = default_buckets) t name =
+let validate_buckets buckets =
   if Array.length buckets = 0 then invalid_arg "Metrics.histogram: empty buckets";
   Array.iteri
     (fun i b ->
       if i > 0 && not (b > buckets.(i - 1)) then
         invalid_arg "Metrics.histogram: buckets not increasing")
-    buckets;
-  register t name
-    ~make:(fun () ->
-      Histogram
-        {
-          h_mutex = Mutex.create ();
-          bounds = Array.copy buckets;
-          bucket_counts = Array.make (Array.length buckets + 1) 0;
-          h_count = 0;
-          sum = 0.0;
-          min = Float.infinity;
-          max = Float.neg_infinity;
-        })
-    ~cast:(function Histogram h -> Some h | _ -> None)
+    buckets
+
+(* Validation runs only when the name is not yet registered: retrieving an
+   existing histogram ignores [buckets] entirely (it was never used on the
+   retrieval path anyway).  A racing first registration is harmless — both
+   domains validate, [register]'s find-or-create keeps exactly one. *)
+let histogram ?(buckets = default_buckets) t name =
+  let existing =
+    Mutex.lock t.t_mutex;
+    let v = Hashtbl.find_opt t.instruments name in
+    Mutex.unlock t.t_mutex;
+    v
+  in
+  match existing with
+  | Some (Histogram h) -> h
+  | Some _ -> clash name
+  | None ->
+      validate_buckets buckets;
+      register t name
+        ~make:(fun () ->
+          Histogram
+            {
+              h_mutex = Mutex.create ();
+              bounds = Array.copy buckets;
+              bucket_counts = Array.make (Array.length buckets + 1) 0;
+              h_count = 0;
+              sum = 0.0;
+              min = Float.infinity;
+              max = Float.neg_infinity;
+            })
+        ~cast:(function Histogram h -> Some h | _ -> None)
 
 let incr c = ignore (Atomic.fetch_and_add c 1)
 let add c k = ignore (Atomic.fetch_and_add c k)
 let value c = Atomic.get c
 
-let set g x = Atomic.set g.g { g_value = x; g_set = true }
+let rec set g x =
+  (* Stamped lowest: a plain write replaces another plain write (or an
+     unset gauge) but never a value a [set_at] writer pinned by sequence. *)
+  let cur = Atomic.get g.g in
+  if (not cur.g_set) || cur.g_seq = min_int then
+    if
+      not
+        (Atomic.compare_and_set g.g cur
+           { g_value = x; g_set = true; g_seq = min_int })
+    then set g x
 
 let rec set_max g x =
   let cur = Atomic.get g.g in
   if (not cur.g_set) || x > cur.g_value then
-    if not (Atomic.compare_and_set g.g cur { g_value = x; g_set = true }) then
-      set_max g x
+    if
+      not
+        (Atomic.compare_and_set g.g cur
+           { g_value = x; g_set = true; g_seq = min_int })
+    then set_max g x
+
+let rec set_at g ~seq x =
+  let cur = Atomic.get g.g in
+  if (not cur.g_set) || seq >= cur.g_seq then
+    if
+      not
+        (Atomic.compare_and_set g.g cur
+           { g_value = x; g_set = true; g_seq = seq })
+    then set_at g ~seq x
 
 let gauge_value g = (Atomic.get g.g).g_value
 
@@ -113,6 +157,26 @@ let observe h x =
   if x < h.min then h.min <- x;
   if x > h.max then h.max <- x;
   Mutex.unlock h.h_mutex
+
+let hist_bounds h = Array.copy h.bounds
+
+(* Batched merge from a shard cell (Shard.flush): one lock round-trip for a
+   whole cell's worth of observations instead of one per observation. *)
+let hist_merge h ~bucket_counts ~count ~sum ~min ~max =
+  if Array.length bucket_counts <> Array.length h.bucket_counts then
+    invalid_arg "Metrics.hist_merge: bucket count mismatch";
+  if count < 0 then invalid_arg "Metrics.hist_merge: negative count";
+  if count > 0 then begin
+    Mutex.lock h.h_mutex;
+    Array.iteri
+      (fun i k -> h.bucket_counts.(i) <- h.bucket_counts.(i) + k)
+      bucket_counts;
+    h.h_count <- h.h_count + count;
+    h.sum <- h.sum +. sum;
+    if min < h.min then h.min <- min;
+    if max > h.max then h.max <- max;
+    Mutex.unlock h.h_mutex
+  end
 
 let hist_count h =
   Mutex.lock h.h_mutex;
@@ -160,7 +224,16 @@ type view =
       hv_inf : int;
     }
 
+(* Called before every whole-registry read so layered fast paths
+   (Ewalk_obs.Shard) can publish pending per-domain values first, keeping
+   [instruments] / [snapshot] exact without the readers knowing about
+   shards.  One global hook: shards are process-global too, and the hook
+   flushes every shard regardless of registry. *)
+let pre_read_hook : (unit -> unit) Atomic.t = Atomic.make (fun () -> ())
+let set_pre_read_hook f = Atomic.set pre_read_hook f
+
 let instruments t =
+  (Atomic.get pre_read_hook) ();
   Mutex.lock t.t_mutex;
   let entries =
     Hashtbl.fold (fun name instr acc -> (name, instr) :: acc) t.instruments []
@@ -191,6 +264,7 @@ let instruments t =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot t =
+  (Atomic.get pre_read_hook) ();
   Mutex.lock t.t_mutex;
   let entries =
     Hashtbl.fold (fun name instr acc -> (name, instr) :: acc) t.instruments []

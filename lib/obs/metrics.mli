@@ -14,8 +14,17 @@
     trial sweeps of [Ewalk_expt.Sweep] run inside [Ewalk_par.Pool]):
     counters and gauges are lock-free atomics, histograms and the registry
     are mutex-guarded.  Counter increments from different domains are exact
-    (never lost); a gauge holds the last value {e some} domain set, so under
-    a parallel sweep its final value reflects one (unspecified) trial. *)
+    (never lost).  A gauge set with plain {!set} holds the last value
+    {e some} domain wrote; writers that need a deterministic final value
+    under parallel sweeps use {!set_at} with a total order (e.g. the trial
+    index), which resolves races as last-by-sequence regardless of domain
+    scheduling.
+
+    For per-step hot paths shared across pool lanes, prefer the
+    {!Shard} wrappers: per-domain cells with batched flush into this
+    registry.  {!instruments} and {!snapshot} run a pre-read hook
+    ({!set_pre_read_hook}) so sharded values are always published before a
+    registry read — snapshots stay exact. *)
 
 type t
 (** The registry. *)
@@ -37,9 +46,11 @@ val histogram : ?buckets:float array -> t -> string -> histogram
 (** A cumulative histogram over the given ascending upper bounds (an
     implicit [+inf] bucket is always appended).  Default buckets are
     powers of two [1, 2, 4, ..., 2^20] — sized for phase lengths and other
-    step-count-valued observations.  [buckets] is validated on every call
-    but only used when the name is not yet registered.
-    @raise Invalid_argument if [buckets] is empty or not increasing. *)
+    step-count-valued observations.  [buckets] is validated (and used)
+    only when [name] is not yet registered; retrieving an existing
+    histogram ignores it.
+    @raise Invalid_argument on first registration if [buckets] is empty or
+    not increasing. *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
@@ -49,9 +60,33 @@ val set : gauge -> float -> unit
 val set_max : gauge -> float -> unit
 (** Keep the running maximum of the values set. *)
 
+val set_at : gauge -> seq:int -> float -> unit
+(** [set_at g ~seq x] writes [x] unless the gauge already holds a value
+    stamped with a strictly greater [seq].  With [seq] = trial index, the
+    final gauge value is the last trial's — deterministic across [--jobs],
+    unlike plain {!set} under a parallel sweep.  Plain {!set} writes are
+    stamped lowest and never displace a [set_at] value. *)
+
 val gauge_value : gauge -> float
 
 val observe : histogram -> float -> unit
+
+val hist_bounds : histogram -> float array
+(** The finite ascending upper bounds (a copy). *)
+
+val hist_merge :
+  histogram ->
+  bucket_counts:int array ->
+  count:int ->
+  sum:float ->
+  min:float ->
+  max:float ->
+  unit
+(** Merge a pre-aggregated batch (one shard cell's pending observations)
+    under the histogram lock.  [bucket_counts] must have length
+    [Array.length (hist_bounds h) + 1] (trailing [+inf] bucket).  A batch
+    with [count = 0] is a no-op.
+    @raise Invalid_argument on layout mismatch or negative count. *)
 
 val hist_count : histogram -> int
 (** Total number of observations. *)
@@ -73,7 +108,14 @@ type view =
 val instruments : t -> (string * view) list
 (** A consistent, name-sorted snapshot of every registered instrument —
     the exporter's ({!Export}) view of the registry.  Histogram fields are
-    copied under the histogram's own lock. *)
+    copied under the histogram's own lock.  Runs the pre-read hook first. *)
+
+val set_pre_read_hook : (unit -> unit) -> unit
+(** Install the process-global hook run at the top of {!instruments} and
+    {!snapshot}.  {!Shard} installs a flush-all here so sharded pending
+    values are published before any registry read; last installer wins.
+    The hook must be safe to call from any domain and must not read the
+    registry through {!instruments}/{!snapshot} (it would recurse). *)
 
 val snapshot : t -> Json.t
 (** Deterministic snapshot:

@@ -1,0 +1,143 @@
+(* Minimal built-in HTTP responder for live observability: one dedicated
+   domain accepting loopback connections and answering GET requests from
+   caller-supplied closures.  Deliberately tiny — HTTP/1.0, one request
+   per connection, no keep-alive, no external dependency — the stepping
+   stone to the ROADMAP's `eprocd`, not a web server.
+
+   The accept loop polls with a short select timeout and re-checks a stop
+   flag, so [stop] returns within a poll interval even when no client
+   ever connects.  Handler closures run on the serving domain: they must
+   be safe to call concurrently with the walk (Metrics snapshots and the
+   progress callbacks used by eproc are). *)
+
+type t = {
+  sock : Unix.file_descr;
+  sv_port : int;
+  stop_flag : bool Atomic.t;
+  mutable sv_domain : unit Domain.t option;
+}
+
+let port t = t.sv_port
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let read_request_line fd =
+  (* Read until CRLF or a small cap; one request line is all we route on. *)
+  let buf = Buffer.create 128 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > 4096 then ()
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | k ->
+          Buffer.add_subbytes buf chunk 0 k;
+          if not (String.contains (Buffer.contents buf) '\n') then go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> go ()
+      | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  go ();
+  match String.index_opt (Buffer.contents buf) '\n' with
+  | None -> None
+  | Some i -> Some (String.trim (String.sub (Buffer.contents buf) 0 i))
+
+let parse_target line =
+  (* "GET /path HTTP/1.x" — anything else is a 400. *)
+  match String.split_on_char ' ' line with
+  | "GET" :: target :: _ ->
+      (* Strip any query string: routes are exact paths. *)
+      Some
+        (match String.index_opt target '?' with
+        | Some q -> String.sub target 0 q
+        | None -> target)
+  | _ -> None
+
+let handle ~routes ~stop_flag fd =
+  let response =
+    match Option.bind (read_request_line fd) parse_target with
+    | None -> http_response ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n"
+    | Some "/quit" ->
+        Atomic.set stop_flag true;
+        http_response ~status:"200 OK" ~content_type:"text/plain" "bye\n"
+    | Some path -> (
+        match List.assoc_opt path routes with
+        | None ->
+            http_response ~status:"404 Not Found" ~content_type:"text/plain"
+              "not found\n"
+        | Some (content_type, body_fn) -> (
+            match body_fn () with
+            | body -> http_response ~status:"200 OK" ~content_type body
+            | exception _ ->
+                http_response ~status:"500 Internal Server Error"
+                  ~content_type:"text/plain" "handler failed\n"))
+  in
+  let b = Bytes.of_string response in
+  let rec write_all off =
+    if off < Bytes.length b then
+      match Unix.write fd b off (Bytes.length b - off) with
+      | 0 -> ()
+      | k -> write_all (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+      | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  write_all 0
+
+let accept_loop t routes =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.sock ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept t.sock with
+        | fd, _ ->
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () -> handle ~routes ~stop_flag:t.stop_flag fd)
+        | exception Unix.Unix_error (_, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let start ?(port = 0) ~metrics ~progress () =
+  let routes =
+    [
+      ( "/metrics",
+        ("application/openmetrics-text; version=1.0.0; charset=utf-8", metrics)
+      );
+      ("/progress", ("application/json", progress));
+      ("/healthz", ("text/plain", fun () -> "ok\n"));
+    ]
+  in
+  match
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt sock Unix.SO_REUSEADDR true;
+       Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+       Unix.listen sock 16
+     with e ->
+       (try Unix.close sock with Unix.Unix_error _ -> ());
+       raise e);
+    let sv_port =
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> assert false
+    in
+    (sock, sv_port)
+  with
+  | exception Unix.Unix_error (err, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+  | sock, sv_port ->
+      let t = { sock; sv_port; stop_flag = Atomic.make false; sv_domain = None } in
+      t.sv_domain <- Some (Domain.spawn (fun () -> accept_loop t routes));
+      Ok t
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  (match t.sv_domain with
+  | Some d ->
+      t.sv_domain <- None;
+      Domain.join d
+  | None -> ());
+  try Unix.close t.sock with Unix.Unix_error _ -> ()

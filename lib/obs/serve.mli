@@ -1,0 +1,38 @@
+(** Live observability endpoint: a minimal built-in HTTP responder on a
+    dedicated domain, serving the current {!Metrics} registry and a
+    progress snapshot while a run is in flight.
+
+    Deliberately tiny: HTTP/1.0 GET only, loopback only, one request per
+    connection.  Routes:
+
+    - [/metrics] — the [metrics] closure's output (eproc serves
+      {!Export.render}, OpenMetrics text);
+    - [/progress] — the [progress] closure's output (eproc serves a JSON
+      snapshot: steps/sec, coverage fractions, lane utilization, ETA);
+    - [/healthz] — ["ok"];
+    - [/quit] — stops the accept loop (and answers ["bye"]).
+
+    Handler closures run on the serving domain, concurrently with the
+    walk — registry snapshots are safe ({!Metrics.snapshot} flushes
+    pending shards and locks per instrument); anything else they read
+    must be its own responsibility.  This is the stepping stone to the
+    ROADMAP's [eprocd]. *)
+
+type t
+
+val start :
+  ?port:int ->
+  metrics:(unit -> string) ->
+  progress:(unit -> string) ->
+  unit ->
+  (t, string) result
+(** Bind loopback [port] (default [0] — let the kernel pick an ephemeral
+    one, see {!port}), spawn the serving domain, return immediately.
+    [Error] carries the bind/listen failure (e.g. port in use). *)
+
+val port : t -> int
+(** The actual bound port (useful with [~port:0]). *)
+
+val stop : t -> unit
+(** Stop the accept loop (within one 200 ms poll interval), join the
+    serving domain, close the socket.  Idempotent in effect. *)

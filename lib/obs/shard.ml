@@ -1,0 +1,214 @@
+(* Per-domain metric shards: the contention-free hot path in front of
+   Metrics.
+
+   A sharded counter owns one cell per domain that touched it
+   (Domain.DLS), so the per-step increment lands in a cell no other
+   domain writes — an uncontended atomic add, never a cache line
+   ping-ponged between pool lanes.  Pending cell values are drained into
+   the backing Metrics instrument in batches: by the owning lane when a
+   pool batch ends (Ewalk_par.Pool calls [flush_local] after every
+   drain), by anyone at a quiescent point ([flush_all]), and implicitly
+   before every registry read (a pre-read hook installed into Metrics),
+   so [Metrics.snapshot] / [Metrics.instruments] stay exact.
+
+   Exactness argument: a counter cell is an [int Atomic.t]; increments
+   use fetch_and_add and drains use [Atomic.exchange cell 0], so every
+   increment is counted exactly once — either still pending in its cell
+   or already added to the global instrument.  Histogram cells accumulate
+   under a per-cell mutex (uncontended: only the owner observes into it)
+   and drain by locking the cell, merging into the backing histogram, and
+   zeroing — again exactly once.  A kill between flush boundaries loses
+   nothing that was already flushed and at most the unflushed tail, which
+   is precisely the window the flight recorder's dump documents. *)
+
+type counter = {
+  c_target : Metrics.counter;
+  c_key : int Atomic.t Domain.DLS.key;
+  c_mutex : Mutex.t;
+  c_cells : int Atomic.t list ref;
+}
+
+type hcell = {
+  hc_mutex : Mutex.t;
+  hc_counts : int array; (* length = bounds + 1, same layout as Metrics *)
+  mutable hc_count : int;
+  mutable hc_sum : float;
+  mutable hc_min : float;
+  mutable hc_max : float;
+}
+
+type histogram = {
+  h_target : Metrics.histogram;
+  h_bounds : float array;
+  h_key : hcell Domain.DLS.key;
+  h_mutex : Mutex.t;
+  h_cells : hcell list ref;
+}
+
+type instrument = C of counter | H of histogram
+
+(* Every sharded instrument ever created, so the pool's per-lane flush
+   hook and the registry pre-read hook need no plumbing.  Creation is
+   memoized per (registry, name): a sweep attaching instruments afresh
+   for each of thousands of trials still yields one shard family per
+   metric, so this list stays as short as the registry itself. *)
+let all_mutex = Mutex.create ()
+let all : instrument list ref = ref []
+let hook_installed = ref false
+
+(* Registries are compared physically (they are mutable); there is one or
+   a handful per process, so an association list suffices. *)
+let caches : (Metrics.t * (string, instrument) Hashtbl.t) list ref = ref []
+
+let flush_counter_cell target cell =
+  let pending = Atomic.exchange cell 0 in
+  if pending <> 0 then Metrics.add target pending
+
+let flush_hcell target cell =
+  Mutex.lock cell.hc_mutex;
+  let count = cell.hc_count in
+  if count = 0 then Mutex.unlock cell.hc_mutex
+  else begin
+    let counts = Array.copy cell.hc_counts in
+    let sum = cell.hc_sum and min = cell.hc_min and max = cell.hc_max in
+    Array.fill cell.hc_counts 0 (Array.length cell.hc_counts) 0;
+    cell.hc_count <- 0;
+    cell.hc_sum <- 0.0;
+    cell.hc_min <- Float.infinity;
+    cell.hc_max <- Float.neg_infinity;
+    Mutex.unlock cell.hc_mutex;
+    Metrics.hist_merge target ~bucket_counts:counts ~count ~sum ~min ~max
+  end
+
+let flush_instrument = function
+  | C c ->
+      Mutex.lock c.c_mutex;
+      let cells = !(c.c_cells) in
+      Mutex.unlock c.c_mutex;
+      List.iter (flush_counter_cell c.c_target) cells
+  | H h ->
+      Mutex.lock h.h_mutex;
+      let cells = !(h.h_cells) in
+      Mutex.unlock h.h_mutex;
+      List.iter (flush_hcell h.h_target) cells
+
+let flush_all () =
+  Mutex.lock all_mutex;
+  let instruments = !all in
+  Mutex.unlock all_mutex;
+  List.iter flush_instrument instruments
+
+(* The calling lane's publish point (Ewalk_par.Pool calls this after every
+   batch drain).  Cell lists are reachable from any domain and drains are
+   exact from anywhere, so the simplest correct implementation is a full
+   flush — the name records the intent (publish this lane's pending values
+   at a quiescent point), not a restriction. *)
+let flush_local () = flush_all ()
+
+(* Find-or-create under the cache: [make] runs unlocked (it takes the
+   registry mutex); a racing duplicate loses the insert and is dropped
+   before anyone increments it, so exactness is unaffected. *)
+let intern metrics key make =
+  Mutex.lock all_mutex;
+  let tbl =
+    match List.find_opt (fun (m, _) -> m == metrics) !caches with
+    | Some (_, t) -> t
+    | None ->
+        let t = Hashtbl.create 16 in
+        caches := (metrics, t) :: !caches;
+        t
+  in
+  let found = Hashtbl.find_opt tbl key in
+  Mutex.unlock all_mutex;
+  match found with
+  | Some i -> i
+  | None ->
+      let fresh = make () in
+      Mutex.lock all_mutex;
+      let final, need_hook =
+        match Hashtbl.find_opt tbl key with
+        | Some i -> (i, false)
+        | None ->
+            Hashtbl.add tbl key fresh;
+            all := fresh :: !all;
+            let need = not !hook_installed in
+            if need then hook_installed := true;
+            (fresh, need)
+      in
+      Mutex.unlock all_mutex;
+      if need_hook then Metrics.set_pre_read_hook flush_all;
+      final
+
+let counter metrics name =
+  let make () =
+    let c_target = Metrics.counter metrics name in
+    let c_mutex = Mutex.create () in
+    let c_cells = ref [] in
+    let c_key =
+      Domain.DLS.new_key (fun () ->
+          let cell = Atomic.make 0 in
+          Mutex.lock c_mutex;
+          c_cells := cell :: !c_cells;
+          Mutex.unlock c_mutex;
+          cell)
+    in
+    C { c_target; c_key; c_mutex; c_cells }
+  in
+  match intern metrics ("c:" ^ name) make with
+  | C c -> c
+  | H _ -> assert false
+
+let incr c = ignore (Atomic.fetch_and_add (Domain.DLS.get c.c_key) 1)
+
+let add c k =
+  if k <> 0 then ignore (Atomic.fetch_and_add (Domain.DLS.get c.c_key) k)
+
+let histogram ?buckets metrics name =
+  let make () =
+    let h_target = Metrics.histogram ?buckets metrics name in
+    let h_bounds = Metrics.hist_bounds h_target in
+    let h_mutex = Mutex.create () in
+    let h_cells = ref [] in
+    let h_key =
+      Domain.DLS.new_key (fun () ->
+          let cell =
+            {
+              hc_mutex = Mutex.create ();
+              hc_counts = Array.make (Array.length h_bounds + 1) 0;
+              hc_count = 0;
+              hc_sum = 0.0;
+              hc_min = Float.infinity;
+              hc_max = Float.neg_infinity;
+            }
+          in
+          Mutex.lock h_mutex;
+          h_cells := cell :: !h_cells;
+          Mutex.unlock h_mutex;
+          cell)
+    in
+    H { h_target; h_bounds; h_key; h_mutex; h_cells }
+  in
+  match intern metrics ("h:" ^ name) make with
+  | H h -> h
+  | C _ -> assert false
+
+let observe h x =
+  let cell = Domain.DLS.get h.h_key in
+  let nb = Array.length h.h_bounds in
+  let i = ref 0 in
+  while !i < nb && x > h.h_bounds.(!i) do
+    Stdlib.incr i
+  done;
+  Mutex.lock cell.hc_mutex;
+  cell.hc_counts.(!i) <- cell.hc_counts.(!i) + 1;
+  cell.hc_count <- cell.hc_count + 1;
+  cell.hc_sum <- cell.hc_sum +. x;
+  if x < cell.hc_min then cell.hc_min <- x;
+  if x > cell.hc_max then cell.hc_max <- x;
+  Mutex.unlock cell.hc_mutex
+
+let pending c =
+  Mutex.lock c.c_mutex;
+  let cells = !(c.c_cells) in
+  Mutex.unlock c.c_mutex;
+  List.fold_left (fun acc cell -> acc + Atomic.get cell) 0 cells

@@ -1,0 +1,51 @@
+(** Per-domain shards in front of {!Metrics} — the contention-free hot
+    path for instruments bumped from several pool lanes at once.
+
+    A sharded counter/histogram keeps one cell per domain
+    ([Domain.DLS]), so the per-step update never touches a cache line
+    another domain writes.  Pending cell values reach the backing
+    {!Metrics} instrument in batches:
+
+    - the owning lane publishes after every pool batch
+      ([Ewalk_par.Pool] calls {!flush_local});
+    - any domain may publish everything at a quiescent point
+      ({!flush_all});
+    - every {!Metrics.instruments} / {!Metrics.snapshot} read flushes
+      first (a pre-read hook installed on first shard creation), so
+      registry reads stay exact without knowing about shards.
+
+    Exactness: counter cells drain with [Atomic.exchange cell 0], so each
+    increment is counted exactly once — still pending, or already in the
+    global instrument; never both, never lost.  Histogram cells drain
+    under the cell lock into {!Metrics.hist_merge}. *)
+
+type counter
+type histogram
+
+val counter : Metrics.t -> string -> counter
+(** [counter t name] registers (or retrieves) the backing
+    [Metrics.counter t name] and wraps it in per-domain shards.
+    Memoized per (registry, name): repeated calls — one per trial of a
+    sweep, say — return the same shard family. *)
+
+val histogram : ?buckets:float array -> Metrics.t -> string -> histogram
+(** Sharded wrapper over [Metrics.histogram]; same bucket semantics. *)
+
+val incr : counter -> unit
+(** Uncontended: one [fetch_and_add] on this domain's own cell. *)
+
+val add : counter -> int -> unit
+(** [add c 0] is a no-op (no cell touch). *)
+
+val observe : histogram -> float -> unit
+
+val flush_local : unit -> unit
+(** Publish pending shard values into the backing instruments — the
+    per-lane batch-boundary hook.  Exact and safe from any domain. *)
+
+val flush_all : unit -> unit
+(** Publish every shard of every sharded instrument in the process. *)
+
+val pending : counter -> int
+(** Sum of not-yet-flushed cell values (test visibility; racy under
+    concurrent increments, exact at quiescence). *)

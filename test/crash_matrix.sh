@@ -4,7 +4,10 @@
 # Campaign half: run the fig1 sweep under EWALK_FAULT_SPEC=kill-trial:K for
 # every checkpoint boundary K (every journaled trial), resume each killed
 # campaign, and require the resumed CSV to be byte-identical to an
-# undisturbed run — at --jobs 1 and --jobs 4.
+# undisturbed run — at --jobs 1 and --jobs 4.  Every kill runs with the
+# flight recorder armed (EWALK_FLIGHT_DIR): each kill-point must leave a
+# flight.jsonl post-mortem that `eproc verify-trace --flight` accepts, and
+# a cleanly completed run must leave none.
 #
 # Trace half: checkpoint a single walk, cut it off mid-run, resume from the
 # snapshot, and require (a) verify-trace to accept both streams and (b) the
@@ -54,20 +57,48 @@ note "baseline $EXP --scale $SCALE --seed $SEED"
   --csv "$work/base.csv" >/dev/null 2>&1 \
   || { echo "crash_matrix: baseline run failed" >&2; exit 2; }
 
-"$EPROC" experiment $EXP --scale $SCALE --seed $SEED --jobs 1 \
+env EWALK_FLIGHT_DIR="$work/probe-flight" \
+  "$EPROC" experiment $EXP --scale $SCALE --seed $SEED --jobs 1 \
   --checkpoint-dir "$work/probe" >/dev/null 2>&1 \
   || { echo "crash_matrix: probe run failed" >&2; exit 2; }
+check
+[ ! -e "$work/probe-flight/flight.jsonl" ] \
+  || fail "cleanly completed run left a flight dump"
 K=$(wc -l < "$work/probe/trials.jsonl")
 note "campaign journals $K trials; killing at every boundary x jobs {1,4}"
+
+# Verify a flight dump against a graph reconstructed from its own
+# run_start stamp (only n and m must match; a d-regular graph with the
+# dump's n and m is d = 2m/n).
+verify_flight() {
+  # verify_flight DESC FILE
+  local desc=$1 file=$2 n m
+  check
+  if [ ! -s "$file" ]; then
+    fail "$desc: no flight dump at $file"
+    return
+  fi
+  n=$(grep -o '"n":[0-9]*' "$file" | head -1 | cut -d: -f2)
+  m=$(grep -o '"m":[0-9]*' "$file" | head -1 | cut -d: -f2)
+  if [ -z "$n" ] || [ -z "$m" ] || [ $((2 * m % n)) -ne 0 ]; then
+    fail "$desc: dump has no usable run_start (n=$n m=$m)"
+    return
+  fi
+  "$EPROC" verify-trace --family regular:$((2 * m / n)) -n "$n" --seed 1 \
+    --flight "$file" >/dev/null 2>&1 \
+    || fail "$desc: verify-trace --flight rejected the dump"
+}
 
 for jobs in 1 4; do
   k=1
   while [ "$k" -le "$K" ]; do
     dir=$work/kill-$jobs-$k
     expect_exit $KILL_EXIT "kill-trial:$k --jobs $jobs dies at boundary" \
-      env EWALK_FAULT_SPEC=kill-trial:$k \
+      env EWALK_FAULT_SPEC=kill-trial:$k EWALK_FLIGHT_DIR="$dir/flight" \
       "$EPROC" experiment $EXP --scale $SCALE --seed $SEED --jobs $jobs \
       --checkpoint-dir "$dir"
+    verify_flight "kill-trial:$k --jobs $jobs post-mortem" \
+      "$dir/flight/flight.jsonl"
     # The journal must hold exactly the k trials that completed.
     check
     lines=$(wc -l < "$dir/trials.jsonl" 2>/dev/null || echo 0)

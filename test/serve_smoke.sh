@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Live-endpoint smoke test (make serve-smoke).
+#
+# Start a multi-second `eproc cover --listen 0` in the background, scrape
+# the ephemeral port from its stderr announcement, and poll the endpoint
+# mid-run: /healthz answers ok, /progress serves JSON with a live steps
+# counter, and /metrics renders an exposition that passes
+# `eproc openmetrics-validate`.  Then /quit must stop the server early and
+# the run itself must still complete with exit 0.
+set -u
+
+EPROC=${EPROC:-_build/default/bin/eproc.exe}
+
+if [ ! -x "$EPROC" ]; then
+  echo "serve_smoke: $EPROC not built (run dune build first)" >&2
+  exit 2
+fi
+
+work=$(mktemp -d)
+pid=
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+fails=0
+checks=0
+note() { printf 'serve_smoke: %s\n' "$*"; }
+fail() {
+  printf 'serve_smoke: FAIL: %s\n' "$*" >&2
+  fails=$((fails + 1))
+}
+check() { checks=$((checks + 1)); }
+
+# A few large trials keep the walk busy for seconds — a wide window to
+# scrape in.  --listen 0 binds an ephemeral port and announces it.
+"$EPROC" cover --family regular:4 -n 300000 --trials 4 --seed 1 --jobs 1 \
+  --listen 0 >"$work/out.log" 2>"$work/err.log" &
+pid=$!
+
+url=
+for _ in $(seq 1 100); do
+  url=$(grep -o 'http://127.0.0.1:[0-9]*' "$work/err.log" | head -1)
+  [ -n "$url" ] && break
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+check
+if [ -z "$url" ]; then
+  fail "no listen announcement on stderr"
+  cat "$work/err.log" >&2
+  wait "$pid"
+  exit 1
+fi
+note "scraping $url mid-run"
+
+# /healthz: liveness.
+check
+body=$(curl -sf --max-time 5 "$url/healthz")
+[ "$body" = "ok" ] || fail "/healthz answered '$body', wanted 'ok'"
+
+# The endpoint is up before the first graph is even generated (it serves
+# nulls until the walk starts); wait until the walk is actually stepping
+# so the scrapes below see live telemetry.
+s1=
+for _ in $(seq 1 100); do
+  s1=$(curl -sf --max-time 5 "$url/progress" | grep -o '"steps":[0-9]*' \
+    | cut -d: -f2)
+  [ -n "$s1" ] && break
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+check
+[ -n "$s1" ] || fail "walk never reported a steps count on /progress"
+
+# /progress: JSON with a live steps counter and throughput.
+check
+curl -sf --max-time 5 "$url/progress" >"$work/progress.json" \
+  || fail "/progress request failed"
+check
+grep -q '"steps":' "$work/progress.json" \
+  || fail "/progress carries no steps field: $(cat "$work/progress.json")"
+check
+grep -q '"steps_per_second":' "$work/progress.json" \
+  || fail "/progress carries no steps_per_second field"
+
+# /metrics: the OpenMetrics exposition must pass the validator.
+check
+curl -sf --max-time 5 "$url/metrics" >"$work/metrics.om" \
+  || fail "/metrics request failed"
+check
+"$EPROC" openmetrics-validate - <"$work/metrics.om" >/dev/null \
+  || fail "/metrics exposition rejected by openmetrics-validate"
+check
+grep -q '^ewalk_steps_total' "$work/metrics.om" \
+  || fail "/metrics exposition has no ewalk_steps_total sample"
+
+# A second scrape must observe forward progress (monotone steps counter).
+check
+sleep 0.5
+s2=$(curl -sf --max-time 5 "$url/progress" | grep -o '"steps":[0-9]*' \
+  | cut -d: -f2)
+if [ -z "$s1" ] || [ -z "$s2" ] || [ "$s2" -lt "$s1" ]; then
+  fail "steps counter not monotone across scrapes ($s1 -> $s2)"
+fi
+
+# /quit stops the server; the run itself must still finish cleanly.
+check
+curl -sf --max-time 5 "$url/quit" >/dev/null || fail "/quit request failed"
+
+check
+wait "$pid"
+status=$?
+pid=
+[ "$status" -eq 0 ] || {
+  fail "cover run exited $status"
+  cat "$work/err.log" >&2
+}
+
+# After shutdown the port must be closed.
+check
+if curl -sf --max-time 2 "$url/healthz" >/dev/null 2>&1; then
+  fail "server still answering after /quit and process exit"
+fi
+
+# ----------------------------------------------------------------------------
+
+if [ "$fails" -eq 0 ]; then
+  note "OK ($checks checks)"
+  exit 0
+else
+  note "$fails of $checks checks FAILED"
+  exit 1
+fi

@@ -10,14 +10,29 @@ module Gen_regular = Ewalk_graph.Gen_regular
 module Rng = Ewalk_prng.Rng
 module Json = Ewalk_obs.Json
 module Metrics = Ewalk_obs.Metrics
+module Shard = Ewalk_obs.Shard
 module Trace = Ewalk_obs.Trace
 module Timer = Ewalk_obs.Timer
 module Progress = Ewalk_obs.Progress
+module Export = Ewalk_obs.Export
+module Flight = Ewalk_obs.Flight
+module Replay = Ewalk_check.Replay
+module Invariant = Ewalk_check.Invariant
 module Eprocess = Ewalk.Eprocess
 module Srw = Ewalk.Srw
 module Cover = Ewalk.Cover
 module Coverage = Ewalk.Coverage
 module Observe = Ewalk.Observe
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else String.sub hay i nn = needle || go (i + 1)
+  in
+  go 0
 
 (* -- Json -------------------------------------------------------------------- *)
 
@@ -356,6 +371,136 @@ let metrics_snapshot_deterministic () =
   in
   Alcotest.(check string) "same ops, same snapshot" (build ()) (build ())
 
+(* Buckets are validated (and used) only when the name is new: retrieval
+   with any garbage array is ignored and returns the already-registered
+   histogram — the contract sweeps rely on when every trial re-registers
+   the same instruments. *)
+let metrics_histogram_first_registration_only () =
+  let m = Metrics.create () in
+  (match Metrics.histogram ~buckets:[| 5.0; 1.0 |] m "bad" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "descending buckets accepted on first registration");
+  (match Metrics.histogram ~buckets:[||] m "empty" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty buckets accepted on first registration");
+  let h = Metrics.histogram ~buckets:[| 1.0; 2.0; 4.0 |] m "lens" in
+  Metrics.observe h 1.5;
+  let h' = Metrics.histogram ~buckets:[| 5.0; 1.0 |] m "lens" in
+  Alcotest.(check bool) "retrieval ignores (even invalid) buckets" true
+    (Metrics.hist_bounds h' = [| 1.0; 2.0; 4.0 |]);
+  Metrics.observe h' 3.0;
+  Alcotest.(check int) "same histogram behind both handles" 2
+    (Metrics.hist_count h);
+  (* The sharded wrapper forwards the same retrieval semantics. *)
+  let sh = Shard.histogram ~buckets:[| 9.0; 0.0 |] m "lens" in
+  Shard.observe sh 0.5;
+  ignore (Metrics.instruments m);
+  Alcotest.(check int) "shard merged into the same histogram" 3
+    (Metrics.hist_count h)
+
+let metrics_set_at_deterministic () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "last_trial" in
+  Metrics.set_at g ~seq:3 30.0;
+  Metrics.set_at g ~seq:1 10.0;
+  Alcotest.(check (float 0.0)) "lower seq ignored" 30.0 (Metrics.gauge_value g);
+  Metrics.set_at g ~seq:3 33.0;
+  Alcotest.(check (float 0.0)) "equal seq overwrites (same trial re-set)" 33.0
+    (Metrics.gauge_value g);
+  Metrics.set_at g ~seq:7 70.0;
+  Alcotest.(check (float 0.0)) "higher seq wins" 70.0 (Metrics.gauge_value g);
+  Metrics.set g 99.0;
+  Alcotest.(check (float 0.0)) "plain set never displaces set_at" 70.0
+    (Metrics.gauge_value g);
+  let p = Metrics.gauge m "plain" in
+  Metrics.set p 1.0;
+  Metrics.set p 2.0;
+  Alcotest.(check (float 0.0)) "plain set replaces plain set" 2.0
+    (Metrics.gauge_value p);
+  Metrics.set_at p ~seq:min_int 5.0;
+  Alcotest.(check (float 0.0)) "any set_at displaces plain" 5.0
+    (Metrics.gauge_value p);
+  (* The deterministic-sweep shape: writes arriving in scrambled lane
+     order resolve to the highest trial index, whatever ran last. *)
+  let sweep = Metrics.gauge m "sweep" in
+  List.iter
+    (fun i -> Metrics.set_at sweep ~seq:i (float_of_int (10 * i)))
+    [ 2; 0; 4; 1; 3 ];
+  Alcotest.(check (float 0.0)) "last trial by index, not by arrival" 40.0
+    (Metrics.gauge_value sweep)
+
+(* -- Shards ------------------------------------------------------------------ *)
+
+(* Increments left pending in per-domain cells — including cells of
+   domains that have already exited — are published by the pre-read hook,
+   so a registry read is exact without an explicit flush; a second read
+   after more increments must not double-count what was already drained. *)
+let shard_flush_on_read () =
+  let m = Metrics.create () in
+  let c = Shard.counter m "torn" in
+  let h = Shard.histogram ~buckets:[| 1.0; 2.0 |] m "torn_h" in
+  Shard.add c 5;
+  Shard.observe h 1.5;
+  let d =
+    Domain.spawn (fun () ->
+        Shard.add c 7;
+        Shard.incr c;
+        Shard.observe h 0.5)
+  in
+  Domain.join d;
+  Alcotest.(check int) "pending spans both domains' cells" 13
+    (Shard.pending c);
+  Alcotest.(check int) "backing counter not yet published" 0
+    (Metrics.value (Metrics.counter m "torn"));
+  (match List.assoc_opt "torn" (Metrics.instruments m) with
+  | Some (Metrics.Counter_view v) ->
+      Alcotest.(check int) "registry read is exact" 13 v
+  | _ -> Alcotest.fail "counter missing from instruments");
+  Alcotest.(check int) "nothing left pending after the read" 0
+    (Shard.pending c);
+  Alcotest.(check int) "histogram observations published" 2
+    (Metrics.hist_count (Metrics.histogram m "torn_h"));
+  (* Torn state: a fresh tail after the flush reconciles on the next read
+     without re-adding the part already drained. *)
+  Shard.add c 3;
+  Alcotest.(check int) "backing still at last flush" 13
+    (Metrics.value (Metrics.counter m "torn"));
+  Alcotest.(check int) "tail pending" 3 (Shard.pending c);
+  ignore (Metrics.instruments m);
+  Alcotest.(check int) "exact after second read" 16
+    (Metrics.value (Metrics.counter m "torn"));
+  Alcotest.(check int) "pending drained" 0 (Shard.pending c)
+
+(* Exactness property: whatever the domain count and per-domain volume,
+   every increment lands in the backing instrument exactly once. *)
+let shard_exactness_qcheck =
+  QCheck.Test.make ~count:20 ~name:"N-domain shard counts are exact"
+    QCheck.(pair (int_range 1 4) (int_range 1 2000))
+    (fun (domains, bumps) ->
+      let m = Metrics.create () in
+      let c = Shard.counter m "qc_steps" in
+      let h = Shard.histogram ~buckets:[| 0.5; 1.5 |] m "qc_lens" in
+      let workers =
+        List.init domains (fun _ ->
+            Domain.spawn (fun () ->
+                for i = 1 to bumps do
+                  Shard.incr c;
+                  Shard.add c 2;
+                  if i land 7 = 0 then Shard.observe h 1.0
+                done))
+      in
+      List.iter Domain.join workers;
+      Shard.incr c;
+      let v =
+        match List.assoc_opt "qc_steps" (Metrics.instruments m) with
+        | Some (Metrics.Counter_view v) -> v
+        | _ -> -1
+      in
+      v = (3 * domains * bumps) + 1
+      && Metrics.hist_count (Metrics.histogram m "qc_lens")
+         = domains * (bumps / 8)
+      && Shard.pending c = 0)
+
 (* -- Trace sinks ------------------------------------------------------------- *)
 
 let ev_step i =
@@ -617,6 +762,113 @@ let observe_srw_attach () =
   Alcotest.(check int) "no blue steps" 0
     (Metrics.value (Metrics.counter metrics "blue_steps"))
 
+(* -- Export ------------------------------------------------------------------- *)
+
+let export_render_validates () =
+  let _, metrics, _, _ = observed_eprocess_run ~seed:11 ~n:50 () in
+  let body = Export.render metrics in
+  (match Export.validate body with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rendered exposition rejected: %s" e);
+  Alcotest.(check bool) "mentions the steps family" true
+    (contains body "ewalk_steps_total");
+  Alcotest.(check bool) "mentions coverage gauge" true
+    (contains body "ewalk_coverage_vertex_fraction");
+  (* And the validator really rejects malformed expositions. *)
+  let rejects what s =
+    match Export.validate s with
+    | Ok () -> Alcotest.failf "%s accepted" what
+    | Error _ -> ()
+  in
+  rejects "garbage line" "garbage{ 1\n# EOF\n";
+  rejects "missing # EOF" "# TYPE ewalk_x counter\newalk_x_total 1\n";
+  rejects "undeclared family" "ewalk_mystery_total 1\n# EOF\n"
+
+(* -- Flight recorder ---------------------------------------------------------- *)
+
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  List.rev !lines
+
+(* Full circle: a wrapped sink records into the per-domain ring; the ring
+   wraps (capacity far below the walk's event count); the dump opens with
+   the synthetic resumed-run prologue; and the JSONL file verifies as a
+   truncated resumed tail — exactly what [eproc verify-trace --flight]
+   does with a crash post-mortem.
+
+   This is the only [Flight.enable] in this binary: the recorder's
+   configuration is process-global set-once, and the trailing [disarm]
+   keeps the [at_exit] hook from dumping on normal test exit. *)
+let flight_dump_replays () =
+  let dir = Filename.temp_file "ewalk_flight" "" in
+  Sys.remove dir;
+  Flight.enable ~capacity:32 ~dir ();
+  Fun.protect ~finally:(fun () -> Flight.disarm ())
+  @@ fun () ->
+  Alcotest.(check bool) "enabled" true (Flight.enabled ());
+  let rng = Rng.create ~seed:21 () in
+  let g = Gen_regular.cycle_union rng 60 2 in
+  let t = Eprocess.create g (Rng.create ~seed:22 ()) ~start:0 in
+  let sink = Flight.wrap Trace.null in
+  Alcotest.(check bool) "wrap disables ambient recording" false
+    (Flight.ambient_active ());
+  let obs = Observe.create ~sink () in
+  Observe.attach_eprocess obs t;
+  let p = Observe.instrument obs (Eprocess.process t) in
+  (match Cover.run_until_vertex_cover ~cap:(Cover.default_cap g) p with
+  | Some _ -> ()
+  | None -> Alcotest.fail "walk hit its cap");
+  (* No [Observe.finish]: the stream ends mid-run, like a crash would. *)
+  let paths = Flight.dump_now () in
+  Fun.protect ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) paths;
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let primary =
+    match paths with
+    | p :: _ -> p
+    | [] -> Alcotest.fail "dump_now wrote nothing"
+  in
+  Alcotest.(check string) "primary dump name" "flight.jsonl"
+    (Filename.basename primary);
+  let events =
+    List.map
+      (fun line ->
+        match Trace.event_of_string line with
+        | Ok ev -> ev
+        | Error e -> Alcotest.failf "unparseable dump line %S: %s" line e)
+      (read_lines primary)
+  in
+  Alcotest.(check bool) "ring wrapped (dump shorter than the walk)" true
+    (List.length events < Eprocess.steps t);
+  (match events with
+  | Trace.Run_start _ :: Trace.Resume _ :: _ -> ()
+  | _ -> Alcotest.fail "wrapped dump must open with run_start + resume");
+  let v = Replay.create g in
+  List.iter
+    (fun ev ->
+      match Replay.feed v ev with
+      | Ok () -> ()
+      | Error viol ->
+          Alcotest.failf "dump violates invariants: %s"
+            (Invariant.violation_to_string viol))
+    events;
+  match Replay.finish_partial v with
+  | Ok s ->
+      Alcotest.(check bool) "verified as resumed tail" true s.Replay.resumed;
+      Alcotest.(check bool) "truncated, as a crash dump is" false
+        s.Replay.complete;
+      Alcotest.(check bool) "carried per-step events" true s.Replay.has_steps
+  | Error viol ->
+      Alcotest.failf "truncated dump rejected: %s"
+        (Invariant.violation_to_string viol)
+
 (* -- Determinism (same seed + graph => identical telemetry) ------------------- *)
 
 let jsonl_of_run ~seed ~n =
@@ -683,6 +935,15 @@ let () =
           Alcotest.test_case "histogram" `Quick metrics_histogram;
           Alcotest.test_case "snapshot deterministic" `Quick
             metrics_snapshot_deterministic;
+          Alcotest.test_case "histogram buckets validated once" `Quick
+            metrics_histogram_first_registration_only;
+          Alcotest.test_case "set_at deterministic" `Quick
+            metrics_set_at_deterministic;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "flush on read" `Quick shard_flush_on_read;
+          qcheck shard_exactness_qcheck;
         ] );
       ( "trace",
         [
@@ -708,5 +969,13 @@ let () =
           Alcotest.test_case "noop is free" `Quick observe_noop_attaches_nothing;
           Alcotest.test_case "srw attach" `Quick observe_srw_attach;
           Alcotest.test_case "determinism" `Quick trace_determinism;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "render validates" `Quick export_render_validates;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "dump replays" `Quick flight_dump_replays;
         ] );
     ]

@@ -221,6 +221,55 @@ let determinism_exp_cover_table () =
         seq par)
     [ 1; 2; 4 ]
 
+let determinism_gauges_across_jobs () =
+  (* Gauges written through [Observe.for_trial] resolve last-by-trial-index
+     ([Metrics.set_at]), so the final metrics snapshot — graph-size gauges,
+     coverage fractions and all — is pinned to the highest trial index, not
+     to whichever lane happened to finish last.  The whole snapshot must be
+     bit-identical at every job count.  Trials get different graph sizes so
+     a wrong winner is visible. *)
+  let snapshot pool =
+    let metrics = Metrics.create () in
+    let obs = Ewalk.Observe.create ~metrics () in
+    let rngs = Sweep.trial_rngs ~seed:19 ~trials:8 in
+    let indexed = Array.mapi (fun i rng -> (i, rng)) rngs in
+    let run_trial (trial, rng) =
+      let g = Ewalk_graph.Gen_regular.cycle_union rng (16 + (2 * trial)) 2 in
+      let t = Ewalk.Eprocess.create g rng ~start:0 in
+      let o = Ewalk.Observe.for_trial obs ~trial in
+      Ewalk.Observe.attach_eprocess o t;
+      let p = Ewalk.Observe.instrument o (Ewalk.Eprocess.process t) in
+      let cover =
+        Ewalk.Cover.run_until_vertex_cover ~cap:(Ewalk.Cover.default_cap g) p
+      in
+      Ewalk.Observe.finish o p;
+      match cover with Some c -> c | None -> -1
+    in
+    (match pool with
+    | None -> ignore (Array.map run_trial indexed)
+    | Some p -> ignore (Pool.map_array p run_trial indexed));
+    Metrics.to_json_string metrics
+  in
+  let seq = snapshot None in
+  let contains needle =
+    let nh = String.length seq and nn = String.length needle in
+    let rec go i =
+      if i + nn > nh then false
+      else String.sub seq i nn = needle || go (i + 1)
+    in
+    go 0
+  in
+  (* Sanity: the gauges pin trial 7's graph (n = 16 + 2*7 = 30). *)
+  Alcotest.(check bool) "gauges hold the last trial's graph size" true
+    (contains {|"graph_vertices":30.0|});
+  List.iter
+    (fun jobs ->
+      let par = with_jobs jobs snapshot in
+      Alcotest.(check string)
+        (Printf.sprintf "metrics snapshot identical at jobs=%d" jobs)
+        seq par)
+    [ 1; 2; 4 ]
+
 (* -- Metrics under concurrency ---------------------------------------------- *)
 
 let metrics_concurrent_counters () =
@@ -518,6 +567,8 @@ let () =
             determinism_env_default_pool;
           Alcotest.test_case "fig1 table across jobs" `Slow
             determinism_exp_cover_table;
+          Alcotest.test_case "gauges across jobs" `Quick
+            determinism_gauges_across_jobs;
         ] );
       ( "obs-concurrency",
         [
