@@ -1,5 +1,6 @@
-.PHONY: all build test test-par test-crash serve-smoke bench bench-json \
-	bench-baseline bench-check check-oracle ci fmt fmt-check clean
+.PHONY: all build test test-par test-crash test-kernel serve-smoke bench \
+	bench-json bench-baseline bench-check check-oracle ci fmt fmt-check \
+	clean
 
 all: build
 
@@ -11,9 +12,10 @@ test:
 
 # Everything CI gates on: the build, the test suite, dune-file formatting,
 # the bench regression check against the committed baseline, the oracle
-# differential suite, the crash-equivalence matrix, and the live-endpoint
-# smoke test.
-ci: build test fmt-check bench-check check-oracle test-crash serve-smoke
+# differential suite, the kernel differential battery, the
+# crash-equivalence matrix, and the live-endpoint smoke test.
+ci: build test fmt-check bench-check check-oracle test-kernel test-crash \
+	serve-smoke
 
 # Crash-equivalence matrix: kill a checkpointed campaign at every trial
 # boundary (at --jobs 1 and 4), resume it, and require bit-identical
@@ -36,6 +38,17 @@ serve-smoke: build
 check-oracle:
 	EWALK_JOBS=1 dune exec bin/eproc.exe -- check-oracle
 	EWALK_JOBS=4 dune exec bin/eproc.exe -- check-oracle
+
+# The multi-walker kernel gate: the full differential battery (every
+# kernel process x cooperating/competing x W in {1,4,17} x 3 seeds
+# against the naive oracle) plus the rest of the kernel suite, serially
+# and with 4 domains.  EWALK_KERNEL_FULL widens test_kernel's default
+# quick matrix to the full one.
+test-kernel: build
+	EWALK_KERNEL_FULL=1 EWALK_JOBS=1 dune exec test/test_kernel.exe
+	EWALK_KERNEL_FULL=1 EWALK_JOBS=4 dune exec test/test_kernel.exe
+	EWALK_JOBS=1 dune exec bin/eproc.exe -- check-oracle --kernel
+	EWALK_JOBS=4 dune exec bin/eproc.exe -- check-oracle --kernel
 
 # The parallel-determinism gate: the whole suite must pass with the pool
 # disabled and with 4 domains (results are bit-identical by contract).

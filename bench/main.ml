@@ -184,6 +184,16 @@ let bench_eprocess_obs_metrics () =
     Ewalk.Cover.run_steps p 10_000;
     Ewalk.Observe.finish obs p
 
+(* Lockstep kernel engine: 8 walkers, 1 250 rounds = 10 000 walker-steps,
+   so the derived headline divides by the same [headline_steps] and reads
+   ns per walker-step. *)
+let bench_kernel_steps ~mode proc ~seed () =
+  let g = Lazy.force fixture_regular in
+  let rng = Rng.create ~seed () in
+  fun () ->
+    let e = Ewalk_kernel.Engine.create_spread ~mode proc g rng ~walkers:8 in
+    Ewalk_kernel.Engine.run_rounds e 1_250
+
 let kernels () =
   [
     ("fig1:eprocess-10k-steps", bench_eprocess_steps ());
@@ -200,6 +210,15 @@ let kernels () =
     ("ablation:generator-rejection-2k", bench_rejection_generator ());
     ("obs:eprocess-10k-steps-nullsink", bench_eprocess_obs_null ());
     ("obs:eprocess-10k-steps-metrics", bench_eprocess_obs_metrics ());
+    ( "kernel:euar-w8-10k-steps",
+      bench_kernel_steps ~mode:Ewalk_kernel.Engine.Cooperating
+        Ewalk_kernel.Engine.E_uar ~seed:89 () );
+    ( "kernel:competing-euar-w8-10k-steps",
+      bench_kernel_steps ~mode:Ewalk_kernel.Engine.Competing
+        Ewalk_kernel.Engine.E_uar ~seed:88 () );
+    ( "kernel:srw-w8-10k-steps",
+      bench_kernel_steps ~mode:Ewalk_kernel.Engine.Cooperating
+        Ewalk_kernel.Engine.Srw ~seed:87 () );
   ]
 
 (* Headline throughput kernels: the 10k-step walk kernels re-expressed
@@ -231,6 +250,10 @@ let headline_kernels kernels =
       ("headline:eprocess-ns-per-step", "fig1:eprocess-10k-steps");
       ("headline:eprocess-metrics-ns-per-step", "obs:eprocess-10k-steps-metrics");
       ("headline:srw-ns-per-step", "srw-lower:srw-10k-steps");
+      ("headline:kernel_euar_ns_per_walker_step", "kernel:euar-w8-10k-steps");
+      ( "headline:kernel_competing_euar_ns_per_walker_step",
+        "kernel:competing-euar-w8-10k-steps" );
+      ("headline:kernel_srw_ns_per_walker_step", "kernel:srw-w8-10k-steps");
     ]
 
 let print_headlines headlines =

@@ -19,6 +19,17 @@ module Rng = Ewalk_prng.Rng
 module Expt = Ewalk_expt
 module Obs = Ewalk_obs
 module Observe = Ewalk.Observe
+module Kengine = Ewalk_kernel.Engine
+module Kobs = Ewalk_kernel.Kobs
+
+let walkers_arg =
+  let doc =
+    "Advance $(docv) walkers in lockstep on the multi-walker kernel engine \
+     instead of one legacy walker.  Supported by the kernel-ported \
+     processes (e-process rules, srw, rotor); W=1 keeps the legacy \
+     single-walker loop."
+  in
+  Arg.(value & opt int 1 & info [ "walkers" ] ~docv:"W" ~doc)
 
 let seed_arg =
   let doc = "Random seed (all runs are deterministic given the seed)." in
@@ -290,8 +301,15 @@ let experiment_cmd =
     let doc = "Experiment id (see $(b,list)), or $(b,all)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id scale seed csv metrics export_metrics profile jobs checkpoint_dir
-      resume task_retries task_timeout listen =
+  let exp_walkers_arg =
+    let doc =
+      "Pin the multi-walker experiments (team-speedup, kernel-modes) to \
+       $(docv) walkers; experiments without a walker dimension ignore it."
+    in
+    Arg.(value & opt (some int) None & info [ "walkers" ] ~docv:"W" ~doc)
+  in
+  let run id scale seed walkers csv metrics export_metrics profile jobs
+      checkpoint_dir resume task_retries task_timeout listen =
     with_profile profile @@ fun prof ->
     Ewalk_par.Pool.with_pool ~retries:task_retries ?task_timeout_s:task_timeout
       ?jobs
@@ -333,7 +351,15 @@ let experiment_cmd =
       (Obs.Metrics.gauge registry "jobs")
       (float_of_int (Ewalk_par.Pool.jobs pool));
     let run_one e =
-      let table, seconds = Expt.Experiments.run_timed ~pool e ~scale ~seed in
+      (match (walkers, e.Expt.Experiments.run_walkers) with
+      | Some _, None ->
+          Printf.eprintf "eproc experiment: %s has no walker dimension; \
+                          ignoring --walkers\n"
+            e.Expt.Experiments.id
+      | _ -> ());
+      let table, seconds =
+        Expt.Experiments.run_timed ~pool ?walkers e ~scale ~seed
+      in
       Expt.Experiments.record_run registry e ~table ~seconds;
       Expt.Table.print table;
       match csv with
@@ -394,9 +420,10 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run a paper experiment and print its table.")
     Term.(
       ret
-        (const run $ id_arg $ scale_arg $ seed_arg $ csv_arg $ metrics_arg
-       $ export_metrics_arg $ profile_arg $ jobs_arg $ checkpoint_dir_arg
-       $ resume_arg $ task_retries_arg $ task_timeout_arg $ listen_arg))
+        (const run $ id_arg $ scale_arg $ seed_arg $ exp_walkers_arg $ csv_arg
+       $ metrics_arg $ export_metrics_arg $ profile_arg $ jobs_arg
+       $ checkpoint_dir_arg $ resume_arg $ task_retries_arg $ task_timeout_arg
+       $ listen_arg))
 
 (* -- graph-info ----------------------------------------------------------- *)
 
@@ -477,29 +504,56 @@ let make_process spec g rng =
         (Ewalk.Metropolis.process (Ewalk.Metropolis.create g rng ~start:0))
   | _ -> invalid_arg (Printf.sprintf "unknown process %S" spec)
 
+(* The specs ported to the multi-walker kernel engine: what --walkers > 1
+   can drive. *)
+let kernel_proc_of_spec spec =
+  match String.split_on_char ':' spec with
+  | [ "e-process" ] -> Some Kengine.E_uar
+  | [ "e-process"; "lowest" ] -> Some Kengine.E_lowest
+  | [ "e-process"; "highest" ] -> Some Kengine.E_highest
+  | [ "srw" ] -> Some Kengine.Srw
+  | [ "rotor" ] -> Some Kengine.Rotor
+  | _ -> None
+
+let require_kernel_proc ~cmd spec =
+  match kernel_proc_of_spec spec with
+  | Some p -> p
+  | None ->
+      Printf.eprintf "eproc %s: process %S does not support --walkers\n" cmd
+        spec;
+      exit 2
+
 (* The snapshottable subset of --process specs, as Snapshot.walk values:
    what `trace --checkpoint` can write and `trace --resume-from` restores.
    Specs outside it (adversarial rules, weighted walks, processes without
-   a checkpoint function) return None. *)
-let make_snapshot_walk spec g rng =
+   a checkpoint function) return None.  With [walkers > 1] the kernel-
+   ported specs build a cooperating lockstep engine instead. *)
+let make_snapshot_walk ?(walkers = 1) spec g rng =
   let module S = Ewalk_resume.Snapshot in
-  match String.split_on_char ':' spec with
-  | [ "e-process" ] -> Some (S.Eprocess (Ewalk.Eprocess.create g rng ~start:0))
-  | [ "e-process"; "lowest" ] ->
-      Some
-        (S.Eprocess
-           (Ewalk.Eprocess.create ~rule:Ewalk.Eprocess.Lowest_slot g rng
-              ~start:0))
-  | [ "e-process"; "highest" ] ->
-      Some
-        (S.Eprocess
-           (Ewalk.Eprocess.create ~rule:Ewalk.Eprocess.Highest_slot g rng
-              ~start:0))
-  | [ "srw" ] -> Some (S.Srw (Ewalk.Srw.create g rng ~start:0))
-  | [ "lazy-srw" ] -> Some (S.Srw (Ewalk.Srw.create_lazy g rng ~start:0))
-  | [ "rotor" ] ->
-      Some (S.Rotor (Ewalk.Rotor.create ~randomize_rotors:true g rng ~start:0))
-  | _ -> None
+  if walkers > 1 then
+    Option.map
+      (fun p -> S.Kernel (Kengine.create_spread p g rng ~walkers))
+      (kernel_proc_of_spec spec)
+  else
+    match String.split_on_char ':' spec with
+    | [ "e-process" ] ->
+        Some (S.Eprocess (Ewalk.Eprocess.create g rng ~start:0))
+    | [ "e-process"; "lowest" ] ->
+        Some
+          (S.Eprocess
+             (Ewalk.Eprocess.create ~rule:Ewalk.Eprocess.Lowest_slot g rng
+                ~start:0))
+    | [ "e-process"; "highest" ] ->
+        Some
+          (S.Eprocess
+             (Ewalk.Eprocess.create ~rule:Ewalk.Eprocess.Highest_slot g rng
+                ~start:0))
+    | [ "srw" ] -> Some (S.Srw (Ewalk.Srw.create g rng ~start:0))
+    | [ "lazy-srw" ] -> Some (S.Srw (Ewalk.Srw.create_lazy g rng ~start:0))
+    | [ "rotor" ] ->
+        Some
+          (S.Rotor (Ewalk.Rotor.create ~randomize_rotors:true g rng ~start:0))
+    | _ -> None
 
 let process_of_walk (w : Ewalk_resume.Snapshot.walk) =
   match w with
@@ -509,14 +563,34 @@ let process_of_walk (w : Ewalk_resume.Snapshot.walk) =
       (Ewalk.Srw.process t, fun obs -> Observe.attach_srw obs t)
   | Ewalk_resume.Snapshot.Rotor t ->
       (Ewalk.Rotor.process t, fun obs -> Observe.attach_rotor obs t)
+  | Ewalk_resume.Snapshot.Kernel k ->
+      (Kengine.process k, fun obs -> Kobs.attach obs k)
 
 let cover_cmd =
   let edges_arg =
     let doc = "Measure edge cover time instead of vertex cover time." in
     Arg.(value & flag & info [ "edges" ] ~doc)
   in
-  let run family process n trials seed edges metrics export_metrics profile
-      jobs listen =
+  let compete_arg =
+    let doc =
+      "Competing kernel mode: every walker keeps private visited sets and \
+       the measured time is the first walker's own vertex cover step \
+       (implies the kernel engine; combine with $(b,--walkers))."
+    in
+    Arg.(value & flag & info [ "compete" ] ~doc)
+  in
+  let run family process n trials seed walkers compete edges metrics
+      export_metrics profile jobs listen =
+    if walkers < 1 then begin
+      Printf.eprintf "eproc cover: --walkers must be at least 1\n";
+      exit 2
+    end;
+    if compete && edges then begin
+      Printf.eprintf
+        "eproc cover: --compete measures per-walker vertex cover; --edges is \
+         not supported\n";
+      exit 2
+    end;
     with_profile profile @@ fun prof ->
     Ewalk_par.Pool.with_pool ?jobs @@ fun pool ->
     let t0 = Obs.Clock.now_ns () in
@@ -536,24 +610,50 @@ let cover_cmd =
       Ewalk_par.Pool.map_array ~chunk:1 pool
         (fun (trial, rng) ->
           let g = Expt.Families.build family rng ~n in
-          let p, attach_native = make_process process g rng in
           (* Each trial observes through its own view: per-trial drain
              state, and deterministic last-trial-wins gauges under any
              --jobs. *)
           let obs = Option.map (fun o -> Observe.for_trial o ~trial) obs in
-          let p =
-            match obs with
-            | None -> p
-            | Some obs ->
-                attach_native obs;
-                Observe.instrument obs p
-          in
           let cap = Ewalk.Cover.default_cap g in
           let t =
-            if edges then Ewalk.Cover.run_until_edge_cover ~cap p
-            else Ewalk.Cover.run_until_vertex_cover ~cap p
+            if compete then begin
+              let kp = require_kernel_proc ~cmd:"cover" process in
+              let eng =
+                Kengine.create_spread ~mode:Kengine.Competing kp g rng
+                  ~walkers
+              in
+              Option.iter (fun obs -> Kobs.attach obs eng) obs;
+              let r =
+                Option.map snd (Kengine.run_until_first_cover ~cap eng)
+              in
+              Option.iter Observe.flush obs;
+              r
+            end
+            else begin
+              let p, attach_native =
+                if walkers > 1 then begin
+                  let kp = require_kernel_proc ~cmd:"cover" process in
+                  let eng = Kengine.create_spread kp g rng ~walkers in
+                  ( Kengine.process eng,
+                    fun obs -> Kobs.attach obs eng )
+                end
+                else make_process process g rng
+              in
+              let p =
+                match obs with
+                | None -> p
+                | Some obs ->
+                    attach_native obs;
+                    Observe.instrument obs p
+              in
+              let t =
+                if edges then Ewalk.Cover.run_until_edge_cover ~cap p
+                else Ewalk.Cover.run_until_vertex_cover ~cap p
+              in
+              Option.iter (fun obs -> Observe.finish obs p) obs;
+              t
+            end
           in
-          Option.iter (fun obs -> Observe.finish obs p) obs;
           (t, Graph.n g, Graph.m g))
         (Array.mapi (fun i rng -> (i, rng)) rngs)
     in
@@ -574,8 +674,13 @@ let cover_cmd =
       |> List.filter_map (fun (t, _, _) -> Option.map float_of_int t)
     in
     let _, gn, gm = results.(0) in
-    Printf.printf "%s on %s (n=%d, m=%d), %d trials, %s cover:\n" process
-      family gn gm trials
+    let pdesc =
+      if compete then Printf.sprintf "%s[w=%d,compete]" process walkers
+      else if walkers > 1 then Printf.sprintf "%s[w=%d]" process walkers
+      else process
+    in
+    Printf.printf "%s on %s (n=%d, m=%d), %d trials, %s cover:\n" pdesc family
+      gn gm trials
       (if edges then "edge" else "vertex");
     match times with
     | [] -> Printf.printf "  every trial hit its step cap\n"
@@ -598,8 +703,8 @@ let cover_cmd =
     (Cmd.info "cover" ~doc:"Measure cover times of a walk process.")
     Term.(
       const run $ family_arg $ process_arg $ n_arg $ trials_arg $ seed_arg
-      $ edges_arg $ metrics_arg $ export_metrics_arg $ profile_arg $ jobs_arg
-      $ listen_arg)
+      $ walkers_arg $ compete_arg $ edges_arg $ metrics_arg
+      $ export_metrics_arg $ profile_arg $ jobs_arg $ listen_arg)
 
 (* -- trace ----------------------------------------------------------------- *)
 
@@ -646,8 +751,12 @@ let trace_cmd =
     Arg.(
       value & opt (some string) None & info [ "resume-from" ] ~docv:"FILE" ~doc)
   in
-  let run family process n seed edges no_steps max_steps out metrics
+  let run family process n seed walkers edges no_steps max_steps out metrics
       export_metrics profile checkpoint checkpoint_every resume_from listen =
+    if walkers < 1 then begin
+      Printf.eprintf "eproc trace: --walkers must be at least 1\n";
+      exit 2
+    end;
     with_profile profile @@ fun prof ->
     let t0 = Obs.Clock.now_ns () in
     let rng = Rng.create ~seed () in
@@ -691,9 +800,16 @@ let trace_cmd =
                     process_of_walk w,
                     Some (Ewalk_resume.Snapshot.walk_steps w) ))
           | None -> (
-              match make_snapshot_walk process g rng with
+              match make_snapshot_walk ~walkers process g rng with
               | Some w -> (Some w, process_of_walk w, None)
-              | None -> (None, make_process process g rng, None))
+              | None ->
+                  if walkers > 1 then begin
+                    Printf.eprintf
+                      "eproc trace: process %S does not support --walkers\n"
+                      process;
+                    exit 2
+                  end;
+                  (None, make_process process g rng, None))
         in
         let pname =
           match (resume_from, walk_opt) with
@@ -767,8 +883,8 @@ let trace_cmd =
          "Run one walk and emit its structured event stream as JSONL (one \
           event per line: run_start, step, phase, milestone, run_end).")
     Term.(
-      const run $ family_arg $ process_arg $ n_arg $ seed_arg $ edges_arg
-      $ no_steps_arg $ max_steps_arg $ out_arg $ metrics_arg
+      const run $ family_arg $ process_arg $ n_arg $ seed_arg $ walkers_arg
+      $ edges_arg $ no_steps_arg $ max_steps_arg $ out_arg $ metrics_arg
       $ export_metrics_arg $ profile_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_from_arg $ listen_arg)
 
@@ -905,23 +1021,42 @@ let check_oracle_cmd =
     let doc = "Number of seeds per (graph, mode) pair (seeds 1..$(docv))." in
     Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"K" ~doc)
   in
-  let run seeds jobs =
+  let kernel_flag =
+    let doc =
+      "Also run the multi-walker kernel battery: every kernel process vs \
+       the naive lockstep oracle at W in {1, 4, 17}, cooperating and \
+       competing."
+    in
+    Arg.(value & flag & info [ "kernel" ] ~doc)
+  in
+  let run seeds kernel jobs =
     if seeds <= 0 then begin
       Printf.eprintf "eproc check-oracle: --seeds must be positive\n";
       exit 2
     end;
-    let cases =
-      Ewalk_check.Differential.stock_cases
-        ~seeds:(List.init seeds (fun i -> i + 1))
-        ()
+    let seed_list = List.init seeds (fun i -> i + 1) in
+    let jobs_shown =
+      match jobs with Some j -> j | None -> Ewalk_par.Pool.default_jobs ()
     in
+    let cases = Ewalk_check.Differential.stock_cases ~seeds:seed_list () in
     let report = Ewalk_check.Differential.run_suite ?jobs cases in
     Printf.printf "check-oracle: %s (jobs=%d)\n"
       (Ewalk_check.Differential.report_line report)
-      (match jobs with
-      | Some j -> j
-      | None -> Ewalk_par.Pool.default_jobs ());
-    match report.Ewalk_check.Differential.failures with
+      jobs_shown;
+    let kernel_failures =
+      if not kernel then []
+      else begin
+        let kcases =
+          Ewalk_check.Differential.stock_kernel_cases ~seeds:seed_list ()
+        in
+        let kreport = Ewalk_check.Differential.run_kernel_suite ?jobs kcases in
+        Printf.printf "check-oracle[kernel]: %s (jobs=%d)\n"
+          (Ewalk_check.Differential.report_line kreport)
+          jobs_shown;
+        kreport.Ewalk_check.Differential.failures
+      end
+    in
+    match report.Ewalk_check.Differential.failures @ kernel_failures with
     | [] -> ()
     | fs ->
         List.iter
@@ -936,7 +1071,7 @@ let check_oracle_cmd =
           oracles over the stock graph suite (RNG lockstep where the rule is \
           deterministic, invariant-monitored everywhere).  Exit 1 on any \
           divergence.")
-    Term.(const run $ seeds_arg $ jobs_arg)
+    Term.(const run $ seeds_arg $ kernel_flag $ jobs_arg)
 
 (* -- checkpoint-inspect ----------------------------------------------------- *)
 

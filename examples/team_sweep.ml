@@ -23,11 +23,11 @@ let () =
   List.iter
     (fun k ->
       let rng = Rng.create ~seed:(100 + k) () in
-      let team = Ewalk.Team.create_spread g rng ~walkers:k in
+      let team = Ewalk_kernel.Team.create_spread g rng ~walkers:k in
       match
         Ewalk.Cover.run_until_vertex_cover
           ~cap:(Ewalk.Cover.default_cap g)
-          (Ewalk.Team.process team)
+          (Ewalk_kernel.Team.process team)
       with
       | Some steps ->
           let rounds = float_of_int steps /. float_of_int k in

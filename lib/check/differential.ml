@@ -343,3 +343,417 @@ let run_suite ?jobs cases =
     steps = !steps;
     failures = List.rev !failures;
   }
+
+(* --- kernel differential battery -------------------------------------- *)
+
+module Engine = Ewalk_kernel.Engine
+
+type kernel_case = {
+  k_label : string;
+  k_graph : Graph.t;
+  k_seed : int;
+  k_walkers : int;
+  k_mode : Engine.mode;
+  k_proc : Engine.proc;
+  k_max_steps : int; (* per-walker step budget *)
+}
+
+let kernel_mode_name = function
+  | Engine.Cooperating -> "coop"
+  | Engine.Competing -> "compete"
+
+let kernel_proc_name = function
+  | Engine.E_uar -> "uar"
+  | Engine.E_lowest -> "lowest-slot"
+  | Engine.E_highest -> "highest-slot"
+  | Engine.Srw -> "srw"
+  | Engine.Rotor -> "rotor"
+
+let kernel_case_name c =
+  Printf.sprintf "kernel/%s/%s/%s/w=%d/seed=%d" c.k_label
+    (kernel_proc_name c.k_proc)
+    (kernel_mode_name c.k_mode)
+    c.k_walkers c.k_seed
+
+let oracle_proc = function
+  | Engine.E_uar -> Oracle.Kernel.E_uar
+  | Engine.E_lowest -> Oracle.Kernel.E_lowest
+  | Engine.E_highest -> Oracle.Kernel.E_highest
+  | Engine.Srw -> Oracle.Kernel.Srw_walk
+  | Engine.Rotor -> Oracle.Kernel.Rotor_walk
+
+let oracle_mode = function
+  | Engine.Cooperating -> Oracle.Kernel.Cooperating
+  | Engine.Competing -> Oracle.Kernel.Competing
+
+(* Deterministic spread-out start vertices shared by engine and oracle. *)
+let kernel_starts g w =
+  let n = Graph.n g in
+  Array.init w (fun i -> i * max 1 (n / w) mod n)
+
+let kernel_stopped c eng =
+  match c.k_mode with
+  | Engine.Cooperating -> Coverage.all_vertices_visited (Engine.coverage eng)
+  | Engine.Competing ->
+      let covered = ref false in
+      for w = 0 to Engine.walkers eng - 1 do
+        if Engine.walker_cover_step eng w <> None then covered := true
+      done;
+      !covered
+
+(* Per-walker invariant monitors: in competing mode every walker's stream
+   is a self-contained single walk over its private visited set
+   (walker-local step stamps), so each gets its own shadow, with the slot
+   rule pinned for the deterministic rules.  A 1-walker cooperating engine
+   is likewise a single legacy walk.  Multi-walker cooperating streams
+   interleave over shared marks — no per-stream shadow applies; those
+   configurations are covered by the lockstep oracle or the uar shadow. *)
+let kernel_monitors c g starts =
+  let single = c.k_mode = Engine.Competing || c.k_walkers = 1 in
+  if not single then None
+  else begin
+    let prefers =
+      match c.k_proc with
+      | Engine.E_uar | Engine.E_lowest | Engine.E_highest -> true
+      | Engine.Srw | Engine.Rotor -> false
+    in
+    let rule =
+      match c.k_proc with
+      | Engine.E_lowest -> Invariant.Lowest_slot
+      | Engine.E_highest -> Invariant.Highest_slot
+      | _ -> Invariant.Any_unvisited
+    in
+    Some
+      (Array.map
+         (fun s -> Invariant.create ~rule ~prefers_unvisited:prefers g ~start:s)
+         starts)
+  end
+
+let attach_kernel_monitors eng monitors first =
+  match monitors with
+  | None -> ()
+  | Some arr ->
+      Engine.set_observer eng
+        (Some
+           (fun ~walker ev ->
+             match ev with
+             | Ewalk_obs.Trace.Step { step; vertex; edge; blue } -> (
+                 match
+                   Invariant.on_step arr.(walker) ~step ~vertex ~edge ~blue
+                 with
+                 | Some v when !first = None ->
+                     first := Some (Invariant.violation_to_string v)
+                 | _ -> ())
+             | _ -> ()))
+
+let check_kernel_rotors c eng orc where =
+  if c.k_proc <> Engine.Rotor then Ok ()
+  else begin
+    let g = c.k_graph in
+    let bad = ref None in
+    (match c.k_mode with
+    | Engine.Cooperating ->
+        for v = 0 to Graph.n g - 1 do
+          if
+            !bad = None
+            && Engine.rotor_offset eng v <> Oracle.Kernel.rotor_offset orc 0 v
+          then bad := Some (0, v)
+        done
+    | Engine.Competing ->
+        for w = 0 to c.k_walkers - 1 do
+          for v = 0 to Graph.n g - 1 do
+            if
+              !bad = None
+              && Engine.walker_rotor_offset eng w v
+                 <> Oracle.Kernel.rotor_offset orc w v
+            then bad := Some (w, v)
+          done
+        done);
+    match !bad with
+    | Some (w, v) -> err "%s: rotor offset of walker %d at vertex %d diverges" where w v
+    | None -> Ok ()
+  end
+
+(* Every configuration except cooperating-uar: full RNG lockstep, one
+   engine walker-step against one oracle walker-step, comparing the moved
+   walker's position and blue count after each. *)
+let kernel_lockstep c =
+  let g = c.k_graph in
+  let starts = kernel_starts g c.k_walkers in
+  let eng =
+    Engine.create ~mode:c.k_mode c.k_proc g (Rng.create ~seed:c.k_seed ())
+      ~starts
+  in
+  let orc =
+    Oracle.Kernel.create ~mode:(oracle_mode c.k_mode) (oracle_proc c.k_proc) g
+      (Rng.create ~seed:c.k_seed ())
+      ~starts
+  in
+  let monitors = kernel_monitors c g starts in
+  let first = ref None in
+  attach_kernel_monitors eng monitors first;
+  let* () = check_kernel_rotors c eng orc "after init" in
+  let budget = c.k_max_steps * c.k_walkers in
+  let total = ref 0 in
+  let div = ref None in
+  while !div = None && (not (kernel_stopped c eng)) && !total < budget do
+    let w = Engine.cursor eng in
+    Engine.step eng;
+    Oracle.Kernel.step orc;
+    incr total;
+    if Engine.walker_position eng w <> Oracle.Kernel.walker_position orc w then
+      div :=
+        Some
+          (Printf.sprintf "step %d: walker %d at vertex %d (engine) vs %d (oracle)"
+             !total w
+             (Engine.walker_position eng w)
+             (Oracle.Kernel.walker_position orc w))
+    else if
+      Engine.walker_blue_steps eng w <> Oracle.Kernel.walker_blue_steps orc w
+    then
+      div :=
+        Some
+          (Printf.sprintf "step %d: walker %d blue count %d (engine) vs %d (oracle)"
+             !total w
+             (Engine.walker_blue_steps eng w)
+             (Oracle.Kernel.walker_blue_steps orc w))
+  done;
+  match !div with
+  | Some msg -> Error msg
+  | None -> (
+      let* () = match !first with Some m -> Error m | None -> Ok () in
+      if not (kernel_stopped c eng) then
+        err "not covered within %d walker-steps" budget
+      else
+        match c.k_mode with
+        | Engine.Cooperating ->
+            let cov = Engine.coverage eng in
+            let* () = check_edge_flags cov (Oracle.Kernel.visited_row orc 0) in
+            if
+              Coverage.vertices_visited cov
+              <> Oracle.Kernel.vertices_visited orc 0
+            then
+              err "vertex counts diverge: engine %d, oracle %d"
+                (Coverage.vertices_visited cov)
+                (Oracle.Kernel.vertices_visited orc 0)
+            else
+              let* () = check_kernel_rotors c eng orc "at end" in
+              Ok !total
+        | Engine.Competing ->
+            let bad = ref None in
+            for w = 0 to c.k_walkers - 1 do
+              if !bad = None then begin
+                let row = Oracle.Kernel.visited_row orc w in
+                Array.iteri
+                  (fun e r ->
+                    if !bad = None && Engine.walker_edge_visited eng w e <> r
+                    then
+                      bad :=
+                        Some (Printf.sprintf "walker %d: edge %d visited flag diverges" w e))
+                  row;
+                if
+                  !bad = None
+                  && Engine.walker_vertices_visited eng w
+                     <> Oracle.Kernel.vertices_visited orc w
+                then
+                  bad :=
+                    Some
+                      (Printf.sprintf "walker %d: vertex count %d (engine) vs %d (oracle)"
+                         w
+                         (Engine.walker_vertices_visited eng w)
+                         (Oracle.Kernel.vertices_visited orc w));
+                if
+                  !bad = None
+                  && Engine.walker_cover_step eng w <> None
+                     <> Oracle.Kernel.all_vertices_visited orc w
+                then
+                  bad :=
+                    Some
+                      (Printf.sprintf "walker %d: cover flag diverges from oracle" w)
+              end
+            done;
+            (match !bad with
+            | Some msg -> Error msg
+            | None ->
+                let* () = check_kernel_rotors c eng orc "at end" in
+                Ok !total))
+
+(* Cooperating uar: the engine draws over the swap partition's slot order,
+   so trajectories legitimately diverge from the oracle.  The engine run
+   is instead validated step by step against a naive shared shadow fed by
+   its own observer (edge validity, blue-flag truth, no double retire,
+   global step numbering), then reconciled; a same-seeded oracle run is
+   the cover sanity reference. *)
+let kernel_uar_shadow c =
+  let g = c.k_graph in
+  let m = Graph.m g and n = Graph.n g in
+  let starts = kernel_starts g c.k_walkers in
+  let eng =
+    Engine.create ~mode:Engine.Cooperating Engine.E_uar g
+      (Rng.create ~seed:c.k_seed ())
+      ~starts
+  in
+  let wpos = Array.copy starts in
+  let retired = Array.make m false in
+  let traversed = Array.make m false in
+  let vseen = Array.make n false in
+  let vcount = ref 0 in
+  Array.iter
+    (fun s ->
+      if not vseen.(s) then begin
+        vseen.(s) <- true;
+        incr vcount
+      end)
+    starts;
+  let blue_total = ref 0 in
+  let bad = ref None in
+  let fail fmt =
+    Printf.ksprintf (fun s -> if !bad = None then bad := Some s) fmt
+  in
+  let expect_step = ref 0 in
+  Engine.set_observer eng
+    (Some
+       (fun ~walker ev ->
+         match ev with
+         | Ewalk_obs.Trace.Step { step; vertex; edge; blue } ->
+             incr expect_step;
+             if step <> !expect_step then
+               fail "step %d out of order (expected %d)" step !expect_step;
+             let v = wpos.(walker) in
+             if edge < 0 || edge >= m then
+               fail "step %d: edge %d out of range" step edge
+             else begin
+               let a, b = Graph.endpoints g edge in
+               if a <> v && b <> v then
+                 fail "step %d: edge %d not incident to walker %d at vertex %d"
+                   step edge walker v
+               else if Graph.opposite g edge v <> vertex then
+                 fail "step %d: landing vertex %d is not the opposite endpoint"
+                   step vertex
+               else begin
+                 let has_unvisited = ref false in
+                 for i = 0 to Graph.degree g v - 1 do
+                   if not retired.(Graph.neighbor_edge g v i) then
+                     has_unvisited := true
+                 done;
+                 if blue <> !has_unvisited then
+                   fail "step %d: blue=%b but unvisited incident edges=%b" step
+                     blue !has_unvisited;
+                 if blue then begin
+                   if retired.(edge) then
+                     fail "step %d: blue step re-used retired edge %d" step edge;
+                   retired.(edge) <- true;
+                   incr blue_total
+                 end;
+                 traversed.(edge) <- true;
+                 wpos.(walker) <- vertex;
+                 if not vseen.(vertex) then begin
+                   vseen.(vertex) <- true;
+                   incr vcount
+                 end
+               end
+             end
+         | _ -> ()))
+  ;
+  let cov = Engine.coverage eng in
+  let budget = c.k_max_steps * c.k_walkers in
+  let total = ref 0 in
+  while
+    !bad = None
+    && (not (Coverage.all_vertices_visited cov))
+    && !total < budget
+  do
+    Engine.step eng;
+    incr total
+  done;
+  match !bad with
+  | Some msg -> Error msg
+  | None ->
+      if not (Coverage.all_vertices_visited cov) then
+        err "not covered within %d walker-steps" budget
+      else
+        let* () = check_edge_flags cov traversed in
+        if Engine.blue_steps eng <> !blue_total then
+          err "engine blue steps %d but shadow retired %d edges"
+            (Engine.blue_steps eng) !blue_total
+        else if Coverage.vertices_visited cov <> !vcount then
+          err "vertex counts diverge: coverage %d, shadow %d"
+            (Coverage.vertices_visited cov)
+            !vcount
+        else begin
+          let orc =
+            Oracle.Kernel.create ~mode:Oracle.Kernel.Cooperating
+              Oracle.Kernel.E_uar g
+              (Rng.create ~seed:c.k_seed ())
+              ~starts
+          in
+          let osteps = ref 0 in
+          while
+            (not (Oracle.Kernel.all_vertices_visited orc 0))
+            && !osteps < budget
+          do
+            Oracle.Kernel.step orc;
+            incr osteps
+          done;
+          if not (Oracle.Kernel.all_vertices_visited orc 0) then
+            err "oracle did not cover within %d walker-steps" budget
+          else Ok !total
+        end
+
+let run_kernel_case c =
+  match (c.k_mode, c.k_proc) with
+  | Engine.Cooperating, Engine.E_uar -> kernel_uar_shadow c
+  | _ -> kernel_lockstep c
+
+let stock_kernel_cases ?(walkers = [ 1; 4; 17 ]) ?(seeds = [ 1; 2; 3 ]) () =
+  let procs =
+    [ Engine.E_uar; Engine.E_lowest; Engine.E_highest; Engine.Srw; Engine.Rotor ]
+  in
+  let kmodes = [ Engine.Cooperating; Engine.Competing ] in
+  List.concat_map
+    (fun (label, graph) ->
+      let max_steps = max 50_000 (500 * Graph.m graph) in
+      List.concat_map
+        (fun seed ->
+          List.concat_map
+            (fun w ->
+              List.concat_map
+                (fun mode ->
+                  List.map
+                    (fun p ->
+                      {
+                        k_label = label;
+                        k_graph = graph;
+                        k_seed = seed;
+                        k_walkers = w;
+                        k_mode = mode;
+                        k_proc = p;
+                        k_max_steps = max_steps;
+                      })
+                    procs)
+                kmodes)
+            walkers)
+        seeds)
+    (stock_graphs ())
+
+let run_kernel_suite ?jobs cases =
+  let arr = Array.of_list cases in
+  let results =
+    Pool.with_pool ?jobs (fun pool -> Pool.map_array pool run_kernel_case arr)
+  in
+  let steps = ref 0 and failures = ref [] in
+  Array.iteri
+    (fun i result ->
+      match result with
+      | Ok s -> steps := !steps + s
+      | Error msg -> failures := (kernel_case_name arr.(i), msg) :: !failures)
+    results;
+  {
+    cases = Array.length arr;
+    graphs = distinct (List.map (fun c -> c.k_label) cases);
+    seeds = distinct (List.map (fun c -> c.k_seed) cases);
+    modes =
+      distinct (List.map (fun c -> (c.k_proc, c.k_mode, c.k_walkers)) cases);
+    steps = !steps;
+    failures = List.rev !failures;
+  }

@@ -70,3 +70,46 @@ val run_suite : ?jobs:int -> case list -> report
     (default {!Ewalk_par.Pool.default_jobs}, i.e. the [EWALK_JOBS]
     environment variable).  Case outcomes are positional, so the report is
     identical for every job count. *)
+
+(** {1 Kernel battery}
+
+    The multi-walker counterpart: [Ewalk_kernel.Engine] vs
+    {!Oracle.Kernel} over the same stock graphs, crossed with walker
+    counts and cooperating/competing modes.  Every configuration except
+    cooperating [E_uar] runs in full RNG lockstep — one engine
+    walker-step against one oracle walker-step, comparing the moved
+    walker's position and blue count after each, with final
+    visited-set/vertex-count/rotor-offset reconciliation (per walker in
+    competing mode) — plus per-walker {!Invariant} monitors wherever a
+    stream is a self-contained single walk (all competing configurations,
+    and 1-walker cooperating ones).  Cooperating [E_uar] draws over the
+    swap partition's slot order and legitimately diverges from the
+    oracle; it is validated step by step against a naive shared shadow
+    fed by the engine's own observer instead. *)
+
+type kernel_case = {
+  k_label : string;
+  k_graph : Graph.t;
+  k_seed : int;
+  k_walkers : int;
+  k_mode : Ewalk_kernel.Engine.mode;
+  k_proc : Ewalk_kernel.Engine.proc;
+  k_max_steps : int;  (** per-walker step budget *)
+}
+
+val kernel_case_name : kernel_case -> string
+(** ["kernel/label/proc/mode/w=k/seed=s"] — stable identifier. *)
+
+val run_kernel_case : kernel_case -> (int, string) result
+(** Run one case to cover (shared cover in cooperating mode, first
+    walker's private cover in competing mode) or the budget; [Ok steps]
+    on agreement. *)
+
+val stock_kernel_cases :
+  ?walkers:int list -> ?seeds:int list -> unit -> kernel_case list
+(** Stock graphs x [seeds] (default [[1; 2; 3]]) x [walkers] (default
+    [[1; 4; 17]]) x all five kernel processes x both modes. *)
+
+val run_kernel_suite : ?jobs:int -> kernel_case list -> report
+(** Like {!run_suite}; [modes] counts distinct
+    (process, mode, walker-count) triples. *)

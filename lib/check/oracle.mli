@@ -60,6 +60,55 @@ module Srw : sig
   val step : t -> unit
 end
 
+(** Naive multi-walker reference for the lockstep kernel: a plain
+    round-robin loop over per-walker generators ([Rng.stream root w] — the
+    same stream derivation [Ewalk_kernel.Packed.of_rng] uses), explicit
+    bool-array visited sets (one shared row in cooperating mode, one
+    private row per walker in competing mode), and adjacency-order offset
+    scans.
+
+    RNG alignment: every configuration except {e cooperating} [E_uar]
+    consumes draws in the same order and with the same bounds as
+    [Ewalk_kernel.Engine], so identical seeding reproduces the engine's
+    trajectory bit for bit (the engine's competing mode scans adjacency
+    order too).  Cooperating [E_uar] indexes the swap partition's slot
+    order on the production side and legitimately diverges — the
+    differential harness checks that mode through a naive shadow. *)
+module Kernel : sig
+  type mode = Cooperating | Competing
+  type proc = E_uar | E_lowest | E_highest | Srw_walk | Rotor_walk
+
+  type t
+
+  val create : ?mode:mode -> proc -> Graph.t -> Rng.t -> starts:int array -> t
+  (** Default mode: {!Cooperating}.  Rotor offsets are randomized from the
+      owning walker's stream (walker 0's in cooperating mode), matching
+      [Engine.create ~randomize_rotors:true].  [rng] is not advanced.
+      @raise Invalid_argument on no walkers or a start out of range. *)
+
+  val step : t -> unit
+  (** Advance the round-robin cursor walker one step.
+      @raise Invalid_argument on an isolated vertex. *)
+
+  val walkers : t -> int
+  val positions : t -> int array
+  val walker_position : t -> int -> int
+  val steps : t -> int
+  val blue_steps : t -> int
+  val walker_steps : t -> int -> int
+  val walker_blue_steps : t -> int -> int
+  val walker_red_steps : t -> int -> int
+
+  val visited_row : t -> int -> bool array
+  (** A copy of walker [w]'s visited flags (the shared row in cooperating
+      mode); marks every traversed edge. *)
+
+  val edge_visited : t -> int -> Graph.edge -> bool
+  val vertices_visited : t -> int -> int
+  val all_vertices_visited : t -> int -> bool
+  val rotor_offset : t -> int -> Graph.vertex -> int
+end
+
 (** Rotor-router: per-vertex cyclic slot pointers, no randomness after
     initialisation. *)
 module Rotor : sig

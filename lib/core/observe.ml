@@ -87,6 +87,12 @@ let recorder t =
     update ev;
     if forward then Trace.emit t.sh.sink_ ev
 
+let register_drain t f = t.drains <- f :: t.drains
+let event_recorder = recorder
+
+let phase_event_tracker t =
+  match t.sh.metrics_ with Some m -> Some (phase_tracker m) | None -> None
+
 (* Publish the delta of a monotone native counter into a sharded one. *)
 let delta_drain shard read =
   let last = ref (read ()) in
@@ -227,6 +233,14 @@ let instrument ?resumed_at t (p : Cover.process) =
       | None ->
           Cover.with_step_hook p ~hook:(fun p -> milestones (p.steps_done ()))
     end
+  end
+
+let flush t =
+  if not (is_noop t) then begin
+    run_drains t;
+    match t.sh.metrics_ with
+    | Some _ -> Ewalk_obs.Shard.flush_local ()
+    | None -> ()
   end
 
 let finish t (p : Cover.process) =

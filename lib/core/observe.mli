@@ -58,6 +58,29 @@ val sink : t -> Trace.sink
 val is_noop : t -> bool
 (** True iff there is nothing to record (no metrics, null sink). *)
 
+val is_fast : t -> bool
+(** True iff the bundle is on the metrics fast path: metrics present,
+    null sink — batch-drained native counters instead of per-step
+    events. *)
+
+val register_drain : t -> (unit -> unit) -> unit
+(** Add a fast-path drain to this view: called every drain interval and
+    once at {!finish}.  External process kernels (see
+    [Ewalk_kernel.Kobs]) use this to publish their native counters
+    through the same batching the built-in processes use. *)
+
+val event_recorder : t -> Trace.event -> unit
+(** The bundle's event interpreter: folds [Step]/[Phase] events into the
+    sharded counters and forwards to the sink when live.  This is the
+    closure {!attach_eprocess} installs as the native observer — exposed
+    so external kernels can attach the identical slow path (and produce
+    byte-identical streams). *)
+
+val phase_event_tracker : t -> (Trace.event -> unit) option
+(** A fresh phase-boundary tracker over this bundle's metrics
+    ([phases_blue]/[phases_red]/[phase_length]), or [None] without
+    metrics.  The fast-path companion of {!event_recorder}. *)
+
 val attach_eprocess : t -> Eprocess.t -> unit
 (** Install E-process observation (no-op on a no-op bundle).  With a
     live sink: the native per-step observer, forwarding [Step]/[Phase]
@@ -86,6 +109,11 @@ val instrument : ?resumed_at:int -> t -> Cover.process -> Cover.process
     pre-resume segment already crossed are dropped silently instead of
     re-announced (the original trace carries them), so the tail stream
     stays verifiable by {!Ewalk_check.Replay}. *)
+
+val flush : t -> unit
+(** Run the view's pending drains and flush the shards without touching
+    process-specific state — the end-of-run publish for runs that have no
+    {!Cover.process} adapter (a competing-mode kernel engine). *)
 
 val finish : t -> Cover.process -> unit
 (** Run the view's pending drains, flush the shards, push the final

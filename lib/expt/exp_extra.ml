@@ -280,11 +280,10 @@ let euler_overhead ~pool ~scale ~seed =
       ];
   }
 
-let team_speedup ~pool ~scale ~seed =
+let team_speedup_rows ~pool ~scale ~seed ~ks =
   let n =
     match scale with Sweep.Tiny -> 1_000 | Sweep.Default -> 50_000 | Sweep.Full -> 200_000
   in
-  let ks = [ 1; 2; 4; 8; 16 ] in
   let trials = Sweep.trials scale in
   let base_rounds = ref Float.nan in
   let rows =
@@ -295,10 +294,10 @@ let team_speedup ~pool ~scale ~seed =
           Sweep.map_trials ?pool
             (fun rng ->
               let g = Exp_util.regular_graph rng ~n ~d:4 in
-              let t = Ewalk.Team.create_spread g rng ~walkers:k in
+              let t = Ewalk_kernel.Team.create_spread g rng ~walkers:k in
               Ewalk.Cover.run_until_vertex_cover
                 ~cap:(Ewalk.Cover.default_cap g)
-                (Ewalk.Team.process t))
+                (Ewalk_kernel.Team.process t))
             rngs
         in
         let rounds_acc = Stats.Online.create () in
@@ -338,6 +337,95 @@ let team_speedup ~pool ~scale ~seed =
         "this extension is beyond the paper's scope (DESIGN.md section 4)";
       ];
   }
+
+let team_speedup ~pool ~scale ~seed =
+  team_speedup_rows ~pool ~scale ~seed ~ks:[ 1; 2; 4; 8; 16 ]
+
+let team_speedup_at ~pool ~scale ~seed ~walkers =
+  let ks = if walkers = 1 then [ 1 ] else [ 1; walkers ] in
+  team_speedup_rows ~pool ~scale ~seed ~ks
+
+let kernel_modes_rows ~pool ~scale ~seed ~ks =
+  let module Engine = Ewalk_kernel.Engine in
+  let n =
+    match scale with
+    | Sweep.Tiny -> 512
+    | Sweep.Default -> 8_192
+    | Sweep.Full -> 32_768
+  in
+  let trials = Sweep.trials scale in
+  let rows =
+    List.filter_map
+      (fun k ->
+        let rngs = Sweep.trial_rngs ~seed:(point_seed seed (60 + k) n) ~trials in
+        let per_trial =
+          Sweep.map_trials ?pool
+            (fun rng ->
+              let g = Exp_util.regular_graph rng ~n ~d:4 in
+              let cap = Ewalk.Cover.default_cap g in
+              let coop =
+                let e =
+                  Engine.create_spread ~mode:Engine.Cooperating Engine.E_uar g
+                    rng ~walkers:k
+                in
+                Ewalk.Cover.run_until_vertex_cover ~cap (Engine.process e)
+              in
+              let compete =
+                let e =
+                  Engine.create_spread ~mode:Engine.Competing Engine.E_uar g
+                    rng ~walkers:k
+                in
+                Option.map snd (Engine.run_until_first_cover ~cap e)
+              in
+              (coop, compete))
+            rngs
+        in
+        let coop_acc = Stats.Online.create () in
+        let compete_acc = Stats.Online.create () in
+        Array.iter
+          (fun (coop, compete) ->
+            Option.iter (fun s -> Stats.Online.add coop_acc (fl s /. fl n)) coop;
+            Option.iter
+              (fun s -> Stats.Online.add compete_acc (fl s /. fl n))
+              compete)
+          per_trial;
+        if Stats.Online.count coop_acc = 0 || Stats.Online.count compete_acc = 0
+        then None
+        else begin
+          let coop = Stats.Online.mean coop_acc in
+          let compete = Stats.Online.mean compete_acc in
+          Some
+            [
+              Table.cell_i k;
+              Table.cell_i n;
+              Table.cell_f coop;
+              Table.cell_f compete;
+              Table.cell_f (compete /. Float.max coop 1e-12);
+            ]
+        end)
+      ks
+  in
+  {
+    Table.id = "kernel-modes";
+    title =
+      "Kernel engine: cooperating (shared marks, total work) vs competing \
+       (private marks, first walker to cover) on random 4-regular";
+    header =
+      [ "k"; "n"; "coop total / n"; "compete first cover / n"; "ratio" ];
+    rows;
+    notes =
+      [
+        "cooperating: one shared visited set, steps counted across all walkers";
+        "competing: private visited sets, the column is the first walker's own cover step";
+        "at k=1 both columns measure the same single E-process walk";
+      ];
+  }
+
+let kernel_modes ~pool ~scale ~seed =
+  kernel_modes_rows ~pool ~scale ~seed ~ks:[ 1; 2; 4; 8 ]
+
+let kernel_modes_at ~pool ~scale ~seed ~walkers =
+  kernel_modes_rows ~pool ~scale ~seed ~ks:[ walkers ]
 
 let coverage_profile ~pool ~scale ~seed =
   let n =

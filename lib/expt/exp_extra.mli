@@ -32,8 +32,33 @@ val euler_overhead :
 val team_speedup :
   pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
 (** Extension beyond the paper: [k] E-process walkers with shared edge
-    marks.  Total work to cover stays ~2n for every [k]; the wall-clock
-    (rounds) improves near-linearly in [k]. *)
+    marks (the kernel-backed [Ewalk_kernel.Team]).  Total work to cover
+    stays ~2n for every [k]; the wall-clock (rounds) improves
+    near-linearly in [k]. *)
+
+val team_speedup_at :
+  pool:Ewalk_par.Pool.t option ->
+  scale:Sweep.scale ->
+  seed:int ->
+  walkers:int ->
+  Table.t
+(** {!team_speedup} at one chosen walker count (plus the [k=1] baseline
+    row the speed-up column needs) — the [eproc experiment --walkers]
+    hook. *)
+
+val kernel_modes :
+  pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t
+(** The lockstep kernel's two marking disciplines side by side: total
+    cooperative work to cover vs the first competing walker's own cover
+    step, per walker count. *)
+
+val kernel_modes_at :
+  pool:Ewalk_par.Pool.t option ->
+  scale:Sweep.scale ->
+  seed:int ->
+  walkers:int ->
+  Table.t
+(** {!kernel_modes} at one chosen walker count. *)
 
 val coverage_profile :
   pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t

@@ -5,6 +5,15 @@ type entry = {
   id : string;
   paper_item : string; (** which figure / theorem / equation it reproduces *)
   run : pool:Ewalk_par.Pool.t option -> scale:Sweep.scale -> seed:int -> Table.t;
+  run_walkers :
+    (pool:Ewalk_par.Pool.t option ->
+    scale:Sweep.scale ->
+    seed:int ->
+    walkers:int ->
+    Table.t)
+    option;
+      (** Present on the multi-walker experiments: the same table pinned
+          to one walker count ([eproc experiment --walkers]). *)
 }
 
 val all : entry list
@@ -17,12 +26,14 @@ val ids : unit -> string list
 
 val run_timed :
   ?pool:Ewalk_par.Pool.t ->
+  ?walkers:int ->
   entry -> scale:Sweep.scale -> seed:int -> Table.t * float
 (** Run one experiment under an {!Ewalk_obs.Timer} span (and an ambient
     {!Ewalk_obs.Prof} span [experiment:<id>] when profiling is enabled);
     returns the table and the wall seconds it took.  With [pool], trial
     sweeps shard across its domains (tables stay bit-identical to the
-    sequential run). *)
+    sequential run).  [walkers] engages the entry's [run_walkers] hook
+    when it has one and is ignored otherwise. *)
 
 val record_run :
   Ewalk_obs.Metrics.t -> entry -> table:Table.t -> seconds:float -> unit

@@ -1,0 +1,80 @@
+module Observe = Ewalk.Observe
+module Metrics = Ewalk_obs.Metrics
+module Shard = Ewalk_obs.Shard
+module Trace = Ewalk_obs.Trace
+
+(* Cap on per-walker labelled series: beyond this many walkers only the
+   aggregate counters are published (a 1000-walker engine should not mint
+   4000 registry names). *)
+let per_walker_cap = 32
+
+let attach obs k =
+  if not (Observe.is_noop obs) then begin
+    let w = Engine.walkers k in
+    let metrics = Observe.metrics obs in
+    (match metrics with
+    | Some m when w > 1 ->
+        Metrics.set (Metrics.gauge m "kernel_walkers") (float_of_int w)
+    | _ -> ());
+    let walker_counters =
+      match metrics with
+      | Some m when w > 1 && w <= per_walker_cap ->
+          Some
+            (Array.init w (fun i ->
+                 let series name =
+                   Shard.counter m
+                     (Metrics.with_label name ~key:"walker"
+                        ~value:(string_of_int i))
+                 in
+                 (series "blue_steps", series "red_steps")))
+      | _ -> None
+    in
+    if Observe.is_fast obs then begin
+      (* Fast path: no per-step events — counters drain in batches from the
+         engine's native SoA fields, phases ride the boundary observer. *)
+      (match metrics with
+      | Some m ->
+          let blue_c = Shard.counter m "blue_steps" in
+          let red_c = Shard.counter m "red_steps" in
+          let delta shard read =
+            let last = ref (read ()) in
+            fun () ->
+              let now = read () in
+              Shard.add shard (now - !last);
+              last := now
+          in
+          Observe.register_drain obs
+            (delta blue_c (fun () -> Engine.blue_steps k));
+          Observe.register_drain obs (delta red_c (fun () -> Engine.red_steps k));
+          (match walker_counters with
+          | Some arr ->
+              Array.iteri
+                (fun i (bc, rc) ->
+                  Observe.register_drain obs
+                    (delta bc (fun () -> Engine.walker_blue_steps k i));
+                  Observe.register_drain obs
+                    (delta rc (fun () -> Engine.walker_red_steps k i)))
+                arr
+          | None -> ())
+      | None -> ());
+      match Observe.phase_event_tracker obs with
+      | Some tracker ->
+          Engine.set_phase_observer k (Some (fun ~walker:_ ev -> tracker ev))
+      | None -> ()
+    end
+    else begin
+      (* Live sink: the bundle's own event interpreter gets the per-step
+         stream (at W=1 this is byte-identical to the legacy attach), with
+         per-walker counters folded in on the side when enabled. *)
+      let recorder = Observe.event_recorder obs in
+      let f ~walker ev =
+        (match (walker_counters, ev) with
+        | Some arr, Trace.Step { blue; _ } ->
+            let bc, rc = arr.(walker) in
+            Shard.incr (if blue then bc else rc)
+        | _ -> ());
+        recorder ev
+      in
+      Engine.set_observer k (Some f)
+    end
+  end

@@ -1,0 +1,15 @@
+(** Observability wiring for the lockstep engine — the kernel's
+    counterpart of [Ewalk.Observe.attach_eprocess].
+
+    [attach obs k] is a no-op on a no-op bundle.  On the metrics fast
+    path (metrics, null sink) it registers batch drains over the engine's
+    native step counters — aggregate [blue_steps]/[red_steps], plus
+    name-encoded per-walker series ([blue_steps_walker_i], see
+    {!Ewalk_obs.Metrics.with_label}) when [1 < W <= 32] — and installs
+    only the phase-boundary observer; nothing is allocated per step.
+    With a live sink it installs the bundle's event interpreter as the
+    engine's per-step observer, so a W=1 cooperating engine produces a
+    byte-identical trace to the legacy attach.  Engines with more than
+    one walker also publish a [kernel_walkers] gauge. *)
+
+val attach : Ewalk.Observe.t -> Engine.t -> unit

@@ -1,0 +1,47 @@
+open Ewalk_graph
+module Rng = Ewalk_prng.Rng
+module Cover = Ewalk.Cover
+module Coverage = Ewalk.Coverage
+
+type t = Engine.t
+
+let create ?rule:_ g rng ~starts =
+  if starts = [] then invalid_arg "Team.create: no walkers";
+  List.iter
+    (fun v ->
+      if v < 0 || v >= Graph.n g then
+        invalid_arg "Team.create: start out of range")
+    starts;
+  Engine.create Engine.E_uar g rng ~starts:(Array.of_list starts)
+
+let create_spread g rng ~walkers =
+  if walkers < 1 then invalid_arg "Team.create_spread: walkers < 1";
+  if Graph.n g = 0 then invalid_arg "Team.create_spread: empty graph";
+  let starts = List.init walkers (fun _ -> Rng.int rng (Graph.n g)) in
+  create g rng ~starts
+
+let graph = Engine.graph
+let walkers = Engine.walkers
+let positions = Engine.positions
+let steps = Engine.steps
+let rounds = Engine.rounds
+let coverage = Engine.coverage
+
+let step t =
+  try Engine.step t
+  with Invalid_argument _ -> invalid_arg "Team.step: isolated vertex"
+
+let step_round t =
+  for _ = 1 to Engine.walkers t do
+    step t
+  done
+
+let process t =
+  let p = Engine.process t in
+  {
+    p with
+    Cover.name = Printf.sprintf "team-e-process(%d)" (Engine.walkers t);
+    step = (fun () -> step t);
+  }
+
+let engine t = t

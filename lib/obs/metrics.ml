@@ -38,6 +38,27 @@ type t = {
 
 let create () = { t_mutex = Mutex.create (); instruments = Hashtbl.create 16 }
 
+(* The registry is name-keyed (no label dimensions), so labelled series
+   are name-encoded: [with_label "blue_steps" ~key:"walker" ~value:"3"] is
+   ["blue_steps_walker_3"].  The value is sanitised to the OpenMetrics
+   name alphabet so the exporter never has to rewrite it. *)
+let with_label name ~key ~value =
+  let buf =
+    Buffer.create (String.length name + String.length key + String.length value + 2)
+  in
+  Buffer.add_string buf name;
+  Buffer.add_char buf '_';
+  Buffer.add_string buf key;
+  Buffer.add_char buf '_';
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' ->
+          Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    value;
+  Buffer.contents buf
+
 let clash name =
   invalid_arg
     (Printf.sprintf "Metrics: %S already registered with a different kind" name)

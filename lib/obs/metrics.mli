@@ -35,6 +35,14 @@ type histogram
 
 val create : unit -> t
 
+val with_label : string -> key:string -> value:string -> string
+(** [with_label name ~key ~value] is the canonical name-encoding of a
+    labelled series in this name-keyed registry:
+    ["<name>_<key>_<value>"], with [value] sanitised to the OpenMetrics
+    name alphabet ([[a-zA-Z0-9_:]]; anything else becomes [_]).  The
+    multi-walker kernel publishes per-walker counters this way
+    ([blue_steps_walker_3]). *)
+
 val counter : t -> string -> counter
 (** [counter t name] registers (or retrieves — same name, same instrument)
     a monotonically increasing integer counter starting at 0. *)

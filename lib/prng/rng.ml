@@ -25,6 +25,26 @@ let split t =
 
 let split_n t k = Array.init k (fun _ -> split t)
 
+let stream t i =
+  if i < 0 then invalid_arg "Rng.stream: negative index";
+  if i = 0 then copy t
+  else begin
+    (* SplitMix jump: fold the parent's state words into a 64-bit base,
+       then advance the SplitMix Weyl sequence by [i] increments and
+       finalise.  Distinct [i] give distinct, decorrelated seeds; the
+       parent is never advanced, so stream 0 (the parent's own copy)
+       stays bit-identical to the parent. *)
+    let s0, s1, s2, s3 = Xoshiro.state t in
+    let base =
+      List.fold_left
+        (fun acc w -> Splitmix.mix (Int64.add acc w))
+        0L [ s0; s1; s2; s3 ]
+    in
+    of_int64
+      (Splitmix.mix
+         (Int64.add base (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int i))))
+  end
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
   if bound land (bound - 1) = 0 then

@@ -24,6 +24,15 @@ val split : t -> t
 val split_n : t -> int -> t array
 (** [split_n t k] is [k] independent children of [t]. *)
 
+val stream : t -> int -> t
+(** [stream t i] is the [i]-th derived stream of [t], without advancing
+    [t]: stream 0 is [copy t] (bit-identical to the parent), and streams
+    [i > 0] are seeded by a SplitMix jump over the parent's state words —
+    distinct indices give decorrelated streams even when the parent seed
+    is reused.  The multi-walker kernel assigns stream [i] to walker [i],
+    so walkers can never collide on a PRNG stream.
+    @raise Invalid_argument if [i < 0]. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state (same future stream). *)
 

@@ -1,5 +1,6 @@
 open Ewalk_graph
 module Json = Ewalk_obs.Json
+module Kengine = Ewalk_kernel.Engine
 
 let schema = "ewalk-snapshot/1"
 
@@ -7,21 +8,25 @@ type walk =
   | Eprocess of Ewalk.Eprocess.t
   | Srw of Ewalk.Srw.t
   | Rotor of Ewalk.Rotor.t
+  | Kernel of Kengine.t
 
 let kind_name = function
   | Eprocess p -> (Ewalk.Eprocess.process p).Ewalk.Cover.name
   | Srw w -> (Ewalk.Srw.process w).Ewalk.Cover.name
   | Rotor r -> (Ewalk.Rotor.process r).Ewalk.Cover.name
+  | Kernel k -> Kengine.name k
 
 let walk_steps = function
   | Eprocess p -> Ewalk.Eprocess.steps p
   | Srw w -> Ewalk.Srw.steps w
   | Rotor r -> Ewalk.Rotor.steps r
+  | Kernel k -> Kengine.steps k
 
 let walk_position = function
   | Eprocess p -> Ewalk.Eprocess.position p
   | Srw w -> Ewalk.Srw.position w
   | Rotor r -> Ewalk.Rotor.position r
+  | Kernel k -> Kengine.position k
 
 type error = Io of string | Corrupt of string | Mismatch of string
 
@@ -140,6 +145,55 @@ let payload_of_walk walk =
             ("steps", Json.Int ck.ck_steps);
             ("rotor", int_array ck.ck_rotor);
             ("coverage", coverage_json ck.ck_coverage);
+          ])
+  | Kernel k ->
+      let ck = Kengine.checkpoint k in
+      let kernel_phase_kind = function
+        | Kengine.Blue -> "blue"
+        | Kengine.Red -> "red"
+      in
+      let phase_cell = function
+        | None -> Json.Null
+        | Some (kind, start_step, start_vertex) ->
+            Json.Obj
+              [
+                ("kind", Json.String (kernel_phase_kind kind));
+                ("start_step", Json.Int start_step);
+                ("start_vertex", Json.Int start_vertex);
+              ]
+      in
+      Json.Obj
+        ([ ("kind", Json.String "kernel") ]
+        @ graph_fields (Kengine.graph k)
+        @ [
+            ( "proc",
+              Json.String
+                (match ck.Kengine.ck_proc with
+                | Kengine.E_uar -> "e-uar"
+                | Kengine.E_lowest -> "e-lowest"
+                | Kengine.E_highest -> "e-highest"
+                | Kengine.Srw -> "srw"
+                | Kengine.Rotor -> "rotor") );
+            ("walkers", Json.Int (Array.length ck.Kengine.ck_pos));
+            ("pos", int_array ck.Kengine.ck_pos);
+            ("cursor", Json.Int ck.Kengine.ck_cursor);
+            ("steps", Json.Int ck.Kengine.ck_steps);
+            ("wsteps", int_array ck.Kengine.ck_wsteps);
+            ("wblue", int_array ck.Kengine.ck_wblue);
+            ("wred", int_array ck.Kengine.ck_wred);
+            ("prng", rng_words ck.Kengine.ck_prng);
+            ("coverage", coverage_json ck.Kengine.ck_coverage);
+            ( "unvisited",
+              match ck.Kengine.ck_unvisited with
+              | None -> Json.Null
+              | Some u -> unvisited_json u );
+            ( "rotor",
+              match ck.Kengine.ck_rotor with
+              | None -> Json.Null
+              | Some r -> int_array r );
+            ( "phase",
+              Json.List
+                (Array.to_list (Array.map phase_cell ck.Kengine.ck_phase)) );
           ])
 
 (* ------------------------------------------------------------------ *)
@@ -292,6 +346,64 @@ let walk_of_payload g j =
         }
       in
       Rotor (Ewalk.Rotor.of_checkpoint g ck)
+  | "kernel" ->
+      let proc =
+        match get_string "proc" j with
+        | "e-uar" -> Kengine.E_uar
+        | "e-lowest" -> Kengine.E_lowest
+        | "e-highest" -> Kengine.E_highest
+        | "srw" -> Kengine.Srw
+        | "rotor" -> Kengine.Rotor
+        | other -> fail "unknown kernel proc %S" other
+      in
+      let kernel_phase_kind name = function
+        | "blue" -> Kengine.Blue
+        | "red" -> Kengine.Red
+        | other -> fail "field %S has unknown phase kind %S" name other
+      in
+      let phase =
+        match field "phase" j with
+        | Json.List l ->
+            Array.of_list
+              (List.map
+                 (fun p ->
+                   match p with
+                   | Json.Null -> None
+                   | p ->
+                       Some
+                         ( kernel_phase_kind "phase" (get_string "kind" p),
+                           get_int "start_step" p,
+                           get_int "start_vertex" p ))
+                 l)
+        | _ -> fail "field \"phase\" is not an array"
+      in
+      let ck : Kengine.checkpoint =
+        {
+          ck_proc = proc;
+          ck_pos = get_int_array "pos" j;
+          ck_cursor = get_int "cursor" j;
+          ck_steps = get_int "steps" j;
+          ck_wsteps = get_int_array "wsteps" j;
+          ck_wblue = get_int_array "wblue" j;
+          ck_wred = get_int_array "wred" j;
+          ck_prng = get_rng_words "prng" j;
+          ck_coverage = coverage_of_json (field "coverage" j);
+          ck_unvisited =
+            (match field "unvisited" j with
+            | Json.Null -> None
+            | u -> Some (unvisited_of_json u));
+          ck_rotor =
+            (match field "rotor" j with
+            | Json.Null -> None
+            | _ -> Some (get_int_array "rotor" j));
+          ck_phase = phase;
+        }
+      in
+      let w = Array.length ck.Kengine.ck_pos in
+      if Array.length phase <> w then
+        fail "field \"phase\" has %d entries for %d walkers"
+          (Array.length phase) w;
+      Kernel (Kengine.of_checkpoint g ck)
   | other -> fail "unknown walk kind %S" other
 
 (* ------------------------------------------------------------------ *)
@@ -379,7 +491,14 @@ let describe ~path =
         let kind = get_string "kind" payload in
         let n = get_int "n" payload and m = get_int "m" payload in
         let steps = get_int "steps" payload in
-        let pos = get_int "pos" payload in
+        let where =
+          match kind with
+          | "kernel" ->
+              Printf.sprintf "%d walkers (cursor %d)"
+                (get_int "walkers" payload)
+                (get_int "cursor" payload)
+          | _ -> Printf.sprintf "at vertex %d" (get_int "pos" payload)
+        in
         let extra =
           match kind with
           | "eprocess" ->
@@ -387,14 +506,15 @@ let describe ~path =
                 (get_string "rule" payload)
                 (get_int "blue_steps" payload)
                 (get_int "red_steps" payload)
+          | "kernel" -> Printf.sprintf " proc=%s" (get_string "proc" payload)
           | _ -> ""
         in
         let coverage = field "coverage" payload in
         Ok
           (Printf.sprintf
-             "%s: %s walk on n=%d m=%d, %d steps, at vertex %d, %d/%d \
-              vertices %d/%d edges visited%s"
-             schema kind n m steps pos
+             "%s: %s walk on n=%d m=%d, %d steps, %s, %d/%d vertices %d/%d \
+              edges visited%s"
+             schema kind n m steps where
              (get_int "vertices_seen" coverage)
              n
              (get_int "edges_seen" coverage)

@@ -28,7 +28,12 @@ type walk =
   | Eprocess of Ewalk.Eprocess.t
   | Srw of Ewalk.Srw.t
   | Rotor of Ewalk.Rotor.t
-      (** The processes that can be snapshotted.  Excluded: adversarial
+  | Kernel of Ewalk_kernel.Engine.t
+      (** The processes that can be snapshotted.  [Kernel] carries a
+          cooperating multi-walker engine (positions, per-walker
+          step/phase counters and the full packed PRNG bank travel in the
+          payload); competing engines are not snapshottable — see
+          [Ewalk_kernel.Engine.checkpoint].  Excluded: adversarial
           E-process rules and weighted walks (both carry state that is not
           plain data — see the core [checkpoint] functions). *)
 

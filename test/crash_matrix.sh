@@ -13,6 +13,10 @@
 # snapshot, and require (a) verify-trace to accept both streams and (b) the
 # resumed tail to be byte-identical to the corresponding tail of the
 # uninterrupted stream.  Corrupted snapshots must be rejected with exit 2.
+#
+# Kernel half: the same kill-and-resume discipline for a W=4 lockstep run —
+# cut at every checkpoint boundary, resume, and require the resumed step
+# stream to be byte-identical to the uninterrupted run's tail.
 set -u
 
 EPROC=${EPROC:-_build/default/bin/eproc.exe}
@@ -161,6 +165,51 @@ expect_exit 0 "checkpoint-inspect reads a healthy snapshot" \
   "$EPROC" checkpoint-inspect "$work/snap"
 expect_exit 0 "checkpoint-inspect reads a campaign directory" \
   "$EPROC" checkpoint-inspect "$work/probe"
+
+# --- kernel campaign: W=4 lockstep kill-and-resume --------------------------
+# (No verify-trace here: a multi-walker stream interleaves four walks and
+# is not a single-walk trace; byte equality against the uninterrupted run
+# is the correctness criterion.)
+
+KTR="$G --process e-process --walkers 4"
+KEVERY=50
+
+note "kernel trace checkpoint/resume on $KTR"
+check
+"$EPROC" trace $KTR --out "$work/kfull.jsonl" >/dev/null 2>&1 \
+  || fail "uninterrupted kernel trace run failed"
+KSTEPS=$(grep -c '"type":"step"' "$work/kfull.jsonl")
+note "kernel run covers in $KSTEPS walker-steps; killing at every ${KEVERY}-step boundary"
+
+kcut=$KEVERY
+while [ "$kcut" -lt "$KSTEPS" ]; do
+  check
+  "$EPROC" trace $KTR --checkpoint "$work/ksnap" --checkpoint-every $KEVERY \
+    --max-steps "$kcut" --out "$work/khead.jsonl" >/dev/null 2>&1 \
+    || fail "kernel head run to step $kcut failed"
+  check
+  [ -f "$work/ksnap" ] || fail "no kernel snapshot at the $kcut-step boundary"
+  check
+  "$EPROC" trace $KTR --resume-from "$work/ksnap" --out "$work/ktail.jsonl" \
+    >/dev/null 2>&1 || fail "kernel resume from step $kcut failed"
+  check
+  grep '"type":"step"' "$work/kfull.jsonl" | tail -n +$((kcut + 1)) \
+    > "$work/kfull-tail.steps"
+  grep '"type":"step"' "$work/ktail.jsonl" > "$work/kresumed.steps"
+  cmp -s "$work/kfull-tail.steps" "$work/kresumed.steps" \
+    || fail "kernel resumed stream differs from the uninterrupted tail (cut $kcut)"
+  kcut=$((kcut + KEVERY))
+done
+
+expect_exit 0 "checkpoint-inspect reads a kernel snapshot" \
+  "$EPROC" checkpoint-inspect "$work/ksnap"
+
+ksize=$(wc -c < "$work/ksnap")
+head -c $((ksize - 10)) "$work/ksnap" > "$work/ksnap.trunc"
+expect_exit 2 "truncated kernel snapshot rejected by checkpoint-inspect" \
+  "$EPROC" checkpoint-inspect "$work/ksnap.trunc"
+expect_exit 2 "truncated kernel snapshot rejected by --resume-from" \
+  "$EPROC" trace $KTR --resume-from "$work/ksnap.trunc" --out /dev/null
 
 # --- corrupted snapshots are rejected, never half-loaded --------------------
 

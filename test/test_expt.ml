@@ -174,8 +174,8 @@ let families_known_list () =
 (* -- Registry --------------------------------------------------------------- *)
 
 let registry_complete () =
-  (* DESIGN.md section 4 lists 26 experiments. *)
-  Alcotest.(check int) "26 experiments" 26 (List.length Experiments.all);
+  (* DESIGN.md section 4 lists 27 experiments. *)
+  Alcotest.(check int) "27 experiments" 27 (List.length Experiments.all);
   let ids = Experiments.ids () in
   List.iter
     (fun id ->

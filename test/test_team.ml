@@ -3,7 +3,7 @@
 module Graph = Ewalk_graph.Graph
 module Gen_classic = Ewalk_graph.Gen_classic
 module Gen_regular = Ewalk_graph.Gen_regular
-module Team = Ewalk.Team
+module Team = Ewalk_kernel.Team
 module Unvisited = Ewalk.Unvisited
 module Coverage = Ewalk.Coverage
 module Cover = Ewalk.Cover
