@@ -1,6 +1,6 @@
-.PHONY: all build test test-par test-crash test-kernel serve-smoke bench \
-	bench-json bench-baseline bench-check check-oracle ci fmt fmt-check \
-	clean
+.PHONY: all build test test-par test-crash test-kernel serve-smoke \
+	runs-smoke bench bench-json bench-baseline bench-check check-oracle \
+	ci fmt fmt-check clean
 
 all: build
 
@@ -13,9 +13,10 @@ test:
 # Everything CI gates on: the build, the test suite, dune-file formatting,
 # the bench regression check against the committed baseline, the oracle
 # differential suite, the kernel differential battery, the
-# crash-equivalence matrix, and the live-endpoint smoke test.
+# crash-equivalence matrix, and the live-endpoint and run-store smoke
+# tests.
 ci: build test fmt-check bench-check check-oracle test-kernel test-crash \
-	serve-smoke
+	serve-smoke runs-smoke
 
 # Crash-equivalence matrix: kill a checkpointed campaign at every trial
 # boundary (at --jobs 1 and 4), resume it, and require bit-identical
@@ -31,6 +32,12 @@ test-crash: build
 # See test/serve_smoke.sh.
 serve-smoke: build
 	bash test/serve_smoke.sh
+
+# Run-store smoke: mint runs with pinned epochs (deterministic ids), build
+# a checkpoint/resume chain, record throughput series, and exercise
+# `eproc runs list/show/compare` end to end.  See test/runs_smoke.sh.
+runs-smoke: build
+	bash test/runs_smoke.sh
 
 # Run every production walk against the naive reference oracles over the
 # stock graph/seed/mode matrix, serially and with 4 domains (the report is

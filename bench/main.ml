@@ -244,6 +244,31 @@ let headline_kernels kernels =
               min_ns = s.Benchstat.min_ns /. headline_steps;
             } )
   in
+  (* Rate twins of the headline kernels: the same runs re-expressed as
+     steps/second, a higher-is-better series (`eproc bench-diff` inverts
+     the regression direction for names containing "per_second", so a
+     throughput drop — e.g. the sampler growing a hot-path cost — trips
+     the gate from this side too).  Derived, not re-measured; the MAD
+     maps through first-order propagation: MAD(c/x) ~ c.MAD(x)/x^2. *)
+  let derive_rate headline src =
+    match List.assoc_opt src kernels with
+    | None -> None
+    | Some (s : Benchstat.stats) ->
+        let med = s.Benchstat.median_ns in
+        if med <= 0.0 then None
+        else
+          let c = 1e9 *. headline_steps in
+          Some
+            ( headline,
+              {
+                s with
+                Benchstat.median_ns = c /. med;
+                mad_ns = c *. s.Benchstat.mad_ns /. (med *. med);
+                min_ns =
+                  (if s.Benchstat.min_ns > 0.0 then c /. s.Benchstat.min_ns
+                   else 0.0);
+              } )
+  in
   List.filter_map
     (fun (headline, src) -> derive headline src)
     [
@@ -255,13 +280,25 @@ let headline_kernels kernels =
         "kernel:competing-euar-w8-10k-steps" );
       ("headline:kernel_srw_ns_per_walker_step", "kernel:srw-w8-10k-steps");
     ]
+  @ List.filter_map
+      (fun (headline, src) -> derive_rate headline src)
+      [
+        ("headline:steps_per_second_eprocess", "fig1:eprocess-10k-steps");
+        ( "headline:steps_per_second_eprocess_metrics",
+          "obs:eprocess-10k-steps-metrics" );
+        ("headline:steps_per_second_kernel_euar_w8", "kernel:euar-w8-10k-steps");
+      ]
 
 let print_headlines headlines =
   List.iter
     (fun (name, (s : Benchstat.stats)) ->
-      Printf.printf "%-36s %12s %21s\n" name
-        (Printf.sprintf "%.1f ns/step" s.Benchstat.median_ns)
-        (Printf.sprintf "%.2fM steps/sec" (1e3 /. s.Benchstat.median_ns)))
+      if Ewalk_obs.Ledger.higher_is_better name then
+        Printf.printf "%-36s %12s %21s\n" name ""
+          (Printf.sprintf "%.2fM steps/sec" (s.Benchstat.median_ns /. 1e6))
+      else
+        Printf.printf "%-36s %12s %21s\n" name
+          (Printf.sprintf "%.1f ns/step" s.Benchstat.median_ns)
+          (Printf.sprintf "%.2fM steps/sec" (1e3 /. s.Benchstat.median_ns)))
     headlines;
   if headlines <> [] then print_newline ()
 
@@ -551,6 +588,15 @@ let jobs_of_argv () =
   scan (Array.to_list Sys.argv)
 
 let () =
+  (* The bench run mints its own run id so ledger records (and the
+     BENCH_history rows derived from them) join the provenance store. *)
+  ignore
+    (Ewalk_obs.Runlog.begin_run
+       ~config:
+         ("bench "
+         ^ String.concat " " (List.tl (Array.to_list Sys.argv)))
+       ()
+      : Ewalk_obs.Runlog.t);
   let skip name = Sys.getenv_opt name = Some "1" in
   let skip_micro = skip "EWALK_BENCH_SKIP_MICRO" in
   let skip_experiments = skip "EWALK_BENCH_SKIP_EXPERIMENTS" in

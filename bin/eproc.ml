@@ -113,11 +113,35 @@ let with_profile enabled f =
 
 let write_metrics path metrics =
   Obs.Metrics.write_file metrics path;
+  Obs.Runlog.note_artifact ~key:"metrics" ~path;
   Printf.printf "wrote %s\n" path
 
 let write_openmetrics ?prof path metrics =
   Obs.Export.write_file ?prof metrics path;
+  Obs.Runlog.note_artifact ~key:"openmetrics" ~path;
   Printf.printf "wrote %s (OpenMetrics)\n" path
+
+(* When EWALK_RUNS_DIR is armed, point the throughput sampler's spill at
+   runs/<id>/throughput.jsonl.  Called once after [Runlog.begin_run] and
+   again after every [adopt_parent] (adoption re-derives the id, and a
+   resumed leg's series belongs under the new id; no samples exist yet at
+   adoption time because the walk has not started). *)
+let arm_run_outputs () =
+  match (Obs.Runlog.current (), Sys.getenv_opt "EWALK_RUNS_DIR") with
+  | Some r, Some root when root <> "" ->
+      let path =
+        Filename.concat (Filename.concat root r.Obs.Runlog.run_id)
+          "throughput.jsonl"
+      in
+      Obs.Throughput.set_output path;
+      Obs.Runlog.note_artifact ~key:"throughput" ~path
+  | _ -> ()
+
+(* Resumed legs re-derive their run id with the parent folded in; every
+   artifact stamped after this point carries the child id. *)
+let adopt_parent_run parent =
+  ignore (Obs.Runlog.adopt_parent parent : Obs.Runlog.t);
+  arm_run_outputs ()
 
 (* The one-line busy/utilization summary a jobs>1 run ends with, so a poor
    speedup arrives with its per-lane explanation attached. *)
@@ -157,10 +181,19 @@ let progress_body ?pool ~t0 registry () =
   in
   let opt f = function Some v -> f v | None -> Obs.Json.Null in
   let steps = counter "steps" in
-  let steps_per_second =
+  let steps_per_second_lifetime =
     match steps with
     | Some s when elapsed > 0.0 -> Some (float_of_int s /. elapsed)
     | _ -> None
+  in
+  (* The headline rate is the windowed recent rate from the throughput
+     sampler (what the run is doing right now); the lifetime average stays as
+     a second field.  Before the sampler has two samples the window is
+     empty, so fall back to the lifetime value rather than going null. *)
+  let steps_per_second =
+    match Obs.Throughput.windowed_rate () with
+    | Some r -> Some r
+    | None -> steps_per_second_lifetime
   in
   let vfrac = gauge "coverage_vertex_fraction" in
   let efrac = gauge "coverage_edge_fraction" in
@@ -198,9 +231,13 @@ let progress_body ?pool ~t0 registry () =
     (Obs.Json.Obj
        ([
           ("elapsed_s", Obs.Json.Float elapsed);
+          ( "run_id",
+            opt (fun id -> Obs.Json.String id) (Obs.Runlog.run_id ()) );
           ("steps", opt (fun s -> Obs.Json.Int s) steps);
           ( "steps_per_second",
             opt (fun v -> Obs.Json.Float v) steps_per_second );
+          ( "steps_per_second_lifetime",
+            opt (fun v -> Obs.Json.Float v) steps_per_second_lifetime );
           ("coverage_vertex_fraction", opt (fun v -> Obs.Json.Float v) vfrac);
           ("coverage_edge_fraction", opt (fun v -> Obs.Json.Float v) efrac);
           ("eta_s", opt (fun v -> Obs.Json.Float v) eta_s);
@@ -323,6 +360,14 @@ let experiment_cmd =
       match checkpoint_dir with
       | None -> None
       | Some dir -> (
+          (* A resumed leg is a child run of the campaign's creating run:
+             adopt the manifest's run id before opening, so the reopened
+             manifest and every journal row this leg appends carry the
+             child id (with parent_run_id pointing at the ancestor). *)
+          (if resume then
+             match Ewalk_resume.Campaign.provenance ~dir with
+             | Ok r -> adopt_parent_run r.Obs.Runlog.run_id
+             | Error _ -> ());
           let manifest =
             [
               ("experiment", Obs.Json.String id);
@@ -332,6 +377,7 @@ let experiment_cmd =
           in
           match Ewalk_resume.Campaign.open_ ~dir ~manifest ~resume with
           | Ok c ->
+              Obs.Runlog.note_artifact ~key:"campaign" ~path:dir;
               Ewalk_resume.Campaign.set_ambient (Some c);
               Some c
           | Error e ->
@@ -763,9 +809,11 @@ let trace_cmd =
     let g = Expt.Families.build family rng ~n in
     let oc, close_oc =
       if out = "-" then (stdout, fun () -> flush stdout)
-      else
+      else begin
+        Obs.Runlog.note_artifact ~key:"trace" ~path:out;
         let oc = open_out out in
         (oc, fun () -> close_out_noerr oc)
+      end
     in
     Fun.protect ~finally:close_oc (fun () ->
         let sink = Obs.Trace.jsonl oc in
@@ -790,12 +838,16 @@ let trace_cmd =
         let walk_opt, (p, attach_native), resumed_at =
           match resume_from with
           | Some path -> (
-              match Ewalk_resume.Snapshot.read g ~path with
+              match Ewalk_resume.Snapshot.read_with_id g ~path with
               | Error e ->
                   Printf.eprintf "eproc trace: %s: %s\n" path
                     (Ewalk_resume.Snapshot.error_to_string e);
                   exit 2
-              | Ok w ->
+              | Ok (w, snap_run) ->
+                  (* Adopt before instrumentation so the trace prologue's
+                     run_info and any checkpoint written by this leg carry
+                     the child id. *)
+                  adopt_parent_run snap_run.Obs.Runlog.run_id;
                   ( Some w,
                     process_of_walk w,
                     Some (Ewalk_resume.Snapshot.walk_steps w) ))
@@ -831,6 +883,7 @@ let trace_cmd =
                       process;
                     exit 2
               in
+              Obs.Runlog.note_artifact ~key:"checkpoint" ~path;
               let checkpoints_c = Obs.Metrics.counter registry "checkpoints" in
               Ewalk.Cover.with_step_hook p ~hook:(fun p ->
                   let step = p.Ewalk.Cover.steps_done () in
@@ -933,9 +986,9 @@ let verify_trace_cmd =
              let line = input_line ic in
              incr lineno;
              if String.trim line <> "" then
-               match Obs.Trace.event_of_string line with
+               match Obs.Trace.event_of_line ~line:!lineno line with
                | Error e ->
-                   Printf.eprintf "eproc verify-trace: line %d: %s\n" !lineno e;
+                   Printf.eprintf "eproc verify-trace: %s\n" e;
                    exit 2
                | Ok ev -> (
                    match Ewalk_check.Replay.feed verifier ev with
@@ -1270,10 +1323,16 @@ let bench_diff_cmd =
         "delta" "tolerance";
       List.iter
         (fun v ->
-          Printf.printf "%-36s %9.2f us %9.2f us %+8.1f%% %9.1f%% %s\n"
+          (* Rate kernels carry steps/second, not nanoseconds. *)
+          let cell x =
+            if Obs.Ledger.higher_is_better v.Obs.Ledger.v_kernel then
+              Printf.sprintf "%9.2fM/s" (x /. 1e6)
+            else Printf.sprintf "%9.2f us" (x /. 1e3)
+          in
+          Printf.printf "%-36s %s %s %+8.1f%% %9.1f%% %s\n"
             v.Obs.Ledger.v_kernel
-            (v.Obs.Ledger.v_base_ns /. 1e3)
-            (v.Obs.Ledger.v_cand_ns /. 1e3)
+            (cell v.Obs.Ledger.v_base_ns)
+            (cell v.Obs.Ledger.v_cand_ns)
             v.Obs.Ledger.v_delta_percent v.Obs.Ledger.v_tolerance_percent
             (if v.Obs.Ledger.v_regressed then "REGRESSED" else "ok"))
         verdicts
@@ -1324,6 +1383,333 @@ let report_cmd =
        ~doc:"Run every experiment and emit one markdown results report.")
     Term.(const run $ scale_arg $ seed_arg $ out_arg $ jobs_arg)
 
+(* -- runs ------------------------------------------------------------------ *)
+
+(* Provenance browser over the runs directory: every eproc invocation run
+   with EWALK_RUNS_DIR set leaves runs/<id>/meta.json (plus
+   throughput.jsonl once the walk produced samples); `eproc runs` lists
+   them, reassembles parent_run_id resume chains, cross-references flight
+   dumps, and compares throughput series with median/MAD deltas. *)
+
+let runs_dir_arg =
+  let doc = "Runs directory (default: $(b,EWALK_RUNS_DIR), else $(i,runs))." in
+  Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+
+let resolve_runs_dir = function
+  | Some d -> d
+  | None -> (
+      match Sys.getenv_opt "EWALK_RUNS_DIR" with
+      | Some d when d <> "" -> d
+      | _ -> "runs")
+
+type run_meta = {
+  rm_id : string;
+  rm_parent : string option;
+  rm_config : string;
+  rm_epoch : int;
+  rm_fields : (string * Obs.Json.t) list;
+  rm_dir : string;
+}
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_run_meta dir entry =
+  let path = Filename.concat (Filename.concat dir entry) "meta.json" in
+  if not (Sys.file_exists path) then None
+  else
+    match Obs.Json.of_string (read_whole_file path) with
+    | Error _ -> None
+    | Ok doc -> (
+        let str k = Option.bind (Obs.Json.member k doc) Obs.Json.to_string_opt in
+        match str "run_id" with
+        | Some rid when Obs.Runlog.validate_id rid ->
+            Some
+              {
+                rm_id = rid;
+                rm_parent =
+                  (match str "parent_run_id" with
+                  | Some p when Obs.Runlog.validate_id p -> Some p
+                  | _ -> None);
+                rm_config = Option.value ~default:"" (str "config");
+                rm_epoch =
+                  Option.value ~default:0
+                    (Option.bind (Obs.Json.member "epoch_ns" doc)
+                       Obs.Json.to_int_opt);
+                rm_fields =
+                  (match doc with Obs.Json.Obj kvs -> kvs | _ -> []);
+                rm_dir = Filename.concat dir entry;
+              }
+        | _ -> None)
+
+let scan_runs dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (load_run_meta dir)
+    |> List.sort (fun a b ->
+           match compare a.rm_epoch b.rm_epoch with
+           | 0 -> compare a.rm_id b.rm_id
+           | c -> c)
+
+let read_throughput_pairs path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let acc = ref [] in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match Obs.Json.of_string line with
+               | Ok doc -> (
+                   match
+                     ( Option.bind (Obs.Json.member "step" doc)
+                         Obs.Json.to_int_opt,
+                       Option.bind (Obs.Json.member "mono_ns" doc)
+                         Obs.Json.to_int_opt )
+                   with
+                   | Some s, Some t -> acc := (s, t) :: !acc
+                   | _ -> ())
+               | Error _ -> ()
+           done
+         with End_of_file -> ());
+        List.rev !acc)
+  end
+
+let run_pairs meta =
+  read_throughput_pairs (Filename.concat meta.rm_dir "throughput.jsonl")
+
+let median_of_sorted arr =
+  let n = Array.length arr in
+  if n = 0 then None
+  else if n mod 2 = 1 then Some arr.(n / 2)
+  else Some ((arr.(n / 2 - 1) +. arr.(n / 2)) /. 2.0)
+
+(* (median, MAD) of a rate sample — the robust pair `runs compare` reports
+   (a stalled tail or warm-up spike should not move the verdict). *)
+let median_mad xs =
+  let arr = Array.of_list xs in
+  Array.sort compare arr;
+  match median_of_sorted arr with
+  | None -> None
+  | Some med ->
+      let dev = Array.map (fun v -> Float.abs (v -. med)) arr in
+      Array.sort compare dev;
+      Some (med, Option.value ~default:0.0 (median_of_sorted dev))
+
+let rate_string = function
+  | Some r -> Printf.sprintf "%.0f" r
+  | None -> "-"
+
+let runs_list_cmd =
+  let run dir =
+    let dir = resolve_runs_dir dir in
+    let metas = scan_runs dir in
+    if metas = [] then Printf.printf "no runs under %s\n" dir
+    else begin
+      Printf.printf "%-18s %-18s %12s  %s\n" "RUN" "PARENT" "STEPS/S"
+        "CONFIG";
+      List.iter
+        (fun m ->
+          Printf.printf "%-18s %-18s %12s  %s\n" m.rm_id
+            (Option.value ~default:"-" m.rm_parent)
+            (rate_string
+               (Obs.Throughput.lifetime_rate_of_pairs (run_pairs m)))
+            m.rm_config)
+        metas
+    end
+  in
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:"List recorded runs: id, parent, lifetime steps/s, config.")
+    Term.(const run $ runs_dir_arg)
+
+let runs_show_cmd =
+  let id_arg =
+    let doc = "Run id to describe (r + 16 hex digits)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN_ID" ~doc)
+  in
+  let run dir id =
+    let dir = resolve_runs_dir dir in
+    let metas = scan_runs dir in
+    match List.find_opt (fun m -> m.rm_id = id) metas with
+    | None ->
+        Printf.eprintf "eproc runs: no run %s under %s\n" id dir;
+        exit 2
+    | Some m ->
+        Printf.printf "run       %s\n" m.rm_id;
+        (match m.rm_parent with
+        | Some p -> Printf.printf "parent    %s\n" p
+        | None -> ());
+        Printf.printf "config    %s\n" m.rm_config;
+        Printf.printf "epoch_ns  %d\n" m.rm_epoch;
+        List.iter
+          (fun (k, v) ->
+            match k with
+            | "schema" | "run_id" | "parent_run_id" | "config" | "epoch_ns"
+            | "artifacts" ->
+                ()
+            | _ -> Printf.printf "%-9s %s\n" k (Obs.Json.to_string v))
+          m.rm_fields;
+        let artifacts =
+          match List.assoc_opt "artifacts" m.rm_fields with
+          | Some (Obs.Json.Obj arts) -> arts
+          | _ -> []
+        in
+        if artifacts <> [] then begin
+          print_endline "artifacts:";
+          List.iter
+            (fun (k, v) ->
+              let p = Option.value ~default:"?" (Obs.Json.to_string_opt v) in
+              Printf.printf "  %-12s %s%s\n" k p
+                (if Sys.file_exists p then "" else " (missing)"))
+            artifacts
+        end;
+        (let pairs = run_pairs m in
+         match median_mad (Obs.Throughput.rates_of_pairs pairs) with
+         | Some (med, mad) ->
+             Printf.printf
+               "throughput: %d samples, median %.0f steps/s (MAD %.0f), \
+                lifetime %s steps/s\n"
+               (List.length pairs) med mad
+               (rate_string (Obs.Throughput.lifetime_rate_of_pairs pairs))
+         | None -> ());
+        (* Resume chain, oldest ancestor first.  Ancestors come from
+           parent pointers (a parent whose meta.json is gone is still
+           shown, marked missing); descendants are runs that name one of
+           the chain as parent. *)
+        let by_id = List.map (fun x -> (x.rm_id, x)) metas in
+        let rec up acc parent =
+          match parent with
+          | None -> acc
+          | Some p ->
+              if List.mem p acc then acc
+              else
+                let acc = p :: acc in
+                (match List.assoc_opt p by_id with
+                | Some pm -> up acc pm.rm_parent
+                | None -> acc)
+        in
+        let ancestors = up [] m.rm_parent in
+        let rec down cur =
+          List.concat_map
+            (fun k -> k.rm_id :: down k.rm_id)
+            (List.filter (fun x -> x.rm_parent = Some cur) metas)
+        in
+        let descendants = down id in
+        if ancestors <> [] || descendants <> [] then begin
+          print_endline "resume chain (oldest first):";
+          List.iter
+            (fun rid ->
+              Printf.printf "  %s%s%s\n" rid
+                (if rid = id then " <- this run" else "")
+                (if List.mem_assoc rid by_id then "" else " (meta missing)"))
+            (ancestors @ (id :: descendants))
+        end;
+        (* Flight-dump cross-reference: scan the run's recorded flight
+           directory for dumps whose run_info prologue names a run in the
+           chain. *)
+        let chain = ancestors @ (id :: descendants) in
+        (match List.assoc_opt "flight_dir" artifacts with
+        | Some (Obs.Json.String fdir)
+          when Sys.file_exists fdir && Sys.is_directory fdir ->
+            Array.iter
+              (fun f ->
+                if
+                  String.length f >= 6
+                  && String.sub f 0 6 = "flight"
+                  && Filename.check_suffix f ".jsonl"
+                then
+                  let path = Filename.concat fdir f in
+                  let dump_run = ref None in
+                  (try
+                     let ic = open_in path in
+                     Fun.protect
+                       ~finally:(fun () -> close_in_noerr ic)
+                       (fun () ->
+                         try
+                           while !dump_run = None do
+                             match Obs.Json.of_string (input_line ic) with
+                             | Ok doc
+                               when Obs.Json.member "type" doc
+                                    = Some (Obs.Json.String "run_info") ->
+                                 dump_run :=
+                                   Option.bind
+                                     (Obs.Json.member "run_id" doc)
+                                     Obs.Json.to_string_opt
+                             | _ -> ()
+                           done
+                         with End_of_file -> ())
+                   with Sys_error _ -> ());
+                  match !dump_run with
+                  | Some rid when List.mem rid chain ->
+                      Printf.printf "flight dump: %s (run %s)\n" path rid
+                  | _ -> ())
+              (Sys.readdir fdir)
+        | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:
+         "Describe one run: meta, artifacts, throughput summary, resume \
+          chain, flight dumps.")
+    Term.(const run $ runs_dir_arg $ id_arg)
+
+let runs_compare_cmd =
+  let a_arg =
+    let doc = "Baseline run id." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN_A" ~doc)
+  in
+  let b_arg =
+    let doc = "Candidate run id." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"RUN_B" ~doc)
+  in
+  let run dir a b =
+    let dir = resolve_runs_dir dir in
+    let stats id =
+      let pairs =
+        read_throughput_pairs
+          (Filename.concat (Filename.concat dir id) "throughput.jsonl")
+      in
+      match median_mad (Obs.Throughput.rates_of_pairs pairs) with
+      | Some s -> s
+      | None ->
+          Printf.eprintf "eproc runs: %s has no throughput series under %s\n"
+            id dir;
+          exit 2
+    in
+    let med_a, mad_a = stats a in
+    let med_b, mad_b = stats b in
+    let delta = med_b -. med_a in
+    let pct = if med_a <> 0.0 then 100.0 *. delta /. med_a else Float.nan in
+    Printf.printf "%-18s median %12.0f steps/s  MAD %10.0f\n" a med_a mad_a;
+    Printf.printf "%-18s median %12.0f steps/s  MAD %10.0f\n" b med_b mad_b;
+    let verdict =
+      if Float.abs delta <= mad_a +. mad_b then
+        "within noise (|delta| <= MAD_a + MAD_b)"
+      else if delta > 0.0 then "faster"
+      else "slower"
+    in
+    Printf.printf "delta %+.0f steps/s (%+.1f%%) - %s\n" delta pct verdict
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare two runs' throughput series: median/MAD delta.")
+    Term.(const run $ runs_dir_arg $ a_arg $ b_arg)
+
+let runs_cmd =
+  Cmd.group
+    (Cmd.info "runs"
+       ~doc:"Browse recorded run provenance (list / show / compare).")
+    [ runs_list_cmd; runs_show_cmd; runs_compare_cmd ]
+
 let main =
   let doc = "Random walks which prefer unvisited edges (E-process) - reproduction CLI." in
   Cmd.group
@@ -1332,7 +1718,7 @@ let main =
       list_cmd; experiment_cmd; graph_info_cmd; cover_cmd; trace_cmd;
       verify_trace_cmd; openmetrics_validate_cmd; check_oracle_cmd;
       checkpoint_inspect_cmd; spectra_cmd; euler_cmd; audit_cmd; report_cmd;
-      bench_diff_cmd;
+      bench_diff_cmd; runs_cmd;
     ]
 
 (* Cmdliner cannot declare a one-letter long option, but "--n 1000" is how
@@ -1354,7 +1740,28 @@ let () =
   (* Likewise the crash flight recorder (EWALK_FLIGHT_DIR): any exit that
      does not come back through here — injected faults, SIGTERM, uncaught
      exceptions — dumps the last recorded events as a post-mortem. *)
-  Obs.Flight.enable_from_env ();
-  let code = Cmd.eval ~argv:(Array.map normalize_arg Sys.argv) main in
+  (match Obs.Flight.enable_from_env () with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "eproc: %s\n" e;
+      exit 2);
+  (* Every invocation mints its run id up front, before any subcommand can
+     produce an artifact; resume legs re-derive with the parent folded in
+     once the resumed artifact has been read. *)
+  let argv = Array.map normalize_arg Sys.argv in
+  (* The provenance browser must not add entries to the store it reads. *)
+  if Array.length argv > 1 && argv.(1) = "runs" then
+    Obs.Runlog.set_persist false;
+  ignore
+    (Obs.Runlog.begin_run
+       ~config:(String.concat " " (Array.to_list (Array.sub argv 1 (max 0 (Array.length argv - 1)))))
+       ()
+      : Obs.Runlog.t);
+  Obs.Runlog.add_meta_fields Obs.Throughput.summary_fields;
+  (match Sys.getenv_opt "EWALK_FLIGHT_DIR" with
+  | Some d when d <> "" -> Obs.Runlog.note_artifact ~key:"flight_dir" ~path:d
+  | _ -> ());
+  arm_run_outputs ();
+  let code = Cmd.eval ~argv main in
   if code = 0 then Obs.Flight.disarm ();
   exit code

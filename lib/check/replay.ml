@@ -16,6 +16,7 @@ type summary = {
   covered : bool;
   has_steps : bool;
   resumed : bool;
+  run_id : string option;
   complete : bool;
 }
 
@@ -31,6 +32,9 @@ let summary_to_string s =
     (if s.covered then "" else ", not covered")
     ((if s.has_steps then "" else " (no per-step events)")
     ^ (if s.resumed then " (resumed)" else "")
+    ^ (match s.run_id with
+      | Some id -> Printf.sprintf " [run %s]" id
+      | None -> "")
     ^ if s.complete then "" else " (truncated)")
 
 type state = Expect_start | Running | Done
@@ -48,6 +52,7 @@ type t = {
   mutable cover_step : int option;
   mutable covered : bool;
   mutable resumed : bool;
+  mutable run_id : string option;
   mutable violations : Invariant.violation list; (* reversed *)
 }
 
@@ -65,6 +70,7 @@ let create g =
     cover_step = None;
     covered = false;
     resumed = false;
+    run_id = None;
     violations = [];
   }
 
@@ -134,6 +140,21 @@ let feed t (ev : Trace.event) =
       end
   | Expect_start, _ -> fail t Invariant.Schema "stream must begin with run_start"
   | Running, Run_start _ -> fail t Invariant.Schema "duplicate run_start"
+  | Running, Run_info { run_id; parent_run_id = _ } ->
+      (* Provenance belongs to the prologue: after run_start, before any
+         step, milestone or checkpoint — the same placement every writer
+         (Observe, the flight recorder's synthetic header) uses. *)
+      if t.run_id <> None then
+        fail t Invariant.Schema "duplicate run_info event"
+      else if t.has_steps || t.milestones > 0 then
+        fail t Invariant.Schema
+          "run_info event after steps or milestones (must follow run_start)"
+      else if run_id = "" then
+        fail t Invariant.Schema "run_info with empty run_id"
+      else begin
+        t.run_id <- Some run_id;
+        Ok ()
+      end
   | Running, Step { step; vertex; edge; blue } -> (
       t.has_steps <- true;
       let inv = Option.get t.inv in
@@ -279,6 +300,7 @@ let summary_of t ~complete =
     covered = t.covered;
     has_steps = t.has_steps;
     resumed = t.resumed;
+    run_id = t.run_id;
     complete;
   }
 

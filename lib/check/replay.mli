@@ -18,6 +18,10 @@
     ["e-process(lowest-slot)"] / ["e-process(highest-slot)"]); any other
     name gets edge-validity and coverage checks only.
 
+    A [Run_info] provenance event is legal only in the prologue (after
+    [Run_start], before any step or milestone, at most once); its id is
+    surfaced in the summary's [run_id].
+
     Checkpoint/resume traces are understood.  A [Checkpoint] event must be
     stamped with the shadow's current step.  A [Resume] event is legal
     only directly after [Run_start] (before any step or milestone) and
@@ -51,6 +55,8 @@ type summary = {
   resumed : bool;
       (** the stream announced itself as the tail of a resumed run, so
           history-dependent checks ran relaxed *)
+  run_id : string option;
+      (** the [Run_info] provenance id, when the prologue carried one *)
   complete : bool;
       (** [Run_end] was seen; [false] only from {!finish_partial} on a
           truncated stream *)

@@ -24,6 +24,15 @@ let flight_run_start p =
     and m = Coverage.total_edges p.coverage in
     Ewalk_obs.Flight.record
       (Ewalk_obs.Trace.Run_start { name = p.name; n; m; start = p.position () });
+    (match Ewalk_obs.Runlog.current () with
+    | Some r ->
+        Ewalk_obs.Flight.record
+          (Ewalk_obs.Trace.Run_info
+             {
+               run_id = r.Ewalk_obs.Runlog.run_id;
+               parent_run_id = r.Ewalk_obs.Runlog.parent_run_id;
+             })
+    | None -> ());
     let k = p.steps_done () in
     if k > 0 then Ewalk_obs.Flight.record (Ewalk_obs.Trace.Resume { step = k })
   end

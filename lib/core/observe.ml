@@ -138,6 +138,15 @@ let instrument ?resumed_at t (p : Cover.process) =
     if not fast then begin
       Trace.emit t.sh.sink_
         (Trace.Run_start { name = p.name; n; m; start = p.position () });
+      (match Ewalk_obs.Runlog.current () with
+      | Some r ->
+          Trace.emit t.sh.sink_
+            (Trace.Run_info
+               {
+                 run_id = r.Ewalk_obs.Runlog.run_id;
+                 parent_run_id = r.Ewalk_obs.Runlog.parent_run_id;
+               })
+      | None -> ());
       match resumed_at with
       | Some step -> Trace.emit t.sh.sink_ (Trace.Resume { step })
       | None -> ()
@@ -158,8 +167,20 @@ let instrument ?resumed_at t (p : Cover.process) =
            drain interval old, not just the final values. *)
         let cov_v = Metrics.gauge reg "coverage_vertex_fraction" in
         let cov_e = Metrics.gauge reg "coverage_edge_fraction" in
+        (* The steps drain doubles as the throughput sampler's feed: the
+           delta is already in hand once per drain interval, so the
+           steps/second time series costs nothing on the per-step path. *)
+        let steps_drain =
+          let last = ref (p.steps_done ()) in
+          fun () ->
+            let now = p.steps_done () in
+            let d = now - !last in
+            Shard.add steps_c d;
+            Ewalk_obs.Throughput.add d;
+            last := now
+        in
         t.drains <-
-          delta_drain steps_c p.steps_done
+          steps_drain
           :: (fun () ->
                Metrics.set_at cov_v ~seq:t.seq (Coverage.vertex_fraction cov);
                Metrics.set_at cov_e ~seq:t.seq (Coverage.edge_fraction cov))

@@ -26,7 +26,7 @@ let attach obs k =
                      (Metrics.with_label name ~key:"walker"
                         ~value:(string_of_int i))
                  in
-                 (series "blue_steps", series "red_steps")))
+                 (series "blue_steps", series "red_steps", series "steps")))
       | _ -> None
     in
     if Observe.is_fast obs then begin
@@ -48,12 +48,19 @@ let attach obs k =
           Observe.register_drain obs (delta red_c (fun () -> Engine.red_steps k));
           (match walker_counters with
           | Some arr ->
+              (* The per-walker steps series attributes the throughput
+                 time series to individual walkers: the aggregate sampler
+                 is fed once by the bundle's own steps drain (see
+                 [Observe.instrument]), this labelled breakdown rides the
+                 same drain cadence. *)
               Array.iteri
-                (fun i (bc, rc) ->
+                (fun i (bc, rc, sc) ->
                   Observe.register_drain obs
                     (delta bc (fun () -> Engine.walker_blue_steps k i));
                   Observe.register_drain obs
-                    (delta rc (fun () -> Engine.walker_red_steps k i)))
+                    (delta rc (fun () -> Engine.walker_red_steps k i));
+                  Observe.register_drain obs
+                    (delta sc (fun () -> Engine.walker_steps k i)))
                 arr
           | None -> ())
       | None -> ());
@@ -70,8 +77,9 @@ let attach obs k =
       let f ~walker ev =
         (match (walker_counters, ev) with
         | Some arr, Trace.Step { blue; _ } ->
-            let bc, rc = arr.(walker) in
-            Shard.incr (if blue then bc else rc)
+            let bc, rc, sc = arr.(walker) in
+            Shard.incr (if blue then bc else rc);
+            Shard.incr sc
         | _ -> ());
         recorder ev
       in

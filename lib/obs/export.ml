@@ -24,6 +24,19 @@ let fmt_float = Json.float_to_string
 let render ?(prefix = "ewalk") ?prof metrics =
   let buf = Buffer.create 1024 in
   let family name kind = Printf.bprintf buf "# TYPE %s %s\n" name kind in
+  (* Run provenance travels as an info metric (constant 1, identity in the
+     labels), the OpenMetrics idiom for build/run identity — so any scrape
+     can be joined to the run's other artifacts by run_id. *)
+  (match Runlog.current () with
+  | None -> ()
+  | Some r ->
+      let name = prefix ^ "_run" in
+      family name "info";
+      Printf.bprintf buf "%s_info{run_id=\"%s\"%s} 1\n" name
+        (escape_label r.Runlog.run_id)
+        (match r.Runlog.parent_run_id with
+        | None -> ""
+        | Some p -> Printf.sprintf ",parent_run_id=\"%s\"" (escape_label p)));
   List.iter
     (fun (raw_name, view) ->
       let name = prefix ^ "_" ^ sanitize raw_name in
@@ -118,6 +131,7 @@ let extends_family ~family ~kind name =
       suffixed "_bucket" || suffixed "_sum" || suffixed "_count"
       || suffixed "_created"
   | "gauge" -> name = family
+  | "info" -> name = family || suffixed "_info"
   | _ -> name = family || suffixed "_total"
 
 let split_sample line =

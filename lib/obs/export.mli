@@ -17,6 +17,11 @@
       [ewalk_prof_seconds{span=...}] and [ewalk_prof_self_seconds{span=...}]
       with the slash-joined span path as the label.
 
+    When an ambient {!Runlog} run exists, the exposition opens with the
+    run-provenance info metric
+    [ewalk_run_info{run_id="r...",parent_run_id="r..."} 1] so any scrape
+    joins to the run's other artifacts by id.
+
     Instrument names are sanitised to the OpenMetrics charset (every char
     outside [[a-zA-Z0-9_:]] becomes [_]).  Output is deterministic:
     families sorted by instrument name, [# EOF] terminated. *)

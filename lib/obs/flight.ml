@@ -23,17 +23,18 @@
    [disarm] first and leaves no dump. *)
 
 type slot = {
-  mutable tag : int; (* 0 empty, 1..7 = event constructors in order *)
+  mutable tag : int; (* 0 empty, 1..8 = event constructors in order *)
   mutable i1 : int;
   mutable i2 : int;
   mutable i3 : int;
   mutable i4 : int;
   mutable b : bool;
   mutable s : string;
+  mutable s2 : string; (* second string field (Run_info parent id) *)
 }
 
 let empty_slot () =
-  { tag = 0; i1 = 0; i2 = 0; i3 = 0; i4 = 0; b = false; s = "" }
+  { tag = 0; i1 = 0; i2 = 0; i3 = 0; i4 = 0; b = false; s = ""; s2 = "" }
 
 type rb = {
   rb_id : int;
@@ -47,6 +48,10 @@ type rb = {
   mutable hdr_n : int;
   mutable hdr_m : int;
   mutable hdr_start : int;
+  (* Run provenance, pinned alongside the run header so a wrapped dump
+     still knows which run (and parent) it belongs to. *)
+  mutable hdr_run_id : string;
+  mutable hdr_parent : string;
   (* Walk position established by the most recently evicted event. *)
   mutable has_evicted : bool;
   mutable evicted_step : int;
@@ -83,6 +88,8 @@ let ring_key =
           hdr_n = 0;
           hdr_m = 0;
           hdr_start = 0;
+          hdr_run_id = "";
+          hdr_parent = "";
           has_evicted = false;
           evicted_step = 0;
           evicted_pos = 0;
@@ -105,6 +112,9 @@ let store rb (ev : Trace.event) =
       rb.hdr_n <- n;
       rb.hdr_m <- m;
       rb.hdr_start <- start
+  | Trace.Run_info { run_id; parent_run_id } ->
+      rb.hdr_run_id <- run_id;
+      rb.hdr_parent <- Option.value parent_run_id ~default:""
   | _ -> ());
   let cap = Array.length rb.slots in
   let sl = rb.slots.(rb.next) in
@@ -152,7 +162,11 @@ let store rb (ev : Trace.event) =
   | Trace.Run_end { steps; covered } ->
       sl.tag <- 7;
       sl.i1 <- steps;
-      sl.b <- covered);
+      sl.b <- covered
+  | Trace.Run_info { run_id; parent_run_id } ->
+      sl.tag <- 8;
+      sl.s <- run_id;
+      sl.s2 <- Option.value parent_run_id ~default:"");
   rb.next <- (rb.next + 1) mod cap;
   rb.seen <- rb.seen + 1;
   rb.stamp <- Atomic.fetch_and_add clock 1
@@ -199,6 +213,13 @@ let event_of_slot sl : Trace.event option =
   | 5 -> Some (Checkpoint { step = sl.i1 })
   | 6 -> Some (Resume { step = sl.i1 })
   | 7 -> Some (Run_end { steps = sl.i1; covered = sl.b })
+  | 8 ->
+      Some
+        (Run_info
+           {
+             run_id = sl.s;
+             parent_run_id = (if sl.s2 = "" then None else Some sl.s2);
+           })
   | _ -> None
 
 let retained rb =
@@ -213,38 +234,36 @@ let retained rb =
    resumed-tail stream. *)
 let events_of_ring rb =
   let tail = retained rb in
+  let hdr ~start =
+    Trace.Run_start { name = rb.hdr_name; n = rb.hdr_n; m = rb.hdr_m; start }
+  in
+  (* The pinned provenance event, re-synthesized whenever the ring's own
+     Run_info slot has been evicted. *)
+  let info =
+    if rb.hdr_run_id = "" then []
+    else
+      [
+        Trace.Run_info
+          {
+            run_id = rb.hdr_run_id;
+            parent_run_id =
+              (if rb.hdr_parent = "" then None else Some rb.hdr_parent);
+          };
+      ]
+  in
   match tail with
   | [] -> []
   | Trace.Run_start _ :: _ -> tail
+  | Trace.Run_info _ :: _ when rb.hdr_valid ->
+      (* Run_start was evicted but its companion Run_info survived. *)
+      hdr ~start:rb.hdr_start :: tail
   | Trace.Resume _ :: _ when rb.hdr_valid ->
-      (* The run's own resume survived; only its run_start was evicted. *)
-      Trace.Run_start
-        {
-          name = rb.hdr_name;
-          n = rb.hdr_n;
-          m = rb.hdr_m;
-          start = rb.hdr_start;
-        }
-      :: tail
+      (* The run's own resume survived; only its prologue was evicted. *)
+      (hdr ~start:rb.hdr_start :: info) @ tail
   | _ when rb.hdr_valid && rb.has_evicted ->
-      Trace.Run_start
-        {
-          name = rb.hdr_name;
-          n = rb.hdr_n;
-          m = rb.hdr_m;
-          start = rb.evicted_pos;
-        }
-      :: Trace.Resume { step = rb.evicted_step }
-      :: tail
-  | _ when rb.hdr_valid ->
-      Trace.Run_start
-        {
-          name = rb.hdr_name;
-          n = rb.hdr_n;
-          m = rb.hdr_m;
-          start = rb.hdr_start;
-        }
-      :: tail
+      (hdr ~start:rb.evicted_pos :: info)
+      @ (Trace.Resume { step = rb.evicted_step } :: tail)
+  | _ when rb.hdr_valid -> (hdr ~start:rb.hdr_start :: info) @ tail
   | _ -> tail
 
 let write_events path events =
@@ -331,13 +350,30 @@ let enable ?(capacity = default_capacity) ~dir () =
 
 let enable_from_env () =
   match Sys.getenv_opt "EWALK_FLIGHT_DIR" with
-  | None | Some "" -> ()
-  | Some dir ->
+  | None | Some "" -> Ok ()
+  | Some dir -> (
       let capacity =
         match Sys.getenv_opt "EWALK_FLIGHT_CAPACITY" with
-        | Some s -> ( match int_of_string_opt s with
-                      | Some c when c > 0 -> c
-                      | _ -> default_capacity)
-        | None -> default_capacity
+        | None | Some "" -> Ok default_capacity
+        | Some s -> (
+            (* A malformed capacity must be an error, not a silent fall
+               back to the default: the operator asked for a specific
+               retention and would otherwise debug a crash with the
+               wrong window. *)
+            match int_of_string_opt s with
+            | Some c when c > 0 -> Ok c
+            | Some _ ->
+                Error
+                  (Printf.sprintf
+                     "EWALK_FLIGHT_CAPACITY must be a positive integer, got %S"
+                     s)
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "EWALK_FLIGHT_CAPACITY is not an integer: %S" s))
       in
-      enable ~capacity ~dir ()
+      match capacity with
+      | Error _ as e -> e
+      | Ok capacity ->
+          enable ~capacity ~dir ();
+          Ok ())

@@ -33,10 +33,13 @@ val enable : ?capacity:int -> dir:string -> unit -> unit
     Calling again re-arms but keeps the first configuration.
     @raise Invalid_argument if [capacity <= 0]. *)
 
-val enable_from_env : unit -> unit
+val enable_from_env : unit -> (unit, string) result
 (** {!enable} from [EWALK_FLIGHT_DIR] (and optional
-    [EWALK_FLIGHT_CAPACITY]); no-op when unset.  [eproc] calls this at
-    startup, next to the fault-spec installer. *)
+    [EWALK_FLIGHT_CAPACITY]); [Ok ()] without arming when unset.  An
+    [EWALK_FLIGHT_CAPACITY] that is non-numeric or [<= 0] is an [Error]
+    naming the variable and offending value — never a silent fall back
+    to the default.  [eproc] calls this at startup, next to the
+    fault-spec installer, and exits 2 on [Error]. *)
 
 val enabled : unit -> bool
 

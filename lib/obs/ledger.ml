@@ -13,6 +13,7 @@ type record = {
   git_rev : string;
   scale : string;
   jobs : int;
+  run_id : string; (* "" when the writing run predates provenance *)
   kernels : (string * kernel) list;
 }
 
@@ -25,13 +26,17 @@ let git_rev () =
     | _ -> "unknown"
   with _ -> "unknown"
 
-let make ?timestamp ?git_rev:rev ~scale ~jobs ~kernels () =
+let make ?timestamp ?git_rev:rev ?run_id ~scale ~jobs ~kernels () =
   {
     schema = schema_version;
     timestamp = (match timestamp with Some t -> t | None -> Timer.now ());
     git_rev = (match rev with Some r -> r | None -> git_rev ());
     scale;
     jobs;
+    run_id =
+      (match run_id with
+      | Some id -> id
+      | None -> Option.value (Runlog.run_id ()) ~default:"");
     kernels = List.sort (fun (a, _) (b, _) -> String.compare a b) kernels;
   }
 
@@ -46,15 +51,19 @@ let kernel_to_json k =
 
 let to_json r =
   Json.Obj
-    [
-      ("schema", Json.String r.schema);
-      ("timestamp", Json.Float r.timestamp);
-      ("git_rev", Json.String r.git_rev);
-      ("scale", Json.String r.scale);
-      ("jobs", Json.Int r.jobs);
-      ( "kernels",
-        Json.Obj (List.map (fun (n, k) -> (n, kernel_to_json k)) r.kernels) );
-    ]
+    ([
+       ("schema", Json.String r.schema);
+       ("timestamp", Json.Float r.timestamp);
+       ("git_rev", Json.String r.git_rev);
+       ("scale", Json.String r.scale);
+       ("jobs", Json.Int r.jobs);
+     ]
+    @ (if r.run_id = "" then [] else [ ("run_id", Json.String r.run_id) ])
+    @ [
+        ( "kernels",
+          Json.Obj (List.map (fun (n, k) -> (n, kernel_to_json k)) r.kernels)
+        );
+      ])
 
 let kernel_of_json j =
   let field name =
@@ -99,6 +108,7 @@ let of_json j =
               | None -> 0.0);
             git_rev = str "git_rev" "unknown";
             scale = str "scale" "unknown";
+            run_id = str "run_id" "";
             jobs =
               (match Option.bind (Json.member "jobs" j) Json.to_int_opt with
               | Some n -> n
@@ -184,6 +194,14 @@ type verdict = {
   v_regressed : bool;
 }
 
+(* Most kernels measure nanoseconds, where up is bad; throughput kernels
+   (named "...per_second...") measure rates, where down is bad. *)
+let higher_is_better name =
+  let sub = "per_second" in
+  let n = String.length name and k = String.length sub in
+  let rec at i = i + k <= n && (String.sub name i k = sub || at (i + 1)) in
+  at 0
+
 let diff ?(tolerance_mads = 6.0) ?(min_rel = 0.25) ~baseline candidate =
   List.filter_map
     (fun (name, base) ->
@@ -209,7 +227,9 @@ let diff ?(tolerance_mads = 6.0) ?(min_rel = 0.25) ~baseline candidate =
                 (if base.k_median_ns > 0.0 then
                    100.0 *. tolerance_ns /. base.k_median_ns
                  else 0.0);
-              v_regressed = delta_ns > tolerance_ns;
+              v_regressed =
+                (if higher_is_better name then delta_ns < -.tolerance_ns
+                 else delta_ns > tolerance_ns);
             })
     baseline.kernels
 

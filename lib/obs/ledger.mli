@@ -36,19 +36,25 @@ type record = {
   git_rev : string;  (** ["unknown"] when absent *)
   scale : string;
   jobs : int;
+  run_id : string;
+      (** the {!Runlog} id of the run that appended the record; [""] for
+          records written before provenance existed (omitted from the
+          JSON line when empty) *)
   kernels : (string * kernel) list;  (** sorted by kernel name *)
 }
 
 val make :
   ?timestamp:float ->
   ?git_rev:string ->
+  ?run_id:string ->
   scale:string ->
   jobs:int ->
   kernels:(string * kernel) list ->
   unit ->
   record
-(** Defaults: [timestamp] = {!Timer.now}[ ()], [git_rev] = {!git_rev}[ ()].
-    Kernels are sorted by name. *)
+(** Defaults: [timestamp] = {!Timer.now}[ ()], [git_rev] = {!git_rev}[ ()],
+    [run_id] = the ambient {!Runlog.run_id} (or [""]).  Kernels are sorted
+    by name. *)
 
 val git_rev : unit -> string
 (** [git rev-parse --short HEAD], or ["unknown"] outside a git checkout. *)
@@ -76,6 +82,12 @@ val load_record : string -> (record, string) result
 (** Load a comparison endpoint: a [.jsonl] path yields the {e last} record
     of the history, anything else is parsed as a single-record JSON file. *)
 
+val higher_is_better : string -> bool
+(** Kernels whose name contains ["per_second"] carry steps/second rates
+    rather than nanoseconds: up is good, and {!diff} inverts the
+    regression direction for them.  Exposed so displays can pick the
+    right unit. *)
+
 type verdict = {
   v_kernel : string;
   v_base_ns : float;
@@ -92,7 +104,10 @@ val diff :
     A kernel regresses iff its candidate median exceeds
     [base.median + max (tolerance_mads * base.mad) (min_rel * base.median)]
     — MAD-scaled so noisy kernels get proportionate slack, with a relative
-    floor for kernels whose MAD is ~0.  Defaults: [tolerance_mads = 6.0],
+    floor for kernels whose MAD is ~0.  Kernels whose name contains
+    ["per_second"] measure throughput, not latency, so the test inverts:
+    they regress iff the candidate falls {e below} the baseline by more
+    than the tolerance.  Defaults: [tolerance_mads = 6.0],
     [min_rel = 0.25]. *)
 
 val any_regression : verdict list -> bool

@@ -1,0 +1,197 @@
+(* Run identity: every eproc invocation (and every campaign resume leg)
+   mints one deterministic run id that is stamped into every artifact the
+   run produces — trace prologues, snapshot headers, campaign manifests
+   and journal rows, flight-recorder dumps, OpenMetrics expositions and
+   bench ledger records — so any artifact can be joined back to its run,
+   and resumed legs can be joined to their ancestors via [parent_run_id].
+
+   The id is a pure function of (config digest, monotonic epoch, parent):
+   no wall-clock is read anywhere near a hot path, and a test can pin
+   [EWALK_RUN_EPOCH] to make ids fully reproducible.  The digest is
+   FNV-1a 64 — not cryptographic, just a stable 16-hex-digit name; the
+   [r<16 hex>] shape is what {!validate_id} enforces when an id read back
+   from an artifact must be rejected rather than trusted. *)
+
+type t = { run_id : string; parent_run_id : string option }
+
+(* --- FNV-1a 64 ----------------------------------------------------- *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a64 init s =
+  let h = ref init in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let derive ~config ~epoch_ns ?parent () =
+  let h = fnv1a64 fnv_offset config in
+  let h = fnv1a64 h (Printf.sprintf "|epoch:%d" epoch_ns) in
+  let h =
+    match parent with
+    | None -> h
+    | Some p -> fnv1a64 h ("|parent:" ^ p)
+  in
+  Printf.sprintf "r%016Lx" h
+
+let synthesize_legacy material =
+  Printf.sprintf "r%016Lx" (fnv1a64 fnv_offset ("legacy|" ^ material))
+
+let validate_id s =
+  String.length s = 17
+  && s.[0] = 'r'
+  && (let hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') in
+      let ok = ref true in
+      String.iteri (fun i c -> if i > 0 && not (hex c) then ok := false) s;
+      !ok)
+
+(* --- the ambient current run --------------------------------------- *)
+
+let env_epoch = "EWALK_RUN_EPOCH"
+let env_runs_dir = "EWALK_RUNS_DIR"
+
+let current_run : t option ref = ref None
+let material : (string * int) option ref = ref None (* config, epoch *)
+let artifacts : (string * string) list ref = ref []
+let meta_extra : (unit -> (string * Json.t) list) list ref = ref []
+let meta_hook_installed = ref false
+
+let current () = !current_run
+let run_id () = Option.map (fun r -> r.run_id) !current_run
+let set_current r = current_run := r
+
+let epoch_ns () =
+  match Option.bind (Sys.getenv_opt env_epoch) int_of_string_opt with
+  | Some e -> e
+  | None -> Clock.now_ns ()
+
+let runs_dir () =
+  match Sys.getenv_opt env_runs_dir with
+  | None | Some "" -> None
+  | some -> some
+
+let rec mkdirs dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdirs parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let run_dir ~runs_dir id = Filename.concat runs_dir id
+
+let note_artifact ~key ~path =
+  artifacts := (key, path) :: List.remove_assoc key !artifacts
+let add_meta_fields f = meta_extra := f :: !meta_extra
+
+let meta_schema = "ewalk-run-meta/1"
+
+let meta_json t ~config ~epoch =
+  let extra = List.concat_map (fun f -> try f () with _ -> []) !meta_extra in
+  Json.Obj
+    ([
+       ("schema", Json.String meta_schema);
+       ("run_id", Json.String t.run_id);
+       ( "parent_run_id",
+         match t.parent_run_id with
+         | None -> Json.Null
+         | Some p -> Json.String p );
+       ("config", Json.String config);
+       ("epoch_ns", Json.Int epoch);
+       ( "artifacts",
+         Json.Obj
+           (List.rev_map (fun (k, p) -> (k, Json.String p)) !artifacts) );
+     ]
+    @ extra)
+
+(* Read-only commands (eproc runs itself) switch persistence off so that
+   browsing the store does not add entries to it. *)
+let persist = ref true
+let set_persist b = persist := b
+
+(* Meta writes are atomic (temp + rename) and best-effort: a run that
+   cannot persist its meta still runs — provenance is telemetry, not a
+   precondition. *)
+let write_meta () =
+  match (!current_run, !material, runs_dir ()) with
+  | _ when not !persist -> ()
+  | Some t, Some (config, epoch), Some root -> (
+      let dir = run_dir ~runs_dir:root t.run_id in
+      mkdirs dir;
+      let path = Filename.concat dir "meta.json" in
+      let tmp = path ^ ".tmp" in
+      try
+        let oc = open_out tmp in
+        (try
+           output_string oc (Json.to_string (meta_json t ~config ~epoch));
+           output_char oc '\n';
+           close_out oc
+         with e ->
+           close_out_noerr oc;
+           raise e);
+        Sys.rename tmp path
+      with Sys_error _ -> ())
+  | _ -> ()
+
+let install_meta_hook () =
+  if not !meta_hook_installed then begin
+    meta_hook_installed := true;
+    (* Written at startup (so a killed run still has its meta) and
+       rewritten at exit with the final artifact list and extras. *)
+    at_exit write_meta
+  end
+
+let begin_run ~config () =
+  let epoch = epoch_ns () in
+  let t = { run_id = derive ~config ~epoch_ns:epoch (); parent_run_id = None } in
+  material := Some (config, epoch);
+  current_run := Some t;
+  artifacts := [];
+  if runs_dir () <> None then install_meta_hook ();
+  write_meta ();
+  t
+
+(* Adoption abandons the id minted at startup; its meta dir (written
+   eagerly so killed runs keep their meta) would otherwise linger as an
+   orphan entry in the store. *)
+let remove_stale_meta old_id =
+  match runs_dir () with
+  | None -> ()
+  | Some root ->
+      let dir = run_dir ~runs_dir:root old_id in
+      (try Sys.remove (Filename.concat dir "meta.json")
+       with Sys_error _ -> ());
+      (try Sys.rmdir dir with Sys_error _ -> ())
+
+(* A resume leg learns its parent only after argument parsing (the parent
+   id lives in the artifact being resumed), so the current run re-derives
+   itself with the parent folded into the digest — before any artifact of
+   this leg has been stamped. *)
+let adopt_parent parent =
+  let old = !current_run in
+  let t =
+    match !material with
+    | None ->
+        let t =
+          { run_id = synthesize_legacy parent; parent_run_id = Some parent }
+        in
+        current_run := Some t;
+        t
+    | Some (config, epoch) ->
+        let t =
+          {
+            run_id = derive ~config ~epoch_ns:epoch ~parent ();
+            parent_run_id = Some parent;
+          }
+        in
+        current_run := Some t;
+        write_meta ();
+        t
+  in
+  (match old with
+  | Some o when o.run_id <> t.run_id && !persist -> remove_stale_meta o.run_id
+  | _ -> ());
+  t

@@ -1,0 +1,81 @@
+(** Run identity and provenance.
+
+    Every [eproc] invocation (and every campaign resume leg) mints one
+    deterministic {e run id} — [r] followed by 16 hex digits, an FNV-1a 64
+    digest of the invocation's config string, a monotonic epoch captured
+    once at startup, and (on resume legs) the parent run's id.  The id is
+    stamped into every artifact the run produces: trace prologues
+    ([Trace.Run_info]), snapshot headers, campaign manifests and journal
+    rows, flight-recorder dumps, OpenMetrics expositions
+    ([ewalk_run_info]) and bench ledger records.  [parent_run_id] links a
+    resumed leg to the leg whose artifact it restored, so [eproc runs
+    show] can reassemble the whole kill-and-resume chain.
+
+    No wall-clock is read on any hot path: the epoch is read once, from
+    [EWALK_RUN_EPOCH] when set (tests pin it for reproducible ids) or the
+    monotonic clock otherwise.
+
+    When [EWALK_RUNS_DIR] is set, the run also persists
+    [<runs_dir>/<run_id>/meta.json] (schema [ewalk-run-meta/1]): id,
+    parent, config, epoch, artifact cross-references
+    ({!note_artifact}) and any extra fields registered with
+    {!add_meta_fields} — written at startup and rewritten at exit, so a
+    killed run still leaves its meta behind. *)
+
+type t = { run_id : string; parent_run_id : string option }
+
+val derive : config:string -> epoch_ns:int -> ?parent:string -> unit -> string
+(** The pure id derivation: same inputs, same id. *)
+
+val synthesize_legacy : string -> string
+(** A well-formed id for a pre-run_id artifact, derived from the given
+    material (e.g. the artifact's payload bytes) so re-loading the same
+    legacy artifact yields the same id. *)
+
+val validate_id : string -> bool
+(** [r] followed by exactly 16 lowercase hex digits — what readers check
+    before trusting an id found in an artifact. *)
+
+val begin_run : config:string -> unit -> t
+(** Mint the process's run id and install it as the ambient current run.
+    Reads the epoch ([EWALK_RUN_EPOCH] or the monotonic clock) once.
+    When [EWALK_RUNS_DIR] is set, arms meta persistence. *)
+
+val adopt_parent : string -> t
+(** Re-derive the current run with a parent link (same config and epoch,
+    parent folded into the digest) — called by resume paths once the
+    parent id is known, before any artifact of this leg is stamped. *)
+
+val current : unit -> t option
+val run_id : unit -> string option
+val set_current : t option -> unit
+(** Test hook: override or clear the ambient run. *)
+
+val epoch_ns : unit -> int
+(** [EWALK_RUN_EPOCH] when set, else the monotonic clock. *)
+
+val runs_dir : unit -> string option
+(** [EWALK_RUNS_DIR] when set and non-empty. *)
+
+val run_dir : runs_dir:string -> string -> string
+(** [<runs_dir>/<run_id>]. *)
+
+val note_artifact : key:string -> path:string -> unit
+(** Record an artifact cross-reference (flight dir, checkpoint dir, trace
+    output, ...) into the run's meta.  Re-noting a key replaces the
+    earlier path (a resumed leg re-points [throughput] at its own dir). *)
+
+val set_persist : bool -> unit
+(** Switch meta persistence off (default on): read-only commands such as
+    [eproc runs] browse the store without adding entries to it. *)
+
+val add_meta_fields : (unit -> (string * Json.t) list) -> unit
+(** Register a provider of extra meta fields, evaluated at each meta
+    write (e.g. final step totals, throughput summary). *)
+
+val write_meta : unit -> unit
+(** Persist [meta.json] now (no-op unless a run is current and
+    [EWALK_RUNS_DIR] is set).  Also runs automatically at exit. *)
+
+val meta_schema : string
+(** ["ewalk-run-meta/1"]. *)

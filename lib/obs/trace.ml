@@ -3,6 +3,7 @@ type milestone = Vertices | Edges
 
 type event =
   | Run_start of { name : string; n : int; m : int; start : int }
+  | Run_info of { run_id : string; parent_run_id : string option }
   | Step of { step : int; vertex : int; edge : int; blue : bool }
   | Phase of { step : int; kind : phase; vertex : int }
   | Milestone of {
@@ -28,6 +29,16 @@ let event_to_json = function
           ("n", Json.Int n);
           ("m", Json.Int m);
           ("start", Json.Int start);
+        ]
+  | Run_info { run_id; parent_run_id } ->
+      Json.Obj
+        [
+          ("type", Json.String "run_info");
+          ("run_id", Json.String run_id);
+          ( "parent_run_id",
+            match parent_run_id with
+            | None -> Json.Null
+            | Some p -> Json.String p );
         ]
   | Step { step; vertex; edge; blue } ->
       Json.Obj
@@ -89,6 +100,16 @@ let event_of_json j =
       | _, None, _, _ -> missing "run_start" "n"
       | _, _, None, _ -> missing "run_start" "m"
       | _, _, _, None -> missing "run_start" "start")
+  | Some "run_info" -> (
+      match str "run_id" with
+      | Some run_id ->
+          let parent_run_id =
+            match Json.member "parent_run_id" j with
+            | Some (Json.String p) -> Some p
+            | _ -> None
+          in
+          Ok (Run_info { run_id; parent_run_id })
+      | None -> missing "run_info" "run_id")
   | Some "step" -> (
       match (int "step", int "vertex", int "edge", bool "blue") with
       | Some step, Some vertex, Some edge, Some blue ->
@@ -140,6 +161,15 @@ let event_of_json j =
   | Some other -> Error (Printf.sprintf "unknown event type %S" other)
 
 let event_of_string s = Result.bind (Json.of_string s) event_of_json
+
+(* Streams are read line by line (files, stdin); a parse failure must
+   name the line so `verify-trace` failures point at the offending input
+   instead of an anonymous fragment.  Json.of_string errors already
+   carry the character offset within the line. *)
+let event_of_line ~line s =
+  Result.map_error
+    (fun e -> Printf.sprintf "line %d: %s" line e)
+    (event_of_string s)
 
 type sink = { kind : sink_kind; emit : event -> unit; close_fn : unit -> unit }
 and sink_kind = Null | Live

@@ -18,6 +18,11 @@ type milestone = Vertices | Edges
 type event =
   | Run_start of { name : string; n : int; m : int; start : int }
       (** Emitted once, before the first step. *)
+  | Run_info of { run_id : string; parent_run_id : string option }
+      (** Run provenance, emitted in the prologue (right after
+          [Run_start]): the invocation's {!Runlog} id, and the parent
+          run's id when this leg resumed another run's artifact.  Joins
+          the trace to every other artifact stamped with the same id. *)
   | Step of { step : int; vertex : int; edge : int; blue : bool }
       (** One transition: after step [step] the walk sits at [vertex],
           having traversed [edge].  [blue] is true iff the edge was
@@ -58,6 +63,11 @@ val event_of_json : Json.t -> (event, string) result
 val event_of_string : string -> (event, string) result
 (** One JSONL line (without the newline) to an event:
     [Json.of_string] composed with {!event_of_json}. *)
+
+val event_of_line : line:int -> string -> (event, string) result
+(** {!event_of_string} with errors prefixed ["line <n>: "] so failures
+    reading a file or stdin name the offending line (the JSON layer's
+    character offset within the line is preserved). *)
 
 type sink
 (** Where events go.  Sinks are synchronous and not thread-safe. *)

@@ -423,8 +423,15 @@ let utilization_line t ~wall_s =
   in
   let failed = Array.fold_left (fun a r -> a + r.tasks_failed) 0 reports in
   let retried = Array.fold_left (fun a r -> a + r.tasks_retried) 0 reports in
+  (* Lane telemetry joins the rest of the run's artifacts by run id. *)
+  let run =
+    match Ewalk_obs.Runlog.run_id () with
+    | Some id -> " run=" ^ id
+    | None -> ""
+  in
   Printf.sprintf
-    "pool: jobs=%d wall=%.2fs busy=[%ss] utilization=%.0f%% chunks=%d%s"
+    "pool: jobs=%d wall=%.2fs busy=[%ss] utilization=%.0f%% chunks=%d%s%s"
     t.pool_jobs wall_s lanes_txt util chunks
     (if failed = 0 && retried = 0 then ""
      else Printf.sprintf " failures=%d retried=%d" failed retried)
+    run

@@ -128,9 +128,11 @@ val reset_stats : t -> unit
 val utilization_line : t -> wall_s:float -> string
 (** One-line human summary of {!stats} against a wall-clock interval:
     per-lane busy seconds, aggregate utilization percent
-    ([sum busy / (jobs * wall)]), and total chunks served.  This is the
-    line the bench and CLI print after [--jobs > 1] runs so a poor
-    speedup arrives with its explanation attached. *)
+    ([sum busy / (jobs * wall)]), and total chunks served — plus
+    [run=<id>] when an ambient {!Ewalk_obs.Runlog} run exists, so lane
+    telemetry joins the run's other artifacts.  This is the line the
+    bench and CLI print after [--jobs > 1] runs so a poor speedup
+    arrives with its explanation attached. *)
 
 val shutdown : t -> unit
 (** Joins the worker domains.  Idempotent.  Submitting new batches to a

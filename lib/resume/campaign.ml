@@ -1,6 +1,7 @@
 module Json = Ewalk_obs.Json
 
-let schema = "ewalk-campaign/1"
+let schema = "ewalk-campaign/2"
+let schema_v1 = "ewalk-campaign/1"
 let manifest_basename = "campaign.json"
 let journal_basename = "trials.jsonl"
 
@@ -44,12 +45,38 @@ let journal_path dir = Filename.concat dir journal_basename
 
 let manifest_json fields = Json.Obj (("schema", Json.String schema) :: fields)
 
+(* The caller-supplied campaign identity: every manifest field except the
+   schema tag and the run provenance stamps.  Provenance differs between
+   the creating run and every resume leg by construction, so it must not
+   participate in the resume-mismatch check. *)
+let identity_json = function
+  | Json.Obj kvs ->
+      Json.Obj
+        (List.filter
+           (fun (k, _) ->
+             k <> "schema" && k <> "run_id" && k <> "parent_run_id")
+           kvs)
+  | j -> j
+
+let provenance_fields () =
+  match Ewalk_obs.Runlog.current () with
+  | None -> []
+  | Some r ->
+      [
+        ("run_id", Json.String r.Ewalk_obs.Runlog.run_id);
+        ( "parent_run_id",
+          match r.Ewalk_obs.Runlog.parent_run_id with
+          | None -> Json.Null
+          | Some p -> Json.String p );
+      ]
+
 let write_manifest dir fields =
   let path = manifest_path dir in
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
-     output_string oc (Json.to_string (manifest_json fields));
+     output_string oc
+       (Json.to_string (manifest_json (fields @ provenance_fields ())));
      output_char oc '\n';
      close_out oc
    with e ->
@@ -102,19 +129,28 @@ let open_ ~dir ~manifest ~resume =
     else if not (Sys.is_directory dir) then
       failwith (Printf.sprintf "%s exists and is not a directory" dir);
     let mpath = manifest_path dir and jpath = journal_path dir in
-    let wanted = Json.to_string (manifest_json manifest) in
+    let wanted = Json.to_string (identity_json (manifest_json manifest)) in
     if resume then begin
       if not (Sys.file_exists mpath) then
         failwith
           (Printf.sprintf "no %s in %s: nothing to resume" manifest_basename
              dir);
-      let have =
+      let doc =
         match Json.of_string (String.trim (read_file mpath)) with
-        | Ok j -> Json.to_string j
+        | Ok j -> j
         | Error msg ->
             failwith
               (Printf.sprintf "unreadable manifest %s: %s" mpath msg)
       in
+      (match Option.bind (Json.member "schema" doc) Json.to_string_opt with
+      | Some s when s = schema || s = schema_v1 -> ()
+      | Some s ->
+          failwith
+            (Printf.sprintf
+               "manifest schema %S in %s, this reader understands %S" s dir
+               schema)
+      | None -> failwith (Printf.sprintf "manifest in %s has no schema" dir));
+      let have = Json.to_string (identity_json doc) in
       if have <> wanted then
         failwith
           (Printf.sprintf
@@ -202,9 +238,17 @@ let run t ~key f =
   | None ->
       let v = f () in
       let data = hex_of_string (Marshal.to_string v []) in
+      (* Each row is stamped with the leg that executed it, so a resumed
+         campaign's journal reads as a provenance chain: rows before the
+         kill carry the parent's id, rows after it the resume leg's.
+         The loader ignores unknown fields, so v1 readers still load. *)
       let line =
         Json.to_string
-          (Json.Obj [ ("key", Json.String key); ("data", Json.String data) ])
+          (Json.Obj
+             (("key", Json.String key) :: ("data", Json.String data)
+             :: (match Ewalk_obs.Runlog.run_id () with
+                | Some id -> [ ("run_id", Json.String id) ]
+                | None -> [])))
       in
       Mutex.lock t.mutex;
       Hashtbl.replace t.table key data;
@@ -216,12 +260,46 @@ let run t ~key f =
           flush oc
       | None -> ());
       t.appended <- t.appended + 1;
-      let appended = t.appended in
-      Mutex.unlock t.mutex;
       (* The journal line for this trial is durable: this is a checkpoint
-         boundary, where an injected kill-trial fault may exit. *)
-      Faults.trial_completed ~completed:appended;
+         boundary, where an injected kill-trial fault may exit.  It must
+         fire while the mutex is still held — after unlock another lane
+         can append row k+1 before the kill at boundary k exits, leaving
+         a journal one row longer than the fault spec promises. *)
+      Faults.trial_completed ~completed:t.appended;
+      Mutex.unlock t.mutex;
       v
+
+(* The creating run's provenance, read back from an on-disk manifest: a
+   resume leg adopts this as its parent id.  A v1 manifest (no run_id)
+   yields a stable legacy id synthesized from the manifest bytes; a
+   present but malformed id is rejected. *)
+let provenance ~dir =
+  try
+    let mpath = manifest_path dir in
+    if not (Sys.file_exists mpath) then
+      Error (Printf.sprintf "no %s in %s" manifest_basename dir)
+    else
+      match Json.of_string (String.trim (read_file mpath)) with
+      | Error msg -> Error (Printf.sprintf "unreadable manifest: %s" msg)
+      | Ok j -> (
+          match Json.member "run_id" j with
+          | Some (Json.String id) when Ewalk_obs.Runlog.validate_id id ->
+              let parent_run_id =
+                match Json.member "parent_run_id" j with
+                | Some (Json.String p) when Ewalk_obs.Runlog.validate_id p ->
+                    Some p
+                | _ -> None
+              in
+              Ok { Ewalk_obs.Runlog.run_id = id; parent_run_id }
+          | Some _ -> Error "malformed run_id in manifest"
+          | None ->
+              Ok
+                {
+                  Ewalk_obs.Runlog.run_id =
+                    Ewalk_obs.Runlog.synthesize_legacy (Json.to_string j);
+                  parent_run_id = None;
+                })
+  with Sys_error msg -> Error msg
 
 let describe ~dir =
   try
@@ -240,17 +318,24 @@ let describe ~dir =
             | Some v -> Json.to_string v
             | None -> "?"
           in
-          if tag "schema" <> schema then
+          if tag "schema" <> schema && tag "schema" <> schema_v1 then
             Error
               (Printf.sprintf "manifest schema %S, this reader understands %S"
                  (tag "schema") schema)
           else
+            let run =
+              match provenance ~dir with
+              | Ok r -> Printf.sprintf " [run %s]" r.Ewalk_obs.Runlog.run_id
+              | Error _ -> ""
+            in
             Ok
               (Printf.sprintf
                  "%s: campaign %s (experiment=%s scale=%s seed=%s) — %d \
-                  completed trial(s) journaled"
-                 schema dir (tag "experiment") (tag "scale") (tag "seed")
-                 (Hashtbl.length table))
+                  completed trial(s) journaled%s"
+                 (tag "schema") dir (tag "experiment") (tag "scale")
+                 (tag "seed")
+                 (Hashtbl.length table)
+                 run)
   with Sys_error msg -> Error msg
 
 let ambient_campaign : t option ref = ref None

@@ -3,15 +3,20 @@
 
     A campaign owns a checkpoint directory holding two files:
 
-    - [campaign.json] — a manifest [{"schema":"ewalk-campaign/1", ...}]
+    - [campaign.json] — a manifest [{"schema":"ewalk-campaign/2", ...}]
       identifying the run (experiment id, scale, seed).  A resume whose
       manifest disagrees is refused: mixing trials from different
       experiments or seeds would silently corrupt tables.  The job count is
       deliberately {e not} part of the identity — results are
       jobs-invariant by the pool's determinism contract, so a campaign
       started at [--jobs 4] may resume at [--jobs 1] and vice versa.
+      Since v2 the manifest also stamps the creating run's
+      {!Ewalk_obs.Runlog} id; provenance fields (and the schema tag — v1
+      manifests still resume) are excluded from the identity check.
     - [trials.jsonl] — one line per completed trial,
-      [{"key":"<label>#<batch>:<index>","data":"<hex>"}], appended with the
+      [{"key":"<label>#<batch>:<index>","data":"<hex>","run_id":"r..."}]
+      (the id of the leg that executed the trial — a resumed journal
+      reads as a provenance chain), appended with the
       same single-write-plus-flush pattern as {!Ewalk_obs.Ledger} and read
       back tolerating a truncated final line (the crash case).  [data] is
       the trial's result value, [Marshal]-encoded and hex-armoured —
@@ -30,7 +35,8 @@
     run. *)
 
 val schema : string
-(** ["ewalk-campaign/1"]. *)
+(** ["ewalk-campaign/2"] — what new campaigns stamp.  Resume and
+    {!describe} also accept ["ewalk-campaign/1"]. *)
 
 val manifest_basename : string
 (** ["campaign.json"]. *)
@@ -75,6 +81,11 @@ val run : t -> key:string -> (unit -> 'a) -> 'a
 (** Memoize one trial under [key].  Unsafe in the [Marshal] sense: the
     caller must use each key at a single result type, which the
     label/batch/index key discipline guarantees.  Thread-safe. *)
+
+val provenance : dir:string -> (Ewalk_obs.Runlog.t, string) result
+(** The creating run's id (and parent) from the on-disk manifest — what a
+    resume leg adopts as its parent.  v1 manifests yield a synthesized
+    legacy id; a present but malformed id is an error. *)
 
 val describe : dir:string -> (string, string) result
 (** Human summary of a checkpoint directory (manifest + journal size) for

@@ -2,7 +2,8 @@ open Ewalk_graph
 module Json = Ewalk_obs.Json
 module Kengine = Ewalk_kernel.Engine
 
-let schema = "ewalk-snapshot/1"
+let schema = "ewalk-snapshot/2"
+let schema_v1 = "ewalk-snapshot/1"
 
 type walk =
   | Eprocess of Ewalk.Eprocess.t
@@ -412,10 +413,24 @@ let walk_of_payload g j =
 let write ~path walk =
   let payload = Json.to_string (payload_of_walk walk) in
   let crc = Crc32.to_hex (Crc32.string payload) in
+  (* Run provenance lives in the header, next to the schema tag: the CRC
+     covers the payload bytes only, so stamping the id does not disturb
+     the walk-state checksum, and v1 readers that checked the payload
+     alone never see it. *)
+  let provenance =
+    match Ewalk_obs.Runlog.current () with
+    | None -> ""
+    | Some r ->
+        Printf.sprintf "\"run_id\":%s,\"parent_run_id\":%s,"
+          (Json.to_string (Json.String r.Ewalk_obs.Runlog.run_id))
+          (match r.Ewalk_obs.Runlog.parent_run_id with
+          | None -> "null"
+          | Some p -> Json.to_string (Json.String p))
+  in
   let line =
-    Printf.sprintf "{\"schema\":%s,\"crc32\":\"%s\",\"payload\":%s}"
+    Printf.sprintf "{\"schema\":%s,%s\"crc32\":\"%s\",\"payload\":%s}"
       (Json.to_string (Json.String schema))
-      crc payload
+      provenance crc payload
   in
   let tmp = path ^ ".tmp" in
   try
@@ -435,6 +450,29 @@ let write ~path walk =
    payload's serialized bytes: the reader re-serializes the parsed payload,
    which is byte-identical to what the writer hashed because the JSON
    serializer is deterministic and snapshot payloads carry no floats. *)
+(* Run provenance from the header.  A v2 header carries [run_id] (and
+   optionally [parent_run_id]); both must be well-formed ids or the file
+   is rejected as tampered.  A v1 header (or a v2 writer with no ambient
+   run) carries none — a stable legacy id is synthesized from the payload
+   bytes so every snapshot still joins to {e some} id. *)
+let provenance_of_header doc ~payload_str =
+  match Json.member "run_id" doc with
+  | None ->
+      Ok
+        {
+          Ewalk_obs.Runlog.run_id =
+            Ewalk_obs.Runlog.synthesize_legacy payload_str;
+          parent_run_id = None;
+        }
+  | Some (Json.String id) when Ewalk_obs.Runlog.validate_id id -> (
+      match Json.member "parent_run_id" doc with
+      | None | Some Json.Null ->
+          Ok { Ewalk_obs.Runlog.run_id = id; parent_run_id = None }
+      | Some (Json.String p) when Ewalk_obs.Runlog.validate_id p ->
+          Ok { Ewalk_obs.Runlog.run_id = id; parent_run_id = Some p }
+      | Some _ -> Error (Corrupt "malformed parent_run_id field"))
+  | Some _ -> Error (Corrupt "malformed run_id field")
+
 let read_payload ~path =
   match
     let ic = open_in_bin path in
@@ -449,7 +487,7 @@ let read_payload ~path =
       | Ok doc -> (
           match Option.bind (Json.member "schema" doc) Json.to_string_opt with
           | None -> Error (Corrupt "no schema tag")
-          | Some s when s <> schema ->
+          | Some s when s <> schema && s <> schema_v1 ->
               Error
                 (Mismatch
                    (Printf.sprintf "schema %S, this reader understands %S" s
@@ -466,27 +504,33 @@ let read_payload ~path =
                   | None ->
                       Error (Corrupt ("malformed crc32 field " ^ crc_hex))
                   | Some stored ->
-                      let actual = Crc32.string (Json.to_string payload) in
+                      let payload_str = Json.to_string payload in
+                      let actual = Crc32.string payload_str in
                       if stored <> actual then
                         Error
                           (Corrupt
                              (Printf.sprintf
                                 "checksum mismatch (stored %s, computed %s)"
                                 crc_hex (Crc32.to_hex actual)))
-                      else Ok payload))))
+                      else
+                        Result.map
+                          (fun run -> (payload, run))
+                          (provenance_of_header doc ~payload_str)))))
 
-let read g ~path =
+let read_with_id g ~path =
   match read_payload ~path with
   | Error _ as e -> e
-  | Ok payload -> (
-      try Ok (walk_of_payload g payload) with
+  | Ok (payload, run) -> (
+      try Ok (walk_of_payload g payload, run) with
       | Bad msg -> Error (Mismatch msg)
       | Invalid_argument msg -> Error (Mismatch msg))
+
+let read g ~path = Result.map fst (read_with_id g ~path)
 
 let describe ~path =
   match read_payload ~path with
   | Error _ as e -> e
-  | Ok payload -> (
+  | Ok (payload, run) -> (
       try
         let kind = get_string "kind" payload in
         let n = get_int "n" payload and m = get_int "m" payload in
@@ -513,10 +557,13 @@ let describe ~path =
         Ok
           (Printf.sprintf
              "%s: %s walk on n=%d m=%d, %d steps, %s, %d/%d vertices %d/%d \
-              edges visited%s"
+              edges visited%s [run %s%s]"
              schema kind n m steps where
              (get_int "vertices_seen" coverage)
              n
              (get_int "edges_seen" coverage)
-             m extra)
+             m extra run.Ewalk_obs.Runlog.run_id
+             (match run.Ewalk_obs.Runlog.parent_run_id with
+             | None -> ""
+             | Some p -> " parent " ^ p))
       with Bad msg -> Error (Corrupt msg))

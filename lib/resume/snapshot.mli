@@ -10,19 +10,28 @@
     {2 File format}
 
     One line of JSON:
-    [{"schema":"ewalk-snapshot/1","crc32":"<8 hex digits>","payload":{...}}]
+    [{"schema":"ewalk-snapshot/2","run_id":"r<16 hex>","parent_run_id":
+    null,"crc32":"<8 hex digits>","payload":{...}}]
     where [crc32] is the CRC-32 of the serialized [payload] object, byte
     for byte as written.  The [schema] tag names the payload layout and is
     bumped on incompatible changes; readers reject unknown schemas rather
     than guessing.  Writes are atomic (temp file + rename in the target
     directory), so a crash mid-write leaves either the old snapshot or
     none — never a torn one; a torn or edited file fails the CRC and is
-    rejected as {!Corrupt}. *)
+    rejected as {!Corrupt}.
+
+    Since v2 the header also stamps the writing run's
+    {!Ewalk_obs.Runlog} id (and its parent's, when the writer was itself
+    a resume leg).  The id sits outside the CRC-guarded payload so walk
+    state and provenance stay independently verifiable; a present but
+    malformed id is rejected as {!Corrupt}.  v1 files (no [run_id]) still
+    load — a stable legacy id is synthesized from the payload bytes. *)
 
 open Ewalk_graph
 
 val schema : string
-(** ["ewalk-snapshot/1"]. *)
+(** ["ewalk-snapshot/2"] — what {!write} stamps.  {!read} also accepts
+    ["ewalk-snapshot/1"]. *)
 
 type walk =
   | Eprocess of Ewalk.Eprocess.t
@@ -61,6 +70,12 @@ val write : path:string -> walk -> (unit, error) result
 val read : Graph.t -> path:string -> (walk, error) result
 (** Load a snapshot recorded on exactly this graph.  The CRC is verified
     before any payload field is trusted. *)
+
+val read_with_id :
+  Graph.t -> path:string -> (walk * Ewalk_obs.Runlog.t, error) result
+(** Like {!read}, also yielding the writing run's provenance: the header
+    [run_id]/[parent_run_id] pair, or a synthesized legacy id for v1
+    files.  Resume legs use this to adopt the parent id. *)
 
 val describe : path:string -> (string, error) result
 (** CRC-verify the file and render a short human summary (kind, graph

@@ -99,6 +99,7 @@ for jobs in 1 4; do
     dir=$work/kill-$jobs-$k
     expect_exit $KILL_EXIT "kill-trial:$k --jobs $jobs dies at boundary" \
       env EWALK_FAULT_SPEC=kill-trial:$k EWALK_FLIGHT_DIR="$dir/flight" \
+      EWALK_RUNS_DIR="$dir/runs" \
       "$EPROC" experiment $EXP --scale $SCALE --seed $SEED --jobs $jobs \
       --checkpoint-dir "$dir"
     verify_flight "kill-trial:$k --jobs $jobs post-mortem" \
@@ -108,12 +109,45 @@ for jobs in 1 4; do
     lines=$(wc -l < "$dir/trials.jsonl" 2>/dev/null || echo 0)
     [ "$lines" -eq "$k" ] \
       || fail "kill-trial:$k --jobs $jobs journaled $lines trials, wanted $k"
+    # The killed leg's run_id must be stamped consistently into the
+    # manifest, the flight-recorder dump, and every journal row it wrote.
+    mrun=$(grep -o '"run_id":"r[0-9a-f]\{16\}"' "$dir/campaign.json" \
+      | head -1 | cut -d'"' -f4)
+    check
+    [ -n "$mrun" ] || fail "kill-trial:$k --jobs $jobs manifest has no run_id"
+    check
+    grep -q "\"run_id\":\"$mrun\"" "$dir/flight/flight.jsonl" \
+      || fail "kill-trial:$k --jobs $jobs flight dump not stamped with $mrun"
+    check
+    [ "$(grep -c "\"run_id\":\"$mrun\"" "$dir/trials.jsonl")" -eq "$k" ] \
+      || fail "kill-trial:$k --jobs $jobs journal rows not stamped with $mrun"
     expect_exit 0 "resume after kill-trial:$k --jobs $jobs" \
+      env EWALK_RUNS_DIR="$dir/runs" \
       "$EPROC" experiment $EXP --scale $SCALE --seed $SEED --jobs $jobs \
       --checkpoint-dir "$dir" --resume --csv "$dir/out.csv"
     check
     cmp -s "$work/base.csv" "$dir/out.csv" \
       || fail "resumed CSV differs from baseline (kill-trial:$k --jobs $jobs)"
+    # The resume leg must mint a child run whose parent is the killed
+    # leg, stamp the rows it replays-and-extends with its own id, and
+    # `eproc runs show` must reassemble the chain.
+    rrun=$(grep -l "\"parent_run_id\":\"$mrun\"" "$dir"/runs/*/meta.json \
+      2>/dev/null | head -1)
+    rrun=${rrun:+$(basename "$(dirname "$rrun")")}
+    check
+    if [ -z "$rrun" ] || [ "$rrun" = "$mrun" ]; then
+      fail "resume after kill-trial:$k --jobs $jobs minted no child of $mrun"
+    else
+      check
+      [ "$(grep -c "\"run_id\":\"$rrun\"" "$dir/trials.jsonl")" \
+        -eq $((K - k)) ] \
+        || fail "resumed journal rows not stamped with child run $rrun"
+      check
+      env EWALK_RUNS_DIR="$dir/runs" "$EPROC" runs show "$rrun" \
+        > "$work/show.txt" 2>&1 \
+        && grep -q "$mrun" "$work/show.txt" \
+        || fail "eproc runs show $rrun does not reassemble the chain to $mrun"
+    fi
     rm -rf "$dir"
     k=$((k + 1))
   done
@@ -136,14 +170,41 @@ check
 "$EPROC" trace $TR --out "$work/full.jsonl" >/dev/null 2>&1 \
   || fail "uninterrupted trace run failed"
 check
-"$EPROC" trace $TR --checkpoint "$work/snap" --checkpoint-every $EVERY \
+env EWALK_RUNS_DIR="$work/truns" \
+  "$EPROC" trace $TR --checkpoint "$work/snap" --checkpoint-every $EVERY \
   --max-steps $CUT --out "$work/head.jsonl" >/dev/null 2>&1 \
   || fail "checkpointed head run failed"
 check
 [ -f "$work/snap" ] || fail "no snapshot written at the $CUT-step boundary"
 check
-"$EPROC" trace $TR --resume-from "$work/snap" --out "$work/tail.jsonl" \
+env EWALK_RUNS_DIR="$work/truns" \
+  "$EPROC" trace $TR --resume-from "$work/snap" --out "$work/tail.jsonl" \
   >/dev/null 2>&1 || fail "resume from snapshot failed"
+
+# Run provenance across the cut: the head's prologue run_info, the
+# snapshot header, and the resumed tail must chain parent -> child.
+hrun=$(grep -o '"run_id":"r[0-9a-f]\{16\}"' "$work/head.jsonl" \
+  | head -1 | cut -d'"' -f4)
+check
+[ -n "$hrun" ] || fail "checkpointed head has no run_info prologue"
+check
+"$EPROC" checkpoint-inspect "$work/snap" | grep -q "run $hrun" \
+  || fail "snapshot header run_id differs from head prologue ($hrun)"
+trun=$(grep -o '"run_id":"r[0-9a-f]\{16\}"' "$work/tail.jsonl" \
+  | head -1 | cut -d'"' -f4)
+check
+if [ -z "$trun" ] || [ "$trun" = "$hrun" ]; then
+  fail "resumed tail did not mint a fresh run id (got '$trun')"
+else
+  check
+  grep -q "\"parent_run_id\":\"$hrun\"" "$work/tail.jsonl" \
+    || fail "resumed tail prologue does not name $hrun as parent"
+  check
+  env EWALK_RUNS_DIR="$work/truns" "$EPROC" runs show "$trun" \
+    > "$work/tshow.txt" 2>&1 \
+    && grep -q "$hrun" "$work/tshow.txt" \
+    || fail "eproc runs show $trun does not reassemble the chain to $hrun"
+fi
 
 # The resumed stream's step events must be byte-identical to the same tail
 # of the uninterrupted stream (crash equivalence).

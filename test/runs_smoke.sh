@@ -1,0 +1,164 @@
+#!/usr/bin/env bash
+# Run-store smoke test (make runs-smoke).
+#
+# Exercise `eproc runs list/show/compare` over a real run store: mint runs
+# with pinned epochs (deterministic ids), build a parent->child resume
+# chain via trace checkpoint/resume, record two throughput series with
+# short cover runs, and check the browsing commands render ids, chains,
+# and median/MAD deltas — without the browsing itself polluting the store.
+set -u
+
+EPROC=${EPROC:-_build/default/bin/eproc.exe}
+
+if [ ! -x "$EPROC" ]; then
+  echo "runs_smoke: $EPROC not built (run dune build first)" >&2
+  exit 2
+fi
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+runs=$work/runs
+
+fails=0
+checks=0
+note() { printf 'runs_smoke: %s\n' "$*"; }
+fail() {
+  printf 'runs_smoke: FAIL: %s\n' "$*" >&2
+  fails=$((fails + 1))
+}
+check() { checks=$((checks + 1)); }
+
+meta_count() { ls -d "$runs"/r*/ 2>/dev/null | wc -l; }
+
+# --- deterministic ids ------------------------------------------------------
+# Same config + same pinned epoch must derive the same run id; a different
+# epoch must derive a different one.
+
+G="--family regular:4 -n 16 --seed 1"
+env EWALK_RUNS_DIR="$runs" EWALK_RUN_EPOCH=1111 \
+  "$EPROC" graph-info $G >/dev/null 2>&1
+check
+[ "$(meta_count)" -eq 1 ] || fail "first run minted $(meta_count) metas, wanted 1"
+id1=$(basename "$(ls -d "$runs"/r*/ | head -1)")
+check
+case $id1 in r[0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f]) : ;;
+  *) fail "run id '$id1' is not r + 16 hex digits" ;;
+esac
+
+env EWALK_RUNS_DIR="$runs" EWALK_RUN_EPOCH=1111 \
+  "$EPROC" graph-info $G >/dev/null 2>&1
+check
+[ "$(meta_count)" -eq 1 ] \
+  || fail "re-running with the same epoch+config minted a second id"
+
+env EWALK_RUNS_DIR="$runs" EWALK_RUN_EPOCH=2222 \
+  "$EPROC" graph-info $G >/dev/null 2>&1
+check
+[ "$(meta_count)" -eq 2 ] \
+  || fail "a different epoch did not mint a distinct id"
+
+# --- resume chain -----------------------------------------------------------
+# A trace checkpoint/resume pair must appear as a parent->child chain.
+
+TR="--family regular:4 -n 64 --seed 3 --process e-process"
+check
+env EWALK_RUNS_DIR="$runs" \
+  "$EPROC" trace $TR --checkpoint "$work/snap" --checkpoint-every 50 \
+  --max-steps 100 --out "$work/head.jsonl" >/dev/null 2>&1 \
+  || fail "checkpointed trace head failed"
+check
+env EWALK_RUNS_DIR="$runs" \
+  "$EPROC" trace $TR --resume-from "$work/snap" --out "$work/tail.jsonl" \
+  >/dev/null 2>&1 || fail "trace resume failed"
+
+hrun=$(grep -o '"run_id":"r[0-9a-f]\{16\}"' "$work/head.jsonl" \
+  | head -1 | cut -d'"' -f4)
+trun=$(grep -o '"run_id":"r[0-9a-f]\{16\}"' "$work/tail.jsonl" \
+  | head -1 | cut -d'"' -f4)
+check
+{ [ -n "$hrun" ] && [ -n "$trun" ] && [ "$hrun" != "$trun" ]; } \
+  || fail "trace legs did not mint distinct run ids ($hrun / $trun)"
+
+check
+env EWALK_RUNS_DIR="$runs" "$EPROC" runs list > "$work/list.txt" 2>&1 \
+  || fail "eproc runs list failed"
+check
+grep -q "^$trun  *$hrun " "$work/list.txt" \
+  || fail "runs list does not show $trun with parent $hrun"
+
+check
+env EWALK_RUNS_DIR="$runs" "$EPROC" runs show "$trun" \
+  > "$work/show.txt" 2>&1 || fail "eproc runs show $trun failed"
+check
+grep -q "^parent    $hrun" "$work/show.txt" \
+  || fail "runs show does not name $hrun as parent"
+check
+grep -q "resume chain" "$work/show.txt" \
+  && grep -q "$trun <- this run" "$work/show.txt" \
+  || fail "runs show does not reassemble the resume chain"
+
+# Browsing must not pollute the store, and unknown ids must be refused.
+before=$(meta_count)
+env EWALK_RUNS_DIR="$runs" "$EPROC" runs list >/dev/null 2>&1
+check
+[ "$(meta_count)" -eq "$before" ] \
+  || fail "eproc runs list added entries to the store it was browsing"
+check
+if env EWALK_RUNS_DIR="$runs" "$EPROC" runs show rdeadbeefdeadbeef \
+  >/dev/null 2>&1; then
+  fail "runs show accepted an unknown run id"
+fi
+
+# --- throughput series and compare ------------------------------------------
+# Two cover runs long enough for the sampler to spill a series; compare
+# must report medians, MADs, and a delta verdict.
+
+note "recording two throughput series (takes a few seconds)"
+ida= idb=
+for tag in a b; do
+  before=$(meta_count)
+  check
+  env EWALK_RUNS_DIR="$runs" "$EPROC" cover --family regular:4 -n 200000 \
+    --trials 2 --seed 1 --jobs 1 --metrics "$work/m-$tag.json" \
+    >/dev/null 2>&1 \
+    || fail "cover run $tag failed"
+  new=$(ls -dt "$runs"/r*/ | head -1)
+  eval "id$tag=\$(basename \"\$new\")"
+done
+check
+{ [ -s "$runs/$ida/throughput.jsonl" ] && \
+  [ -s "$runs/$idb/throughput.jsonl" ]; } \
+  || fail "cover runs spilled no throughput series"
+
+check
+env EWALK_RUNS_DIR="$runs" "$EPROC" runs compare "$ida" "$idb" \
+  > "$work/cmp.txt" 2>&1 || fail "eproc runs compare failed"
+check
+grep -q "median" "$work/cmp.txt" && grep -Eq "delta .*steps/s" "$work/cmp.txt" \
+  || fail "runs compare printed no median/delta: $(cat "$work/cmp.txt")"
+check
+grep -Eq "within noise|faster|slower" "$work/cmp.txt" \
+  || fail "runs compare printed no verdict"
+
+# A run with no throughput series must be refused by compare, not crashed.
+check
+if env EWALK_RUNS_DIR="$runs" "$EPROC" runs compare "$id1" "$ida" \
+  >/dev/null 2>&1; then
+  fail "runs compare accepted a run with no throughput series"
+fi
+
+# runs show on a throughput-bearing run summarizes the series.
+check
+env EWALK_RUNS_DIR="$runs" "$EPROC" runs show "$ida" > "$work/showa.txt" 2>&1 \
+  && grep -q "throughput: .* samples, median" "$work/showa.txt" \
+  || fail "runs show does not summarize the throughput series"
+
+# ----------------------------------------------------------------------------
+
+if [ "$fails" -eq 0 ]; then
+  note "OK ($checks checks)"
+  exit 0
+else
+  note "$fails of $checks checks FAILED"
+  exit 1
+fi

@@ -55,9 +55,16 @@ if [ -z "$url" ]; then
 fi
 note "scraping $url mid-run"
 
-# /healthz: liveness.
+# /healthz: liveness.  The announcement can precede the accept loop by a
+# beat on a loaded machine, so the first scrape gets a bounded retry loop
+# instead of one shot.
+body=
+for _ in $(seq 1 50); do
+  body=$(curl -sf --max-time 5 "$url/healthz") && break
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
 check
-body=$(curl -sf --max-time 5 "$url/healthz")
 [ "$body" = "ok" ] || fail "/healthz answered '$body', wanted 'ok'"
 
 # The endpoint is up before the first graph is even generated (it serves
@@ -84,6 +91,12 @@ grep -q '"steps":' "$work/progress.json" \
 check
 grep -q '"steps_per_second":' "$work/progress.json" \
   || fail "/progress carries no steps_per_second field"
+check
+grep -q '"steps_per_second_lifetime":' "$work/progress.json" \
+  || fail "/progress carries no steps_per_second_lifetime field"
+check
+grep -q '"run_id":"r[0-9a-f]\{16\}"' "$work/progress.json" \
+  || fail "/progress carries no run_id: $(cat "$work/progress.json")"
 
 # /metrics: the OpenMetrics exposition must pass the validator.
 check

@@ -376,6 +376,47 @@ let replay_rejects_tampered_jsonl_line () =
     tampered;
   Alcotest.(check bool) "tampered JSONL flagged" true !saw_violation
 
+let replay_run_info_placement () =
+  let g = Gen_classic.cycle 12 in
+  let events, _ = collect_events g (make_eprocess g 5) in
+  let info =
+    Trace.Run_info { run_id = "r0123456789abcdef"; parent_run_id = None }
+  in
+  (* Prologue placement (right after run_start) is accepted and surfaces
+     in the summary. *)
+  (match
+     Replay.verify_events g
+       (match events with s :: rest -> s :: info :: rest | [] -> [])
+   with
+  | Error v -> Alcotest.failf "prologue run_info rejected: %s" (Invariant.violation_to_string v)
+  | Ok s ->
+      Alcotest.(check (option string))
+        "summary carries run_id" (Some "r0123456789abcdef") s.Replay.run_id;
+      Alcotest.(check bool) "summary string mentions run" true
+        (let str = Replay.summary_to_string s in
+         let nn = String.length "r0123456789abcdef" in
+         let rec go i =
+           i + nn <= String.length str
+           && (String.sub str i nn = "r0123456789abcdef" || go (i + 1))
+         in
+         go 0));
+  let expect_schema what evs =
+    match Replay.verify_events g evs with
+    | Ok _ -> Alcotest.failf "%s accepted" what
+    | Error v -> Alcotest.check kind_t what Invariant.Schema v.Invariant.v_kind
+  in
+  (* Mid-stream, duplicated, or empty-id run_info are schema violations. *)
+  expect_schema "run_info after steps" (events @ [ info ]);
+  expect_schema "duplicate run_info"
+    (match events with s :: rest -> s :: info :: info :: rest | [] -> []);
+  expect_schema "empty run_id"
+    (match events with
+    | s :: rest ->
+        s
+        :: Trace.Run_info { run_id = ""; parent_run_id = None }
+        :: rest
+    | [] -> [])
+
 (* -- model-based property --------------------------------------------------- *)
 
 (* Generated graphs across the families the theorems distinguish, a random
@@ -448,5 +489,7 @@ let () =
             replay_rejects_tampered_streams;
           Alcotest.test_case "rejects tampered JSONL" `Quick
             replay_rejects_tampered_jsonl_line;
+          Alcotest.test_case "run_info prologue placement" `Quick
+            replay_run_info_placement;
         ] );
     ]

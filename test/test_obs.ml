@@ -901,6 +901,237 @@ let trace_determinism () =
   Alcotest.(check bool) "different seed, different stream" true
     (stream1 <> stream3)
 
+(* -- Runlog ------------------------------------------------------------------ *)
+
+module Runlog = Ewalk_obs.Runlog
+module Throughput = Ewalk_obs.Throughput
+
+let runlog_derive_deterministic () =
+  let a = Runlog.derive ~config:"trace -n 100" ~epoch_ns:42 () in
+  let b = Runlog.derive ~config:"trace -n 100" ~epoch_ns:42 () in
+  Alcotest.(check string) "same inputs, same id" a b;
+  Alcotest.(check bool) "well-formed" true (Runlog.validate_id a);
+  Alcotest.(check bool) "epoch changes id" true
+    (a <> Runlog.derive ~config:"trace -n 100" ~epoch_ns:43 ());
+  Alcotest.(check bool) "config changes id" true
+    (a <> Runlog.derive ~config:"trace -n 101" ~epoch_ns:42 ());
+  let child = Runlog.derive ~config:"trace -n 100" ~epoch_ns:42 ~parent:a () in
+  Alcotest.(check bool) "parent changes id" true (a <> child);
+  let legacy = Runlog.synthesize_legacy "payload-bytes" in
+  Alcotest.(check bool) "legacy id well-formed" true (Runlog.validate_id legacy);
+  Alcotest.(check string) "legacy id stable" legacy
+    (Runlog.synthesize_legacy "payload-bytes")
+
+let runlog_validate_id () =
+  List.iter
+    (fun (s, want) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "validate %S" s)
+        want (Runlog.validate_id s))
+    [
+      ("r0123456789abcdef", true);
+      ("r0123456789ABCDEF", false);
+      ("x0123456789abcdef", false);
+      ("r0123456789abcde", false);
+      ("r0123456789abcdef0", false);
+      ("", false);
+    ]
+
+(* -- Run_info trace event ----------------------------------------------------- *)
+
+let trace_run_info_roundtrip () =
+  let no_parent =
+    Trace.Run_info { run_id = "r0123456789abcdef"; parent_run_id = None }
+  in
+  (match Trace.event_of_string (Trace.event_to_string no_parent) with
+  | Ok e -> Alcotest.(check bool) "no-parent roundtrips" true (e = no_parent)
+  | Error e -> Alcotest.fail e);
+  let with_parent =
+    Trace.Run_info
+      {
+        run_id = "raaaaaaaaaaaaaaaa";
+        parent_run_id = Some "rbbbbbbbbbbbbbbbb";
+      }
+  in
+  match Trace.event_of_string (Trace.event_to_string with_parent) with
+  | Ok e -> Alcotest.(check bool) "with-parent roundtrips" true (e = with_parent)
+  | Error e -> Alcotest.fail e
+
+let trace_event_of_line_error_shape () =
+  (match Trace.event_of_line ~line:7 "{nope" with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error e ->
+      Alcotest.(check bool) "error names the line" true
+        (String.length e >= 7 && String.sub e 0 7 = "line 7:"));
+  match
+    Trace.event_of_line ~line:9
+      (Trace.event_to_string (Trace.Resume { step = 3 }))
+  with
+  | Ok (Trace.Resume { step }) -> Alcotest.(check int) "valid line parses" 3 step
+  | _ -> Alcotest.fail "valid line rejected"
+
+(* -- Throughput --------------------------------------------------------------- *)
+
+let throughput_pure_rates () =
+  let s = 1_000_000_000 in
+  let pairs = [ (0, 0); (4096, s); (12288, 2 * s) ] in
+  (match Throughput.lifetime_rate_of_pairs pairs with
+  | Some r -> Alcotest.(check (float 1.0)) "lifetime first-to-last" 6144.0 r
+  | None -> Alcotest.fail "no lifetime rate");
+  (* A window covering only the last interval reads the recent rate, not
+     the lifetime average. *)
+  (match
+     Throughput.windowed_rate_of_pairs ~now_ns:(2 * s) ~window_ns:(3 * s / 2)
+       pairs
+   with
+  | Some r -> Alcotest.(check (float 1.0)) "windowed reads recent" 8192.0 r
+  | None -> Alcotest.fail "no windowed rate");
+  (* Polling long after the last sample: falls back to the most recent
+     adjacent pair rather than reporting nothing. *)
+  (match
+     Throughput.windowed_rate_of_pairs ~now_ns:(60 * s) ~window_ns:s pairs
+   with
+  | Some r -> Alcotest.(check (float 1.0)) "stalled poll falls back" 8192.0 r
+  | None -> Alcotest.fail "stalled fallback missing");
+  Alcotest.(check (list (float 1.0)))
+    "adjacent rates" [ 4096.0; 8192.0 ]
+    (Throughput.rates_of_pairs pairs);
+  Alcotest.(check bool) "empty series" true
+    (Throughput.lifetime_rate_of_pairs [] = None);
+  Alcotest.(check bool) "single sample" true
+    (Throughput.windowed_rate_of_pairs ~now_ns:5 ~window_ns:5 [ (1, 1) ]
+    = None)
+
+let throughput_sampler_basic () =
+  Throughput.reset ();
+  Fun.protect ~finally:Throughput.reset @@ fun () ->
+  Throughput.add 4096;
+  Throughput.add 4096;
+  Alcotest.(check int) "total accumulates" 8192 (Throughput.total_steps ());
+  (* The first add is always retained (no prior sample to throttle
+     against); the second lands inside the 10 ms min gap. *)
+  Alcotest.(check bool) "first sample retained" true
+    (List.length (Throughput.samples ()) >= 1);
+  let fields = Throughput.summary_fields () in
+  Alcotest.(check bool) "summary carries steps_total" true
+    (List.assoc_opt "steps_total" fields = Some (Json.Int 8192));
+  Alcotest.(check bool) "summary carries sample count" true
+    (List.mem_assoc "throughput_samples" fields)
+
+(* -- Ledger provenance and rate kernels --------------------------------------- *)
+
+let ledger_run_id_roundtrip () =
+  let k =
+    { Ledger.k_median_ns = 10.0; k_mad_ns = 1.0; k_min_ns = 9.0; k_samples = 5 }
+  in
+  let r =
+    Ledger.make ~timestamp:1.0 ~git_rev:"aaa" ~run_id:"r0123456789abcdef"
+      ~scale:"tiny" ~jobs:1
+      ~kernels:[ ("x", k) ]
+      ()
+  in
+  (match Ledger.of_json (Ledger.to_json r) with
+  | Ok r2 ->
+      Alcotest.(check string) "run_id survives" "r0123456789abcdef"
+        r2.Ledger.run_id
+  | Error e -> Alcotest.fail e);
+  (* Legacy records (no run_id) still load, with "" — and an empty id is
+     omitted from the JSON so pre-provenance goldens stay stable. *)
+  let legacy =
+    Ledger.make ~timestamp:1.0 ~git_rev:"aaa" ~run_id:"" ~scale:"tiny" ~jobs:1
+      ~kernels:[ ("x", k) ]
+      ()
+  in
+  Alcotest.(check bool) "empty id omitted from JSON" false
+    (contains (Json.to_string (Ledger.to_json legacy)) "run_id");
+  match Ledger.of_json (Ledger.to_json legacy) with
+  | Ok r2 -> Alcotest.(check string) "legacy loads with empty id" "" r2.Ledger.run_id
+  | Error e -> Alcotest.fail e
+
+let ledger_rate_gate () =
+  Alcotest.(check bool) "rate kernel detected" true
+    (Ledger.higher_is_better "headline:steps_per_second_eprocess");
+  Alcotest.(check bool) "latency kernel not" false
+    (Ledger.higher_is_better "fig1:eprocess-10k-steps");
+  let k median =
+    {
+      Ledger.k_median_ns = median;
+      k_mad_ns = 10.0;
+      k_min_ns = median;
+      k_samples = 10;
+    }
+  in
+  let record v =
+    Ledger.make ~timestamp:1.0 ~git_rev:"aaa" ~scale:"tiny" ~jobs:1
+      ~kernels:[ ("headline:steps_per_second_x", k v) ]
+      ()
+  in
+  let regressed cand =
+    Ledger.any_regression
+      (Ledger.diff ~tolerance_mads:6.0 ~min_rel:0.25 ~baseline:(record 1000.0)
+         (record cand))
+  in
+  (* tolerance = max (6 * 10) (0.25 * 1000) = 250: for a rate series the
+     regression direction inverts — drops regress, rises never do. *)
+  Alcotest.(check bool) "large drop regresses" true (regressed 600.0);
+  Alcotest.(check bool) "drop within tolerance ok" false (regressed 900.0);
+  Alcotest.(check bool) "rise never regresses" false (regressed 2000.0)
+
+(* -- Export run-info metric ---------------------------------------------------- *)
+
+let export_run_info_metric () =
+  Runlog.set_current
+    (Some
+       {
+         Runlog.run_id = "r0123456789abcdef";
+         parent_run_id = Some "rfedcba9876543210";
+       });
+  Fun.protect ~finally:(fun () -> Runlog.set_current None) @@ fun () ->
+  let m = Metrics.create () in
+  Metrics.incr (Metrics.counter m "steps");
+  let body = Export.render m in
+  Alcotest.(check bool) "info metric present" true
+    (contains body
+       "ewalk_run_info{run_id=\"r0123456789abcdef\",parent_run_id=\"rfedcba9876543210\"} 1");
+  match Export.validate body with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "exposition with run info rejected: %s" e
+
+(* -- Flight capacity validation ------------------------------------------------ *)
+
+let flight_capacity_env_validation () =
+  let dir = Filename.temp_file "ewalk_flight" "" in
+  Sys.remove dir;
+  Unix.putenv "EWALK_FLIGHT_DIR" dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "EWALK_FLIGHT_DIR" "";
+      Unix.putenv "EWALK_FLIGHT_CAPACITY" "";
+      Flight.disarm ())
+    (fun () ->
+      let rejects what v check_msg =
+        Unix.putenv "EWALK_FLIGHT_CAPACITY" v;
+        match Flight.enable_from_env () with
+        | Ok () -> Alcotest.failf "%s accepted" what
+        | Error e ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s error names the variable" what)
+              true
+              (contains e "EWALK_FLIGHT_CAPACITY");
+            if check_msg then
+              Alcotest.(check bool)
+                (Printf.sprintf "%s error carries the value" what)
+                true (contains e v)
+      in
+      rejects "zero capacity" "0" true;
+      rejects "negative capacity" "-3" true;
+      rejects "non-numeric capacity" "banana" true;
+      Unix.putenv "EWALK_FLIGHT_CAPACITY" "8";
+      (match Flight.enable_from_env () with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      Flight.disarm ())
+
 let () =
   Alcotest.run "obs"
     [
@@ -977,5 +1208,28 @@ let () =
       ( "flight",
         [
           Alcotest.test_case "dump replays" `Quick flight_dump_replays;
+          Alcotest.test_case "capacity env validation" `Quick
+            flight_capacity_env_validation;
+        ] );
+      ( "runlog",
+        [
+          Alcotest.test_case "derive deterministic" `Quick
+            runlog_derive_deterministic;
+          Alcotest.test_case "validate_id" `Quick runlog_validate_id;
+          Alcotest.test_case "run_info event roundtrip" `Quick
+            trace_run_info_roundtrip;
+          Alcotest.test_case "event_of_line error shape" `Quick
+            trace_event_of_line_error_shape;
+          Alcotest.test_case "export run info metric" `Quick
+            export_run_info_metric;
+          Alcotest.test_case "ledger run_id roundtrip" `Quick
+            ledger_run_id_roundtrip;
+          Alcotest.test_case "ledger rate gate inverts" `Quick
+            ledger_rate_gate;
+        ] );
+      ( "throughput",
+        [
+          Alcotest.test_case "pure rate helpers" `Quick throughput_pure_rates;
+          Alcotest.test_case "sampler basics" `Quick throughput_sampler_basic;
         ] );
     ]

@@ -15,6 +15,7 @@ module Srw = Ewalk.Srw
 module Rotor = Ewalk.Rotor
 module Coverage = Ewalk.Coverage
 module Exp_util = Ewalk_expt.Exp_util
+module Runlog = Ewalk_obs.Runlog
 
 let qcheck = QCheck_alcotest.to_alcotest
 
@@ -252,7 +253,7 @@ let snapshot_rejects_corruption () =
       expect_error "tampered" is_corrupt (Snapshot.read g ~path);
       (* Unknown schema versions are refused, not guessed at. *)
       write_file path
-        (replace_once ~sub:"ewalk-snapshot/1" ~by:"ewalk-snapshot/999" original);
+        (replace_once ~sub:"ewalk-snapshot/2" ~by:"ewalk-snapshot/999" original);
       expect_error "unknown schema" is_mismatch (Snapshot.read g ~path);
       (* Valid file, wrong graph. *)
       write_file path original;
@@ -267,6 +268,72 @@ let snapshot_rejects_corruption () =
           Alcotest.failf "describe: %s" (Snapshot.error_to_string e));
       expect_error "missing file" is_io
         (Snapshot.read g ~path:(path ^ ".does-not-exist")))
+
+(* -- Snapshot run provenance ------------------------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false else String.sub hay i nn = needle || go (i + 1)
+  in
+  go 0
+
+let snapshot_provenance () =
+  let g = Exp_util.regular_graph (Rng.create ~seed:3 ()) ~n:20 ~d:4 in
+  let p = Eprocess.create g (Rng.create ~seed:4 ()) ~start:0 in
+  for _ = 1 to 10 do
+    Eprocess.step p
+  done;
+  let path = temp_path ".snap" in
+  Fun.protect
+    ~finally:(fun () ->
+      Runlog.set_current None;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* The ambient run's id and parent land in the header and read back. *)
+      Runlog.set_current
+        (Some
+           {
+             Runlog.run_id = "raaaaaaaaaaaaaaaa";
+             parent_run_id = Some "rbbbbbbbbbbbbbbbb";
+           });
+      ok_or_fail "write" (Snapshot.write ~path (Snapshot.Eprocess p));
+      (match Snapshot.read_with_id g ~path with
+      | Ok (_, run) ->
+          Alcotest.(check string) "run_id read back" "raaaaaaaaaaaaaaaa"
+            run.Runlog.run_id;
+          Alcotest.(check (option string))
+            "parent read back" (Some "rbbbbbbbbbbbbbbbb")
+            run.Runlog.parent_run_id
+      | Error e -> Alcotest.failf "read_with_id: %s" (Snapshot.error_to_string e));
+      (* A malformed run_id is refused, not trusted: uppercase hex fails
+         validate_id, so the length (and CRC'd payload) are untouched. *)
+      let original = read_file path in
+      write_file path
+        (replace_once ~sub:"raaaaaaaaaaaaaaaa" ~by:"rZZZZZZZZZZZZZZZZ" original);
+      expect_error "malformed run_id" is_corrupt
+        (Result.map fst (Snapshot.read_with_id g ~path));
+      (* A provenance-free header (what a pre-run_id writer produced, here
+         down-converted to schema v1) still loads — with a deterministic
+         synthesized id. *)
+      Runlog.set_current None;
+      ok_or_fail "plain write" (Snapshot.write ~path (Snapshot.Eprocess p));
+      write_file path
+        (replace_once ~sub:"ewalk-snapshot/2" ~by:"ewalk-snapshot/1"
+           (read_file path));
+      match Snapshot.read_with_id g ~path with
+      | Error e -> Alcotest.failf "legacy read: %s" (Snapshot.error_to_string e)
+      | Ok (_, run) -> (
+          Alcotest.(check bool) "synthesized id well-formed" true
+            (Runlog.validate_id run.Runlog.run_id);
+          Alcotest.(check bool) "no parent on legacy" true
+            (run.Runlog.parent_run_id = None);
+          match Snapshot.read_with_id g ~path with
+          | Ok (_, run2) ->
+              Alcotest.(check string) "synthesized id stable across loads"
+                run.Runlog.run_id run2.Runlog.run_id
+          | Error e ->
+              Alcotest.failf "legacy reload: %s" (Snapshot.error_to_string e)))
 
 (* -- Campaign --------------------------------------------------------------- *)
 
@@ -366,6 +433,60 @@ let campaign_describe () =
         && String.sub s 0 (String.length Campaign.schema) = Campaign.schema)
   | Error e -> Alcotest.failf "describe: %s" e
 
+let campaign_provenance_and_v1_resume () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      Runlog.set_current None;
+      rm_rf dir)
+  @@ fun () ->
+  Runlog.set_current
+    (Some { Runlog.run_id = "rcccccccccccccccc"; parent_run_id = None });
+  let c = ok_campaign "open" (Campaign.open_ ~dir ~manifest ~resume:false) in
+  ignore (Campaign.run c ~key:"a#0:0" (fun () -> 1.0));
+  Campaign.close c;
+  (* The manifest records the creating run, journal rows are stamped. *)
+  (match Campaign.provenance ~dir with
+  | Ok r ->
+      Alcotest.(check string) "manifest run id" "rcccccccccccccccc"
+        r.Runlog.run_id
+  | Error e -> Alcotest.failf "provenance: %s" e);
+  Alcotest.(check bool) "journal rows stamped" true
+    (contains
+       (read_file (Filename.concat dir Campaign.journal_basename))
+       "\"run_id\":\"rcccccccccccccccc\"");
+  (* A v1 manifest (no provenance, old schema tag) still resumes: the
+     identity comparison ignores schema and run_id fields. *)
+  let mpath = Filename.concat dir Campaign.manifest_basename in
+  let v1 =
+    replace_once ~sub:"ewalk-campaign/2" ~by:"ewalk-campaign/1"
+      (replace_once
+         ~sub:",\"run_id\":\"rcccccccccccccccc\",\"parent_run_id\":null"
+         ~by:"" (read_file mpath))
+  in
+  Alcotest.(check bool) "fixture stripped provenance" false
+    (contains v1 "run_id");
+  write_file mpath v1;
+  Runlog.set_current None;
+  let c2 = ok_campaign "v1 resume" (Campaign.open_ ~dir ~manifest ~resume:true) in
+  Alcotest.(check int) "journal replayed" 1 (Campaign.completed c2);
+  Campaign.close c2;
+  (* Legacy provenance synthesizes a stable, well-formed id... *)
+  (match (Campaign.provenance ~dir, Campaign.provenance ~dir) with
+  | Ok a, Ok b ->
+      Alcotest.(check bool) "legacy id well-formed" true
+        (Runlog.validate_id a.Runlog.run_id);
+      Alcotest.(check string) "legacy id stable" a.Runlog.run_id b.Runlog.run_id
+  | (Error e, _ | _, Error e) -> Alcotest.failf "legacy provenance: %s" e);
+  (* ...but a malformed run_id field is an error, not trusted. *)
+  write_file mpath
+    (replace_once ~sub:"\"experiment\":\"t\""
+       ~by:"\"experiment\":\"t\",\"run_id\":\"bogus\"" (read_file mpath));
+  match Campaign.provenance ~dir with
+  | Error e ->
+      Alcotest.(check bool) "error mentions run_id" true (contains e "run_id")
+  | Ok _ -> Alcotest.fail "malformed manifest run_id accepted"
+
 (* -- Faults ----------------------------------------------------------------- *)
 
 let faults_parse_roundtrip () =
@@ -419,6 +540,7 @@ let () =
           Alcotest.test_case "lazy-srw round trip" `Quick
             lazy_srw_snapshot_roundtrip;
           Alcotest.test_case "rotor round trip" `Quick rotor_snapshot_roundtrip;
+          Alcotest.test_case "run provenance" `Quick snapshot_provenance;
           Alcotest.test_case "rejects corruption" `Quick
             snapshot_rejects_corruption;
         ] );
@@ -429,6 +551,8 @@ let () =
           Alcotest.test_case "tolerates torn journal" `Quick
             campaign_tolerates_truncated_journal;
           Alcotest.test_case "describe" `Quick campaign_describe;
+          Alcotest.test_case "provenance and v1 resume" `Quick
+            campaign_provenance_and_v1_resume;
         ] );
       ( "faults",
         [
