@@ -1,6 +1,6 @@
-.PHONY: all build test test-par test-crash test-kernel serve-smoke \
-	runs-smoke bench bench-json bench-baseline bench-check check-oracle \
-	ci fmt fmt-check clean
+.PHONY: all build test test-par test-crash test-kernel test-compact \
+	serve-smoke runs-smoke bench bench-json bench-baseline bench-check \
+	bench-full check-oracle ci fmt fmt-check clean
 
 all: build
 
@@ -15,8 +15,8 @@ test:
 # differential suite, the kernel differential battery, the
 # crash-equivalence matrix, and the live-endpoint and run-store smoke
 # tests.
-ci: build test fmt-check bench-check check-oracle test-kernel test-crash \
-	serve-smoke runs-smoke
+ci: build test fmt-check bench-check check-oracle test-kernel test-compact \
+	test-crash serve-smoke runs-smoke
 
 # Crash-equivalence matrix: kill a checkpointed campaign at every trial
 # boundary (at --jobs 1 and 4), resume it, and require bit-identical
@@ -57,6 +57,16 @@ test-kernel: build
 	EWALK_JOBS=1 dune exec bin/eproc.exe -- check-oracle --kernel
 	EWALK_JOBS=4 dune exec bin/eproc.exe -- check-oracle --kernel
 
+# The compact-data-plane gate: packed bitsets vs the reference model
+# (qcheck, with shrinking), the compact partition vs legacy Unvisited
+# draw-for-draw, trace byte-equality across processes x reorders x kernel
+# widths x job counts, mutation kills for broken swap-to-back and stale
+# popcounts, and the Bloom false-positive characterization — serially and
+# with 4 domains.
+test-compact: build
+	EWALK_JOBS=1 dune exec test/test_compact.exe
+	EWALK_JOBS=4 dune exec test/test_compact.exe
+
 # The parallel-determinism gate: the whole suite must pass with the pool
 # disabled and with 4 domains (results are bit-identical by contract).
 test-par:
@@ -85,6 +95,16 @@ BENCH_CHECK_ENV := EWALK_BENCH_SCALE=tiny EWALK_BENCH_SKIP_EXPERIMENTS=1 \
 bench-baseline:
 	$(BENCH_CHECK_ENV) EWALK_BENCH_JSON=BENCH_baseline.json \
 	  EWALK_BENCH_HISTORY=/dev/null dune exec bench/main.exe -- --jobs 1
+
+# Full-scale throughput run: EWALK_BENCH_SCALE=full adds the n=10^6
+# stepping kernels (headline:steps_per_second_eprocess_full) and the
+# n=10^7 vertex-cover smoke — both skipped below 4 GiB RAM — and the run
+# is appended, with its minted run id, to BENCH_history.jsonl.  The
+# experiment tables and parallel section are skipped here; `make bench`
+# covers those.
+bench-full: build
+	EWALK_BENCH_SCALE=full EWALK_BENCH_SKIP_EXPERIMENTS=1 \
+	  EWALK_BENCH_SKIP_PARALLEL=1 dune exec bench/main.exe -- --jobs 1
 
 # The perf regression gate: measure the current tree's kernels and diff
 # them against the committed baseline with MAD-scaled tolerance.  Exits

@@ -22,7 +22,9 @@
       `make bench-check` gate regressions against.
 
    Skip knobs (all env, value "1"): EWALK_BENCH_SKIP_MICRO,
-   EWALK_BENCH_SKIP_EXPERIMENTS, EWALK_BENCH_SKIP_PARALLEL.  Output paths:
+   EWALK_BENCH_SKIP_EXPERIMENTS, EWALK_BENCH_SKIP_PARALLEL,
+   EWALK_BENCH_SKIP_FULL (the full-scale stepping kernels and n=10^7
+   cover smoke that EWALK_BENCH_SCALE=full otherwise adds).  Output paths:
    EWALK_BENCH_JSON (default BENCH_core.json), EWALK_BENCH_HISTORY
    (default BENCH_history.jsonl). *)
 
@@ -221,6 +223,137 @@ let kernels () =
         Ewalk_kernel.Engine.Srw ~seed:87 () );
   ]
 
+(* -- full-scale kernels (EWALK_BENCH_SCALE=full only) ---------------------- *)
+
+(* MemTotal from /proc/meminfo in GiB, 0 when unreadable.  The full-scale
+   fixtures hold a 10^7-vertex CSR plus walk state, so the section skips
+   (loudly) below 4 GiB rather than thrashing a small runner into swap. *)
+let mem_total_gib () =
+  match open_in "/proc/meminfo" with
+  | exception Sys_error _ -> 0.0
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec scan () =
+            match input_line ic with
+            | exception End_of_file -> 0.0
+            | line -> (
+                match
+                  Scanf.sscanf line "MemTotal: %d kB" (fun kb -> kb)
+                with
+                | kb -> float_of_int kb /. (1024. *. 1024.)
+                | exception _ -> scan ())
+          in
+          scan ())
+
+let full_n = 1_000_000
+let full_steps = 2_000_000
+let full_cover_n = 10_000_000
+
+(* Benchstat.measure floors at 10 reps — right for microsecond kernels,
+   hostile to multi-second full-scale ones.  One warmup plus three timed
+   reps keeps the section bounded while still yielding the median/MAD/min
+   trio the ledger stores. *)
+let measure_full f =
+  f ();
+  let samples =
+    Array.init 3 (fun _ ->
+        let t0 = Ewalk_obs.Clock.now_ns () in
+        f ();
+        float_of_int (Ewalk_obs.Clock.elapsed_ns t0))
+  in
+  {
+    Benchstat.median_ns = Benchstat.median samples;
+    mad_ns = Benchstat.mad samples;
+    min_ns = Array.fold_left Float.min samples.(0) samples;
+    samples = Array.length samples;
+  }
+
+(* Walk throughput at paper scale: the native run loops
+   (Eprocess.run_steps / Srw.run_steps — no per-step closure dispatch) on
+   an n=10^6 4-regular graph, plus a single n=10^7 vertex-cover run as
+   the completes-at-scale smoke.  The derived
+   headline:steps_per_second_eprocess_full rate rides the same ledger
+   record, so bench-diff gates full-scale throughput once a full-scale
+   baseline exists. *)
+let run_full_scale () =
+  let gib = mem_total_gib () in
+  if gib < 4.0 then begin
+    Printf.printf
+      "== full-scale (SKIPPED: %.1f GiB RAM < 4 GiB floor) ==\n\n" gib;
+    []
+  end
+  else begin
+    Printf.printf
+      "== full-scale throughput (n=%d walk kernels, n=%d cover smoke) ==\n%!"
+      full_n full_cover_n;
+    let rng = Rng.create ~seed:4242 () in
+    let t0 = Ewalk_obs.Clock.now_ns () in
+    let g = Ewalk_graph.Gen_regular.random_regular_connected rng full_n 4 in
+    Printf.printf "  built n=%d 4-regular stepping fixture in %.1fs\n%!"
+      full_n
+      (Ewalk_obs.Clock.elapsed_s t0);
+    let ep_stats =
+      measure_full (fun () ->
+          let rng = Rng.create ~seed:41 () in
+          let t = Ewalk.Eprocess.create g rng ~start:0 in
+          Ewalk.Eprocess.run_steps t full_steps)
+    in
+    let srw_stats =
+      measure_full (fun () ->
+          let rng = Rng.create ~seed:40 () in
+          let t = Ewalk.Srw.create g rng ~start:0 in
+          Ewalk.Srw.run_steps t full_steps)
+    in
+    let report name (s : Benchstat.stats) =
+      let per_step = s.Benchstat.median_ns /. float_of_int full_steps in
+      Printf.printf "  %-28s %8.1f ns/step  %8.2fM steps/sec\n%!" name
+        per_step (1e3 /. per_step)
+    in
+    report "e-process (run_steps)" ep_stats;
+    report "srw (run_steps)" srw_stats;
+    let rngc = Rng.create ~seed:4243 () in
+    let t0 = Ewalk_obs.Clock.now_ns () in
+    let gc =
+      Ewalk_graph.Gen_regular.random_regular_connected rngc full_cover_n 4
+    in
+    Printf.printf "  built n=%d 4-regular cover fixture in %.1fs\n%!"
+      full_cover_n
+      (Ewalk_obs.Clock.elapsed_s t0);
+    let t = Ewalk.Eprocess.create gc (Rng.create ~seed:39 ()) ~start:0 in
+    let t0 = Ewalk_obs.Clock.now_ns () in
+    let cover = Ewalk.Eprocess.run_to_vertex_cover t in
+    let cover_ns = float_of_int (Ewalk_obs.Clock.elapsed_ns t0) in
+    let cover_rows =
+      match cover with
+      | Some c ->
+          Printf.printf
+            "  cover n=%d: %d steps in %.2fs (%.2fM steps/sec)\n\n%!"
+            full_cover_n c (cover_ns /. 1e9)
+            (float_of_int c /. cover_ns *. 1e3);
+          [
+            ( "fullscale:cover-n1e7",
+              {
+                Benchstat.median_ns = cover_ns;
+                mad_ns = 0.0;
+                min_ns = cover_ns;
+                samples = 1;
+              } );
+          ]
+      | None ->
+          Printf.printf
+            "  cover n=%d: ** DID NOT COVER under default cap **\n\n%!"
+            full_cover_n;
+          []
+    in
+    [
+      ("fullscale:eprocess-2M-steps", ep_stats);
+      ("fullscale:srw-2M-steps", srw_stats);
+    ]
+    @ cover_rows
+  end
+
 (* Headline throughput kernels: the 10k-step walk kernels re-expressed
    per step, so the ledger carries ns/step (and the printed line
    steps/sec) and `eproc bench-diff` gates walk throughput directly —
@@ -231,7 +364,7 @@ let kernels () =
 let headline_steps = 10_000.
 
 let headline_kernels kernels =
-  let derive headline src =
+  let derive ?(steps = headline_steps) headline src =
     match List.assoc_opt src kernels with
     | None -> None
     | Some (s : Benchstat.stats) ->
@@ -239,9 +372,9 @@ let headline_kernels kernels =
           ( headline,
             {
               s with
-              Benchstat.median_ns = s.Benchstat.median_ns /. headline_steps;
-              mad_ns = s.Benchstat.mad_ns /. headline_steps;
-              min_ns = s.Benchstat.min_ns /. headline_steps;
+              Benchstat.median_ns = s.Benchstat.median_ns /. steps;
+              mad_ns = s.Benchstat.mad_ns /. steps;
+              min_ns = s.Benchstat.min_ns /. steps;
             } )
   in
   (* Rate twins of the headline kernels: the same runs re-expressed as
@@ -250,14 +383,14 @@ let headline_kernels kernels =
      throughput drop — e.g. the sampler growing a hot-path cost — trips
      the gate from this side too).  Derived, not re-measured; the MAD
      maps through first-order propagation: MAD(c/x) ~ c.MAD(x)/x^2. *)
-  let derive_rate headline src =
+  let derive_rate ?(steps = headline_steps) headline src =
     match List.assoc_opt src kernels with
     | None -> None
     | Some (s : Benchstat.stats) ->
         let med = s.Benchstat.median_ns in
         if med <= 0.0 then None
         else
-          let c = 1e9 *. headline_steps in
+          let c = 1e9 *. steps in
           Some
             ( headline,
               {
@@ -281,12 +414,27 @@ let headline_kernels kernels =
       ("headline:kernel_srw_ns_per_walker_step", "kernel:srw-w8-10k-steps");
     ]
   @ List.filter_map
+      (fun (headline, src) ->
+        derive ~steps:(float_of_int full_steps) headline src)
+      [
+        ("headline:eprocess_full_ns_per_step", "fullscale:eprocess-2M-steps");
+        ("headline:srw_full_ns_per_step", "fullscale:srw-2M-steps");
+      ]
+  @ List.filter_map
       (fun (headline, src) -> derive_rate headline src)
       [
         ("headline:steps_per_second_eprocess", "fig1:eprocess-10k-steps");
         ( "headline:steps_per_second_eprocess_metrics",
           "obs:eprocess-10k-steps-metrics" );
         ("headline:steps_per_second_kernel_euar_w8", "kernel:euar-w8-10k-steps");
+      ]
+  @ List.filter_map
+      (fun (headline, src) ->
+        derive_rate ~steps:(float_of_int full_steps) headline src)
+      [
+        ( "headline:steps_per_second_eprocess_full",
+          "fullscale:eprocess-2M-steps" );
+        ("headline:steps_per_second_srw_full", "fullscale:srw-2M-steps");
       ]
 
 let print_headlines headlines =
@@ -611,11 +759,19 @@ let () =
     if skip_micro then []
     else begin
       let rows = Prof.span_ambient "bench:micro" run_micro_benchmarks in
+      (* Full-scale stepping kernels and the n=10^7 cover smoke join the
+         row list only at EWALK_BENCH_SCALE=full (and >= 4 GiB RAM), so
+         the tiny/default gate environments never pay for them. *)
+      let full_rows =
+        if scale = Ewalk_expt.Sweep.Full && not (skip "EWALK_BENCH_SKIP_FULL")
+        then Prof.span_ambient "bench:full-scale" run_full_scale
+        else []
+      in
       (* Derived headline throughput entries ride the same ledger record,
          so bench-diff gates steps/sec alongside the raw kernels. *)
-      let headlines = headline_kernels rows in
+      let headlines = headline_kernels (rows @ full_rows) in
       print_headlines headlines;
-      rows @ headlines
+      rows @ full_rows @ headlines
     end
   in
   let overhead =

@@ -35,6 +35,93 @@ let seed_arg =
   let doc = "Random seed (all runs are deterministic given the seed)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let reorder_arg =
+  let parse = function
+    | "none" -> Ok None
+    | "degree" -> Ok (Some Graph.Degree_sort)
+    | "bfs" -> Ok (Some Graph.Bfs)
+    | "rcm" -> Ok (Some Graph.Rcm)
+    | s -> Error (`Msg (Printf.sprintf "unknown reorder %S" s))
+  in
+  let print ppf o =
+    Format.pp_print_string ppf
+      (match o with
+      | None -> "none"
+      | Some Graph.Degree_sort -> "degree"
+      | Some Graph.Bfs -> "bfs"
+      | Some Graph.Rcm -> "rcm")
+  in
+  let doc =
+    "Cache-conscious vertex relabeling applied before the walk: $(b,none), \
+     $(b,degree) (ascending-degree sort), $(b,bfs), or $(b,rcm) (reverse \
+     Cuthill-McKee).  Edge ids and every random draw are unchanged and \
+     trace vertices are mapped back through the inverse permutation, so \
+     the emitted stream is byte-identical to the unreordered run.  A \
+     resumed leg must pass the same $(docv) as the leg that wrote the \
+     snapshot."
+  in
+  Arg.(
+    value
+    & opt (Arg.conv (parse, print)) None
+    & info [ "reorder" ] ~docv:"ORDER" ~doc)
+
+let approx_arg =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ bits; hashes ] -> (
+        match (int_of_string_opt bits, int_of_string_opt hashes) with
+        | Some bits_per_edge, Some hashes when bits_per_edge > 0 && hashes > 0
+          ->
+            Ok (Some (Ewalk.Eprocess.Bloom { bits_per_edge; hashes }))
+        | _ -> Error (`Msg (Printf.sprintf "malformed approx spec %S" s)))
+    | _ -> Error (`Msg (Printf.sprintf "approx spec %S is not BITS:HASHES" s))
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "exact"
+    | Some (Ewalk.Eprocess.Bloom { bits_per_edge; hashes }) ->
+        Format.fprintf ppf "%d:%d" bits_per_edge hashes
+  in
+  let doc =
+    "Opt-in lossy visited tracking for the e-process rules: a Bloom filter \
+     of $(b,BITS) bits per edge with $(b,HASHES) probes replaces the exact \
+     visited set.  False positives make the walk skip some unvisited \
+     edges (the distortion tally is printed at the end); approximate runs \
+     cannot be checkpointed."
+  in
+  Arg.(
+    value
+    & opt (Arg.conv (parse, print)) None
+    & info [ "approx-visited" ] ~docv:"BITS:HASHES" ~doc)
+
+(* --reorder: relabel the graph before the walk.  The permutation
+   (perm.(old) = new) is threaded to rotor/engine creation so random
+   offsets draw in original vertex order, and the inverse goes to the
+   trace sink so emitted vertex labels are the original ones. *)
+let apply_reorder g = function
+  | None -> (g, None, None)
+  | Some order ->
+      let g', perm = Graph.reorder g order in
+      (g', Some perm, Some (Graph.inverse_permutation perm))
+
+let relabel_sink inv sink =
+  match inv with
+  | None -> sink
+  | Some inv ->
+      Obs.Trace.of_fun
+        ~close:(fun () -> Obs.Trace.close sink)
+        (fun ev ->
+          let ev =
+            match ev with
+            | Obs.Trace.Run_start { name; n; m; start } ->
+                Obs.Trace.Run_start { name; n; m; start = inv.(start) }
+            | Obs.Trace.Step { step; vertex; edge; blue } ->
+                Obs.Trace.Step { step; vertex = inv.(vertex); edge; blue }
+            | Obs.Trace.Phase { step; kind; vertex } ->
+                Obs.Trace.Phase { step; kind; vertex = inv.(vertex) }
+            | ev -> ev
+          in
+          Obs.Trace.emit sink ev)
+
 let scale_arg =
   let parse = function
     | "tiny" -> Ok Expt.Sweep.Tiny
@@ -512,42 +599,67 @@ let process_arg =
 
 (* Each spec yields the generic process plus a native-hook attacher for the
    processes that have one (E-process, SRW); others only get the generic
-   [Observe.instrument] wrapper. *)
-let make_process spec g rng =
-  let eprocess ?rule () =
-    let t = Ewalk.Eprocess.create ?rule g rng ~start:0 in
-    (Ewalk.Eprocess.process t, fun obs -> Observe.attach_eprocess obs t)
+   [Observe.instrument] wrapper.  [start] defaults to vertex 0; with
+   --reorder the caller passes the relabeled start [perm.(0)] (and [perm]
+   itself, so the rotor draws its offsets in original vertex order).
+   [approx] switches the e-process rules to Bloom visited tracking; the
+   created process rides back so the caller can report the distortion. *)
+let make_process ?(start = 0) ?perm ?approx spec g rng =
+  let approx_only_eprocess () =
+    match approx with
+    | None -> ()
+    | Some _ ->
+        Printf.eprintf
+          "eproc: --approx-visited applies to the e-process rules only \
+           (process %S)\n"
+          spec;
+        exit 2
   in
-  let srw t = (Ewalk.Srw.process t, fun obs -> Observe.attach_srw obs t) in
-  let rotor t = (Ewalk.Rotor.process t, fun obs -> Observe.attach_rotor obs t) in
-  let plain p = (p, fun (_ : Observe.t) -> ()) in
+  let eprocess ?rule () =
+    let t = Ewalk.Eprocess.create ?rule ?approx g rng ~start in
+    ( Ewalk.Eprocess.process t,
+      (fun obs -> Observe.attach_eprocess obs t),
+      Some t )
+  in
+  let srw t =
+    approx_only_eprocess ();
+    (Ewalk.Srw.process t, (fun obs -> Observe.attach_srw obs t), None)
+  in
+  let rotor t =
+    approx_only_eprocess ();
+    (Ewalk.Rotor.process t, (fun obs -> Observe.attach_rotor obs t), None)
+  in
+  let plain p =
+    approx_only_eprocess ();
+    (p, (fun (_ : Observe.t) -> ()), None)
+  in
   match String.split_on_char ':' spec with
   | [ "e-process" ] -> eprocess ()
   | [ "e-process"; "lowest" ] -> eprocess ~rule:Ewalk.Eprocess.Lowest_slot ()
   | [ "e-process"; "highest" ] -> eprocess ~rule:Ewalk.Eprocess.Highest_slot ()
-  | [ "srw" ] -> srw (Ewalk.Srw.create g rng ~start:0)
-  | [ "lazy-srw" ] -> srw (Ewalk.Srw.create_lazy g rng ~start:0)
+  | [ "srw" ] -> srw (Ewalk.Srw.create g rng ~start)
+  | [ "lazy-srw" ] -> srw (Ewalk.Srw.create_lazy g rng ~start)
   | [ "v-process" ] ->
-      plain (Ewalk.Vprocess.process (Ewalk.Vprocess.create g rng ~start:0))
+      plain (Ewalk.Vprocess.process (Ewalk.Vprocess.create g rng ~start))
   | [ "rotor" ] ->
-      rotor (Ewalk.Rotor.create ~randomize_rotors:true g rng ~start:0)
+      rotor (Ewalk.Rotor.create ~randomize_rotors:true ?perm g rng ~start)
   | [ "rwc"; d ] ->
       plain
         (Ewalk.Rwc.process
-           (Ewalk.Rwc.create ~d:(int_of_string d) g rng ~start:0))
+           (Ewalk.Rwc.create ~d:(int_of_string d) g rng ~start))
   | [ "luf" ] ->
       plain
         (Ewalk.Fair.process
            (Ewalk.Fair.create ~random_ties:true
-              ~strategy:Ewalk.Fair.Least_used_first g rng ~start:0))
+              ~strategy:Ewalk.Fair.Least_used_first g rng ~start))
   | [ "oldest" ] ->
       plain
         (Ewalk.Fair.process
            (Ewalk.Fair.create ~random_ties:true
-              ~strategy:Ewalk.Fair.Oldest_first g rng ~start:0))
+              ~strategy:Ewalk.Fair.Oldest_first g rng ~start))
   | [ "metropolis" ] ->
       plain
-        (Ewalk.Metropolis.process (Ewalk.Metropolis.create g rng ~start:0))
+        (Ewalk.Metropolis.process (Ewalk.Metropolis.create g rng ~start))
   | _ -> invalid_arg (Printf.sprintf "unknown process %S" spec)
 
 (* The specs ported to the multi-walker kernel engine: what --walkers > 1
@@ -569,36 +681,50 @@ let require_kernel_proc ~cmd spec =
         spec;
       exit 2
 
+(* [Kengine.create_spread] with the reorder permutation threaded through:
+   start vertices are drawn in original label space and mapped, and rotor
+   offsets draw in original vertex order, so the reordered engine is
+   isomorphic draw-for-draw to the unreordered one. *)
+let kengine_spread ?mode ?perm kp g rng ~walkers =
+  match perm with
+  | None -> Kengine.create_spread ?mode kp g rng ~walkers
+  | Some pm ->
+      let starts =
+        Array.init walkers (fun _ -> pm.(Rng.int rng (Graph.n g)))
+      in
+      Kengine.create ?mode ~perm:pm kp g rng ~starts
+
 (* The snapshottable subset of --process specs, as Snapshot.walk values:
    what `trace --checkpoint` can write and `trace --resume-from` restores.
    Specs outside it (adversarial rules, weighted walks, processes without
    a checkpoint function) return None.  With [walkers > 1] the kernel-
    ported specs build a cooperating lockstep engine instead. *)
-let make_snapshot_walk ?(walkers = 1) spec g rng =
+let make_snapshot_walk ?(walkers = 1) ?(start = 0) ?perm spec g rng =
   let module S = Ewalk_resume.Snapshot in
   if walkers > 1 then
     Option.map
-      (fun p -> S.Kernel (Kengine.create_spread p g rng ~walkers))
+      (fun p -> S.Kernel (kengine_spread ?perm p g rng ~walkers))
       (kernel_proc_of_spec spec)
   else
     match String.split_on_char ':' spec with
     | [ "e-process" ] ->
-        Some (S.Eprocess (Ewalk.Eprocess.create g rng ~start:0))
+        Some (S.Eprocess (Ewalk.Eprocess.create g rng ~start))
     | [ "e-process"; "lowest" ] ->
         Some
           (S.Eprocess
              (Ewalk.Eprocess.create ~rule:Ewalk.Eprocess.Lowest_slot g rng
-                ~start:0))
+                ~start))
     | [ "e-process"; "highest" ] ->
         Some
           (S.Eprocess
              (Ewalk.Eprocess.create ~rule:Ewalk.Eprocess.Highest_slot g rng
-                ~start:0))
-    | [ "srw" ] -> Some (S.Srw (Ewalk.Srw.create g rng ~start:0))
-    | [ "lazy-srw" ] -> Some (S.Srw (Ewalk.Srw.create_lazy g rng ~start:0))
+                ~start))
+    | [ "srw" ] -> Some (S.Srw (Ewalk.Srw.create g rng ~start))
+    | [ "lazy-srw" ] -> Some (S.Srw (Ewalk.Srw.create_lazy g rng ~start))
     | [ "rotor" ] ->
         Some
-          (S.Rotor (Ewalk.Rotor.create ~randomize_rotors:true g rng ~start:0))
+          (S.Rotor
+             (Ewalk.Rotor.create ~randomize_rotors:true ?perm g rng ~start))
     | _ -> None
 
 let process_of_walk (w : Ewalk_resume.Snapshot.walk) =
@@ -625,7 +751,7 @@ let cover_cmd =
     in
     Arg.(value & flag & info [ "compete" ] ~doc)
   in
-  let run family process n trials seed walkers compete edges metrics
+  let run family process n trials seed walkers compete edges reorder metrics
       export_metrics profile jobs listen =
     if walkers < 1 then begin
       Printf.eprintf "eproc cover: --walkers must be at least 1\n";
@@ -656,6 +782,8 @@ let cover_cmd =
       Ewalk_par.Pool.map_array ~chunk:1 pool
         (fun (trial, rng) ->
           let g = Expt.Families.build family rng ~n in
+          let g, perm, _inv = apply_reorder g reorder in
+          let start = match perm with None -> 0 | Some pm -> pm.(0) in
           (* Each trial observes through its own view: per-trial drain
              state, and deterministic last-trial-wins gauges under any
              --jobs. *)
@@ -665,7 +793,7 @@ let cover_cmd =
             if compete then begin
               let kp = require_kernel_proc ~cmd:"cover" process in
               let eng =
-                Kengine.create_spread ~mode:Kengine.Competing kp g rng
+                kengine_spread ~mode:Kengine.Competing ?perm kp g rng
                   ~walkers
               in
               Option.iter (fun obs -> Kobs.attach obs eng) obs;
@@ -679,11 +807,14 @@ let cover_cmd =
               let p, attach_native =
                 if walkers > 1 then begin
                   let kp = require_kernel_proc ~cmd:"cover" process in
-                  let eng = Kengine.create_spread kp g rng ~walkers in
+                  let eng = kengine_spread ?perm kp g rng ~walkers in
                   ( Kengine.process eng,
                     fun obs -> Kobs.attach obs eng )
                 end
-                else make_process process g rng
+                else begin
+                  let p, attach, _ = make_process ~start ?perm process g rng in
+                  (p, attach)
+                end
               in
               let p =
                 match obs with
@@ -749,7 +880,7 @@ let cover_cmd =
     (Cmd.info "cover" ~doc:"Measure cover times of a walk process.")
     Term.(
       const run $ family_arg $ process_arg $ n_arg $ trials_arg $ seed_arg
-      $ walkers_arg $ compete_arg $ edges_arg $ metrics_arg
+      $ walkers_arg $ compete_arg $ edges_arg $ reorder_arg $ metrics_arg
       $ export_metrics_arg $ profile_arg $ jobs_arg $ listen_arg)
 
 (* -- trace ----------------------------------------------------------------- *)
@@ -797,16 +928,40 @@ let trace_cmd =
     Arg.(
       value & opt (some string) None & info [ "resume-from" ] ~docv:"FILE" ~doc)
   in
-  let run family process n seed walkers edges no_steps max_steps out metrics
-      export_metrics profile checkpoint checkpoint_every resume_from listen =
+  let compete_arg =
+    let doc =
+      "Competing kernel mode: every walker keeps private bit-packed \
+       visited sets (combine with $(b,--walkers)).  The stream interleaves \
+       walker-local step events in round-robin order; $(b,--checkpoint) \
+       writes $(b,kernel-competing) snapshots whose restore recomputes the \
+       visit counters from the bitset popcounts."
+    in
+    Arg.(value & flag & info [ "compete" ] ~doc)
+  in
+  let run family process n seed walkers reorder approx compete edges no_steps
+      max_steps out metrics export_metrics profile checkpoint checkpoint_every
+      resume_from listen =
     if walkers < 1 then begin
       Printf.eprintf "eproc trace: --walkers must be at least 1\n";
+      exit 2
+    end;
+    if approx <> None && (checkpoint <> None || resume_from <> None) then begin
+      Printf.eprintf
+        "eproc trace: --approx-visited runs are lossy and cannot be \
+         checkpointed or resumed\n";
+      exit 2
+    end;
+    if approx <> None && (walkers > 1 || compete) then begin
+      Printf.eprintf
+        "eproc trace: --approx-visited supports the single-walker loop only\n";
       exit 2
     end;
     with_profile profile @@ fun prof ->
     let t0 = Obs.Clock.now_ns () in
     let rng = Rng.create ~seed () in
     let g = Expt.Families.build family rng ~n in
+    let g, perm, inv = apply_reorder g reorder in
+    let start = match perm with None -> 0 | Some pm -> pm.(0) in
     let oc, close_oc =
       if out = "-" then (stdout, fun () -> flush stdout)
       else begin
@@ -816,7 +971,9 @@ let trace_cmd =
       end
     in
     Fun.protect ~finally:close_oc (fun () ->
-        let sink = Obs.Trace.jsonl oc in
+        (* Innermost so both the written stream and the flight recorder
+           see original vertex labels under --reorder. *)
+        let sink = relabel_sink inv (Obs.Trace.jsonl oc) in
         let sink =
           if no_steps then
             Obs.Trace.filter
@@ -835,100 +992,230 @@ let trace_cmd =
           Printf.eprintf "eproc trace: --checkpoint-every must be positive\n";
           exit 2
         end;
-        let walk_opt, (p, attach_native), resumed_at =
-          match resume_from with
-          | Some path -> (
-              match Ewalk_resume.Snapshot.read_with_id g ~path with
-              | Error e ->
-                  Printf.eprintf "eproc trace: %s: %s\n" path
-                    (Ewalk_resume.Snapshot.error_to_string e);
-                  exit 2
-              | Ok (w, snap_run) ->
-                  (* Adopt before instrumentation so the trace prologue's
-                     run_info and any checkpoint written by this leg carry
-                     the child id. *)
-                  adopt_parent_run snap_run.Obs.Runlog.run_id;
-                  ( Some w,
-                    process_of_walk w,
-                    Some (Ewalk_resume.Snapshot.walk_steps w) ))
-          | None -> (
-              match make_snapshot_walk ~walkers process g rng with
-              | Some w -> (Some w, process_of_walk w, None)
-              | None ->
-                  if walkers > 1 then begin
-                    Printf.eprintf
-                      "eproc trace: process %S does not support --walkers\n"
-                      process;
-                    exit 2
-                  end;
-                  (None, make_process process g rng, None))
-        in
-        let pname =
-          match (resume_from, walk_opt) with
-          | Some _, Some w -> Ewalk_resume.Snapshot.kind_name w
-          | _ -> process
-        in
-        attach_native obs;
-        let p = Observe.instrument ?resumed_at obs p in
-        let p =
-          match checkpoint with
-          | None -> p
+        let write_metrics_files () =
+          (match metrics with
           | Some path ->
-              let w =
-                match walk_opt with
-                | Some w -> w
-                | None ->
-                    Printf.eprintf
-                      "eproc trace: process %S cannot be checkpointed\n"
-                      process;
+              Obs.Metrics.write_file registry path;
+              Printf.eprintf "wrote %s\n" path
+          | None -> ());
+          match export_metrics with
+          | Some path ->
+              Obs.Export.write_file ?prof registry path;
+              Printf.eprintf "wrote %s (OpenMetrics)\n" path
+          | None -> ()
+        in
+        if compete then begin
+          (* Competing kernel walkers have no shared coverage table, so the
+             generic Cover loop does not apply: drive the engine directly,
+             emitting its walker-interleaved step stream and checkpointing
+             on the total-step clock.  The loop is sequential round-robin,
+             hence deterministic — a resumed leg's tail is byte-identical
+             to the uninterrupted stream. *)
+          if edges then begin
+            Printf.eprintf
+              "eproc trace: --compete tracks per-walker vertex covers; \
+               --edges is not supported\n";
+            exit 2
+          end;
+          let kp = require_kernel_proc ~cmd:"trace" process in
+          let eng, resumed_at =
+            match resume_from with
+            | Some path -> (
+                match Ewalk_resume.Snapshot.read_with_id g ~path with
+                | Error e ->
+                    Printf.eprintf "eproc trace: %s: %s\n" path
+                      (Ewalk_resume.Snapshot.error_to_string e);
                     exit 2
-              in
-              Obs.Runlog.note_artifact ~key:"checkpoint" ~path;
-              let checkpoints_c = Obs.Metrics.counter registry "checkpoints" in
-              Ewalk.Cover.with_step_hook p ~hook:(fun p ->
-                  let step = p.Ewalk.Cover.steps_done () in
-                  if step mod checkpoint_every = 0 then begin
-                    (match Ewalk_resume.Snapshot.write ~path w with
-                    | Ok () -> ()
-                    | Error e ->
-                        Printf.eprintf "eproc trace: %s: %s\n" path
-                          (Ewalk_resume.Snapshot.error_to_string e);
-                        exit 2);
-                    Obs.Trace.emit sink (Obs.Trace.Checkpoint { step });
-                    Obs.Metrics.incr checkpoints_c
-                  end)
-        in
-        let cap =
-          match max_steps with
-          | Some c -> c
-          | None -> Ewalk.Cover.default_cap g
-        in
-        let result =
-          if edges then Ewalk.Cover.run_until_edge_cover ~cap p
-          else Ewalk.Cover.run_until_vertex_cover ~cap p
-        in
-        Observe.finish obs p;
-        Obs.Trace.close sink;
-        (match result with
-        | Some t ->
-            Printf.eprintf "%s covered %s of %s (n=%d, m=%d) at step %d\n"
-              pname
-              (if edges then "edges" else "vertices")
-              family (Graph.n g) (Graph.m g) t
-        | None ->
-            Printf.eprintf "%s hit the %d-step cap before covering %s\n"
-              pname cap
-              (if edges then "edges" else "vertices"));
-        (match metrics with
-        | Some path ->
-            Obs.Metrics.write_file registry path;
-            Printf.eprintf "wrote %s\n" path
-        | None -> ());
-        match export_metrics with
-        | Some path ->
-            Obs.Export.write_file ?prof registry path;
-            Printf.eprintf "wrote %s (OpenMetrics)\n" path
-        | None -> ())
+                | Ok (Ewalk_resume.Snapshot.Kernel k, snap_run)
+                  when Kengine.mode k = Kengine.Competing ->
+                    adopt_parent_run snap_run.Obs.Runlog.run_id;
+                    (k, Some (Kengine.steps k))
+                | Ok _ ->
+                    Printf.eprintf
+                      "eproc trace: %s is not a competing kernel snapshot\n"
+                      path;
+                    exit 2)
+            | None ->
+                ( kengine_spread ~mode:Kengine.Competing ?perm kp g rng
+                    ~walkers,
+                  None )
+          in
+          let all_covered () =
+            let w = Kengine.walkers eng in
+            let rec go i =
+              i >= w
+              || (Kengine.walker_cover_step eng i <> None && go (i + 1))
+            in
+            go 0
+          in
+          Obs.Trace.emit sink
+            (Obs.Trace.Run_start
+               {
+                 name = Kengine.name eng;
+                 n = Graph.n g;
+                 m = Graph.m g;
+                 start = Kengine.position eng;
+               });
+          (match Obs.Runlog.current () with
+          | Some r ->
+              Obs.Trace.emit sink
+                (Obs.Trace.Run_info
+                   {
+                     run_id = r.Obs.Runlog.run_id;
+                     parent_run_id = r.Obs.Runlog.parent_run_id;
+                   })
+          | None -> ());
+          Option.iter
+            (fun step -> Obs.Trace.emit sink (Obs.Trace.Resume { step }))
+            resumed_at;
+          Kengine.set_observer eng
+            (Some (fun ~walker:_ ev -> Obs.Trace.emit sink ev));
+          (match checkpoint with
+          | Some path -> Obs.Runlog.note_artifact ~key:"checkpoint" ~path
+          | None -> ());
+          let checkpoints_c = Obs.Metrics.counter registry "checkpoints" in
+          let cap =
+            match max_steps with
+            | Some c -> c
+            | None -> Ewalk.Cover.default_cap g
+          in
+          while Kengine.steps eng < cap && not (all_covered ()) do
+            Kengine.step eng;
+            let step = Kengine.steps eng in
+            match checkpoint with
+            | Some path when step mod checkpoint_every = 0 ->
+                (match
+                   Ewalk_resume.Snapshot.write ~path
+                     (Ewalk_resume.Snapshot.Kernel eng)
+                 with
+                | Ok () -> ()
+                | Error e ->
+                    Printf.eprintf "eproc trace: %s: %s\n" path
+                      (Ewalk_resume.Snapshot.error_to_string e);
+                    exit 2);
+                Obs.Trace.emit sink (Obs.Trace.Checkpoint { step });
+                Obs.Metrics.incr checkpoints_c
+            | _ -> ()
+          done;
+          let covered = all_covered () in
+          Obs.Trace.emit sink
+            (Obs.Trace.Run_end { steps = Kengine.steps eng; covered });
+          Obs.Trace.close sink;
+          if covered then
+            Printf.eprintf
+              "%s: every walker covered its own vertices of %s (n=%d, \
+               m=%d) by total step %d\n"
+              (Kengine.name eng) family (Graph.n g) (Graph.m g)
+              (Kengine.steps eng)
+          else
+            Printf.eprintf "%s hit the %d-step cap before all walkers \
+                            covered\n"
+              (Kengine.name eng) cap;
+          write_metrics_files ()
+        end
+        else begin
+          let walk_opt, (p, attach_native), approx_t, resumed_at =
+            match resume_from with
+            | Some path -> (
+                match Ewalk_resume.Snapshot.read_with_id g ~path with
+                | Error e ->
+                    Printf.eprintf "eproc trace: %s: %s\n" path
+                      (Ewalk_resume.Snapshot.error_to_string e);
+                    exit 2
+                | Ok (w, snap_run) ->
+                    (* Adopt before instrumentation so the trace prologue's
+                       run_info and any checkpoint written by this leg carry
+                       the child id. *)
+                    adopt_parent_run snap_run.Obs.Runlog.run_id;
+                    ( Some w,
+                      process_of_walk w,
+                      None,
+                      Some (Ewalk_resume.Snapshot.walk_steps w) ))
+            | None when approx <> None ->
+                let p, attach, t =
+                  make_process ~start ?perm ?approx process g rng
+                in
+                (None, (p, attach), t, None)
+            | None -> (
+                match make_snapshot_walk ~walkers ~start ?perm process g rng with
+                | Some w -> (Some w, process_of_walk w, None, None)
+                | None ->
+                    if walkers > 1 then begin
+                      Printf.eprintf
+                        "eproc trace: process %S does not support --walkers\n"
+                        process;
+                      exit 2
+                    end;
+                    let p, attach, t =
+                      make_process ~start ?perm process g rng
+                    in
+                    (None, (p, attach), t, None))
+          in
+          let pname =
+            match (resume_from, walk_opt) with
+            | Some _, Some w -> Ewalk_resume.Snapshot.kind_name w
+            | _ -> process
+          in
+          attach_native obs;
+          let p = Observe.instrument ?resumed_at obs p in
+          let p =
+            match checkpoint with
+            | None -> p
+            | Some path ->
+                let w =
+                  match walk_opt with
+                  | Some w -> w
+                  | None ->
+                      Printf.eprintf
+                        "eproc trace: process %S cannot be checkpointed\n"
+                        process;
+                      exit 2
+                in
+                Obs.Runlog.note_artifact ~key:"checkpoint" ~path;
+                let checkpoints_c = Obs.Metrics.counter registry "checkpoints" in
+                Ewalk.Cover.with_step_hook p ~hook:(fun p ->
+                    let step = p.Ewalk.Cover.steps_done () in
+                    if step mod checkpoint_every = 0 then begin
+                      (match Ewalk_resume.Snapshot.write ~path w with
+                      | Ok () -> ()
+                      | Error e ->
+                          Printf.eprintf "eproc trace: %s: %s\n" path
+                            (Ewalk_resume.Snapshot.error_to_string e);
+                          exit 2);
+                      Obs.Trace.emit sink (Obs.Trace.Checkpoint { step });
+                      Obs.Metrics.incr checkpoints_c
+                    end)
+          in
+          let cap =
+            match max_steps with
+            | Some c -> c
+            | None -> Ewalk.Cover.default_cap g
+          in
+          let result =
+            if edges then Ewalk.Cover.run_until_edge_cover ~cap p
+            else Ewalk.Cover.run_until_vertex_cover ~cap p
+          in
+          Observe.finish obs p;
+          Obs.Trace.close sink;
+          (match result with
+          | Some t ->
+              Printf.eprintf "%s covered %s of %s (n=%d, m=%d) at step %d\n"
+                pname
+                (if edges then "edges" else "vertices")
+                family (Graph.n g) (Graph.m g) t
+          | None ->
+              Printf.eprintf "%s hit the %d-step cap before covering %s\n"
+                pname cap
+                (if edges then "edges" else "vertices"));
+          (match Option.bind approx_t Ewalk.Eprocess.approx_distortion with
+          | Some (fp, queries) ->
+              Printf.eprintf
+                "bloom distortion: %d/%d unvisited-edge queries hit false \
+                 positives\n"
+                fp queries
+          | None -> ());
+          write_metrics_files ()
+        end)
   in
   Cmd.v
     (Cmd.info "trace"
@@ -937,9 +1224,10 @@ let trace_cmd =
           event per line: run_start, step, phase, milestone, run_end).")
     Term.(
       const run $ family_arg $ process_arg $ n_arg $ seed_arg $ walkers_arg
-      $ edges_arg $ no_steps_arg $ max_steps_arg $ out_arg $ metrics_arg
-      $ export_metrics_arg $ profile_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ resume_from_arg $ listen_arg)
+      $ reorder_arg $ approx_arg $ compete_arg $ edges_arg $ no_steps_arg
+      $ max_steps_arg $ out_arg $ metrics_arg $ export_metrics_arg
+      $ profile_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_from_arg
+      $ listen_arg)
 
 (* -- verify-trace ----------------------------------------------------------- *)
 

@@ -1,0 +1,59 @@
+(* Bloom-filter membership over edge ids for the approximate visited
+   mode.  Double hashing (Kirsch–Mitzenmacher): two independent 64-bit
+   hashes of the key via the SplitMix64 finaliser drive all k probes. *)
+
+module Splitmix = Ewalk_prng.Splitmix
+
+type t = {
+  bits : Bitset.t;
+  hashes : int;
+  mutable inserted : int;
+}
+
+let create ~bits ~hashes =
+  if bits < 1 then invalid_arg "Bloom.create: bits < 1";
+  if hashes < 1 then invalid_arg "Bloom.create: hashes < 1";
+  { bits = Bitset.create bits; hashes; inserted = 0 }
+
+let size t = Bitset.length t.bits
+let hashes t = t.hashes
+let inserted t = t.inserted
+
+(* Probe positions for a key: h1 + i*h2 mod bits, h2 forced odd so the
+   probe sequence cycles through the whole table when bits is a power of
+   two (and harms nothing when it is not). *)
+let probes t key f =
+  let h1 = Splitmix.mix (Int64.of_int key) in
+  let h2 =
+    Int64.logor (Splitmix.mix (Int64.logxor h1 0x9E3779B97F4A7C15L)) 1L
+  in
+  let m = Int64.of_int (Bitset.length t.bits) in
+  let h = ref h1 in
+  for _ = 1 to t.hashes do
+    let idx = Int64.to_int (Int64.unsigned_rem !h m) in
+    f idx;
+    h := Int64.add !h h2
+  done
+
+let add t key =
+  probes t key (Bitset.set t.bits);
+  t.inserted <- t.inserted + 1
+
+let mem t key =
+  let all = ref true in
+  probes t key (fun idx -> if not (Bitset.get t.bits idx) then all := false);
+  !all
+
+let fill_fraction t =
+  float_of_int (Bitset.popcount t.bits) /. float_of_int (Bitset.length t.bits)
+
+(* The standard bound: after n insertions into m bits with k hashes the
+   false-positive probability is about (1 - e^{-kn/m})^k.  Double hashing
+   adds lower-order terms, so callers should compare against this with
+   slack. *)
+let fp_rate_bound ~bits ~hashes ~inserted =
+  if inserted = 0 then 0.0
+  else
+    let k = float_of_int hashes in
+    let r = k *. float_of_int inserted /. float_of_int bits in
+    (1.0 -. exp (-.r)) ** k

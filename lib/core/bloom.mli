@@ -1,0 +1,37 @@
+(** Bloom-filter edge-membership for the approximate visited mode.
+
+    [Eprocess.create ~approx:(Bloom _)] replaces the exact visited-arc
+    partition with one of these: O(bits/8) memory instead of O(m) ints,
+    at the price of false positives — the process can believe an
+    unvisited edge is visited and skip it, which only ever converts a
+    blue step into a red one (cover still completes; coverage tracking
+    stays exact).  The distortion is quantified by the characterization
+    test in test/test_compact.ml against {!fp_rate_bound}.
+
+    Keys are hashed with the SplitMix64 finaliser and probed by double
+    hashing (Kirsch–Mitzenmacher), so membership is deterministic across
+    runs and platforms. *)
+
+type t
+
+val create : bits:int -> hashes:int -> t
+(** @raise Invalid_argument on [bits < 1] or [hashes < 1]. *)
+
+val size : t -> int
+(** Table size in bits. *)
+
+val hashes : t -> int
+val inserted : t -> int
+
+val add : t -> int -> unit
+val mem : t -> int -> bool
+(** [mem] never reports [false] for an added key; it may report [true]
+    for one never added. *)
+
+val fill_fraction : t -> float
+(** Fraction of table bits set. *)
+
+val fp_rate_bound : bits:int -> hashes:int -> inserted:int -> float
+(** The textbook estimate [(1 - e^{-kn/m})^k] of the false-positive
+    rate after [inserted] insertions; double hashing adds lower-order
+    terms, so measured rates should be compared with slack. *)

@@ -1,0 +1,90 @@
+(** Compact unvisited-arc partition: the data plane under the walk hot
+    loops.
+
+    Functionally equivalent to the legacy {!Unvisited} swap-partition —
+    the first [count t v] entries of vertex [v]'s CSR adjacency region
+    are its live (unvisited) arc slots, and retiring an edge swaps its
+    two arcs to the back of their regions in O(1) — but compacted:
+
+    - the 2m-int slot-owner array is gone (retirement is by edge, and
+      owners come from {!Ewalk_graph.Graph.endpoints});
+    - a bit-packed visited-arc set ({!Bitset}, one bit per directed arc
+      over the CSR arc array) is maintained alongside the partition with
+      O(1) test/set;
+    - a cached retired-arc counter summarizes the bitset; its ground
+      truth is {!recount} (a popcount), and {!counter_consistent} is the
+      invariant the mutation battery checks.
+
+    The swap logic is line-for-line the legacy module's, so the
+    [live_slot] enumeration — and therefore every PRNG draw of a process
+    running on top — is bit-identical to {!Unvisited}'s.  {!Unvisited}
+    remains in the tree as the reference implementation the equivalence
+    battery (test/test_compact.ml) diffs against. *)
+
+open Ewalk_graph
+
+type t
+
+type fault = Broken_swap | Stale_popcount
+(** Deliberate defects for the mutation-kill battery (see {!set_fault}):
+    skip the reindex of the arc swapped into the vacated position; stop
+    bumping the cached retired counter so it falls behind the bitset. *)
+
+val create : Graph.t -> t
+(** All arcs unvisited. *)
+
+val graph : t -> Graph.t
+
+val count : t -> Graph.vertex -> int
+(** Unvisited incident arc slots (a blue self-loop counts 2). *)
+
+val live_slot : t -> Graph.vertex -> int -> int
+(** [live_slot t v i], [0 <= i < count t v]: the [i]-th live adjacency
+    slot position of [v].  Same enumeration order as
+    {!Unvisited.live_slot}. *)
+
+val incident_edges : t -> Graph.vertex -> Graph.edge array
+(** Deduplicated unvisited incident edges (a self-loop appears once). *)
+
+val slot_with_edge : t -> Graph.vertex -> Graph.edge -> int
+(** A live slot at [v] carrying the given edge.
+    @raise Not_found if the edge is not live at [v]. *)
+
+val retire_edge : t -> Graph.edge -> unit
+(** Mark the edge visited: swap both its arcs behind their regions' live
+    prefixes, set both bits, bump the counter.  Must be called at most
+    once per edge. *)
+
+val arc_visited : t -> int -> bool
+(** O(1) bit test on an adjacency slot position. *)
+
+val edge_visited : t -> Graph.edge -> bool
+
+val retired_arcs : t -> int
+(** The cached counter: retired (visited) arcs so far; twice the retired
+    edges. *)
+
+val edges_retired : t -> int
+
+val recount : t -> int
+(** Popcount of the visited-arc bitset — the counter's ground truth. *)
+
+val counter_consistent : t -> bool
+(** [retired_arcs t = recount t]; violated exactly under
+    [Stale_popcount]. *)
+
+val set_fault : t -> fault option -> unit
+(** Test-only defect injection. *)
+
+(** {2 Checkpointing}
+
+    The wire format is the legacy {!Unvisited.state}: bitset and counter
+    are derived from the partition on restore (an arc is visited iff it
+    sits behind its vertex's live prefix), so /1-era snapshots load into
+    the compact representation unchanged. *)
+
+val save : t -> Unvisited.state
+
+val restore : Graph.t -> Unvisited.state -> t
+(** @raise Invalid_argument under the same conditions as
+    {!Unvisited.restore}. *)

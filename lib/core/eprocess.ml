@@ -1,6 +1,21 @@
 open Ewalk_graph
 module Rng = Ewalk_prng.Rng
 
+type approx = Bloom of { bits_per_edge : int; hashes : int }
+
+(* Approximate visited tracking: a Bloom filter over edge ids replaces
+   the exact partition.  [fp_hits]/[unvisited_queries] quantify the
+   distortion against the exact coverage table, which stays ground
+   truth: a "hit" is a step-time query of a truly-unvisited edge that
+   the filter claimed was visited. *)
+type approx_state = {
+  filter : Bloom.t;
+  mutable fp_hits : int;
+  mutable unvisited_queries : int;
+}
+
+type marks = Exact of Compact.t | Approx of approx_state
+
 type t = {
   g : Graph.t;
   rng : Rng.t;
@@ -10,7 +25,7 @@ type t = {
   mutable blue_steps : int;
   mutable red_steps : int;
   coverage : Coverage.t;
-  unvisited : Unvisited.t;
+  marks : marks;
   record_phases : bool;
   mutable current_phase : (phase_kind * int * Graph.vertex) option;
   mutable phases : phase list; (* reversed *)
@@ -34,12 +49,23 @@ and phase = {
   end_vertex : Graph.vertex;
 }
 
-let create ?(rule = Uar) ?(record_phases = false) g rng ~start =
+let create ?(rule = Uar) ?(record_phases = false) ?approx g rng ~start =
   if Graph.n g = 0 then invalid_arg "Eprocess.create: empty graph";
   if start < 0 || start >= Graph.n g then
     invalid_arg "Eprocess.create: start out of range";
   let coverage = Coverage.create g in
   Coverage.record_start coverage start;
+  let marks =
+    match approx with
+    | None -> Exact (Compact.create g)
+    | Some (Bloom { bits_per_edge; hashes }) ->
+        if bits_per_edge < 1 then
+          invalid_arg "Eprocess.create: bits_per_edge < 1";
+        let bits = max 8 (bits_per_edge * Graph.m g) in
+        Approx
+          { filter = Bloom.create ~bits ~hashes; fp_hits = 0;
+            unvisited_queries = 0 }
+  in
   {
     g;
     rng;
@@ -49,7 +75,7 @@ let create ?(rule = Uar) ?(record_phases = false) g rng ~start =
     blue_steps = 0;
     red_steps = 0;
     coverage;
-    unvisited = Unvisited.create g;
+    marks;
     record_phases;
     current_phase = None;
     phases = [];
@@ -63,9 +89,89 @@ let steps t = t.steps
 let blue_steps t = t.blue_steps
 let red_steps t = t.red_steps
 let coverage t = t.coverage
-let blue_degree t v = Unvisited.count t.unvisited v
-let unvisited_incident t v = Unvisited.incident_edges t.unvisited v
-let in_blue_phase t = Unvisited.count t.unvisited t.pos > 0
+
+(* Scan [v]'s adjacency against the filter, slot by slot (a self-loop
+   contributes both slots, matching [Compact.count]).  [account] is set
+   only on the step path so accessor calls never disturb the FP stats. *)
+let approx_count ?(account = false) t a v =
+  let deg = Graph.degree t.g v in
+  let c = ref 0 in
+  for i = 0 to deg - 1 do
+    let e = Graph.neighbor_edge t.g v i in
+    let believed = Bloom.mem a.filter e in
+    if account && not (Coverage.edge_visited t.coverage e) then begin
+      a.unvisited_queries <- a.unvisited_queries + 1;
+      if believed then a.fp_hits <- a.fp_hits + 1
+    end;
+    if not believed then incr c
+  done;
+  !c
+
+let approx_nth t a v idx =
+  let deg = Graph.degree t.g v in
+  let seen = ref 0 and found = ref (-1) and i = ref 0 in
+  while !found < 0 && !i < deg do
+    if not (Bloom.mem a.filter (Graph.neighbor_edge t.g v !i)) then begin
+      if !seen = idx then found := Graph.adj_start t.g v + !i;
+      incr seen
+    end;
+    incr i
+  done;
+  assert (!found >= 0);
+  !found
+
+let approx_last t a v =
+  let deg = Graph.degree t.g v in
+  let found = ref (-1) and i = ref (deg - 1) in
+  while !found < 0 && !i >= 0 do
+    if not (Bloom.mem a.filter (Graph.neighbor_edge t.g v !i)) then
+      found := Graph.adj_start t.g v + !i;
+    decr i
+  done;
+  assert (!found >= 0);
+  !found
+
+let blue_degree t v =
+  match t.marks with
+  | Exact c -> Compact.count c v
+  | Approx a -> approx_count t a v
+
+let unvisited_incident t v =
+  match t.marks with
+  | Exact c -> Compact.incident_edges c v
+  | Approx a ->
+      let deg = Graph.degree t.g v in
+      let seen = Hashtbl.create (2 * deg) in
+      let out = ref [] in
+      for i = deg - 1 downto 0 do
+        let e = Graph.neighbor_edge t.g v i in
+        if (not (Bloom.mem a.filter e)) && not (Hashtbl.mem seen e) then begin
+          Hashtbl.add seen e ();
+          out := e :: !out
+        end
+      done;
+      Array.of_list !out
+
+let in_blue_phase t = blue_degree t t.pos > 0
+
+let approx_mode t =
+  match t.marks with
+  | Exact _ -> None
+  | Approx a ->
+      Some
+        (Bloom
+           {
+             bits_per_edge = Bloom.size a.filter / max 1 (Graph.m t.g);
+             hashes = Bloom.hashes a.filter;
+           })
+
+let approx_filter t =
+  match t.marks with Exact _ -> None | Approx a -> Some a.filter
+
+let approx_distortion t =
+  match t.marks with
+  | Exact _ -> None
+  | Approx a -> Some (a.fp_hits, a.unvisited_queries)
 
 let set_observer t obs = t.observer <- obs
 let set_phase_observer t obs = t.phase_observer <- obs
@@ -110,39 +216,67 @@ let record_phase_transition t next_is_blue =
         emit_phase t now_kind
       end
 
-let choose_blue_slot t =
+let choose_blue_slot_exact t c k =
   let v = t.pos in
-  let k = Unvisited.count t.unvisited v in
   match t.rule with
-  | Uar -> Unvisited.live_slot t.unvisited v (Rng.int t.rng k)
+  | Uar -> Compact.live_slot c v (Rng.int t.rng k)
   | Lowest_slot ->
-      let best = ref (Unvisited.live_slot t.unvisited v 0) in
+      let best = ref (Compact.live_slot c v 0) in
       for i = 1 to k - 1 do
-        let p = Unvisited.live_slot t.unvisited v i in
+        let p = Compact.live_slot c v i in
         if p < !best then best := p
       done;
       !best
   | Highest_slot ->
-      let best = ref (Unvisited.live_slot t.unvisited v 0) in
+      let best = ref (Compact.live_slot c v 0) in
       for i = 1 to k - 1 do
-        let p = Unvisited.live_slot t.unvisited v i in
+        let p = Compact.live_slot c v i in
         if p > !best then best := p
       done;
       !best
   | Adversarial f ->
+      let candidates = Compact.incident_edges c v in
+      let idx = f t candidates in
+      let idx = max 0 (min idx (Array.length candidates - 1)) in
+      Compact.slot_with_edge c v candidates.(idx)
+
+let choose_blue_slot_approx t a k =
+  let v = t.pos in
+  match t.rule with
+  | Uar -> approx_nth t a v (Rng.int t.rng k)
+  | Lowest_slot -> approx_nth t a v 0
+  | Highest_slot -> approx_last t a v
+  | Adversarial f ->
       let candidates = unvisited_incident t v in
       let idx = f t candidates in
       let idx = max 0 (min idx (Array.length candidates - 1)) in
-      Unvisited.slot_with_edge t.unvisited v candidates.(idx)
+      let e = candidates.(idx) in
+      let deg = Graph.degree t.g v in
+      let found = ref (-1) and i = ref 0 in
+      while !found < 0 && !i < deg do
+        if Graph.neighbor_edge t.g v !i = e then
+          found := Graph.adj_start t.g v + !i;
+        incr i
+      done;
+      assert (!found >= 0);
+      !found
 
 let step t =
   let v = t.pos in
   let deg = Graph.degree t.g v in
   if deg = 0 then invalid_arg "Eprocess.step: isolated vertex";
-  let blue = Unvisited.count t.unvisited v > 0 in
+  let k =
+    match t.marks with
+    | Exact c -> Compact.count c v
+    | Approx a -> approx_count ~account:true t a v
+  in
+  let blue = k > 0 in
   record_phase_transition t blue;
   let slot =
-    if blue then choose_blue_slot t
+    if blue then
+      match t.marks with
+      | Exact c -> choose_blue_slot_exact t c k
+      | Approx a -> choose_blue_slot_approx t a k
     else Graph.adj_start t.g v + Rng.int t.rng deg
   in
   let w = Graph.slot_vertex t.g slot in
@@ -150,7 +284,9 @@ let step t =
   t.steps <- t.steps + 1;
   if blue then begin
     t.blue_steps <- t.blue_steps + 1;
-    Unvisited.retire_edge t.unvisited e
+    match t.marks with
+    | Exact c -> Compact.retire_edge c e
+    | Approx a -> Bloom.add a.filter e
   end
   else t.red_steps <- t.red_steps + 1;
   Coverage.record_edge t.coverage ~step:t.steps e;
@@ -160,6 +296,31 @@ let step t =
   | None -> ()
   | Some f ->
       f (Ewalk_obs.Trace.Step { step = t.steps; vertex = w; edge = e; blue })
+
+(* Tight driver loops for the full-scale benchmarks: the same [step]
+   body in a plain counted/conditional loop, skipping the generic
+   {!Cover} runner's per-step closure dispatch.  Draw-for-draw identical
+   to stepping through the adapter. *)
+
+let run_steps t k =
+  if k < 0 then invalid_arg "Eprocess.run_steps: negative step count";
+  for _ = 1 to k do
+    step t
+  done
+
+let run_to_vertex_cover ?cap t =
+  let cap = match cap with Some c -> c | None -> Cover.default_cap t.g in
+  while (not (Coverage.all_vertices_visited t.coverage)) && t.steps < cap do
+    step t
+  done;
+  Coverage.vertex_cover_step t.coverage
+
+let run_to_edge_cover ?cap t =
+  let cap = match cap with Some c -> c | None -> Cover.default_cap t.g in
+  while (not (Coverage.all_edges_visited t.coverage)) && t.steps < cap do
+    step t
+  done;
+  Coverage.edge_cover_step t.coverage
 
 let phase_log t = List.rev t.phases
 
@@ -190,6 +351,14 @@ let checkpoint t =
           "Eprocess.checkpoint: an adversarial rule is a closure and cannot \
            be serialized"
   in
+  let ck_unvisited =
+    match t.marks with
+    | Exact c -> Compact.save c
+    | Approx _ ->
+        invalid_arg
+          "Eprocess.checkpoint: the Bloom visited mode is lossy and cannot \
+           be serialized"
+  in
   {
     ck_rule;
     ck_pos = t.pos;
@@ -198,7 +367,7 @@ let checkpoint t =
     ck_red_steps = t.red_steps;
     ck_rng = Rng.save t.rng;
     ck_coverage = Coverage.save t.coverage;
-    ck_unvisited = Unvisited.save t.unvisited;
+    ck_unvisited;
     ck_record_phases = t.record_phases;
     ck_current_phase = t.current_phase;
     ck_phases = List.rev t.phases;
@@ -224,7 +393,7 @@ let of_checkpoint g ck =
     blue_steps = ck.ck_blue_steps;
     red_steps = ck.ck_red_steps;
     coverage = Coverage.restore g ck.ck_coverage;
-    unvisited = Unvisited.restore g ck.ck_unvisited;
+    marks = Exact (Compact.restore g ck.ck_unvisited);
     record_phases = ck.ck_record_phases;
     current_phase = ck.ck_current_phase;
     phases = List.rev ck.ck_phases;
@@ -233,13 +402,16 @@ let of_checkpoint g ck =
   }
 
 let process t =
+  let base =
+    match t.rule with
+    | Uar -> "e-process(uar)"
+    | Lowest_slot -> "e-process(lowest-slot)"
+    | Highest_slot -> "e-process(highest-slot)"
+    | Adversarial _ -> "e-process(adversarial)"
+  in
   {
     Cover.name =
-      (match t.rule with
-      | Uar -> "e-process(uar)"
-      | Lowest_slot -> "e-process(lowest-slot)"
-      | Highest_slot -> "e-process(highest-slot)"
-      | Adversarial _ -> "e-process(adversarial)");
+      (match t.marks with Exact _ -> base | Approx _ -> base ^ "[bloom]");
     graph = t.g;
     position = (fun () -> t.pos);
     step = (fun () -> step t);

@@ -46,14 +46,25 @@ type phase = {
   end_vertex : Graph.vertex;
 }
 
+type approx = Bloom of { bits_per_edge : int; hashes : int }
+(** Opt-in approximate visited tracking for memory-constrained runs: a
+    {!Bloom} filter of [bits_per_edge * m] bits (at least 8) with the
+    given probe count replaces the exact unvisited-arc partition.  False
+    positives make the process believe an unvisited edge is visited and
+    skip it — a blue step degrades to a red one — so cover still
+    completes but the blue/red split is distorted; {!approx_distortion}
+    measures by how much against the exact {!Coverage} table, which
+    stays ground truth.  Approx processes are not checkpointable. *)
+
 val create :
-  ?rule:rule -> ?record_phases:bool -> Graph.t -> Ewalk_prng.Rng.t ->
-  start:Graph.vertex -> t
+  ?rule:rule -> ?record_phases:bool -> ?approx:approx -> Graph.t ->
+  Ewalk_prng.Rng.t -> start:Graph.vertex -> t
 (** [create g rng ~start] initialises the process at [start] with every edge
     unvisited.  Default rule: {!Uar}.  [record_phases] (default [false])
-    retains the full phase log for invariant checking.
-    @raise Invalid_argument if [start] is out of range or [g] has no
-    vertices. *)
+    retains the full phase log for invariant checking.  [approx] (default
+    exact) switches visited tracking to a Bloom filter.
+    @raise Invalid_argument if [start] is out of range, [g] has no
+    vertices, or the approx parameters are degenerate. *)
 
 val graph : t -> Graph.t
 val position : t -> Graph.vertex
@@ -77,9 +88,33 @@ val unvisited_incident : t -> Graph.vertex -> Graph.edge array
 val in_blue_phase : t -> bool
 (** [true] iff the {e next} transition would follow an unvisited edge. *)
 
+val approx_mode : t -> approx option
+(** The approximate-visited configuration, [None] for an exact process.
+    [bits_per_edge] is recovered as [size/m] and may round down from the
+    value passed to {!create}. *)
+
+val approx_filter : t -> Bloom.t option
+(** The live filter of an approx process (shared, not a copy). *)
+
+val approx_distortion : t -> (int * int) option
+(** [(fp_hits, unvisited_queries)]: of the step-path membership queries
+    against truly-unvisited edges so far, how many the filter wrongly
+    reported visited.  [None] for an exact process. *)
+
 val step : t -> unit
 (** Perform one transition.  @raise Invalid_argument if the current vertex
     is isolated. *)
+
+val run_steps : t -> int -> unit
+(** [run_steps t k]: [k] transitions in a tight loop — draw-for-draw
+    identical to [k] calls of {!step}, without the generic runner's
+    per-step closure dispatch.  The full-scale benchmark path. *)
+
+val run_to_vertex_cover : ?cap:int -> t -> int option
+(** Step until every vertex is visited (or [cap] steps, default
+    {!Cover.default_cap}); returns the cover step if reached. *)
+
+val run_to_edge_cover : ?cap:int -> t -> int option
 
 val set_observer : t -> (Ewalk_obs.Trace.event -> unit) option -> unit
 (** Install (or remove, with [None]) a per-step trace observer.  With an

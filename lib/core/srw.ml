@@ -100,6 +100,19 @@ let step t =
     emit_step t ~edge:e
   end
 
+let run_steps t k =
+  if k < 0 then invalid_arg "Srw.run_steps: negative step count";
+  for _ = 1 to k do
+    step t
+  done
+
+let run_to_vertex_cover ?cap t =
+  let cap = match cap with Some c -> c | None -> Cover.default_cap t.g in
+  while (not (Coverage.all_vertices_visited t.coverage)) && t.steps < cap do
+    step t
+  done;
+  Coverage.vertex_cover_step t.coverage
+
 let process t =
   {
     Cover.name = t.name;

@@ -35,6 +35,14 @@ val coverage : t -> Coverage.t
 val step : t -> unit
 (** One transition.  @raise Invalid_argument on an isolated vertex. *)
 
+val run_steps : t -> int -> unit
+(** [run_steps t k]: [k] transitions in a tight loop, draw-for-draw
+    identical to [k] calls of {!step} (the full-scale benchmark path). *)
+
+val run_to_vertex_cover : ?cap:int -> t -> int option
+(** Step until every vertex is visited (or [cap] steps, default
+    {!Cover.default_cap}); returns the cover step if reached. *)
+
 val set_observer : t -> (Ewalk_obs.Trace.event -> unit) option -> unit
 (** Install (or remove) a per-step trace observer; every transition emits a
     {!Ewalk_obs.Trace.Step} event ([blue] always false; [edge = -1] for a

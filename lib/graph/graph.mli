@@ -89,6 +89,49 @@ val fold_edges : t -> ('a -> edge -> vertex -> vertex -> 'a) -> 'a -> 'a
 val edge_list : t -> (vertex * vertex) list
 (** All edges in id order. *)
 
+val edge_array : t -> (vertex * vertex) array
+(** All edges in id order (fresh array);
+    [of_edge_array ~n:(n g) (edge_array g)] rebuilds the graph
+    identically. *)
+
+(** {2 Cache-conscious relabeling}
+
+    Vertex relabeling passes applied before long runs so that vertices
+    visited together sit together in the CSR arrays.  The contract that
+    makes relabeling observable-output-stable: {!relabel} keeps edge ids
+    {e and} the global edge order verbatim — only endpoint labels move —
+    and [of_edge_array] assigns each vertex's adjacency slots in global
+    edge order, so every vertex's region keeps its relative slot order.
+    A walk on the relabelled graph is therefore isomorphic draw-for-draw
+    to one on the original: same PRNG draws, same edge ids, vertex
+    labels mapped through the permutation.  Mapping trace vertices back
+    through {!inverse_permutation} yields byte-identical traces (the
+    equivalence battery in test/test_compact.ml enforces this). *)
+
+type order =
+  | Degree_sort  (** stable sort by ascending degree *)
+  | Bfs  (** breadth-first visit order from vertex 0, slot-order scans *)
+  | Rcm
+      (** reverse Cuthill–McKee: BFS from a minimum-degree vertex with
+          degree-ascending neighbour scans, reversed *)
+
+val reorder_permutation : t -> order -> int array
+(** The relabeling as a permutation: [perm.(old) = new].  Disconnected
+    components are restarted from the lowest unreached label. *)
+
+val relabel : t -> int array -> t
+(** [relabel g perm] rebuilds [g] with vertex [v] renamed [perm.(v)],
+    preserving edge ids and edge order.
+    @raise Invalid_argument if [perm] is not a permutation of
+    [0 .. n-1]. *)
+
+val reorder : t -> order -> t * int array
+(** [reorder g o = (relabel g (reorder_permutation g o), perm)]. *)
+
+val inverse_permutation : int array -> int array
+(** [inv.(new) = old].  @raise Invalid_argument if the input is not a
+    permutation. *)
+
 val mem_edge : t -> vertex -> vertex -> bool
 (** [mem_edge g u v] scans the (shorter) adjacency; O(min degree). *)
 

@@ -2,7 +2,8 @@ open Ewalk_graph
 module Trace = Ewalk_obs.Trace
 module Pool = Ewalk_par.Pool
 module Coverage = Ewalk.Coverage
-module Unvisited = Ewalk.Unvisited
+module Compact = Ewalk.Compact
+module Bitset = Ewalk.Bitset
 module Cover = Ewalk.Cover
 
 type mode = Cooperating | Competing
@@ -19,14 +20,14 @@ let prefers_unvisited = function
    their state slices are disjoint and walker blocks can run on separate
    domains. *)
 type shared = {
-  sh_unvisited : Unvisited.t option; (* E-process rules only *)
+  sh_unvisited : Compact.t option; (* E-process rules only *)
   sh_coverage : Coverage.t;
   sh_rotor : int array option; (* per-vertex slot offset, Rotor only *)
 }
 
 type priv = {
-  pv_visited : Bytes.t array; (* per-walker edge bitset, ceil(m/8) bytes *)
-  pv_vseen : Bytes.t array; (* per-walker vertex bitset *)
+  pv_visited : Bitset.t array; (* per-walker edge bitset, m bits *)
+  pv_vseen : Bitset.t array; (* per-walker vertex bitset, n bits *)
   pv_vcount : int array;
   pv_ecount : int array;
   pv_cover_at : int array; (* walker-local step of own vertex cover, -1 *)
@@ -52,14 +53,17 @@ type t = {
   mutable fault : fault option;
 }
 
-let bit_get b i = Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+(* Raw LSB-first bit ops over a bitset's backing bytes — the step-path
+   view of the per-walker {!Bitset}s (same layout, no bounds checks). *)
+let bit_get b i = Char.code (Bytes.unsafe_get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
 
 let bit_set b i =
   let j = i lsr 3 in
-  Bytes.set b j (Char.chr (Char.code (Bytes.get b j) lor (1 lsl (i land 7))))
+  Bytes.unsafe_set b j
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b j) lor (1 lsl (i land 7))))
 
-let create ?(mode = Cooperating) ?(randomize_rotors = true) proc g rng ~starts
-    =
+let create ?(mode = Cooperating) ?(randomize_rotors = true) ?perm proc g rng
+    ~starts =
   let walkers = Array.length starts in
   if walkers = 0 then invalid_arg "Engine.create: no walkers";
   if Graph.n g = 0 then invalid_arg "Engine.create: empty graph";
@@ -68,14 +72,31 @@ let create ?(mode = Cooperating) ?(randomize_rotors = true) proc g rng ~starts
       if v < 0 || v >= Graph.n g then
         invalid_arg "Engine.create: start out of range")
     starts;
+  (match perm with
+  | Some p when Array.length p <> Graph.n g ->
+      invalid_arg "Engine.create: permutation length does not match"
+  | _ -> ());
   let prng = Packed.of_rng rng ~walkers in
   let n = Graph.n g in
   (* Rotor offsets draw from the owning walker's stream, in vertex order —
-     walker 0's draws reproduce the legacy [Rotor.create] sequence. *)
+     walker 0's draws reproduce the legacy [Rotor.create] sequence.  On a
+     relabelled graph, [perm] redirects the drawing to original vertex
+     order so the reordered engine stays isomorphic draw-for-draw. *)
   let init_rotor w =
-    Array.init n (fun v ->
-        let deg = Graph.degree g v in
-        if randomize_rotors && deg > 0 then Packed.int prng w deg else 0)
+    match perm with
+    | None ->
+        Array.init n (fun v ->
+            let deg = Graph.degree g v in
+            if randomize_rotors && deg > 0 then Packed.int prng w deg else 0)
+    | Some perm ->
+        let r = Array.make n 0 in
+        for ov = 0 to n - 1 do
+          let v = perm.(ov) in
+          let deg = Graph.degree g v in
+          r.(v) <-
+            (if randomize_rotors && deg > 0 then Packed.int prng w deg else 0)
+        done;
+        r
   in
   let marks =
     match mode with
@@ -85,17 +106,17 @@ let create ?(mode = Cooperating) ?(randomize_rotors = true) proc g rng ~starts
         Shared
           {
             sh_unvisited =
-              (if prefers_unvisited proc then Some (Unvisited.create g)
+              (if prefers_unvisited proc then Some (Compact.create g)
                else None);
             sh_coverage = cov;
             sh_rotor = (if proc = Rotor then Some (init_rotor 0) else None);
           }
     | Competing ->
-        let bytes_m = (Graph.m g + 7) / 8 and bytes_n = (n + 7) / 8 in
         let pv =
           {
-            pv_visited = Array.init walkers (fun _ -> Bytes.make bytes_m '\000');
-            pv_vseen = Array.init walkers (fun _ -> Bytes.make bytes_n '\000');
+            pv_visited =
+              Array.init walkers (fun _ -> Bitset.create (Graph.m g));
+            pv_vseen = Array.init walkers (fun _ -> Bitset.create n);
             pv_vcount = Array.make walkers 0;
             pv_ecount = Array.make walkers 0;
             pv_cover_at = Array.make walkers (-1);
@@ -112,7 +133,7 @@ let create ?(mode = Cooperating) ?(randomize_rotors = true) proc g rng ~starts
         in
         Array.iteri
           (fun w v ->
-            bit_set pv.pv_vseen.(w) v;
+            Bitset.set pv.pv_vseen.(w) v;
             pv.pv_vcount.(w) <- 1;
             if n = 1 then pv.pv_cover_at.(w) <- 0)
           starts;
@@ -185,13 +206,13 @@ let walker_edges_visited t w =
 
 let walker_edge_visited t w e =
   match t.marks with
-  | Private pv -> bit_get pv.pv_visited.(w) e
+  | Private pv -> Bitset.get pv.pv_visited.(w) e
   | Shared _ ->
       invalid_arg "Engine.walker_edge_visited: cooperating mode is shared"
 
 let walker_vertex_visited t w v =
   match t.marks with
-  | Private pv -> bit_get pv.pv_vseen.(w) v
+  | Private pv -> Bitset.get pv.pv_vseen.(w) v
   | Shared _ ->
       invalid_arg "Engine.walker_vertex_visited: cooperating mode is shared"
 
@@ -256,24 +277,24 @@ let step_shared t sh w =
   let blue, slot =
     match sh.sh_unvisited with
     | Some unv ->
-        let k = Unvisited.count unv v in
+        let k = Compact.count unv v in
         let blue = k > 0 && t.fault <> Some Skip_preference in
         record_phase_transition t w ~stamp:t.gsteps ~vertex:v blue;
         let slot =
           if blue then
             match t.proc with
-            | E_uar -> Unvisited.live_slot unv v (Packed.int t.prng pw k)
+            | E_uar -> Compact.live_slot unv v (Packed.int t.prng pw k)
             | E_lowest ->
-                let best = ref (Unvisited.live_slot unv v 0) in
+                let best = ref (Compact.live_slot unv v 0) in
                 for i = 1 to k - 1 do
-                  let p = Unvisited.live_slot unv v i in
+                  let p = Compact.live_slot unv v i in
                   if p < !best then best := p
                 done;
                 !best
             | E_highest ->
-                let best = ref (Unvisited.live_slot unv v 0) in
+                let best = ref (Compact.live_slot unv v 0) in
                 for i = 1 to k - 1 do
-                  let p = Unvisited.live_slot unv v i in
+                  let p = Compact.live_slot unv v i in
                   if p > !best then best := p
                 done;
                 !best
@@ -297,7 +318,7 @@ let step_shared t sh w =
   t.wsteps.(w) <- t.wsteps.(w) + 1;
   if blue then begin
     t.wblue.(w) <- t.wblue.(w) + 1;
-    Unvisited.retire_edge (Option.get sh.sh_unvisited) e
+    Compact.retire_edge (Option.get sh.sh_unvisited) e
   end
   else t.wred.(w) <- t.wred.(w) + 1;
   Coverage.record_edge sh.sh_coverage ~step:t.gsteps e;
@@ -317,7 +338,7 @@ let step_shared t sh w =
    shared [Unvisited.count] convention. *)
 let unvisited_count_priv t pv w v =
   let deg = Graph.degree t.g v in
-  let vis = pv.pv_visited.(w) in
+  let vis = Bitset.unsafe_bytes pv.pv_visited.(w) in
   let c = ref 0 in
   for i = 0 to deg - 1 do
     if not (bit_get vis (Graph.neighbor_edge t.g v i)) then incr c
@@ -326,7 +347,7 @@ let unvisited_count_priv t pv w v =
 
 let nth_unvisited_priv t pv w v idx =
   let deg = Graph.degree t.g v in
-  let vis = pv.pv_visited.(w) in
+  let vis = Bitset.unsafe_bytes pv.pv_visited.(w) in
   let seen = ref 0 and found = ref (-1) and i = ref 0 in
   while !found < 0 && !i < deg do
     if not (bit_get vis (Graph.neighbor_edge t.g v !i)) then begin
@@ -340,7 +361,7 @@ let nth_unvisited_priv t pv w v idx =
 
 let last_unvisited_priv t pv w v =
   let deg = Graph.degree t.g v in
-  let vis = pv.pv_visited.(w) in
+  let vis = Bitset.unsafe_bytes pv.pv_visited.(w) in
   let found = ref (-1) and i = ref (deg - 1) in
   while !found < 0 && !i >= 0 do
     if not (bit_get vis (Graph.neighbor_edge t.g v !i)) then found := !i;
@@ -385,7 +406,7 @@ let step_private t pv w =
   t.wsteps.(w) <- stamp';
   if blue then t.wblue.(w) <- t.wblue.(w) + 1
   else t.wred.(w) <- t.wred.(w) + 1;
-  let vis = pv.pv_visited.(w) in
+  let vis = Bitset.unsafe_bytes pv.pv_visited.(w) in
   if not (bit_get vis e) then begin
     bit_set vis e;
     pv.pv_ecount.(w) <- pv.pv_ecount.(w) + 1
@@ -396,7 +417,7 @@ let step_private t pv w =
     | _ -> w
   in
   t.pos.(dest) <- target;
-  let seen = pv.pv_vseen.(w) in
+  let seen = Bitset.unsafe_bytes pv.pv_vseen.(w) in
   if not (bit_get seen target) then begin
     bit_set seen target;
     pv.pv_vcount.(w) <- pv.pv_vcount.(w) + 1;
@@ -520,7 +541,7 @@ type checkpoint = {
   ck_wred : int array;
   ck_prng : int64 array;
   ck_coverage : Coverage.state;
-  ck_unvisited : Unvisited.state option;
+  ck_unvisited : Ewalk.Unvisited.state option;
   ck_rotor : int array option;
   ck_phase : (phase_kind * int * Graph.vertex) option array;
 }
@@ -529,8 +550,8 @@ let checkpoint t =
   match t.marks with
   | Private _ ->
       invalid_arg
-        "Engine.checkpoint: competing mode is not checkpointable (per-walker \
-         bitsets are not serialized)"
+        "Engine.checkpoint: competing mode carries per-walker bitsets; use \
+         checkpoint_competing"
   | Shared sh ->
       {
         ck_proc = t.proc;
@@ -542,7 +563,7 @@ let checkpoint t =
         ck_wred = Array.copy t.wred;
         ck_prng = Packed.save t.prng;
         ck_coverage = Coverage.save sh.sh_coverage;
-        ck_unvisited = Option.map Unvisited.save sh.sh_unvisited;
+        ck_unvisited = Option.map Compact.save sh.sh_unvisited;
         ck_rotor = Option.map Array.copy sh.sh_rotor;
         ck_phase = Array.copy t.phase;
       }
@@ -603,7 +624,7 @@ let of_checkpoint g ck =
     marks =
       Shared
         {
-          sh_unvisited = Option.map (Unvisited.restore g) ck.ck_unvisited;
+          sh_unvisited = Option.map (Compact.restore g) ck.ck_unvisited;
           sh_coverage = Coverage.restore g ck.ck_coverage;
           sh_rotor = Option.map Array.copy ck.ck_rotor;
         };
@@ -615,6 +636,154 @@ let of_checkpoint g ck =
     wblue = Array.copy ck.ck_wblue;
     wred = Array.copy ck.ck_wred;
     phase = Array.copy ck.ck_phase;
+    observer = None;
+    phase_observer = None;
+    fault = None;
+  }
+
+(* --- checkpointing (competing mode) ----------------------------------- *)
+
+type competing_checkpoint = {
+  cc_proc : proc;
+  cc_pos : int array;
+  cc_cursor : int;
+  cc_wsteps : int array;
+  cc_wblue : int array;
+  cc_wred : int array;
+  cc_prng : int64 array;
+  cc_visited : Bitset.t array;
+  cc_vseen : Bitset.t array;
+  cc_vcount : int array;
+  cc_ecount : int array;
+  cc_cover_at : int array;
+  cc_rotor : int array option;
+  cc_phase : (phase_kind * int * Graph.vertex) option array;
+}
+
+let checkpoint_competing t =
+  match t.marks with
+  | Shared _ ->
+      invalid_arg "Engine.checkpoint_competing: cooperating mode (use \
+                   checkpoint)"
+  | Private pv ->
+      {
+        cc_proc = t.proc;
+        cc_pos = Array.copy t.pos;
+        cc_cursor = t.cursor;
+        cc_wsteps = Array.copy t.wsteps;
+        cc_wblue = Array.copy t.wblue;
+        cc_wred = Array.copy t.wred;
+        cc_prng = Packed.save t.prng;
+        cc_visited = Array.map Bitset.copy pv.pv_visited;
+        cc_vseen = Array.map Bitset.copy pv.pv_vseen;
+        cc_vcount = Array.copy pv.pv_vcount;
+        cc_ecount = Array.copy pv.pv_ecount;
+        cc_cover_at = Array.copy pv.pv_cover_at;
+        cc_rotor = Option.map Array.copy pv.pv_rotor;
+        cc_phase = Array.copy t.phase;
+      }
+
+(* Restore never trusts the serialized visit counters: each walker's
+   vcount/ecount is recomputed as the popcount of its bitset, and a
+   stored counter that disagrees with its own set is rejected — a stale
+   or tampered counter can otherwise mis-time the cover detection. *)
+let of_checkpoint_competing g ck =
+  let w = Array.length ck.cc_pos in
+  if w = 0 then invalid_arg "Engine.of_checkpoint_competing: no walkers";
+  let arrays_ok =
+    Array.length ck.cc_wsteps = w
+    && Array.length ck.cc_wblue = w
+    && Array.length ck.cc_wred = w
+    && Array.length ck.cc_visited = w
+    && Array.length ck.cc_vseen = w
+    && Array.length ck.cc_vcount = w
+    && Array.length ck.cc_ecount = w
+    && Array.length ck.cc_cover_at = w
+    && Array.length ck.cc_phase = w
+  in
+  if not arrays_ok then
+    invalid_arg "Engine.of_checkpoint_competing: walker array length mismatch";
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= Graph.n g then
+        invalid_arg "Engine.of_checkpoint_competing: position out of range")
+    ck.cc_pos;
+  if ck.cc_cursor < 0 || ck.cc_cursor >= w then
+    invalid_arg "Engine.of_checkpoint_competing: cursor out of range";
+  for i = 0 to w - 1 do
+    if
+      ck.cc_wsteps.(i) < 0
+      || ck.cc_wblue.(i) < 0
+      || ck.cc_wred.(i) < 0
+      || ck.cc_wblue.(i) + ck.cc_wred.(i) <> ck.cc_wsteps.(i)
+    then
+      invalid_arg "Engine.of_checkpoint_competing: inconsistent step counters"
+  done;
+  let n = Graph.n g and m = Graph.m g in
+  let vcount = Array.make w 0 and ecount = Array.make w 0 in
+  for i = 0 to w - 1 do
+    if Bitset.length ck.cc_visited.(i) <> m then
+      invalid_arg
+        "Engine.of_checkpoint_competing: edge bitset does not match the graph";
+    if Bitset.length ck.cc_vseen.(i) <> n then
+      invalid_arg
+        "Engine.of_checkpoint_competing: vertex bitset does not match the \
+         graph";
+    (* The recount that replaces trusting the snapshot counters. *)
+    vcount.(i) <- Bitset.popcount ck.cc_vseen.(i);
+    ecount.(i) <- Bitset.popcount ck.cc_visited.(i);
+    if vcount.(i) <> ck.cc_vcount.(i) || ecount.(i) <> ck.cc_ecount.(i) then
+      invalid_arg
+        "Engine.of_checkpoint_competing: stored visit counter disagrees with \
+         its bitset popcount";
+    if not (Bitset.get ck.cc_vseen.(i) ck.cc_pos.(i)) then
+      invalid_arg
+        "Engine.of_checkpoint_competing: walker position not marked seen";
+    if ck.cc_cover_at.(i) < -1 || ck.cc_cover_at.(i) > ck.cc_wsteps.(i) then
+      invalid_arg "Engine.of_checkpoint_competing: cover step out of range";
+    if (ck.cc_cover_at.(i) >= 0) <> (vcount.(i) = n) then
+      invalid_arg
+        "Engine.of_checkpoint_competing: cover mark disagrees with the \
+         vertex set"
+  done;
+  (match ck.cc_rotor with
+  | Some r ->
+      if ck.cc_proc <> Rotor then
+        invalid_arg "Engine.of_checkpoint_competing: unexpected rotor state";
+      if Array.length r <> w * n then
+        invalid_arg
+          "Engine.of_checkpoint_competing: rotor array does not match";
+      Array.iteri
+        (fun i o ->
+          let deg = Graph.degree g (i mod n) in
+          if o < 0 || (deg > 0 && o >= deg) || (deg = 0 && o <> 0) then
+            invalid_arg
+              "Engine.of_checkpoint_competing: rotor offset out of range")
+        r
+  | None ->
+      if ck.cc_proc = Rotor then
+        invalid_arg "Engine.of_checkpoint_competing: missing rotor state");
+  {
+    g;
+    proc = ck.cc_proc;
+    marks =
+      Private
+        {
+          pv_visited = Array.map Bitset.copy ck.cc_visited;
+          pv_vseen = Array.map Bitset.copy ck.cc_vseen;
+          pv_vcount = vcount;
+          pv_ecount = ecount;
+          pv_cover_at = Array.copy ck.cc_cover_at;
+          pv_rotor = Option.map Array.copy ck.cc_rotor;
+        };
+    pos = Array.copy ck.cc_pos;
+    prng = Packed.restore ~walkers:w ck.cc_prng;
+    cursor = ck.cc_cursor;
+    gsteps = 0;
+    wsteps = Array.copy ck.cc_wsteps;
+    wblue = Array.copy ck.cc_wblue;
+    wred = Array.copy ck.cc_wred;
+    phase = Array.copy ck.cc_phase;
     observer = None;
     phase_observer = None;
     fault = None;

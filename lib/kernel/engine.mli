@@ -46,6 +46,7 @@ type t
 val create :
   ?mode:mode ->
   ?randomize_rotors:bool ->
+  ?perm:int array ->
   proc ->
   Graph.t ->
   Ewalk_prng.Rng.t ->
@@ -56,9 +57,13 @@ val create :
     [Rng.stream rng w].  [mode] defaults to [Cooperating];
     [randomize_rotors] (default [true]) seeds rotor offsets from the
     owning walker's stream like [Rotor.create ~randomize_rotors:true].
+    When [g] is a {!Ewalk_graph.Graph.relabel}ing of an original graph,
+    pass the permutation ([perm.(old) = new]) so rotor offsets are drawn
+    in {e original} vertex order and the reordered engine stays
+    isomorphic draw-for-draw (see {!Ewalk_graph.Graph.reorder}).
     [rng] itself is not advanced.
-    @raise Invalid_argument on an empty graph, no walkers, or a start
-    out of range. *)
+    @raise Invalid_argument on an empty graph, no walkers, a start
+    out of range, or a [perm] of the wrong length. *)
 
 val create_spread :
   ?mode:mode ->
@@ -205,3 +210,44 @@ val of_checkpoint : Graph.t -> checkpoint -> t
 (** Rebuild an engine that continues bit-identically to the one
     checkpointed.  Observers and faults are not restored.
     @raise Invalid_argument on any internally inconsistent record. *)
+
+(** {1 Checkpointing (competing mode)} *)
+
+type competing_checkpoint = {
+  cc_proc : proc;
+  cc_pos : int array;
+  cc_cursor : int;
+  cc_wsteps : int array;
+  cc_wblue : int array;
+  cc_wred : int array;
+  cc_prng : int64 array;  (** {!Packed.save} words, walker-major *)
+  cc_visited : Ewalk.Bitset.t array;  (** per-walker edge bitsets, m bits *)
+  cc_vseen : Ewalk.Bitset.t array;  (** per-walker vertex bitsets, n bits *)
+  cc_vcount : int array;
+      (** serialized for inspectability only — restore recomputes *)
+  cc_ecount : int array;  (** likewise *)
+  cc_cover_at : int array;  (** walker-local cover step, [-1] if none *)
+  cc_rotor : int array option;  (** walkers * n, walker-major; Rotor only *)
+  cc_phase : (phase_kind * int * Graph.vertex) option array;
+}
+(** Complete state of a competing engine.  The visit counters
+    [cc_vcount]/[cc_ecount] ride along so snapshot inspection can print
+    them, but they are {e derived} data: {!of_checkpoint_competing}
+    recomputes both from the bitsets by popcount and rejects a record
+    whose stored counters disagree — a resumed run never trusts a
+    counter it can recount. *)
+
+val checkpoint_competing : t -> competing_checkpoint
+(** Serialize a competing engine's complete state (bitsets are copied).
+    @raise Invalid_argument in cooperating mode (use {!checkpoint}). *)
+
+val of_checkpoint_competing : Graph.t -> competing_checkpoint -> t
+(** Rebuild a competing engine that continues bit-identically to the one
+    checkpointed, at any job count.  Per-walker visit counters are
+    recomputed from the bitset popcounts, never read from the record.
+    Observers and faults are not restored.
+    @raise Invalid_argument on any internally inconsistent record: bad
+    lengths or ranges, step counters that do not add up, a stored visit
+    counter disagreeing with its bitset's popcount, a walker position
+    not marked seen, or a cover mark inconsistent with the vertex
+    set. *)

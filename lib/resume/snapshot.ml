@@ -147,6 +147,64 @@ let payload_of_walk walk =
             ("rotor", int_array ck.ck_rotor);
             ("coverage", coverage_json ck.ck_coverage);
           ])
+  | Kernel k when Kengine.mode k = Kengine.Competing ->
+      (* Competing engines carry per-walker bit-packed visited sets; the
+         bitsets travel as hex strings and the derived visit counters ride
+         along for inspectability ([describe] cross-checks them). *)
+      let ck = Kengine.checkpoint_competing k in
+      let kernel_phase_kind = function
+        | Kengine.Blue -> "blue"
+        | Kengine.Red -> "red"
+      in
+      let phase_cell = function
+        | None -> Json.Null
+        | Some (kind, start_step, start_vertex) ->
+            Json.Obj
+              [
+                ("kind", Json.String (kernel_phase_kind kind));
+                ("start_step", Json.Int start_step);
+                ("start_vertex", Json.Int start_vertex);
+              ]
+      in
+      let bitsets a =
+        Json.List
+          (Array.to_list
+             (Array.map (fun b -> Json.String (Ewalk.Bitset.to_hex b)) a))
+      in
+      Json.Obj
+        ([ ("kind", Json.String "kernel-competing") ]
+        @ graph_fields (Kengine.graph k)
+        @ [
+            ( "proc",
+              Json.String
+                (match ck.Kengine.cc_proc with
+                | Kengine.E_uar -> "e-uar"
+                | Kengine.E_lowest -> "e-lowest"
+                | Kengine.E_highest -> "e-highest"
+                | Kengine.Srw -> "srw"
+                | Kengine.Rotor -> "rotor") );
+            ("walkers", Json.Int (Array.length ck.Kengine.cc_pos));
+            ("pos", int_array ck.Kengine.cc_pos);
+            ("cursor", Json.Int ck.Kengine.cc_cursor);
+            ( "steps",
+              Json.Int (Array.fold_left ( + ) 0 ck.Kengine.cc_wsteps) );
+            ("wsteps", int_array ck.Kengine.cc_wsteps);
+            ("wblue", int_array ck.Kengine.cc_wblue);
+            ("wred", int_array ck.Kengine.cc_wred);
+            ("prng", rng_words ck.Kengine.cc_prng);
+            ("visited", bitsets ck.Kengine.cc_visited);
+            ("vseen", bitsets ck.Kengine.cc_vseen);
+            ("vcount", int_array ck.Kengine.cc_vcount);
+            ("ecount", int_array ck.Kengine.cc_ecount);
+            ("cover_at", int_array ck.Kengine.cc_cover_at);
+            ( "rotor",
+              match ck.Kengine.cc_rotor with
+              | None -> Json.Null
+              | Some r -> int_array r );
+            ( "phase",
+              Json.List
+                (Array.to_list (Array.map phase_cell ck.Kengine.cc_phase)) );
+          ])
   | Kernel k ->
       let ck = Kengine.checkpoint k in
       let kernel_phase_kind = function
@@ -405,6 +463,74 @@ let walk_of_payload g j =
         fail "field \"phase\" has %d entries for %d walkers"
           (Array.length phase) w;
       Kernel (Kengine.of_checkpoint g ck)
+  | "kernel-competing" ->
+      let proc =
+        match get_string "proc" j with
+        | "e-uar" -> Kengine.E_uar
+        | "e-lowest" -> Kengine.E_lowest
+        | "e-highest" -> Kengine.E_highest
+        | "srw" -> Kengine.Srw
+        | "rotor" -> Kengine.Rotor
+        | other -> fail "unknown kernel proc %S" other
+      in
+      let kernel_phase_kind name = function
+        | "blue" -> Kengine.Blue
+        | "red" -> Kengine.Red
+        | other -> fail "field %S has unknown phase kind %S" name other
+      in
+      let phase =
+        match field "phase" j with
+        | Json.List l ->
+            Array.of_list
+              (List.map
+                 (fun p ->
+                   match p with
+                   | Json.Null -> None
+                   | p ->
+                       Some
+                         ( kernel_phase_kind "phase" (get_string "kind" p),
+                           get_int "start_step" p,
+                           get_int "start_vertex" p ))
+                 l)
+        | _ -> fail "field \"phase\" is not an array"
+      in
+      let bitsets name ~len =
+        match field name j with
+        | Json.List l ->
+            Array.of_list
+              (List.map
+                 (fun v ->
+                   match Json.to_string_opt v with
+                   | Some hex -> (
+                       try Ewalk.Bitset.of_hex ~len hex
+                       with Invalid_argument msg ->
+                         fail "field %S: %s" name msg)
+                   | None -> fail "field %S has a non-string entry" name)
+                 l)
+        | _ -> fail "field %S is not an array" name
+      in
+      let ck : Kengine.competing_checkpoint =
+        {
+          cc_proc = proc;
+          cc_pos = get_int_array "pos" j;
+          cc_cursor = get_int "cursor" j;
+          cc_wsteps = get_int_array "wsteps" j;
+          cc_wblue = get_int_array "wblue" j;
+          cc_wred = get_int_array "wred" j;
+          cc_prng = get_rng_words "prng" j;
+          cc_visited = bitsets "visited" ~len:(Graph.m g);
+          cc_vseen = bitsets "vseen" ~len:(Graph.n g);
+          cc_vcount = get_int_array "vcount" j;
+          cc_ecount = get_int_array "ecount" j;
+          cc_cover_at = get_int_array "cover_at" j;
+          cc_rotor =
+            (match field "rotor" j with
+            | Json.Null -> None
+            | _ -> Some (get_int_array "rotor" j));
+          cc_phase = phase;
+        }
+      in
+      Kernel (Kengine.of_checkpoint_competing g ck)
   | other -> fail "unknown walk kind %S" other
 
 (* ------------------------------------------------------------------ *)
@@ -527,6 +653,31 @@ let read_with_id g ~path =
 
 let read g ~path = Result.map fst (read_with_id g ~path)
 
+(* Set bits in a bitset's hex serialization, without materializing the
+   bitset — [describe] has no graph to size one against. *)
+let hex_popcount name s =
+  let nibble = function
+    | '0' -> 0
+    | '1' | '2' | '4' | '8' -> 1
+    | '3' | '5' | '6' | '9' | 'a' | 'c' -> 2
+    | '7' | 'b' | 'd' | 'e' -> 3
+    | 'f' -> 4
+    | c -> fail "field %S has a non-hex digit %C" name c
+  in
+  String.fold_left (fun acc c -> acc + nibble c) 0 s
+
+let hex_popcounts name j =
+  match field name j with
+  | Json.List l ->
+      Array.of_list
+        (List.map
+           (fun v ->
+             match Json.to_string_opt v with
+             | Some s -> hex_popcount name s
+             | None -> fail "field %S has a non-string entry" name)
+           l)
+  | _ -> fail "field %S is not an array" name
+
 let describe ~path =
   match read_payload ~path with
   | Error _ as e -> e
@@ -537,7 +688,7 @@ let describe ~path =
         let steps = get_int "steps" payload in
         let where =
           match kind with
-          | "kernel" ->
+          | "kernel" | "kernel-competing" ->
               Printf.sprintf "%d walkers (cursor %d)"
                 (get_int "walkers" payload)
                 (get_int "cursor" payload)
@@ -550,20 +701,48 @@ let describe ~path =
                 (get_string "rule" payload)
                 (get_int "blue_steps" payload)
                 (get_int "red_steps" payload)
-          | "kernel" -> Printf.sprintf " proc=%s" (get_string "proc" payload)
+          | "kernel" | "kernel-competing" ->
+              Printf.sprintf " proc=%s" (get_string "proc" payload)
           | _ -> ""
         in
-        let coverage = field "coverage" payload in
-        Ok
-          (Printf.sprintf
-             "%s: %s walk on n=%d m=%d, %d steps, %s, %d/%d vertices %d/%d \
-              edges visited%s [run %s%s]"
-             schema kind n m steps where
-             (get_int "vertices_seen" coverage)
-             n
-             (get_int "edges_seen" coverage)
-             m extra run.Ewalk_obs.Runlog.run_id
-             (match run.Ewalk_obs.Runlog.parent_run_id with
-             | None -> ""
-             | Some p -> " parent " ^ p))
+        let run_suffix =
+          Printf.sprintf " [run %s%s]" run.Ewalk_obs.Runlog.run_id
+            (match run.Ewalk_obs.Runlog.parent_run_id with
+            | None -> ""
+            | Some p -> " parent " ^ p)
+        in
+        match kind with
+        | "kernel-competing" ->
+            (* No shared coverage table: report per-walker visit counters,
+               cross-checked against the bitset popcounts the way a resume
+               would — the crash matrix greps for the verdict. *)
+            let vcount = get_int_array "vcount" payload in
+            let ecount = get_int_array "ecount" payload in
+            let vpop = hex_popcounts "vseen" payload in
+            let epop = hex_popcounts "visited" payload in
+            if
+              Array.length vpop <> Array.length vcount
+              || Array.length epop <> Array.length ecount
+            then fail "bitset arrays do not match the counter arrays";
+            if vpop <> vcount || epop <> ecount then
+              fail
+                "stored visit counter disagrees with its bitset popcount \
+                 (counter!=popcount)";
+            let best = Array.fold_left max 0 vcount in
+            Ok
+              (Printf.sprintf
+                 "%s: %s walk on n=%d m=%d, %d steps, %s, best walker %d/%d \
+                  vertices, counters verified (counter==popcount)%s%s"
+                 schema kind n m steps where best n extra run_suffix)
+        | _ ->
+            let coverage = field "coverage" payload in
+            Ok
+              (Printf.sprintf
+                 "%s: %s walk on n=%d m=%d, %d steps, %s, %d/%d vertices \
+                  %d/%d edges visited%s%s"
+                 schema kind n m steps where
+                 (get_int "vertices_seen" coverage)
+                 n
+                 (get_int "edges_seen" coverage)
+                 m extra run_suffix)
       with Bad msg -> Error (Corrupt msg))

@@ -39,12 +39,17 @@ type walk =
   | Rotor of Ewalk.Rotor.t
   | Kernel of Ewalk_kernel.Engine.t
       (** The processes that can be snapshotted.  [Kernel] carries a
-          cooperating multi-walker engine (positions, per-walker
-          step/phase counters and the full packed PRNG bank travel in the
-          payload); competing engines are not snapshottable — see
-          [Ewalk_kernel.Engine.checkpoint].  Excluded: adversarial
-          E-process rules and weighted walks (both carry state that is not
-          plain data — see the core [checkpoint] functions). *)
+          multi-walker engine in either mode: a cooperating engine
+          serializes under payload kind ["kernel"] (positions, per-walker
+          step/phase counters, shared coverage/partition and the packed
+          PRNG bank), a competing engine under the v2-only kind
+          ["kernel-competing"] (per-walker bit-packed visited sets as hex
+          strings, plus the derived visit counters for inspectability —
+          restore recomputes them by popcount and rejects disagreement,
+          see [Ewalk_kernel.Engine.of_checkpoint_competing]).  Excluded:
+          adversarial E-process rules and weighted walks (both carry
+          state that is not plain data — see the core [checkpoint]
+          functions). *)
 
 val kind_name : walk -> string
 (** The process name, e.g. ["e-process(uar)"], ["lazy-srw"]. *)
@@ -80,4 +85,8 @@ val read_with_id :
 val describe : path:string -> (string, error) result
 (** CRC-verify the file and render a short human summary (kind, graph
     size, step counters) without needing the graph — what
-    [eproc checkpoint-inspect] prints. *)
+    [eproc checkpoint-inspect] prints.  For ["kernel-competing"]
+    payloads the stored per-walker visit counters are cross-checked
+    against the bitset popcounts; the summary carries the verdict
+    marker [counter==popcount] on success and the file is reported
+    {!Corrupt} on disagreement. *)

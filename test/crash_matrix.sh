@@ -17,6 +17,12 @@
 # Kernel half: the same kill-and-resume discipline for a W=4 lockstep run —
 # cut at every checkpoint boundary, resume, and require the resumed step
 # stream to be byte-identical to the uninterrupted run's tail.
+#
+# Competing half: the same matrix for a W=4 competing run (per-walker
+# bit-packed visited sets, "kernel-competing" snapshots), with one extra
+# assertion per boundary: checkpoint-inspect must report the stored
+# per-walker visit counters verified against the serialized bitsets'
+# popcounts (the counter==popcount verdict) before the leg is resumed.
 set -u
 
 EPROC=${EPROC:-_build/default/bin/eproc.exe}
@@ -264,6 +270,56 @@ done
 
 expect_exit 0 "checkpoint-inspect reads a kernel snapshot" \
   "$EPROC" checkpoint-inspect "$work/ksnap"
+
+# --- competing kernel: private bit-packed sets, kill-and-resume -------------
+# Same discipline as above, on "kernel-competing" snapshots (per-walker
+# bitsets serialized as hex).  At every resume leg the snapshot must pass
+# checkpoint-inspect's recount: stored visit counters cross-checked
+# against the bitset popcounts, reported as counter==popcount.
+
+CTR="$G --process e-process --walkers 4 --compete"
+CEVERY=50
+
+note "competing trace checkpoint/resume on $CTR"
+check
+"$EPROC" trace $CTR --out "$work/cfull.jsonl" >/dev/null 2>&1 \
+  || fail "uninterrupted competing trace run failed"
+CSTEPS=$(grep -c '"type":"step"' "$work/cfull.jsonl")
+note "competing run finishes in $CSTEPS walker-steps; killing at every ${CEVERY}-step boundary"
+
+ccut=$CEVERY
+while [ "$ccut" -lt "$CSTEPS" ]; do
+  check
+  "$EPROC" trace $CTR --checkpoint "$work/csnap" --checkpoint-every $CEVERY \
+    --max-steps "$ccut" --out "$work/chead.jsonl" >/dev/null 2>&1 \
+    || fail "competing head run to step $ccut failed"
+  check
+  [ -f "$work/csnap" ] \
+    || fail "no competing snapshot at the $ccut-step boundary"
+  check
+  "$EPROC" checkpoint-inspect "$work/csnap" | grep -q 'counter==popcount' \
+    || fail "competing snapshot at $ccut lacks the counter==popcount verdict"
+  check
+  "$EPROC" trace $CTR --resume-from "$work/csnap" --out "$work/ctail.jsonl" \
+    >/dev/null 2>&1 || fail "competing resume from step $ccut failed"
+  check
+  grep '"type":"step"' "$work/cfull.jsonl" | tail -n +$((ccut + 1)) \
+    > "$work/cfull-tail.steps"
+  grep '"type":"step"' "$work/ctail.jsonl" > "$work/cresumed.steps"
+  cmp -s "$work/cfull-tail.steps" "$work/cresumed.steps" \
+    || fail "competing resumed stream differs from the uninterrupted tail (cut $ccut)"
+  ccut=$((ccut + CEVERY))
+done
+
+expect_exit 0 "checkpoint-inspect reads a competing snapshot" \
+  "$EPROC" checkpoint-inspect "$work/csnap"
+
+csize=$(wc -c < "$work/csnap")
+head -c $((csize - 10)) "$work/csnap" > "$work/csnap.trunc"
+expect_exit 2 "truncated competing snapshot rejected by checkpoint-inspect" \
+  "$EPROC" checkpoint-inspect "$work/csnap.trunc"
+expect_exit 2 "truncated competing snapshot rejected by --resume-from" \
+  "$EPROC" trace $CTR --resume-from "$work/csnap.trunc" --out /dev/null
 
 ksize=$(wc -c < "$work/ksnap")
 head -c $((ksize - 10)) "$work/ksnap" > "$work/ksnap.trunc"

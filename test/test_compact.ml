@@ -1,0 +1,479 @@
+(* The compact-data-plane equivalence battery (gating `make test-compact`,
+   part of `make ci`):
+
+   - the packed {!Ewalk.Bitset} against a boolean-array reference model
+     (qcheck over random op sequences, with shrinking), plus the hex wire
+     format round trip;
+   - the {!Ewalk.Compact} unvisited-arc partition against the legacy
+     {!Ewalk.Unvisited} swap-partition, draw-for-draw: identical live-slot
+     enumeration after every retirement means any consumer making the same
+     PRNG calls draws identically;
+   - full-run trace byte-equality across the five processes, the three
+     cache-conscious reorders (vertices mapped back through the inverse
+     permutation), the kernel engine at W in {1,4}, and competing
+     run_rounds at jobs in {1,4};
+   - mutation kills: with Compact.set_fault injecting a broken
+     swap-to-back or a stale popcount, this battery must detect the
+     defect — proving it would catch a real one;
+   - the Bloom approximate-visited characterization: cover still
+     completes, and the measured false-positive rate stays within the
+     textbook bound (with slack for double hashing). *)
+
+module Graph = Ewalk_graph.Graph
+module Rng = Ewalk_prng.Rng
+module Bitset = Ewalk.Bitset
+module Compact = Ewalk.Compact
+module Unvisited = Ewalk.Unvisited
+module Bloom = Ewalk.Bloom
+module Eprocess = Ewalk.Eprocess
+module Srw = Ewalk.Srw
+module Rotor = Ewalk.Rotor
+module Coverage = Ewalk.Coverage
+module Trace = Ewalk_obs.Trace
+module Kengine = Ewalk_kernel.Engine
+module Exp_util = Ewalk_expt.Exp_util
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* -- Bitset vs boolean-array reference -------------------------------------- *)
+
+(* An op sequence over a [len]-bit set, mirrored into a bool array; every
+   observation must agree.  Ops are (tag, raw index) pairs so qcheck's
+   list shrinker produces readable counterexamples. *)
+let prop_bitset_reference =
+  QCheck.Test.make ~name:"Bitset = bool-array reference (ops, popcount, hex)"
+    ~count:300
+    QCheck.(
+      pair (int_range 1 200) (small_list (pair (int_range 0 2) small_nat)))
+    (fun (len, ops) ->
+      let b = Bitset.create len in
+      let r = Array.make len false in
+      List.iter
+        (fun (tag, raw) ->
+          let i = raw mod len in
+          match tag with
+          | 0 ->
+              Bitset.set b i;
+              r.(i) <- true
+          | 1 ->
+              Bitset.clear b i;
+              r.(i) <- false
+          | _ ->
+              if Bitset.get b i <> r.(i) then
+                QCheck.Test.fail_reportf "get %d disagrees" i)
+        ops;
+      let popcount_ok =
+        Bitset.popcount b = Array.fold_left (fun a x -> if x then a + 1 else a) 0 r
+      in
+      let bits_ok = Array.for_all Fun.id (Array.mapi (fun i x -> Bitset.get b i = x) r) in
+      let hex_ok =
+        let b' = Bitset.of_hex ~len (Bitset.to_hex b) in
+        Bitset.equal b b' && Bitset.length b' = len
+      in
+      let copy_ok =
+        let c = Bitset.copy b in
+        Bitset.equal b c
+        && (len = 0
+           ||
+           (* a copy must not share the backing store *)
+           let i = (match ops with (_, raw) :: _ -> raw mod len | [] -> 0) in
+           let before = Bitset.get b i in
+           Bitset.set c i;
+           Bitset.get b i = before)
+      in
+      popcount_ok && bits_ok && hex_ok && copy_ok)
+
+let bitset_edges () =
+  let b = Bitset.create 9 in
+  Bitset.set b 0;
+  Bitset.set b 8;
+  Alcotest.(check int) "popcount" 2 (Bitset.popcount b);
+  Alcotest.(check string) "hex, low byte first" "0101" (Bitset.to_hex b);
+  Bitset.fill_all b;
+  Alcotest.(check int) "fill_all popcount" 9 (Bitset.popcount b);
+  Bitset.reset b;
+  Alcotest.(check int) "reset popcount" 0 (Bitset.popcount b);
+  Alcotest.check_raises "of_hex rejects set padding bit"
+    (Invalid_argument "Bitset.of_bytes: padding bits set") (fun () ->
+      ignore (Bitset.of_hex ~len:9 "01ff"));
+  Alcotest.check_raises "out-of-range get"
+    (Invalid_argument "Bitset.get: index out of range") (fun () ->
+      ignore (Bitset.get b 9))
+
+(* -- Compact partition vs legacy Unvisited ---------------------------------- *)
+
+(* The draw-for-draw contract: after any retirement sequence, both
+   partitions present the same live count and the same slot enumeration at
+   every vertex, so a walk drawing [Rng.int (count v)] on top of either
+   takes identical steps. *)
+let partitions_agree what g c u =
+  for v = 0 to Graph.n g - 1 do
+    let cc = Compact.count c v and cu = Unvisited.count u v in
+    if cc <> cu then
+      Alcotest.failf "%s: count at v=%d: compact %d, legacy %d" what v cc cu;
+    for i = 0 to cc - 1 do
+      let sc = Compact.live_slot c v i and su = Unvisited.live_slot u v i in
+      if sc <> su then
+        Alcotest.failf "%s: live_slot %d at v=%d: compact %d, legacy %d" what
+          i v sc su
+    done;
+    if Compact.incident_edges c v <> Unvisited.incident_edges u v then
+      Alcotest.failf "%s: incident_edges at v=%d differ" what v
+  done
+
+let shuffled_edges g seed =
+  let rng = Rng.create ~seed () in
+  let a = Array.init (Graph.m g) Fun.id in
+  for i = Array.length a - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let prop_compact_matches_unvisited =
+  QCheck.Test.make
+    ~name:"Compact = legacy Unvisited draw-for-draw (any retirement order)"
+    ~count:60
+    QCheck.(triple (int_range 3 16) (int_range 0 1000) (int_range 0 1000))
+    (fun (half_n, gseed, oseed) ->
+      let n = 2 * half_n in
+      let g = Exp_util.regular_graph (Rng.create ~seed:gseed ()) ~n ~d:4 in
+      let c = Compact.create g and u = Unvisited.create g in
+      let order = shuffled_edges g oseed in
+      let retired = ref 0 in
+      Array.for_all
+        (fun e ->
+          Compact.retire_edge c e;
+          Unvisited.retire_edge u e;
+          incr retired;
+          (try partitions_agree "qcheck" g c u
+           with Alcotest.Test_error ->
+             QCheck.Test.fail_reportf "diverged after retiring %d edges"
+               !retired);
+          Compact.retired_arcs c = 2 * !retired
+          && Compact.edges_retired c = !retired
+          && Compact.counter_consistent c
+          && Compact.edge_visited c e)
+        order)
+
+let compact_save_restore () =
+  let g = Exp_util.regular_graph (Rng.create ~seed:21 ()) ~n:32 ~d:4 in
+  let c = Compact.create g in
+  let u = Unvisited.create g in
+  Array.iteri
+    (fun i e ->
+      if i mod 3 <> 0 then begin
+        Compact.retire_edge c e;
+        Unvisited.retire_edge u e
+      end)
+    (shuffled_edges g 5);
+  (* The wire format is the legacy state: a compact save restores into
+     the legacy module and vice versa, partitions still agreeing. *)
+  let c' = Compact.restore g (Unvisited.save u) in
+  let u' = Unvisited.restore g (Compact.save c) in
+  partitions_agree "legacy-state -> compact" g c' u;
+  partitions_agree "compact-state -> legacy" g c u';
+  Alcotest.(check int) "restored counter from partition"
+    (Compact.retired_arcs c) (Compact.retired_arcs c');
+  Alcotest.(check bool) "restored counter consistent" true
+    (Compact.counter_consistent c')
+
+(* -- mutation kills ---------------------------------------------------------- *)
+
+(* Prove the battery has teeth: under each injected defect, the exact
+   checks above must detect a divergence.  If these tests ever pass with
+   the fault active, the equivalence battery is vacuous. *)
+
+let detects_broken_swap () =
+  let g = Exp_util.regular_graph (Rng.create ~seed:31 ()) ~n:32 ~d:4 in
+  let c = Compact.create g and u = Unvisited.create g in
+  Compact.set_fault c (Some Compact.Broken_swap);
+  let detected = ref false in
+  Array.iter
+    (fun e ->
+      if not !detected then
+        (* The defect may surface either as an internal invariant
+           violation during a later retirement (the stale index trips the
+           region assertion) or as an enumeration divergence from the
+           reference — both count as "caught". *)
+        try
+          Compact.retire_edge c e;
+          Unvisited.retire_edge u e;
+          partitions_agree "fault" g c u
+        with _ -> detected := true)
+    (shuffled_edges g 6);
+  Alcotest.(check bool) "broken swap-to-back detected" true !detected
+
+let detects_stale_popcount () =
+  let g = Exp_util.regular_graph (Rng.create ~seed:32 ()) ~n:32 ~d:4 in
+  let c = Compact.create g in
+  Compact.set_fault c (Some Compact.Stale_popcount);
+  let order = shuffled_edges g 7 in
+  Array.iter (Compact.retire_edge c) (Array.sub order 0 10);
+  Alcotest.(check bool) "counter_consistent flags the stale counter" false
+    (Compact.counter_consistent c);
+  Alcotest.(check int) "recount (popcount) is the ground truth" 20
+    (Compact.recount c)
+
+(* -- trace byte-equality across reorders ------------------------------------ *)
+
+(* Events rendered through the one serializer the jsonl sink uses: list
+   equality here is byte equality of the trace file (run prologue/epilogue
+   lines excepted — `eproc` mints a fresh run id per invocation, so the
+   CLI-level comparison in test/crash_matrix.sh filters run_info too). *)
+let render events = String.concat "\n" (List.map Trace.event_to_string events)
+
+let map_event inv = function
+  | Trace.Run_start { name; n; m; start } ->
+      Trace.Run_start { name; n; m; start = inv.(start) }
+  | Trace.Step { step; vertex; edge; blue } ->
+      Trace.Step { step; vertex = inv.(vertex); edge; blue }
+  | Trace.Phase { step; kind; vertex } ->
+      Trace.Phase { step; kind; vertex = inv.(vertex) }
+  | e -> e
+
+let orders = [ ("degree", Graph.Degree_sort); ("bfs", Graph.Bfs); ("rcm", Graph.Rcm) ]
+
+(* [run ?perm g ~start] steps a process on [g] with an observer installed
+   and returns the collected events.  The five processes below only
+   differ in [run]. *)
+let collect run ?perm g ~start =
+  let events = ref [] in
+  run ?perm g ~start (fun e -> events := e :: !events);
+  List.rev !events
+
+let reorder_trace_case name run () =
+  let g = Exp_util.regular_graph (Rng.create ~seed:41 ()) ~n:64 ~d:4 in
+  let base = render (collect run g ~start:0) in
+  List.iter
+    (fun (oname, order) ->
+      let g', perm = Graph.reorder g order in
+      let inv = Graph.inverse_permutation perm in
+      let events = collect run ~perm g' ~start:perm.(0) in
+      let relabeled = render (List.map (map_event inv) events) in
+      Alcotest.(check string)
+        (Printf.sprintf "%s under %s reorder" name oname)
+        base relabeled)
+    orders
+
+let steps_per_trace = 300
+
+let run_eprocess rule ?perm:_ g ~start obs =
+  let t = Eprocess.create ~rule g (Rng.create ~seed:42 ()) ~start in
+  Eprocess.set_observer t (Some obs);
+  Eprocess.run_steps t steps_per_trace
+
+let run_srw ?perm:_ g ~start obs =
+  let t = Srw.create g (Rng.create ~seed:42 ()) ~start in
+  Srw.set_observer t (Some obs);
+  Srw.run_steps t steps_per_trace
+
+let run_rotor ?perm g ~start obs =
+  let t =
+    Rotor.create ~randomize_rotors:true ?perm g (Rng.create ~seed:42 ()) ~start
+  in
+  Rotor.set_observer t (Some obs);
+  for _ = 1 to steps_per_trace do
+    Rotor.step t
+  done
+
+(* -- kernel engine: reorder trace equality and jobs invariance --------------- *)
+
+let kernel_reorder_case proc mode w () =
+  let g = Exp_util.regular_graph (Rng.create ~seed:51 ()) ~n:64 ~d:4 in
+  let run ?perm g ~starts =
+    let events = ref [] in
+    let e = Kengine.create ~mode ?perm proc g (Rng.create ~seed:52 ()) ~starts in
+    Kengine.set_observer e
+      (Some (fun ~walker ev -> events := (walker, ev) :: !events));
+    for _ = 1 to 200 do
+      Kengine.step_round e
+    done;
+    (List.rev !events, Array.copy (Kengine.positions e))
+  in
+  let starts = Array.init w (fun i -> (i * 7) mod Graph.n g) in
+  let base_events, base_pos = run g ~starts in
+  List.iter
+    (fun (oname, order) ->
+      let g', perm = Graph.reorder g order in
+      let inv = Graph.inverse_permutation perm in
+      let events, pos = run ~perm g' ~starts:(Array.map (fun s -> perm.(s)) starts) in
+      let relabeled = List.map (fun (w, ev) -> (w, map_event inv ev)) events in
+      let tag (w, ev) = Printf.sprintf "w%d %s" w (Trace.event_to_string ev) in
+      Alcotest.(check string)
+        (Printf.sprintf "kernel %s W=%d under %s" (Kengine.proc_name proc) w
+           oname)
+        (String.concat "\n" (List.map tag base_events))
+        (String.concat "\n" (List.map tag relabeled));
+      Alcotest.(check (array int))
+        "final positions relabel back" base_pos (Array.map (fun p -> inv.(p)) pos))
+    orders
+
+let kernel_jobs_invariance () =
+  let g = Exp_util.regular_graph (Rng.create ~seed:61 ()) ~n:128 ~d:4 in
+  let run jobs =
+    Ewalk_par.Pool.with_pool ~jobs @@ fun pool ->
+    let e =
+      Kengine.create_spread ~mode:Kengine.Competing Kengine.E_uar g
+        (Rng.create ~seed:62 ())
+        ~walkers:4
+    in
+    Kengine.run_rounds ~pool e 500;
+    ( Array.copy (Kengine.positions e),
+      Array.init 4 (fun w ->
+          ( Kengine.walker_steps e w,
+            Kengine.walker_blue_steps e w,
+            Kengine.walker_red_steps e w,
+            Kengine.walker_vertices_visited e w,
+            Kengine.walker_edges_visited e w,
+            Kengine.walker_cover_step e w )) )
+  in
+  let pos1, st1 = run 1 and pos4, st4 = run 4 in
+  Alcotest.(check (array int)) "positions identical at jobs 1 vs 4" pos1 pos4;
+  Alcotest.(check bool) "walker counters identical at jobs 1 vs 4" true
+    (st1 = st4)
+
+(* -- Bloom approximate-visited characterization ------------------------------ *)
+
+(* On the stock graph matrix: an approximate run must still cover (false
+   positives only downgrade blue steps to red), and the measured
+   false-positive rate on the step path must stay within the textbook
+   (1 - e^{-kn/m})^k bound, with 3x slack for double hashing and sampling
+   noise.  The measured numbers are recorded in EXPERIMENTS.md. *)
+let bloom_cases =
+  [
+    ("regular:4 n=256", fun () -> Exp_util.regular_graph (Rng.create ~seed:71 ()) ~n:256 ~d:4);
+    ("regular:6 n=128", fun () -> Exp_util.regular_graph (Rng.create ~seed:72 ()) ~n:128 ~d:6);
+    ("hypercube:8", fun () -> Ewalk_graph.Gen_classic.hypercube 8);
+  ]
+
+let bloom_characterization () =
+  List.iter
+    (fun (gname, mk) ->
+      let g = mk () in
+      let bits_per_edge = 8 and hashes = 3 in
+      let t =
+        Eprocess.create
+          ~approx:(Eprocess.Bloom { bits_per_edge; hashes })
+          g
+          (Rng.create ~seed:73 ())
+          ~start:0
+      in
+      (match Eprocess.run_to_vertex_cover t with
+      | Some _ -> ()
+      | None -> Alcotest.failf "%s: approx run did not cover" gname);
+      Alcotest.(check int)
+        (gname ^ ": coverage table (ground truth) complete")
+        (Graph.n g)
+        (Coverage.vertices_visited (Eprocess.coverage t));
+      let fp, queries =
+        match Eprocess.approx_distortion t with
+        | Some d -> d
+        | None -> Alcotest.failf "%s: no distortion counters" gname
+      in
+      let filter =
+        match Eprocess.approx_filter t with
+        | Some f -> f
+        | None -> Alcotest.failf "%s: no filter" gname
+      in
+      let measured =
+        if queries = 0 then 0.0 else float_of_int fp /. float_of_int queries
+      in
+      let bound =
+        Bloom.fp_rate_bound ~bits:(Bloom.size filter) ~hashes
+          ~inserted:(Bloom.inserted filter)
+      in
+      Printf.printf
+        "bloom %-16s bits/edge=%d hashes=%d: %d/%d fp (%.4f measured, \
+         %.4f bound, fill %.3f)\n%!"
+        gname bits_per_edge hashes fp queries measured bound
+        (Bloom.fill_fraction filter);
+      if measured > (3.0 *. bound) +. 0.01 then
+        Alcotest.failf "%s: measured fp rate %.4f exceeds 3x bound %.4f" gname
+          measured bound)
+    bloom_cases
+
+(* A tighter direct-membership check, independent of any walk: keys never
+   added must false-positive at about the bound. *)
+let bloom_direct_fp_rate () =
+  let bits = 8 * 4096 and hashes = 3 in
+  let f = Bloom.create ~bits ~hashes in
+  for k = 0 to 4095 do
+    Bloom.add f k
+  done;
+  for k = 0 to 4095 do
+    if not (Bloom.mem f k) then Alcotest.fail "bloom dropped an added key"
+  done;
+  let fp = ref 0 in
+  let probes = 100_000 in
+  for k = 4096 to 4095 + probes do
+    if Bloom.mem f k then incr fp
+  done;
+  let measured = float_of_int !fp /. float_of_int probes in
+  let bound = Bloom.fp_rate_bound ~bits ~hashes ~inserted:4096 in
+  Printf.printf "bloom direct: %.4f measured vs %.4f bound\n%!" measured bound;
+  Alcotest.(check bool)
+    (Printf.sprintf "direct fp rate %.4f within 2x bound %.4f" measured bound)
+    true
+    (measured <= (2.0 *. bound) +. 0.005)
+
+let () =
+  Alcotest.run "compact"
+    [
+      ( "bitset",
+        [
+          qcheck prop_bitset_reference;
+          Alcotest.test_case "edge cases and hex format" `Quick bitset_edges;
+        ] );
+      ( "partition",
+        [
+          qcheck prop_compact_matches_unvisited;
+          Alcotest.test_case "save/restore crosses implementations" `Quick
+            compact_save_restore;
+        ] );
+      ( "mutation-kill",
+        [
+          Alcotest.test_case "broken swap-to-back is detected" `Quick
+            detects_broken_swap;
+          Alcotest.test_case "stale popcount is detected" `Quick
+            detects_stale_popcount;
+        ] );
+      ( "reorder-trace",
+        [
+          Alcotest.test_case "e-process(uar)" `Quick
+            (reorder_trace_case "e-process(uar)" (run_eprocess Eprocess.Uar));
+          Alcotest.test_case "e-process(lowest)" `Quick
+            (reorder_trace_case "e-process(lowest)"
+               (run_eprocess Eprocess.Lowest_slot));
+          Alcotest.test_case "e-process(highest)" `Quick
+            (reorder_trace_case "e-process(highest)"
+               (run_eprocess Eprocess.Highest_slot));
+          Alcotest.test_case "srw" `Quick (reorder_trace_case "srw" run_srw);
+          Alcotest.test_case "rotor" `Quick
+            (reorder_trace_case "rotor" run_rotor);
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "cooperating euar W=1" `Quick
+            (kernel_reorder_case Kengine.E_uar Kengine.Cooperating 1);
+          Alcotest.test_case "cooperating euar W=4" `Quick
+            (kernel_reorder_case Kengine.E_uar Kengine.Cooperating 4);
+          Alcotest.test_case "competing euar W=4" `Quick
+            (kernel_reorder_case Kengine.E_uar Kengine.Competing 4);
+          Alcotest.test_case "cooperating rotor W=4" `Quick
+            (kernel_reorder_case Kengine.Rotor Kengine.Cooperating 4);
+          Alcotest.test_case "competing rotor W=4" `Quick
+            (kernel_reorder_case Kengine.Rotor Kengine.Competing 4);
+          Alcotest.test_case "competing jobs 1 = jobs 4" `Quick
+            kernel_jobs_invariance;
+        ] );
+      ( "bloom",
+        [
+          Alcotest.test_case "characterization on stock graphs" `Quick
+            bloom_characterization;
+          Alcotest.test_case "direct membership fp rate" `Quick
+            bloom_direct_fp_rate;
+        ] );
+    ]

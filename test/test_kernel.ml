@@ -635,11 +635,10 @@ let checkpoint_rejects_corruption () =
     Engine.create_spread ~mode:Engine.Competing Engine.E_uar g
       (Rng.create ~seed:57 ()) ~walkers:2
   in
-  Alcotest.check_raises "competing not checkpointable"
+  Alcotest.check_raises "competing needs checkpoint_competing"
     (Invalid_argument
-       "Engine.checkpoint: competing mode is not checkpointable (per-walker \
-        bitsets are not serialized)") (fun () ->
-      ignore (Engine.checkpoint competing))
+       "Engine.checkpoint: competing mode carries per-walker bitsets; use \
+        checkpoint_competing") (fun () -> ignore (Engine.checkpoint competing))
 
 (* -- argument validation ----------------------------------------------------- *)
 

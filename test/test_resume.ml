@@ -216,6 +216,107 @@ let rotor_snapshot_roundtrip =
     (fun p -> Snapshot.Rotor p)
     (function Snapshot.Rotor p -> p | _ -> Alcotest.fail "wrong kind")
 
+(* -- kernel-competing snapshots (ewalk-snapshot/2, bit-packed sets) --------- *)
+
+module Kengine = Ewalk_kernel.Engine
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false else String.sub hay i nn = needle || go (i + 1)
+  in
+  go 0
+
+(* Round trip a competing engine (per-walker bit-packed visited sets,
+   walker-local clocks) through the v2 "kernel-competing" payload kind and
+   continue live vs restored in lockstep. *)
+let competing_roundtrip proc () =
+  let g = Exp_util.regular_graph (Rng.create ~seed:81 ()) ~n:48 ~d:4 in
+  let e =
+    Kengine.create ~mode:Kengine.Competing proc g
+      (Rng.create ~seed:82 ())
+      ~starts:[| 0; 5; 11; 17 |]
+  in
+  for _ = 1 to 157 do
+    Kengine.step e
+  done;
+  let path = temp_path ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      ok_or_fail "write" (Snapshot.write ~path (Snapshot.Kernel e));
+      (* The summary cross-checks stored counters against the serialized
+         bitsets' popcounts — the marker crash_matrix.sh greps for. *)
+      (match Snapshot.describe ~path with
+      | Ok s ->
+          Alcotest.(check bool) "describe carries the popcount verdict" true
+            (contains s "counter==popcount")
+      | Error err -> Alcotest.failf "describe: %s" (Snapshot.error_to_string err));
+      let q =
+        match Snapshot.read g ~path with
+        | Ok (Snapshot.Kernel q) -> q
+        | Ok _ -> Alcotest.fail "restored the wrong walk kind"
+        | Error err -> Alcotest.failf "read: %s" (Snapshot.error_to_string err)
+      in
+      Alcotest.(check int) "mode preserved" 0
+        (match Kengine.mode q with Kengine.Competing -> 0 | _ -> 1);
+      Alcotest.(check int) "steps preserved" (Kengine.steps e) (Kengine.steps q);
+      for i = 1 to 400 do
+        Kengine.step e;
+        Kengine.step q;
+        if Kengine.positions e <> Kengine.positions q then
+          Alcotest.failf "positions diverged at +%d" i
+      done;
+      for w = 0 to 3 do
+        Alcotest.(check int)
+          (Printf.sprintf "walker %d steps" w)
+          (Kengine.walker_steps e w) (Kengine.walker_steps q w);
+        Alcotest.(check int)
+          (Printf.sprintf "walker %d blue" w)
+          (Kengine.walker_blue_steps e w)
+          (Kengine.walker_blue_steps q w);
+        Alcotest.(check int)
+          (Printf.sprintf "walker %d vertices" w)
+          (Kengine.walker_vertices_visited e w)
+          (Kengine.walker_vertices_visited q w);
+        Alcotest.(check int)
+          (Printf.sprintf "walker %d edges" w)
+          (Kengine.walker_edges_visited e w)
+          (Kengine.walker_edges_visited q w);
+        Alcotest.(check (option int))
+          (Printf.sprintf "walker %d cover step" w)
+          (Kengine.walker_cover_step e w)
+          (Kengine.walker_cover_step q w)
+      done)
+
+(* The derived-counter contract: restore never trusts a serialized visit
+   counter it can recount from the bitset. *)
+let competing_counter_recount () =
+  let g = Exp_util.regular_graph (Rng.create ~seed:83 ()) ~n:32 ~d:4 in
+  let e =
+    Kengine.create ~mode:Kengine.Competing Kengine.E_uar g
+      (Rng.create ~seed:84 ())
+      ~starts:[| 0; 1 |]
+  in
+  for _ = 1 to 64 do
+    Kengine.step e
+  done;
+  let ck = Kengine.checkpoint_competing e in
+  (* Unmodified, the record restores. *)
+  ignore (Kengine.of_checkpoint_competing g ck : Kengine.t);
+  let tampered_v = { ck with Kengine.cc_vcount = Array.map succ ck.Kengine.cc_vcount } in
+  Alcotest.check_raises "vertex counter disagreeing with popcount rejected"
+    (Invalid_argument
+       "Engine.of_checkpoint_competing: stored visit counter disagrees with \
+        its bitset popcount")
+    (fun () -> ignore (Kengine.of_checkpoint_competing g tampered_v : Kengine.t));
+  let tampered_e = { ck with Kengine.cc_ecount = Array.map succ ck.Kengine.cc_ecount } in
+  Alcotest.check_raises "edge counter disagreeing with popcount rejected"
+    (Invalid_argument
+       "Engine.of_checkpoint_competing: stored visit counter disagrees with \
+        its bitset popcount")
+    (fun () -> ignore (Kengine.of_checkpoint_competing g tampered_e : Kengine.t))
+
 (* -- Snapshot rejection ----------------------------------------------------- *)
 
 let expect_error what pred = function
@@ -270,13 +371,6 @@ let snapshot_rejects_corruption () =
         (Snapshot.read g ~path:(path ^ ".does-not-exist")))
 
 (* -- Snapshot run provenance ------------------------------------------------- *)
-
-let contains hay needle =
-  let nh = String.length hay and nn = String.length needle in
-  let rec go i =
-    if i + nn > nh then false else String.sub hay i nn = needle || go (i + 1)
-  in
-  go 0
 
 let snapshot_provenance () =
   let g = Exp_util.regular_graph (Rng.create ~seed:3 ()) ~n:20 ~d:4 in
@@ -540,6 +634,12 @@ let () =
           Alcotest.test_case "lazy-srw round trip" `Quick
             lazy_srw_snapshot_roundtrip;
           Alcotest.test_case "rotor round trip" `Quick rotor_snapshot_roundtrip;
+          Alcotest.test_case "kernel-competing round trip (e-uar)" `Quick
+            (competing_roundtrip Kengine.E_uar);
+          Alcotest.test_case "kernel-competing round trip (rotor)" `Quick
+            (competing_roundtrip Kengine.Rotor);
+          Alcotest.test_case "kernel-competing counter recount" `Quick
+            competing_counter_recount;
           Alcotest.test_case "run provenance" `Quick snapshot_provenance;
           Alcotest.test_case "rejects corruption" `Quick
             snapshot_rejects_corruption;
