@@ -1,6 +1,6 @@
 .PHONY: all build test test-par test-crash test-kernel test-compact \
-	serve-smoke runs-smoke bench bench-json bench-baseline bench-check \
-	bench-full check-oracle ci fmt fmt-check clean
+	test-serve serve-smoke serve-session-smoke runs-smoke bench bench-json \
+	bench-baseline bench-check bench-full check-oracle ci fmt fmt-check clean
 
 all: build
 
@@ -16,7 +16,7 @@ test:
 # crash-equivalence matrix, and the live-endpoint and run-store smoke
 # tests.
 ci: build test fmt-check bench-check check-oracle test-kernel test-compact \
-	test-crash serve-smoke runs-smoke
+	test-crash test-serve serve-smoke serve-session-smoke runs-smoke
 
 # Crash-equivalence matrix: kill a checkpointed campaign at every trial
 # boundary (at --jobs 1 and 4), resume it, and require bit-identical
@@ -25,6 +25,24 @@ ci: build test fmt-check bench-check check-oracle test-kernel test-compact \
 # verify-trace --flight accepts.  See test/crash_matrix.sh.
 test-crash: build
 	bash test/crash_matrix.sh
+
+# eprocd session-service conformance battery: protocol validation unit
+# tests, router-level malformed-request rejection (structured 4xx, never a
+# crash), qcheck fuzz over request shapes and raw request bytes, the
+# session-lifecycle equivalence property (any step/stream/hibernate/
+# rehydrate interleaving is bit-identical to an uninterrupted run),
+# restart recovery, and concurrent-client determinism over loopback HTTP
+# at pool sizes 1 and 4.  See test/test_serve.ml.
+test-serve: build
+	dune exec test/test_serve.exe
+
+# End-to-end eprocd lifecycle smoke: create / step / hibernate under a
+# tiny resident cap / rehydrate over real loopback HTTP, recorded trace
+# streams accepted by `eproc verify-trace`, a valid /metrics exposition,
+# and the 1000-session `eproc load-test` driven against the live daemon
+# with the cap forcing hibernation churn.  See test/serve_session_smoke.sh.
+serve-session-smoke: build
+	bash test/serve_session_smoke.sh
 
 # Live-endpoint smoke: start a cover run with --listen 0, scrape /healthz,
 # /progress, and /metrics mid-run (the exposition must pass

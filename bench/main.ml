@@ -196,6 +196,95 @@ let bench_kernel_steps ~mode proc ~seed () =
     let e = Ewalk_kernel.Engine.create_spread ~mode proc g rng ~walkers:8 in
     Ewalk_kernel.Engine.run_rounds e 1_250
 
+(* eprocd service kernels: the whole serving stack (router, registry,
+   loopback HTTP transport) measured end to end from a real client.  The
+   daemon starts lazily on first use, so its serving domain exists only
+   once these kernels run — they sit last in the table, keeping the extra
+   domain away from the allocation-sensitive kernels above — and an
+   at_exit hook tears it down along with its scratch state directory. *)
+let serve_daemon =
+  lazy
+    (let dir = Filename.temp_file "ewalk-bench-serve" ".d" in
+     Sys.remove dir;
+     match Ewalk_serve.Daemon.start ~state_dir:dir ~resident_cap:256 () with
+     | Error e -> failwith ("bench serve daemon: " ^ e)
+     | Ok d ->
+         at_exit (fun () ->
+             ignore (Ewalk_serve.Daemon.stop d : int);
+             let rec rm path =
+               if Sys.file_exists path then
+                 if Sys.is_directory path then begin
+                   Array.iter
+                     (fun f -> rm (Filename.concat path f))
+                     (Sys.readdir path);
+                   try Sys.rmdir path with Sys_error _ -> ()
+                 end
+                 else try Sys.remove path with Sys_error _ -> ()
+             in
+             rm dir);
+         d)
+
+let serve_config_body =
+  {|{"family":"regular:4","n":64,"process":"e-process","seed":31}|}
+
+let serve_request ~meth ~path ?body () =
+  let port = Ewalk_serve.Daemon.port (Lazy.force serve_daemon) in
+  match Ewalk_serve.Client.request ~port ~meth ~path ?body () with
+  | Ok { Ewalk_serve.Client.status; body }
+    when status >= 200 && status < 300 ->
+      body
+  | Ok r ->
+      failwith
+        (Printf.sprintf "bench serve: %s %s -> %d" meth path
+           r.Ewalk_serve.Client.status)
+  | Error e -> failwith ("bench serve: " ^ e)
+
+let serve_session_id body =
+  match Ewalk_obs.Json.of_string body with
+  | Ok j -> (
+      match
+        Option.bind (Ewalk_obs.Json.member "id" j)
+          Ewalk_obs.Json.to_string_opt
+      with
+      | Some id -> id
+      | None -> failwith "bench serve: create response carries no id")
+  | Error e -> failwith ("bench serve: " ^ e)
+
+(* Session churn over real HTTP: one create + one delete per call.  The
+   graph is cached in the registry after the first build, so the measured
+   cost is the session machinery (validation, id allocation, walk
+   construction, meta write, teardown), not graph generation.  The
+   derived headline:serve_session_create_ns rides this kernel. *)
+let bench_serve_session_churn () () =
+  let id =
+    serve_session_id
+      (serve_request ~meth:"POST" ~path:"/sessions" ~body:serve_config_body ())
+  in
+  ignore (serve_request ~meth:"DELETE" ~path:("/sessions/" ^ id) () : string)
+
+(* Stepping throughput through the full service path: one POST advancing
+   a persistent session 1 000 steps per call, so the derived
+   headline:serve_steps_per_second reads walk steps/s as a client sees
+   them — request framing, JSON, registry locking and the native stepping
+   loop together. *)
+let serve_steps_per_call = 1_000
+
+let bench_serve_steps () =
+  let sid =
+    lazy
+      (serve_session_id
+         (serve_request ~meth:"POST" ~path:"/sessions"
+            ~body:serve_config_body ()))
+  in
+  fun () ->
+    let id = Lazy.force sid in
+    ignore
+      (serve_request ~meth:"POST"
+         ~path:("/sessions/" ^ id ^ "/step")
+         ~body:(Printf.sprintf {|{"steps":%d}|} serve_steps_per_call)
+         ()
+        : string)
+
 let kernels () =
   [
     ("fig1:eprocess-10k-steps", bench_eprocess_steps ());
@@ -221,6 +310,8 @@ let kernels () =
     ( "kernel:srw-w8-10k-steps",
       bench_kernel_steps ~mode:Ewalk_kernel.Engine.Cooperating
         Ewalk_kernel.Engine.Srw ~seed:87 () );
+    ("serve:create-delete-session", bench_serve_session_churn ());
+    ("serve:step-1k-over-http", bench_serve_steps ());
   ]
 
 (* -- full-scale kernels (EWALK_BENCH_SCALE=full only) ---------------------- *)
@@ -421,12 +512,27 @@ let headline_kernels kernels =
         ("headline:srw_full_ns_per_step", "fullscale:srw-2M-steps");
       ]
   @ List.filter_map
+      (fun (headline, src) -> derive ~steps:1.0 headline src)
+      [
+        (* Session-service latency: one create + one delete over loopback
+           HTTP per unit, so the ledger reads ns per session churned. *)
+        ("headline:serve_session_create_ns", "serve:create-delete-session");
+      ]
+  @ List.filter_map
       (fun (headline, src) -> derive_rate headline src)
       [
         ("headline:steps_per_second_eprocess", "fig1:eprocess-10k-steps");
         ( "headline:steps_per_second_eprocess_metrics",
           "obs:eprocess-10k-steps-metrics" );
         ("headline:steps_per_second_kernel_euar_w8", "kernel:euar-w8-10k-steps");
+      ]
+  @ List.filter_map
+      (fun (headline, src) ->
+        derive_rate ~steps:(float_of_int serve_steps_per_call) headline src)
+      [
+        (* Service-path stepping throughput, higher-is-better (the
+           "per_second" substring flips the bench-diff gate direction). *)
+        ("headline:serve_steps_per_second", "serve:step-1k-over-http");
       ]
   @ List.filter_map
       (fun (headline, src) ->

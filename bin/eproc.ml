@@ -1998,6 +1998,212 @@ let runs_cmd =
        ~doc:"Browse recorded run provenance (list / show / compare).")
     [ runs_list_cmd; runs_show_cmd; runs_compare_cmd ]
 
+(* -- load-test ------------------------------------------------------------- *)
+
+(* Drive an eprocd daemon with N concurrent sessions from C client
+   domains: a create storm, then rounds of step requests across every
+   session.  With --port 0 (the default) the daemon runs in-process on
+   an ephemeral port and a throwaway state dir, so the command is a
+   self-contained serving benchmark; against a --port it load-tests a
+   daemon someone else started (the serve smoke script does both).  The
+   derived `headline:serve_*` bench kernels measure the same stack
+   in-process — this command is the operational, many-clients view. *)
+let load_test_cmd =
+  let sessions_arg =
+    let doc = "How many sessions to create and drive." in
+    Arg.(value & opt int 1000 & info [ "sessions" ] ~docv:"N" ~doc)
+  in
+  let steps_arg =
+    let doc = "Steps per step request." in
+    Arg.(value & opt int 100 & info [ "steps" ] ~docv:"K" ~doc)
+  in
+  let rounds_arg =
+    let doc = "Step requests per session." in
+    Arg.(value & opt int 1 & info [ "rounds" ] ~docv:"R" ~doc)
+  in
+  let clients_arg =
+    let doc = "Concurrent client domains." in
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"C" ~doc)
+  in
+  let port_arg =
+    let doc =
+      "Target an already-running eprocd on this port (default: start one \
+       in-process on an ephemeral port with a throwaway state dir)."
+    in
+    Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let cap_arg =
+    let doc = "Resident cap for the in-process daemon (forces hibernation churn)." in
+    Arg.(value & opt int 64 & info [ "resident-cap" ] ~docv:"K" ~doc)
+  in
+  let compete_arg =
+    let doc = "Create competing-mode sessions." in
+    Arg.(value & flag & info [ "compete" ] ~doc)
+  in
+  let run family process n seed walkers compete sessions steps rounds clients
+      port cap =
+    if sessions < 1 || steps < 1 || rounds < 1 || clients < 1 then begin
+      Printf.eprintf
+        "eproc load-test: sessions, steps, rounds and clients must be \
+         positive\n";
+      exit 2
+    end;
+    let own_daemon, port =
+      if port <> 0 then (None, port)
+      else
+        match Ewalk_serve.Daemon.start ~resident_cap:cap () with
+        | Error e ->
+            Printf.eprintf "eproc load-test: %s\n" e;
+            exit 2
+        | Ok d -> (Some d, Ewalk_serve.Daemon.port d)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter (fun d -> ignore (Ewalk_serve.Daemon.stop d)) own_daemon)
+    @@ fun () ->
+    let body =
+      Obs.Json.to_string
+        (Obs.Json.Obj
+           [
+             ("family", Obs.Json.String family);
+             ("n", Obs.Json.Int n);
+             ("process", Obs.Json.String process);
+             ("seed", Obs.Json.Int seed);
+             ("walkers", Obs.Json.Int walkers);
+             ( "mode",
+               Obs.Json.String (if compete then "competing" else "cooperating")
+             );
+           ])
+    in
+    let clients = min clients sessions in
+    let failures = Atomic.make 0 in
+    let fail fmt =
+      Printf.ksprintf
+        (fun m ->
+          Atomic.incr failures;
+          Printf.eprintf "eproc load-test: %s\n" m)
+        fmt
+    in
+    (* Phase 1: the create storm.  Each client creates its share and
+       keeps the ids the daemon assigned plus per-create latencies. *)
+    let share c = (sessions + clients - 1 - c) / clients in
+    let t0 = Obs.Clock.now_ns () in
+    let created =
+      Array.init clients (fun c ->
+          Domain.spawn (fun () ->
+              let ids = ref [] and lats = ref [] in
+              for _ = 1 to share c do
+                let t = Obs.Clock.now_ns () in
+                match
+                  Ewalk_serve.Client.request ~port ~meth:"POST"
+                    ~path:"/sessions" ~body ()
+                with
+                | Ok { status = 201; body } -> (
+                    lats := float_of_int (Obs.Clock.elapsed_ns t) :: !lats;
+                    match
+                      Result.bind (Obs.Json.of_string (String.trim body))
+                        (fun j ->
+                          match
+                            Option.bind (Obs.Json.member "id" j)
+                              Obs.Json.to_string_opt
+                          with
+                          | Some id -> Ok id
+                          | None -> Error "no id")
+                    with
+                    | Ok id -> ids := id :: !ids
+                    | Error e -> fail "create: bad response (%s)" e)
+                | Ok { status; _ } -> fail "create: status %d" status
+                | Error e -> fail "create: %s" e
+              done;
+              (List.rev !ids, !lats)))
+      |> Array.map Domain.join
+    in
+    let create_s = Obs.Clock.elapsed_s t0 in
+    let ids = Array.of_list (List.concat_map fst (Array.to_list created)) in
+    let lats =
+      Array.of_list (List.concat_map snd (Array.to_list created))
+    in
+    Array.sort compare lats;
+    let pct p =
+      if Array.length lats = 0 then 0.
+      else lats.(min (Array.length lats - 1)
+                    (int_of_float (p *. float_of_int (Array.length lats))))
+    in
+    Printf.printf
+      "load-test: created %d/%d sessions in %.3f s (%.0f/s; latency p50 \
+       %.0f ns, p99 %.0f ns)\n%!"
+      (Array.length ids) sessions create_s
+      (float_of_int (Array.length ids) /. create_s)
+      (pct 0.5) (pct 0.99)
+      ;
+    (* Phase 2: step every session, rounds times. *)
+    let t1 = Obs.Clock.now_ns () in
+    let step_body = Printf.sprintf "{\"steps\":%d}" steps in
+    let stepped =
+      Array.init clients (fun c ->
+          Domain.spawn (fun () ->
+              let total = ref 0 in
+              for _ = 1 to rounds do
+                let i = ref c in
+                while !i < Array.length ids do
+                  (match
+                     Ewalk_serve.Client.request ~port ~meth:"POST"
+                       ~path:(Printf.sprintf "/sessions/%s/step" ids.(!i))
+                       ~body:step_body ()
+                   with
+                  | Ok { status = 200; _ } -> total := !total + steps
+                  | Ok { status; _ } -> fail "step: status %d" status
+                  | Error e -> fail "step: %s" e);
+                  i := !i + clients
+                done
+              done;
+              !total))
+      |> Array.map Domain.join
+    in
+    let step_s = Obs.Clock.elapsed_s t1 in
+    let total_steps = Array.fold_left ( + ) 0 stepped in
+    Printf.printf
+      "load-test: advanced %d steps across %d sessions in %.3f s (%.0f \
+       steps/s over HTTP)\n%!"
+      total_steps (Array.length ids) step_s
+      (float_of_int total_steps /. step_s);
+    (* Phase 3: report the daemon's own view. *)
+    (match Ewalk_serve.Client.request ~port ~meth:"GET" ~path:"/metrics" () with
+    | Ok { status = 200; body } ->
+        let value_of name =
+          String.split_on_char '\n' body
+          |> List.find_map (fun line ->
+                 match String.split_on_char ' ' line with
+                 | [ k; v ] when k = "ewalk_" ^ name -> Some v
+                 | _ -> None)
+          |> Option.value ~default:"?"
+        in
+        Printf.printf
+          "load-test: daemon sessions=%s resident=%s hibernations=%s \
+           rehydrations=%s serve_steps=%s\n%!"
+          (value_of "sessions")
+          (value_of "sessions_resident")
+          (value_of "hibernations_total")
+          (value_of "rehydrations_total")
+          (value_of "serve_steps_total")
+    | Ok { status; _ } -> fail "metrics: status %d" status
+    | Error e -> fail "metrics: %s" e);
+    if Atomic.get failures > 0 then begin
+      Printf.eprintf "eproc load-test: %d request failures\n"
+        (Atomic.get failures);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "load-test"
+       ~doc:
+         "Drive an eprocd daemon with many concurrent walk sessions and \
+          report create latency and stepping throughput.")
+    Term.(
+      const run $ family_arg $ process_arg $ n_arg $ seed_arg $ walkers_arg
+      $ compete_arg $ sessions_arg $ steps_arg $ rounds_arg $ clients_arg
+      $ port_arg $ cap_arg)
+
 let main =
   let doc = "Random walks which prefer unvisited edges (E-process) - reproduction CLI." in
   Cmd.group
@@ -2006,7 +2212,7 @@ let main =
       list_cmd; experiment_cmd; graph_info_cmd; cover_cmd; trace_cmd;
       verify_trace_cmd; openmetrics_validate_cmd; check_oracle_cmd;
       checkpoint_inspect_cmd; spectra_cmd; euler_cmd; audit_cmd; report_cmd;
-      bench_diff_cmd; runs_cmd;
+      bench_diff_cmd; runs_cmd; load_test_cmd;
     ]
 
 (* Cmdliner cannot declare a one-letter long option, but "--n 1000" is how

@@ -1,0 +1,110 @@
+(* eprocd — walks as a service.  A persistent daemon serving walk
+   sessions over loopback HTTP/JSON: create sessions (graph family,
+   process, seed, walkers, mode), step them, run them to the cover
+   milestone, stream their trace events as chunked JSONL, and fetch
+   coverage — with idle sessions hibernating to CRC-guarded snapshots
+   under an LRU resident cap and rehydrating transparently.
+
+   All the machinery lives in Ewalk_serve; this executable is argument
+   parsing, run provenance, signal handling and the idle loop. *)
+
+module Obs = Ewalk_obs
+open Cmdliner
+
+let quit_requested = Atomic.make false
+
+let install_signals () =
+  let handle _ = Atomic.set quit_requested true in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle handle)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigterm; Sys.sigint ]
+
+let run port state_dir resident_cap max_n jobs =
+  install_signals ();
+  let pool = if jobs > 1 then Some (Ewalk_par.Pool.create ~jobs ()) else None in
+  let finally () = Option.iter Ewalk_par.Pool.shutdown pool in
+  Fun.protect ~finally @@ fun () ->
+  match
+    Ewalk_serve.Daemon.start ~port ~state_dir ~resident_cap ~max_n ?pool ()
+  with
+  | Error e ->
+      Printf.eprintf "eprocd: %s\n" e;
+      2
+  | Ok d ->
+      Printf.eprintf
+        "eprocd: listening on http://127.0.0.1:%d (state %s, resident cap \
+         %d, %d recovered)\n\
+         eprocd: GET /healthz | GET /metrics | POST /sessions | GET \
+         /sessions/:id/trace?steps=K | /quit\n\
+         %!"
+        (Ewalk_serve.Daemon.port d)
+        state_dir resident_cap
+        (Ewalk_serve.Registry.session_count (Ewalk_serve.Daemon.registry d));
+      while
+        not (Ewalk_serve.Daemon.stopped d || Atomic.get quit_requested)
+      do
+        Unix.sleepf 0.1
+      done;
+      let hibernated = Ewalk_serve.Daemon.stop d in
+      Printf.eprintf "eprocd: hibernated %d sessions; bye\n%!" hibernated;
+      0
+
+let port_arg =
+  let doc = "Listen port (0 = let the kernel pick; the bound port is announced on stderr)." in
+  Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT" ~doc)
+
+let state_dir_arg =
+  let doc =
+    "Session state directory: per-session meta files and hibernation \
+     snapshots.  Restarting with the same directory recovers every \
+     session a previous daemon hibernated there."
+  in
+  Arg.(value & opt string "eprocd-state" & info [ "state-dir" ] ~docv:"DIR" ~doc)
+
+let resident_cap_arg =
+  let doc =
+    "How many sessions may stay live in memory; beyond the cap, \
+     least-recently-used sessions hibernate to disk and rehydrate \
+     transparently on their next request."
+  in
+  Arg.(value & opt int 256 & info [ "resident-cap" ] ~docv:"K" ~doc)
+
+let max_n_arg =
+  let doc = "Largest graph a create-session request may ask for." in
+  Arg.(value & opt int 1_000_000 & info [ "max-n" ] ~docv:"N" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Domain pool size for competing multi-walker sessions (their \
+     whole-round batches shard across the pool, bit-identically)."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"J" ~doc)
+
+let main =
+  Cmd.v
+    (Cmd.info "eprocd" ~version:"%%VERSION%%"
+       ~doc:
+         "Serve walk sessions over loopback HTTP/JSON with hibernation \
+          under a resident cap.")
+    Term.(
+      const run $ port_arg $ state_dir_arg $ resident_cap_arg $ max_n_arg
+      $ jobs_arg)
+
+let () =
+  (match Ewalk_resume.Faults.install_from_env () with
+  | Ok _ -> ()
+  | Error e ->
+      Printf.eprintf "eprocd: %s\n" e;
+      exit 2);
+  (match Obs.Flight.enable_from_env () with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "eprocd: %s\n" e;
+      exit 2);
+  ignore
+    (Obs.Runlog.begin_run
+       ~config:(String.concat " " (Array.to_list Sys.argv))
+       ());
+  exit (Cmd.eval' main)

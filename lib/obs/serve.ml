@@ -1,14 +1,14 @@
-(* Minimal built-in HTTP responder for live observability: one dedicated
-   domain accepting loopback connections and answering GET requests from
-   caller-supplied closures.  Deliberately tiny — HTTP/1.0, one request
-   per connection, no keep-alive, no external dependency — the stepping
-   stone to the ROADMAP's `eprocd`, not a web server.
+(* Minimal built-in HTTP listener: one dedicated domain accepting loopback
+   connections.  Two faces share it: the legacy read-only observability
+   routes ([start]) and a full request router with bodies and chunked
+   streaming ([start_router]) — the transport under eprocd.  Deliberately
+   tiny: one request per connection, no keep-alive, no external
+   dependency.
 
    The accept loop polls with a short select timeout and re-checks a stop
    flag, so [stop] returns within a poll interval even when no client
-   ever connects.  Handler closures run on the serving domain: they must
-   be safe to call concurrently with the walk (Metrics snapshots and the
-   progress callbacks used by eproc are). *)
+   ever connects.  Handlers run on the serving domain: they must be safe
+   to call concurrently with the walk. *)
 
 type t = {
   sock : Unix.file_descr;
@@ -17,76 +17,312 @@ type t = {
   mutable sv_domain : unit Domain.t option;
 }
 
+type request = {
+  rq_meth : string;
+  rq_path : string;
+  rq_query : (string * string) list;
+  rq_body : string;
+}
+
+type response =
+  | Fixed of { fx_status : int; fx_ctype : string; fx_body : string }
+  | Stream of { st_status : int; st_ctype : string; st_write : (string -> unit) -> unit }
+
+let respond ?(status = 200) ?(content_type = "application/json") body =
+  Fixed { fx_status = status; fx_ctype = content_type; fx_body = body }
+
+let respond_stream ?(status = 200) ?(content_type = "application/jsonl") write
+    =
+  Stream { st_status = status; st_ctype = content_type; st_write = write }
+
+let response_status = function
+  | Fixed { fx_status; _ } -> fx_status
+  | Stream { st_status; _ } -> st_status
+
+let response_body = function
+  | Fixed { fx_body; _ } -> Some fx_body
+  | Stream _ -> None
+
+let status_text = function
+  | 200 -> "200 OK"
+  | 201 -> "201 Created"
+  | 400 -> "400 Bad Request"
+  | 404 -> "404 Not Found"
+  | 405 -> "405 Method Not Allowed"
+  | 409 -> "409 Conflict"
+  | 410 -> "410 Gone"
+  | 413 -> "413 Content Too Large"
+  | 422 -> "422 Unprocessable Content"
+  | 431 -> "431 Request Header Fields Too Large"
+  | 503 -> "503 Service Unavailable"
+  | _ -> "500 Internal Server Error"
+
 let port t = t.sv_port
+let stopped t = Atomic.get t.stop_flag
 
-let http_response ~status ~content_type body =
-  Printf.sprintf
-    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
-     close\r\n\r\n%s"
-    status content_type (String.length body) body
+(* Protocol-level failures (bad framing, oversized body) are answered by
+   the listener itself, in the same structured shape the router uses for
+   application errors, so clients need one error decoder. *)
+let error_json ~code message =
+  Json.to_string
+    (Json.Obj
+       [
+         ( "error",
+           Json.Obj
+             [ ("code", Json.String code); ("message", Json.String message) ]
+         );
+       ])
+  ^ "\n"
 
-let read_request_line fd =
-  (* Read until CRLF or a small cap; one request line is all we route on. *)
-  let buf = Buffer.create 128 in
-  let chunk = Bytes.create 512 in
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write fd b !off (n - !off) with
+    | 0 -> off := n
+    | k -> off := !off + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let header ~version ~status ~content_type extra =
+  Printf.sprintf "%s %s\r\nContent-Type: %s\r\n%sConnection: close\r\n\r\n"
+    version (status_text status) content_type extra
+
+let write_fixed fd ~status ~content_type body =
+  write_all fd
+    (header ~version:"HTTP/1.0" ~status ~content_type
+       (Printf.sprintf "Content-Length: %d\r\n" (String.length body))
+    ^ body)
+
+(* -- request parsing ------------------------------------------------------- *)
+
+let max_head = 16 * 1024
+
+(* Read until the blank line ending the header block (or EOF / cap). *)
+let read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 1024 in
   let rec go () =
-    if Buffer.length buf > 4096 then ()
+    let s = Buffer.contents buf in
+    (* Look for CRLFCRLF or LFLF. *)
+    let sep =
+      let rec scan i =
+        if i + 3 < String.length s then
+          if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+          then Some (i, 4)
+          else if s.[i] = '\n' && s.[i + 1] = '\n' then Some (i, 2)
+          else scan (i + 1)
+        else if i + 1 < String.length s && s.[i] = '\n' && s.[i + 1] = '\n'
+        then Some (i, 2)
+        else None
+      in
+      scan 0
+    in
+    match sep with
+    | Some (i, w) -> Some (String.sub s 0 i, String.sub s (i + w) (String.length s - i - w))
+    | None ->
+        if Buffer.length buf > max_head then None
+        else (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> None
+          | k ->
+              Buffer.add_subbytes buf chunk 0 k;
+              go ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) ->
+              go ()
+          | exception Unix.Unix_error (_, _, _) -> None)
+  in
+  go ()
+
+let read_body fd ~already ~len =
+  let buf = Buffer.create len in
+  Buffer.add_string buf already;
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    if Buffer.length buf >= len then
+      Some (String.sub (Buffer.contents buf) 0 len)
     else
       match Unix.read fd chunk 0 (Bytes.length chunk) with
-      | 0 -> ()
+      | 0 -> None
       | k ->
           Buffer.add_subbytes buf chunk 0 k;
-          if not (String.contains (Buffer.contents buf) '\n') then go ()
+          go ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> go ()
-      | exception Unix.Unix_error (_, _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) -> None
   in
-  go ();
-  match String.index_opt (Buffer.contents buf) '\n' with
-  | None -> None
-  | Some i -> Some (String.trim (String.sub (Buffer.contents buf) 0 i))
+  go ()
 
-let parse_target line =
-  (* "GET /path HTTP/1.x" — anything else is a 400. *)
-  match String.split_on_char ' ' line with
-  | "GET" :: target :: _ ->
-      (* Strip any query string: routes are exact paths. *)
-      Some
-        (match String.index_opt target '?' with
-        | Some q -> String.sub target 0 q
-        | None -> target)
-  | _ -> None
-
-let handle ~routes ~stop_flag fd =
-  let response =
-    match Option.bind (read_request_line fd) parse_target with
-    | None -> http_response ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n"
-    | Some "/quit" ->
-        Atomic.set stop_flag true;
-        http_response ~status:"200 OK" ~content_type:"text/plain" "bye\n"
-    | Some path -> (
-        match List.assoc_opt path routes with
-        | None ->
-            http_response ~status:"404 Not Found" ~content_type:"text/plain"
-              "not found\n"
-        | Some (content_type, body_fn) -> (
-            match body_fn () with
-            | body -> http_response ~status:"200 OK" ~content_type body
-            | exception _ ->
-                http_response ~status:"500 Internal Server Error"
-                  ~content_type:"text/plain" "handler failed\n"))
+let percent_decode s =
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
   in
-  let b = Bytes.of_string response in
-  let rec write_all off =
-    if off < Bytes.length b then
-      match Unix.write fd b off (Bytes.length b - off) with
-      | 0 -> ()
-      | k -> write_all (off + k)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
-      | exception Unix.Unix_error (_, _, _) -> ()
-  in
-  write_all 0
+  let b = Buffer.create (String.length s) in
+  let i = ref 0 in
+  while !i < String.length s do
+    (match s.[!i] with
+    | '%' when !i + 2 < String.length s -> (
+        match (hex s.[!i + 1], hex s.[!i + 2]) with
+        | Some h, Some l ->
+            Buffer.add_char b (Char.chr ((h * 16) + l));
+            i := !i + 2
+        | _ -> Buffer.add_char b '%')
+    | '+' -> Buffer.add_char b ' '
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
 
-let accept_loop t routes =
+let parse_query q =
+  if q = "" then []
+  else
+    String.split_on_char '&' q
+    |> List.filter_map (fun pair ->
+           if pair = "" then None
+           else
+             match String.index_opt pair '=' with
+             | None -> Some (percent_decode pair, "")
+             | Some i ->
+                 Some
+                   ( percent_decode (String.sub pair 0 i),
+                     percent_decode
+                       (String.sub pair (i + 1) (String.length pair - i - 1))
+                   ))
+
+type parsed =
+  | Req of { meth : string; path : string; query : (string * string) list; clen : int }
+  | Bad of int * string * string  (* status, code, message *)
+
+let parse_head head =
+  match String.split_on_char '\n' head with
+  | [] -> Bad (400, "bad_request", "empty request")
+  | req_line :: header_lines -> (
+      let req_line = String.trim req_line in
+      match String.split_on_char ' ' req_line with
+      | [ meth; target; _version ] -> (
+          let meth = String.uppercase_ascii meth in
+          if
+            not
+              (List.mem meth [ "GET"; "POST"; "DELETE"; "HEAD"; "PUT" ])
+          then Bad (405, "method_not_allowed", "method " ^ meth)
+          else
+            let path_raw, query_raw =
+              match String.index_opt target '?' with
+              | Some q ->
+                  ( String.sub target 0 q,
+                    String.sub target (q + 1) (String.length target - q - 1)
+                  )
+              | None -> (target, "")
+            in
+            let path = percent_decode path_raw in
+            if String.length path = 0 || path.[0] <> '/' then
+              Bad (400, "bad_request", "bad target")
+            else
+              let clen =
+                List.fold_left
+                  (fun acc line ->
+                    match String.index_opt line ':' with
+                    | None -> acc
+                    | Some i ->
+                        let k =
+                          String.lowercase_ascii
+                            (String.trim (String.sub line 0 i))
+                        in
+                        if k = "content-length" then
+                          let v =
+                            String.trim
+                              (String.sub line (i + 1)
+                                 (String.length line - i - 1))
+                          in
+                          match int_of_string_opt v with
+                          | Some n when n >= 0 -> n
+                          | _ -> -1
+                        else acc)
+                  0 header_lines
+              in
+              if clen < 0 then Bad (400, "bad_request", "bad content-length")
+              else
+                Req { meth; path; query = parse_query query_raw; clen })
+      | _ -> Bad (400, "bad_request", "bad request line"))
+
+(* -- connection handling --------------------------------------------------- *)
+
+let write_error fd ~status ~code message =
+  write_fixed fd ~status ~content_type:"application/json"
+    (error_json ~code message)
+
+let handle ~handler ~max_body ~stop_flag fd =
+  (* A stalled or byte-dribbling client must not wedge the daemon: bound
+     every read with a receive timeout and give up on expiry. *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0
+   with Unix.Unix_error _ -> ());
+  match read_head fd with
+  | None -> write_error fd ~status:400 ~code:"bad_request" "unreadable request"
+  | Some (head, rest) -> (
+      match parse_head head with
+      | Bad (status, code, msg) -> write_error fd ~status ~code msg
+      | Req { meth; path; query; clen } ->
+          if clen > max_body then
+            write_error fd ~status:413 ~code:"body_too_large"
+              (Printf.sprintf "request body %d exceeds cap %d" clen max_body)
+          else (
+            match read_body fd ~already:rest ~len:clen with
+            | None ->
+                write_error fd ~status:400 ~code:"bad_request"
+                  "request body shorter than content-length"
+            | Some body -> (
+                if path = "/quit" then begin
+                  (* Commit to shutdown, then answer: the full "bye"
+                     response is on the wire before the socket closes. *)
+                  Atomic.set stop_flag true;
+                  write_fixed fd ~status:200 ~content_type:"text/plain"
+                    "bye\n"
+                end
+                else
+                  let request =
+                    { rq_meth = meth; rq_path = path; rq_query = query; rq_body = body }
+                  in
+                  match handler request with
+                  | Fixed { fx_status; fx_ctype; fx_body } ->
+                      write_fixed fd ~status:fx_status ~content_type:fx_ctype
+                        fx_body
+                  | Stream { st_status; st_ctype; st_write } ->
+                      write_all fd
+                        (header ~version:"HTTP/1.1" ~status:st_status
+                           ~content_type:st_ctype
+                           "Transfer-Encoding: chunked\r\n");
+                      let buf = Buffer.create 8192 in
+                      let flush_buf () =
+                        if Buffer.length buf > 0 then begin
+                          let data = Buffer.contents buf in
+                          Buffer.clear buf;
+                          write_all fd
+                            (Printf.sprintf "%x\r\n%s\r\n"
+                               (String.length data) data)
+                        end
+                      in
+                      let push s =
+                        if String.length s > 0 then begin
+                          Buffer.add_string buf s;
+                          if Buffer.length buf >= 8192 then flush_buf ()
+                        end
+                      in
+                      (* A handler exception mid-stream cannot become a
+                         clean status line (headers are gone): drop the
+                         connection without the terminal chunk so the
+                         client sees truncation. *)
+                      st_write push;
+                      flush_buf ();
+                      write_all fd "0\r\n\r\n"
+                  | exception e ->
+                      write_error fd ~status:500 ~code:"internal"
+                        (Printexc.to_string e))))
+
+let accept_loop t ~handler ~max_body =
   while not (Atomic.get t.stop_flag) do
     match Unix.select [ t.sock ] [] [] 0.2 with
     | [], _, _ -> ()
@@ -94,28 +330,25 @@ let accept_loop t routes =
         match Unix.accept t.sock with
         | fd, _ ->
             Fun.protect
-              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-              (fun () -> handle ~routes ~stop_flag:t.stop_flag fd)
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                try handle ~handler ~max_body ~stop_flag:t.stop_flag fd
+                with Unix.Unix_error _ -> ())
         | exception Unix.Unix_error (_, _, _) -> ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
-let start ?(port = 0) ~metrics ~progress () =
-  let routes =
-    [
-      ( "/metrics",
-        ("application/openmetrics-text; version=1.0.0; charset=utf-8", metrics)
-      );
-      ("/progress", ("application/json", progress));
-      ("/healthz", ("text/plain", fun () -> "ok\n"));
-    ]
-  in
+let start_router ?(port = 0) ?(max_body = 1024 * 1024) handler =
+  (* A client hanging up mid-response must surface as EPIPE on the write,
+     not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   match
     let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     (try
        Unix.setsockopt sock Unix.SO_REUSEADDR true;
        Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-       Unix.listen sock 16
+       Unix.listen sock 64
      with e ->
        (try Unix.close sock with Unix.Unix_error _ -> ());
        raise e);
@@ -129,9 +362,32 @@ let start ?(port = 0) ~metrics ~progress () =
   | exception Unix.Unix_error (err, fn, _) ->
       Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
   | sock, sv_port ->
-      let t = { sock; sv_port; stop_flag = Atomic.make false; sv_domain = None } in
-      t.sv_domain <- Some (Domain.spawn (fun () -> accept_loop t routes));
+      let t =
+        { sock; sv_port; stop_flag = Atomic.make false; sv_domain = None }
+      in
+      t.sv_domain <- Some (Domain.spawn (fun () -> accept_loop t ~handler ~max_body));
       Ok t
+
+let start ?port ~metrics ~progress () =
+  let routes =
+    [
+      ( "/metrics",
+        ("application/openmetrics-text; version=1.0.0; charset=utf-8", metrics)
+      );
+      ("/progress", ("application/json", progress));
+      ("/healthz", ("text/plain", fun () -> "ok\n"));
+    ]
+  in
+  start_router ?port (fun rq ->
+      if rq.rq_meth <> "GET" then
+        respond ~status:405
+          (error_json ~code:"method_not_allowed" "GET only")
+      else
+        match List.assoc_opt rq.rq_path routes with
+        | None ->
+            respond ~status:404 (error_json ~code:"not_found" rq.rq_path)
+        | Some (content_type, body_fn) ->
+            respond ~content_type (body_fn ()))
 
 let stop t =
   Atomic.set t.stop_flag true;

@@ -1,24 +1,81 @@
-(** Live observability endpoint: a minimal built-in HTTP responder on a
-    dedicated domain, serving the current {!Metrics} registry and a
-    progress snapshot while a run is in flight.
+(** Live observability endpoint and the transport under [eprocd]: a
+    minimal built-in HTTP responder on a dedicated domain.
 
-    Deliberately tiny: HTTP/1.0 GET only, loopback only, one request per
-    connection.  Routes:
+    Deliberately tiny: loopback only, one request per connection, no
+    keep-alive, no external dependency.  Two entry points share the
+    listener machinery:
 
-    - [/metrics] — the [metrics] closure's output (eproc serves
-      {!Export.render}, OpenMetrics text);
-    - [/progress] — the [progress] closure's output (eproc serves a JSON
-      snapshot: steps/sec, coverage fractions, lane utilization, ETA);
-    - [/healthz] — ["ok"];
-    - [/quit] — stops the accept loop (and answers ["bye"]).
+    - {!start} — the legacy read-only observability surface ([/metrics],
+      [/progress], [/healthz], [/quit]) used by [eproc --listen];
+    - {!start_router} — a full request router (method + path + query +
+      body) with fixed or chunked-streaming responses, the transport the
+      [Ewalk_serve] session daemon mounts its routes on.
+
+    [/quit] is handled by the listener itself in both modes: it sets the
+    stop flag and answers ["bye"] — the response is fully written before
+    the connection closes, so a client that reads ["bye"] knows the
+    daemon committed to shutting down.
 
     Handler closures run on the serving domain, concurrently with the
     walk — registry snapshots are safe ({!Metrics.snapshot} flushes
     pending shards and locks per instrument); anything else they read
-    must be its own responsibility.  This is the stepping stone to the
-    ROADMAP's [eprocd]. *)
+    must be thread-safe on its own. *)
 
 type t
+
+(** {1 Router mode} *)
+
+type request = {
+  rq_meth : string;  (** uppercased: ["GET"], ["POST"], ["DELETE"], … *)
+  rq_path : string;  (** percent-decoded path, query string stripped *)
+  rq_query : (string * string) list;
+      (** decoded [k=v] pairs, in order of appearance *)
+  rq_body : string;  (** as many bytes as [Content-Length] announced *)
+}
+
+type response
+(** Either a fixed body or a chunked stream; build with {!respond} /
+    {!respond_stream}. *)
+
+val respond : ?status:int -> ?content_type:string -> string -> response
+(** Fixed-body response (default [status] 200, content type
+    [application/json]).  Written with [Content-Length] and
+    [Connection: close]. *)
+
+val respond_stream :
+  ?status:int -> ?content_type:string -> ((string -> unit) -> unit) -> response
+(** Streaming response: the callback receives a [push] closure and may
+    call it any number of times; each pushed string is flushed as an
+    HTTP/1.1 chunk (coalesced into ~8 KiB writes).  The terminal
+    zero-chunk is written when the callback returns.  If the client
+    disconnects mid-stream the next [push] raises — the connection is
+    abandoned, the daemon keeps serving. *)
+
+val status_text : int -> string
+(** ["200 OK"], ["404 Not Found"], … (["500 Internal Server Error"] for
+    unknown codes). *)
+
+val response_status : response -> int
+val response_body : response -> string option
+(** The fixed body, or [None] for a streaming response — test hooks, so
+    conformance suites can assert on a router's answers without a
+    socket. *)
+
+val start_router :
+  ?port:int ->
+  ?max_body:int ->
+  (request -> response) ->
+  (t, string) result
+(** Bind loopback [port] (default [0]: ephemeral, see {!port}), spawn the
+    serving domain, dispatch every well-formed request to the handler.
+    The listener answers protocol-level failures itself with structured
+    JSON errors: unparsable request framing is a 400, a body larger than
+    [max_body] (default 1 MiB) is a 413, a method outside
+    GET/POST/DELETE/HEAD/PUT is a 405.  A handler exception is a 500 —
+    the daemon survives.  [SIGPIPE] is ignored process-wide so a client
+    hanging up mid-response surfaces as a write error, not a kill. *)
+
+(** {1 Legacy observability mode} *)
 
 val start :
   ?port:int ->
@@ -26,12 +83,18 @@ val start :
   progress:(unit -> string) ->
   unit ->
   (t, string) result
-(** Bind loopback [port] (default [0] — let the kernel pick an ephemeral
-    one, see {!port}), spawn the serving domain, return immediately.
-    [Error] carries the bind/listen failure (e.g. port in use). *)
+(** The read-only surface: GET [/metrics] and [/progress] serve the
+    closures' output, [/healthz] answers ["ok"]; anything else is a 404.
+    Implemented on {!start_router}. *)
+
+(** {1 Lifecycle} *)
 
 val port : t -> int
 (** The actual bound port (useful with [~port:0]). *)
+
+val stopped : t -> bool
+(** The stop flag: set by [/quit] or {!stop}.  Daemons poll this to know
+    when to begin graceful shutdown. *)
 
 val stop : t -> unit
 (** Stop the accept loop (within one 200 ms poll interval), join the

@@ -1,0 +1,139 @@
+(* Loopback HTTP/1.x client: connect, write one request, read to EOF
+   (the server always closes), parse the status line and headers, decode
+   chunked transfer when announced. *)
+
+module Json = Ewalk_obs.Json
+
+type response = { status : int; body : string }
+
+let read_all fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | k ->
+        Buffer.add_subbytes buf chunk 0 k;
+        go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let split_head raw =
+  let rec scan i =
+    if i + 3 < String.length raw then
+      if
+        raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+        && raw.[i + 3] = '\n'
+      then Some (String.sub raw 0 i, String.sub raw (i + 4) (String.length raw - i - 4))
+      else if raw.[i] = '\n' && raw.[i + 1] = '\n' then
+        Some (String.sub raw 0 i, String.sub raw (i + 2) (String.length raw - i - 2))
+      else scan (i + 1)
+    else None
+  in
+  scan 0
+
+let header_value head name =
+  String.split_on_char '\n' head
+  |> List.find_map (fun line ->
+         match String.index_opt line ':' with
+         | None -> None
+         | Some i ->
+             let k = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+             if k = name then
+               Some
+                 (String.lowercase_ascii
+                    (String.trim
+                       (String.sub line (i + 1) (String.length line - i - 1))))
+             else None)
+
+(* Chunked transfer: hex size line, data, CRLF, ...; a zero-size chunk
+   ends the stream.  A missing terminal chunk means the server died
+   mid-stream — surfaced as an error so tests can assert on it. *)
+let dechunk raw =
+  let buf = Buffer.create (String.length raw) in
+  let len = String.length raw in
+  let rec line_end i = if i >= len then None else if raw.[i] = '\n' then Some i else line_end (i + 1) in
+  let rec go i =
+    match line_end i with
+    | None -> Error "truncated chunk stream"
+    | Some e -> (
+        let size_line = String.trim (String.sub raw i (e - i)) in
+        let size_line =
+          match String.index_opt size_line ';' with
+          | Some s -> String.sub size_line 0 s
+          | None -> size_line
+        in
+        match int_of_string_opt ("0x" ^ size_line) with
+        | None -> Error ("bad chunk size " ^ size_line)
+        | Some 0 -> Ok (Buffer.contents buf)
+        | Some sz ->
+            if e + 1 + sz > len then Error "truncated chunk"
+            else begin
+              Buffer.add_substring buf raw (e + 1) sz;
+              (* Skip the CRLF after the data. *)
+              let next = e + 1 + sz in
+              let next = if next < len && raw.[next] = '\r' then next + 1 else next in
+              let next = if next < len && raw.[next] = '\n' then next + 1 else next in
+              go next
+            end)
+  in
+  go 0
+
+let request ~port ~meth ~path ?(body = "") () =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | fd -> (
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      match
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+      with
+      | exception Unix.Unix_error (e, fn, _) ->
+          Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+      | () -> (
+          let req =
+            Printf.sprintf
+              "%s %s HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: \
+               %d\r\nConnection: close\r\n\r\n%s"
+              meth path (String.length body) body
+          in
+          match
+            let b = Bytes.unsafe_of_string req in
+            let off = ref 0 in
+            while !off < Bytes.length b do
+              off := !off + Unix.write fd b !off (Bytes.length b - !off)
+            done;
+            read_all fd
+          with
+          | exception Unix.Unix_error (e, fn, _) ->
+              Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+          | raw -> (
+              match split_head raw with
+              | None -> Error "no header/body separator in response"
+              | Some (head, rest) -> (
+                  match String.split_on_char ' ' head with
+                  | _http :: code :: _ -> (
+                      match int_of_string_opt code with
+                      | None -> Error ("bad status line: " ^ head)
+                      | Some status ->
+                          if header_value head "transfer-encoding" = Some "chunked"
+                          then
+                            Result.map
+                              (fun body -> { status; body })
+                              (dechunk rest)
+                          else Ok { status; body = rest })
+                  | _ -> Error ("bad status line: " ^ head)))))
+
+let request_json ~port ~meth ~path ?body () =
+  let body = Option.map Json.to_string body in
+  match request ~port ~meth ~path ?body () with
+  | Error e -> Error e
+  | Ok { status; body } -> (
+      match Json.of_string (String.trim body) with
+      | Ok j -> Ok (status, j)
+      | Error e ->
+          Error (Printf.sprintf "status %d: unparsable body (%s)" status e))

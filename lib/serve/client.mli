@@ -1,0 +1,28 @@
+(** A minimal loopback HTTP client for the [eprocd] protocol: one
+    request per connection (the server speaks [Connection: close]),
+    fixed and chunked response bodies both decoded.  This is what
+    [eproc load-test], the serve bench kernels and the conformance tests
+    drive the daemon with — no external HTTP dependency. *)
+
+type response = { status : int; body : string }
+
+val request :
+  port:int ->
+  meth:string ->
+  path:string ->
+  ?body:string ->
+  unit ->
+  (response, string) result
+(** Perform one request against [127.0.0.1:port].  [body] (default
+    empty) is sent with a [Content-Length] header.  The response body is
+    de-chunked when the server streamed it.  [Error] carries connect /
+    IO / parse failures. *)
+
+val request_json :
+  port:int ->
+  meth:string ->
+  path:string ->
+  ?body:Ewalk_obs.Json.t ->
+  unit ->
+  (int * Ewalk_obs.Json.t, string) result
+(** {!request} with a JSON body and a JSON-parsed response. *)

@@ -1,0 +1,47 @@
+(* Wire a registry to the transport.  Kept deliberately thin: policy
+   lives in Registry, dispatch in Router, HTTP in Obs.Serve. *)
+
+module Obs = Ewalk_obs
+
+type t = {
+  server : Obs.Serve.t;
+  reg : Registry.t;
+  sd : string;
+  mutable stopped_flag : bool;
+}
+
+let fresh_state_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec go k =
+    let d =
+      Filename.concat base
+        (Printf.sprintf "eprocd-%d-%d" (Unix.getpid ()) k)
+    in
+    match Unix.mkdir d 0o755 with
+    | () -> d
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (k + 1)
+  in
+  go 0
+
+let start ?port ?state_dir ?resident_cap ?max_n ?pool () =
+  let sd = match state_dir with Some d -> d | None -> fresh_state_dir () in
+  let reg = Registry.create ?pool ?resident_cap ?max_n ~state_dir:sd () in
+  Obs.Runlog.note_artifact ~key:"eprocd-state" ~path:sd;
+  match Obs.Serve.start_router ?port (Router.handler reg) with
+  | Error e -> Error e
+  | Ok server -> Ok { server; reg; sd; stopped_flag = false }
+
+let port t = Obs.Serve.port t.server
+let registry t = t.reg
+let state_dir t = t.sd
+let stopped t = t.stopped_flag || Obs.Serve.stopped t.server
+
+let stop t =
+  if t.stopped_flag then 0
+  else begin
+    t.stopped_flag <- true;
+    (* Stop accepting before hibernating so no request races the final
+       snapshots. *)
+    Obs.Serve.stop t.server;
+    Registry.hibernate_all t.reg
+  end

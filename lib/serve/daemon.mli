@@ -1,0 +1,30 @@
+(** Assembly: a {!Registry} mounted on the {!Ewalk_obs.Serve} router
+    transport — the whole daemon as a library value, so [eprocd],
+    [eproc load-test] (in-process mode), the bench kernels and the
+    conformance tests all run the identical stack. *)
+
+type t
+
+val start :
+  ?port:int ->
+  ?state_dir:string ->
+  ?resident_cap:int ->
+  ?max_n:int ->
+  ?pool:Ewalk_par.Pool.t ->
+  unit ->
+  (t, string) result
+(** Bind loopback [port] (default 0: ephemeral), open [state_dir]
+    (default: a fresh unique directory under the system temp dir),
+    recover any sessions found there, serve.  The state dir is noted as
+    a {!Ewalk_obs.Runlog} artifact when a run is ambient. *)
+
+val port : t -> int
+val registry : t -> Registry.t
+val state_dir : t -> string
+
+val stopped : t -> bool
+(** True once [/quit] was answered or {!stop} began. *)
+
+val stop : t -> int
+(** Graceful shutdown: hibernate every resident session (returning how
+    many snapshots were written), then stop the listener.  Idempotent. *)

@@ -1,0 +1,310 @@
+(* The session table and its policies: LRU residency under a hard cap,
+   (family, n, seed)-keyed graph sharing, id allocation that survives
+   restarts, and crash recovery from the state directory.  One mutex
+   serializes everything — the serving domain and any in-process
+   harness see atomic operations. *)
+
+module Obs = Ewalk_obs
+module Json = Obs.Json
+module Rng = Ewalk_prng.Rng
+module Graph = Ewalk_graph.Graph
+
+type graph_key = { gk_family : string; gk_n : int; gk_seed : int }
+
+type graph_entry = {
+  ge_graph : Graph.t;
+  ge_rng_words : int64 array;  (* PRNG state right after the build *)
+  mutable ge_lru : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  state_dir : string;
+  cap : int;
+  max_n : int;
+  graph_cache : int;
+  pool : Ewalk_par.Pool.t option;
+  sessions : (string, Session.t) Hashtbl.t;
+  graphs : (graph_key, graph_entry) Hashtbl.t;
+  mutable tick : int;
+  mutable next_id : int;
+  metrics : Obs.Metrics.t;
+  c_created : Obs.Metrics.counter;
+  c_deleted : Obs.Metrics.counter;
+  c_hibernations : Obs.Metrics.counter;
+  c_rehydrations : Obs.Metrics.counter;
+  c_steps : Obs.Metrics.counter;
+  g_sessions : Obs.Metrics.gauge;
+  g_resident : Obs.Metrics.gauge;
+}
+
+let metrics t = t.metrics
+let resident_cap t = t.cap
+let max_n t = t.max_n
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let sessions_dir t = Filename.concat t.state_dir "sessions"
+
+let mkdir_p path =
+  let rec go p =
+    if p <> "" && p <> "/" && p <> "." && not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      try Unix.mkdir p 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path
+
+let count_resident t =
+  Hashtbl.fold (fun _ s acc -> if Session.resident s then acc + 1 else acc)
+    t.sessions 0
+
+let update_gauges t =
+  Obs.Metrics.set t.g_sessions (float_of_int (Hashtbl.length t.sessions));
+  Obs.Metrics.set t.g_resident (float_of_int (count_resident t))
+
+let session_count t = locked t (fun () -> Hashtbl.length t.sessions)
+let resident_count t = locked t (fun () -> count_resident t)
+
+(* -- graph cache ----------------------------------------------------------- *)
+
+(* Building a family can raise Invalid_argument (unknown spec) or be
+   genuinely expensive; both reasons to funnel through here.  The cached
+   post-build PRNG words make create-on-cached-graph draw-identical to
+   create-with-fresh-build. *)
+let get_graph t (c : Proto.config) =
+  let key = { gk_family = c.family; gk_n = c.n; gk_seed = c.seed } in
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.graphs key with
+  | Some e ->
+      e.ge_lru <- t.tick;
+      Ok (e.ge_graph, Rng.restore e.ge_rng_words)
+  | None -> (
+      match
+        let rng = Rng.create ~seed:c.seed () in
+        let g = Ewalk_expt.Families.build c.family rng ~n:c.n in
+        (g, rng)
+      with
+      | exception Invalid_argument msg ->
+          Error (Proto.err 400 "bad_family" msg)
+      | exception e ->
+          Error (Proto.internal ("graph build: " ^ Printexc.to_string e))
+      | g, rng ->
+          if Hashtbl.length t.graphs >= t.graph_cache then begin
+            (* Evict the least-recently-used entry. *)
+            let victim = ref None in
+            Hashtbl.iter
+              (fun k e ->
+                match !victim with
+                | Some (_, lru) when lru <= e.ge_lru -> ()
+                | _ -> victim := Some (k, e.ge_lru))
+              t.graphs;
+            match !victim with
+            | Some (k, _) -> Hashtbl.remove t.graphs k
+            | None -> ()
+          end;
+          Hashtbl.replace t.graphs key
+            { ge_graph = g; ge_rng_words = Rng.save rng; ge_lru = t.tick };
+          Ok (g, Rng.restore (Rng.save rng)))
+
+(* -- residency ------------------------------------------------------------- *)
+
+(* Hibernate LRU residents until the cap holds; [keep] is never evicted
+   (it is the session the current request is about to use). *)
+let enforce_cap t ~keep =
+  let excess () = count_resident t - t.cap in
+  while excess () > 0 do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun _ s ->
+        if Session.resident s && Some (Session.id s) <> keep then
+          match !victim with
+          | Some v when Session.last_used v <= Session.last_used s -> ()
+          | _ -> victim := Some s)
+      t.sessions;
+    match !victim with
+    | None -> raise Exit (* only [keep] is resident; cap >= 1 holds *)
+    | Some s -> (
+        match Session.hibernate s with
+        | Ok () -> Obs.Metrics.incr t.c_hibernations
+        | Error e ->
+            (* An unwritable state dir would loop forever; drop the
+               session's resident state on the floor instead of wedging
+               the daemon. *)
+            prerr_endline ("eprocd: hibernate failed: " ^ e.Proto.message);
+            raise Exit)
+  done
+
+let enforce_cap t ~keep = try enforce_cap t ~keep with Exit -> ()
+
+(* -- recovery -------------------------------------------------------------- *)
+
+let recover_sessions t =
+  let dir = sessions_dir t in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+      Array.sort compare entries;
+      Array.iter
+        (fun id ->
+          let sdir = Filename.concat dir id in
+          let meta = Filename.concat sdir "session.json" in
+          if Sys.file_exists meta then begin
+            let line =
+              let ic = open_in meta in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> try input_line ic with End_of_file -> "")
+            in
+            match Json.of_string line with
+            | Error _ -> ()
+            | Ok j -> (
+                match Session.meta_of_json j with
+                | None -> ()
+                | Some (cfg, sum) ->
+                    Hashtbl.replace t.sessions id
+                      (Session.recover ~id ~dir:sdir cfg sum);
+                    (* Keep allocating above any recovered id. *)
+                    (match
+                       int_of_string_opt
+                         (String.sub id 1 (String.length id - 1))
+                     with
+                    | Some k when id.[0] = 's' && k >= t.next_id ->
+                        t.next_id <- k + 1
+                    | _ -> ()))
+          end)
+        entries
+
+let create ?pool ?(resident_cap = 256) ?(max_n = 1_000_000)
+    ?(graph_cache = 16) ~state_dir () =
+  let metrics = Obs.Metrics.create () in
+  let t =
+    {
+      lock = Mutex.create ();
+      state_dir;
+      cap = max 1 resident_cap;
+      max_n;
+      graph_cache = max 1 graph_cache;
+      pool;
+      sessions = Hashtbl.create 64;
+      graphs = Hashtbl.create 8;
+      tick = 0;
+      next_id = 1;
+      metrics;
+      c_created = Obs.Metrics.counter metrics "sessions_created";
+      c_deleted = Obs.Metrics.counter metrics "sessions_deleted";
+      c_hibernations = Obs.Metrics.counter metrics "hibernations";
+      c_rehydrations = Obs.Metrics.counter metrics "rehydrations";
+      c_steps = Obs.Metrics.counter metrics "serve_steps";
+      g_sessions = Obs.Metrics.gauge metrics "sessions";
+      g_resident = Obs.Metrics.gauge metrics "sessions_resident";
+    }
+  in
+  mkdir_p (sessions_dir t);
+  recover_sessions t;
+  update_gauges t;
+  t
+
+(* -- operations ------------------------------------------------------------ *)
+
+let create_session t cfg =
+  locked t @@ fun () ->
+  match get_graph t cfg with
+  | Error e -> Error e
+  | Ok (g, rng) -> (
+      let id = Printf.sprintf "s%06d" t.next_id in
+      t.next_id <- t.next_id + 1;
+      let dir = Filename.concat (sessions_dir t) id in
+      mkdir_p dir;
+      match Session.create ~id ~dir ~graph:g ~rng cfg with
+      | Error e -> Error e
+      | Ok s ->
+          t.tick <- t.tick + 1;
+          Session.touch s ~tick:t.tick;
+          Hashtbl.replace t.sessions id s;
+          Obs.Metrics.incr t.c_created;
+          enforce_cap t ~keep:(Some id);
+          update_gauges t;
+          Ok s)
+
+let list t =
+  locked t @@ fun () ->
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions []
+  |> List.sort (fun a b -> compare (Session.id a) (Session.id b))
+
+let find t id = locked t @@ fun () -> Hashtbl.find_opt t.sessions id
+
+let not_found id = Proto.err 404 "unknown_session" ("no session " ^ id)
+
+let with_session t id f =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.sessions id with
+  | None -> Error (not_found id)
+  | Some s -> (
+      let materialize () =
+        if Session.resident s then Ok ()
+        else
+          match get_graph t (Session.config s) with
+          | Error e -> Error e
+          | Ok (g, rng) -> (
+              match Session.materialize s ~graph:g ~rng with
+              | Ok () ->
+                  Obs.Metrics.incr t.c_rehydrations;
+                  Ok ()
+              | Error e -> Error e)
+      in
+      match materialize () with
+      | Error e -> Error e
+      | Ok () ->
+          t.tick <- t.tick + 1;
+          Session.touch s ~tick:t.tick;
+          let r = f s ~pool:t.pool in
+          enforce_cap t ~keep:(Some id);
+          update_gauges t;
+          r)
+
+let note_steps t k = Obs.Metrics.add t.c_steps k
+
+let hibernate t id =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.sessions id with
+  | None -> Error (not_found id)
+  | Some s ->
+      if not (Session.resident s) then Ok ()
+      else (
+        match Session.hibernate s with
+        | Ok () ->
+            Obs.Metrics.incr t.c_hibernations;
+            update_gauges t;
+            Ok ()
+        | Error e -> Error e)
+
+let delete t id =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.sessions id with
+  | None -> false
+  | Some s ->
+      Hashtbl.remove t.sessions id;
+      Session.delete s;
+      Obs.Metrics.incr t.c_deleted;
+      update_gauges t;
+      true
+
+let hibernate_all t =
+  locked t @@ fun () ->
+  let n = ref 0 in
+  Hashtbl.iter
+    (fun _ s ->
+      if Session.resident s then
+        match Session.hibernate s with
+        | Ok () ->
+            incr n;
+            Obs.Metrics.incr t.c_hibernations
+        | Error e ->
+            prerr_endline ("eprocd: hibernate failed: " ^ e.Proto.message))
+    t.sessions;
+  update_gauges t;
+  !n

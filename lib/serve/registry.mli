@@ -1,0 +1,78 @@
+(** The session table: id allocation, the resident-set LRU, graph
+    caching, crash recovery and the daemon's metrics registry.
+
+    All operations are serialized under one mutex, so the registry is
+    safe to drive from the serving domain and in-process test/bench
+    harnesses concurrently.  The resident cap is a hard bound: whenever
+    an operation would leave more than [resident_cap] sessions live in
+    memory, least-recently-used sessions hibernate to disk
+    ({!Ewalk_resume.Snapshot}, provenance-stamped) until the bound
+    holds.  Hibernated sessions rehydrate transparently on their next
+    request.
+
+    Graphs are deterministic functions of (family, n, seed) and are
+    immutable once built, so an LRU cache shares one {!Ewalk_graph.Graph}
+    across every session with the same config — a thousand sessions on
+    the same family cost one adjacency structure.  The cache also
+    remembers the post-build PRNG words, so a session created against a
+    cached graph draws exactly the PRNG stream it would have drawn had it
+    built the graph itself. *)
+
+type t
+
+val create :
+  ?pool:Ewalk_par.Pool.t ->
+  ?resident_cap:int ->
+  ?max_n:int ->
+  ?graph_cache:int ->
+  state_dir:string ->
+  unit ->
+  t
+(** Open (creating if needed) [state_dir] and recover any sessions a
+    previous daemon left there.  Defaults: [resident_cap] 256 (clamped to
+    at least 1), [max_n] 1_000_000, [graph_cache] 16 entries. *)
+
+val metrics : t -> Ewalk_obs.Metrics.t
+(** The daemon-wide registry behind [/metrics]: request/error counters,
+    session lifecycle counters ([sessions_created], [sessions_deleted],
+    [hibernations], [rehydrations]), [serve_steps] and the
+    [sessions]/[sessions_resident] gauges. *)
+
+val resident_cap : t -> int
+
+val max_n : t -> int
+(** The daemon's graph-size cap, applied when create bodies are
+    validated. *)
+
+val session_count : t -> int
+val resident_count : t -> int
+
+val create_session : t -> Proto.config -> (Session.t, Proto.error) result
+val list : t -> Session.t list
+(** Sorted by id. *)
+
+val find : t -> string -> Session.t option
+(** Lookup without materializing (cheap inspection). *)
+
+val with_session :
+  t ->
+  string ->
+  (Session.t -> pool:Ewalk_par.Pool.t option -> ('a, Proto.error) result) ->
+  ('a, Proto.error) result
+(** Materialize the session (rehydrating from its snapshot if needed),
+    stamp the LRU clock, run [f] under the registry lock, then re-apply
+    the resident cap.  Unknown ids are a 404. *)
+
+val note_steps : t -> int -> unit
+(** Bump the [serve_steps] throughput counter. *)
+
+val hibernate : t -> string -> (unit, Proto.error) result
+(** Explicit hibernation (idempotent) — the handle tests and the crash
+    matrix use to force durable state at a known point. *)
+
+val delete : t -> string -> bool
+(** Remove the session and its on-disk state; [false] if unknown. *)
+
+val hibernate_all : t -> int
+(** Hibernate every resident session (graceful shutdown); returns how
+    many were written. *)

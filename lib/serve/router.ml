@@ -1,0 +1,137 @@
+(* Request dispatch: parse/validate through Proto, execute through
+   Registry, render JSON.  Nothing here may let an exception escape with
+   request-dependent state half-applied — the transport turns escapes
+   into 500s, but we catch first so the error body stays structured and
+   the metrics error counter ticks. *)
+
+module Obs = Ewalk_obs
+module Json = Obs.Json
+module Serve = Obs.Serve
+
+let json_body ?(status = 200) j =
+  Serve.respond ~status (Json.to_string j ^ "\n")
+
+let error_response (e : Proto.error) =
+  Serve.respond ~status:e.Proto.status (Proto.error_body e)
+
+let of_result = function Ok r -> r | Error e -> error_response e
+
+let ( let* ) = Result.bind
+
+let step_result (s : Session.t) ~advanced =
+  let sum = Session.summarize s in
+  Json.Obj
+    [
+      ("id", Json.String (Session.id s));
+      ("steps_advanced", Json.Int advanced);
+      ("steps", Json.Int sum.Session.s_steps);
+      ("position", Json.Int sum.Session.s_position);
+      ("covered", Json.Bool sum.Session.s_covered);
+      ("vertices_visited", Json.Int sum.Session.s_vertices);
+      ("edges_visited", Json.Int sum.Session.s_edges);
+    ]
+
+let handle_step reg id body =
+  of_result
+    (let* j = Proto.parse_body body in
+     let* req = Proto.step_request_of_json j in
+     Registry.with_session reg id (fun s ~pool ->
+         let before =
+           (Session.summarize s).Session.s_steps
+         in
+         let* total =
+           match req with
+           | Proto.Steps k -> Session.step ?pool s k
+           | Proto.To_cover cap -> Session.run_to_cover ?pool s ~cap
+         in
+         Registry.note_steps reg (total - before);
+         Ok (json_body (step_result s ~advanced:(total - before)))))
+
+(* The status line must be decided before streaming starts, so the trace
+   route validates the session and the steps parameter up front and only
+   then commits to a chunked response.  The stream itself runs under the
+   registry lock (sessions cannot be evicted mid-stream). *)
+let handle_trace reg id query =
+  of_result
+    (let* steps = Proto.steps_query query in
+     let* () =
+       match Registry.find reg id with
+       | Some _ -> Ok ()
+       | None -> Error (Proto.err 404 "unknown_session" ("no session " ^ id))
+     in
+     Ok
+       (Serve.respond_stream ~content_type:"application/jsonl" (fun push ->
+            let r =
+              Registry.with_session reg id (fun s ~pool:_ ->
+                  Session.stream s ~max_steps:steps ~push:(fun ev ->
+                      push (Obs.Trace.event_to_string ev ^ "\n")))
+            in
+            match r with
+            | Ok advanced -> Registry.note_steps reg advanced
+            | Error e ->
+                (* Headers are gone; surface the failure in-band. *)
+                push (Proto.error_body e))))
+
+let handle reg (rq : Serve.request) =
+  let seg =
+    match String.split_on_char '/' rq.Serve.rq_path with
+    | "" :: rest -> List.filter (fun s -> s <> "") rest
+    | rest -> rest
+  in
+  match (rq.Serve.rq_meth, seg) with
+  | "GET", [ "healthz" ] ->
+      Serve.respond ~content_type:"text/plain" "ok\n"
+  | "GET", [ "metrics" ] ->
+      Serve.respond
+        ~content_type:
+          "application/openmetrics-text; version=1.0.0; charset=utf-8"
+        (Obs.Export.render (Registry.metrics reg))
+  | "GET", [ "sessions" ] ->
+      json_body
+        (Json.Obj
+           [
+             ( "sessions",
+               Json.List (List.map Session.info_json (Registry.list reg)) );
+             ("resident", Json.Int (Registry.resident_count reg));
+             ("resident_cap", Json.Int (Registry.resident_cap reg));
+           ])
+  | "POST", [ "sessions" ] ->
+      of_result
+        (let* j = Proto.parse_body rq.Serve.rq_body in
+         let* cfg = Proto.config_of_json ~max_n:(Registry.max_n reg) j in
+         let* s = Registry.create_session reg cfg in
+         Ok (json_body ~status:201 (Session.info_json s)))
+  | "GET", [ "sessions"; id ] -> (
+      match Registry.find reg id with
+      | Some s -> json_body (Session.info_json s)
+      | None ->
+          error_response (Proto.err 404 "unknown_session" ("no session " ^ id)))
+  | "POST", [ "sessions"; id; "step" ] -> handle_step reg id rq.Serve.rq_body
+  | "POST", [ "sessions"; id; "hibernate" ] ->
+      of_result
+        (let* () = Registry.hibernate reg id in
+         Ok (json_body (Json.Obj [ ("id", Json.String id); ("hibernated", Json.Bool true) ])))
+  | "GET", [ "sessions"; id; "trace" ] ->
+      handle_trace reg id rq.Serve.rq_query
+  | "DELETE", [ "sessions"; id ] ->
+      if Registry.delete reg id then
+        json_body (Json.Obj [ ("id", Json.String id); ("deleted", Json.Bool true) ])
+      else
+        error_response (Proto.err 404 "unknown_session" ("no session " ^ id))
+  | _, ("healthz" :: _ | "metrics" :: _ | "sessions" :: _) ->
+      error_response
+        (Proto.err 405 "method_not_allowed"
+           (rq.Serve.rq_meth ^ " not allowed on " ^ rq.Serve.rq_path))
+  | _ ->
+      error_response (Proto.err 404 "not_found" rq.Serve.rq_path)
+
+let handler reg =
+  let requests = Obs.Metrics.counter (Registry.metrics reg) "serve_requests" in
+  let errors = Obs.Metrics.counter (Registry.metrics reg) "serve_errors" in
+  fun rq ->
+    Obs.Metrics.incr requests;
+    match handle reg rq with
+    | resp -> resp
+    | exception e ->
+        Obs.Metrics.incr errors;
+        error_response (Proto.internal (Printexc.to_string e))

@@ -1,0 +1,22 @@
+(** HTTP dispatch for the session protocol.
+
+    Routes ([:id] is a session id like [s000042]):
+
+    - [GET /healthz] — liveness probe, ["ok"];
+    - [GET /metrics] — the registry's daemon-wide counters as
+      OpenMetrics text ({!Ewalk_obs.Export.render});
+    - [GET /sessions] — session list with residency and the cap;
+    - [POST /sessions] — create (body: the {!Proto.config} JSON), 201;
+    - [GET /sessions/:id] — session info (rehydration {e not} forced);
+    - [POST /sessions/:id/step] — advance (body:
+      [{"steps":K}] or [{"until":"cover","cap":K?}]);
+    - [POST /sessions/:id/hibernate] — force the session to disk;
+    - [GET /sessions/:id/trace?steps=K] — chunked JSONL event stream
+      (prologue, up to [K] steps, [run_end]);
+    - [DELETE /sessions/:id] — remove the session and its state.
+
+    Every failure is a structured JSON error; a handler exception is a
+    500 and the daemon keeps serving.  [/quit] is handled by the
+    transport ({!Ewalk_obs.Serve}). *)
+
+val handler : Registry.t -> Ewalk_obs.Serve.request -> Ewalk_obs.Serve.response

@@ -23,9 +23,15 @@
 # assertion per boundary: checkpoint-inspect must report the stored
 # per-walker visit counters verified against the serialized bitsets'
 # popcounts (the counter==popcount verdict) before the leg is resumed.
+#
+# Daemon half: SIGKILL an eprocd holding live and hibernated sessions,
+# restart it over the same state directory, and require every session
+# whose state reached disk to come back at its last durable step count
+# and continue bit-identically to an uninterrupted daemon.
 set -u
 
 EPROC=${EPROC:-_build/default/bin/eproc.exe}
+EPROCD=${EPROCD:-_build/default/bin/eprocd.exe}
 KILL_EXIT=70
 
 if [ ! -x "$EPROC" ]; then
@@ -36,15 +42,10 @@ fi
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
 
-fails=0
-checks=0
-
-note() { printf 'crash_matrix: %s\n' "$*"; }
-fail() {
-  printf 'crash_matrix: FAIL: %s\n' "$*" >&2
-  fails=$((fails + 1))
-}
-check() { checks=$((checks + 1)); }
+# note/fail/check/finish plus the daemon scrape/readiness/quit helpers
+# come from the shared smoke-script library.
+SMOKE_NAME=crash_matrix
+. "$(dirname "$0")/serve_lib.sh"
 
 expect_exit() {
   # expect_exit WANT DESC CMD...
@@ -351,12 +352,130 @@ expect_exit 2 "bit-flipped snapshot rejected by --resume-from" \
 expect_exit 2 "missing snapshot rejected" \
   "$EPROC" checkpoint-inspect "$work/no-such-snapshot"
 
+# --- eprocd: kill the daemon mid-session, restart, recover ------------------
+# Sessions live in a state directory: hibernated state (snapshot + meta)
+# is durable, purely in-memory progress is not.  A SIGKILLed daemon must
+# restart over the same directory with every durable session intact, and
+# a recovered session must continue exactly like one on a daemon that
+# was never killed.
+
+if [ ! -x "$EPROCD" ]; then
+  check
+  fail "$EPROCD not built (run dune build first)"
+  finish
+fi
+
+SG="--family regular:4 -n 64 --seed 3"
+
+start_eprocd() {
+  # start_eprocd STATE_DIR ERRLOG — announce pid in dpid, url in durl.
+  "$EPROCD" --port 0 --state-dir "$1" --resident-cap 8 \
+    >/dev/null 2>"$2" &
+  dpid=$!
+  durl=$(scrape_url "$2" "$dpid")
+  check
+  if [ -z "$durl" ]; then
+    fail "eprocd ($1): no listen announcement"
+    return 1
+  fi
+  check
+  wait_healthz "$durl" "$dpid" || fail "eprocd ($1): /healthz never answered"
+}
+
+start_eprocd "$work/dstate" "$work/d1.err" || finish
+
+# s000001: stepped to 40, hibernated (durable at 40), then stepped 15
+# more in memory only — the post-kill truth is 40.
+check
+s1=$(curl -sf -X POST \
+  --data '{"family":"regular:4","n":64,"seed":3}' "$durl/sessions" \
+  | json_field id)
+[ -n "$s1" ] || fail "daemon create s1 failed"
+check
+got=$(curl -sf -X POST --data '{"steps":40}' "$durl/sessions/$s1/step" \
+  | json_int steps)
+[ "$got" = "40" ] || fail "s1 stepped to '$got', wanted 40"
+check
+curl -sf -X POST "$durl/sessions/$s1/hibernate" >/dev/null \
+  || fail "s1 hibernate failed"
+check
+got=$(curl -sf -X POST --data '{"steps":15}' "$durl/sessions/$s1/step" \
+  | json_int steps)
+[ "$got" = "55" ] || fail "s1 re-stepped to '$got', wanted 55"
+
+# s000002: created but never hibernated — recovers at step 0.
+check
+s2=$(curl -sf -X POST \
+  --data '{"family":"regular:4","n":64,"seed":4}' "$durl/sessions" \
+  | json_field id)
+[ -n "$s2" ] || fail "daemon create s2 failed"
+check
+got=$(curl -sf -X POST --data '{"steps":10}' "$durl/sessions/$s2/step" \
+  | json_int steps)
+[ "$got" = "10" ] || fail "s2 stepped to '$got', wanted 10"
+
+kill -9 "$dpid" 2>/dev/null
+wait "$dpid" 2>/dev/null
+note "killed eprocd mid-session; restarting over $work/dstate"
+
+start_eprocd "$work/dstate" "$work/d2.err" || finish
+pid2=$dpid
+
+check
+got=$(curl -sf "$durl/sessions/$s1" | json_int steps)
+[ "$got" = "40" ] || fail "recovered s1 reports '$got' steps, wanted 40 \
+(the last hibernated state)"
+check
+got=$(curl -sf "$durl/sessions/$s2" | json_int steps)
+[ "$got" = "0" ] || fail "recovered s2 reports '$got' steps, wanted 0 \
+(never hibernated)"
+
+# The recovered session continues from its snapshot and its stream still
+# verifies.
+check
+got=$(curl -sf -X POST --data '{"steps":20}' "$durl/sessions/$s1/step" \
+  | json_int steps)
+[ "$got" = "60" ] || fail "recovered s1 stepped to '$got', wanted 60"
+check
+curl -sf --max-time 10 "$durl/sessions/$s1/trace?steps=5000" \
+  >"$work/recovered.jsonl" || fail "recovered trace stream failed"
+expect_exit 0 "verify-trace accepts the recovered session's stream" \
+  "$EPROC" verify-trace $SG "$work/recovered.jsonl"
+
+# Bit-identity: an uninterrupted daemon driving the same config to the
+# same step count emits the same stream (run_info carries the daemon's
+# own run id, so provenance lines are excluded from the comparison).
+start_eprocd "$work/dtwin" "$work/d3.err" || finish
+
+check
+t1=$(curl -sf -X POST \
+  --data '{"family":"regular:4","n":64,"seed":3}' "$durl/sessions" \
+  | json_field id)
+[ -n "$t1" ] || fail "twin create failed"
+check
+got=$(curl -sf -X POST --data '{"steps":60}' "$durl/sessions/$t1/step" \
+  | json_int steps)
+[ "$got" = "60" ] || fail "twin stepped to '$got', wanted 60"
+check
+curl -sf --max-time 10 "$durl/sessions/$t1/trace?steps=5000" \
+  >"$work/twin.jsonl" || fail "twin trace stream failed"
+
+check
+grep -v '"type":"run_info"' "$work/recovered.jsonl" >"$work/recovered.cmp"
+grep -v '"type":"run_info"' "$work/twin.jsonl" >"$work/twin.cmp"
+cmp -s "$work/recovered.cmp" "$work/twin.cmp" \
+  || fail "recovered session's stream differs from the uninterrupted twin's"
+
+check
+quit_bye "$durl" || fail "twin daemon /quit did not answer 'bye'"
+wait "$dpid" 2>/dev/null
+check
+kill -0 "$pid2" 2>/dev/null && {
+  durl2=$(scrape_url "$work/d2.err" "$pid2")
+  quit_bye "$durl2" || fail "restarted daemon /quit did not answer 'bye'"
+}
+wait "$pid2" 2>/dev/null
+
 # ----------------------------------------------------------------------------
 
-if [ "$fails" -eq 0 ]; then
-  note "OK ($checks checks)"
-  exit 0
-else
-  note "$fails of $checks checks FAILED"
-  exit 1
-fi
+finish

@@ -1,0 +1,82 @@
+# Shared helpers for the serve smoke scripts (serve_smoke.sh,
+# serve_session_smoke.sh, and the daemon section of crash_matrix.sh).
+#
+# Source with SMOKE_NAME set:
+#
+#   SMOKE_NAME=serve_smoke
+#   . "$(dirname "$0")/serve_lib.sh"
+#
+# Provides the note/fail/check/finish accounting quartet, ephemeral-port
+# scraping from a server's stderr announcement, a bounded /healthz
+# readiness poll, and the /quit-answers-"bye" contract check.
+
+: "${SMOKE_NAME:?source serve_lib.sh with SMOKE_NAME set}"
+
+fails=0
+checks=0
+note() { printf '%s: %s\n' "$SMOKE_NAME" "$*"; }
+fail() {
+  printf '%s: FAIL: %s\n' "$SMOKE_NAME" "$*" >&2
+  fails=$((fails + 1))
+}
+check() { checks=$((checks + 1)); }
+
+finish() {
+  if [ "$fails" -eq 0 ]; then
+    note "OK ($checks checks)"
+    exit 0
+  else
+    note "$fails of $checks checks FAILED"
+    exit 1
+  fi
+}
+
+# scrape_url <stderr-log> [<pid>] — echo the http://127.0.0.1:PORT
+# announcement from the log (empty if the process dies first).
+scrape_url() {
+  _log=$1
+  _pid=${2:-}
+  _url=
+  for _ in $(seq 1 100); do
+    _url=$(grep -o 'http://127.0.0.1:[0-9]*' "$_log" | head -1)
+    [ -n "$_url" ] && break
+    if [ -n "$_pid" ] && ! kill -0 "$_pid" 2>/dev/null; then break; fi
+    sleep 0.1
+  done
+  echo "$_url"
+}
+
+# wait_healthz <url> [<pid>] — poll /healthz until it answers ok.  The
+# announcement can precede the accept loop by a beat on a loaded machine,
+# so readiness gets a bounded retry loop instead of one shot.
+wait_healthz() {
+  _url=$1
+  _pid=${2:-}
+  _body=
+  for _ in $(seq 1 50); do
+    _body=$(curl -sf --max-time 5 "$_url/healthz") && break
+    if [ -n "$_pid" ] && ! kill -0 "$_pid" 2>/dev/null; then break; fi
+    sleep 0.1
+  done
+  [ "$_body" = "ok" ]
+}
+
+# quit_bye <url> — /quit must answer "bye" (fully written before the
+# socket closes: a client that reads it knows the daemon committed to
+# shutting down).
+quit_bye() {
+  _body=$(curl -sf --max-time 5 "$1/quit") || return 1
+  [ "$_body" = "bye" ]
+}
+
+# json_field <field> — extract the first string value of "field" from
+# JSON on stdin (good enough for the smoke protocol bodies).
+json_field() {
+  grep -o "\"$1\":\"[^\"]*\"" | head -1 | cut -d'"' -f4
+}
+
+# json_int <field> — extract the first integer value of "field" from
+# JSON on stdin.
+json_int() {
+  grep -o "\"$1\":-\{0,1\}[0-9]*" | head -1 | cut -d: -f2
+}

@@ -1,0 +1,200 @@
+#!/usr/bin/env bash
+# End-to-end eprocd session-service smoke (make serve-session-smoke).
+#
+# Start eprocd with a tiny resident cap, then walk the whole session
+# protocol over real loopback HTTP: create sessions, step them, force
+# hibernation by exceeding the cap, rehydrate transparently, stream
+# trace events (chunked JSONL) that `eproc verify-trace` accepts, check
+# /metrics, delete, and drive the 1000-session `eproc load-test` against
+# the same daemon — the scale acceptance criterion, with the cap forcing
+# hibernation churn throughout.  Finally /quit must answer "bye" and the
+# daemon must exit 0.
+set -u
+
+EPROC=${EPROC:-_build/default/bin/eproc.exe}
+EPROCD=${EPROCD:-_build/default/bin/eprocd.exe}
+
+for exe in "$EPROC" "$EPROCD"; do
+  if [ ! -x "$exe" ]; then
+    echo "serve_session_smoke: $exe not built (run dune build first)" >&2
+    exit 2
+  fi
+done
+
+SMOKE_NAME=serve_session_smoke
+. "$(dirname "$0")/serve_lib.sh"
+
+work=$(mktemp -d)
+pid=
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+G="--family regular:4 -n 64 --seed 3" # graph identity (shared with verify)
+
+"$EPROCD" --port 0 --state-dir "$work/state" --resident-cap 2 \
+  >"$work/out.log" 2>"$work/err.log" &
+pid=$!
+
+url=$(scrape_url "$work/err.log" "$pid")
+check
+if [ -z "$url" ]; then
+  fail "no listen announcement on stderr"
+  cat "$work/err.log" >&2
+  exit 1
+fi
+port=${url##*:}
+note "driving $url"
+
+check
+wait_healthz "$url" "$pid" || fail "daemon never answered /healthz"
+
+# --- create + step ----------------------------------------------------------
+check
+sid=$(curl -sf -X POST \
+  --data '{"family":"regular:4","n":64,"process":"e-process","seed":3}' \
+  "$url/sessions" | json_field id)
+[ -n "$sid" ] || fail "create-session returned no id"
+
+check
+steps=$(curl -sf -X POST --data '{"steps":40}' "$url/sessions/$sid/step" \
+  | json_int steps)
+[ "$steps" = "40" ] || fail "stepped to '$steps', wanted 40"
+
+# Malformed requests are structured errors, never crashes.
+check
+code=$(curl -s -o "$work/bad.json" -w '%{http_code}' -X POST \
+  --data '{nope' "$url/sessions")
+[ "$code" = "400" ] || fail "bad JSON create answered $code, wanted 400"
+check
+grep -q '"code":"bad_json"' "$work/bad.json" \
+  || fail "bad JSON error not structured: $(cat "$work/bad.json")"
+check
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  --data '{"steps":-5}' "$url/sessions/$sid/step")
+[ "$code" = "400" ] || fail "negative steps answered $code, wanted 400"
+check
+code=$(curl -s -o /dev/null -w '%{http_code}' "$url/sessions/s999999")
+[ "$code" = "404" ] || fail "unknown session answered $code, wanted 404"
+
+# --- hibernation under the cap ----------------------------------------------
+# Two more sessions exceed resident-cap 2: the LRU session must be
+# snapshotted to the state dir.
+for seed in 4 5; do
+  check
+  other=$(curl -sf -X POST \
+    --data "{\"family\":\"regular:4\",\"n\":64,\"seed\":$seed}" \
+    "$url/sessions" | json_field id)
+  [ -n "$other" ] || fail "create-session (seed $seed) returned no id"
+done
+
+check
+snaps=$(find "$work/state" -name snapshot.json | wc -l)
+[ "$snaps" -ge 1 ] || fail "cap overflow left no hibernation snapshot on disk"
+
+check
+hib=$(curl -sf --max-time 5 "$url/metrics" \
+  | grep '^ewalk_hibernations_total' | awk '{print $2}')
+[ -n "$hib" ] && [ "${hib%.*}" -ge 1 ] \
+  || fail "hibernations counter is '$hib', wanted >= 1"
+
+# Stepping the evicted session rehydrates it transparently: the count
+# continues from 40, bit-identically.
+check
+steps=$(curl -sf -X POST --data '{"steps":20}' "$url/sessions/$sid/step" \
+  | json_int steps)
+[ "$steps" = "60" ] || fail "rehydrated session stepped to '$steps', wanted 60"
+
+check
+reh=$(curl -sf --max-time 5 "$url/metrics" \
+  | grep '^ewalk_rehydrations_total' | awk '{print $2}')
+[ -n "$reh" ] && [ "${reh%.*}" -ge 1 ] \
+  || fail "rehydrations counter is '$reh', wanted >= 1"
+
+# --- trace streams verify ----------------------------------------------------
+# A resumed stream from the stepped-and-rehydrated session.
+check
+curl -sf --max-time 10 "$url/sessions/$sid/trace?steps=5000" \
+  >"$work/resumed.jsonl" || fail "trace stream request failed"
+check
+grep -q '"type":"resume"' "$work/resumed.jsonl" \
+  || fail "stream from a running session carries no resume event"
+check
+"$EPROC" verify-trace $G "$work/resumed.jsonl" >/dev/null \
+  || fail "verify-trace rejected the resumed session stream"
+
+# A fresh stream from a brand-new session covers the graph end to end.
+check
+fresh=$(curl -sf -X POST \
+  --data '{"family":"regular:4","n":64,"seed":3,"process":"srw"}' \
+  "$url/sessions" | json_field id)
+[ -n "$fresh" ] || fail "create-session (fresh) returned no id"
+check
+curl -sf --max-time 10 "$url/sessions/$fresh/trace?steps=100000" \
+  >"$work/fresh.jsonl" || fail "fresh trace stream request failed"
+check
+"$EPROC" verify-trace $G "$work/fresh.jsonl" >/dev/null \
+  || fail "verify-trace rejected the fresh session stream"
+check
+grep -q '"type":"run_end"' "$work/fresh.jsonl" \
+  && grep -q '"covered":true' "$work/fresh.jsonl" \
+  || fail "fresh stream did not run to cover"
+
+# --- exposition --------------------------------------------------------------
+check
+curl -sf --max-time 5 "$url/metrics" >"$work/metrics.om" \
+  || fail "/metrics request failed"
+check
+"$EPROC" openmetrics-validate - <"$work/metrics.om" >/dev/null \
+  || fail "/metrics exposition rejected by openmetrics-validate"
+check
+grep -q '^ewalk_sessions ' "$work/metrics.om" \
+  || fail "/metrics exposition has no ewalk_sessions gauge"
+
+# --- delete ------------------------------------------------------------------
+check
+curl -sf -X DELETE "$url/sessions/$fresh" >/dev/null \
+  || fail "delete-session request failed"
+check
+code=$(curl -s -o /dev/null -w '%{http_code}' "$url/sessions/$fresh")
+[ "$code" = "404" ] || fail "deleted session answered $code, wanted 404"
+
+# --- scale: 1000 concurrent sessions under the cap ---------------------------
+# The acceptance criterion: the daemon serves >= 1000 sessions from
+# `eproc load-test`, with resident-cap 2 forcing hibernation/rehydration
+# on essentially every request.
+check
+if "$EPROC" load-test --port "$port" --sessions 1000 --steps 20 \
+  --clients 4 $G >"$work/load.log" 2>&1; then
+  note "$(grep -o 'created [0-9]*/[0-9]* sessions in [0-9.]* s' "$work/load.log" | head -1)"
+  note "$(grep -o 'advanced [0-9]* steps.*HTTP)' "$work/load.log" | head -1)"
+else
+  fail "load-test failed: $(cat "$work/load.log")"
+fi
+
+check
+sessions=$(curl -sf --max-time 5 "$url/metrics" \
+  | grep '^ewalk_sessions ' | awk '{print $2}')
+[ -n "$sessions" ] && [ "${sessions%.*}" -ge 1003 ] \
+  || fail "daemon reports '$sessions' sessions after load-test, wanted >= 1003"
+
+# --- shutdown ----------------------------------------------------------------
+check
+quit_bye "$url" || fail "/quit did not answer 'bye'"
+
+check
+wait "$pid"
+status=$?
+pid=
+[ "$status" -eq 0 ] || {
+  fail "eprocd exited $status"
+  cat "$work/err.log" >&2
+}
+
+check
+grep -q 'hibernated [0-9]* sessions; bye' "$work/err.log" \
+  || fail "no graceful-shutdown announcement on stderr"
+
+finish

@@ -5,8 +5,8 @@
 # the ephemeral port from its stderr announcement, and poll the endpoint
 # mid-run: /healthz answers ok, /progress serves JSON with a live steps
 # counter, and /metrics renders an exposition that passes
-# `eproc openmetrics-validate`.  Then /quit must stop the server early and
-# the run itself must still complete with exit 0.
+# `eproc openmetrics-validate`.  Then /quit must answer "bye" and stop the
+# server early, and the run itself must still complete with exit 0.
 set -u
 
 EPROC=${EPROC:-_build/default/bin/eproc.exe}
@@ -16,6 +16,9 @@ if [ ! -x "$EPROC" ]; then
   exit 2
 fi
 
+SMOKE_NAME=serve_smoke
+. "$(dirname "$0")/serve_lib.sh"
+
 work=$(mktemp -d)
 pid=
 cleanup() {
@@ -24,28 +27,13 @@ cleanup() {
 }
 trap cleanup EXIT
 
-fails=0
-checks=0
-note() { printf 'serve_smoke: %s\n' "$*"; }
-fail() {
-  printf 'serve_smoke: FAIL: %s\n' "$*" >&2
-  fails=$((fails + 1))
-}
-check() { checks=$((checks + 1)); }
-
 # A few large trials keep the walk busy for seconds — a wide window to
 # scrape in.  --listen 0 binds an ephemeral port and announces it.
 "$EPROC" cover --family regular:4 -n 300000 --trials 4 --seed 1 --jobs 1 \
   --listen 0 >"$work/out.log" 2>"$work/err.log" &
 pid=$!
 
-url=
-for _ in $(seq 1 100); do
-  url=$(grep -o 'http://127.0.0.1:[0-9]*' "$work/err.log" | head -1)
-  [ -n "$url" ] && break
-  kill -0 "$pid" 2>/dev/null || break
-  sleep 0.1
-done
+url=$(scrape_url "$work/err.log" "$pid")
 check
 if [ -z "$url" ]; then
   fail "no listen announcement on stderr"
@@ -55,17 +43,9 @@ if [ -z "$url" ]; then
 fi
 note "scraping $url mid-run"
 
-# /healthz: liveness.  The announcement can precede the accept loop by a
-# beat on a loaded machine, so the first scrape gets a bounded retry loop
-# instead of one shot.
-body=
-for _ in $(seq 1 50); do
-  body=$(curl -sf --max-time 5 "$url/healthz") && break
-  kill -0 "$pid" 2>/dev/null || break
-  sleep 0.1
-done
+# /healthz: liveness.
 check
-[ "$body" = "ok" ] || fail "/healthz answered '$body', wanted 'ok'"
+wait_healthz "$url" "$pid" || fail "/healthz never answered 'ok'"
 
 # The endpoint is up before the first graph is even generated (it serves
 # nulls until the walk starts); wait until the walk is actually stepping
@@ -118,9 +98,10 @@ if [ -z "$s1" ] || [ -z "$s2" ] || [ "$s2" -lt "$s1" ]; then
   fail "steps counter not monotone across scrapes ($s1 -> $s2)"
 fi
 
-# /quit stops the server; the run itself must still finish cleanly.
+# /quit answers "bye" (written before the socket closes) and stops the
+# server; the run itself must still finish cleanly.
 check
-curl -sf --max-time 5 "$url/quit" >/dev/null || fail "/quit request failed"
+quit_bye "$url" || fail "/quit did not answer 'bye'"
 
 check
 wait "$pid"
@@ -137,12 +118,4 @@ if curl -sf --max-time 2 "$url/healthz" >/dev/null 2>&1; then
   fail "server still answering after /quit and process exit"
 fi
 
-# ----------------------------------------------------------------------------
-
-if [ "$fails" -eq 0 ]; then
-  note "OK ($checks checks)"
-  exit 0
-else
-  note "$fails of $checks checks FAILED"
-  exit 1
-fi
+finish
